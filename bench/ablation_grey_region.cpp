@@ -1,0 +1,66 @@
+// Ablation: what the grey region buys.
+//
+// SLoPS extends plain binary search with grey bounds [Gmin, Gmax] and a
+// second resolution chi. We compare the full algorithm against a
+// "no-grey" variant (grey verdicts treated as R > A, a common naive
+// simplification) on a bursty path where the avail-bw genuinely varies at
+// stream timescale.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "scenario/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace pathload;
+
+int main() {
+  bench::banner("Ablation", "grey region on vs off (bursty path, u = 75%)");
+  const int runs = bench::runs(12);
+
+  Table table{{"variant", "chi_Mbps", "low_Mbps", "high_Mbps", "covers_A",
+               "fleets", "latency_s"}};
+
+  scenario::PaperPathConfig path;
+  path.hops = 1;
+  path.tight_capacity = Rate::mbps(10);
+  path.tight_utilization = 0.75;  // A = 2.5 Mb/s, heavy + bursty
+  path.sources_per_link = 4;      // low multiplexing -> strong variability
+  path.model = sim::Interarrival::kPareto;
+  path.warmup = Duration::seconds(1);
+
+  // Full algorithm at two grey resolutions.
+  for (double chi : {1.5, 0.5}) {
+    core::PathloadConfig tool;
+    tool.chi = Rate::mbps(chi);
+    const auto rr = scenario::run_pathload_repeated(path, tool, runs, bench::seed());
+    table.add_row({"grey-region", Table::num(chi, 1),
+                   Table::num(rr.mean_low().mbits_per_sec(), 2),
+                   Table::num(rr.mean_high().mbits_per_sec(), 2),
+                   Table::num(rr.coverage(Rate::mbps(2.5)) * 100, 0) + "%",
+                   Table::num(rr.mean_fleets(), 1),
+                   Table::num(rr.mean_elapsed().secs(), 1)});
+  }
+
+  // Naive variant: force grey fleets to count as "above" by requiring only
+  // a minimal agreement (f -> 0.5 makes almost every fleet decisive) —
+  // the closest configuration-level approximation of "no grey region".
+  {
+    core::PathloadConfig tool;
+    tool.fleet_fraction = 0.51;
+    const auto rr = scenario::run_pathload_repeated(path, tool, runs, bench::seed());
+    table.add_row({"no-grey(f=0.51)", "-",
+                   Table::num(rr.mean_low().mbits_per_sec(), 2),
+                   Table::num(rr.mean_high().mbits_per_sec(), 2),
+                   Table::num(rr.coverage(Rate::mbps(2.5)) * 100, 0) + "%",
+                   Table::num(rr.mean_fleets(), 1),
+                   Table::num(rr.mean_elapsed().secs(), 1)});
+  }
+  table.print();
+  bench::expectation(
+      "without a grey region the tool reports a deceptively narrow range "
+      "that misses the true variation band more often; the grey region "
+      "widens the report to cover the avail-bw excursions, at bounded "
+      "extra width (<= 2*chi, Section VI).");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: the trend-detection design choices of Section IV.
+//
+//  1. PCT-only vs PDT-only vs either (the tool's default): the paper says
+//     "there are cases in which one of the two metrics is better than the
+//     other"; either-of-both is the robust choice.
+//  2. Median-of-groups preprocessing on vs off: robustness of stream
+//     classification to OWD outliers.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/trend.hpp"
+#include "scenario/experiment.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace pathload;
+
+namespace {
+
+void run_detector_comparison(int runs) {
+  Table table{{"detector", "avail_Mbps", "low_Mbps", "high_Mbps", "covers_A"}};
+  const struct {
+    const char* name;
+    core::TrendConfig::Mode mode;
+  } detectors[] = {{"combined(default)", core::TrendConfig::Mode::kCombined},
+                   {"either(ToN text)", core::TrendConfig::Mode::kEither},
+                   {"pct-only", core::TrendConfig::Mode::kPctOnly},
+                   {"pdt-only", core::TrendConfig::Mode::kPdtOnly}};
+
+  for (const auto& d : detectors) {
+    scenario::PaperPathConfig path;
+    path.hops = 3;
+    path.tight_capacity = Rate::mbps(10);
+    path.tight_utilization = 0.6;
+    path.beta = 2.0;
+    path.model = sim::Interarrival::kPareto;
+    path.warmup = Duration::seconds(1);
+
+    core::PathloadConfig tool;
+    tool.trend.mode = d.mode;
+    const auto rr = scenario::run_pathload_repeated(path, tool, runs, bench::seed());
+    table.add_row({d.name, "4.0", Table::num(rr.mean_low().mbits_per_sec(), 2),
+                   Table::num(rr.mean_high().mbits_per_sec(), 2),
+                   Table::num(rr.coverage(Rate::mbps(4)) * 100, 0) + "%"});
+  }
+  table.print();
+}
+
+void run_median_filter_ablation() {
+  // Classification accuracy on synthetic OWD series: a true increasing
+  // trend contaminated with occasional large outliers (cross-traffic
+  // bursts / measurement glitches).
+  Rng rng{bench::seed()};
+  const int trials = 2000;
+  Table table{{"series", "median_filter", "classified_I_%"}};
+
+  for (const bool filter_on : {true, false}) {
+    for (const bool trending : {true, false}) {
+      int classified_increasing = 0;
+      Rng local = rng.fork();
+      for (int t = 0; t < trials; ++t) {
+        std::vector<double> owds(100);
+        for (int i = 0; i < 100; ++i) {
+          double v = local.uniform(-0.3, 0.3);
+          if (trending) v += 0.02 * i;
+          if (local.uniform() < 0.05) v += local.uniform(-15.0, 15.0);  // outlier
+          owds[static_cast<std::size_t>(i)] = v;
+        }
+        core::TrendConfig cfg;
+        cfg.median_filter = filter_on;
+        if (core::classify_owds(owds, cfg) == core::StreamClass::kIncreasing) {
+          ++classified_increasing;
+        }
+      }
+      table.add_row({trending ? "trend+outliers" : "noise+outliers",
+                     filter_on ? "on" : "off",
+                     Table::num(classified_increasing * 100.0 / trials, 1)});
+    }
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "trend metrics (PCT/PDT) and median preprocessing");
+  std::printf("-- detector variants on the Fig. 5 path (u = 60%%) --\n");
+  run_detector_comparison(bench::runs(10));
+  std::printf("\n-- median-of-groups filter vs raw series --\n");
+  run_median_filter_ablation();
+  bench::expectation(
+      "the combined three-way rule (the released tool's logic) brackets A; "
+      "binary PCT-based detection is badly biased low under bursty traffic "
+      "(PCT's false-increasing rate poisons fleets), which is exactly why "
+      "pathload gates each metric with an ambiguity band and discards "
+      "conflicting streams. The median filter keeps true trends detectable "
+      "under outliers without raising the false-positive rate on noise.");
+  return 0;
+}

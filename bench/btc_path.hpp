@@ -1,0 +1,91 @@
+#pragma once
+
+// Shared scenario for the Section VII/VIII experiments (Figs. 15-18): a
+// path whose tight link mirrors the paper's Univ-Ioannina -> Univ-Delaware
+// experiment — 8.2 Mb/s capacity, ~200 ms quiescent RTT, drop-tail buffer
+// of ~180 ms drain time (the paper infers >= 170 kB from the RTT climb to
+// 370 ms). Background traffic is a mix of window-limited TCP flows (whose
+// throughput responds to RTT inflation and losses, the mechanism behind
+// BTC's bandwidth "stealing") and light UDP.
+
+#include <memory>
+#include <vector>
+
+#include "sim/monitor.hpp"
+#include "sim/path.hpp"
+#include "sim/rtt_probe.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "tcp/reno.hpp"
+#include "util/rng.hpp"
+
+namespace pathload::bench {
+
+struct BtcTestbed {
+  static constexpr double kCapacityMbps = 8.2;
+
+  sim::Simulator sim;
+  std::unique_ptr<sim::Path> path;
+  std::vector<std::unique_ptr<tcp::TcpConnection>> cross_tcp;
+  std::unique_ptr<sim::TrafficAggregate> cross_udp;
+  std::unique_ptr<sim::RttProber> pinger;
+
+  static constexpr Duration kForwardProp = Duration::milliseconds(100);
+  static constexpr Duration kReverseDelay = Duration::milliseconds(100);
+
+  explicit BtcTestbed(std::uint64_t seed, Duration ping_period) {
+    const Rate capacity = Rate::mbps(kCapacityMbps);
+    path = std::make_unique<sim::Path>(
+        sim, std::vector<sim::HopSpec>{
+                 {capacity, kForwardProp,
+                  capacity.bytes_in(Duration::milliseconds(180))}});
+
+    // Window-limited cross TCP: ~0.7 Mb/s each at the 200 ms base RTT.
+    // TCP dominates the background mix, as on the paper's path, so that a
+    // BTC connection has bandwidth to steal via RTT inflation and losses.
+    tcp::TcpConfig limited;
+    limited.advertised_window = 12.0;
+    for (int i = 0; i < 5; ++i) {
+      cross_tcp.push_back(
+          std::make_unique<tcp::TcpConnection>(sim, *path, limited, kReverseDelay));
+      cross_tcp.back()->sender().start();
+    }
+    // Light non-congestion-controlled background (~0.7 Mb/s).
+    Rng rng{seed};
+    cross_udp = std::make_unique<sim::TrafficAggregate>(
+        sim, path->link(0), Rate::mbps(0.7), 5, sim::Interarrival::kPareto,
+        sim::PacketSizeMix::paper_mix(), rng.fork());
+    cross_udp->start();
+
+    pinger = std::make_unique<sim::RttProber>(sim, *path, ping_period, kReverseDelay);
+    pinger->start();
+
+    sim.run_for(Duration::seconds(5));  // settle TCP + queues
+  }
+
+  /// Aggregate bytes ACKed by the cross TCP flows so far.
+  DataSize cross_tcp_bytes() const {
+    DataSize total{};
+    for (const auto& c : cross_tcp) total += c->sender().bytes_acked();
+    return total;
+  }
+
+  /// Ping RTT samples whose send time falls in [from, to).
+  std::vector<double> rtt_samples_in(TimePoint from, TimePoint to) const {
+    std::vector<double> out;
+    for (const auto& s : pinger->samples()) {
+      if (s.sent >= from && s.sent < to) out.push_back(s.rtt.secs());
+    }
+    return out;
+  }
+};
+
+/// Interval length for the 5x5-minute timeline (PATHLOAD_QUICK shortens it).
+inline Duration interval_length() {
+  if (const char* quick = std::getenv("PATHLOAD_QUICK"); quick && quick[0] == '1') {
+    return Duration::seconds(60);
+  }
+  return Duration::seconds(300);
+}
+
+}  // namespace pathload::bench

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pathload::bench {
+
+/// Repetition count for multi-run experiment points.
+///
+/// The paper uses 50 runs per point (Figs. 5-7) and 110 runs (Figs. 11-14);
+/// the default here is scaled down so the whole bench suite finishes in
+/// minutes on one core. Set PATHLOAD_RUNS to reproduce at full fidelity,
+/// or PATHLOAD_QUICK=1 for a fast smoke pass.
+inline int runs(int default_runs) {
+  if (const char* env = std::getenv("PATHLOAD_RUNS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  if (const char* quick = std::getenv("PATHLOAD_QUICK"); quick && quick[0] == '1') {
+    return std::max(2, default_runs / 5);
+  }
+  return default_runs;
+}
+
+/// Base RNG seed for the experiment (PATHLOAD_SEED to vary).
+inline std::uint64_t seed() {
+  if (const char* env = std::getenv("PATHLOAD_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20020800;  // SIGCOMM 2002 ;-)
+}
+
+/// Uniform banner so bench outputs are self-describing in bench_output.txt.
+inline void banner(const char* figure, const char* description) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("=============================================================\n");
+}
+
+/// Footnote with the paper's qualitative claim this bench checks.
+inline void expectation(const char* text) { std::printf("\npaper: %s\n\n", text); }
+
+}  // namespace pathload::bench

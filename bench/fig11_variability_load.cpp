@@ -1,0 +1,68 @@
+// Figure 11: variability of the avail-bw vs tight-link load.
+//
+// One path (Ct = 12.4 Mb/s, the paper's Univ-Crete-like access link),
+// three utilization ranges: 20-30%, 40-50%, 75-85%. For each we run many
+// pathload measurements and plot the {5,15,...,95} percentiles of the
+// relative variation rho = (high - low) / center (Eq. 12).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "scenario/experiment.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace pathload;
+
+int main() {
+  bench::banner("Fig. 11", "CDF of relative variation rho vs tight-link load");
+  const int runs = bench::runs(40);
+  std::printf("(runs per load range: %d; paper used 110)\n\n", runs);
+
+  const struct {
+    const char* label;
+    double lo, hi;
+  } loads[] = {{"u=20-30%", 0.20, 0.30}, {"u=40-50%", 0.40, 0.50},
+               {"u=75-85%", 0.75, 0.85}};
+
+  Table table{{"percentile", "rho(u=20-30%)", "rho(u=40-50%)", "rho(u=75-85%)"}};
+  std::vector<std::vector<double>> rho_columns;
+
+  for (const auto& load : loads) {
+    Rng rng{bench::seed() + static_cast<std::uint64_t>(load.lo * 1000)};
+    std::vector<double> rhos;
+    for (int i = 0; i < runs; ++i) {
+      scenario::PaperPathConfig path;
+      path.hops = 1;
+      path.tight_capacity = Rate::mbps(12.4);
+      path.tight_utilization = rng.uniform(load.lo, load.hi);
+      path.model = sim::Interarrival::kPareto;
+      path.sources_per_link = 10;
+      path.warmup = Duration::seconds(1);
+      path.seed = rng.engine()();
+
+      core::PathloadConfig tool;  // omega = 1, chi = 1.5 Mb/s (Section VI)
+      const auto result = scenario::run_pathload_once(path, tool, path.seed);
+      rhos.push_back(result.range.relative_variation());
+    }
+    rho_columns.push_back(std::move(rhos));
+  }
+
+  for (int p = 5; p <= 95; p += 10) {
+    std::vector<std::string> row{Table::num(p, 0)};
+    for (const auto& col : rho_columns) {
+      row.push_back(Table::num(percentile(col, p / 100.0), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n75th-pct ratio heavy/light: %.1fx\n",
+              percentile(rho_columns[2], 0.75) /
+                  std::max(1e-9, percentile(rho_columns[0], 0.75)));
+  bench::expectation(
+      "rho grows markedly with tight-link utilization: at u=75-85% the 75th "
+      "percentile of rho is several times (paper: ~5x) its value at "
+      "u=20-30%. A lightly loaded path gives more predictable throughput.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 14: effect of the fleet length N on the measured variability.
+//
+// A fleet samples the R-vs-A relation N times over a fleet duration that
+// grows with N: a longer measurement window tracks wider excursions of the
+// avail-bw process, so the grey region — and rho — grow with N; at the
+// same time the run-to-run variation of the width shrinks (steeper CDF).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "scenario/experiment.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace pathload;
+
+int main() {
+  bench::banner("Fig. 14", "CDF of rho vs fleet length N");
+  const int runs = bench::runs(30);
+  std::printf("(runs per N: %d; paper used 110)\n\n", runs);
+
+  Table table{{"percentile", "rho(N=6)", "rho(N=12)", "rho(N=24)"}};
+  std::vector<std::vector<double>> rho_columns;
+  std::vector<double> spreads;
+
+  for (int n : {6, 12, 24}) {
+    Rng rng{bench::seed() + static_cast<std::uint64_t>(n)};
+    std::vector<double> rhos;
+    for (int i = 0; i < runs; ++i) {
+      scenario::PaperPathConfig path;
+      path.hops = 1;
+      path.tight_capacity = Rate::mbps(10);
+      path.tight_utilization = 0.55;
+      path.model = sim::Interarrival::kPareto;
+      path.warmup = Duration::seconds(1);
+      path.seed = rng.engine()();
+
+      core::PathloadConfig tool;
+      tool.streams_per_fleet = n;
+      const auto result = scenario::run_pathload_once(path, tool, path.seed);
+      rhos.push_back(result.range.relative_variation());
+    }
+    spreads.push_back(percentile(rhos, 0.95) - percentile(rhos, 0.05));
+    rho_columns.push_back(std::move(rhos));
+  }
+
+  for (int p = 5; p <= 95; p += 10) {
+    std::vector<std::string> row{Table::num(p, 0)};
+    for (const auto& col : rho_columns) {
+      row.push_back(Table::num(percentile(col, p / 100.0), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nmedian rho: N=6: %.2f  N=12: %.2f  N=24: %.2f\n",
+              percentile(rho_columns[0], 0.5), percentile(rho_columns[1], 0.5),
+              percentile(rho_columns[2], 0.5));
+  std::printf("CDF spread (p95-p5): N=6: %.2f  N=12: %.2f  N=24: %.2f\n", spreads[0],
+              spreads[1], spreads[2]);
+  bench::expectation(
+      "as the fleet duration grows (larger N), the measured variability "
+      "increases while the variation across runs decreases (steeper CDF).");
+  return 0;
+}

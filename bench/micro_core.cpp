@@ -1,0 +1,117 @@
+// Hot-path microbenchmarks (google-benchmark): the simulator's event loop
+// and the SLoPS analysis pipeline. These bound how much real time a
+// simulated experiment costs and how much CPU the live receiver spends per
+// stream.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/stream.hpp"
+#include "core/trend.hpp"
+#include "fluid/fluid_model.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+using namespace pathload;
+
+namespace {
+
+void BM_EventScheduleRun(benchmark::State& state) {
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_in(Duration::microseconds(i), [&sink] { ++sink; });
+    }
+    sim.run_all();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleRun);
+
+void BM_LinkForwarding(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Link link{sim, "l", Rate::mbps(1000), Duration::zero(),
+                 DataSize::bytes(10'000'000)};
+  sim::Packet p;
+  p.size_bytes = 500;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) link.handle(p);
+    sim.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkForwarding);
+
+void BM_CrossTrafficSecond(benchmark::State& state) {
+  // Cost of one simulated second of 10-source Pareto cross traffic at
+  // 6 Mb/s (the Fig. 5 operating point).
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Link link{sim, "l", Rate::mbps(10), Duration::zero(),
+                   DataSize::bytes(1'000'000)};
+    sim::TrafficAggregate agg{sim,  link, Rate::mbps(6), 10,
+                              sim::Interarrival::kPareto,
+                              sim::PacketSizeMix::paper_mix(), Rng{1}};
+    agg.start();
+    sim.run_for(Duration::seconds(1));
+    benchmark::DoNotOptimize(link.bytes_forwarded());
+  }
+}
+BENCHMARK(BM_CrossTrafficSecond);
+
+std::vector<double> synthetic_owds(int k) {
+  Rng rng{7};
+  std::vector<double> owds(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    owds[static_cast<std::size_t>(i)] = 0.01 * i + rng.uniform(-1.0, 1.0);
+  }
+  return owds;
+}
+
+void BM_MedianGroups(benchmark::State& state) {
+  const auto owds = synthetic_owds(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::median_groups(owds));
+  }
+}
+BENCHMARK(BM_MedianGroups)->Arg(100)->Arg(1000);
+
+void BM_TrendAnalysis(benchmark::State& state) {
+  const auto owds = synthetic_owds(static_cast<int>(state.range(0)));
+  const core::TrendConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_trend(owds, cfg));
+  }
+}
+BENCHMARK(BM_TrendAnalysis)->Arg(100)->Arg(1000);
+
+void BM_MakeStreamSpec(benchmark::State& state) {
+  const core::PathloadConfig cfg;
+  double r = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_stream_spec(Rate::mbps(r), cfg));
+    r = r < 100.0 ? r + 1.3 : 1.0;
+  }
+}
+BENCHMARK(BM_MakeStreamSpec);
+
+void BM_FluidOwdSeries(benchmark::State& state) {
+  const fluid::FluidPath path{{
+      {Rate::mbps(20), Rate::mbps(12)},
+      {Rate::mbps(10), Rate::mbps(6)},
+      {Rate::mbps(20), Rate::mbps(12)},
+  }};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path.owd_series(Rate::mbps(6), DataSize::bytes(800), 100));
+  }
+}
+BENCHMARK(BM_FluidOwdSeries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

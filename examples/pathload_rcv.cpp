@@ -1,0 +1,47 @@
+// pathload_rcv — the receiver end of the live measurement tool, mirroring
+// the original pathload distribution's pathload_rcv binary.
+//
+//   $ ./build/examples/pathload_rcv [--host 0.0.0.0] [--sessions N]
+//
+// Prints the control port to connect pathload_snd to, then serves
+// measurement sessions (one sender at a time).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/live_receiver.hpp"
+
+using namespace pathload;
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int sessions = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--host H] [--sessions N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    net::LiveReceiver receiver{host};
+    std::printf("pathload_rcv: listening on %s, control port %u (probe port %u)\n",
+                host.c_str(), receiver.control_port(), receiver.probe_port());
+    std::fflush(stdout);
+    for (int s = 0; s < sessions || sessions <= 0; ++s) {
+      const int streams = receiver.serve_one_session(Duration::seconds(3600));
+      std::printf("pathload_rcv: session ended after %d streams\n", streams);
+      std::fflush(stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pathload_rcv: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

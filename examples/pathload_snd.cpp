@@ -1,0 +1,101 @@
+// pathload_snd — the sender/driver end of the live measurement tool,
+// mirroring the original pathload distribution's pathload_snd binary.
+//
+//   $ ./build/examples/pathload_snd --port P [--host 127.0.0.1]
+//                                   [--omega MBPS] [--chi MBPS]
+//                                   [--packets K] [--streams N]
+//
+// Connects to a running pathload_rcv, runs one SLoPS measurement, and
+// prints the estimated avail-bw range plus a per-fleet trace.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/session.hpp"
+#include "net/live_channel.hpp"
+
+using namespace pathload;
+
+namespace {
+
+const char* verdict_str(core::FleetVerdict v) {
+  switch (v) {
+    case core::FleetVerdict::kAbove:
+      return "R > A";
+    case core::FleetVerdict::kBelow:
+      return "R < A";
+    case core::FleetVerdict::kGrey:
+      return "grey ";
+    case core::FleetVerdict::kAbortedLoss:
+      return "loss!";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  core::PathloadConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = next("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::atoi(next("--port"));
+    } else if (std::strcmp(argv[i], "--omega") == 0) {
+      cfg.omega = Rate::mbps(std::atof(next("--omega")));
+    } else if (std::strcmp(argv[i], "--chi") == 0) {
+      cfg.chi = Rate::mbps(std::atof(next("--chi")));
+    } else if (std::strcmp(argv[i], "--packets") == 0) {
+      cfg.packets_per_stream = std::atoi(next("--packets"));
+    } else if (std::strcmp(argv[i], "--streams") == 0) {
+      cfg.streams_per_fleet = std::atoi(next("--streams"));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --port P [--host H] [--omega MBPS] [--chi MBPS] "
+                   "[--packets K] [--streams N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "a valid --port (from pathload_rcv) is required\n");
+    return 2;
+  }
+
+  try {
+    net::LiveProbeChannel channel{{host, static_cast<std::uint16_t>(port)}};
+    std::printf("pathload_snd: connected to %s:%d (control RTT ~ %s)\n", host.c_str(),
+                port, channel.rtt().str().c_str());
+    core::PathloadSession session{channel, cfg};
+    const auto result = session.run();
+
+    std::printf("\nfleet trace:\n");
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+      const auto& fleet = result.trace[i];
+      std::printf("  fleet %2zu: R = %9s  -> %s  (I:%d N:%d discard:%d)\n", i + 1,
+                  fleet.rate.str().c_str(), verdict_str(fleet.verdict),
+                  fleet.counts.type_i, fleet.counts.type_n, fleet.counts.discarded);
+    }
+    std::printf("\navail-bw range: [%s, %s]%s\n", result.range.low.str().c_str(),
+                result.range.high.str().c_str(),
+                result.converged ? "" : "  (fleet cap reached)");
+    std::printf("elapsed %.1f s, %lld streams, %s of probe traffic\n",
+                result.elapsed.secs(), static_cast<long long>(result.streams_sent),
+                result.bytes_sent.str().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pathload_snd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Using an avail-bw estimate to seed TCP's ssthresh — the use case Allman
+// & Paxson raised (paper Section II) and one of Section IX's motivating
+// applications ("tuning TCP's ssthresh parameter").
+//
+//   $ ./build/examples/tcp_ssthresh_tuning
+//
+// Slow start doubles cwnd until ssthresh; with the default (essentially
+// unbounded) ssthresh the sender overshoots the path's bandwidth-delay
+// product, dumps a window of losses into the queue, and pays for it in
+// recovery. Seeding ssthresh = A * RTT / MSS from a pathload measurement
+// lets the connection glide into congestion avoidance at the right rate.
+
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "scenario/paper_path.hpp"
+#include "scenario/sim_channel.hpp"
+#include "tcp/reno.hpp"
+#include "util/table.hpp"
+
+using namespace pathload;
+
+namespace {
+
+struct TransferStats {
+  double early_throughput_mbps;  ///< goodput over the first 10 s
+  std::uint64_t fast_retransmits;
+  std::uint64_t timeouts;
+};
+
+TransferStats run_transfer(double ssthresh_segments, std::uint64_t seed) {
+  scenario::PaperPathConfig network;
+  network.hops = 1;
+  network.tight_capacity = Rate::mbps(10);
+  network.tight_utilization = 0.4;  // A = 6 Mb/s
+  network.buffer_drain = Duration::milliseconds(60);
+  network.model = sim::Interarrival::kPareto;
+  network.seed = seed;
+  scenario::Testbed bed{network};
+  bed.start();
+
+  tcp::TcpConfig cfg;
+  cfg.initial_ssthresh = ssthresh_segments;
+  tcp::TcpConnection conn{bed.simulator(), bed.path(), cfg,
+                          Duration::milliseconds(50)};
+  conn.sender().start();
+  bed.simulator().run_for(Duration::seconds(10));
+  conn.sender().stop();
+
+  TransferStats stats;
+  stats.early_throughput_mbps =
+      rate_of(conn.sender().bytes_acked(), Duration::seconds(10)).mbits_per_sec();
+  stats.fast_retransmits = conn.sender().fast_retransmits();
+  stats.timeouts = conn.sender().timeouts();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  // Step 1: measure the path with pathload (non-intrusively).
+  scenario::PaperPathConfig network;
+  network.hops = 1;
+  network.tight_capacity = Rate::mbps(10);
+  network.tight_utilization = 0.4;
+  network.model = sim::Interarrival::kPareto;
+  scenario::Testbed bed{network};
+  bed.start();
+  scenario::SimProbeChannel channel{bed.simulator(), bed.path()};
+  core::PathloadSession session{channel, core::PathloadConfig{}};
+  const auto estimate = session.run();
+  std::printf("pathload: avail-bw in [%.2f, %.2f] Mb/s (true A = 6.0)\n",
+              estimate.range.low.mbits_per_sec(), estimate.range.high.mbits_per_sec());
+
+  // Step 2: derive ssthresh = A * RTT / MSS from the (conservative) center.
+  const double rtt_secs = 0.100;  // base path RTT
+  const double mss_bits = 1460 * 8.0;
+  const double tuned_ssthresh =
+      estimate.range.center().bits_per_sec() * rtt_secs / mss_bits;
+  std::printf("tuned ssthresh: %.1f segments (A * RTT / MSS)\n\n", tuned_ssthresh);
+
+  // Step 3: compare transfers (averaged over a few seeds).
+  Table table{{"ssthresh", "early_goodput_Mbps", "fast_rtx", "timeouts"}};
+  for (const bool tuned : {false, true}) {
+    double tput = 0;
+    std::uint64_t frtx = 0;
+    std::uint64_t tmo = 0;
+    const int trials = 5;
+    for (int i = 0; i < trials; ++i) {
+      // An untuned modern stack slow-starts until the first loss
+      const auto stats = run_transfer(tuned ? tuned_ssthresh : 1e9, 100 + i);
+      tput += stats.early_throughput_mbps;
+      frtx += stats.fast_retransmits;
+      tmo += stats.timeouts;
+    }
+    table.add_row({tuned ? Table::num(tuned_ssthresh, 1) + " (tuned)" : "unbounded (default)",
+                   Table::num(tput / trials, 2),
+                   Table::num(static_cast<double>(frtx) / trials, 1),
+                   Table::num(static_cast<double>(tmo) / trials, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nWith an unbounded ssthresh, slow start overshoots the path's BDP and\n"
+      "dumps a large part of its window into the drop-tail queue; recovering\n"
+      "that burst (one hole per RTT) costs seconds of early goodput. The\n"
+      "measurement-seeded connection enters congestion avoidance at the right\n"
+      "rate instead — the improvement Allman & Paxson anticipated.\n");
+  return 0;
+}

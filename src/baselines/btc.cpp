@@ -1,0 +1,36 @@
+#include "baselines/btc.hpp"
+
+namespace pathload::baselines {
+
+BtcMeasurement::Result BtcMeasurement::run(sim::Simulator& sim,
+                                           sim::Path& path) const {
+  tcp::TcpConnection conn{sim, path, cfg_.tcp, cfg_.reverse_delay};
+
+  // Interpose a throughput monitor between the path egress and the
+  // receiver so the per-bucket series reflects arrivals at the receiver.
+  sim::ThroughputMonitor monitor{sim, cfg_.throughput_bucket};
+  monitor.set_downstream(&conn.receiver());
+  path.egress().register_flow(conn.flow(), &monitor);
+
+  const DataSize acked_before = conn.sender().bytes_acked();
+  conn.sender().start();
+  sim.run_for(cfg_.duration);
+  conn.sender().stop();
+
+  Result result;
+  result.average_throughput =
+      rate_of(conn.sender().bytes_acked() - acked_before, cfg_.duration);
+  for (const auto& bucket : monitor.finish()) {
+    result.per_bucket.push_back(bucket.rate());
+  }
+  result.fast_retransmits = conn.sender().fast_retransmits();
+  result.timeouts = conn.sender().timeouts();
+  for (double s : conn.sender().rtt_samples_secs()) result.rtt_secs.add(s);
+
+  // Restore the receiver as the direct egress handler before the monitor
+  // goes out of scope (the connection is destroyed right after anyway).
+  path.egress().register_flow(conn.flow(), &conn.receiver());
+  return result;
+}
+
+}  // namespace pathload::baselines

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "sim/monitor.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/reno.hpp"
+#include "util/stats.hpp"
+
+namespace pathload::baselines {
+
+/// Bulk-transfer-capacity measurement (Section VII / RFC 3148): run one
+/// greedy TCP connection for a fixed interval and report its throughput —
+/// the "TCP as an avail-bw estimator" approach the paper evaluates (and
+/// shows to be intrusive).
+struct BtcConfig {
+  Duration duration{Duration::seconds(300)};  ///< the paper's 5-min intervals
+  Duration reverse_delay{Duration::milliseconds(100)};
+  Duration throughput_bucket{Duration::seconds(1)};
+  tcp::TcpConfig tcp{};  ///< default: unbounded advertised window (BTC)
+};
+
+class BtcMeasurement {
+ public:
+
+  struct Result {
+    Rate average_throughput{};
+    /// 1-second throughput samples (the high-variability series of Fig. 15).
+    std::vector<Rate> per_bucket;
+    std::uint64_t fast_retransmits{0};
+    std::uint64_t timeouts{0};
+    OnlineStats rtt_secs;  ///< the connection's own RTT samples
+  };
+
+  explicit BtcMeasurement(BtcConfig cfg = BtcConfig()) : cfg_{cfg} {}
+
+  /// Runs the transfer on the given simulated path, advancing the
+  /// simulator by cfg.duration.
+  Result run(sim::Simulator& sim, sim::Path& path) const;
+
+ private:
+  BtcConfig cfg_;
+};
+
+}  // namespace pathload::baselines

@@ -1,0 +1,51 @@
+#include "baselines/delphi.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace pathload::baselines {
+
+DelphiEstimator::Estimate DelphiEstimator::measure(core::ProbeChannel& channel) const {
+  OnlineStats lambda_bps;
+  std::uint32_t next_id = 0xde1f0000u;
+
+  for (int p = 0; p < cfg_.pairs; ++p) {
+    core::StreamSpec spec;
+    spec.stream_id = ++next_id;
+    spec.packet_count = 2;
+    spec.packet_size = cfg_.packet_size;
+    spec.period = cfg_.pair_spacing;
+    const auto outcome = channel.run_stream(spec);
+    channel.idle(cfg_.inter_pair_gap);
+    if (outcome.records.size() != 2) continue;
+
+    const double delta_in = spec.period.secs();
+    const double delta_out =
+        (outcome.records[1].received - outcome.records[0].received).secs();
+    if (delta_out <= 0.0) continue;
+    // The identity only holds when the queue stayed busy: that requires
+    // the output spacing to be at least the second packet's service time.
+    const double service =
+        cfg_.capacity.transmission_time(DataSize::bytes(spec.packet_size)).secs();
+    if (delta_out < service) continue;
+
+    const double lambda =
+        (cfg_.capacity.bits_per_sec() * delta_out - spec.packet_size * 8.0) /
+        delta_in;
+    // Negative samples mean the queue drained (spacing compressed below
+    // the busy-queue prediction); clamp to zero like the original does.
+    lambda_bps.add(std::max(0.0, lambda));
+  }
+
+  Estimate est;
+  est.usable_pairs = static_cast<int>(lambda_bps.count());
+  if (est.usable_pairs == 0) return est;
+  est.cross_traffic = Rate::bps(lambda_bps.mean());
+  est.avail_bw = cfg_.capacity - est.cross_traffic;
+  est.valid = est.avail_bw >= Rate::zero();
+  if (!est.valid) est.avail_bw = Rate::zero();
+  return est;
+}
+
+}  // namespace pathload::baselines

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "core/channel.hpp"
+#include "util/units.hpp"
+
+namespace pathload::baselines {
+
+struct DelphiConfig {
+  /// Capacity of the (assumed single) queue. Delphi needs it a priori;
+  /// in practice it comes from a packet-pair/pathrate measurement.
+  Rate capacity{Rate::mbps(10)};
+  int pairs{100};
+  int packet_size{1000};
+  /// Input spacing of each pair; small enough that the queue is unlikely
+  /// to drain between the two probes (Delphi's key assumption).
+  Duration pair_spacing{Duration::milliseconds(2)};
+  Duration inter_pair_gap{Duration::milliseconds(25)};
+};
+
+/// Delphi-style cross-traffic estimator (Ribeiro et al., 2000), simplified
+/// to its core sampling identity.
+///
+/// Model the path as ONE queue of known capacity C. If the queue stays
+/// busy between the two packets of a probe pair, the output spacing
+/// expands to serve exactly the cross traffic that arrived in between:
+///     C * delta_out = L + lambda * delta_in
+/// so each pair yields a cross-traffic sample
+///     lambda = (C * delta_out - L) / delta_in,  and  A = C - E[lambda].
+///
+/// The paper's critique (Section II): this single-queue model breaks when
+/// the tight and narrow links differ — queueing anywhere in the path is
+/// attributed to the modelled queue. A second structural weakness of pair
+/// methods shows up here too: pairs whose spacing was NOT expanded (queue
+/// drained) contribute lambda = C - L/delta_in, anchoring the estimate to
+/// the probe's own rate. `baselines_table` and the unit tests demonstrate
+/// both the working case and the failure modes.
+class DelphiEstimator {
+ public:
+  explicit DelphiEstimator(DelphiConfig cfg = DelphiConfig()) : cfg_{cfg} {}
+
+  struct Estimate {
+    Rate cross_traffic{};
+    Rate avail_bw{};
+    int usable_pairs{0};
+    bool valid{false};
+  };
+
+  Estimate measure(core::ProbeChannel& channel) const;
+
+ private:
+  DelphiConfig cfg_;
+};
+
+}  // namespace pathload::baselines

@@ -1,0 +1,59 @@
+#include "baselines/dispersion.hpp"
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pathload::baselines {
+
+Rate CprobeEstimator::train_dispersion_rate(const core::StreamOutcome& outcome,
+                                            int packet_size) {
+  if (outcome.records.size() < 2) return Rate::zero();
+  const Duration spread =
+      outcome.records.back().received - outcome.records.front().received;
+  if (spread <= Duration::zero()) return Rate::zero();
+  const double bits =
+      static_cast<double>(outcome.records.size() - 1) * packet_size * 8.0;
+  return Rate::bps(bits / spread.secs());
+}
+
+Rate CprobeEstimator::measure(core::ProbeChannel& channel) const {
+  OnlineStats rates;
+  for (int t = 0; t < cfg_.trains; ++t) {
+    core::StreamSpec spec;
+    spec.stream_id = 0x0c0b0000u + static_cast<std::uint32_t>(t);
+    spec.packet_count = cfg_.train_length;
+    spec.packet_size = cfg_.packet_size;
+    spec.period = cfg_.period;
+    const auto outcome = channel.run_stream(spec);
+    const Rate r = train_dispersion_rate(outcome, cfg_.packet_size);
+    if (r > Rate::zero()) rates.add(r.bits_per_sec());
+    channel.idle(cfg_.inter_train_gap);
+  }
+  return Rate::bps(rates.mean());
+}
+
+Rate PacketPairEstimator::measure(core::ProbeChannel& channel) const {
+  std::vector<double> gaps;
+  gaps.reserve(static_cast<std::size_t>(cfg_.pairs));
+  for (int p = 0; p < cfg_.pairs; ++p) {
+    core::StreamSpec spec;
+    spec.stream_id = 0x0bb00000u + static_cast<std::uint32_t>(p);
+    spec.packet_count = 2;
+    spec.packet_size = cfg_.packet_size;
+    // Back-to-back means "as fast as the sender can": a period far below
+    // any link's serialization time, so the pair queues at the first hop.
+    spec.period = Duration::microseconds(1);
+    const auto outcome = channel.run_stream(spec);
+    if (outcome.records.size() == 2) {
+      const Duration gap = outcome.records[1].received - outcome.records[0].received;
+      if (gap > Duration::zero()) gaps.push_back(gap.secs());
+    }
+    channel.idle(cfg_.inter_pair_gap);
+  }
+  if (gaps.empty()) return Rate::zero();
+  const double typical_gap = median(gaps);
+  return Rate::bps(cfg_.packet_size * 8.0 / typical_gap);
+}
+
+}  // namespace pathload::baselines

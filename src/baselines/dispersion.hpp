@@ -1,0 +1,61 @@
+#pragma once
+
+#include "core/channel.hpp"
+#include "util/units.hpp"
+
+namespace pathload::baselines {
+
+/// Packet-train dispersion ("cprobe"-style) avail-bw estimator.
+///
+/// cprobe [Carter & Crovella 1996] assumed the dispersion of long packet
+/// trains is inversely proportional to the avail-bw. The paper (and
+/// Dovrolis et al., INFOCOM 2001) showed that what it actually measures is
+/// the *asymptotic dispersion rate* (ADR), a quantity between the avail-bw
+/// and the capacity. We implement it faithfully — as a baseline whose bias
+/// the `baselines_table` bench quantifies against SLoPS.
+struct CprobeConfig {
+  int trains{4};            ///< cprobe averaged a handful of trains
+  int train_length{100};    ///< packets per train
+  int packet_size{1500};    ///< bytes; trains go out back-to-back
+  Duration period{Duration::microseconds(100)};  ///< tool's max send rate
+  Duration inter_train_gap{Duration::milliseconds(100)};
+};
+
+class CprobeEstimator {
+ public:
+
+  explicit CprobeEstimator(CprobeConfig cfg = CprobeConfig()) : cfg_{cfg} {}
+
+  /// Average dispersion rate over the configured number of trains.
+  Rate measure(core::ProbeChannel& channel) const;
+
+  /// Dispersion rate of a single received train: (n-1)*L*8 / spread.
+  static Rate train_dispersion_rate(const core::StreamOutcome& outcome,
+                                    int packet_size);
+
+ private:
+  CprobeConfig cfg_;
+};
+
+/// Packet-pair capacity estimator (pathrate-lite): back-to-back pairs whose
+/// receiver spacing, after the narrow link, equals L/C_narrow. The median
+/// over many pairs filters cross-traffic expansion/compression noise.
+struct PacketPairConfig {
+  int pairs{60};
+  int packet_size{1500};
+  Duration inter_pair_gap{Duration::milliseconds(20)};
+};
+
+class PacketPairEstimator {
+ public:
+
+  explicit PacketPairEstimator(PacketPairConfig cfg = PacketPairConfig()) : cfg_{cfg} {}
+
+  /// Median-of-pairs capacity estimate.
+  Rate measure(core::ProbeChannel& channel) const;
+
+ private:
+  PacketPairConfig cfg_;
+};
+
+}  // namespace pathload::baselines

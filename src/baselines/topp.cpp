@@ -1,0 +1,61 @@
+#include "baselines/topp.hpp"
+
+#include <vector>
+
+#include "core/stream.hpp"
+#include "util/stats.hpp"
+
+namespace pathload::baselines {
+
+ToppEstimator::Estimate ToppEstimator::measure(core::ProbeChannel& channel) const {
+  Estimate est;
+  std::uint32_t next_id = 0x10bb0000u;
+
+  core::PathloadConfig spec_rules;  // reuse the tool's L/T constraints
+  spec_rules.packets_per_stream = cfg_.packets_per_train;
+
+  for (Rate offered = cfg_.min_rate; offered <= cfg_.max_rate;
+       offered = offered + cfg_.step) {
+    const auto spec_base = core::make_stream_spec(offered, spec_rules);
+    OnlineStats measured_bps;
+    for (int t = 0; t < cfg_.trains_per_rate; ++t) {
+      auto spec = spec_base;
+      spec.stream_id = ++next_id;
+      const auto outcome = channel.run_stream(spec);
+      channel.idle(cfg_.inter_train_gap);
+      if (outcome.records.size() < 2) continue;
+      const Duration spread =
+          outcome.records.back().received - outcome.records.front().received;
+      if (spread <= Duration::zero()) continue;
+      const double bits =
+          static_cast<double>(outcome.records.size() - 1) * spec.packet_size * 8.0;
+      measured_bps.add(bits / spread.secs());
+    }
+    if (measured_bps.count() == 0) continue;
+    est.sweep.emplace_back(spec_base.rate(), Rate::bps(measured_bps.mean()));
+  }
+
+  // Collect the overloaded segment: offered rates where Ro/Rm clearly
+  // exceeds 1 (receive rate lags the offered rate).
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& [ro, rm] : est.sweep) {
+    if (rm <= Rate::zero()) continue;
+    const double ratio = ro / rm;
+    if (ratio > cfg_.overload_threshold) {
+      xs.push_back(ro.bits_per_sec());
+      ys.push_back(ratio);
+    }
+  }
+  if (xs.size() < 3) return est;  // never pushed the path past A
+
+  const LinearFit fit = linear_fit(xs, ys);
+  if (fit.slope <= 0.0) return est;
+  est.capacity = Rate::bps(1.0 / fit.slope);
+  // intercept = u (utilization); A = C * (1 - u).
+  est.avail_bw = est.capacity * (1.0 - fit.intercept);
+  est.valid = est.avail_bw > Rate::zero() && est.avail_bw <= est.capacity;
+  return est;
+}
+
+}  // namespace pathload::baselines

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "core/channel.hpp"
+#include "util/units.hpp"
+
+namespace pathload::baselines {
+
+/// TOPP (Trains of Packet Pairs; Melander et al., Globecom 2000): the other
+/// rate-vs-avail-bw baseline the paper relates SLoPS to.
+///
+/// TOPP offers short probe trains at a sweep of rates Ro and measures the
+/// received rate Rm. For a single congested (fluid) link:
+///     Ro > A  =>  Ro/Rm = Ro/C + u,
+/// so on the overloaded segment Ro/Rm is linear in Ro with slope 1/C and
+/// intercept u — giving both the tight link's capacity C and its avail-bw
+/// A = C(1 - u). Below A, Ro/Rm ~ 1.
+struct ToppConfig {
+  Rate min_rate{Rate::mbps(1)};
+  Rate max_rate{Rate::mbps(20)};
+  Rate step{Rate::mbps(1)};
+  int packets_per_train{20};
+  /// Dispersion of a short train is noisy under bursty cross traffic;
+  /// TOPP sends several probes per offered rate and averages.
+  int trains_per_rate{4};
+  Duration inter_train_gap{Duration::milliseconds(50)};
+  /// Ro/Rm above this counts as "overloaded". Finite trains see a small
+  /// dispersion expansion even below A (the queue shifts to the new steady
+  /// state while the train loads it), and near the knee the Ro/Rm curve is
+  /// not linear yet; the threshold keeps the regression on the clearly
+  /// linear segment.
+  double overload_threshold{1.12};
+};
+
+class ToppEstimator {
+ public:
+
+  struct Estimate {
+    Rate avail_bw{};
+    Rate capacity{};
+    bool valid{false};
+    /// The raw sweep, for plotting/diagnostics: (offered, measured) pairs.
+    std::vector<std::pair<Rate, Rate>> sweep;
+  };
+
+  explicit ToppEstimator(ToppConfig cfg = ToppConfig()) : cfg_{cfg} {}
+
+  Estimate measure(core::ProbeChannel& channel) const;
+
+ private:
+  ToppConfig cfg_;
+};
+
+}  // namespace pathload::baselines

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "core/stream.hpp"
+#include "util/time.hpp"
+
+namespace pathload::core {
+
+/// The backend a pathload session measures through.
+///
+/// Two implementations exist:
+///  * `scenario::SimProbeChannel` — sends streams through the discrete-event
+///    simulator (the NS-experiments substrate of Section V-A);
+///  * `net::LiveProbeChannel` — sends real UDP streams paced with the
+///    monotonic clock, coordinated over a TCP control connection
+///    (the real tool of Sections V-B through VIII).
+///
+/// `run_stream` has blocking semantics: it returns once the stream's
+/// packets have arrived at the receiver (or were given up on). The session
+/// is deliberately synchronous — pathload itself never pipelines streams
+/// ("each stream is sent only when the previous stream has been
+/// acknowledged, to avoid a backlog of streams in the path").
+class ProbeChannel {
+ public:
+  virtual ~ProbeChannel() = default;
+
+  /// Transmit one periodic stream and collect what the receiver saw.
+  virtual StreamOutcome run_stream(const StreamSpec& spec) = 0;
+
+  /// Let the path drain for `d` (inter-stream / inter-fleet idle).
+  virtual void idle(Duration d) = 0;
+
+  /// Session clock (for latency accounting). Sim time or monotonic time.
+  virtual TimePoint now() = 0;
+
+  /// Round-trip time estimate of the path; lower-bounds the idle interval.
+  virtual Duration rtt() const = 0;
+};
+
+}  // namespace pathload::core

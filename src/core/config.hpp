@@ -1,0 +1,102 @@
+#pragma once
+
+#include <optional>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pathload::core {
+
+/// How stream OWD trends are detected (Section IV, "Detecting an Increasing
+/// OWD Trend").
+struct TrendConfig {
+  /// PCT declares an increasing trend when the metric exceeds this
+  /// (paper default 0.55; independent OWDs give an expected PCT of 0.5).
+  double pct_threshold{0.55};
+  /// PDT declares an increasing trend when the metric exceeds this
+  /// (paper default 0.40; independent OWDs give an expected PDT of 0).
+  double pdt_threshold{0.40};
+
+  /// In kCombined mode each metric votes three ways: increasing above its
+  /// threshold, non-increasing below (threshold - band), ambiguous in
+  /// between. The band reproduces the released pathload's behavior, where
+  /// a metric sitting near its threshold abstains instead of voting.
+  double pct_ambiguity_band{0.10};
+  double pdt_ambiguity_band{0.10};
+
+  /// Which metrics participate and how.
+  ///  * kCombined (default, the released tool's rule): each metric votes
+  ///    I/N/ambiguous; agreement or one-sided votes decide; a conflict or
+  ///    double abstention discards the stream.
+  ///  * kEither: binary per-metric thresholds, stream is type I if either
+  ///    metric exceeds its threshold (the ToN text's simplified wording).
+  ///  * kPctOnly / kPdtOnly: single-metric binary detection, used by the
+  ///    Fig. 9 sensitivity study and the metric ablation.
+  enum class Mode { kCombined, kEither, kPctOnly, kPdtOnly };
+  Mode mode{Mode::kCombined};
+
+  /// Median-of-groups preprocessing (partition K OWDs into sqrt(K)-sized
+  /// groups, analyze group medians). Disabled only by the robustness
+  /// ablation bench.
+  bool median_filter{true};
+};
+
+/// All pathload tool parameters, with the defaults the paper states.
+struct PathloadConfig {
+  /// K: packets per stream (paper default 100).
+  int packets_per_stream{100};
+  /// N: streams per fleet (paper default 12).
+  int streams_per_fleet{12};
+  /// f: fraction of a fleet's streams that must agree before the fleet is
+  /// declared increasing/non-increasing; in between is the grey region.
+  double fleet_fraction{0.7};
+
+  /// T >= Tmin: minimum packet interspacing the end hosts can sustain.
+  Duration min_period{Duration::microseconds(100)};
+  /// L constraints: L >= 200 B keeps layer-2 header effects negligible;
+  /// L <= MTU avoids fragmentation.
+  int min_packet_size{200};
+  int max_packet_size{1500};
+
+  /// omega: avail-bw estimation resolution.
+  Rate omega{Rate::mbps(1.0)};
+  /// chi: grey-region resolution.
+  Rate chi{Rate::mbps(1.5)};
+
+  TrendConfig trend{};
+
+  /// A stream with more losses than this aborts the whole fleet.
+  double excessive_loss{0.10};
+  /// A stream over this is "moderately lossy"; too many abort the fleet.
+  double moderate_loss{0.03};
+  int max_moderate_lossy_streams{3};
+
+  /// Re-send budget for streams invalidated by send-gap screening.
+  int max_stream_retries_per_fleet{6};
+
+  /// Hard cap on fleets per session (the iterative search normally needs
+  /// ~log2(range/omega) fleets; the cap bounds pathological traffic).
+  int max_fleets{60};
+
+  /// Average probing rate is kept below this fraction of the stream rate R
+  /// by idling between streams (paper: 10%, i.e. idle = 9 stream durations).
+  double average_rate_fraction{0.10};
+
+  /// Lowest rate the tool will probe at.
+  Rate min_rate{Rate::kbps(100)};
+
+  /// When set, skip the initial dispersion probe and start the search with
+  /// this upper bound (used by tests and some benches for determinism).
+  std::optional<Rate> initial_rmax{};
+
+  /// Fraction of send-gap anomalies (context switches etc.) above which a
+  /// stream is discarded rather than analyzed.
+  double max_send_anomaly_fraction{0.05};
+
+  /// Maximum rate the sender can generate: Lmax / Tmin (Section IV).
+  Rate max_rate() const {
+    return Rate::bps(max_packet_size * 8.0 / min_period.secs());
+  }
+};
+
+}  // namespace pathload::core

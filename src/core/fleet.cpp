@@ -1,0 +1,49 @@
+#include "core/fleet.hpp"
+
+#include <cmath>
+
+namespace pathload::core {
+
+FleetCounts count_fleet(const std::vector<StreamReport>& streams,
+                        const PathloadConfig& cfg) {
+  FleetCounts counts;
+  for (const auto& s : streams) {
+    if (s.loss > cfg.moderate_loss) ++counts.lossy;
+    if (!s.valid) continue;
+    ++counts.valid;
+    switch (s.cls) {
+      case StreamClass::kIncreasing:
+        ++counts.type_i;
+        break;
+      case StreamClass::kNonIncreasing:
+        ++counts.type_n;
+        break;
+      case StreamClass::kDiscard:
+        ++counts.discarded;
+        break;
+    }
+  }
+  return counts;
+}
+
+FleetVerdict judge_fleet(const std::vector<StreamReport>& streams,
+                         const PathloadConfig& cfg) {
+  const FleetCounts counts = count_fleet(streams, cfg);
+  for (const auto& s : streams) {
+    if (s.loss > cfg.excessive_loss) return FleetVerdict::kAbortedLoss;
+  }
+  if (counts.lossy > cfg.max_moderate_lossy_streams) {
+    return FleetVerdict::kAbortedLoss;
+  }
+  // Streams must actually vote: with too few usable streams (screening or
+  // metric discards), neither direction can be asserted.
+  if (counts.votes() * 2 < cfg.streams_per_fleet) {
+    return FleetVerdict::kGrey;
+  }
+  const double needed = cfg.fleet_fraction * counts.votes();
+  if (static_cast<double>(counts.type_i) >= needed) return FleetVerdict::kAbove;
+  if (static_cast<double>(counts.type_n) >= needed) return FleetVerdict::kBelow;
+  return FleetVerdict::kGrey;
+}
+
+}  // namespace pathload::core

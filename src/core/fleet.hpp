@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/trend.hpp"
+
+namespace pathload::core {
+
+/// What a whole fleet of N streams at rate R said about R vs the avail-bw
+/// (Section IV, "Fleets of Streams" / "Grey Region").
+enum class FleetVerdict {
+  kAbove,        ///< R > A: at least f*N streams showed an increasing trend
+  kBelow,        ///< R < A: at least f*N streams showed no increasing trend
+  kGrey,         ///< R in the grey region: the avail-bw varied around R
+  kAbortedLoss,  ///< fleet aborted due to losses; treated as R > A
+};
+
+/// Per-stream analysis summary retained for traces and tests.
+struct StreamReport {
+  StreamClass cls{StreamClass::kDiscard};
+  TrendStats stats{};
+  double loss{0.0};
+  bool valid{true};  ///< false: discarded by send-gap screening
+};
+
+/// Aggregate a fleet's stream reports into a verdict.
+///
+/// Loss rules (Section IV): any stream with loss > `excessive_loss` aborts
+/// the fleet; more than `max_moderate_lossy_streams` streams above
+/// `moderate_loss` also abort it. Both cases mean the fleet rate overloads
+/// the path, so the verdict is kAbortedLoss (rate must come down).
+///
+/// Otherwise the fleet is decided by the fraction f over the streams that
+/// actually cast a vote (type I or type N): screened-out and discarded
+/// streams abstain. If fewer than half the fleet voted, nothing reliable
+/// can be said and the verdict is grey.
+FleetVerdict judge_fleet(const std::vector<StreamReport>& streams,
+                         const PathloadConfig& cfg);
+
+/// Counts used by judge_fleet, exposed for traces.
+struct FleetCounts {
+  int type_i{0};
+  int type_n{0};
+  int discarded{0};  ///< valid streams whose metrics conflicted/abstained
+  int valid{0};      ///< streams that passed send-gap screening
+  int lossy{0};      ///< streams above the moderate-loss threshold
+  int votes() const { return type_i + type_n; }
+};
+FleetCounts count_fleet(const std::vector<StreamReport>& streams,
+                        const PathloadConfig& cfg);
+
+}  // namespace pathload::core

@@ -1,0 +1,89 @@
+#include "core/rate_adjuster.hpp"
+
+#include <algorithm>
+
+namespace pathload::core {
+
+RateAdjuster::RateAdjuster(const PathloadConfig& cfg, Rate initial_rmax)
+    : omega_{cfg.omega},
+      chi_{cfg.chi},
+      min_rate_{cfg.min_rate},
+      absolute_max_{cfg.max_rate()},
+      rmin_{Rate::zero()},
+      rmax_{std::clamp(initial_rmax, cfg.min_rate, cfg.max_rate())} {}
+
+Rate RateAdjuster::next_rate() const {
+  if (!grey()) {
+    return std::max(min_rate_, (rmin_ + rmax_) / 2.0);
+  }
+  const Rate low_gap = *gmin_ - rmin_;
+  const Rate high_gap = rmax_ - *gmax_;
+  // Probe the wider unresolved side first; each probe either tightens an
+  // avail-bw bound or widens the known grey region.
+  if (high_gap >= low_gap && high_gap > chi_) {
+    return (*gmax_ + rmax_) / 2.0;
+  }
+  if (low_gap > chi_) {
+    return std::max(min_rate_, (rmin_ + *gmin_) / 2.0);
+  }
+  if (high_gap > chi_) {
+    return (*gmax_ + rmax_) / 2.0;
+  }
+  // Both gaps resolved; converged() is true and this value is unused.
+  return (rmin_ + rmax_) / 2.0;
+}
+
+void RateAdjuster::record(Rate rate, FleetVerdict verdict) {
+  switch (verdict) {
+    case FleetVerdict::kAbove:
+    case FleetVerdict::kAbortedLoss:
+      rmax_ = std::min(rmax_, rate);
+      ceiling_confirmed_ = true;
+      break;
+    case FleetVerdict::kBelow:
+      rmin_ = std::max(rmin_, rate);
+      // The binary search can only converge onto the avail-bw if the true
+      // value lies inside [Rmin, Rmax]. If fleets report "below" all the
+      // way up to a ceiling that no fleet ever confirmed from above, the
+      // initial upper bound was too low (e.g. a dispersion estimate taken
+      // in a momentary load spike): push it up.
+      if (!ceiling_confirmed_ && rmax_ - rmin_ <= omega_ && rmax_ < absolute_max_) {
+        rmax_ = std::min(absolute_max_, rmax_ * 1.5);
+      }
+      break;
+    case FleetVerdict::kGrey:
+      if (!grey()) {
+        gmin_ = gmax_ = rate;
+      } else {
+        gmin_ = std::min(*gmin_, rate);
+        gmax_ = std::max(*gmax_, rate);
+      }
+      break;
+  }
+  clamp_grey();
+}
+
+void RateAdjuster::clamp_grey() {
+  if (!grey()) return;
+  // Keep the grey region consistent with the hard bounds; bursty traffic
+  // can produce verdicts that contradict an earlier grey sample, in which
+  // case the stale part of the grey region is dropped.
+  gmin_ = std::max(*gmin_, rmin_);
+  gmax_ = std::min(*gmax_, rmax_);
+  if (*gmin_ > *gmax_) {
+    gmin_.reset();
+    gmax_.reset();
+  }
+}
+
+bool RateAdjuster::converged() const {
+  if (rmax_ - rmin_ <= omega_) return true;
+  if (grey()) {
+    const bool low_done = (*gmin_ - rmin_) <= chi_;
+    const bool high_done = (rmax_ - *gmax_) <= chi_;
+    return low_done && high_done;
+  }
+  return false;
+}
+
+}  // namespace pathload::core

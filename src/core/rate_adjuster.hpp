@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/fleet.hpp"
+#include "util/units.hpp"
+
+namespace pathload::core {
+
+/// Final output of a pathload run: the range [low, high] in which the
+/// avail-bw process varied during the measurement.
+struct AvailBwRange {
+  Rate low;
+  Rate high;
+
+  Rate center() const { return (low + high) / 2.0; }
+  Rate width() const { return high - low; }
+  /// Relative variation metric rho of Eq. (12): range width over center.
+  double relative_variation() const {
+    const double c = center().bits_per_sec();
+    return c > 0.0 ? width().bits_per_sec() / c : 0.0;
+  }
+  bool contains(Rate r) const { return low <= r && r <= high; }
+};
+
+/// The iterative rate selection of Section IV ("Rate Adjustment
+/// Algorithm"): a binary search over [Rmin, Rmax] extended with grey-region
+/// bounds [Gmin, Gmax].
+///
+/// Fleet verdicts move the bounds:
+///  * kAbove (or a loss abort)  -> Rmax = R
+///  * kBelow                    -> Rmin = R
+///  * kGrey                     -> grow [Gmin, Gmax] to include R
+/// The next fleet rate is halfway across the widest unresolved band:
+/// (Rmin, Gmin) or (Gmax, Rmax) when a grey region exists, (Rmin, Rmax)
+/// otherwise. The search ends when Rmax - Rmin <= omega, or when both
+/// grey gaps are within chi (the grey-region resolution).
+class RateAdjuster {
+ public:
+  RateAdjuster(const PathloadConfig& cfg, Rate initial_rmax);
+
+  /// Rate the next fleet should probe at.
+  Rate next_rate() const;
+
+  /// Fold in a fleet verdict for a fleet that ran at `rate`.
+  void record(Rate rate, FleetVerdict verdict);
+
+  /// True once the bounds satisfy a termination condition.
+  bool converged() const;
+
+  /// The reported avail-bw range [Rmin, Rmax]. When a grey region exists
+  /// the report can exceed its width by at most 2*chi (Section VI).
+  AvailBwRange report() const { return {rmin_, rmax_}; }
+
+  Rate rmin() const { return rmin_; }
+  Rate rmax() const { return rmax_; }
+  std::optional<Rate> gmin() const { return gmin_; }
+  std::optional<Rate> gmax() const { return gmax_; }
+
+ private:
+  bool grey() const { return gmin_.has_value(); }
+  void clamp_grey();
+
+  Rate omega_;
+  Rate chi_;
+  Rate min_rate_;
+  Rate absolute_max_;
+
+  Rate rmin_;
+  Rate rmax_;
+  std::optional<Rate> gmin_;
+  std::optional<Rate> gmax_;
+  /// True once any fleet observed R > A at or below the current ceiling,
+  /// which rules out "the truth is above Rmax" and disables expansion.
+  bool ceiling_confirmed_{false};
+};
+
+}  // namespace pathload::core

@@ -1,0 +1,132 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+#include "core/trend.hpp"
+
+namespace pathload::core {
+
+PathloadSession::PathloadSession(ProbeChannel& channel, PathloadConfig cfg)
+    : channel_{channel}, cfg_{std::move(cfg)} {}
+
+Rate PathloadSession::initial_estimate(PathloadResult& result) {
+  // A short train at the tool's maximum rate. Its dispersion at the
+  // receiver is (roughly) the asymptotic dispersion rate, which lies
+  // between the avail-bw and the capacity — a sound upper-bound seed.
+  StreamSpec spec;
+  spec.stream_id = ++next_stream_id_;
+  spec.packet_count = std::min(cfg_.packets_per_stream, 20);
+  spec.packet_size = cfg_.max_packet_size;
+  spec.period = cfg_.min_period;
+  const StreamOutcome outcome = channel_.run_stream(spec);
+  ++result.streams_sent;
+  result.packets_sent += outcome.sent_count;
+  result.bytes_sent +=
+      DataSize::bytes(static_cast<std::int64_t>(outcome.sent_count) * spec.packet_size);
+  channel_.idle(std::max(channel_.rtt(), spec.duration() * 9.0));
+  if (outcome.records.size() < 2) return cfg_.max_rate();
+  const Duration spread = outcome.records.back().received -
+                          outcome.records.front().received;
+  if (spread <= Duration::zero()) return cfg_.max_rate();
+  const double bits =
+      static_cast<double>(outcome.records.size() - 1) * spec.packet_size * 8.0;
+  return Rate::bps(bits / spread.secs());
+}
+
+PathloadResult PathloadSession::run() {
+  PathloadResult result;
+  const TimePoint start = channel_.now();
+
+  Rate initial_rmax = cfg_.max_rate();
+  if (cfg_.initial_rmax.has_value()) {
+    initial_rmax = *cfg_.initial_rmax;
+  } else {
+    const Rate dispersion = initial_estimate(result);
+    // The dispersion rate estimates ADR >= A; leave headroom above it so
+    // the true avail-bw is strictly inside the initial search interval.
+    initial_rmax = std::min(cfg_.max_rate(), dispersion * 1.25);
+  }
+
+  RateAdjuster adjuster{cfg_, initial_rmax};
+  while (!adjuster.converged() && result.fleets < cfg_.max_fleets) {
+    const Rate requested = adjuster.next_rate();
+    const StreamSpec probe = make_stream_spec(requested, cfg_);
+    const Rate actual = probe.rate();
+
+    FleetTrace trace;
+    trace.rate = actual;
+    const FleetVerdict verdict = run_fleet(actual, trace, result);
+    trace.verdict = verdict;
+    ++result.fleets;
+    adjuster.record(actual, verdict);
+    result.trace.push_back(std::move(trace));
+  }
+
+  result.range = adjuster.report();
+  result.converged = adjuster.converged();
+  result.elapsed = channel_.now() - start;
+  return result;
+}
+
+FleetVerdict PathloadSession::run_fleet(Rate rate, FleetTrace& trace,
+                                        PathloadResult& result) {
+  const StreamSpec base = make_stream_spec(rate, cfg_);
+  // Inter-stream idle keeps the *average* probing rate at a fraction of R
+  // (Section IV: <= R/10 -> idle nine stream durations) and is never below
+  // the RTT, so each stream is acknowledged before the next is sent.
+  const Duration idle = std::max(
+      channel_.rtt(),
+      base.duration() * (1.0 / cfg_.average_rate_fraction - 1.0));
+
+  int retries_left = cfg_.max_stream_retries_per_fleet;
+  int accepted = 0;  // streams that count toward the fleet's N
+  bool excessive_loss_abort = false;
+
+  while (accepted < cfg_.streams_per_fleet) {
+    StreamSpec spec = base;
+    spec.stream_id = ++next_stream_id_;
+    const StreamOutcome outcome = channel_.run_stream(spec);
+    ++result.streams_sent;
+    result.packets_sent += outcome.sent_count;
+    result.bytes_sent +=
+        DataSize::bytes(static_cast<std::int64_t>(outcome.sent_count) * spec.packet_size);
+
+    StreamReport report;
+    report.loss = loss_rate(outcome, spec);
+    const ScreenResult screen = screen_send_gaps(outcome, spec, cfg_);
+    report.valid = screen.valid;
+    if (report.valid && !outcome.records.empty()) {
+      const auto owds = relative_owds(outcome);
+      report.stats = compute_trend(owds, cfg_.trend);
+      report.cls = classify_stream(report.stats, cfg_.trend);
+    }
+
+    if (report.loss > cfg_.excessive_loss) {
+      // One badly lossy stream aborts the whole fleet immediately
+      // (Section IV): the path is overloaded at this rate.
+      trace.streams.push_back(report);
+      excessive_loss_abort = true;
+      break;
+    }
+
+    if (!report.valid && retries_left > 0) {
+      // Screened-out stream (sender pacing anomaly): record it for the
+      // trace, then re-send rather than let it dilute the fleet. The
+      // fleet's verdict only counts valid streams either way.
+      trace.streams.push_back(report);
+      --retries_left;
+      channel_.idle(idle);
+      continue;
+    }
+
+    trace.streams.push_back(report);
+    ++accepted;
+    channel_.idle(idle);
+  }
+
+  trace.counts = count_fleet(trace.streams, cfg_);
+  if (excessive_loss_abort) return FleetVerdict::kAbortedLoss;
+  return judge_fleet(trace.streams, cfg_);
+}
+
+}  // namespace pathload::core

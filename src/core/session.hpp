@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/config.hpp"
+#include "core/fleet.hpp"
+#include "core/rate_adjuster.hpp"
+#include "core/stream.hpp"
+
+namespace pathload::core {
+
+/// Record of one fleet, kept for traces, tests, and the bench harnesses.
+struct FleetTrace {
+  Rate rate;
+  FleetVerdict verdict;
+  FleetCounts counts;
+  std::vector<StreamReport> streams;
+};
+
+/// Outcome of a full pathload measurement.
+struct PathloadResult {
+  AvailBwRange range{};        ///< the reported [low, high] avail-bw range
+  bool converged{false};       ///< false if the fleet cap stopped the search
+  int fleets{0};
+  std::int64_t streams_sent{0};
+  std::int64_t packets_sent{0};
+  DataSize bytes_sent{};       ///< total probe bytes injected into the path
+  Duration elapsed{};          ///< wall/virtual time of the whole run
+  std::vector<FleetTrace> trace;
+};
+
+/// One end-to-end avail-bw measurement: the pathload tool's main loop.
+///
+/// Runs fleets of periodic streams through the channel, classifies each
+/// stream's OWD trend (PCT/PDT), aggregates per-fleet verdicts with the
+/// grey region, and walks the rate-adjustment search until the termination
+/// resolutions (omega, chi) are met.
+class PathloadSession {
+ public:
+  PathloadSession(ProbeChannel& channel, PathloadConfig cfg);
+
+  /// Run the measurement to completion. Reentrant: each call is an
+  /// independent measurement.
+  PathloadResult run();
+
+  const PathloadConfig& config() const { return cfg_; }
+
+ private:
+  /// Initial dispersion probe (Section IV footnote 3 / [12]): one short
+  /// maximal-rate train whose receiving rate initializes the search bounds.
+  /// Its traffic is charged to `result`'s footprint accounting.
+  Rate initial_estimate(PathloadResult& result);
+
+  /// Run one fleet at `rate`; fills `trace` and returns the verdict.
+  FleetVerdict run_fleet(Rate rate, FleetTrace& trace, PathloadResult& result);
+
+  ProbeChannel& channel_;
+  PathloadConfig cfg_;
+  std::uint32_t next_stream_id_{0};
+};
+
+}  // namespace pathload::core

@@ -1,0 +1,84 @@
+#include "core/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pathload::core {
+
+StreamSpec make_stream_spec(Rate desired, const PathloadConfig& cfg) {
+  if (desired <= Rate::zero()) {
+    throw std::invalid_argument{"stream rate must be positive"};
+  }
+  desired = std::clamp(desired, cfg.min_rate, cfg.max_rate());
+
+  StreamSpec spec;
+  spec.packet_count = cfg.packets_per_stream;
+
+  Duration period = cfg.min_period;
+  double size = desired.bits_per_sec() * period.secs() / 8.0;
+  if (size < cfg.min_packet_size) {
+    // Low rates: fix L = Lmin and stretch the period (Section IV).
+    spec.packet_size = cfg.min_packet_size;
+    period = Duration::seconds(cfg.min_packet_size * 8.0 / desired.bits_per_sec());
+  } else if (size > cfg.max_packet_size) {
+    // High rates: fix L = Lmax and shrink the period no further than Tmin,
+    // which caps the measurable rate at Lmax/Tmin.
+    spec.packet_size = cfg.max_packet_size;
+    period = Duration::seconds(cfg.max_packet_size * 8.0 / desired.bits_per_sec());
+    period = std::max(period, cfg.min_period);
+  } else {
+    spec.packet_size = static_cast<int>(std::lround(size));
+    // Re-derive the period from the rounded byte count so the achieved
+    // rate matches `desired` as closely as possible (never below Tmin).
+    period = Duration::seconds(spec.packet_size * 8.0 / desired.bits_per_sec());
+    period = std::max(period, cfg.min_period);
+  }
+  spec.period = period;
+  return spec;
+}
+
+std::vector<double> relative_owds(const StreamOutcome& outcome) {
+  std::vector<double> owds;
+  owds.reserve(outcome.records.size());
+  if (outcome.records.empty()) return owds;
+  // Subtract in integer nanoseconds before converting to double: large
+  // clock offsets between hosts must cancel exactly, not up to rounding.
+  const Duration base = outcome.records.front().received - outcome.records.front().sent;
+  for (const auto& r : outcome.records) {
+    owds.push_back(((r.received - r.sent) - base).secs());
+  }
+  return owds;
+}
+
+double loss_rate(const StreamOutcome& outcome, const StreamSpec& spec) {
+  if (spec.packet_count <= 0) return 0.0;
+  const auto received = static_cast<double>(outcome.records.size());
+  return std::max(0.0, 1.0 - received / spec.packet_count);
+}
+
+ScreenResult screen_send_gaps(const StreamOutcome& outcome, const StreamSpec& spec,
+                              const PathloadConfig& cfg) {
+  ScreenResult result;
+  if (outcome.records.size() < 2) return result;
+  // A send gap is anomalous when it exceeds the nominal period by more than
+  // max(T, 500 us): long enough to be a scheduling artifact (context
+  // switch), not timer jitter.
+  const Duration tolerance =
+      spec.period + std::max(spec.period, Duration::microseconds(500));
+  for (std::size_t i = 1; i < outcome.records.size(); ++i) {
+    const auto gap_packets =
+        outcome.records[i].seq - outcome.records[i - 1].seq;  // >1 across losses
+    const Duration gap = outcome.records[i].sent - outcome.records[i - 1].sent;
+    const Duration expected = spec.period * static_cast<double>(gap_packets);
+    if (gap > expected + (tolerance - spec.period)) {
+      ++result.anomalies;
+    }
+  }
+  const double fraction =
+      static_cast<double>(result.anomalies) / static_cast<double>(spec.packet_count);
+  result.valid = fraction <= cfg.max_send_anomaly_fraction;
+  return result;
+}
+
+}  // namespace pathload::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pathload::core {
+
+/// Transmission schedule of one periodic stream: K packets of L bytes every
+/// T time units, i.e. rate R = L*8/T (Section III).
+struct StreamSpec {
+  std::uint32_t stream_id{0};
+  int packet_count{100};     ///< K
+  int packet_size{200};      ///< L, bytes
+  Duration period{};         ///< T
+  Rate rate() const { return Rate::bps(packet_size * 8.0 / period.secs()); }
+  Duration duration() const { return period * static_cast<double>(packet_count); }
+};
+
+/// Sender/receiver timestamps of one probe packet that made it across.
+/// Timestamps come from each host's own clock; only differences are used,
+/// so unsynchronized clocks are fine (Section IV).
+struct ProbeRecord {
+  std::uint32_t seq{0};
+  TimePoint sent{};      ///< sender clock
+  TimePoint received{};  ///< receiver clock
+};
+
+/// Everything the receiver saw of one stream.
+struct StreamOutcome {
+  std::vector<ProbeRecord> records;  ///< received packets in seq order
+  int sent_count{0};                 ///< packets actually transmitted
+};
+
+/// Compute the stream parameters for a desired rate R under the tool
+/// constraints (Section IV, "Stream Parameters"):
+///   T = Tmin and L = R*T/8, but L is clamped to [Lmin, Lmax] and T is
+///   stretched whenever the clamp would change the rate.
+/// The achievable rate (spec.rate()) may differ slightly from `desired`
+/// because L is an integer byte count.
+StreamSpec make_stream_spec(Rate desired, const PathloadConfig& cfg);
+
+/// Relative one-way delays in seconds (first received packet = 0) of the
+/// received packets, in sequence order. Per-host clock offsets cancel.
+std::vector<double> relative_owds(const StreamOutcome& outcome);
+
+/// Fraction of the K packets that never arrived.
+double loss_rate(const StreamOutcome& outcome, const StreamSpec& spec);
+
+/// Result of screening a stream for sender-side rate deviations (context
+/// switches): the receiver inspects the spacing of *sender* timestamps and
+/// discards streams where the sender demonstrably failed to pace at T.
+struct ScreenResult {
+  bool valid{true};
+  int anomalies{0};  ///< send gaps deviating by more than the tolerance
+};
+ScreenResult screen_send_gaps(const StreamOutcome& outcome, const StreamSpec& spec,
+                              const PathloadConfig& cfg);
+
+}  // namespace pathload::core

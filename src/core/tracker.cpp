@@ -1,0 +1,83 @@
+#include "core/tracker.hpp"
+
+#include <algorithm>
+
+namespace pathload::core {
+
+AvailBwTracker::AvailBwTracker(ProbeChannel& channel, Config cfg)
+    : channel_{channel}, cfg_{std::move(cfg)} {}
+
+const AvailBwTracker::Sample& AvailBwTracker::measure_once() {
+  PathloadSession session{channel_, cfg_.tool};
+  const TimePoint started = channel_.now();
+  const PathloadResult result = session.run();
+
+  Sample sample;
+  sample.started = started;
+  sample.elapsed = result.elapsed;
+  sample.range = result.range;
+  sample.converged = result.converged;
+
+  const double center = result.range.center().bits_per_sec();
+  ewma_bps_ = ewma_bps_.has_value()
+                  ? cfg_.ewma_alpha * center + (1.0 - cfg_.ewma_alpha) * *ewma_bps_
+                  : center;
+
+  history_.push_back(sample);
+  if (cfg_.history_limit > 0 && history_.size() > cfg_.history_limit) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() - cfg_.history_limit));
+  }
+  return history_.back();
+}
+
+int AvailBwTracker::run_for(Duration window) {
+  const TimePoint end = channel_.now() + window;
+  int runs = 0;
+  while (channel_.now() < end) {
+    measure_once();
+    ++runs;
+    if (channel_.now() < end && cfg_.pause_between_runs > Duration::zero()) {
+      channel_.idle(cfg_.pause_between_runs);
+    }
+  }
+  return runs;
+}
+
+std::optional<Rate> AvailBwTracker::smoothed_center() const {
+  if (!ewma_bps_.has_value()) return std::nullopt;
+  return Rate::bps(*ewma_bps_);
+}
+
+std::optional<Rate> AvailBwTracker::weighted_center(Duration window) const {
+  if (history_.empty()) return std::nullopt;
+  const TimePoint cutoff =
+      window > Duration::zero()
+          ? history_.back().started + history_.back().elapsed - window
+          : TimePoint::from_nanos(INT64_MIN);
+  std::vector<WeightedSample> samples;
+  for (const auto& s : history_) {
+    if (s.started + s.elapsed <= cutoff) continue;
+    samples.push_back({s.range.center().bits_per_sec(), s.elapsed});
+  }
+  if (samples.empty()) return std::nullopt;
+  return Rate::bps(duration_weighted_average(samples));
+}
+
+std::optional<AvailBwRange> AvailBwTracker::overall_band() const {
+  if (history_.empty()) return std::nullopt;
+  AvailBwRange band = history_.front().range;
+  for (const auto& s : history_) {
+    band.low = std::min(band.low, s.range.low);
+    band.high = std::max(band.high, s.range.high);
+  }
+  return band;
+}
+
+void AvailBwTracker::reset() {
+  history_.clear();
+  ewma_bps_.reset();
+}
+
+}  // namespace pathload::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/session.hpp"
+#include "util/stats.hpp"
+
+namespace pathload::core {
+
+/// Continuous avail-bw monitoring: repeated pathload runs over one channel,
+/// with history, smoothing, and window aggregation.
+///
+/// This is the usage pattern behind the paper's verification experiment
+/// (Fig. 10 runs pathload back-to-back for 5 minutes and compares the
+/// Eq. (11) duration-weighted average against MRTG) and behind the
+/// applications listed in Section IX — SLA verification, server selection,
+/// overlay routing — all of which want a *time series* of avail-bw rather
+/// than one number.
+class AvailBwTracker {
+ public:
+  struct Config {
+    PathloadConfig tool{};
+    /// Pause between consecutive runs (keeps long-term footprint low).
+    Duration pause_between_runs{Duration::seconds(1)};
+    /// EWMA smoothing factor for smoothed_center() (1 = latest only).
+    double ewma_alpha{0.3};
+    /// Oldest samples are dropped beyond this many (0 = unbounded).
+    std::size_t history_limit{0};
+  };
+
+  struct Sample {
+    TimePoint started;
+    Duration elapsed;
+    AvailBwRange range;
+    bool converged{false};
+  };
+
+  AvailBwTracker(ProbeChannel& channel, Config cfg);
+
+  /// Run one measurement and append it to the history.
+  const Sample& measure_once();
+
+  /// Measure back-to-back (with the configured pauses) until `window` of
+  /// channel time has elapsed; returns the number of runs performed.
+  int run_for(Duration window);
+
+  const std::vector<Sample>& history() const { return history_; }
+
+  /// EWMA of range centers; nullopt before the first measurement.
+  std::optional<Rate> smoothed_center() const;
+
+  /// Eq. (11): duration-weighted average of range centers over the last
+  /// `window` of history (all history if zero).
+  std::optional<Rate> weighted_center(Duration window = Duration::zero()) const;
+
+  /// The widest band seen: [min low, max high] across the history.
+  std::optional<AvailBwRange> overall_band() const;
+
+  /// Drop all history (the EWMA restarts too).
+  void reset();
+
+ private:
+  ProbeChannel& channel_;
+  Config cfg_;
+  std::vector<Sample> history_;
+  std::optional<double> ewma_bps_;
+};
+
+}  // namespace pathload::core

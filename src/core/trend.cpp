@@ -1,0 +1,99 @@
+#include "core/trend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace pathload::core {
+
+std::vector<double> median_groups(std::span<const double> owds) {
+  const std::size_t k = owds.size();
+  if (k < 4) return {owds.begin(), owds.end()};
+  const auto group =
+      static_cast<std::size_t>(std::max(1.0, std::round(std::sqrt(static_cast<double>(k)))));
+  const std::size_t gamma = k / group;
+  if (gamma < 2) return {owds.begin(), owds.end()};
+  std::vector<double> medians;
+  medians.reserve(gamma);
+  for (std::size_t g = 0; g < gamma; ++g) {
+    // The last group absorbs the leftover tail so every OWD contributes.
+    const std::size_t begin = g * group;
+    const std::size_t end = (g + 1 == gamma) ? k : begin + group;
+    medians.push_back(median(owds.subspan(begin, end - begin)));
+  }
+  return medians;
+}
+
+TrendStats compute_trend(std::span<const double> owds, const TrendConfig& cfg) {
+  std::vector<double> filtered;
+  std::span<const double> series = owds;
+  if (cfg.median_filter) {
+    filtered = median_groups(owds);
+    series = filtered;
+  }
+  TrendStats stats;
+  stats.groups = static_cast<int>(series.size());
+  if (series.size() < 2) {
+    // Nothing to compare: report a neutral "no trend".
+    stats.pct = 0.5;
+    stats.pdt = 0.0;
+    return stats;
+  }
+  int increasing_pairs = 0;
+  double abs_variation = 0.0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i] > series[i - 1]) ++increasing_pairs;
+    abs_variation += std::abs(series[i] - series[i - 1]);
+  }
+  stats.pct =
+      static_cast<double>(increasing_pairs) / static_cast<double>(series.size() - 1);
+  const double start_to_end = series.back() - series.front();
+  stats.pdt = abs_variation > 0.0 ? start_to_end / abs_variation : 0.0;
+  // |start-to-end| <= sum of |steps| mathematically; floating-point
+  // summation can overshoot by an ulp or two.
+  stats.pdt = std::clamp(stats.pdt, -1.0, 1.0);
+  return stats;
+}
+
+namespace {
+
+/// Three-way vote of a single metric: +1 increasing, -1 non-increasing,
+/// 0 ambiguous (within the band below the threshold).
+int metric_vote(double value, double inc_threshold, double band) {
+  if (value > inc_threshold) return 1;
+  if (value < inc_threshold - band) return -1;
+  return 0;
+}
+
+}  // namespace
+
+StreamClass classify_stream(const TrendStats& stats, const TrendConfig& cfg) {
+  const bool pct_increasing = stats.pct > cfg.pct_threshold;
+  const bool pdt_increasing = stats.pdt > cfg.pdt_threshold;
+  switch (cfg.mode) {
+    case TrendConfig::Mode::kCombined: {
+      const int pct = metric_vote(stats.pct, cfg.pct_threshold, cfg.pct_ambiguity_band);
+      const int pdt = metric_vote(stats.pdt, cfg.pdt_threshold, cfg.pdt_ambiguity_band);
+      const int total = pct + pdt;
+      if (total > 0) return StreamClass::kIncreasing;      // I+I or I+ambiguous
+      if (total < 0) return StreamClass::kNonIncreasing;   // N+N or N+ambiguous
+      // Conflict (I vs N) or double abstention: no usable vote.
+      return StreamClass::kDiscard;
+    }
+    case TrendConfig::Mode::kEither:
+      return (pct_increasing || pdt_increasing) ? StreamClass::kIncreasing
+                                                : StreamClass::kNonIncreasing;
+    case TrendConfig::Mode::kPctOnly:
+      return pct_increasing ? StreamClass::kIncreasing : StreamClass::kNonIncreasing;
+    case TrendConfig::Mode::kPdtOnly:
+      return pdt_increasing ? StreamClass::kIncreasing : StreamClass::kNonIncreasing;
+  }
+  return StreamClass::kDiscard;
+}
+
+StreamClass classify_owds(std::span<const double> owds, const TrendConfig& cfg) {
+  return classify_stream(compute_trend(owds, cfg), cfg);
+}
+
+}  // namespace pathload::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace pathload::core {
+
+/// The two complementary trend statistics of Section IV computed over the
+/// (median-filtered) OWD sequence of one stream.
+struct TrendStats {
+  double pct{0.0};  ///< pairwise comparison test, Eq. (8); in [0, 1]
+  double pdt{0.0};  ///< pairwise difference test, Eq. (9); in [-1, 1]
+  int groups{0};    ///< Gamma: number of median groups analyzed
+};
+
+/// Classification of one stream (Section IV): type I (increasing OWD trend),
+/// type N (non-increasing), or discarded when the two metrics conflict /
+/// both abstain (kCombined mode only).
+enum class StreamClass {
+  kIncreasing,     ///< type I: rate R exceeded the avail-bw during the stream
+  kNonIncreasing,  ///< type N
+  kDiscard,        ///< metrics conflicted or abstained; stream carries no vote
+};
+
+/// Partition `owds` into Gamma = K/ceil(sqrt(K)) groups of consecutive
+/// values and return each group's median (the preprocessing step that makes
+/// PCT/PDT robust to outliers). With fewer than 2 groups the input is
+/// returned unfiltered.
+std::vector<double> median_groups(std::span<const double> owds);
+
+/// Compute PCT (Eq. 8) and PDT (Eq. 9) over the OWD sequence, after
+/// median-of-groups preprocessing if `cfg.median_filter` is set.
+TrendStats compute_trend(std::span<const double> owds, const TrendConfig& cfg);
+
+/// Apply the PCT/PDT thresholds according to cfg.mode (see TrendConfig).
+StreamClass classify_stream(const TrendStats& stats, const TrendConfig& cfg);
+
+/// Convenience: trend + classification in one call.
+StreamClass classify_owds(std::span<const double> owds, const TrendConfig& cfg);
+
+}  // namespace pathload::core

@@ -1,0 +1,91 @@
+#include "fluid/fluid_model.hpp"
+
+#include <stdexcept>
+
+namespace pathload::fluid {
+
+FluidPath::FluidPath(std::vector<FluidLink> links) : links_{std::move(links)} {
+  if (links_.empty()) {
+    throw std::invalid_argument{"FluidPath needs at least one link"};
+  }
+  for (const auto& l : links_) {
+    if (l.cross_rate > l.capacity) {
+      throw std::invalid_argument{"fluid link overloaded: cross rate > capacity"};
+    }
+  }
+}
+
+Rate FluidPath::avail_bw() const {
+  Rate a = links_.front().avail_bw();
+  for (const auto& l : links_) a = std::min(a, l.avail_bw());
+  return a;
+}
+
+std::size_t FluidPath::tight_link() const {
+  std::size_t idx = 0;
+  for (std::size_t i = 1; i < links_.size(); ++i) {
+    if (links_[i].avail_bw() < links_[idx].avail_bw()) idx = i;
+  }
+  return idx;
+}
+
+Rate FluidPath::capacity() const {
+  Rate c = links_.front().capacity;
+  for (const auto& l : links_) c = std::min(c, l.capacity);
+  return c;
+}
+
+std::size_t FluidPath::narrow_link() const {
+  std::size_t idx = 0;
+  for (std::size_t i = 1; i < links_.size(); ++i) {
+    if (links_[i].capacity < links_[idx].capacity) idx = i;
+  }
+  return idx;
+}
+
+std::vector<Rate> FluidPath::entry_rates(Rate input) const {
+  std::vector<Rate> rates;
+  rates.reserve(links_.size() + 1);
+  Rate r = input;
+  rates.push_back(r);
+  for (const auto& l : links_) {
+    if (r > l.avail_bw()) {
+      // Backlogged link: the stream gets the share of capacity proportional
+      // to its arrival rate (Eq. 16): R_out = R_in * C / (R_in + lambda).
+      r = Rate::bps(r.bits_per_sec() * l.capacity.bits_per_sec() /
+                    (r.bits_per_sec() + l.cross_rate.bits_per_sec()));
+    }
+    rates.push_back(r);
+  }
+  return rates;
+}
+
+Rate FluidPath::exit_rate(Rate input) const { return entry_rates(input).back(); }
+
+Duration FluidPath::owd_delta_per_packet(Rate input, DataSize packet) const {
+  const auto rates = entry_rates(input);
+  Duration delta = Duration::zero();
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const Rate in = rates[i];
+    const Rate out = rates[i + 1];
+    if (out < in) {
+      // Eq. 22: consecutive packets leave the backlogged link with spacing
+      // L/R_out but arrived spaced L/R_in; the queueing delay difference is
+      // the gap growth.
+      delta += out.transmission_time(packet) - in.transmission_time(packet);
+    }
+  }
+  return delta;
+}
+
+std::vector<double> FluidPath::owd_series(Rate input, DataSize packet,
+                                          int packet_count) const {
+  const double slope = owd_delta_per_packet(input, packet).secs();
+  std::vector<double> owd(static_cast<std::size_t>(packet_count));
+  for (int k = 0; k < packet_count; ++k) {
+    owd[static_cast<std::size_t>(k)] = slope * k;
+  }
+  return owd;
+}
+
+}  // namespace pathload::fluid

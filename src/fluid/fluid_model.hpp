@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pathload::fluid {
+
+/// One link of the stationary fluid model of Section III-A: constant-rate
+/// cross traffic lambda_i = u_i * C_i, FCFS, infinite buffers.
+struct FluidLink {
+  Rate capacity;
+  Rate cross_rate;
+
+  Rate avail_bw() const { return capacity - cross_rate; }
+  double utilization() const { return cross_rate / capacity; }
+};
+
+/// Closed-form model of a periodic stream crossing a fluid path.
+///
+/// Implements the Appendix of the paper:
+///  * Proposition 1 — one-way delays strictly increase iff the stream rate
+///    exceeds the path avail-bw;
+///  * Proposition 2 — the per-link entry/exit rate recursion (Eqs. 16-21),
+///    showing the received stream rate depends on every link's capacity and
+///    cross traffic, which is why train-dispersion methods (cprobe) do not
+///    measure avail-bw.
+///
+/// Used as ground truth in tests (the packet simulator must converge to the
+/// fluid predictions as packet sizes shrink) and to generate idealized OWD
+/// series for the trend-detector unit tests.
+class FluidPath {
+ public:
+  explicit FluidPath(std::vector<FluidLink> links);
+
+  const std::vector<FluidLink>& links() const { return links_; }
+  std::size_t hop_count() const { return links_.size(); }
+
+  /// End-to-end avail-bw: min over links (Eq. 4).
+  Rate avail_bw() const;
+  /// Index of the tight link (first link attaining the min, footnote 2).
+  std::size_t tight_link() const;
+  /// End-to-end capacity: min capacity (the narrow link).
+  Rate capacity() const;
+  std::size_t narrow_link() const;
+
+  /// Entry rate into each link for a stream offered at `input`:
+  /// element 0 is `input`, element i the exit rate of link i-1 (Eq. 19-20).
+  std::vector<Rate> entry_rates(Rate input) const;
+
+  /// Rate at which the stream arrives at the receiver (Eq. 21 / Prop. 2).
+  Rate exit_rate(Rate input) const;
+
+  /// OWD difference between consecutive packets of size `packet` offered at
+  /// `input` (Eq. 22 summed over links). Positive iff input > avail_bw()
+  /// (Proposition 1); zero otherwise.
+  Duration owd_delta_per_packet(Rate input, DataSize packet) const;
+
+  /// Relative OWD series (seconds, first packet = 0) for a K-packet stream:
+  /// a perfect line with slope owd_delta_per_packet.
+  std::vector<double> owd_series(Rate input, DataSize packet, int packet_count) const;
+
+ private:
+  std::vector<FluidLink> links_;
+};
+
+}  // namespace pathload::fluid

@@ -1,0 +1,97 @@
+#include "net/live_channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pathload::net {
+
+namespace {
+constexpr Duration kControlTimeout = Duration::seconds(5);
+}
+
+LiveProbeChannel::LiveProbeChannel(const Endpoint& control)
+    : control_{TcpStream::connect(control, kControlTimeout)},
+      probe_socket_{UdpSocket::bind({control.host, 0})} {
+  control_.send_frame(make_message(MsgType::kHello));
+  const auto reply = control_.recv_frame(kControlTimeout);
+  if (!reply.has_value()) throw std::runtime_error{"pathload handshake timed out"};
+  const auto msg = parse_message(*reply);
+  if (!msg.has_value() || msg->type != MsgType::kHelloReply) {
+    throw std::runtime_error{"unexpected handshake reply"};
+  }
+  ByteReader r{msg->payload};
+  const auto udp_port = r.get<std::uint16_t>();
+  if (!r.ok()) throw std::runtime_error{"malformed handshake reply"};
+  probe_socket_.connect({control.host, udp_port});
+  rtt_ = measure_rtt(5);
+}
+
+LiveProbeChannel::~LiveProbeChannel() {
+  try {
+    control_.send_frame(make_message(MsgType::kBye));
+  } catch (...) {
+    // Best-effort goodbye; the receiver also exits on disconnect.
+  }
+}
+
+Duration LiveProbeChannel::measure_rtt(int samples) {
+  std::vector<double> rtts;
+  for (int i = 0; i < samples; ++i) {
+    const TimePoint start = monotonic_now();
+    control_.send_frame(make_message(MsgType::kEcho));
+    const auto reply = control_.recv_frame(kControlTimeout);
+    if (!reply.has_value()) break;
+    rtts.push_back((monotonic_now() - start).secs());
+  }
+  if (rtts.empty()) return Duration::milliseconds(1);
+  return Duration::seconds(median(rtts));
+}
+
+core::StreamOutcome LiveProbeChannel::run_stream(const core::StreamSpec& spec) {
+  const auto start_msg = StreamStartMsg::from_spec(spec).encode();
+  control_.send_frame(make_message(MsgType::kStreamStart, start_msg));
+
+  // Pace K packets at the period T using absolute deadlines so that timer
+  // error does not accumulate across the stream; the *actual* send time is
+  // what goes into the packet, so the receiver's send-gap screening sees
+  // real pacing quality, context switches included.
+  std::vector<std::byte> packet(static_cast<std::size_t>(spec.packet_size));
+  const TimePoint t0 = monotonic_now() + Duration::milliseconds(1);
+  for (int i = 0; i < spec.packet_count; ++i) {
+    sleep_until(t0 + spec.period * static_cast<double>(i));
+    ProbeHeader h;
+    h.stream_id = spec.stream_id;
+    h.seq = static_cast<std::uint32_t>(i);
+    h.sent_ns = monotonic_now().nanos();
+    write_probe_header(packet, h);
+    probe_socket_.send(packet);
+  }
+
+  core::StreamOutcome outcome;
+  outcome.sent_count = spec.packet_count;
+
+  // The receiver reports after its collection deadline (stream duration
+  // + 500 ms slack); wait a little longer than that.
+  const Duration wait = spec.duration() + Duration::seconds(2);
+  const auto reply = control_.recv_frame(wait);
+  if (!reply.has_value()) return outcome;  // receiver gone: total loss
+  const auto msg = parse_message(*reply);
+  if (!msg.has_value() || msg->type != MsgType::kStreamResult) return outcome;
+  auto result = StreamResultMsg::decode(msg->payload);
+  if (!result.has_value() || result->stream_id != spec.stream_id) return outcome;
+
+  // Records arrive in receive order; SLoPS analyzes them in seq order.
+  std::sort(result->records.begin(), result->records.end(),
+            [](const core::ProbeRecord& a, const core::ProbeRecord& b) {
+              return a.seq < b.seq;
+            });
+  outcome.records = std::move(result->records);
+  return outcome;
+}
+
+void LiveProbeChannel::idle(Duration d) { sleep_until(monotonic_now() + d); }
+
+}  // namespace pathload::net

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/channel.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace pathload::net {
+
+/// The pathload *sender* side over real sockets: the ProbeChannel backend
+/// that makes `core::PathloadSession` a live measurement tool.
+///
+/// Wiring (Section IV): a TCP control connection coordinates the
+/// measurement; each periodic stream is K UDP packets of L bytes paced at
+/// period T with a hybrid sleep/spin timer; the receiver sends back
+/// per-packet (sender timestamp, receiver timestamp) records.
+class LiveProbeChannel final : public core::ProbeChannel {
+ public:
+  /// Connect to a LiveReceiver's control endpoint and perform the
+  /// handshake (learn the probe port, estimate the control-channel RTT).
+  explicit LiveProbeChannel(const Endpoint& control);
+  ~LiveProbeChannel() override;
+
+  core::StreamOutcome run_stream(const core::StreamSpec& spec) override;
+  void idle(Duration d) override;
+  TimePoint now() override { return monotonic_now(); }
+  Duration rtt() const override { return rtt_; }
+
+  LiveProbeChannel(const LiveProbeChannel&) = delete;
+  LiveProbeChannel& operator=(const LiveProbeChannel&) = delete;
+
+ private:
+  Duration measure_rtt(int samples);
+
+  TcpStream control_;
+  UdpSocket probe_socket_;
+  Duration rtt_{Duration::milliseconds(1)};
+};
+
+}  // namespace pathload::net

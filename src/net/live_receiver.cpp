@@ -1,0 +1,85 @@
+#include "net/live_receiver.hpp"
+
+namespace pathload::net {
+
+LiveReceiver::LiveReceiver(const std::string& host)
+    : listener_{TcpListener::bind({host, 0})},
+      udp_{UdpSocket::bind({host, 0})},
+      udp_port_{udp_.local_port()} {}
+
+std::uint16_t LiveReceiver::control_port() const { return listener_.local_port(); }
+
+StreamResultMsg LiveReceiver::collect_stream(const StreamStartMsg& start) {
+  StreamResultMsg result;
+  result.stream_id = start.stream_id;
+  result.records.reserve(start.packet_count);
+
+  // Deadline: nominal stream duration plus slack for queueing and the
+  // control-message round trip. Anything later counts as lost. Stale
+  // datagrams from earlier streams are filtered by stream id (ids are
+  // unique within a session), never silently drained — a drain would race
+  // with a fast sender's first packets.
+  const Duration nominal =
+      Duration::nanoseconds(start.period_ns) * static_cast<double>(start.packet_count);
+  const TimePoint deadline = monotonic_now() + nominal + Duration::milliseconds(500);
+
+  while (result.records.size() < start.packet_count) {
+    const Duration remaining = deadline - monotonic_now();
+    if (remaining <= Duration::zero()) break;
+    auto datagram = udp_.recv_with_timestamp(remaining);
+    if (!datagram.has_value()) break;
+    const auto header = read_probe_header(datagram->payload);
+    if (!header.has_value() || header->stream_id != start.stream_id) continue;
+    core::ProbeRecord rec;
+    rec.seq = header->seq;
+    rec.sent = TimePoint::from_nanos(header->sent_ns);
+    rec.received = datagram->stamp;
+    result.records.push_back(rec);
+  }
+  return result;
+}
+
+int LiveReceiver::serve_one_session(Duration accept_timeout) {
+  auto conn = listener_.accept(accept_timeout);
+  if (!conn.has_value()) return 0;
+
+  int streams_served = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto frame = conn->recv_frame(Duration::seconds(2));
+    if (!frame.has_value()) {
+      // Timeout or disconnect: loop (to honor request_stop) unless closed.
+      continue;
+    }
+    const auto msg = parse_message(*frame);
+    if (!msg.has_value()) continue;
+
+    switch (msg->type) {
+      case MsgType::kHello: {
+        ByteWriter w;
+        w.put(udp_port_);
+        const auto payload = w.take();
+        conn->send_frame(make_message(MsgType::kHelloReply, payload));
+        break;
+      }
+      case MsgType::kEcho:
+        conn->send_frame(make_message(MsgType::kEchoReply, msg->payload));
+        break;
+      case MsgType::kStreamStart: {
+        const auto start = StreamStartMsg::decode(msg->payload);
+        if (!start.has_value()) break;
+        const auto result = collect_stream(*start);
+        const auto payload = result.encode();
+        conn->send_frame(make_message(MsgType::kStreamResult, payload));
+        ++streams_served;
+        break;
+      }
+      case MsgType::kBye:
+        return streams_served;
+      default:
+        break;
+    }
+  }
+  return streams_served;
+}
+
+}  // namespace pathload::net

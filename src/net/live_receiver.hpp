@@ -1,0 +1,45 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace pathload::net {
+
+/// The pathload *receiver* process (Section IV's RCV): accepts one sender
+/// session over TCP, then serves stream announcements — for each announced
+/// stream it timestamps the arriving UDP probe packets with the local
+/// monotonic clock and ships the records back over the control channel.
+///
+/// The receiver never needs a clock synchronized with the sender: records
+/// pair sender timestamps (embedded in each probe packet) with local
+/// receive timestamps, and the SLoPS analysis uses only OWD *differences*.
+class LiveReceiver {
+ public:
+  /// Bind the control listener and probe socket on `host` (ephemeral ports).
+  explicit LiveReceiver(const std::string& host = "127.0.0.1");
+
+  std::uint16_t control_port() const;
+  std::uint16_t probe_port() const { return udp_port_; }
+
+  /// Serve one sender session: blocks until the sender says kBye, the
+  /// control connection drops, or no sender connects within `accept_timeout`.
+  /// Returns the number of streams served.
+  int serve_one_session(Duration accept_timeout);
+
+  /// Ask a concurrently running serve_one_session() to wind down at the
+  /// next control-channel timeout.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  StreamResultMsg collect_stream(const StreamStartMsg& start);
+
+  TcpListener listener_;
+  UdpSocket udp_;
+  std::uint16_t udp_port_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace pathload::net

@@ -1,0 +1,245 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace pathload::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error{errno, std::generic_category(), what};
+}
+
+sockaddr_in make_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument{"bad IPv4 address: " + ep.host};
+  }
+  return addr;
+}
+
+/// Wait for readability; false on timeout.
+bool wait_readable(int fd, Duration timeout) {
+  pollfd pfd{fd, POLLIN, 0};
+  const auto ms = static_cast<int>(std::max<std::int64_t>(0, timeout.nanos() / 1'000'000));
+  const int rc = ::poll(&pfd, 1, ms);
+  if (rc < 0) throw_errno("poll");
+  return rc > 0;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+FileDescriptor::~FileDescriptor() { reset(); }
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& o) noexcept {
+  if (this != &o) {
+    reset();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileDescriptor::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UdpSocket UdpSocket::bind(const Endpoint& local) {
+  FileDescriptor fd{::socket(AF_INET, SOCK_DGRAM, 0)};
+  if (!fd.valid()) throw_errno("socket(UDP)");
+  const sockaddr_in addr = make_addr(local);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("bind(UDP)");
+  }
+  // Best-effort kernel receive timestamps; recv_with_timestamp falls back
+  // to user-space stamps when unavailable.
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_TIMESTAMPNS, &one, sizeof one);
+  return UdpSocket{std::move(fd)};
+}
+
+void UdpSocket::connect(const Endpoint& remote) {
+  const sockaddr_in addr = make_addr(remote);
+  if (::connect(fd_.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("connect(UDP)");
+  }
+}
+
+void UdpSocket::send(std::span<const std::byte> payload) {
+  const ssize_t n = ::send(fd_.get(), payload.data(), payload.size(), 0);
+  if (n < 0) throw_errno("send(UDP)");
+}
+
+std::optional<std::vector<std::byte>> UdpSocket::recv(Duration timeout) {
+  auto d = recv_with_timestamp(timeout);
+  if (!d.has_value()) return std::nullopt;
+  return std::move(d->payload);
+}
+
+std::optional<UdpSocket::Datagram> UdpSocket::recv_with_timestamp(Duration timeout) {
+  if (!wait_readable(fd_.get(), timeout)) return std::nullopt;
+
+  std::vector<std::byte> buf(65536);
+  iovec iov{buf.data(), buf.size()};
+  alignas(cmsghdr) char control[256];
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof control;
+
+  const ssize_t n = ::recvmsg(fd_.get(), &msg, 0);
+  if (n < 0) throw_errno("recvmsg(UDP)");
+  buf.resize(static_cast<std::size_t>(n));
+
+  TimePoint stamp = monotonic_now();
+  for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr; c = CMSG_NXTHDR(&msg, c)) {
+    if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SCM_TIMESTAMPNS) {
+      timespec ts{};
+      std::memcpy(&ts, CMSG_DATA(c), sizeof ts);
+      stamp = TimePoint::from_nanos(static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 +
+                                    ts.tv_nsec);
+      break;
+    }
+  }
+  return Datagram{std::move(buf), stamp};
+}
+
+std::uint16_t UdpSocket::local_port() const { return bound_port(fd_.get()); }
+
+TcpStream TcpStream::connect(const Endpoint& remote, Duration timeout) {
+  FileDescriptor fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw_errno("socket(TCP)");
+  // Control messages are small and latency-sensitive.
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  const sockaddr_in addr = make_addr(remote);
+  // Blocking connect is fine on loopback; enforce an overall deadline via
+  // SO_SNDTIMEO.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.secs());
+  tv.tv_usec = static_cast<suseconds_t>((timeout.nanos() / 1000) % 1'000'000);
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("connect(TCP)");
+  }
+  return TcpStream{std::move(fd)};
+}
+
+void TcpStream::send_all(std::span<const std::byte> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) throw_errno("send(TCP)");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::send_frame(std::span<const std::byte> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::byte header[4];
+  std::memcpy(header, &len, 4);
+  send_all({header, 4});
+  send_all(payload);
+}
+
+bool TcpStream::recv_all(std::span<std::byte> out, Duration timeout) {
+  const TimePoint deadline = monotonic_now() + timeout;
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const Duration remaining = deadline - monotonic_now();
+    if (remaining <= Duration::zero() || !wait_readable(fd_.get(), remaining)) {
+      return false;
+    }
+    const ssize_t n = ::recv(fd_.get(), out.data() + got, out.size() - got, 0);
+    if (n == 0) return false;  // orderly shutdown
+    if (n < 0) throw_errno("recv(TCP)");
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::vector<std::byte>> TcpStream::recv_frame(Duration timeout) {
+  std::byte header[4];
+  if (!recv_all({header, 4}, timeout)) return std::nullopt;
+  std::uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  if (len > 64 * 1024 * 1024) {
+    throw std::runtime_error{"control frame too large"};
+  }
+  std::vector<std::byte> payload(len);
+  if (len > 0 && !recv_all(payload, timeout)) return std::nullopt;
+  return payload;
+}
+
+TcpListener TcpListener::bind(const Endpoint& local) {
+  FileDescriptor fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw_errno("socket(TCP listener)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = make_addr(local);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("bind(TCP)");
+  }
+  if (::listen(fd.get(), 4) != 0) throw_errno("listen");
+  return TcpListener{std::move(fd)};
+}
+
+std::optional<TcpStream> TcpListener::accept(Duration timeout) {
+  if (!wait_readable(fd_.get(), timeout)) return std::nullopt;
+  FileDescriptor conn{::accept(fd_.get(), nullptr, nullptr)};
+  if (!conn.valid()) throw_errno("accept");
+  const int one = 1;
+  ::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream{std::move(conn)};
+}
+
+std::uint16_t TcpListener::local_port() const { return bound_port(fd_.get()); }
+
+TimePoint monotonic_now() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return TimePoint::from_nanos(static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 +
+                               ts.tv_nsec);
+}
+
+void sleep_until(TimePoint deadline, Duration spin_window) {
+  // Coarse phase: kernel sleep until shortly before the deadline.
+  const TimePoint coarse_end = deadline - spin_window;
+  if (monotonic_now() < coarse_end) {
+    timespec ts{};
+    ts.tv_sec = static_cast<time_t>(coarse_end.nanos() / 1'000'000'000);
+    ts.tv_nsec = static_cast<long>(coarse_end.nanos() % 1'000'000'000);
+    ::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &ts, nullptr);
+  }
+  // Fine phase: spin out the remainder for sub-scheduler-tick precision.
+  while (monotonic_now() < deadline) {
+  }
+}
+
+}  // namespace pathload::net

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pathload::net {
+
+/// RAII owner of a POSIX file descriptor.
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) : fd_{fd} {}
+  ~FileDescriptor();
+
+  FileDescriptor(FileDescriptor&& o) noexcept : fd_{o.fd_} { o.fd_ = -1; }
+  FileDescriptor& operator=(FileDescriptor&& o) noexcept;
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_{-1};
+};
+
+/// An IPv4 endpoint.
+struct Endpoint {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};
+};
+
+/// Minimal UDP socket wrapper (IPv4). Throws std::system_error on fatal
+/// errors; timeouts surface as empty optionals.
+class UdpSocket {
+ public:
+  /// Bind to host:port (port 0 = ephemeral).
+  static UdpSocket bind(const Endpoint& local);
+
+  /// Set the default destination for send().
+  void connect(const Endpoint& remote);
+
+  void send(std::span<const std::byte> payload);
+
+  /// Receive one datagram, waiting at most `timeout`; nullopt on timeout.
+  std::optional<std::vector<std::byte>> recv(Duration timeout);
+
+  /// A received datagram together with its arrival timestamp. When the
+  /// kernel provides SO_TIMESTAMPNS stamps, `stamp` is the in-kernel
+  /// arrival time — immune to user-space scheduling delay, which matters
+  /// because SLoPS reads microsecond-scale OWD differences. Falls back to
+  /// the monotonic clock at recv() return otherwise.
+  struct Datagram {
+    std::vector<std::byte> payload;
+    TimePoint stamp;
+  };
+  std::optional<Datagram> recv_with_timestamp(Duration timeout);
+
+  std::uint16_t local_port() const;
+  int fd() const { return fd_.get(); }
+
+ private:
+  explicit UdpSocket(FileDescriptor fd) : fd_{std::move(fd)} {}
+  FileDescriptor fd_;
+};
+
+/// Minimal blocking TCP stream with length-prefixed message framing:
+/// every message is [u32 little-endian length][payload].
+class TcpStream {
+ public:
+  static TcpStream connect(const Endpoint& remote, Duration timeout);
+
+  /// Send one framed message.
+  void send_frame(std::span<const std::byte> payload);
+
+  /// Receive one framed message; nullopt on timeout or orderly shutdown.
+  std::optional<std::vector<std::byte>> recv_frame(Duration timeout);
+
+  int fd() const { return fd_.get(); }
+
+  explicit TcpStream(FileDescriptor fd) : fd_{std::move(fd)} {}
+
+ private:
+  void send_all(std::span<const std::byte> data);
+  bool recv_all(std::span<std::byte> out, Duration timeout);
+
+  FileDescriptor fd_;
+};
+
+/// Listening TCP socket.
+class TcpListener {
+ public:
+  static TcpListener bind(const Endpoint& local);
+
+  /// Accept one connection; nullopt on timeout.
+  std::optional<TcpStream> accept(Duration timeout);
+
+  std::uint16_t local_port() const;
+
+ private:
+  explicit TcpListener(FileDescriptor fd) : fd_{std::move(fd)} {}
+  FileDescriptor fd_;
+};
+
+/// CLOCK_MONOTONIC as a TimePoint (the live backend's clock).
+TimePoint monotonic_now();
+
+/// Sleep until the given monotonic time: coarse clock_nanosleep for the
+/// bulk, then a short spin for the last stretch. This is how the live
+/// sender paces probe packets to the stream period T (>= 100 us), where
+/// plain sleep granularity would be far too coarse.
+void sleep_until(TimePoint deadline, Duration spin_window = Duration::microseconds(60));
+
+}  // namespace pathload::net

@@ -1,0 +1,116 @@
+#include "net/wire.hpp"
+
+namespace pathload::net {
+
+std::vector<std::byte> StreamStartMsg::encode() const {
+  ByteWriter w;
+  w.put(stream_id);
+  w.put(packet_count);
+  w.put(packet_size);
+  w.put(period_ns);
+  return w.take();
+}
+
+std::optional<StreamStartMsg> StreamStartMsg::decode(std::span<const std::byte> payload) {
+  ByteReader r{payload};
+  StreamStartMsg m;
+  m.stream_id = r.get<std::uint32_t>();
+  m.packet_count = r.get<std::uint32_t>();
+  m.packet_size = r.get<std::uint32_t>();
+  m.period_ns = r.get<std::int64_t>();
+  if (!r.ok() || m.packet_count == 0 || m.packet_size < kProbeHeaderSize ||
+      m.period_ns <= 0) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+core::StreamSpec StreamStartMsg::to_spec() const {
+  core::StreamSpec spec;
+  spec.stream_id = stream_id;
+  spec.packet_count = static_cast<int>(packet_count);
+  spec.packet_size = static_cast<int>(packet_size);
+  spec.period = Duration::nanoseconds(period_ns);
+  return spec;
+}
+
+StreamStartMsg StreamStartMsg::from_spec(const core::StreamSpec& spec) {
+  StreamStartMsg m;
+  m.stream_id = spec.stream_id;
+  m.packet_count = static_cast<std::uint32_t>(spec.packet_count);
+  m.packet_size = static_cast<std::uint32_t>(spec.packet_size);
+  m.period_ns = spec.period.nanos();
+  return m;
+}
+
+std::vector<std::byte> StreamResultMsg::encode() const {
+  ByteWriter w;
+  w.put(stream_id);
+  w.put(static_cast<std::uint32_t>(records.size()));
+  for (const auto& rec : records) {
+    w.put(rec.seq);
+    w.put(rec.sent.nanos());
+    w.put(rec.received.nanos());
+  }
+  return w.take();
+}
+
+std::optional<StreamResultMsg> StreamResultMsg::decode(
+    std::span<const std::byte> payload) {
+  ByteReader r{payload};
+  StreamResultMsg m;
+  m.stream_id = r.get<std::uint32_t>();
+  const auto count = r.get<std::uint32_t>();
+  if (!r.ok() || count > 1'000'000) return std::nullopt;
+  m.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    core::ProbeRecord rec;
+    rec.seq = r.get<std::uint32_t>();
+    rec.sent = TimePoint::from_nanos(r.get<std::int64_t>());
+    rec.received = TimePoint::from_nanos(r.get<std::int64_t>());
+    m.records.push_back(rec);
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> make_message(MsgType type, std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(1 + payload.size());
+  out.push_back(static_cast<std::byte>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<ParsedMessage> parse_message(std::span<const std::byte> frame) {
+  if (frame.empty()) return std::nullopt;
+  const auto type = static_cast<std::uint8_t>(frame[0]);
+  if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
+      type > static_cast<std::uint8_t>(MsgType::kBye)) {
+    return std::nullopt;
+  }
+  return ParsedMessage{static_cast<MsgType>(type), frame.subspan(1)};
+}
+
+void write_probe_header(std::span<std::byte> packet, const ProbeHeader& h) {
+  ByteWriter w;
+  w.put(kProbeMagic);
+  w.put(h.stream_id);
+  w.put(h.seq);
+  w.put(h.sent_ns);
+  const auto bytes = w.take();
+  std::memcpy(packet.data(), bytes.data(), std::min(bytes.size(), packet.size()));
+}
+
+std::optional<ProbeHeader> read_probe_header(std::span<const std::byte> packet) {
+  if (packet.size() < kProbeHeaderSize) return std::nullopt;
+  ByteReader r{packet};
+  if (r.get<std::uint32_t>() != kProbeMagic) return std::nullopt;
+  ProbeHeader h;
+  h.stream_id = r.get<std::uint32_t>();
+  h.seq = r.get<std::uint32_t>();
+  h.sent_ns = r.get<std::int64_t>();
+  return h;
+}
+
+}  // namespace pathload::net

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/stream.hpp"
+
+namespace pathload::net {
+
+/// Control-channel message types (TCP, framed).
+///
+/// The real pathload likewise runs its measurement protocol over a TCP
+/// connection while the probe streams themselves are UDP (Section IV).
+enum class MsgType : std::uint8_t {
+  kHello = 1,        ///< sender -> receiver: session open
+  kHelloReply = 2,   ///< receiver -> sender: carries the receiver's UDP port
+  kStreamStart = 3,  ///< sender -> receiver: a stream is about to be sent
+  kStreamResult = 4, ///< receiver -> sender: per-packet records of the stream
+  kEcho = 5,         ///< RTT probe over the control channel
+  kEchoReply = 6,
+  kBye = 7,          ///< session close
+};
+
+/// Little-endian append-only buffer writer.
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(T v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Little-endian sequential reader; `ok()` turns false on underrun instead
+/// of throwing, so malformed peer input degrades to a rejected message.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_{data} {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T v{};
+    if (pos_ + sizeof(T) > data_.size()) {
+      ok_ = false;
+      return v;
+    }
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+/// Header of one stream announcement.
+struct StreamStartMsg {
+  std::uint32_t stream_id{0};
+  std::uint32_t packet_count{0};
+  std::uint32_t packet_size{0};
+  std::int64_t period_ns{0};
+
+  std::vector<std::byte> encode() const;
+  static std::optional<StreamStartMsg> decode(std::span<const std::byte> payload);
+
+  core::StreamSpec to_spec() const;
+  static StreamStartMsg from_spec(const core::StreamSpec& spec);
+};
+
+/// What the receiver saw of one stream.
+struct StreamResultMsg {
+  std::uint32_t stream_id{0};
+  std::vector<core::ProbeRecord> records;
+
+  std::vector<std::byte> encode() const;
+  static std::optional<StreamResultMsg> decode(std::span<const std::byte> payload);
+};
+
+/// Build a full framed control message: [type u8][payload...].
+std::vector<std::byte> make_message(MsgType type, std::span<const std::byte> payload = {});
+
+/// Split a received control message into type + payload view.
+struct ParsedMessage {
+  MsgType type;
+  std::span<const std::byte> payload;
+};
+std::optional<ParsedMessage> parse_message(std::span<const std::byte> frame);
+
+/// UDP probe packet header (the rest of the packet is padding up to L):
+/// [magic u32][stream_id u32][seq u32][sent_ns i64].
+inline constexpr std::uint32_t kProbeMagic = 0x534c6f50;  // "SLoP"
+inline constexpr std::size_t kProbeHeaderSize = 4 + 4 + 4 + 8;
+
+struct ProbeHeader {
+  std::uint32_t stream_id{0};
+  std::uint32_t seq{0};
+  std::int64_t sent_ns{0};
+};
+
+/// Fill `packet` (already sized to L >= header) with the probe header.
+void write_probe_header(std::span<std::byte> packet, const ProbeHeader& h);
+
+/// Parse a probe packet; nullopt if it is not ours (magic mismatch / short).
+std::optional<ProbeHeader> read_probe_header(std::span<const std::byte> packet);
+
+}  // namespace pathload::net

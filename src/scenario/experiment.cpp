@@ -1,0 +1,85 @@
+#include "scenario/experiment.hpp"
+
+#include "scenario/sim_channel.hpp"
+#include "util/stats.hpp"
+
+namespace pathload::scenario {
+
+Rate RepeatedRuns::mean_low() const {
+  OnlineStats s;
+  for (const auto& r : results) s.add(r.range.low.bits_per_sec());
+  return Rate::bps(s.mean());
+}
+
+Rate RepeatedRuns::mean_high() const {
+  OnlineStats s;
+  for (const auto& r : results) s.add(r.range.high.bits_per_sec());
+  return Rate::bps(s.mean());
+}
+
+double RepeatedRuns::cv_low() const {
+  OnlineStats s;
+  for (const auto& r : results) s.add(r.range.low.bits_per_sec());
+  return s.cv();
+}
+
+double RepeatedRuns::cv_high() const {
+  OnlineStats s;
+  for (const auto& r : results) s.add(r.range.high.bits_per_sec());
+  return s.cv();
+}
+
+std::vector<double> RepeatedRuns::relative_variations() const {
+  std::vector<double> rhos;
+  rhos.reserve(results.size());
+  for (const auto& r : results) rhos.push_back(r.range.relative_variation());
+  return rhos;
+}
+
+double RepeatedRuns::coverage(Rate truth) const {
+  if (results.empty()) return 0.0;
+  int hits = 0;
+  for (const auto& r : results) {
+    if (r.range.contains(truth)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(results.size());
+}
+
+Duration RepeatedRuns::mean_elapsed() const {
+  if (results.empty()) return Duration::zero();
+  Duration total = Duration::zero();
+  for (const auto& r : results) total += r.elapsed;
+  return total / static_cast<double>(results.size());
+}
+
+double RepeatedRuns::mean_fleets() const {
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : results) total += r.fleets;
+  return total / static_cast<double>(results.size());
+}
+
+core::PathloadResult run_pathload_once(const PaperPathConfig& path_cfg,
+                                       const core::PathloadConfig& tool_cfg,
+                                       std::uint64_t seed) {
+  PaperPathConfig cfg = path_cfg;
+  cfg.seed = seed;
+  Testbed bed{cfg};
+  bed.start();
+  SimProbeChannel channel{bed.simulator(), bed.path()};
+  core::PathloadSession session{channel, tool_cfg};
+  return session.run();
+}
+
+RepeatedRuns run_pathload_repeated(const PaperPathConfig& path_cfg,
+                                   const core::PathloadConfig& tool_cfg, int runs,
+                                   std::uint64_t seed0) {
+  RepeatedRuns out;
+  out.results.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    out.results.push_back(run_pathload_once(path_cfg, tool_cfg, seed0 + i));
+  }
+  return out;
+}
+
+}  // namespace pathload::scenario

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/session.hpp"
+#include "scenario/paper_path.hpp"
+
+namespace pathload::scenario {
+
+/// Aggregate of repeated pathload runs at one operating point, as the paper
+/// reports them (e.g. "50-sample average pathload ranges", Fig. 5).
+struct RepeatedRuns {
+  std::vector<core::PathloadResult> results;
+
+  /// Mean of the per-run lower bounds.
+  Rate mean_low() const;
+  /// Mean of the per-run upper bounds.
+  Rate mean_high() const;
+  /// Coefficient of variation of the lower / upper bounds (the paper quotes
+  /// 0.10-0.30 for its simulations).
+  double cv_low() const;
+  double cv_high() const;
+  /// Relative variation rho (Eq. 12) of every run.
+  std::vector<double> relative_variations() const;
+  /// Fraction of runs whose range contains `truth`.
+  double coverage(Rate truth) const;
+  /// Mean virtual duration of a run.
+  Duration mean_elapsed() const;
+  /// Mean number of fleets per run.
+  double mean_fleets() const;
+};
+
+/// Run pathload `runs` times on independent testbeds built from `path_cfg`
+/// (seeded `seed0`, `seed0`+1, ...), each on a freshly warmed-up path.
+RepeatedRuns run_pathload_repeated(const PaperPathConfig& path_cfg,
+                                   const core::PathloadConfig& tool_cfg, int runs,
+                                   std::uint64_t seed0);
+
+/// Single pathload run on a fresh testbed (convenience).
+core::PathloadResult run_pathload_once(const PaperPathConfig& path_cfg,
+                                       const core::PathloadConfig& tool_cfg,
+                                       std::uint64_t seed);
+
+}  // namespace pathload::scenario

@@ -1,0 +1,65 @@
+#include "scenario/paper_path.hpp"
+
+#include <stdexcept>
+
+namespace pathload::scenario {
+
+Testbed::Testbed(PaperPathConfig cfg) : cfg_{std::move(cfg)} {
+  if (cfg_.hops < 1) throw std::invalid_argument{"need at least one hop"};
+  if (cfg_.tight_utilization < 0.0 || cfg_.tight_utilization >= 1.0) {
+    throw std::invalid_argument{"tight utilization must be in [0, 1)"};
+  }
+  tight_index_ = static_cast<std::size_t>(cfg_.hops / 2);
+
+  const Duration per_hop_delay = cfg_.total_prop_delay / static_cast<double>(cfg_.hops);
+  std::vector<sim::HopSpec> hops;
+  hops.reserve(static_cast<std::size_t>(cfg_.hops));
+  for (int i = 0; i < cfg_.hops; ++i) {
+    const bool tight = static_cast<std::size_t>(i) == tight_index_;
+    const Rate capacity = tight ? cfg_.tight_capacity : cfg_.nontight_capacity();
+    hops.push_back(sim::HopSpec{capacity, per_hop_delay, capacity.bytes_in(cfg_.buffer_drain)});
+  }
+  path_ = std::make_unique<sim::Path>(sim_, std::move(hops));
+
+  Rng rng{cfg_.seed};
+  for (int i = 0; i < cfg_.hops; ++i) {
+    const bool tight = static_cast<std::size_t>(i) == tight_index_;
+    const Rate cross = tight ? cfg_.tight_capacity * cfg_.tight_utilization
+                             : cfg_.nontight_capacity() * cfg_.nontight_utilization;
+    if (cross <= Rate::zero()) {
+      traffic_.push_back(nullptr);
+      continue;
+    }
+    traffic_.push_back(std::make_unique<sim::TrafficAggregate>(
+        sim_, path_->link(static_cast<std::size_t>(i)), cross, cfg_.sources_per_link,
+        cfg_.model, cfg_.size_mix, rng.fork(), cfg_.pareto_alpha));
+  }
+}
+
+fluid::FluidPath Testbed::fluid() const {
+  std::vector<fluid::FluidLink> links;
+  links.reserve(static_cast<std::size_t>(cfg_.hops));
+  for (int i = 0; i < cfg_.hops; ++i) {
+    const bool tight = static_cast<std::size_t>(i) == tight_index_;
+    const Rate capacity = tight ? cfg_.tight_capacity : cfg_.nontight_capacity();
+    const double u = tight ? cfg_.tight_utilization : cfg_.nontight_utilization;
+    links.push_back(fluid::FluidLink{capacity, capacity * u});
+  }
+  return fluid::FluidPath{std::move(links)};
+}
+
+void Testbed::start() {
+  for (auto& t : traffic_) {
+    if (t) t->start();
+  }
+  sim_.run_for(cfg_.warmup);
+}
+
+sim::UtilizationMonitor& Testbed::monitor_tight_link(Duration window) {
+  monitors_.push_back(
+      std::make_unique<sim::UtilizationMonitor>(sim_, tight_link(), window));
+  monitors_.back()->start();
+  return *monitors_.back();
+}
+
+}  // namespace pathload::scenario

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fluid/fluid_model.hpp"
+#include "sim/monitor.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace pathload::scenario {
+
+/// The simulation topology of the paper's Fig. 4: an H-hop path whose
+/// middle hop is the tight link (capacity Ct, utilization ut) while all
+/// other hops share capacity Cx and utilization ux. Each hop carries its
+/// own one-hop cross traffic from `sources_per_link` independent sources.
+///
+/// The *path tightness factor* beta = Ax / At (Eq. 10) sets how close the
+/// non-tight links' avail-bw is to the tight link's: the non-tight capacity
+/// is derived as Cx = beta * At / (1 - ux). beta = 1 with ux = ut makes
+/// every link a tight link (the Fig. 7 stress case).
+struct PaperPathConfig {
+  int hops{3};
+  Rate tight_capacity{Rate::mbps(10)};
+  double tight_utilization{0.6};
+  double beta{2.0};
+  double nontight_utilization{0.6};
+
+  sim::Interarrival model{sim::Interarrival::kPareto};
+  double pareto_alpha{1.9};
+  int sources_per_link{10};
+  sim::PacketSizeMix size_mix{sim::PacketSizeMix::paper_mix()};
+
+  /// End-to-end propagation delay, split evenly across hops (paper: 50 ms).
+  Duration total_prop_delay{Duration::milliseconds(50)};
+  /// Reverse-path delay for ACK/echo traffic (uncongested).
+  Duration reverse_delay{Duration::milliseconds(50)};
+  /// Per-link buffer as a drain time at link capacity ("sufficiently
+  /// buffered to avoid losses"): buffer_bytes = C * buffer_drain.
+  Duration buffer_drain{Duration::milliseconds(500)};
+
+  std::uint64_t seed{1};
+  /// Virtual time to run cross traffic before measuring, so queues reach
+  /// steady state.
+  Duration warmup{Duration::seconds(2)};
+
+  Rate tight_avail_bw() const { return tight_capacity * (1.0 - tight_utilization); }
+  Rate nontight_capacity() const {
+    return tight_avail_bw() * beta / (1.0 - nontight_utilization);
+  }
+};
+
+/// A ready-to-measure simulated network: simulator + path + cross traffic
+/// + a utilization monitor on the tight link. One Testbed per measurement
+/// run keeps runs statistically independent and reproducible by seed.
+class Testbed {
+ public:
+  explicit Testbed(PaperPathConfig cfg);
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Path& path() { return *path_; }
+  const PaperPathConfig& config() const { return cfg_; }
+
+  std::size_t tight_index() const { return tight_index_; }
+  sim::Link& tight_link() { return path_->link(tight_index_); }
+
+  /// Configured (long-term average) end-to-end avail-bw: Ct * (1 - ut).
+  Rate configured_avail_bw() const { return cfg_.tight_avail_bw(); }
+
+  /// The matching stationary fluid model (for analytic cross-checks).
+  fluid::FluidPath fluid() const;
+
+  /// Start cross traffic and run the warmup period.
+  void start();
+
+  /// Attach an MRTG-style monitor to the tight link (must be called before
+  /// readings are needed; windows start at the current virtual time).
+  sim::UtilizationMonitor& monitor_tight_link(Duration window);
+
+ private:
+  PaperPathConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Path> path_;
+  std::size_t tight_index_;
+  std::vector<std::unique_ptr<sim::TrafficAggregate>> traffic_;
+  std::vector<std::unique_ptr<sim::UtilizationMonitor>> monitors_;
+};
+
+}  // namespace pathload::scenario

@@ -1,0 +1,86 @@
+#include "scenario/sim_channel.hpp"
+
+namespace pathload::scenario {
+
+SimProbeChannel::SimProbeChannel(sim::Simulator& sim, sim::Path& path)
+    : sim_{sim}, path_{path}, flow_{sim.next_flow_id()} {
+  receiver_.channel = this;
+  path_.egress().register_flow(flow_, &receiver_);
+}
+
+SimProbeChannel::~SimProbeChannel() { path_.egress().unregister_flow(flow_); }
+
+Duration SimProbeChannel::rtt() const {
+  // Unloaded forward transit of a small packet plus the reverse path; the
+  // session only uses this as a floor for the inter-stream idle.
+  return path_.unloaded_transit_time(DataSize::bytes(200)) +
+         path_.base_delay();
+}
+
+std::uint64_t SimProbeChannel::probe_drops() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < path_.hop_count(); ++i) {
+    total += path_.link(i).drops_for_flow(flow_);
+  }
+  return total;
+}
+
+void SimProbeChannel::Receiver::handle(const sim::Packet& p) {
+  if (p.stream_id != channel->current_stream_) return;  // stale straggler
+  core::ProbeRecord rec;
+  rec.seq = p.seq;
+  rec.sent = p.sender_ts;
+  rec.received = channel->sim_.now() + channel->receiver_offset_;
+  channel->records_.push_back(rec);
+}
+
+core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
+  current_stream_ = spec.stream_id;
+  records_.clear();
+  records_.reserve(static_cast<std::size_t>(spec.packet_count));
+
+  const std::uint64_t drops_before = probe_drops();
+  const TimePoint start = sim_.now();
+
+  // Schedule the K periodic transmissions. A send-gap injection (context
+  // switch) delays a packet's actual departure; subsequent packets keep
+  // their nominal schedule unless they too are delayed, which matches a
+  // sender that falls behind and immediately catches up.
+  Duration accumulated_gap = Duration::zero();
+  for (int i = 0; i < spec.packet_count; ++i) {
+    const auto seq = static_cast<std::uint32_t>(i);
+    if (gap_injector_) accumulated_gap += gap_injector_(seq);
+    const TimePoint send_at =
+        start + spec.period * static_cast<double>(i) + accumulated_gap;
+    sim_.schedule_at(send_at, [this, &spec, seq] {
+      sim::Packet p;
+      p.id = sim_.next_packet_id();
+      p.flow = flow_;
+      p.kind = sim::PacketKind::kProbe;
+      p.size_bytes = spec.packet_size;
+      p.transit = true;
+      p.stream_id = spec.stream_id;
+      p.seq = seq;
+      p.sender_ts = sim_.now() + sender_offset_;
+      p.entered = sim_.now();
+      path_.ingress().handle(p);
+    });
+  }
+
+  // Run until every probe packet is accounted for: received or dropped.
+  // Cross-traffic sources always have future events pending, so the guard
+  // against an empty queue is purely defensive.
+  const auto target = static_cast<std::uint64_t>(spec.packet_count);
+  while (static_cast<std::uint64_t>(records_.size()) + (probe_drops() - drops_before) <
+         target) {
+    if (!sim_.run_next()) break;
+  }
+
+  core::StreamOutcome outcome;
+  outcome.sent_count = spec.packet_count;
+  outcome.records = std::move(records_);
+  records_ = {};
+  return outcome;
+}
+
+}  // namespace pathload::scenario

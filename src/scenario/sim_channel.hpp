@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+
+namespace pathload::scenario {
+
+/// ProbeChannel backend that sends periodic streams through the simulator.
+///
+/// The sender and receiver are modelled as hosts with *independent clocks*
+/// (configurable constant offsets): probe packets carry sender-clock
+/// timestamps, the receiver stamps arrivals with its own clock, and the
+/// SLoPS analysis must work on the resulting relative OWDs alone —
+/// faithfully reproducing the real tool's "no clock synchronization
+/// required" property (Section IV).
+class SimProbeChannel final : public core::ProbeChannel {
+ public:
+  SimProbeChannel(sim::Simulator& sim, sim::Path& path);
+  ~SimProbeChannel() override;
+
+  core::StreamOutcome run_stream(const core::StreamSpec& spec) override;
+  void idle(Duration d) override { sim_.run_for(d); }
+  TimePoint now() override { return sim_.now(); }
+  Duration rtt() const override;
+
+  /// Clock offsets of the two hosts relative to the simulation clock.
+  void set_sender_clock_offset(Duration d) { sender_offset_ = d; }
+  void set_receiver_clock_offset(Duration d) { receiver_offset_ = d; }
+
+  /// Test hook: extra transmission delay injected before packet `seq` of
+  /// every stream (models a sender-side context switch; the anomaly shifts
+  /// both the actual send time and the sender timestamp).
+  using SendGapInjector = std::function<Duration(std::uint32_t seq)>;
+  void set_send_gap_injector(SendGapInjector f) { gap_injector_ = std::move(f); }
+
+  std::uint32_t flow() const { return flow_; }
+
+ private:
+  class Receiver final : public sim::PacketHandler {
+   public:
+    void handle(const sim::Packet& p) override;
+    SimProbeChannel* channel{nullptr};
+  };
+
+  std::uint64_t probe_drops() const;
+
+  sim::Simulator& sim_;
+  sim::Path& path_;
+  std::uint32_t flow_;
+  Receiver receiver_;
+
+  Duration sender_offset_{Duration::zero()};
+  Duration receiver_offset_{Duration::zero()};
+  SendGapInjector gap_injector_;
+
+  // State of the stream currently in flight.
+  std::uint32_t current_stream_{0};
+  std::vector<core::ProbeRecord> records_;
+};
+
+}  // namespace pathload::scenario

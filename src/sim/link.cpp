@@ -1,0 +1,72 @@
+#include "sim/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pathload::sim {
+
+Link::Link(Simulator& sim, std::string name, Rate capacity, Duration prop_delay,
+           DataSize buffer_limit)
+    : sim_{sim},
+      name_{std::move(name)},
+      capacity_{capacity},
+      prop_delay_{prop_delay},
+      buffer_limit_{buffer_limit} {
+  if (capacity <= Rate::zero()) {
+    throw std::invalid_argument{"Link capacity must be positive"};
+  }
+}
+
+void Link::handle(const Packet& p) {
+  if (busy_) {
+    if (queued_bytes_ + p.size() > buffer_limit_) {
+      ++drops_;
+      if (p.flow != kCrossTrafficFlow) ++flow_drops_[p.flow];
+      return;
+    }
+    queue_.push_back(p);
+    queued_bytes_ += p.size();
+    return;
+  }
+  in_service_ = p;
+  begin_service();
+}
+
+void Link::begin_service() {
+  busy_ = true;
+  const Duration tx = capacity_.transmission_time(in_service_.size());
+  sim_.schedule_in(tx, [this] { finish_service(); });
+}
+
+void Link::finish_service() {
+  bytes_forwarded_ += in_service_.size();
+  ++packets_forwarded_;
+  if (downstream_ != nullptr) {
+    // Propagation: the packet appears at the downstream node prop_delay
+    // after its last bit leaves this link.
+    sim_.schedule_in(prop_delay_, [h = downstream_, pkt = in_service_] { h->handle(pkt); });
+  }
+  if (!queue_.empty()) {
+    in_service_ = queue_.front();
+    queue_.pop_front();
+    queued_bytes_ -= in_service_.size();
+    begin_service();
+  } else {
+    busy_ = false;
+  }
+}
+
+std::uint64_t Link::drops_for_flow(std::uint32_t flow) const {
+  auto it = flow_drops_.find(flow);
+  return it != flow_drops_.end() ? it->second : 0;
+}
+
+Duration Link::backlog_delay() const {
+  // Residual service of the in-flight packet is not tracked exactly; the
+  // upper bound (full serialization) is fine for tests and diagnostics.
+  DataSize backlog = queued_bytes_;
+  if (busy_) backlog += in_service_.size();
+  return capacity_.transmission_time(backlog);
+}
+
+}  // namespace pathload::sim

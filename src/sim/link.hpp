@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace pathload::sim {
+
+/// A store-and-forward link with an FCFS drop-tail queue, matching the
+/// queueing model of the paper (Section III-A assumes FCFS; Section VII
+/// notes drop-tail is "the common practice today").
+///
+/// A packet arriving at a busy link waits in a byte-limited buffer; when it
+/// reaches the head it is serialized for size/capacity and then experiences
+/// the link's propagation delay before being delivered downstream.
+class Link final : public PacketHandler {
+ public:
+  Link(Simulator& sim, std::string name, Rate capacity, Duration prop_delay,
+       DataSize buffer_limit);
+
+  /// Downstream receiver of everything this link forwards (not owned).
+  void set_downstream(PacketHandler* downstream) { downstream_ = downstream; }
+
+  /// Packet arrival at the tail of the queue (drop-tail if over buffer).
+  void handle(const Packet& p) override;
+
+  const std::string& name() const { return name_; }
+  Rate capacity() const { return capacity_; }
+  Duration prop_delay() const { return prop_delay_; }
+  DataSize buffer_limit() const { return buffer_limit_; }
+
+  /// Bytes currently queued, excluding the packet being serialized.
+  DataSize queued_bytes() const { return queued_bytes_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  bool busy() const { return busy_; }
+
+  /// Cumulative bytes fully serialized onto the wire (utilization counter —
+  /// the quantity an MRTG-style monitor reads, Eq. (2)).
+  DataSize bytes_forwarded() const { return bytes_forwarded_; }
+  std::uint64_t packets_forwarded() const { return packets_forwarded_; }
+  std::uint64_t drops() const { return drops_; }
+
+  /// Drops of a specific flow (probe-loss accounting; cheap because the
+  /// per-flow map is only touched on the rare drop path).
+  std::uint64_t drops_for_flow(std::uint32_t flow) const;
+
+  /// Queueing + serialization delay a hypothetical arrival right now would
+  /// see before reaching the wire (diagnostics / tests).
+  Duration backlog_delay() const;
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+ private:
+  void begin_service();
+  void finish_service();
+
+  Simulator& sim_;
+  std::string name_;
+  Rate capacity_;
+  Duration prop_delay_;
+  DataSize buffer_limit_;
+
+  std::deque<Packet> queue_;
+  Packet in_service_{};
+  bool busy_{false};
+  DataSize queued_bytes_{};
+
+  PacketHandler* downstream_{nullptr};
+  DataSize bytes_forwarded_{};
+  std::uint64_t packets_forwarded_{0};
+  std::uint64_t drops_{0};
+  std::unordered_map<std::uint32_t, std::uint64_t> flow_drops_;
+};
+
+}  // namespace pathload::sim

@@ -1,0 +1,94 @@
+#include "sim/monitor.hpp"
+
+#include <cmath>
+
+namespace pathload::sim {
+
+UtilizationMonitor::UtilizationMonitor(Simulator& sim, const Link& link,
+                                       Duration window)
+    : sim_{sim}, link_{link}, window_{window} {}
+
+void UtilizationMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  window_start_ = sim_.now();
+  bytes_at_window_start_ = link_.bytes_forwarded();
+  sim_.schedule_in(window_, [this] { sample(); });
+}
+
+void UtilizationMonitor::stop() {
+  if (!running_) return;
+  const Duration elapsed = sim_.now() - window_start_;
+  if (elapsed > Duration::zero()) {
+    const DataSize delta = link_.bytes_forwarded() - bytes_at_window_start_;
+    const double u = delta.bits() / (link_.capacity().bits_per_sec() * elapsed.secs());
+    readings_.push_back({window_start_, u, link_.capacity() * (1.0 - u)});
+  }
+  running_ = false;
+}
+
+void UtilizationMonitor::sample() {
+  if (!running_) return;
+  const DataSize delta = link_.bytes_forwarded() - bytes_at_window_start_;
+  const double u = delta.bits() / (link_.capacity().bits_per_sec() * window_.secs());
+  readings_.push_back({window_start_, u, link_.capacity() * (1.0 - u)});
+  window_start_ = sim_.now();
+  bytes_at_window_start_ = link_.bytes_forwarded();
+  sim_.schedule_in(window_, [this] { sample(); });
+}
+
+double UtilizationMonitor::average_utilization() const {
+  if (readings_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : readings_) sum += r.utilization;
+  return sum / static_cast<double>(readings_.size());
+}
+
+Rate UtilizationMonitor::average_avail_bw() const {
+  return link_.capacity() * (1.0 - average_utilization());
+}
+
+UtilizationMonitor::Band UtilizationMonitor::quantize(Rate value, Rate step) {
+  const double s = step.bits_per_sec();
+  const double lo = std::floor(value.bits_per_sec() / s) * s;
+  return {Rate::bps(lo), Rate::bps(lo + s)};
+}
+
+ThroughputMonitor::ThroughputMonitor(Simulator& sim, Duration bucket)
+    : sim_{sim}, bucket_width_{bucket} {}
+
+void ThroughputMonitor::handle(const Packet& p) {
+  roll_to(sim_.now());
+  current_bytes_ += p.size();
+  total_ += p.size();
+  if (downstream_ != nullptr) downstream_->handle(p);
+}
+
+void ThroughputMonitor::roll_to(TimePoint t) {
+  if (!started_) {
+    started_ = true;
+    current_start_ = t;
+    return;
+  }
+  while (t - current_start_ >= bucket_width_) {
+    buckets_.push_back({current_start_, current_bytes_, bucket_width_});
+    current_start_ += bucket_width_;
+    current_bytes_ = DataSize{};
+  }
+}
+
+std::vector<ThroughputMonitor::Bucket> ThroughputMonitor::finish() {
+  roll_to(sim_.now());
+  auto out = buckets_;
+  const Duration tail = sim_.now() - current_start_;
+  if (started_ && tail > Duration::zero()) {
+    out.push_back({current_start_, current_bytes_, tail});
+  }
+  return out;
+}
+
+Rate ThroughputMonitor::Bucket::rate() const {
+  return width > Duration::zero() ? rate_of(bytes, width) : Rate::zero();
+}
+
+}  // namespace pathload::sim

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace pathload::sim {
+
+/// One utilization reading over a window [start, start + window).
+struct UtilizationReading {
+  TimePoint start;
+  double utilization;  ///< in [0, 1]
+  Rate avail_bw;       ///< C * (1 - u), Eq. (2)
+};
+
+/// Periodic per-link byte-counter sampler: the stand-in for MRTG.
+///
+/// MRTG reads SNMP interface byte counters every 5 minutes; pathload's
+/// experimental verification (Fig. 10) compares against those readings.
+/// The monitor computes exactly that quantity from the simulated link, with
+/// an optional quantization matching the paper's "6 Mb/s ranges, due to the
+/// limited resolution of the graphs".
+class UtilizationMonitor {
+ public:
+  UtilizationMonitor(Simulator& sim, const Link& link, Duration window);
+
+  /// Begin sampling at the current simulation time.
+  void start();
+  /// Close the currently open window early and stop.
+  void stop();
+
+  const std::vector<UtilizationReading>& readings() const { return readings_; }
+
+  /// Average utilization across all closed windows.
+  double average_utilization() const;
+  /// Average avail-bw across all closed windows.
+  Rate average_avail_bw() const;
+
+  /// Quantize an avail-bw reading to a +-half-step band around the value,
+  /// like reading a low-resolution MRTG graph. Returns {low, high}.
+  struct Band {
+    Rate low;
+    Rate high;
+  };
+  static Band quantize(Rate value, Rate step);
+
+ private:
+  void sample();
+
+  Simulator& sim_;
+  const Link& link_;
+  Duration window_;
+  bool running_{false};
+  TimePoint window_start_{};
+  DataSize bytes_at_window_start_{};
+  std::vector<UtilizationReading> readings_;
+};
+
+/// Per-flow goodput sampler with fixed-size buckets (used for the 1-second
+/// and 5-minute BTC throughput series of Figs. 15-16).
+class ThroughputMonitor final : public PacketHandler {
+ public:
+  ThroughputMonitor(Simulator& sim, Duration bucket);
+
+  /// Chain to a downstream handler (monitor observes, then forwards).
+  void set_downstream(PacketHandler* h) { downstream_ = h; }
+
+  void handle(const Packet& p) override;
+
+  struct Bucket {
+    TimePoint start;
+    DataSize bytes;
+    Rate rate() const;
+    Duration width{};
+  };
+
+  /// Close the bucket containing `sim.now()` and return all buckets so far.
+  std::vector<Bucket> finish();
+
+  DataSize total_bytes() const { return total_; }
+
+ private:
+  void roll_to(TimePoint t);
+
+  Simulator& sim_;
+  Duration bucket_width_;
+  PacketHandler* downstream_{nullptr};
+  std::vector<Bucket> buckets_;
+  TimePoint current_start_{};
+  DataSize current_bytes_{};
+  bool started_{false};
+  DataSize total_{};
+};
+
+}  // namespace pathload::sim

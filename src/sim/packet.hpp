@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pathload::sim {
+
+/// Traffic class of a simulated packet; used for egress demultiplexing and
+/// per-class accounting.
+enum class PacketKind : std::uint8_t {
+  kCrossTraffic,  ///< hop-local background load (enters and leaves at one link)
+  kProbe,         ///< pathload / baseline probe packet (UDP in the real tool)
+  kTcpData,       ///< TCP segment travelling sender -> receiver
+  kTcpAck,        ///< TCP acknowledgment (modelled on an uncongested reverse path)
+  kPing,          ///< small RTT probe (stands in for the paper's ping)
+};
+
+/// Flow id 0 is reserved for anonymous cross traffic.
+constexpr std::uint32_t kCrossTrafficFlow = 0;
+
+/// A simulated packet. Kept as a small value type: links move packets
+/// through FIFO queues by value, so there is no per-packet allocation.
+struct Packet {
+  std::uint64_t id{0};          ///< unique per simulation
+  std::uint32_t flow{kCrossTrafficFlow};
+  PacketKind kind{PacketKind::kCrossTraffic};
+  std::int32_t size_bytes{0};   ///< wire size used for serialization delay
+  bool transit{false};          ///< true: traverses the whole path; false: one hop
+
+  std::uint32_t stream_id{0};   ///< probe: stream index within a session
+  std::uint32_t seq{0};         ///< probe/ping sequence within the stream
+  std::uint64_t tcp_seq{0};     ///< TCP: first byte (data) or cumulative ack (ack)
+
+  /// Timestamp applied by the *sending host's clock* at transmission time.
+  /// Host clocks may be offset from the simulation clock; SLoPS must cope.
+  TimePoint sender_ts{};
+  /// True simulation time the packet entered the path (diagnostics only;
+  /// measurement code must not read this).
+  TimePoint entered{};
+
+  DataSize size() const { return DataSize::bytes(size_bytes); }
+};
+
+/// Anything that can accept a packet at the current simulation time.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle(const Packet& p) = 0;
+};
+
+}  // namespace pathload::sim

@@ -1,0 +1,61 @@
+#include "sim/path.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pathload::sim {
+
+void FlowDemux::register_flow(std::uint32_t flow, PacketHandler* handler) {
+  handlers_[flow] = handler;
+}
+
+void FlowDemux::unregister_flow(std::uint32_t flow) { handlers_.erase(flow); }
+
+void FlowDemux::handle(const Packet& p) {
+  auto it = handlers_.find(p.flow);
+  if (it != handlers_.end()) {
+    it->second->handle(p);
+  } else {
+    ++unclaimed_;
+  }
+}
+
+Path::Path(Simulator& sim, std::vector<HopSpec> hops) {
+  if (hops.empty()) {
+    throw std::invalid_argument{"Path needs at least one hop"};
+  }
+  links_.reserve(hops.size());
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    links_.push_back(std::make_unique<Link>(sim, "link" + std::to_string(i),
+                                            hops[i].capacity, hops[i].prop_delay,
+                                            hops[i].buffer_limit));
+  }
+  junctions_.reserve(hops.size());
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    PacketHandler* next =
+        (i + 1 < hops.size()) ? static_cast<PacketHandler*>(links_[i + 1].get())
+                              : static_cast<PacketHandler*>(&egress_);
+    junctions_.push_back(std::make_unique<Junction>(next));
+    links_[i]->set_downstream(junctions_[i].get());
+  }
+}
+
+Rate Path::capacity() const {
+  Rate min_cap = links_.front()->capacity();
+  for (const auto& l : links_) min_cap = std::min(min_cap, l->capacity());
+  return min_cap;
+}
+
+Duration Path::base_delay() const {
+  Duration d = Duration::zero();
+  for (const auto& l : links_) d += l->prop_delay();
+  return d;
+}
+
+Duration Path::unloaded_transit_time(DataSize size) const {
+  Duration d = base_delay();
+  for (const auto& l : links_) d += l->capacity().transmission_time(size);
+  return d;
+}
+
+}  // namespace pathload::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace pathload::sim {
+
+/// Per-flow dispatcher at the receiving end of a path.
+///
+/// Several agents (pathload receiver, TCP sink, ping reflector) coexist at
+/// the egress host; packets are routed to them by flow id.
+class FlowDemux final : public PacketHandler {
+ public:
+  void register_flow(std::uint32_t flow, PacketHandler* handler);
+  void unregister_flow(std::uint32_t flow);
+  void handle(const Packet& p) override;
+
+  std::uint64_t unclaimed_packets() const { return unclaimed_; }
+
+ private:
+  std::unordered_map<std::uint32_t, PacketHandler*> handlers_;
+  std::uint64_t unclaimed_{0};
+};
+
+/// Parameters of one hop of a path.
+struct HopSpec {
+  Rate capacity;
+  Duration prop_delay{Duration::zero()};
+  DataSize buffer_limit{DataSize::bytes(1'000'000)};
+};
+
+/// A fixed, unidirectional multi-hop path: a chain of store-and-forward
+/// links (the paper's Section I model). Transit packets injected at the
+/// ingress traverse every link and surface at the egress demux; hop-local
+/// cross traffic injected directly into a link leaves the path right after
+/// that link (Fig. 4's topology).
+class Path {
+ public:
+  Path(Simulator& sim, std::vector<HopSpec> hops);
+
+  /// Entry point of the first link; inject end-to-end packets here.
+  PacketHandler& ingress() { return *links_.front(); }
+
+  /// Dispatcher for packets that exit the last link.
+  FlowDemux& egress() { return egress_; }
+
+  Link& link(std::size_t i) { return *links_.at(i); }
+  const Link& link(std::size_t i) const { return *links_.at(i); }
+  std::size_t hop_count() const { return links_.size(); }
+
+  /// End-to-end capacity: min link capacity (Eq. (1), the narrow link).
+  Rate capacity() const;
+
+  /// Sum of propagation delays (no queueing).
+  Duration base_delay() const;
+
+  /// Minimum end-to-end latency of a packet of `size`: propagation plus
+  /// serialization at every hop with empty queues.
+  Duration unloaded_transit_time(DataSize size) const;
+
+ private:
+  /// Routes transit packets from link i to link i+1 (or egress) and absorbs
+  /// exiting cross traffic.
+  class Junction final : public PacketHandler {
+   public:
+    explicit Junction(PacketHandler* next_for_transit) : next_{next_for_transit} {}
+    void handle(const Packet& p) override {
+      if (p.transit) next_->handle(p);
+    }
+
+   private:
+    PacketHandler* next_;
+  };
+
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Junction>> junctions_;
+  FlowDemux egress_;
+};
+
+}  // namespace pathload::sim

@@ -1,0 +1,49 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pathload::sim {
+
+Simulator::Simulator() { heap_.reserve(4096); }
+
+void Simulator::schedule_at(TimePoint t, Callback cb) {
+  if (t < now_) {
+    throw std::logic_error{"Simulator::schedule_at: time is in the past"};
+  }
+  heap_.push_back(Event{t, ++seq_, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Simulator::Event Simulator::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+bool Simulator::run_next() {
+  if (heap_.empty()) return false;
+  Event ev = pop_next();
+  now_ = ev.at;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::run_until(TimePoint t) {
+  while (!heap_.empty() && heap_.front().at <= t) {
+    Event ev = pop_next();
+    now_ = ev.at;
+    ++processed_;
+    ev.cb();
+  }
+  now_ = std::max(now_, t);
+}
+
+void Simulator::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace pathload::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/small_function.hpp"
+#include "util/time.hpp"
+
+namespace pathload::sim {
+
+/// Discrete-event simulation engine.
+///
+/// This is the substrate standing in for the paper's NS-2 simulations
+/// (Section V-A): links, traffic sources, and protocol agents schedule
+/// callbacks on a single virtual clock with nanosecond resolution.
+///
+/// Events with equal timestamps fire in scheduling order (FIFO tie-break),
+/// which makes packet arrivals deterministic and runs reproducible for a
+/// fixed RNG seed.
+class Simulator {
+ public:
+  // Sized so that a lambda capturing a Packet (~56 B) plus a couple of
+  // pointers stays inline; SmallFunction rejects larger captures at compile
+  // time rather than silently allocating.
+  using Callback = SmallFunction<120>;
+
+  Simulator();
+
+  /// Current virtual time.
+  TimePoint now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `t` (must not be in the past).
+  void schedule_at(TimePoint t, Callback cb);
+
+  /// Schedule `cb` to run `d` from now.
+  void schedule_in(Duration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
+
+  /// Run a single event; returns false if the queue is empty.
+  bool run_next();
+
+  /// Process all events with timestamp <= t, then advance the clock to t.
+  void run_until(TimePoint t);
+
+  /// Process all events in the next `d` of virtual time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Run until the event queue is fully drained.
+  void run_all();
+
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending_events() const { return heap_.size(); }
+
+  /// Globally unique packet id generator for this simulation.
+  std::uint64_t next_packet_id() { return ++packet_ids_; }
+
+  /// Globally unique flow id generator (flow 0 is reserved for cross traffic).
+  std::uint32_t next_flow_id() { return ++flow_ids_; }
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  Event pop_next();
+
+  std::vector<Event> heap_;
+  TimePoint now_{TimePoint::origin()};
+  std::uint64_t seq_{0};
+  std::uint64_t processed_{0};
+  std::uint64_t packet_ids_{0};
+  std::uint32_t flow_ids_{0};
+};
+
+}  // namespace pathload::sim

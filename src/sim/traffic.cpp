@@ -1,0 +1,110 @@
+#include "sim/traffic.hpp"
+
+#include <stdexcept>
+
+namespace pathload::sim {
+
+PacketSizeMix PacketSizeMix::paper_mix() {
+  return PacketSizeMix{{{40, 0.4}, {550, 0.5}, {1500, 0.1}}};
+}
+
+PacketSizeMix PacketSizeMix::fixed(std::int32_t size_bytes) {
+  return PacketSizeMix{{{size_bytes, 1.0}}};
+}
+
+std::int32_t PacketSizeMix::sample(Rng& rng) const {
+  std::vector<double> weights;
+  weights.reserve(bins.size());
+  for (const auto& b : bins) weights.push_back(b.weight);
+  return bins[rng.pick_weighted(weights)].size_bytes;
+}
+
+double PacketSizeMix::mean_bytes() const {
+  double total_w = 0.0;
+  double sum = 0.0;
+  for (const auto& b : bins) {
+    total_w += b.weight;
+    sum += b.weight * b.size_bytes;
+  }
+  return total_w > 0.0 ? sum / total_w : 0.0;
+}
+
+CrossTrafficSource::CrossTrafficSource(Simulator& sim, PacketHandler& target,
+                                       Rate mean_rate, Interarrival model,
+                                       PacketSizeMix mix, Rng rng, double pareto_alpha)
+    : sim_{sim},
+      target_{target},
+      mean_rate_{mean_rate},
+      model_{model},
+      mix_{std::move(mix)},
+      rng_{rng},
+      pareto_alpha_{pareto_alpha} {
+  if (mean_rate <= Rate::zero()) {
+    throw std::invalid_argument{"cross traffic rate must be positive"};
+  }
+  mean_gap_secs_ = mix_.mean_bytes() * 8.0 / mean_rate.bits_per_sec();
+}
+
+void CrossTrafficSource::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule_in(next_interarrival(), [this] { emit_and_reschedule(); });
+}
+
+Duration CrossTrafficSource::next_interarrival() {
+  switch (model_) {
+    case Interarrival::kExponential:
+      return Duration::seconds(rng_.exponential(mean_gap_secs_));
+    case Interarrival::kPareto:
+      return Duration::seconds(rng_.pareto(pareto_alpha_, mean_gap_secs_));
+    case Interarrival::kConstant:
+      return Duration::seconds(mean_gap_secs_);
+  }
+  return Duration::seconds(mean_gap_secs_);
+}
+
+void CrossTrafficSource::emit_and_reschedule() {
+  if (!running_) return;
+  Packet p;
+  p.id = sim_.next_packet_id();
+  p.flow = kCrossTrafficFlow;
+  p.kind = PacketKind::kCrossTraffic;
+  p.size_bytes = mix_.sample(rng_);
+  p.transit = false;
+  p.entered = sim_.now();
+  target_.handle(p);
+  ++packets_sent_;
+  bytes_sent_ += p.size();
+  sim_.schedule_in(next_interarrival(), [this] { emit_and_reschedule(); });
+}
+
+TrafficAggregate::TrafficAggregate(Simulator& sim, PacketHandler& target,
+                                   Rate aggregate_rate, int num_sources,
+                                   Interarrival model, PacketSizeMix mix, Rng rng,
+                                   double pareto_alpha) {
+  if (num_sources <= 0) {
+    throw std::invalid_argument{"TrafficAggregate needs at least one source"};
+  }
+  const Rate per_source = aggregate_rate / static_cast<double>(num_sources);
+  sources_.reserve(static_cast<std::size_t>(num_sources));
+  for (int i = 0; i < num_sources; ++i) {
+    sources_.push_back(std::make_unique<CrossTrafficSource>(
+        sim, target, per_source, model, mix, rng.fork(), pareto_alpha));
+  }
+}
+
+void TrafficAggregate::start() {
+  for (auto& s : sources_) s->start();
+}
+
+void TrafficAggregate::stop() {
+  for (auto& s : sources_) s->stop();
+}
+
+DataSize TrafficAggregate::bytes_sent() const {
+  DataSize total{};
+  for (const auto& s : sources_) total += s->bytes_sent();
+  return total;
+}
+
+}  // namespace pathload::sim

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pathload::sim {
+
+/// Interarrival process of a cross-traffic source.
+enum class Interarrival {
+  kExponential,  ///< Poisson arrivals (the paper's "smooth" traffic model)
+  kPareto,       ///< Pareto interarrivals, infinite variance (alpha = 1.9)
+  kConstant,     ///< CBR; useful for deterministic tests
+};
+
+/// Packet size distribution of cross traffic.
+struct PacketSizeMix {
+  struct Bin {
+    std::int32_t size_bytes;
+    double weight;
+  };
+  std::vector<Bin> bins;
+
+  /// The paper's Section V-A mix: 40% 40 B, 50% 550 B, 10% 1500 B.
+  static PacketSizeMix paper_mix();
+  /// Degenerate single-size mix.
+  static PacketSizeMix fixed(std::int32_t size_bytes);
+
+  std::int32_t sample(Rng& rng) const;
+  double mean_bytes() const;
+};
+
+/// One background traffic source feeding a specific link.
+///
+/// The source offers `mean_rate` on average: interarrival times are drawn
+/// from the chosen process with mean E[size] / rate, and packet sizes are
+/// drawn independently from the mix. Cross-traffic packets are hop-local
+/// (transit = false): they contend for exactly one link and then leave the
+/// path, matching the simulation topology of Fig. 4.
+class CrossTrafficSource {
+ public:
+  CrossTrafficSource(Simulator& sim, PacketHandler& target, Rate mean_rate,
+                     Interarrival model, PacketSizeMix mix, Rng rng,
+                     double pareto_alpha = 1.9);
+
+  /// Begin emitting packets (first arrival is one interarrival from now).
+  void start();
+  /// Stop emitting (in-flight packets are unaffected).
+  void stop() { running_ = false; }
+
+  Rate mean_rate() const { return mean_rate_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  DataSize bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void emit_and_reschedule();
+  Duration next_interarrival();
+
+  Simulator& sim_;
+  PacketHandler& target_;
+  Rate mean_rate_;
+  Interarrival model_;
+  PacketSizeMix mix_;
+  Rng rng_;
+  double pareto_alpha_;
+  double mean_gap_secs_;
+
+  bool running_{false};
+  std::uint64_t packets_sent_{0};
+  DataSize bytes_sent_{};
+};
+
+/// A fixed-size pool of independent sources sharing one aggregate rate.
+///
+/// The number of sources `n` models the *degree of statistical multiplexing*
+/// (Section VI-B): more sources at the same aggregate utilization yield a
+/// smoother arrival process, fewer sources a burstier one.
+class TrafficAggregate {
+ public:
+  TrafficAggregate(Simulator& sim, PacketHandler& target, Rate aggregate_rate,
+                   int num_sources, Interarrival model, PacketSizeMix mix, Rng rng,
+                   double pareto_alpha = 1.9);
+
+  void start();
+  void stop();
+
+  DataSize bytes_sent() const;
+  int source_count() const { return static_cast<int>(sources_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<CrossTrafficSource>> sources_;
+};
+
+}  // namespace pathload::sim

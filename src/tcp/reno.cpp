@@ -1,0 +1,217 @@
+#include "tcp/reno.hpp"
+
+#include <algorithm>
+
+namespace pathload::tcp {
+
+// --- TcpReceiver -----------------------------------------------------------
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, Duration reverse_delay)
+    : sim_{sim}, reverse_delay_{reverse_delay} {}
+
+void TcpReceiver::handle(const sim::Packet& data) {
+  mss_bytes_ = data.size_bytes;  // learn the segment wire size for stats
+  bytes_received_ += data.size();
+  const std::uint64_t seq = data.tcp_seq;
+  if (seq == rcv_next_) {
+    ++rcv_next_;
+    // Drain any contiguous out-of-order segments.
+    while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++rcv_next_;
+    }
+  } else if (seq > rcv_next_) {
+    out_of_order_.insert(seq);
+  }
+  // Immediate ACK (no delayed ACKs): dup ACKs drive fast retransmit.
+  if (sender_ != nullptr) {
+    sim::Packet ack;
+    ack.id = sim_.next_packet_id();
+    ack.flow = data.flow;
+    ack.kind = sim::PacketKind::kTcpAck;
+    ack.size_bytes = 40;
+    ack.tcp_seq = rcv_next_;
+    sim_.schedule_in(reverse_delay_, [w = sender_alive_, s = sender_, ack] {
+      if (!w.expired()) s->handle(ack);
+    });
+  }
+}
+
+// --- TcpSender --------------------------------------------------------------
+
+TcpSender::TcpSender(sim::Simulator& sim, sim::Path& path, TcpConfig cfg)
+    : sim_{sim},
+      path_{path},
+      cfg_{cfg},
+      flow_{sim.next_flow_id()},
+      cwnd_{cfg.initial_cwnd},
+      ssthresh_{cfg.initial_ssthresh},
+      rto_{cfg.initial_rto} {}
+
+void TcpSender::start() {
+  if (running_) return;
+  running_ = true;
+  started_ = sim_.now();
+  try_send();
+}
+
+double TcpSender::effective_window() const {
+  double w = cwnd_;
+  if (cfg_.advertised_window.has_value()) w = std::min(w, *cfg_.advertised_window);
+  return std::max(w, 1.0);
+}
+
+void TcpSender::try_send() {
+  if (!running_) return;
+  while (static_cast<double>(next_seq_ - highest_acked_) < effective_window()) {
+    transmit(next_seq_);
+    ++next_seq_;
+  }
+}
+
+void TcpSender::transmit(std::uint64_t seq) {
+  sim::Packet p;
+  p.id = sim_.next_packet_id();
+  p.flow = flow_;
+  p.kind = sim::PacketKind::kTcpData;
+  p.size_bytes = cfg_.mss_bytes + cfg_.header_bytes;
+  p.transit = true;
+  p.tcp_seq = seq;
+  p.entered = sim_.now();
+  path_.ingress().handle(p);
+  ++segments_sent_;
+  // Karn's rule: time one un-retransmitted segment at a time. A segment is
+  // "clean" here when it is the first transmission of a new sequence.
+  if (!timed_seq_.has_value() && seq == next_seq_) {
+    timed_seq_ = seq;
+    timed_sent_ = sim_.now();
+  }
+  if (!timer_armed_) arm_rto();
+}
+
+void TcpSender::handle(const sim::Packet& ack) {
+  const std::uint64_t cum = ack.tcp_seq;
+  if (cum > highest_acked_) {
+    on_new_ack(cum);
+  } else if (cum == highest_acked_ && next_seq_ > highest_acked_) {
+    on_dup_ack();
+  }
+  try_send();
+}
+
+void TcpSender::on_new_ack(std::uint64_t cum_ack) {
+  const auto newly_acked = static_cast<double>(cum_ack - highest_acked_);
+  // RTT sample (Karn: only if the timed segment was covered and never
+  // retransmitted — retransmission clears timed_seq_).
+  if (timed_seq_.has_value() && cum_ack > *timed_seq_) {
+    take_rtt_sample(sim_.now() - timed_sent_);
+    timed_seq_.reset();
+  }
+  highest_acked_ = cum_ack;
+  dup_acks_ = 0;
+
+  if (in_recovery_) {
+    if (cum_ack >= recover_point_) {
+      // Full recovery: deflate to ssthresh (Reno).
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+    } else {
+      // Partial ACK (NewReno): the next hole is also lost; retransmit it
+      // immediately and stay in recovery.
+      transmit(highest_acked_);
+      cwnd_ = std::max(ssthresh_, cwnd_ - newly_acked + 1.0);
+      arm_rto();
+      return;
+    }
+  } else if (cwnd_ < ssthresh_) {
+    cwnd_ += newly_acked;  // slow start: exponential growth per RTT
+  } else {
+    cwnd_ += newly_acked / cwnd_;  // congestion avoidance: +1 MSS per RTT
+  }
+  arm_rto();
+}
+
+void TcpSender::on_dup_ack() {
+  if (in_recovery_) {
+    cwnd_ += 1.0;  // window inflation per extra dup ACK
+    return;
+  }
+  if (++dup_acks_ == cfg_.dupack_threshold) {
+    enter_fast_recovery();
+  }
+}
+
+void TcpSender::enter_fast_recovery() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  recover_point_ = next_seq_;
+  in_recovery_ = true;
+  ++fast_retransmits_;
+  timed_seq_.reset();            // Karn: retransmitted segment is not timed
+  transmit(highest_acked_);      // fast retransmit of the missing segment
+  cwnd_ = ssthresh_ + cfg_.dupack_threshold;
+  arm_rto();
+}
+
+void TcpSender::on_rto(std::uint64_t generation) {
+  if (generation != rto_generation_) return;  // stale timer
+  if (next_seq_ == highest_acked_) {
+    // Nothing outstanding: let the timer lapse; the next transmission
+    // re-arms it.
+    timer_armed_ = false;
+    return;
+  }
+  ++timeouts_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  timed_seq_.reset();
+  next_seq_ = highest_acked_;  // go-back-N from the hole
+  rto_ = std::min(rto_ * 2.0, cfg_.max_rto);  // exponential backoff
+  arm_rto();
+  try_send();
+}
+
+void TcpSender::arm_rto() {
+  const std::uint64_t gen = ++rto_generation_;
+  timer_armed_ = true;
+  sim_.schedule_in(rto_, [w = std::weak_ptr<const bool>(alive_), this, gen] {
+    if (!w.expired()) on_rto(gen);
+  });
+}
+
+void TcpSender::take_rtt_sample(Duration sample) {
+  rtt_samples_.push_back(sample.secs());
+  if (srtt_ == Duration::zero()) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+  } else {
+    const Duration err = Duration::seconds(std::abs((sample - srtt_).secs()));
+    rttvar_ = rttvar_ * 0.75 + err * 0.25;
+    srtt_ = srtt_ * 0.875 + sample * 0.125;
+  }
+  rto_ = std::clamp(srtt_ + rttvar_ * 4.0, cfg_.min_rto, cfg_.max_rto);
+}
+
+DataSize TcpSender::bytes_acked() const {
+  return DataSize::bytes(static_cast<std::int64_t>(highest_acked_) * cfg_.mss_bytes);
+}
+
+Rate TcpSender::average_throughput() const {
+  const Duration elapsed = sim_.now() - started_;
+  if (elapsed <= Duration::zero()) return Rate::zero();
+  return rate_of(bytes_acked(), elapsed);
+}
+
+// --- TcpConnection -----------------------------------------------------------
+
+TcpConnection::TcpConnection(sim::Simulator& sim, sim::Path& path, TcpConfig cfg,
+                             Duration reverse_delay)
+    : path_{path}, receiver_{sim, reverse_delay}, sender_{sim, path, cfg} {
+  receiver_.connect(&sender_, sender_.alive_token());
+  path_.egress().register_flow(sender_.flow(), &receiver_);
+}
+
+TcpConnection::~TcpConnection() { path_.egress().unregister_flow(sender_.flow()); }
+
+}  // namespace pathload::tcp

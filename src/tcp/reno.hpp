@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace pathload::tcp {
+
+/// TCP Reno parameters. Sequence numbers are counted in MSS-sized segments
+/// (the simulator never fragments), so cwnd is in segments too.
+struct TcpConfig {
+  std::int32_t mss_bytes{1460};     ///< payload per segment
+  std::int32_t header_bytes{40};    ///< IP+TCP header on the wire
+  double initial_cwnd{2.0};
+  double initial_ssthresh{64.0};
+  /// Receiver advertised window in segments. A *BTC* connection (Section
+  /// VII) leaves this unset: "arbitrarily large advertised window". Cross
+  /// TCP flows set it to model application/receiver-limited transfers.
+  std::optional<double> advertised_window{};
+  int dupack_threshold{3};
+  Duration min_rto{Duration::milliseconds(200)};
+  Duration max_rto{Duration::seconds(60)};
+  Duration initial_rto{Duration::seconds(1)};
+};
+
+/// Receiving endpoint: cumulative ACKs with out-of-order buffering. ACKs
+/// return to the sender over an uncongested fixed-delay reverse path,
+/// matching the paper's experiments where congestion was on the forward
+/// direction. Safe to tear down mid-flight: reverse-path deliveries hold a
+/// liveness token and expire if the sender is gone.
+class TcpReceiver final : public sim::PacketHandler {
+ public:
+  TcpReceiver(sim::Simulator& sim, Duration reverse_delay);
+
+  /// The sender ACKs are delivered to (set once during connection wiring).
+  /// The liveness token guards the reverse-path delivery events: a
+  /// connection may be torn down while ACKs are still "in flight" in the
+  /// simulator, and those events must then expire silently.
+  void connect(sim::PacketHandler* sender, std::weak_ptr<const bool> sender_alive) {
+    sender_ = sender;
+    sender_alive_ = std::move(sender_alive);
+  }
+
+  void handle(const sim::Packet& data) override;
+
+  /// Next expected segment = total in-order segments received.
+  std::uint64_t cumulative_ack() const { return rcv_next_; }
+  DataSize bytes_received() const { return bytes_received_; }
+
+ private:
+  sim::Simulator& sim_;
+  Duration reverse_delay_;
+  sim::PacketHandler* sender_{nullptr};
+  std::weak_ptr<const bool> sender_alive_;
+  std::uint64_t rcv_next_{0};
+  std::set<std::uint64_t> out_of_order_;
+  DataSize bytes_received_{};
+  std::int32_t mss_bytes_{1460};
+};
+
+/// Sending endpoint implementing Reno congestion control: slow start,
+/// congestion avoidance, fast retransmit / fast recovery (with NewReno-style
+/// partial-ACK retransmission so multi-drop windows recover without RTO),
+/// Jacobson/Karels RTO with Karn's rule and exponential backoff.
+class TcpSender final : public sim::PacketHandler {
+ public:
+  TcpSender(sim::Simulator& sim, sim::Path& path, TcpConfig cfg);
+
+  /// Begin the (greedy) transfer: the application always has data.
+  void start();
+  /// Stop offering new data (in-flight data still completes).
+  void stop() { running_ = false; }
+
+  std::uint32_t flow() const { return flow_; }
+
+  // --- observability ---------------------------------------------------
+  double cwnd_segments() const { return cwnd_; }
+  double ssthresh_segments() const { return ssthresh_; }
+  std::uint64_t segments_acked() const { return highest_acked_; }
+  DataSize bytes_acked() const;
+  std::uint64_t fast_retransmits() const { return fast_retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t segments_sent() const { return segments_sent_; }
+  /// Smoothed RTT estimate (zero until the first sample).
+  Duration srtt() const { return srtt_; }
+  /// Every RTT sample taken (for jitter analysis in tests/benches).
+  const std::vector<double>& rtt_samples_secs() const { return rtt_samples_; }
+
+  /// Receives ACK packets.
+  void handle(const sim::Packet& ack) override;
+
+  /// Average goodput of the whole connection so far.
+  Rate average_throughput() const;
+
+  /// Liveness token for events that reference this sender (RTO timers,
+  /// reverse-path ACK deliveries). Expires when the sender is destroyed.
+  std::weak_ptr<const bool> alive_token() const { return alive_; }
+
+ private:
+  void try_send();
+  void transmit(std::uint64_t seq);
+  void on_new_ack(std::uint64_t cum_ack);
+  void on_dup_ack();
+  void enter_fast_recovery();
+  void on_rto(std::uint64_t generation);
+  void arm_rto();
+  void take_rtt_sample(Duration sample);
+  double effective_window() const;
+
+  sim::Simulator& sim_;
+  sim::Path& path_;
+  TcpConfig cfg_;
+  std::uint32_t flow_;
+  bool running_{false};
+  TimePoint started_{};
+
+  // Reno state (segments).
+  std::uint64_t next_seq_{0};       ///< next *new* segment to send
+  std::uint64_t highest_acked_{0};  ///< cumulative ACK
+  double cwnd_;
+  double ssthresh_;
+  int dup_acks_{0};
+  bool in_recovery_{false};
+  std::uint64_t recover_point_{0};
+
+  // RTO machinery.
+  Duration srtt_{Duration::zero()};
+  Duration rttvar_{Duration::zero()};
+  Duration rto_;
+  std::uint64_t rto_generation_{0};
+  bool timer_armed_{false};
+  std::optional<std::uint64_t> timed_seq_{};  ///< Karn: one clean sample at a time
+  TimePoint timed_sent_{};
+
+  // Counters.
+  std::uint64_t segments_sent_{0};
+  std::uint64_t fast_retransmits_{0};
+  std::uint64_t timeouts_{0};
+  std::vector<double> rtt_samples_;
+
+  // Destroyed with the sender; scheduled events hold weak copies.
+  std::shared_ptr<const bool> alive_{std::make_shared<const bool>(true)};
+};
+
+/// A fully wired TCP connection over a simulated path: sender at the
+/// ingress, receiver at the egress (registered on the path's flow demux),
+/// ACKs over a fixed-delay reverse path.
+class TcpConnection {
+ public:
+  TcpConnection(sim::Simulator& sim, sim::Path& path, TcpConfig cfg,
+                Duration reverse_delay);
+  ~TcpConnection();
+
+  TcpSender& sender() { return sender_; }
+  TcpReceiver& receiver() { return receiver_; }
+  std::uint32_t flow() const { return sender_.flow(); }
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+ private:
+  sim::Path& path_;
+  TcpReceiver receiver_;
+  TcpSender sender_;
+};
+
+}  // namespace pathload::tcp

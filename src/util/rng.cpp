@@ -1,0 +1,32 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pathload {
+
+double Rng::pareto(double alpha, double mean) {
+  if (alpha <= 1.0) {
+    throw std::invalid_argument{"Pareto mean is infinite for alpha <= 1"};
+  }
+  const double x_m = mean * (alpha - 1.0) / alpha;
+  // Inverse-CDF sampling: X = x_m / U^(1/alpha), U ~ Uniform(0,1].
+  double u = 1.0 - uniform();  // in (0, 1]
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::pick_weighted(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument{"pick_weighted: empty weights"};
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace pathload

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace pathload {
+
+/// Seeded pseudo-random source used everywhere randomness is needed.
+///
+/// Every experiment takes an explicit seed so simulation results are
+/// reproducible run-to-run (the paper's NS simulations are similarly
+/// seed-controlled). One Rng instance must not be shared across logically
+/// independent streams of randomness if independence matters; derive child
+/// generators with `fork()`.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Uniform in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>{0, n - 1}(engine_);
+  }
+
+  /// Exponential with the given mean (Poisson process interarrivals).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Pareto with shape `alpha` and the given mean (requires alpha > 1).
+  ///
+  /// The paper's cross traffic uses Pareto interarrivals with alpha = 1.9:
+  /// finite mean but infinite variance, i.e. heavy burstiness. Scale is
+  /// x_m = mean * (alpha - 1) / alpha so that E[X] = mean.
+  double pareto(double alpha, double mean);
+
+  /// Pick an index from a discrete distribution given by weights.
+  std::size_t pick_weighted(std::span<const double> weights);
+
+  /// Derive an independent child generator (stable given this Rng's state).
+  Rng fork() { return Rng{engine_()}; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace pathload

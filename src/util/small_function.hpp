@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pathload {
+
+/// A non-allocating, move-only callable holder for simulator events.
+///
+/// The discrete-event engine schedules millions of events per simulated
+/// experiment; `std::function` would heap-allocate for captures larger than
+/// its SBO. This holder stores the callable inline (up to `Capacity` bytes)
+/// and refuses larger captures at compile time, keeping the event loop
+/// allocation-free on the hot path.
+template <std::size_t Capacity = 56>
+class SmallFunction {
+ public:
+  SmallFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFunction> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "event capture too large for SmallFunction; shrink the lambda");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event callables must be nothrow-movable");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+    move_ = [](void* dst, void* src) {
+      ::new (dst) Fn(std::move(*std::launder(reinterpret_cast<Fn*>(src))));
+      std::launder(reinterpret_cast<Fn*>(src))->~Fn();
+    };
+    destroy_ = [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); };
+  }
+
+  SmallFunction(SmallFunction&& o) noexcept { move_from(std::move(o)); }
+
+  SmallFunction& operator=(SmallFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void move_from(SmallFunction&& o) noexcept {
+    if (o.invoke_ != nullptr) {
+      o.move_(storage_, o.storage_);
+      invoke_ = o.invoke_;
+      move_ = o.move_;
+      destroy_ = o.destroy_;
+      o.invoke_ = nullptr;
+      o.move_ = nullptr;
+      o.destroy_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    move_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*move_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace pathload

@@ -1,0 +1,91 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathload {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::cv() const {
+  return (n_ > 0 && mean_ != 0.0) ? stddev() / mean_ : 0.0;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 0.5); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted{xs.begin(), xs.end()};
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<PercentileRow> deciles_5_to_95(std::span<const double> xs) {
+  std::vector<PercentileRow> rows;
+  rows.reserve(10);
+  for (int p = 5; p <= 95; p += 10) {
+    rows.push_back({static_cast<double>(p), percentile(xs, p / 100.0)});
+  }
+  return rows;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n == 0) return fit;
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+double duration_weighted_average(std::span<const WeightedSample> samples) {
+  double weighted_sum = 0.0;
+  double total = 0.0;
+  for (const auto& s : samples) {
+    weighted_sum += s.value * s.duration.secs();
+    total += s.duration.secs();
+  }
+  return total > 0.0 ? weighted_sum / total : 0.0;
+}
+
+}  // namespace pathload

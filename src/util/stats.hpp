@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pathload {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Coefficient of variation: stddev / mean.
+  double cv() const;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Median of a sample (copies and partially sorts; empty input -> 0).
+double median(std::span<const double> xs);
+
+/// p-quantile (p in [0,1]) by linear interpolation of the sorted sample.
+double percentile(std::span<const double> xs, double p);
+
+/// Empirical CDF helper: percentiles {5, 15, ..., 95} as plotted in the
+/// paper's Figures 11-14.
+struct PercentileRow {
+  double pct;    ///< percentile level in percent (e.g. 75)
+  double value;  ///< sample value at that level
+};
+std::vector<PercentileRow> deciles_5_to_95(std::span<const double> xs);
+
+/// One interval measurement for the weighted average of Eq. (11): a
+/// measurement that lasted `duration` and reported midpoint `value`.
+struct WeightedSample {
+  double value;
+  Duration duration;
+};
+
+/// Duration-weighted average of interval measurements (paper Eq. (11)):
+/// sum(t_i * v_i) / sum(t_i). Used to compare ~10-30 s pathload runs
+/// against 5-minute MRTG averages.
+double duration_weighted_average(std::span<const WeightedSample> samples);
+
+/// Ordinary least-squares line fit y = slope * x + intercept.
+/// Fewer than two points (or zero x-variance) yields {0, mean(y)}.
+struct LinearFit {
+  double slope{0.0};
+  double intercept{0.0};
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace pathload

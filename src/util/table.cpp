@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pathload {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument{"Table row width does not match headers"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out += std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = render(headers_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace pathload

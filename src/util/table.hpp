@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pathload {
+
+/// Column-aligned text table for bench/example output.
+///
+/// Each bench binary prints the rows/series of the paper figure it
+/// regenerates through one of these, so the output is both human-readable
+/// and trivially machine-parseable (`--csv` style output via to_csv()).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with aligned columns.
+  std::string str() const;
+  /// Render as CSV.
+  std::string to_csv() const;
+
+  /// Print the aligned rendering to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pathload

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pathload {
+
+/// A signed span of time with nanosecond resolution.
+///
+/// Both the discrete-event simulator and the live (POSIX) backend express
+/// time in this type, so algorithm code in `core/` is backend-agnostic.
+/// Nanosecond resolution is sufficient: the smallest interval the paper
+/// cares about is the probe period T >= 100 us.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration microseconds(double us) {
+    return Duration{static_cast<std::int64_t>(us * 1e3)};
+  }
+  static constexpr Duration milliseconds(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  /// A value larger than any duration used in practice (~292 years).
+  static constexpr Duration max() { return Duration{INT64_MAX}; }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) * 1e-3; }
+  constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double secs() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) / k)};
+  }
+  /// Ratio of two durations (e.g. how many periods fit in a window).
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "18.0ms".
+  std::string str() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+/// An instant on a backend's clock (simulation clock or CLOCK_MONOTONIC),
+/// measured in nanoseconds from an arbitrary origin.
+///
+/// Different hosts may have different origins (non-synchronized clocks);
+/// SLoPS only ever uses *differences* of one-way delays, so a constant
+/// per-host offset cancels out (Section IV, "Clock and Timing Issues").
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_nanos(std::int64_t ns) { return TimePoint{ns}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double secs() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.nanos()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.nanos()}; }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::nanoseconds(ns_ - o.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.nanos(); return *this; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+}  // namespace pathload

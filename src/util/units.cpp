@@ -1,0 +1,47 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pathload {
+
+std::string Duration::str() const {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", secs());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", millis());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", micros());
+  } else {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(ns_));
+  }
+  return buf;
+}
+
+std::string DataSize::str() const {
+  char buf[64];
+  if (bytes_ >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2fMB", static_cast<double>(bytes_) * 1e-6);
+  } else if (bytes_ >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.2fKB", static_cast<double>(bytes_) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%ldB", static_cast<long>(bytes_));
+  }
+  return buf;
+}
+
+std::string Rate::str() const {
+  char buf[64];
+  if (bps_ >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fMb/s", bps_ * 1e-6);
+  } else if (bps_ >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fKb/s", bps_ * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fb/s", bps_);
+  }
+  return buf;
+}
+
+}  // namespace pathload

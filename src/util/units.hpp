@@ -1,0 +1,83 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace pathload {
+
+/// An amount of data in bytes.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  static constexpr DataSize bytes(std::int64_t b) { return DataSize{b}; }
+  static constexpr DataSize kilobytes(double kb) {
+    return DataSize{static_cast<std::int64_t>(kb * 1000.0)};
+  }
+
+  constexpr std::int64_t byte_count() const { return bytes_; }
+  constexpr double bits() const { return static_cast<double>(bytes_) * 8.0; }
+
+  constexpr DataSize operator+(DataSize o) const { return DataSize{bytes_ + o.bytes_}; }
+  constexpr DataSize operator-(DataSize o) const { return DataSize{bytes_ - o.bytes_}; }
+  constexpr DataSize& operator+=(DataSize o) { bytes_ += o.bytes_; return *this; }
+  constexpr DataSize& operator-=(DataSize o) { bytes_ -= o.bytes_; return *this; }
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+  std::string str() const;
+
+ private:
+  explicit constexpr DataSize(std::int64_t b) : bytes_{b} {}
+  std::int64_t bytes_{0};
+};
+
+/// A data rate in bits per second.
+///
+/// Throughout the library rates are *link-layer payload* rates, matching the
+/// paper's convention (capacities like "10 Mb/s" refer to what the queue
+/// drains at; the L >= 200 B constraint in Section IV exists precisely so
+/// layer-2 header overhead is negligible).
+class Rate {
+ public:
+  constexpr Rate() = default;
+  static constexpr Rate bps(double v) { return Rate{v}; }
+  static constexpr Rate kbps(double v) { return Rate{v * 1e3}; }
+  static constexpr Rate mbps(double v) { return Rate{v * 1e6}; }
+  static constexpr Rate zero() { return Rate{0.0}; }
+
+  constexpr double bits_per_sec() const { return bps_; }
+  constexpr double mbits_per_sec() const { return bps_ * 1e-6; }
+
+  /// Time to transmit `size` at this rate (store-and-forward serialization).
+  constexpr Duration transmission_time(DataSize size) const {
+    return Duration::seconds(size.bits() / bps_);
+  }
+  /// Data carried in `d` at this rate.
+  constexpr DataSize bytes_in(Duration d) const {
+    return DataSize::bytes(static_cast<std::int64_t>(bps_ * d.secs() / 8.0));
+  }
+
+  constexpr Rate operator+(Rate o) const { return Rate{bps_ + o.bps_}; }
+  constexpr Rate operator-(Rate o) const { return Rate{bps_ - o.bps_}; }
+  constexpr Rate operator*(double k) const { return Rate{bps_ * k}; }
+  constexpr Rate operator/(double k) const { return Rate{bps_ / k}; }
+  constexpr double operator/(Rate o) const { return bps_ / o.bps_; }
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  std::string str() const;
+
+ private:
+  explicit constexpr Rate(double v) : bps_{v} {}
+  double bps_{0.0};
+};
+
+constexpr Rate operator*(double k, Rate r) { return r * k; }
+
+/// Average rate of `size` delivered over `elapsed`.
+constexpr Rate rate_of(DataSize size, Duration elapsed) {
+  return Rate::bps(size.bits() / elapsed.secs());
+}
+
+}  // namespace pathload

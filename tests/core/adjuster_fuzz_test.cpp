@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/rate_adjuster.hpp"
+#include "util/rng.hpp"
+
+namespace pathload::core {
+namespace {
+
+// Randomized sequences of fleet verdicts must never break the adjuster's
+// structural invariants, regardless of how contradictory the "network"
+// is. This models pathologically bursty traffic where fleets disagree.
+
+PathloadConfig cfg() {
+  PathloadConfig c;
+  c.omega = Rate::mbps(1);
+  c.chi = Rate::mbps(1.5);
+  return c;
+}
+
+FleetVerdict random_verdict(Rng& rng) {
+  switch (rng.uniform_index(4)) {
+    case 0:
+      return FleetVerdict::kAbove;
+    case 1:
+      return FleetVerdict::kBelow;
+    case 2:
+      return FleetVerdict::kGrey;
+    default:
+      return FleetVerdict::kAbortedLoss;
+  }
+}
+
+class AdjusterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdjusterFuzz, InvariantsHoldUnderRandomVerdicts) {
+  Rng rng{GetParam()};
+  RateAdjuster adj{cfg(), Rate::mbps(rng.uniform(5.0, 120.0))};
+  for (int step = 0; step < 200 && !adj.converged(); ++step) {
+    const Rate rate = adj.next_rate();
+
+    // The probe rate must be inside the tool's working interval.
+    EXPECT_GE(rate, cfg().min_rate);
+    EXPECT_LE(rate, cfg().max_rate() + Rate::bps(1));
+
+    adj.record(rate, random_verdict(rng));
+
+    // Structural invariants after every update.
+    EXPECT_LE(adj.rmin(), adj.rmax() + Rate::bps(1));
+    if (adj.gmin().has_value()) {
+      EXPECT_LE(*adj.gmin(), *adj.gmax());
+      EXPECT_GE(*adj.gmin(), adj.rmin());
+      EXPECT_LE(*adj.gmax(), adj.rmax());
+    }
+    const auto range = adj.report();
+    EXPECT_LE(range.low, range.high);
+    EXPECT_GE(range.low, Rate::zero());
+  }
+  // Random verdicts shrink the interval relentlessly; 200 fleets is far
+  // beyond what any of them needs.
+  EXPECT_TRUE(adj.converged());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjusterFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u,
+                                           89u, 144u, 233u));
+
+TEST(AdjusterFuzz, ConsistentOracleAlwaysConvergesNearTruth) {
+  // Sharper property: for a *consistent* oracle with a grey band, the
+  // report must cover the band and stay within chi of it on each side.
+  Rng rng{4242};
+  for (int trial = 0; trial < 50; ++trial) {
+    const double center = rng.uniform(2.0, 100.0);
+    const double half_width = rng.uniform(0.0, 8.0);
+    const Rate lo = Rate::mbps(std::max(0.5, center - half_width));
+    const Rate hi = Rate::mbps(center + half_width);
+    RateAdjuster adj{cfg(), Rate::mbps(120)};
+    int fleets = 0;
+    while (!adj.converged() && fleets < 80) {
+      const Rate r = adj.next_rate();
+      FleetVerdict v = FleetVerdict::kGrey;
+      if (r > hi) v = FleetVerdict::kAbove;
+      if (r < lo) v = FleetVerdict::kBelow;
+      adj.record(r, v);
+      ++fleets;
+    }
+    ASSERT_TRUE(adj.converged()) << "center " << center << " width " << half_width;
+    const auto range = adj.report();
+    EXPECT_LE(range.low, lo + Rate::bps(1));
+    EXPECT_GE(range.high, hi - Rate::bps(1));
+    EXPECT_LE(lo - range.low, cfg().chi + Rate::mbps(0.001));
+    EXPECT_LE(range.high - hi, cfg().chi + Rate::mbps(0.001));
+  }
+}
+
+}  // namespace
+}  // namespace pathload::core

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/stream.hpp"
+
+namespace pathload::core {
+namespace {
+
+TEST(PathloadConfig, MaxRateFollowsLmaxOverTmin) {
+  PathloadConfig cfg;
+  EXPECT_NEAR(cfg.max_rate().mbits_per_sec(), 120.0, 1e-9);  // 1500 B / 100 us
+  cfg.min_period = Duration::microseconds(50);
+  EXPECT_NEAR(cfg.max_rate().mbits_per_sec(), 240.0, 1e-9);
+  cfg.max_packet_size = 9000;  // jumbo frames
+  EXPECT_NEAR(cfg.max_rate().mbits_per_sec(), 1440.0, 1e-9);
+}
+
+TEST(PathloadConfig, StreamSpecHonorsCustomConstraints) {
+  PathloadConfig cfg;
+  cfg.min_period = Duration::microseconds(200);
+  cfg.min_packet_size = 400;
+  cfg.max_packet_size = 9000;
+  // Mid-range rate: L = R*T/8 with T = 200 us.
+  const auto spec = make_stream_spec(Rate::mbps(40), cfg);
+  EXPECT_EQ(spec.packet_size, 1000);
+  EXPECT_GE(spec.period, cfg.min_period);
+  EXPECT_NEAR(spec.rate().mbits_per_sec(), 40.0, 0.5);
+  // Very low rate: L pinned at the custom minimum.
+  const auto low = make_stream_spec(Rate::mbps(0.5), cfg);
+  EXPECT_EQ(low.packet_size, 400);
+  EXPECT_NEAR(low.rate().mbits_per_sec(), 0.5, 0.01);
+}
+
+TEST(PathloadConfig, RateClampedIntoToolRange) {
+  PathloadConfig cfg;
+  // Far above the tool max: clamped to Lmax/Tmin.
+  const auto high = make_stream_spec(Rate::mbps(10'000), cfg);
+  EXPECT_NEAR(high.rate().mbits_per_sec(), 120.0, 0.5);
+  // Far below the floor: clamped to min_rate.
+  const auto low = make_stream_spec(Rate::bps(1), cfg);
+  EXPECT_NEAR(low.rate().bits_per_sec(), cfg.min_rate.bits_per_sec(),
+              cfg.min_rate.bits_per_sec() * 0.02);
+}
+
+TEST(TrendConfig, DefaultsMatchThePaper) {
+  TrendConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.pct_threshold, 0.55);
+  EXPECT_DOUBLE_EQ(cfg.pdt_threshold, 0.40);
+  EXPECT_TRUE(cfg.median_filter);
+  EXPECT_EQ(cfg.mode, TrendConfig::Mode::kCombined);
+}
+
+TEST(PathloadConfig, DefaultsMatchThePaper) {
+  PathloadConfig cfg;
+  EXPECT_EQ(cfg.packets_per_stream, 100);   // K
+  EXPECT_EQ(cfg.streams_per_fleet, 12);     // N
+  EXPECT_DOUBLE_EQ(cfg.fleet_fraction, 0.7);
+  EXPECT_EQ(cfg.min_period, Duration::microseconds(100));  // Tmin
+  EXPECT_EQ(cfg.min_packet_size, 200);      // L >= 200 B
+  EXPECT_EQ(cfg.omega, Rate::mbps(1));
+  EXPECT_EQ(cfg.chi, Rate::mbps(1.5));
+  EXPECT_DOUBLE_EQ(cfg.excessive_loss, 0.10);
+  EXPECT_DOUBLE_EQ(cfg.moderate_loss, 0.03);
+  EXPECT_DOUBLE_EQ(cfg.average_rate_fraction, 0.10);  // probe rate <= R/10
+}
+
+}  // namespace
+}  // namespace pathload::core

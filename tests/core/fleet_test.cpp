@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fleet.hpp"
+
+namespace pathload::core {
+namespace {
+
+StreamReport report(StreamClass cls, double loss = 0.0, bool valid = true) {
+  StreamReport r;
+  r.cls = cls;
+  r.loss = loss;
+  r.valid = valid;
+  return r;
+}
+
+std::vector<StreamReport> fleet_of(int type_i, int type_n) {
+  std::vector<StreamReport> v;
+  for (int i = 0; i < type_i; ++i) v.push_back(report(StreamClass::kIncreasing));
+  for (int i = 0; i < type_n; ++i) v.push_back(report(StreamClass::kNonIncreasing));
+  return v;
+}
+
+PathloadConfig cfg() {
+  PathloadConfig c;
+  c.streams_per_fleet = 12;
+  c.fleet_fraction = 0.7;  // needs >= 8.4 agreeing streams
+  return c;
+}
+
+TEST(JudgeFleet, AllIncreasingIsAbove) {
+  EXPECT_EQ(judge_fleet(fleet_of(12, 0), cfg()), FleetVerdict::kAbove);
+}
+
+TEST(JudgeFleet, AllNonIncreasingIsBelow) {
+  EXPECT_EQ(judge_fleet(fleet_of(0, 12), cfg()), FleetVerdict::kBelow);
+}
+
+TEST(JudgeFleet, ExactFractionBoundary) {
+  // f*N = 8.4: 9 agreeing streams suffice, 8 do not.
+  EXPECT_EQ(judge_fleet(fleet_of(9, 3), cfg()), FleetVerdict::kAbove);
+  EXPECT_EQ(judge_fleet(fleet_of(8, 4), cfg()), FleetVerdict::kGrey);
+  EXPECT_EQ(judge_fleet(fleet_of(3, 9), cfg()), FleetVerdict::kBelow);
+  EXPECT_EQ(judge_fleet(fleet_of(4, 8), cfg()), FleetVerdict::kGrey);
+}
+
+TEST(JudgeFleet, SplitFleetIsGrey) {
+  EXPECT_EQ(judge_fleet(fleet_of(6, 6), cfg()), FleetVerdict::kGrey);
+}
+
+TEST(JudgeFleet, ExcessiveLossAborts) {
+  auto streams = fleet_of(6, 5);
+  streams.push_back(report(StreamClass::kIncreasing, 0.15));  // > 10%
+  EXPECT_EQ(judge_fleet(streams, cfg()), FleetVerdict::kAbortedLoss);
+}
+
+TEST(JudgeFleet, ManyModeratelyLossyStreamsAbort) {
+  auto c = cfg();
+  c.max_moderate_lossy_streams = 3;
+  auto streams = fleet_of(8, 0);
+  for (int i = 0; i < 4; ++i) {
+    streams.push_back(report(StreamClass::kIncreasing, 0.05));  // 3% < 5% < 10%
+  }
+  EXPECT_EQ(judge_fleet(streams, c), FleetVerdict::kAbortedLoss);
+}
+
+TEST(JudgeFleet, FewModeratelyLossyStreamsDoNotAbort) {
+  auto c = cfg();
+  c.max_moderate_lossy_streams = 3;
+  auto streams = fleet_of(9, 0);
+  for (int i = 0; i < 3; ++i) {
+    streams.push_back(report(StreamClass::kIncreasing, 0.05));
+  }
+  EXPECT_EQ(judge_fleet(streams, c), FleetVerdict::kAbove);
+}
+
+TEST(JudgeFleet, InvalidStreamsAbstainButVotersDecide) {
+  // 8 valid increasing + 4 screened-out: the 8 voters are unanimous and
+  // form more than half the fleet, so the fleet is decisively above.
+  auto streams = fleet_of(8, 0);
+  for (int i = 0; i < 4; ++i) {
+    streams.push_back(report(StreamClass::kIncreasing, 0.0, false));
+  }
+  EXPECT_EQ(judge_fleet(streams, cfg()), FleetVerdict::kAbove);
+}
+
+TEST(JudgeFleet, TooFewVotersIsGrey) {
+  // 5 voters out of a 12-stream fleet (< half): grey regardless of
+  // unanimity.
+  auto streams = fleet_of(5, 0);
+  for (int i = 0; i < 7; ++i) {
+    streams.push_back(report(StreamClass::kDiscard));
+  }
+  EXPECT_EQ(judge_fleet(streams, cfg()), FleetVerdict::kGrey);
+}
+
+TEST(JudgeFleet, DiscardedStreamsDoNotBlockDecision) {
+  // 7 N votes + 2 I votes + 3 discards: 9 voters, need 0.7*9 = 6.3 -> the
+  // 7 N votes decide.
+  auto streams = fleet_of(2, 7);
+  for (int i = 0; i < 3; ++i) {
+    streams.push_back(report(StreamClass::kDiscard));
+  }
+  EXPECT_EQ(judge_fleet(streams, cfg()), FleetVerdict::kBelow);
+}
+
+TEST(JudgeFleet, AllInvalidIsGrey) {
+  std::vector<StreamReport> streams;
+  for (int i = 0; i < 12; ++i) {
+    streams.push_back(report(StreamClass::kIncreasing, 0.0, false));
+  }
+  EXPECT_EQ(judge_fleet(streams, cfg()), FleetVerdict::kGrey);
+}
+
+TEST(CountFleet, TalliesClassesValidityAndLoss) {
+  auto streams = fleet_of(5, 4);
+  streams.push_back(report(StreamClass::kIncreasing, 0.05));        // lossy
+  streams.push_back(report(StreamClass::kNonIncreasing, 0.0, false));  // invalid
+  streams.push_back(report(StreamClass::kDiscard));
+  const auto counts = count_fleet(streams, cfg());
+  EXPECT_EQ(counts.type_i, 6);
+  EXPECT_EQ(counts.type_n, 4);
+  EXPECT_EQ(counts.discarded, 1);
+  EXPECT_EQ(counts.votes(), 10);
+  EXPECT_EQ(counts.valid, 11);
+  EXPECT_EQ(counts.lossy, 1);
+}
+
+// Sweep of the fraction parameter f (the Fig. 8 mechanism at fleet level):
+// as f rises, a mixed fleet flips from decisive to grey.
+class FleetFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FleetFractionSweep, MixedFleetGoesGreyAsFGrows) {
+  auto c = cfg();
+  c.fleet_fraction = GetParam();
+  const auto verdict = judge_fleet(fleet_of(8, 4), c);  // 2/3 increasing
+  if (GetParam() <= 8.0 / 12.0) {
+    EXPECT_EQ(verdict, FleetVerdict::kAbove);
+  } else {
+    EXPECT_EQ(verdict, FleetVerdict::kGrey);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FleetFractionSweep,
+                         ::testing::Values(0.5, 0.6, 8.0 / 12.0, 0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace pathload::core

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "core/rate_adjuster.hpp"
+
+namespace pathload::core {
+namespace {
+
+PathloadConfig cfg() {
+  PathloadConfig c;
+  c.omega = Rate::mbps(1);
+  c.chi = Rate::mbps(1.5);
+  return c;
+}
+
+TEST(AvailBwRange, DerivedQuantities) {
+  const AvailBwRange r{Rate::mbps(3), Rate::mbps(5)};
+  EXPECT_EQ(r.center(), Rate::mbps(4));
+  EXPECT_EQ(r.width(), Rate::mbps(2));
+  EXPECT_DOUBLE_EQ(r.relative_variation(), 0.5);
+  EXPECT_TRUE(r.contains(Rate::mbps(4)));
+  EXPECT_TRUE(r.contains(Rate::mbps(3)));
+  EXPECT_FALSE(r.contains(Rate::mbps(5.1)));
+}
+
+TEST(AvailBwRange, DegenerateRange) {
+  const AvailBwRange r{Rate::zero(), Rate::zero()};
+  EXPECT_DOUBLE_EQ(r.relative_variation(), 0.0);
+}
+
+TEST(RateAdjuster, FirstProbeIsHalfway) {
+  RateAdjuster adj{cfg(), Rate::mbps(100)};
+  EXPECT_EQ(adj.next_rate(), Rate::mbps(50));
+}
+
+TEST(RateAdjuster, BinarySearchWithoutGrey) {
+  RateAdjuster adj{cfg(), Rate::mbps(100)};
+  adj.record(Rate::mbps(50), FleetVerdict::kAbove);
+  EXPECT_EQ(adj.next_rate(), Rate::mbps(25));
+  adj.record(Rate::mbps(25), FleetVerdict::kBelow);
+  EXPECT_EQ(adj.next_rate(), Rate::mbps(37.5));
+}
+
+TEST(RateAdjuster, ConvergesToHiddenAvailBwWithoutGrey) {
+  // Simulate a path with a fixed avail-bw of 37.3 Mb/s and a perfectly
+  // consistent oracle; the search must bracket it within omega.
+  const Rate truth = Rate::mbps(37.3);
+  RateAdjuster adj{cfg(), Rate::mbps(120)};
+  int fleets = 0;
+  while (!adj.converged()) {
+    const Rate r = adj.next_rate();
+    adj.record(r, r > truth ? FleetVerdict::kAbove : FleetVerdict::kBelow);
+    ASSERT_LT(++fleets, 30);
+  }
+  const auto range = adj.report();
+  EXPECT_TRUE(range.contains(truth));
+  EXPECT_LE(range.width(), Rate::mbps(1.0001));
+  // log2(120 / 1) ~ 7 fleets.
+  EXPECT_LE(fleets, 10);
+}
+
+TEST(RateAdjuster, LossAbortTreatedAsAbove) {
+  RateAdjuster adj{cfg(), Rate::mbps(100)};
+  adj.record(Rate::mbps(50), FleetVerdict::kAbortedLoss);
+  EXPECT_EQ(adj.rmax(), Rate::mbps(50));
+}
+
+TEST(RateAdjuster, GreyRegionBoundsGrow) {
+  RateAdjuster adj{cfg(), Rate::mbps(100)};
+  adj.record(Rate::mbps(50), FleetVerdict::kGrey);
+  ASSERT_TRUE(adj.gmin().has_value());
+  EXPECT_EQ(*adj.gmin(), Rate::mbps(50));
+  EXPECT_EQ(*adj.gmax(), Rate::mbps(50));
+  adj.record(Rate::mbps(60), FleetVerdict::kGrey);
+  EXPECT_EQ(*adj.gmin(), Rate::mbps(50));
+  EXPECT_EQ(*adj.gmax(), Rate::mbps(60));
+  adj.record(Rate::mbps(45), FleetVerdict::kGrey);
+  EXPECT_EQ(*adj.gmin(), Rate::mbps(45));
+}
+
+TEST(RateAdjuster, ProbesOutsideGreyRegion) {
+  RateAdjuster adj{cfg(), Rate::mbps(100)};
+  adj.record(Rate::mbps(50), FleetVerdict::kGrey);
+  // Next probe must be in one of the unresolved gaps, not inside the grey
+  // region.
+  const Rate next = adj.next_rate();
+  EXPECT_TRUE(next == Rate::mbps(75) || next == Rate::mbps(25));
+  // Wider gap first: high gap 50, low gap 50 -> high side by tie-break.
+  EXPECT_EQ(next, Rate::mbps(75));
+}
+
+TEST(RateAdjuster, ConvergesWithGreyRegionWithinChi) {
+  // Avail-bw varies in [35, 45]: rates inside are grey, outside decisive.
+  const Rate lo = Rate::mbps(35);
+  const Rate hi = Rate::mbps(45);
+  RateAdjuster adj{cfg(), Rate::mbps(120)};
+  int fleets = 0;
+  while (!adj.converged()) {
+    const Rate r = adj.next_rate();
+    FleetVerdict v = FleetVerdict::kGrey;
+    if (r > hi) v = FleetVerdict::kAbove;
+    if (r < lo) v = FleetVerdict::kBelow;
+    adj.record(r, v);
+    ASSERT_LT(++fleets, 40);
+  }
+  const auto range = adj.report();
+  // The report must cover the true variation range and exceed it by at
+  // most chi on each side (Section VI).
+  EXPECT_LE(range.low, lo);
+  EXPECT_GE(range.high, hi);
+  EXPECT_LE(lo - range.low, Rate::mbps(1.5001));
+  EXPECT_LE(range.high - hi, Rate::mbps(1.5001));
+}
+
+TEST(RateAdjuster, GreyClampedWhenContradicted) {
+  RateAdjuster adj{cfg(), Rate::mbps(100)};
+  adj.record(Rate::mbps(60), FleetVerdict::kGrey);
+  adj.record(Rate::mbps(80), FleetVerdict::kGrey);
+  // A later decisive verdict below the grey region invalidates it.
+  adj.record(Rate::mbps(50), FleetVerdict::kAbove);
+  EXPECT_EQ(adj.rmax(), Rate::mbps(50));
+  EXPECT_FALSE(adj.gmin().has_value());
+}
+
+TEST(RateAdjuster, CeilingExpandsWhenTruthAboveInitialRmax) {
+  // The initial upper bound can be too low (dispersion seed under bursty
+  // load); repeated kBelow at the ceiling must push it up.
+  const Rate truth = Rate::mbps(80);
+  RateAdjuster adj{cfg(), Rate::mbps(40)};
+  int fleets = 0;
+  while (!adj.converged()) {
+    const Rate r = adj.next_rate();
+    adj.record(r, r > truth ? FleetVerdict::kAbove : FleetVerdict::kBelow);
+    ASSERT_LT(++fleets, 60);
+  }
+  EXPECT_TRUE(adj.report().contains(truth));
+}
+
+TEST(RateAdjuster, NeverProbesBelowMinRate) {
+  auto c = cfg();
+  c.min_rate = Rate::mbps(2);
+  RateAdjuster adj{c, Rate::mbps(100)};
+  for (int i = 0; i < 20 && !adj.converged(); ++i) {
+    const Rate r = adj.next_rate();
+    EXPECT_GE(r, c.min_rate);
+    adj.record(r, FleetVerdict::kAbove);
+  }
+}
+
+TEST(RateAdjuster, InitialRmaxClampedToToolMax) {
+  RateAdjuster adj{cfg(), Rate::mbps(500)};
+  EXPECT_LE(adj.rmax(), cfg().max_rate());
+}
+
+TEST(RateAdjuster, OmegaTerminationReportsNarrowRange) {
+  const Rate truth = Rate::mbps(10);
+  RateAdjuster adj{cfg(), Rate::mbps(120)};
+  while (!adj.converged()) {
+    const Rate r = adj.next_rate();
+    adj.record(r, r > truth ? FleetVerdict::kAbove : FleetVerdict::kBelow);
+  }
+  EXPECT_LE(adj.report().width(), cfg().omega + Rate::bps(1));
+}
+
+// Property sweep: convergence and bracketing hold for any hidden avail-bw.
+class HiddenAvailBwSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HiddenAvailBwSweep, AlwaysBracketsTruth) {
+  const Rate truth = Rate::mbps(GetParam());
+  RateAdjuster adj{cfg(), Rate::mbps(120)};
+  int fleets = 0;
+  while (!adj.converged() && fleets < 60) {
+    const Rate r = adj.next_rate();
+    adj.record(r, r > truth ? FleetVerdict::kAbove : FleetVerdict::kBelow);
+    ++fleets;
+  }
+  EXPECT_TRUE(adj.converged());
+  EXPECT_TRUE(adj.report().contains(truth))
+      << "truth " << truth.str() << " not in [" << adj.report().low.str() << ", "
+      << adj.report().high.str() << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Truths, HiddenAvailBwSweep,
+                         ::testing::Values(0.5, 1.0, 2.5, 4.0, 9.9, 17.3, 42.0,
+                                           74.0, 99.0, 115.0));
+
+}  // namespace
+}  // namespace pathload::core

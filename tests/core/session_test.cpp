@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/session.hpp"
+#include "fluid/fluid_model.hpp"
+#include "util/rng.hpp"
+
+namespace pathload::core {
+namespace {
+
+/// Deterministic ProbeChannel driven by the fluid model: OWDs follow the
+/// Appendix equations for a configurable hidden avail-bw, plus optional
+/// white noise and loss. Gives session-level tests full control over the
+/// "network".
+class FluidChannel final : public ProbeChannel {
+ public:
+  explicit FluidChannel(fluid::FluidPath path) : path_{std::move(path)} {}
+
+  double noise_secs{0.0};           ///< uniform +-noise on each OWD
+  double loss_rate{0.0};            ///< iid probe loss probability
+  Duration base_rtt{Duration::milliseconds(100)};
+  std::vector<Duration> idles;      ///< recorded idle() calls
+  int streams_run{0};
+
+  StreamOutcome run_stream(const StreamSpec& spec) override {
+    ++streams_run;
+    StreamOutcome outcome;
+    outcome.sent_count = spec.packet_count;
+    const auto owds = path_.owd_series(spec.rate(), DataSize::bytes(spec.packet_size),
+                                       spec.packet_count);
+    for (int i = 0; i < spec.packet_count; ++i) {
+      if (rng_.uniform() < loss_rate) continue;
+      ProbeRecord rec;
+      rec.seq = static_cast<std::uint32_t>(i);
+      rec.sent = now_ + spec.period * static_cast<double>(i);
+      const double noise = noise_secs > 0.0 ? rng_.uniform(-noise_secs, noise_secs) : 0.0;
+      rec.received = rec.sent + Duration::milliseconds(20) +
+                     Duration::seconds(owds[static_cast<std::size_t>(i)] + noise);
+      outcome.records.push_back(rec);
+    }
+    now_ += spec.duration();
+    return outcome;
+  }
+
+  void idle(Duration d) override {
+    idles.push_back(d);
+    now_ += d;
+  }
+  TimePoint now() override { return now_; }
+  Duration rtt() const override { return base_rtt; }
+
+ private:
+  fluid::FluidPath path_;
+  TimePoint now_{TimePoint::origin()};
+  Rng rng_{99};
+};
+
+fluid::FluidPath path_with_avail(double avail_mbps, double capacity_mbps = 10.0) {
+  return fluid::FluidPath{
+      {{Rate::mbps(capacity_mbps), Rate::mbps(capacity_mbps - avail_mbps)}}};
+}
+
+PathloadConfig tool() {
+  PathloadConfig cfg;
+  cfg.initial_rmax = Rate::mbps(12);  // deterministic start
+  return cfg;
+}
+
+TEST(PathloadSession, ConvergesOnNoiselessFluidPath) {
+  FluidChannel channel{path_with_avail(4.0)};
+  PathloadSession session{channel, tool()};
+  const auto result = session.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.range.contains(Rate::mbps(4.0)))
+      << "[" << result.range.low.str() << ", " << result.range.high.str() << "]";
+  EXPECT_LE(result.range.width(), Rate::mbps(1.01));
+}
+
+TEST(PathloadSession, ConvergesUnderOwdNoise) {
+  FluidChannel channel{path_with_avail(4.0)};
+  channel.noise_secs = 200e-6;  // +-200 us jitter per packet
+  PathloadSession session{channel, tool()};
+  const auto result = session.run();
+  EXPECT_TRUE(result.converged);
+  // Noise creates a grey region; the range must still cover the truth.
+  EXPECT_LE(result.range.low, Rate::mbps(4.5));
+  EXPECT_GE(result.range.high, Rate::mbps(3.5));
+}
+
+TEST(PathloadSession, InterStreamIdleKeepsAverageRateLow) {
+  FluidChannel channel{path_with_avail(4.0)};
+  PathloadSession session{channel, tool()};
+  (void)session.run();
+  ASSERT_FALSE(channel.idles.empty());
+  // Every idle must be at least 9 stream durations or the RTT, whichever
+  // is larger (Section IV: average pathload rate <= R/10). Stream duration
+  // here is >= K * Tmin = 10 ms, so idles must be >= 90 ms.
+  for (const auto idle : channel.idles) {
+    EXPECT_GE(idle, Duration::milliseconds(90));
+  }
+}
+
+TEST(PathloadSession, HeavyLossAbortsFleetsAndDrivesRateDown) {
+  FluidChannel channel{path_with_avail(8.0)};
+  channel.loss_rate = 0.5;  // catastrophic loss at any rate
+  auto cfg = tool();
+  cfg.max_fleets = 8;
+  PathloadSession session{channel, cfg};
+  const auto result = session.run();
+  ASSERT_FALSE(result.trace.empty());
+  for (const auto& fleet : result.trace) {
+    EXPECT_EQ(fleet.verdict, FleetVerdict::kAbortedLoss);
+  }
+  // Every fleet aborts, so the upper bound keeps halving toward the floor.
+  EXPECT_LT(result.range.high, Rate::mbps(1.0));
+}
+
+TEST(PathloadSession, ExcessiveLossStopsFleetEarly) {
+  FluidChannel channel{path_with_avail(4.0)};
+  channel.loss_rate = 0.2;  // > 10% per stream
+  auto cfg = tool();
+  cfg.max_fleets = 2;
+  PathloadSession session{channel, cfg};
+  const auto result = session.run();
+  // The first lossy stream aborts each fleet: one stream per fleet.
+  for (const auto& fleet : result.trace) {
+    EXPECT_EQ(fleet.streams.size(), 1u);
+  }
+}
+
+TEST(PathloadSession, ModerateLossIsToleratedWithinLimits) {
+  FluidChannel channel{path_with_avail(4.0)};
+  channel.loss_rate = 0.01;  // 1% well under the 3% moderate threshold
+  PathloadSession session{channel, tool()};
+  const auto result = session.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.range.contains(Rate::mbps(4.0)));
+}
+
+TEST(PathloadSession, RespectsMaxFleetsCap) {
+  FluidChannel channel{path_with_avail(4.0)};
+  channel.noise_secs = 5e-3;  // so noisy nothing is ever decisive
+  auto cfg = tool();
+  cfg.max_fleets = 5;
+  PathloadSession session{channel, cfg};
+  const auto result = session.run();
+  EXPECT_LE(result.fleets, 5);
+}
+
+TEST(PathloadSession, InitialProbeSeedsUpperBound) {
+  FluidChannel channel{path_with_avail(4.0)};
+  PathloadConfig cfg;  // no initial_rmax: uses the dispersion probe
+  PathloadSession session{channel, cfg};
+  const auto result = session.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.range.contains(Rate::mbps(4.0)));
+  // The fluid exit rate for a max-rate train on C=10,A=4 is ~ 10*120/126;
+  // the first fleet must already probe below ADR * 1.25 ~ 11.9 Mb/s.
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_LT(result.trace.front().rate, Rate::mbps(12.5));
+}
+
+TEST(PathloadSession, FleetRateNeverExceedsToolMax) {
+  FluidChannel channel{path_with_avail(115.0, 1000.0)};
+  PathloadConfig cfg;
+  PathloadSession session{channel, cfg};
+  const auto result = session.run();
+  for (const auto& fleet : result.trace) {
+    EXPECT_LE(fleet.rate, cfg.max_rate() + Rate::bps(1));
+  }
+}
+
+TEST(PathloadSession, TraceRecordsPerStreamStatistics) {
+  FluidChannel channel{path_with_avail(4.0)};
+  PathloadSession session{channel, tool()};
+  const auto result = session.run();
+  for (const auto& fleet : result.trace) {
+    if (fleet.verdict == FleetVerdict::kAbortedLoss) continue;
+    EXPECT_EQ(static_cast<int>(fleet.streams.size()), 12);
+    for (const auto& s : fleet.streams) {
+      EXPECT_GE(s.stats.pct, 0.0);
+      EXPECT_LE(s.stats.pct, 1.0);
+      EXPECT_GE(s.stats.pdt, -1.0);
+      EXPECT_LE(s.stats.pdt, 1.0);
+    }
+  }
+}
+
+TEST(PathloadSession, ElapsedTimeMatchesChannelClock) {
+  FluidChannel channel{path_with_avail(4.0)};
+  PathloadSession session{channel, tool()};
+  const TimePoint before = channel.now();
+  const auto result = session.run();
+  EXPECT_EQ(result.elapsed, channel.now() - before);
+  EXPECT_GT(result.elapsed, Duration::zero());
+}
+
+// Property sweep: on noiseless fluid paths, the session must converge to a
+// range containing any hidden avail-bw, with few fleets.
+class SessionFluidSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SessionFluidSweep, BracketsHiddenAvailBw) {
+  const double avail = GetParam();
+  FluidChannel channel{path_with_avail(avail, 120.0)};
+  PathloadConfig cfg;
+  PathloadSession session{channel, cfg};
+  const auto result = session.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.range.contains(Rate::mbps(avail)))
+      << avail << " not in [" << result.range.low.str() << ", "
+      << result.range.high.str() << "]";
+  EXPECT_LE(result.fleets, 15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AvailGrid, SessionFluidSweep,
+                         ::testing::Values(0.7, 2.0, 4.0, 8.5, 16.0, 31.0, 64.0,
+                                           95.0, 110.0));
+
+// Property sweep: convergence independent of K and N choices.
+struct KnCase {
+  int k;
+  int n;
+};
+class SessionKnSweep : public ::testing::TestWithParam<KnCase> {};
+
+TEST_P(SessionKnSweep, ConvergesForAnyStreamAndFleetLength) {
+  FluidChannel channel{path_with_avail(4.0)};
+  auto cfg = tool();
+  cfg.packets_per_stream = GetParam().k;
+  cfg.streams_per_fleet = GetParam().n;
+  PathloadSession session{channel, cfg};
+  const auto result = session.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.range.contains(Rate::mbps(4.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SessionKnSweep,
+                         ::testing::Values(KnCase{30, 6}, KnCase{100, 12},
+                                           KnCase{100, 3}, KnCase{200, 12},
+                                           KnCase{400, 24}, KnCase{60, 48}));
+
+}  // namespace
+}  // namespace pathload::core

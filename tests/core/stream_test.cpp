@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/stream.hpp"
+
+namespace pathload::core {
+namespace {
+
+PathloadConfig default_cfg() { return PathloadConfig{}; }
+
+TEST(MakeStreamSpec, MidRangeUsesMinPeriod) {
+  // R = 40 Mb/s with T = 100 us -> L = 500 B (within [200, 1500]).
+  const auto spec = make_stream_spec(Rate::mbps(40), default_cfg());
+  EXPECT_EQ(spec.packet_size, 500);
+  EXPECT_NEAR(spec.period.micros(), 100.0, 0.5);
+  EXPECT_NEAR(spec.rate().mbits_per_sec(), 40.0, 0.1);
+}
+
+TEST(MakeStreamSpec, LowRateStretchesPeriod) {
+  // R = 1 Mb/s -> L would be 12.5 B; clamp L = 200 B, T = 1.6 ms.
+  const auto spec = make_stream_spec(Rate::mbps(1), default_cfg());
+  EXPECT_EQ(spec.packet_size, 200);
+  EXPECT_NEAR(spec.period.millis(), 1.6, 0.01);
+  EXPECT_NEAR(spec.rate().mbits_per_sec(), 1.0, 0.01);
+}
+
+TEST(MakeStreamSpec, HighRateUsesMaxPacketSize) {
+  // R = 60 Mb/s -> L would be 750 B? No: 60e6 * 100e-6 / 8 = 750 B. Use
+  // a higher rate: 150 Mb/s -> L = 1875 B > 1500 -> clamp, T = 80 us < Tmin
+  // -> T = Tmin, achieved rate = 120 Mb/s (the tool maximum).
+  const auto spec = make_stream_spec(Rate::mbps(150), default_cfg());
+  EXPECT_EQ(spec.packet_size, 1500);
+  EXPECT_EQ(spec.period, Duration::microseconds(100));
+  EXPECT_NEAR(spec.rate().mbits_per_sec(), 120.0, 0.1);
+}
+
+TEST(MakeStreamSpec, MaxRateMatchesConfigFormula) {
+  const auto cfg = default_cfg();
+  EXPECT_NEAR(cfg.max_rate().mbits_per_sec(), 120.0, 1e-9);
+  const auto spec = make_stream_spec(cfg.max_rate(), cfg);
+  EXPECT_NEAR(spec.rate().mbits_per_sec(), 120.0, 0.1);
+}
+
+TEST(MakeStreamSpec, RejectsNonPositiveRate) {
+  EXPECT_THROW(make_stream_spec(Rate::zero(), default_cfg()), std::invalid_argument);
+}
+
+TEST(MakeStreamSpec, AchievedRateTracksRequested) {
+  const auto cfg = default_cfg();
+  for (double r = 0.5; r <= 120.0; r *= 1.7) {
+    const auto spec = make_stream_spec(Rate::mbps(r), cfg);
+    EXPECT_NEAR(spec.rate().mbits_per_sec(), r, r * 0.02) << "R = " << r;
+    EXPECT_GE(spec.packet_size, cfg.min_packet_size);
+    EXPECT_LE(spec.packet_size, cfg.max_packet_size);
+    EXPECT_GE(spec.period, cfg.min_period);
+  }
+}
+
+TEST(StreamSpec, DurationIsPacketsTimesPeriod) {
+  StreamSpec spec;
+  spec.packet_count = 100;
+  spec.period = Duration::microseconds(180);
+  EXPECT_EQ(spec.duration(), Duration::milliseconds(18));
+}
+
+StreamOutcome outcome_with_owds(const std::vector<double>& owds_ms) {
+  StreamOutcome o;
+  for (std::size_t i = 0; i < owds_ms.size(); ++i) {
+    ProbeRecord r;
+    r.seq = static_cast<std::uint32_t>(i);
+    r.sent = TimePoint::origin() + Duration::microseconds(100.0 * i);
+    r.received = r.sent + Duration::milliseconds(owds_ms[i]);
+    o.records.push_back(r);
+  }
+  o.sent_count = static_cast<int>(owds_ms.size());
+  return o;
+}
+
+TEST(RelativeOwds, FirstIsZeroRestAreDeltas) {
+  const auto o = outcome_with_owds({5.0, 5.5, 6.0});
+  const auto owds = relative_owds(o);
+  ASSERT_EQ(owds.size(), 3u);
+  EXPECT_NEAR(owds[0], 0.0, 1e-12);
+  EXPECT_NEAR(owds[1], 0.5e-3, 1e-9);
+  EXPECT_NEAR(owds[2], 1.0e-3, 1e-9);
+}
+
+TEST(RelativeOwds, ClockOffsetCancels) {
+  auto o = outcome_with_owds({5.0, 5.5, 6.0});
+  // Shift every receiver timestamp by a large constant offset
+  // (unsynchronized clocks).
+  for (auto& r : o.records) r.received += Duration::seconds(9999);
+  const auto owds = relative_owds(o);
+  EXPECT_NEAR(owds[1], 0.5e-3, 1e-9);
+  EXPECT_NEAR(owds[2], 1.0e-3, 1e-9);
+}
+
+TEST(RelativeOwds, EmptyOutcome) {
+  EXPECT_TRUE(relative_owds(StreamOutcome{}).empty());
+}
+
+TEST(LossRate, CountsMissingPackets) {
+  StreamSpec spec;
+  spec.packet_count = 100;
+  auto o = outcome_with_owds(std::vector<double>(90, 1.0));
+  EXPECT_NEAR(loss_rate(o, spec), 0.10, 1e-12);
+  o.records.clear();
+  EXPECT_NEAR(loss_rate(o, spec), 1.0, 1e-12);
+}
+
+TEST(ScreenSendGaps, PerfectPacingIsValid) {
+  StreamSpec spec;
+  spec.packet_count = 100;
+  spec.period = Duration::microseconds(100);
+  const auto o = outcome_with_owds(std::vector<double>(100, 1.0));
+  const auto result = screen_send_gaps(o, spec, PathloadConfig{});
+  EXPECT_TRUE(result.valid);
+  EXPECT_EQ(result.anomalies, 0);
+}
+
+TEST(ScreenSendGaps, ContextSwitchGapsInvalidateStream) {
+  StreamSpec spec;
+  spec.packet_count = 100;
+  spec.period = Duration::microseconds(100);
+  auto o = outcome_with_owds(std::vector<double>(100, 1.0));
+  // Inject 10 multi-millisecond send stalls (10% > 5% tolerance).
+  for (std::size_t i = 10; i < 20; ++i) {
+    for (std::size_t j = i; j < o.records.size(); ++j) {
+      o.records[j].sent += Duration::milliseconds(5);
+      o.records[j].received += Duration::milliseconds(5);
+    }
+  }
+  const auto result = screen_send_gaps(o, spec, PathloadConfig{});
+  EXPECT_FALSE(result.valid);
+  EXPECT_GE(result.anomalies, 10);
+}
+
+TEST(ScreenSendGaps, LossDoesNotCountAsAnomaly) {
+  StreamSpec spec;
+  spec.packet_count = 100;
+  spec.period = Duration::microseconds(100);
+  // Every other packet lost: send gaps are 2*T but consistent with the
+  // sequence numbers, so no anomaly.
+  StreamOutcome o;
+  for (std::uint32_t i = 0; i < 100; i += 2) {
+    ProbeRecord r;
+    r.seq = i;
+    r.sent = TimePoint::origin() + Duration::microseconds(100.0 * i);
+    r.received = r.sent + Duration::milliseconds(1);
+    o.records.push_back(r);
+  }
+  o.sent_count = 100;
+  const auto result = screen_send_gaps(o, spec, PathloadConfig{});
+  EXPECT_TRUE(result.valid);
+  EXPECT_EQ(result.anomalies, 0);
+}
+
+TEST(ScreenSendGaps, TinyStreamsAlwaysValid) {
+  StreamSpec spec;
+  spec.packet_count = 1;
+  spec.period = Duration::microseconds(100);
+  const auto o = outcome_with_owds({1.0});
+  EXPECT_TRUE(screen_send_gaps(o, spec, PathloadConfig{}).valid);
+}
+
+}  // namespace
+}  // namespace pathload::core

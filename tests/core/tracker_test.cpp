@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/tracker.hpp"
+#include "fluid/fluid_model.hpp"
+
+namespace pathload::core {
+namespace {
+
+/// Fluid-model channel whose avail-bw can be changed mid-test, to exercise
+/// tracking of a moving target.
+class MutableFluidChannel final : public ProbeChannel {
+ public:
+  explicit MutableFluidChannel(double avail_mbps) { set_avail(avail_mbps); }
+
+  void set_avail(double avail_mbps) {
+    path_.emplace(std::vector<fluid::FluidLink>{
+        {Rate::mbps(100), Rate::mbps(100 - avail_mbps)}});
+  }
+
+  StreamOutcome run_stream(const StreamSpec& spec) override {
+    StreamOutcome outcome;
+    outcome.sent_count = spec.packet_count;
+    const auto owds = path_->owd_series(spec.rate(), DataSize::bytes(spec.packet_size),
+                                        spec.packet_count);
+    for (int i = 0; i < spec.packet_count; ++i) {
+      ProbeRecord rec;
+      rec.seq = static_cast<std::uint32_t>(i);
+      rec.sent = now_ + spec.period * static_cast<double>(i);
+      rec.received = rec.sent + Duration::milliseconds(10) +
+                     Duration::seconds(owds[static_cast<std::size_t>(i)]);
+      outcome.records.push_back(rec);
+    }
+    now_ += spec.duration();
+    return outcome;
+  }
+  void idle(Duration d) override { now_ += d; }
+  TimePoint now() override { return now_; }
+  Duration rtt() const override { return Duration::milliseconds(50); }
+
+ private:
+  std::optional<fluid::FluidPath> path_;
+  TimePoint now_{TimePoint::origin()};
+};
+
+AvailBwTracker::Config quick_config() {
+  AvailBwTracker::Config cfg;
+  cfg.tool.initial_rmax = Rate::mbps(60);
+  cfg.pause_between_runs = Duration::milliseconds(100);
+  return cfg;
+}
+
+TEST(AvailBwTracker, EmptyStateIsWellDefined) {
+  MutableFluidChannel channel{20.0};
+  AvailBwTracker tracker{channel, quick_config()};
+  EXPECT_TRUE(tracker.history().empty());
+  EXPECT_FALSE(tracker.smoothed_center().has_value());
+  EXPECT_FALSE(tracker.weighted_center().has_value());
+  EXPECT_FALSE(tracker.overall_band().has_value());
+}
+
+TEST(AvailBwTracker, SingleMeasurementPopulatesEverything) {
+  MutableFluidChannel channel{20.0};
+  AvailBwTracker tracker{channel, quick_config()};
+  const auto& sample = tracker.measure_once();
+  EXPECT_TRUE(sample.converged);
+  EXPECT_TRUE(sample.range.contains(Rate::mbps(20)));
+  EXPECT_EQ(tracker.history().size(), 1u);
+  ASSERT_TRUE(tracker.smoothed_center().has_value());
+  EXPECT_NEAR(tracker.smoothed_center()->mbits_per_sec(), 20.0, 1.0);
+  ASSERT_TRUE(tracker.weighted_center().has_value());
+  EXPECT_NEAR(tracker.weighted_center()->mbits_per_sec(), 20.0, 1.0);
+}
+
+TEST(AvailBwTracker, RunForCoversTheWindow) {
+  MutableFluidChannel channel{20.0};
+  AvailBwTracker tracker{channel, quick_config()};
+  const TimePoint start = channel.now();
+  const int runs = tracker.run_for(Duration::seconds(30));
+  EXPECT_GT(runs, 1);
+  EXPECT_EQ(static_cast<int>(tracker.history().size()), runs);
+  EXPECT_GE(channel.now() - start, Duration::seconds(30));
+}
+
+TEST(AvailBwTracker, EwmaTracksAStepChange) {
+  MutableFluidChannel channel{30.0};
+  auto cfg = quick_config();
+  cfg.ewma_alpha = 0.5;
+  AvailBwTracker tracker{channel, cfg};
+  for (int i = 0; i < 4; ++i) tracker.measure_once();
+  const double before = tracker.smoothed_center()->mbits_per_sec();
+  EXPECT_NEAR(before, 30.0, 1.5);
+  channel.set_avail(10.0);  // the path's load doubles
+  for (int i = 0; i < 6; ++i) tracker.measure_once();
+  const double after = tracker.smoothed_center()->mbits_per_sec();
+  EXPECT_NEAR(after, 10.0, 2.0);
+}
+
+TEST(AvailBwTracker, OverallBandCoversBothRegimes) {
+  MutableFluidChannel channel{30.0};
+  AvailBwTracker tracker{channel, quick_config()};
+  tracker.measure_once();
+  channel.set_avail(10.0);
+  tracker.measure_once();
+  const auto band = tracker.overall_band();
+  ASSERT_TRUE(band.has_value());
+  EXPECT_LE(band->low, Rate::mbps(10.5));
+  EXPECT_GE(band->high, Rate::mbps(29.5));
+}
+
+TEST(AvailBwTracker, HistoryLimitEvictsOldest) {
+  MutableFluidChannel channel{20.0};
+  auto cfg = quick_config();
+  cfg.history_limit = 3;
+  AvailBwTracker tracker{channel, cfg};
+  TimePoint first_kept{};
+  for (int i = 0; i < 5; ++i) {
+    tracker.measure_once();
+    if (i == 2) first_kept = tracker.history().back().started;
+  }
+  EXPECT_EQ(tracker.history().size(), 3u);
+  EXPECT_EQ(tracker.history().front().started, first_kept);
+}
+
+TEST(AvailBwTracker, WeightedCenterWindowSelectsRecentRuns) {
+  MutableFluidChannel channel{30.0};
+  AvailBwTracker tracker{channel, quick_config()};
+  tracker.measure_once();
+  channel.set_avail(10.0);
+  tracker.measure_once();
+  // A window covering only the last run must report ~10, the full history
+  // something in between.
+  const auto recent = tracker.weighted_center(tracker.history().back().elapsed / 2.0);
+  ASSERT_TRUE(recent.has_value());
+  EXPECT_NEAR(recent->mbits_per_sec(), 10.0, 1.5);
+  const auto all = tracker.weighted_center();
+  ASSERT_TRUE(all.has_value());
+  EXPECT_GT(all->mbits_per_sec(), recent->mbits_per_sec());
+}
+
+TEST(AvailBwTracker, ResetClearsState) {
+  MutableFluidChannel channel{20.0};
+  AvailBwTracker tracker{channel, quick_config()};
+  tracker.measure_once();
+  tracker.reset();
+  EXPECT_TRUE(tracker.history().empty());
+  EXPECT_FALSE(tracker.smoothed_center().has_value());
+}
+
+}  // namespace
+}  // namespace pathload::core

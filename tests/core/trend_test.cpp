@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/trend.hpp"
+#include "util/rng.hpp"
+
+namespace pathload::core {
+namespace {
+
+/// Binary either-OR detection on the unfiltered series (the ToN text's
+/// simplified description; kCombined is the released tool's rule).
+TrendConfig raw_cfg() {
+  TrendConfig cfg;
+  cfg.median_filter = false;
+  cfg.mode = TrendConfig::Mode::kEither;
+  return cfg;
+}
+
+std::vector<double> linear_series(int n, double slope, double start = 0.0) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = start + slope * i;
+  return v;
+}
+
+TEST(MedianGroups, SqrtKGrouping) {
+  // K = 100 -> group size 10 -> 10 medians.
+  std::vector<double> owds(100, 1.0);
+  EXPECT_EQ(median_groups(owds).size(), 10u);
+}
+
+TEST(MedianGroups, ShortSeriesPassThrough) {
+  const std::vector<double> owds{1.0, 2.0, 3.0};
+  EXPECT_EQ(median_groups(owds), owds);
+}
+
+TEST(MedianGroups, MediansOfConsecutiveGroups) {
+  // 9 values, group size 3: medians of {1,9,2}, {3,8,4}, {5,7,6}.
+  const std::vector<double> owds{1, 9, 2, 3, 8, 4, 5, 7, 6};
+  const auto m = median_groups(owds);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+  EXPECT_DOUBLE_EQ(m[2], 6.0);
+}
+
+TEST(MedianGroups, SuppressesOutliers) {
+  // A strongly increasing series with occasional huge negative outliers:
+  // group medians restore monotonicity.
+  auto owds = linear_series(100, 1.0);
+  for (std::size_t i = 5; i < owds.size(); i += 10) owds[i] = -1000.0;
+  const auto m = median_groups(owds);
+  for (std::size_t i = 1; i < m.size(); ++i) EXPECT_GT(m[i], m[i - 1]);
+}
+
+TEST(ComputeTrend, StrictlyIncreasingSeries) {
+  const auto stats = compute_trend(linear_series(100, 0.5), raw_cfg());
+  EXPECT_DOUBLE_EQ(stats.pct, 1.0);
+  EXPECT_DOUBLE_EQ(stats.pdt, 1.0);
+}
+
+TEST(ComputeTrend, StrictlyDecreasingSeries) {
+  const auto stats = compute_trend(linear_series(100, -0.5), raw_cfg());
+  EXPECT_DOUBLE_EQ(stats.pct, 0.0);
+  EXPECT_DOUBLE_EQ(stats.pdt, -1.0);
+}
+
+TEST(ComputeTrend, IndependentOwdsNearNeutral) {
+  // Paper: for independent OWDs E[PCT] = 0.5 and E[PDT] = 0.
+  Rng rng{101};
+  double pct_sum = 0.0;
+  double pdt_sum = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> owds(100);
+    for (auto& x : owds) x = rng.uniform();
+    const auto stats = compute_trend(owds, raw_cfg());
+    pct_sum += stats.pct;
+    pdt_sum += stats.pdt;
+  }
+  EXPECT_NEAR(pct_sum / trials, 0.5, 0.02);
+  EXPECT_NEAR(pdt_sum / trials, 0.0, 0.05);
+}
+
+TEST(ComputeTrend, ConstantSeriesIsNonIncreasing) {
+  const auto stats = compute_trend(std::vector<double>(100, 3.0), raw_cfg());
+  EXPECT_DOUBLE_EQ(stats.pct, 0.0);  // no pair strictly increasing
+  EXPECT_DOUBLE_EQ(stats.pdt, 0.0);  // zero absolute variation -> neutral
+}
+
+TEST(ComputeTrend, TooShortSeriesIsNeutral) {
+  const auto stats = compute_trend(std::vector<double>{1.0}, raw_cfg());
+  EXPECT_DOUBLE_EQ(stats.pct, 0.5);
+  EXPECT_DOUBLE_EQ(stats.pdt, 0.0);
+  EXPECT_EQ(classify_stream(stats, raw_cfg()), StreamClass::kNonIncreasing);
+}
+
+TEST(ComputeTrend, NoisyIncreasingTrendDetected) {
+  // Increasing trend with noise of comparable scale: PCT/PDT with median
+  // preprocessing should still see it (the Fig. 1 situation).
+  Rng rng{7};
+  std::vector<double> owds(100);
+  for (int i = 0; i < 100; ++i) {
+    owds[static_cast<std::size_t>(i)] = 0.05 * i + rng.uniform(-1.0, 1.0);
+  }
+  TrendConfig cfg;  // median filter on
+  EXPECT_EQ(classify_owds(owds, cfg), StreamClass::kIncreasing);
+}
+
+TEST(ComputeTrend, NoiseOnlySeriesNotIncreasing) {
+  Rng rng{9};
+  std::vector<double> owds(100);
+  for (auto& x : owds) x = rng.uniform(-1.0, 1.0);
+  TrendConfig cfg;  // kCombined: noise must never vote "increasing"
+  EXPECT_NE(classify_owds(owds, cfg), StreamClass::kIncreasing);
+}
+
+TEST(ClassifyStream, CombinedModeVotes) {
+  TrendConfig cfg;  // defaults: pct 0.55/band 0.10, pdt 0.40/band 0.10
+  TrendStats stats;
+
+  // Both metrics clearly increasing -> type I.
+  stats.pct = 0.9;
+  stats.pdt = 0.9;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kIncreasing);
+
+  // Both clearly non-increasing -> type N.
+  stats.pct = 0.2;
+  stats.pdt = -0.2;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kNonIncreasing);
+
+  // One increasing, one abstaining -> type I.
+  stats.pct = 0.9;
+  stats.pdt = 0.35;  // in (0.30, 0.40]: ambiguous
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kIncreasing);
+
+  // One non-increasing, one abstaining -> type N.
+  stats.pct = 0.50;  // in (0.45, 0.55]: ambiguous
+  stats.pdt = 0.1;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kNonIncreasing);
+
+  // Conflict -> discard.
+  stats.pct = 0.9;
+  stats.pdt = -0.5;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kDiscard);
+
+  // Double abstention -> discard.
+  stats.pct = 0.50;
+  stats.pdt = 0.35;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kDiscard);
+}
+
+TEST(ClassifyStream, CombinedModeSuppressesPctOnlyFalsePositives) {
+  // The failure mode that motivates the combined rule: a noisy series with
+  // PCT slightly above threshold but flat PDT must not count as type I.
+  TrendConfig cfg;
+  TrendStats stats;
+  stats.pct = 0.60;   // above 0.55: PCT alone would say increasing
+  stats.pdt = 0.05;   // flat
+  EXPECT_NE(classify_stream(stats, cfg), StreamClass::kIncreasing);
+  TrendConfig either = cfg;
+  either.mode = TrendConfig::Mode::kEither;
+  EXPECT_EQ(classify_stream(stats, either), StreamClass::kIncreasing);
+}
+
+TEST(ComputeTrend, MedianFilterReducesGroupCount) {
+  TrendConfig cfg;
+  const auto stats = compute_trend(linear_series(100, 1.0), cfg);
+  EXPECT_EQ(stats.groups, 10);
+  const auto raw = compute_trend(linear_series(100, 1.0), raw_cfg());
+  EXPECT_EQ(raw.groups, 100);
+}
+
+TEST(ClassifyStream, PctThresholdBoundary) {
+  TrendConfig cfg = raw_cfg();
+  cfg.mode = TrendConfig::Mode::kPctOnly;
+  TrendStats stats;
+  stats.pct = cfg.pct_threshold;  // not strictly above
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kNonIncreasing);
+  stats.pct = cfg.pct_threshold + 0.01;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kIncreasing);
+}
+
+TEST(ClassifyStream, PdtThresholdBoundary) {
+  TrendConfig cfg = raw_cfg();
+  cfg.mode = TrendConfig::Mode::kPdtOnly;
+  TrendStats stats;
+  stats.pdt = cfg.pdt_threshold;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kNonIncreasing);
+  stats.pdt = cfg.pdt_threshold + 0.01;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kIncreasing);
+}
+
+TEST(ClassifyStream, EitherModeNeedsOnlyOneMetric) {
+  TrendConfig cfg = raw_cfg();  // kEither
+  TrendStats stats;
+  stats.pct = 0.9;
+  stats.pdt = -0.5;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kIncreasing);
+  stats.pct = 0.1;
+  stats.pdt = 0.9;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kIncreasing);
+  stats.pct = 0.1;
+  stats.pdt = 0.1;
+  EXPECT_EQ(classify_stream(stats, cfg), StreamClass::kNonIncreasing);
+}
+
+// The complementarity the paper mentions: PCT catches gradual many-step
+// trends that PDT misses when variation is high; PDT catches strong
+// start-to-end jumps that PCT misses when steps alternate.
+TEST(ClassifyStream, PctCatchesWhatPdtMisses) {
+  // Alternating up-up-down walk: most pairs increase (PCT high) but the
+  // total displacement is small relative to absolute variation (PDT low).
+  std::vector<double> owds;
+  double x = 0.0;
+  for (int i = 0; i < 99; ++i) {
+    x += (i % 3 == 2) ? -1.8 : 1.0;
+    owds.push_back(x);
+  }
+  const auto stats = compute_trend(owds, raw_cfg());
+  EXPECT_GT(stats.pct, 0.55);
+  EXPECT_LT(stats.pdt, 0.4);
+}
+
+TEST(ClassifyStream, PdtCatchesWhatPctMisses) {
+  // Rare large jumps between flat plateaus: few increasing pairs (PCT low)
+  // but the start-to-end displacement dominates (PDT high).
+  std::vector<double> owds;
+  for (int plateau = 0; plateau < 5; ++plateau) {
+    for (int i = 0; i < 20; ++i) {
+      owds.push_back(plateau * 10.0 - 0.01 * i);  // slight downward drift
+    }
+  }
+  const auto stats = compute_trend(owds, raw_cfg());
+  EXPECT_LT(stats.pct, 0.55);
+  EXPECT_GT(stats.pdt, 0.4);
+}
+
+// Property sweep: for a clean linear trend of any positive slope, both
+// metrics saturate regardless of magnitude (scale invariance).
+class TrendScaleInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(TrendScaleInvariance, SlopeMagnitudeIrrelevant) {
+  const auto stats = compute_trend(linear_series(100, GetParam()), TrendConfig{});
+  EXPECT_DOUBLE_EQ(stats.pct, 1.0);
+  EXPECT_DOUBLE_EQ(stats.pdt, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, TrendScaleInvariance,
+                         ::testing::Values(1e-9, 1e-6, 1e-3, 1.0, 1e3));
+
+}  // namespace
+}  // namespace pathload::core

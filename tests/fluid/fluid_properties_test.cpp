@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "fluid/fluid_model.hpp"
+
+namespace pathload::fluid {
+namespace {
+
+FluidPath mixed_path() {
+  return FluidPath{{
+      {Rate::mbps(40), Rate::mbps(22)},  // avail 18
+      {Rate::mbps(12), Rate::mbps(7)},   // avail 5 (tight)
+      {Rate::mbps(25), Rate::mbps(10)},  // avail 15
+  }};
+}
+
+TEST(FluidProperties, EntryRatesAreMonotoneNonIncreasingAlongThePath) {
+  const auto path = mixed_path();
+  for (double r : {1.0, 4.0, 6.0, 12.0, 30.0, 80.0}) {
+    const auto rates = path.entry_rates(Rate::mbps(r));
+    ASSERT_EQ(rates.size(), path.hop_count() + 1);
+    for (std::size_t i = 1; i < rates.size(); ++i) {
+      EXPECT_LE(rates[i], rates[i - 1]) << "R = " << r << ", hop " << i;
+    }
+  }
+}
+
+TEST(FluidProperties, ExitRateIsMonotoneInOfferedRate) {
+  // More offered traffic never yields *less* received rate in the fluid
+  // model (each link's share C*R/(R+lambda) increases with R).
+  const auto path = mixed_path();
+  Rate prev = Rate::zero();
+  for (double r = 0.5; r <= 100.0; r += 0.5) {
+    const Rate out = path.exit_rate(Rate::mbps(r));
+    EXPECT_GE(out + Rate::bps(1), prev) << "R = " << r;
+    prev = out;
+  }
+}
+
+TEST(FluidProperties, ExitRateSaturatesBelowTightCapacity) {
+  const auto path = mixed_path();
+  // As R -> infinity the stream can at most get the share C at each hop.
+  const Rate out = path.exit_rate(Rate::mbps(10'000));
+  EXPECT_LE(out, Rate::mbps(12));
+  EXPECT_GT(out, path.avail_bw());
+}
+
+TEST(FluidProperties, OwdDeltaContinuousAtTheAvailBwBoundary) {
+  const auto path = mixed_path();  // A = 5
+  const DataSize pkt = DataSize::bytes(800);
+  // Just below A: exactly zero. Just above: positive but tiny.
+  EXPECT_EQ(path.owd_delta_per_packet(Rate::mbps(4.999), pkt), Duration::zero());
+  const Duration just_above = path.owd_delta_per_packet(Rate::mbps(5.02), pkt);
+  EXPECT_GT(just_above, Duration::zero());
+  EXPECT_LT(just_above, Duration::microseconds(10));
+}
+
+TEST(FluidProperties, UnloadedPathNeverThrottles) {
+  const FluidPath idle{{
+      {Rate::mbps(10), Rate::zero()},
+      {Rate::mbps(5), Rate::zero()},
+  }};
+  // Below the narrow capacity the stream is untouched.
+  EXPECT_EQ(idle.exit_rate(Rate::mbps(4.9)), Rate::mbps(4.9));
+  // Above it, the narrow link clips the rate.
+  EXPECT_LT(idle.exit_rate(Rate::mbps(9.0)), Rate::mbps(9.0));
+  EXPECT_GE(idle.exit_rate(Rate::mbps(9.0)), Rate::mbps(5.0) - Rate::bps(1));
+}
+
+TEST(FluidProperties, AsymptoticDispersionRateMatchesAdrFormula) {
+  // For a single link, a maximal-rate train's exit rate is the ADR:
+  // C * R/(R + lambda). Sweep burst rates and compare.
+  const FluidPath one{{{Rate::mbps(10), Rate::mbps(6)}}};
+  for (double r : {20.0, 60.0, 120.0}) {
+    const double expected = 10.0 * r / (r + 6.0);
+    EXPECT_NEAR(one.exit_rate(Rate::mbps(r)).mbits_per_sec(), expected, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pathload::fluid

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/session.hpp"
+#include "core/trend.hpp"
+#include "net/live_channel.hpp"
+#include "net/live_receiver.hpp"
+#include "net/socket.hpp"
+
+namespace pathload::net {
+namespace {
+
+/// True if this environment lets us open loopback sockets at all.
+bool sockets_available() {
+  try {
+    auto s = UdpSocket::bind({"127.0.0.1", 0});
+    return s.local_port() != 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+#define REQUIRE_SOCKETS()                                   \
+  if (!sockets_available()) {                               \
+    GTEST_SKIP() << "loopback sockets unavailable in this " \
+                    "environment";                          \
+  }
+
+TEST(Sockets, UdpLoopbackRoundTrip) {
+  REQUIRE_SOCKETS();
+  auto rx = UdpSocket::bind({"127.0.0.1", 0});
+  auto tx = UdpSocket::bind({"127.0.0.1", 0});
+  tx.connect({"127.0.0.1", rx.local_port()});
+  const std::vector<std::byte> payload(64, std::byte{0x5A});
+  tx.send(payload);
+  const auto got = rx.recv(Duration::seconds(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(Sockets, UdpRecvTimesOut) {
+  REQUIRE_SOCKETS();
+  auto rx = UdpSocket::bind({"127.0.0.1", 0});
+  EXPECT_FALSE(rx.recv(Duration::milliseconds(30)).has_value());
+}
+
+TEST(Sockets, UdpReceiveTimestampsAreOrdered) {
+  REQUIRE_SOCKETS();
+  auto rx = UdpSocket::bind({"127.0.0.1", 0});
+  auto tx = UdpSocket::bind({"127.0.0.1", 0});
+  tx.connect({"127.0.0.1", rx.local_port()});
+  const std::vector<std::byte> payload(32);
+  tx.send(payload);
+  tx.send(payload);
+  const auto a = rx.recv_with_timestamp(Duration::seconds(2));
+  const auto b = rx.recv_with_timestamp(Duration::seconds(2));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LE(a->stamp, b->stamp);
+}
+
+TEST(Sockets, TcpFramingRoundTrip) {
+  REQUIRE_SOCKETS();
+  auto listener = TcpListener::bind({"127.0.0.1", 0});
+  const auto port = listener.local_port();
+  std::thread client{[port] {
+    auto stream = TcpStream::connect({"127.0.0.1", port}, Duration::seconds(2));
+    std::vector<std::byte> msg{std::byte{1}, std::byte{2}, std::byte{3}};
+    stream.send_frame(msg);
+    const auto echoed = stream.recv_frame(Duration::seconds(2));
+    ASSERT_TRUE(echoed.has_value());
+    EXPECT_EQ(echoed->size(), 3u);
+  }};
+  auto server = listener.accept(Duration::seconds(2));
+  ASSERT_TRUE(server.has_value());
+  const auto frame = server->recv_frame(Duration::seconds(2));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, (std::vector<std::byte>{std::byte{1}, std::byte{2}, std::byte{3}}));
+  server->send_frame(*frame);
+  client.join();
+}
+
+TEST(Sockets, TcpZeroLengthFrame) {
+  REQUIRE_SOCKETS();
+  auto listener = TcpListener::bind({"127.0.0.1", 0});
+  const auto port = listener.local_port();
+  std::thread client{[port] {
+    auto stream = TcpStream::connect({"127.0.0.1", port}, Duration::seconds(2));
+    stream.send_frame({});
+  }};
+  auto server = listener.accept(Duration::seconds(2));
+  ASSERT_TRUE(server.has_value());
+  const auto frame = server->recv_frame(Duration::seconds(2));
+  client.join();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->empty());
+}
+
+TEST(Sockets, SleepUntilReachesDeadline) {
+  const TimePoint deadline = monotonic_now() + Duration::milliseconds(5);
+  sleep_until(deadline);
+  EXPECT_GE(monotonic_now(), deadline);
+  // And without gross overshoot (scheduler permitting; generous bound).
+  EXPECT_LT(monotonic_now() - deadline, Duration::milliseconds(50));
+}
+
+TEST(LiveLoopback, SingleStreamDeliversRecords) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(5)); }};
+
+  {
+    LiveProbeChannel channel{{"127.0.0.1", receiver.control_port()}};
+    core::StreamSpec spec;
+    spec.stream_id = 1;
+    spec.packet_count = 50;
+    spec.packet_size = 300;
+    spec.period = Duration::microseconds(500);
+    const auto outcome = channel.run_stream(spec);
+    EXPECT_EQ(outcome.sent_count, 50);
+    // Loopback should deliver everything.
+    EXPECT_GE(outcome.records.size(), 45u);
+    // Seq order and sane OWDs.
+    for (std::size_t i = 1; i < outcome.records.size(); ++i) {
+      EXPECT_LT(outcome.records[i - 1].seq, outcome.records[i].seq);
+    }
+  }  // ~LiveProbeChannel sends kBye
+
+  rx.join();
+}
+
+TEST(LiveLoopback, RttEstimateIsSmallOnLoopback) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(5)); }};
+  {
+    LiveProbeChannel channel{{"127.0.0.1", receiver.control_port()}};
+    EXPECT_GT(channel.rtt(), Duration::zero());
+    EXPECT_LT(channel.rtt(), Duration::milliseconds(100));
+  }
+  rx.join();
+}
+
+TEST(LiveLoopback, FullPathloadSessionOnLoopback) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(30)); }};
+  {
+    LiveProbeChannel channel{{"127.0.0.1", receiver.control_port()}};
+    core::PathloadConfig cfg;
+    // Keep the live smoke test quick: short streams, small fleets, coarse
+    // resolution. Loopback has effectively unbounded avail-bw, so the tool
+    // should report a range near its own maximum rate.
+    cfg.packets_per_stream = 30;
+    cfg.streams_per_fleet = 3;
+    cfg.fleet_fraction = 0.7;
+    cfg.omega = Rate::mbps(20);
+    cfg.chi = Rate::mbps(30);
+    cfg.max_fleets = 10;
+    // Loopback "RTT" is microseconds; idling 9 stream-durations between
+    // streams still keeps this test fast.
+    core::PathloadSession session{channel, cfg};
+    const auto result = session.run();
+    EXPECT_GT(result.fleets, 0);
+    // The loopback path is far faster than the tool's max measurable rate,
+    // so the upper bound should sit high.
+    EXPECT_GT(result.range.high, Rate::mbps(50));
+  }
+  rx.join();
+}
+
+}  // namespace
+}  // namespace pathload::net

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/live_receiver.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace pathload::net {
+namespace {
+
+bool sockets_available() {
+  try {
+    auto s = UdpSocket::bind({"127.0.0.1", 0});
+    return s.local_port() != 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+#define REQUIRE_SOCKETS()                                               \
+  if (!sockets_available()) {                                           \
+    GTEST_SKIP() << "loopback sockets unavailable in this environment"; \
+  }
+
+TEST(ProtocolRobustness, ReceiverIgnoresGarbageControlFrames) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(5)); }};
+
+  auto ctrl = TcpStream::connect({"127.0.0.1", receiver.control_port()},
+                                 Duration::seconds(2));
+  // Garbage type byte, then a truncated StreamStart, then a real Hello:
+  // the receiver must survive all of it and still answer the Hello.
+  std::vector<std::byte> garbage{std::byte{0xEE}, std::byte{1}, std::byte{2}};
+  ctrl.send_frame(garbage);
+  std::vector<std::byte> truncated{std::byte{3}, std::byte{0}};  // StreamStart, 1 byte
+  ctrl.send_frame(truncated);
+  ctrl.send_frame(make_message(MsgType::kHello));
+  const auto reply = ctrl.recv_frame(Duration::seconds(2));
+  ASSERT_TRUE(reply.has_value());
+  const auto msg = parse_message(*reply);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kHelloReply);
+  ctrl.send_frame(make_message(MsgType::kBye));
+  rx.join();
+}
+
+TEST(ProtocolRobustness, ReceiverRejectsNonsenseStreamStart) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(5)); }};
+
+  auto ctrl = TcpStream::connect({"127.0.0.1", receiver.control_port()},
+                                 Duration::seconds(2));
+  StreamStartMsg bogus;
+  bogus.stream_id = 1;
+  bogus.packet_count = 0;  // invalid
+  bogus.packet_size = 300;
+  bogus.period_ns = 100'000;
+  ctrl.send_frame(make_message(MsgType::kStreamStart, bogus.encode()));
+  // No StreamResult should come; an Echo afterwards must still work.
+  ctrl.send_frame(make_message(MsgType::kEcho));
+  const auto reply = ctrl.recv_frame(Duration::seconds(2));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(parse_message(*reply)->type, MsgType::kEchoReply);
+  ctrl.send_frame(make_message(MsgType::kBye));
+  rx.join();
+}
+
+TEST(ProtocolRobustness, StreamResultReportsLossWhenPacketsNeverArrive) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(10)); }};
+
+  auto ctrl = TcpStream::connect({"127.0.0.1", receiver.control_port()},
+                                 Duration::seconds(2));
+  // Announce a stream but never send the UDP packets: the receiver must
+  // time out (duration + 500 ms slack) and report zero records.
+  StreamStartMsg start;
+  start.stream_id = 7;
+  start.packet_count = 10;
+  start.packet_size = 300;
+  start.period_ns = 1'000'000;  // 10 ms nominal duration
+  ctrl.send_frame(make_message(MsgType::kStreamStart, start.encode()));
+  const auto reply = ctrl.recv_frame(Duration::seconds(5));
+  ASSERT_TRUE(reply.has_value());
+  const auto msg = parse_message(*reply);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->type, MsgType::kStreamResult);
+  const auto result = StreamResultMsg::decode(msg->payload);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->stream_id, 7u);
+  EXPECT_TRUE(result->records.empty());
+  ctrl.send_frame(make_message(MsgType::kBye));
+  rx.join();
+}
+
+TEST(ProtocolRobustness, ForeignUdpPacketsAreIgnored) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(10)); }};
+
+  auto ctrl = TcpStream::connect({"127.0.0.1", receiver.control_port()},
+                                 Duration::seconds(2));
+  auto udp = UdpSocket::bind({"127.0.0.1", 0});
+  udp.connect({"127.0.0.1", receiver.probe_port()});
+
+  StreamStartMsg start;
+  start.stream_id = 9;
+  start.packet_count = 3;
+  start.packet_size = 300;
+  start.period_ns = 1'000'000;
+  ctrl.send_frame(make_message(MsgType::kStreamStart, start.encode()));
+
+  // Noise: wrong magic, wrong stream id, then the real packets.
+  std::vector<std::byte> noise(300, std::byte{0x42});
+  udp.send(noise);
+  std::vector<std::byte> wrong_stream(300);
+  write_probe_header(wrong_stream, ProbeHeader{999, 0, 123});
+  udp.send(wrong_stream);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    std::vector<std::byte> pkt(300);
+    write_probe_header(pkt, ProbeHeader{9, i, static_cast<std::int64_t>(1000 + i)});
+    udp.send(pkt);
+  }
+
+  const auto reply = ctrl.recv_frame(Duration::seconds(5));
+  ASSERT_TRUE(reply.has_value());
+  const auto result = StreamResultMsg::decode(parse_message(*reply)->payload);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->records.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result->records[i].seq, i);
+  }
+  ctrl.send_frame(make_message(MsgType::kBye));
+  rx.join();
+}
+
+}  // namespace
+}  // namespace pathload::net

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "net/wire.hpp"
+
+namespace pathload::net {
+namespace {
+
+TEST(Wire, StreamStartRoundTrip) {
+  StreamStartMsg m;
+  m.stream_id = 42;
+  m.packet_count = 100;
+  m.packet_size = 300;
+  m.period_ns = 180'000;
+  const auto decoded = StreamStartMsg::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->stream_id, 42u);
+  EXPECT_EQ(decoded->packet_count, 100u);
+  EXPECT_EQ(decoded->packet_size, 300u);
+  EXPECT_EQ(decoded->period_ns, 180'000);
+}
+
+TEST(Wire, StreamStartRejectsTruncated) {
+  StreamStartMsg m;
+  m.packet_count = 100;
+  m.packet_size = 300;
+  m.period_ns = 1;
+  auto bytes = m.encode();
+  bytes.pop_back();
+  EXPECT_FALSE(StreamStartMsg::decode(bytes).has_value());
+}
+
+TEST(Wire, StreamStartRejectsNonsense) {
+  StreamStartMsg zero_packets;
+  zero_packets.packet_count = 0;
+  zero_packets.packet_size = 300;
+  zero_packets.period_ns = 1;
+  EXPECT_FALSE(StreamStartMsg::decode(zero_packets.encode()).has_value());
+
+  StreamStartMsg tiny_packet;
+  tiny_packet.packet_count = 10;
+  tiny_packet.packet_size = 4;  // smaller than the probe header
+  tiny_packet.period_ns = 1;
+  EXPECT_FALSE(StreamStartMsg::decode(tiny_packet.encode()).has_value());
+}
+
+TEST(Wire, StreamStartSpecConversionRoundTrip) {
+  core::StreamSpec spec;
+  spec.stream_id = 7;
+  spec.packet_count = 50;
+  spec.packet_size = 964;
+  spec.period = Duration::microseconds(250);
+  const auto spec2 = StreamStartMsg::from_spec(spec).to_spec();
+  EXPECT_EQ(spec2.stream_id, spec.stream_id);
+  EXPECT_EQ(spec2.packet_count, spec.packet_count);
+  EXPECT_EQ(spec2.packet_size, spec.packet_size);
+  EXPECT_EQ(spec2.period, spec.period);
+}
+
+TEST(Wire, StreamResultRoundTrip) {
+  StreamResultMsg m;
+  m.stream_id = 9;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    core::ProbeRecord r;
+    r.seq = i;
+    r.sent = TimePoint::from_nanos(1000 + i);
+    r.received = TimePoint::from_nanos(2000 + i * 3);
+    m.records.push_back(r);
+  }
+  const auto decoded = StreamResultMsg::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->stream_id, 9u);
+  ASSERT_EQ(decoded->records.size(), 5u);
+  EXPECT_EQ(decoded->records[4].seq, 4u);
+  EXPECT_EQ(decoded->records[4].sent.nanos(), 1004);
+  EXPECT_EQ(decoded->records[4].received.nanos(), 2012);
+}
+
+TEST(Wire, StreamResultRejectsBogusCount) {
+  ByteWriter w;
+  w.put<std::uint32_t>(1);
+  w.put<std::uint32_t>(2'000'000);  // claims 2M records with no data
+  EXPECT_FALSE(StreamResultMsg::decode(w.take()).has_value());
+}
+
+TEST(Wire, MessageFraming) {
+  const auto msg = make_message(MsgType::kEcho);
+  const auto parsed = parse_message(msg);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, MsgType::kEcho);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(Wire, MessageRejectsUnknownType) {
+  std::vector<std::byte> bogus{std::byte{0xEE}};
+  EXPECT_FALSE(parse_message(bogus).has_value());
+  EXPECT_FALSE(parse_message({}).has_value());
+}
+
+TEST(Wire, ProbeHeaderRoundTrip) {
+  std::vector<std::byte> packet(200);
+  ProbeHeader h;
+  h.stream_id = 3;
+  h.seq = 77;
+  h.sent_ns = 123456789;
+  write_probe_header(packet, h);
+  const auto parsed = read_probe_header(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->stream_id, 3u);
+  EXPECT_EQ(parsed->seq, 77u);
+  EXPECT_EQ(parsed->sent_ns, 123456789);
+}
+
+TEST(Wire, ProbeHeaderRejectsForeignPackets) {
+  std::vector<std::byte> junk(200, std::byte{0xAB});
+  EXPECT_FALSE(read_probe_header(junk).has_value());
+  std::vector<std::byte> tiny(8);
+  EXPECT_FALSE(read_probe_header(tiny).has_value());
+}
+
+}  // namespace
+}  // namespace pathload::net

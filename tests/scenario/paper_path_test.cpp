@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+#include "scenario/paper_path.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+TEST(PaperPathConfig, DerivedQuantities) {
+  PaperPathConfig cfg;
+  cfg.tight_capacity = Rate::mbps(10);
+  cfg.tight_utilization = 0.6;
+  cfg.beta = 2.0;
+  cfg.nontight_utilization = 0.6;
+  EXPECT_EQ(cfg.tight_avail_bw(), Rate::mbps(4));
+  // Cx = beta * At / (1 - ux) = 2*4/0.4 = 20.
+  EXPECT_EQ(cfg.nontight_capacity(), Rate::mbps(20));
+}
+
+TEST(Testbed, TightLinkIsMiddleHop) {
+  PaperPathConfig cfg;
+  cfg.hops = 5;
+  Testbed bed{cfg};
+  EXPECT_EQ(bed.tight_index(), 2u);
+  EXPECT_EQ(bed.path().hop_count(), 5u);
+  EXPECT_EQ(bed.tight_link().capacity(), cfg.tight_capacity);
+  for (std::size_t i = 0; i < bed.path().hop_count(); ++i) {
+    if (i != bed.tight_index()) {
+      EXPECT_EQ(bed.path().link(i).capacity(), cfg.nontight_capacity());
+    }
+  }
+}
+
+TEST(Testbed, RejectsBadConfig) {
+  PaperPathConfig no_hops;
+  no_hops.hops = 0;
+  EXPECT_THROW(Testbed{no_hops}, std::invalid_argument);
+  PaperPathConfig overloaded;
+  overloaded.tight_utilization = 1.0;
+  EXPECT_THROW(Testbed{overloaded}, std::invalid_argument);
+}
+
+TEST(Testbed, FluidModelMatchesTopology) {
+  PaperPathConfig cfg;
+  cfg.hops = 3;
+  cfg.tight_capacity = Rate::mbps(10);
+  cfg.tight_utilization = 0.6;
+  cfg.beta = 2.0;
+  Testbed bed{cfg};
+  const auto fluid = bed.fluid();
+  EXPECT_EQ(fluid.hop_count(), 3u);
+  EXPECT_EQ(fluid.avail_bw(), Rate::mbps(4));
+  EXPECT_EQ(fluid.tight_link(), bed.tight_index());
+}
+
+TEST(Testbed, WarmupProducesConfiguredUtilization) {
+  PaperPathConfig cfg;
+  cfg.hops = 1;
+  cfg.tight_capacity = Rate::mbps(10);
+  cfg.tight_utilization = 0.6;
+  cfg.model = sim::Interarrival::kExponential;
+  cfg.warmup = Duration::seconds(1);
+  Testbed bed{cfg};
+  bed.start();
+  auto& monitor = bed.monitor_tight_link(Duration::seconds(20));
+  bed.simulator().run_for(Duration::seconds(21));
+  ASSERT_FALSE(monitor.readings().empty());
+  EXPECT_NEAR(monitor.readings().front().utilization, 0.6, 0.04);
+}
+
+TEST(Testbed, BetaOneMakesAllLinksEquallyTight) {
+  PaperPathConfig cfg;
+  cfg.hops = 3;
+  cfg.beta = 1.0;
+  cfg.tight_utilization = 0.6;
+  cfg.nontight_utilization = 0.6;
+  Testbed bed{cfg};
+  const auto fluid = bed.fluid();
+  for (const auto& link : fluid.links()) {
+    EXPECT_EQ(link.avail_bw(), fluid.avail_bw());
+  }
+}
+
+TEST(Testbed, ZeroUtilizationMeansNoTraffic) {
+  PaperPathConfig cfg;
+  cfg.hops = 1;
+  cfg.tight_utilization = 0.0;
+  Testbed bed{cfg};
+  bed.start();
+  bed.simulator().run_for(Duration::seconds(2));
+  EXPECT_EQ(bed.tight_link().bytes_forwarded(), DataSize::bytes(0));
+}
+
+TEST(Testbed, SeedsGiveReproducibleTraffic) {
+  auto run = [](std::uint64_t seed) {
+    PaperPathConfig cfg;
+    cfg.hops = 1;
+    cfg.seed = seed;
+    cfg.warmup = Duration::seconds(2);
+    Testbed bed{cfg};
+    bed.start();
+    return bed.tight_link().bytes_forwarded();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(RepeatedRuns, StatisticsAggregateCorrectly) {
+  RepeatedRuns rr;
+  for (double low : {2.0, 3.0, 4.0}) {
+    core::PathloadResult r;
+    r.range = {Rate::mbps(low), Rate::mbps(low + 2.0)};
+    r.fleets = 5;
+    r.elapsed = Duration::seconds(10);
+    rr.results.push_back(r);
+  }
+  EXPECT_EQ(rr.mean_low(), Rate::mbps(3.0));
+  EXPECT_EQ(rr.mean_high(), Rate::mbps(5.0));
+  EXPECT_DOUBLE_EQ(rr.mean_fleets(), 5.0);
+  EXPECT_EQ(rr.mean_elapsed(), Duration::seconds(10));
+  // truth = 4.2: contained in [3,5] and [4,6] but not [2,4].
+  EXPECT_NEAR(rr.coverage(Rate::mbps(4.2)), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(rr.relative_variations().size(), 3u);
+}
+
+TEST(RepeatedRuns, EmptyIsSafe) {
+  RepeatedRuns rr;
+  EXPECT_EQ(rr.coverage(Rate::mbps(1)), 0.0);
+  EXPECT_EQ(rr.mean_fleets(), 0.0);
+  EXPECT_EQ(rr.mean_elapsed(), Duration::zero());
+}
+
+}  // namespace
+}  // namespace pathload::scenario

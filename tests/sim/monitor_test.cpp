@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+#include "sim/monitor.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+namespace pathload::sim {
+namespace {
+
+TEST(UtilizationMonitor, MeasuresConstantLoad) {
+  Simulator sim;
+  Link link{sim, "l", Rate::mbps(10), Duration::zero(), DataSize::bytes(1'000'000)};
+  // CBR at 6 Mb/s -> utilization 0.6.
+  CrossTrafficSource src{sim,    link, Rate::mbps(6), Interarrival::kConstant,
+                         PacketSizeMix::fixed(750), Rng{1}};
+  UtilizationMonitor mon{sim, link, Duration::seconds(1)};
+  src.start();
+  mon.start();
+  sim.run_for(Duration::seconds(5.5));
+  ASSERT_GE(mon.readings().size(), 5u);
+  for (const auto& r : mon.readings()) {
+    EXPECT_NEAR(r.utilization, 0.6, 0.01);
+    EXPECT_NEAR(r.avail_bw.mbits_per_sec(), 4.0, 0.1);
+  }
+  EXPECT_NEAR(mon.average_utilization(), 0.6, 0.01);
+  EXPECT_NEAR(mon.average_avail_bw().mbits_per_sec(), 4.0, 0.1);
+}
+
+TEST(UtilizationMonitor, IdleLinkIsZero) {
+  Simulator sim;
+  Link link{sim, "l", Rate::mbps(10), Duration::zero(), DataSize::bytes(1'000'000)};
+  UtilizationMonitor mon{sim, link, Duration::milliseconds(100)};
+  mon.start();
+  sim.run_for(Duration::seconds(1));
+  ASSERT_FALSE(mon.readings().empty());
+  for (const auto& r : mon.readings()) {
+    EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+    EXPECT_EQ(r.avail_bw, Rate::mbps(10));
+  }
+}
+
+TEST(UtilizationMonitor, StopClosesPartialWindow) {
+  Simulator sim;
+  Link link{sim, "l", Rate::mbps(10), Duration::zero(), DataSize::bytes(1'000'000)};
+  CrossTrafficSource src{sim,    link, Rate::mbps(5), Interarrival::kConstant,
+                         PacketSizeMix::fixed(500), Rng{1}};
+  UtilizationMonitor mon{sim, link, Duration::seconds(10)};
+  src.start();
+  mon.start();
+  sim.run_for(Duration::seconds(2));
+  mon.stop();
+  ASSERT_EQ(mon.readings().size(), 1u);
+  EXPECT_NEAR(mon.readings()[0].utilization, 0.5, 0.02);
+}
+
+TEST(UtilizationMonitor, QuantizeBandsLikeMrtgGraphs) {
+  // The Fig. 10 comparison quantizes MRTG readings to 6 Mb/s bands.
+  const auto band =
+      UtilizationMonitor::quantize(Rate::mbps(74.2), Rate::mbps(6));
+  EXPECT_DOUBLE_EQ(band.low.mbits_per_sec(), 72.0);
+  EXPECT_DOUBLE_EQ(band.high.mbits_per_sec(), 78.0);
+  const auto exact = UtilizationMonitor::quantize(Rate::mbps(12), Rate::mbps(6));
+  EXPECT_DOUBLE_EQ(exact.low.mbits_per_sec(), 12.0);
+  EXPECT_DOUBLE_EQ(exact.high.mbits_per_sec(), 18.0);
+}
+
+TEST(ThroughputMonitor, BucketsBytesByInterval) {
+  Simulator sim;
+  ThroughputMonitor mon{sim, Duration::seconds(1)};
+  Packet p;
+  p.size_bytes = 125'000;  // 1 Mbit
+  mon.handle(p);           // t = 0, opens bucket
+  sim.run_for(Duration::seconds(1.5));
+  mon.handle(p);  // t = 1.5 -> second bucket
+  sim.run_for(Duration::seconds(1));
+  const auto buckets = mon.finish();  // t = 2.5
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].bytes.byte_count(), 125'000);
+  EXPECT_NEAR(buckets[0].rate().mbits_per_sec(), 1.0, 1e-9);
+  EXPECT_EQ(buckets[1].bytes.byte_count(), 125'000);
+  EXPECT_EQ(buckets[2].bytes.byte_count(), 0);
+}
+
+TEST(ThroughputMonitor, ForwardsDownstream) {
+  Simulator sim;
+  ThroughputMonitor mon{sim, Duration::seconds(1)};
+  class Sink final : public PacketHandler {
+   public:
+    void handle(const Packet&) override { ++count; }
+    int count{0};
+  } sink;
+  mon.set_downstream(&sink);
+  Packet p;
+  p.size_bytes = 100;
+  mon.handle(p);
+  EXPECT_EQ(sink.count, 1);
+  EXPECT_EQ(mon.total_bytes().byte_count(), 100);
+}
+
+TEST(ThroughputMonitor, EmptyFinishIsEmpty) {
+  Simulator sim;
+  ThroughputMonitor mon{sim, Duration::seconds(1)};
+  EXPECT_TRUE(mon.finish().empty());
+}
+
+}  // namespace
+}  // namespace pathload::sim

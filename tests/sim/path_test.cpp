@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+
+namespace pathload::sim {
+namespace {
+
+class Collector final : public PacketHandler {
+ public:
+  explicit Collector(Simulator& sim) : sim_{sim} {}
+  void handle(const Packet& p) override {
+    packets.push_back(p);
+    arrivals.push_back(sim_.now());
+  }
+  std::vector<Packet> packets;
+  std::vector<TimePoint> arrivals;
+
+ private:
+  Simulator& sim_;
+};
+
+std::vector<HopSpec> three_hops() {
+  return {
+      {Rate::mbps(100), Duration::milliseconds(10), DataSize::bytes(1'000'000)},
+      {Rate::mbps(10), Duration::milliseconds(10), DataSize::bytes(1'000'000)},
+      {Rate::mbps(100), Duration::milliseconds(10), DataSize::bytes(1'000'000)},
+  };
+}
+
+Packet transit_packet(Simulator& sim, std::uint32_t flow, std::int32_t size = 1000) {
+  Packet p;
+  p.id = sim.next_packet_id();
+  p.flow = flow;
+  p.kind = PacketKind::kProbe;
+  p.size_bytes = size;
+  p.transit = true;
+  return p;
+}
+
+TEST(Path, RejectsEmptyHopList) {
+  Simulator sim;
+  EXPECT_THROW(Path(sim, {}), std::invalid_argument);
+}
+
+TEST(Path, CapacityIsNarrowLink) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  EXPECT_EQ(path.capacity(), Rate::mbps(10));
+}
+
+TEST(Path, BaseDelaySumsPropagation) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  EXPECT_EQ(path.base_delay(), Duration::milliseconds(30));
+}
+
+TEST(Path, UnloadedTransitTimeAddsSerialization) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  // 1000 B: 80 us at 100 Mb/s, 800 us at 10, 80 us at 100 -> 960 us + 30 ms.
+  EXPECT_EQ(path.unloaded_transit_time(DataSize::bytes(1000)),
+            Duration::milliseconds(30) + Duration::microseconds(960));
+}
+
+TEST(Path, TransitPacketTraversesAllLinksToEgress) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  const std::uint32_t flow = sim.next_flow_id();
+  Collector out{sim};
+  path.egress().register_flow(flow, &out);
+  path.ingress().handle(transit_packet(sim, flow));
+  sim.run_all();
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.arrivals[0] - TimePoint::origin(),
+            path.unloaded_transit_time(DataSize::bytes(1000)));
+  for (std::size_t i = 0; i < path.hop_count(); ++i) {
+    EXPECT_EQ(path.link(i).packets_forwarded(), 1u);
+  }
+}
+
+TEST(Path, CrossTrafficPacketLeavesAfterOneHop) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  Packet p;
+  p.id = sim.next_packet_id();
+  p.size_bytes = 500;
+  p.transit = false;  // hop-local
+  path.link(1).handle(p);
+  sim.run_all();
+  EXPECT_EQ(path.link(0).packets_forwarded(), 0u);
+  EXPECT_EQ(path.link(1).packets_forwarded(), 1u);
+  EXPECT_EQ(path.link(2).packets_forwarded(), 0u);
+  EXPECT_EQ(path.egress().unclaimed_packets(), 0u);
+}
+
+TEST(FlowDemux, RoutesByFlowId) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  const std::uint32_t f1 = sim.next_flow_id();
+  const std::uint32_t f2 = sim.next_flow_id();
+  Collector out1{sim};
+  Collector out2{sim};
+  path.egress().register_flow(f1, &out1);
+  path.egress().register_flow(f2, &out2);
+  path.ingress().handle(transit_packet(sim, f1));
+  path.ingress().handle(transit_packet(sim, f2));
+  path.ingress().handle(transit_packet(sim, f1));
+  sim.run_all();
+  EXPECT_EQ(out1.packets.size(), 2u);
+  EXPECT_EQ(out2.packets.size(), 1u);
+}
+
+TEST(FlowDemux, CountsUnclaimedPackets) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  path.ingress().handle(transit_packet(sim, 999));
+  sim.run_all();
+  EXPECT_EQ(path.egress().unclaimed_packets(), 1u);
+}
+
+TEST(FlowDemux, UnregisterStopsDelivery) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  const std::uint32_t flow = sim.next_flow_id();
+  Collector out{sim};
+  path.egress().register_flow(flow, &out);
+  path.egress().unregister_flow(flow);
+  path.ingress().handle(transit_packet(sim, flow));
+  sim.run_all();
+  EXPECT_TRUE(out.packets.empty());
+  EXPECT_EQ(path.egress().unclaimed_packets(), 1u);
+}
+
+TEST(Path, PerFlowDropsVisibleAcrossLinks) {
+  Simulator sim;
+  // Tiny buffer on the middle link forces drops there.
+  auto hops = three_hops();
+  hops[1].buffer_limit = DataSize::bytes(1000);
+  Path path{sim, hops};
+  const std::uint32_t flow = sim.next_flow_id();
+  Collector out{sim};
+  path.egress().register_flow(flow, &out);
+  // A burst of back-to-back packets: the 10 Mb/s middle link can't drain.
+  for (int i = 0; i < 10; ++i) {
+    path.ingress().handle(transit_packet(sim, flow, 1000));
+  }
+  sim.run_all();
+  std::uint64_t drops = 0;
+  for (std::size_t i = 0; i < path.hop_count(); ++i) {
+    drops += path.link(i).drops_for_flow(flow);
+  }
+  EXPECT_GT(drops, 0u);
+  EXPECT_EQ(out.packets.size() + drops, 10u);
+}
+
+}  // namespace
+}  // namespace pathload::sim

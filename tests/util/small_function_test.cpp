@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "util/small_function.hpp"
+
+namespace pathload {
+namespace {
+
+TEST(SmallFunction, InvokesLambda) {
+  int x = 0;
+  SmallFunction<56> f{[&x] { x = 7; }};
+  f();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(SmallFunction, DefaultConstructedIsEmpty) {
+  SmallFunction<56> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(SmallFunction, MoveTransfersOwnership) {
+  int calls = 0;
+  SmallFunction<56> a{[&calls] { ++calls; }};
+  SmallFunction<56> b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SmallFunction, MoveAssignReplacesTarget) {
+  int first = 0;
+  int second = 0;
+  SmallFunction<56> a{[&first] { ++first; }};
+  SmallFunction<56> b{[&second] { ++second; }};
+  a = std::move(b);
+  a();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SmallFunction, DestroysCapturedState) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> observer = token;
+  {
+    SmallFunction<56> f{[t = std::move(token)] { (void)t; }};
+    EXPECT_FALSE(observer.expired());
+  }
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(SmallFunction, CapturesUpToCapacity) {
+  struct Big {
+    char data[48];
+  };
+  Big big{};
+  big.data[0] = 'x';
+  char out = ' ';
+  SmallFunction<56> f{[big, &out] { out = big.data[0]; }};
+  f();
+  EXPECT_EQ(out, 'x');
+}
+
+TEST(SmallFunction, SelfMoveAssignIsSafe) {
+  int calls = 0;
+  SmallFunction<56> f{[&calls] { ++calls; }};
+  auto& ref = f;
+  f = std::move(ref);
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pathload

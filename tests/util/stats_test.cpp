@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pathload {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, CoefficientOfVariation) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_NEAR(s.cv(), s.stddev() / 2.0, 1e-12);
+}
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Median, EmptyIsZero) { EXPECT_DOUBLE_EQ(median({}), 0.0); }
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.125), 15.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> xs{50.0, 10.0, 40.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 30.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.5), 2.0);
+}
+
+TEST(Deciles, ProducesTenRowsCoveringPaperPercentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const auto rows = deciles_5_to_95(xs);
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_DOUBLE_EQ(rows.front().pct, 5.0);
+  EXPECT_DOUBLE_EQ(rows.back().pct, 95.0);
+  // Monotone non-decreasing values.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].value, rows[i].value);
+  }
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 3.0 + ((i % 2 == 0) ? 0.1 : -0.1));
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.2);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(linear_fit({}, {}).slope, 0.0);
+  // Single point: slope 0, intercept = y.
+  const std::vector<double> x{2.0};
+  const std::vector<double> y{7.0};
+  EXPECT_DOUBLE_EQ(linear_fit(x, y).intercept, 7.0);
+  // Zero x-variance: slope 0, intercept = mean(y).
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(WeightedAverage, MatchesEq11) {
+  // Two runs: 10 Mb/s for 10 s and 20 Mb/s for 30 s -> (100+600)/40 = 17.5.
+  const std::vector<WeightedSample> samples{
+      {10.0, Duration::seconds(10)},
+      {20.0, Duration::seconds(30)},
+  };
+  EXPECT_DOUBLE_EQ(duration_weighted_average(samples), 17.5);
+}
+
+TEST(WeightedAverage, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(duration_weighted_average({}), 0.0);
+}
+
+TEST(WeightedAverage, SingleSampleIsItsValue) {
+  const std::vector<WeightedSample> samples{{42.0, Duration::seconds(3)}};
+  EXPECT_DOUBLE_EQ(duration_weighted_average(samples), 42.0);
+}
+
+}  // namespace
+}  // namespace pathload

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace pathload {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t{{"a", "longheader"}};
+  t.add_row({"xx", "1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a   longheader"), std::string::npos);
+  EXPECT_NE(s.find("xx  1"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidthRow) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t{{"x", "y"}};
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+}
+
+TEST(Table, SeparatorLinePresent) {
+  Table t{{"col"}};
+  t.add_row({"v"});
+  EXPECT_NE(t.str().find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathload

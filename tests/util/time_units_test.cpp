@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pathload {
+namespace {
+
+TEST(Duration, FactoryConversionsRoundTrip) {
+  EXPECT_EQ(Duration::seconds(1.5).nanos(), 1'500'000'000);
+  EXPECT_EQ(Duration::milliseconds(2.0).nanos(), 2'000'000);
+  EXPECT_EQ(Duration::microseconds(100).nanos(), 100'000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(0.25).secs(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(18).millis(), 18.0);
+  EXPECT_DOUBLE_EQ(Duration::microseconds(100).micros(), 100.0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::milliseconds(10);
+  const Duration b = Duration::milliseconds(4);
+  EXPECT_EQ((a + b).millis(), 14.0);
+  EXPECT_EQ((a - b).millis(), 6.0);
+  EXPECT_EQ((a * 2.5).millis(), 25.0);
+  EXPECT_EQ((a / 2.0).millis(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((-b).millis(), -4.0);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::microseconds(99), Duration::microseconds(100));
+  EXPECT_EQ(Duration::seconds(1), Duration::milliseconds(1000));
+  EXPECT_GT(Duration::zero(), Duration::milliseconds(-1));
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::milliseconds(1);
+  d += Duration::milliseconds(2);
+  EXPECT_EQ(d.millis(), 3.0);
+  d -= Duration::milliseconds(1);
+  EXPECT_EQ(d.millis(), 2.0);
+}
+
+TEST(Duration, HumanReadableString) {
+  EXPECT_EQ(Duration::seconds(1.5).str(), "1.500s");
+  EXPECT_EQ(Duration::milliseconds(18).str(), "18.000ms");
+  EXPECT_EQ(Duration::microseconds(100).str(), "100.000us");
+  EXPECT_EQ(Duration::nanoseconds(12).str(), "12ns");
+}
+
+TEST(TimePoint, DifferenceAndShift) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::milliseconds(5);
+  EXPECT_EQ((t1 - t0).millis(), 5.0);
+  EXPECT_EQ((t1 - Duration::milliseconds(5)), t0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimePoint, OffsetsCancelInDifferences) {
+  // The property SLoPS relies on: a constant clock offset does not change
+  // OWD differences.
+  const Duration offset = Duration::seconds(1234.5);
+  const TimePoint a = TimePoint::origin() + Duration::milliseconds(10);
+  const TimePoint b = TimePoint::origin() + Duration::milliseconds(25);
+  EXPECT_EQ((b + offset) - (a + offset), b - a);
+}
+
+TEST(DataSize, BytesAndBits) {
+  EXPECT_EQ(DataSize::bytes(1500).byte_count(), 1500);
+  EXPECT_DOUBLE_EQ(DataSize::bytes(1500).bits(), 12000.0);
+  EXPECT_EQ(DataSize::kilobytes(1.5).byte_count(), 1500);
+}
+
+TEST(DataSize, Arithmetic) {
+  DataSize s = DataSize::bytes(100);
+  s += DataSize::bytes(50);
+  EXPECT_EQ(s.byte_count(), 150);
+  s -= DataSize::bytes(25);
+  EXPECT_EQ(s.byte_count(), 125);
+  EXPECT_EQ((DataSize::bytes(1) + DataSize::bytes(2)).byte_count(), 3);
+}
+
+TEST(Rate, Conversions) {
+  EXPECT_DOUBLE_EQ(Rate::mbps(10).bits_per_sec(), 10e6);
+  EXPECT_DOUBLE_EQ(Rate::kbps(56).bits_per_sec(), 56e3);
+  EXPECT_DOUBLE_EQ(Rate::mbps(10).mbits_per_sec(), 10.0);
+}
+
+TEST(Rate, TransmissionTime) {
+  // 1500 B at 10 Mb/s = 1.2 ms.
+  const Duration tx = Rate::mbps(10).transmission_time(DataSize::bytes(1500));
+  EXPECT_DOUBLE_EQ(tx.millis(), 1.2);
+}
+
+TEST(Rate, BytesInInterval) {
+  EXPECT_EQ(Rate::mbps(8).bytes_in(Duration::seconds(1)).byte_count(), 1'000'000);
+}
+
+TEST(Rate, RateOfTransfer) {
+  const Rate r = rate_of(DataSize::bytes(1'000'000), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(r.bits_per_sec(), 8e6);
+}
+
+TEST(Rate, ArithmeticAndComparison) {
+  EXPECT_EQ(Rate::mbps(4) + Rate::mbps(6), Rate::mbps(10));
+  EXPECT_EQ(Rate::mbps(10) - Rate::mbps(4), Rate::mbps(6));
+  EXPECT_EQ(Rate::mbps(5) * 2.0, Rate::mbps(10));
+  EXPECT_EQ(Rate::mbps(10) / 2.0, Rate::mbps(5));
+  EXPECT_DOUBLE_EQ(Rate::mbps(10) / Rate::mbps(4), 2.5);
+  EXPECT_LT(Rate::mbps(1), Rate::mbps(2));
+}
+
+TEST(Rate, HumanReadableString) {
+  EXPECT_EQ(Rate::mbps(9.6).str(), "9.60Mb/s");
+  EXPECT_EQ(Rate::kbps(56).str(), "56.00Kb/s");
+}
+
+}  // namespace
+}  // namespace pathload
