@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
-#include "scenario/experiment.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
@@ -18,6 +18,10 @@ using namespace pathload;
 int main() {
   bench::banner("Fig. 5", "pathload range vs tight-link utilization and traffic model");
   const int runs = bench::runs(20);
+  // Points are sharded across threads (PATHLOAD_THREADS); the thread count
+  // deliberately stays out of the printout so sweeps diff byte-identical
+  // regardless of parallelism.
+  scenario::SweepRunner runner;
   std::printf("(runs per point: %d; PATHLOAD_RUNS=50 for paper fidelity)\n\n", runs);
 
   Table table{{"traffic", "util_%", "avail_Mbps", "pl_low_Mbps", "pl_high_Mbps",
@@ -42,8 +46,9 @@ int main() {
 
       core::PathloadConfig tool;  // defaults: K=100, N=12, omega=1, chi=1.5
 
-      const auto rr = scenario::run_pathload_repeated(path, tool, runs,
-                                                      bench::seed() + (util * 1000));
+      const auto rr = scenario::sweep_pathload_repeated(path, tool, runs,
+                                                        bench::seed() + (util * 1000),
+                                                        runner);
       const Rate truth = path.tight_avail_bw();
       table.add_row({m.name, Table::num(util * 100, 0),
                      Table::num(truth.mbits_per_sec(), 1),

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
-#include "scenario/experiment.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -28,24 +28,28 @@ int main() {
 
   Table table{{"percentile", "rho(u=20-30%)", "rho(u=40-50%)", "rho(u=75-85%)"}};
   std::vector<std::vector<double>> rho_columns;
+  scenario::SweepRunner runner;
 
   for (const auto& load : loads) {
+    // Enumerate the points (drawing utilizations and seeds) sequentially so
+    // the sweep is identical however many threads execute it.
     Rng rng{bench::seed() + static_cast<std::uint64_t>(load.lo * 1000)};
-    std::vector<double> rhos;
-    for (int i = 0; i < runs; ++i) {
-      scenario::PaperPathConfig path;
-      path.hops = 1;
-      path.tight_capacity = Rate::mbps(12.4);
-      path.tight_utilization = rng.uniform(load.lo, load.hi);
-      path.model = sim::Interarrival::kPareto;
-      path.sources_per_link = 10;
-      path.warmup = Duration::seconds(1);
-      path.seed = rng.engine()();
-
-      core::PathloadConfig tool;  // omega = 1, chi = 1.5 Mb/s (Section VI)
-      const auto result = scenario::run_pathload_once(path, tool, path.seed);
-      rhos.push_back(result.range.relative_variation());
+    std::vector<scenario::SweepPoint> points(static_cast<std::size_t>(runs));
+    for (auto& pt : points) {
+      pt.path.hops = 1;
+      pt.path.tight_capacity = Rate::mbps(12.4);
+      pt.path.tight_utilization = rng.uniform(load.lo, load.hi);
+      pt.path.model = sim::Interarrival::kPareto;
+      pt.path.sources_per_link = 10;
+      pt.path.warmup = Duration::seconds(1);
+      pt.path.seed = rng.engine()();
+      pt.seed = pt.path.seed;
+      // pt.tool: defaults (omega = 1, chi = 1.5 Mb/s, Section VI)
     }
+    const auto results = scenario::sweep_pathload(points, runner);
+    std::vector<double> rhos;
+    rhos.reserve(results.size());
+    for (const auto& r : results) rhos.push_back(r.range.relative_variation());
     rho_columns.push_back(std::move(rhos));
   }
 

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
-#include "scenario/experiment.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -32,24 +32,27 @@ int main() {
 
   Table table{{"percentile", "rho(A)", "rho(B)", "rho(C)"}};
   std::vector<std::vector<double>> rho_columns;
+  scenario::SweepRunner runner;
 
   for (const auto& p : paths) {
+    // Points (utilization draws and seeds) are enumerated sequentially; only
+    // the independent simulations run on the pool.
     Rng rng{bench::seed() + static_cast<std::uint64_t>(p.capacity_mbps * 10)};
-    std::vector<double> rhos;
-    for (int i = 0; i < runs; ++i) {
-      scenario::PaperPathConfig path;
-      path.hops = 1;
-      path.tight_capacity = Rate::mbps(p.capacity_mbps);
-      path.tight_utilization = rng.uniform(0.60, 0.70);
-      path.model = sim::Interarrival::kPareto;
-      path.sources_per_link = p.sources;
-      path.warmup = Duration::seconds(1);
-      path.seed = rng.engine()();
-
-      core::PathloadConfig tool;
-      const auto result = scenario::run_pathload_once(path, tool, path.seed);
-      rhos.push_back(result.range.relative_variation());
+    std::vector<scenario::SweepPoint> points(static_cast<std::size_t>(runs));
+    for (auto& pt : points) {
+      pt.path.hops = 1;
+      pt.path.tight_capacity = Rate::mbps(p.capacity_mbps);
+      pt.path.tight_utilization = rng.uniform(0.60, 0.70);
+      pt.path.model = sim::Interarrival::kPareto;
+      pt.path.sources_per_link = p.sources;
+      pt.path.warmup = Duration::seconds(1);
+      pt.path.seed = rng.engine()();
+      pt.seed = pt.path.seed;
     }
+    const auto results = scenario::sweep_pathload(points, runner);
+    std::vector<double> rhos;
+    rhos.reserve(results.size());
+    for (const auto& r : results) rhos.push_back(r.range.relative_variation());
     rho_columns.push_back(std::move(rhos));
   }
 

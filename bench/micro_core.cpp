@@ -5,14 +5,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/stream.hpp"
 #include "core/trend.hpp"
 #include "fluid/fluid_model.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
+#include "util/alias_sampler.hpp"
 #include "util/rng.hpp"
 
 using namespace pathload;
@@ -46,6 +50,39 @@ void BM_LinkForwarding(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_LinkForwarding);
+
+void BM_TimerRescheduleInPlace(benchmark::State& state) {
+  // Cost of one period of a self-re-arming timer: pop + fire + re-arm with
+  // no closure construction and no allocation. This is the inner loop of
+  // every periodic source (cross traffic, link drain, probers).
+  sim::Simulator sim;
+  std::uint64_t fires = 0;
+  sim::Simulator::TimerHandle timer = sim.make_timer([&] {
+    ++fires;
+    timer.schedule_in(Duration::microseconds(100));
+  });
+  timer.schedule_in(Duration::microseconds(100));
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) sim.run_next();
+  }
+  benchmark::DoNotOptimize(fires);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TimerRescheduleInPlace);
+
+void BM_AliasSamplerPaperMix(benchmark::State& state) {
+  // O(1) weighted packet-size draw (one uniform, no allocation); the seed
+  // engine built a weights vector per call.
+  const auto mix = sim::PacketSizeMix::paper_mix();
+  Rng rng{1};
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    sink += mix.sample(rng);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSamplerPaperMix);
 
 void BM_CrossTrafficSecond(benchmark::State& state) {
   // Cost of one simulated second of 10-source Pareto cross traffic at
@@ -112,6 +149,52 @@ void BM_FluidOwdSeries(benchmark::State& state) {
 }
 BENCHMARK(BM_FluidOwdSeries);
 
+void BM_SweepRunner(benchmark::State& state) {
+  // Four repeated pathload measurements sharded over state.range(0)
+  // threads; results are byte-identical across thread counts, only the
+  // wall clock changes.
+  scenario::PaperPathConfig path;
+  path.hops = 1;
+  path.tight_capacity = Rate::mbps(10);
+  path.tight_utilization = 0.5;
+  path.warmup = Duration::milliseconds(200);
+  const core::PathloadConfig tool;
+  scenario::SweepRunner runner{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    const auto rr = scenario::sweep_pathload_repeated(path, tool, 4, /*seed0=*/7, runner);
+    benchmark::DoNotOptimize(rr.results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON sink: unless the caller passes its
+// own --benchmark_out, results also land in BENCH_micro.json so perf runs
+// leave a machine-readable record (bench_smoke relies on this).
+int main(int argc, char** argv) {
+  std::vector<char*> args{argv, argv + argc};
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  bool has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0) has_fmt = true;
+  }
+  // Inject the default only when the caller expressed no output preference
+  // at all; a caller-chosen format must never end up inside a file named
+  // .json, and a caller-chosen file keeps its own format.
+  if (!has_out && !has_fmt) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

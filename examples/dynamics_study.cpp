@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "scenario/experiment.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
   Table table{{"util_%", "avail_Mbps", "mean_low", "mean_high", "rho_p25", "rho_p50",
                "rho_p75"}};
 
+  // Each measurement is an independent seeded testbed, so the repetitions
+  // shard across a thread pool (PATHLOAD_THREADS to pin the width) without
+  // changing a digit of the output.
+  scenario::SweepRunner runner;
+
   for (double util : {0.2, 0.4, 0.6, 0.8}) {
     scenario::PaperPathConfig path;
     path.hops = 1;
@@ -30,8 +35,8 @@ int main(int argc, char** argv) {
     path.model = sim::Interarrival::kPareto;
 
     core::PathloadConfig tool;
-    const auto rr = scenario::run_pathload_repeated(path, tool, runs,
-                                                    /*seed0=*/42 + util * 100);
+    const auto rr = scenario::sweep_pathload_repeated(path, tool, runs,
+                                                      /*seed0=*/42 + util * 100, runner);
     const auto rhos = rr.relative_variations();
     table.add_row({Table::num(util * 100, 0),
                    Table::num(12.4 * (1 - util), 1),

@@ -3,7 +3,10 @@
 namespace pathload::scenario {
 
 SimProbeChannel::SimProbeChannel(sim::Simulator& sim, sim::Path& path)
-    : sim_{sim}, path_{path}, flow_{sim.next_flow_id()} {
+    : sim_{sim},
+      path_{path},
+      flow_{sim.next_flow_id()},
+      send_timer_{sim.make_timer([this] { send_next(); })} {
   receiver_.channel = this;
   path_.egress().register_flow(flow_, &receiver_);
 }
@@ -34,6 +37,25 @@ void SimProbeChannel::Receiver::handle(const sim::Packet& p) {
   channel->records_.push_back(rec);
 }
 
+void SimProbeChannel::send_next() {
+  const core::StreamSpec& spec = *spec_;
+  sim::Packet p;
+  p.id = sim_.next_packet_id();
+  p.flow = flow_;
+  p.kind = sim::PacketKind::kProbe;
+  p.size_bytes = spec.packet_size;
+  p.transit = true;
+  p.stream_id = spec.stream_id;
+  p.seq = send_idx_;
+  p.sender_ts = sim_.now() + sender_offset_;
+  p.entered = sim_.now();
+  path_.ingress().handle(p);
+  ++send_idx_;
+  if (send_idx_ < send_times_.size()) {
+    send_timer_.schedule_at(send_times_[send_idx_], ticket_base_ + send_idx_);
+  }
+}
+
 core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
   current_stream_ = spec.stream_id;
   records_.clear();
@@ -42,30 +64,21 @@ core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
   const std::uint64_t drops_before = probe_drops();
   const TimePoint start = sim_.now();
 
-  // Schedule the K periodic transmissions. A send-gap injection (context
-  // switch) delays a packet's actual departure; subsequent packets keep
-  // their nominal schedule unless they too are delayed, which matches a
-  // sender that falls behind and immediately catches up.
+  // Fix the K periodic departure times upfront. A send-gap injection
+  // (context switch) delays a packet's actual departure; subsequent packets
+  // keep their nominal schedule unless they too are delayed, which matches
+  // a sender that falls behind and immediately catches up.
+  send_times_.resize(static_cast<std::size_t>(spec.packet_count));
   Duration accumulated_gap = Duration::zero();
   for (int i = 0; i < spec.packet_count; ++i) {
-    const auto seq = static_cast<std::uint32_t>(i);
-    if (gap_injector_) accumulated_gap += gap_injector_(seq);
-    const TimePoint send_at =
+    if (gap_injector_) accumulated_gap += gap_injector_(static_cast<std::uint32_t>(i));
+    send_times_[static_cast<std::size_t>(i)] =
         start + spec.period * static_cast<double>(i) + accumulated_gap;
-    sim_.schedule_at(send_at, [this, &spec, seq] {
-      sim::Packet p;
-      p.id = sim_.next_packet_id();
-      p.flow = flow_;
-      p.kind = sim::PacketKind::kProbe;
-      p.size_bytes = spec.packet_size;
-      p.transit = true;
-      p.stream_id = spec.stream_id;
-      p.seq = seq;
-      p.sender_ts = sim_.now() + sender_offset_;
-      p.entered = sim_.now();
-      path_.ingress().handle(p);
-    });
   }
+  spec_ = &spec;
+  send_idx_ = 0;
+  ticket_base_ = sim_.reserve_fifo_tickets(static_cast<std::uint32_t>(spec.packet_count));
+  if (!send_times_.empty()) send_timer_.schedule_at(send_times_[0], ticket_base_);
 
   // Run until every probe packet is accounted for: received or dropped.
   // Cross-traffic sources always have future events pending, so the guard
@@ -75,6 +88,8 @@ core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
          target) {
     if (!sim_.run_next()) break;
   }
+  send_timer_.cancel();  // defensive: only armed if the loop exited early
+  spec_ = nullptr;
 
   core::StreamOutcome outcome;
   outcome.sent_count = spec.packet_count;

@@ -48,6 +48,7 @@ class SimProbeChannel final : public core::ProbeChannel {
   };
 
   std::uint64_t probe_drops() const;
+  void send_next();
 
   sim::Simulator& sim_;
   sim::Path& path_;
@@ -58,8 +59,16 @@ class SimProbeChannel final : public core::ProbeChannel {
   Duration receiver_offset_{Duration::zero()};
   SendGapInjector gap_injector_;
 
-  // State of the stream currently in flight.
+  // State of the stream currently in flight. The K transmissions are one
+  // reusable timer re-armed after each send; the departure times and FIFO
+  // tickets are fixed upfront so equal-timestamp ordering is identical to
+  // scheduling all K sends at stream start.
   std::uint32_t current_stream_{0};
+  const core::StreamSpec* spec_{nullptr};
+  std::vector<TimePoint> send_times_;
+  std::uint32_t send_idx_{0};
+  std::uint64_t ticket_base_{0};
+  sim::Simulator::TimerHandle send_timer_;
   std::vector<core::ProbeRecord> records_;
 };
 

@@ -11,7 +11,8 @@ Link::Link(Simulator& sim, std::string name, Rate capacity, Duration prop_delay,
       name_{std::move(name)},
       capacity_{capacity},
       prop_delay_{prop_delay},
-      buffer_limit_{buffer_limit} {
+      buffer_limit_{buffer_limit},
+      service_timer_{sim.make_timer([this] { finish_service(); })} {
   if (capacity <= Rate::zero()) {
     throw std::invalid_argument{"Link capacity must be positive"};
   }
@@ -35,7 +36,7 @@ void Link::handle(const Packet& p) {
 void Link::begin_service() {
   busy_ = true;
   const Duration tx = capacity_.transmission_time(in_service_.size());
-  sim_.schedule_in(tx, [this] { finish_service(); });
+  service_timer_.schedule_in(tx);
 }
 
 void Link::finish_service() {

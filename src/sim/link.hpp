@@ -68,6 +68,9 @@ class Link final : public PacketHandler {
 
   std::deque<Packet> queue_;
   Packet in_service_{};
+  // End-of-serialization is one reusable timer re-armed per packet: the
+  // per-packet drain event costs no closure construction and no allocation.
+  Simulator::TimerHandle service_timer_;
   bool busy_{false};
   DataSize queued_bytes_{};
 

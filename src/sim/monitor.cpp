@@ -6,14 +6,17 @@ namespace pathload::sim {
 
 UtilizationMonitor::UtilizationMonitor(Simulator& sim, const Link& link,
                                        Duration window)
-    : sim_{sim}, link_{link}, window_{window} {}
+    : sim_{sim},
+      link_{link},
+      window_{window},
+      timer_{sim.make_timer([this] { sample(); })} {}
 
 void UtilizationMonitor::start() {
   if (running_) return;
   running_ = true;
   window_start_ = sim_.now();
   bytes_at_window_start_ = link_.bytes_forwarded();
-  sim_.schedule_in(window_, [this] { sample(); });
+  timer_.schedule_in(window_);
 }
 
 void UtilizationMonitor::stop() {
@@ -25,6 +28,7 @@ void UtilizationMonitor::stop() {
     readings_.push_back({window_start_, u, link_.capacity() * (1.0 - u)});
   }
   running_ = false;
+  timer_.cancel();
 }
 
 void UtilizationMonitor::sample() {
@@ -34,7 +38,7 @@ void UtilizationMonitor::sample() {
   readings_.push_back({window_start_, u, link_.capacity() * (1.0 - u)});
   window_start_ = sim_.now();
   bytes_at_window_start_ = link_.bytes_forwarded();
-  sim_.schedule_in(window_, [this] { sample(); });
+  timer_.schedule_in(window_);
 }
 
 double UtilizationMonitor::average_utilization() const {

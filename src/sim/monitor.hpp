@@ -54,6 +54,7 @@ class UtilizationMonitor {
   Simulator& sim_;
   const Link& link_;
   Duration window_;
+  Simulator::TimerHandle timer_;
   bool running_{false};
   TimePoint window_start_{};
   DataSize bytes_at_window_start_{};

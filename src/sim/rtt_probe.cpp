@@ -9,7 +9,8 @@ RttProber::RttProber(Simulator& sim, Path& path, Duration period,
       period_{period},
       reverse_delay_{reverse_delay},
       probe_size_{probe_size_bytes},
-      flow_{sim.next_flow_id()} {
+      flow_{sim.next_flow_id()},
+      send_timer_{sim.make_timer([this] { send_probe(); })} {
   path_.egress().register_flow(flow_, this);
 }
 
@@ -33,7 +34,7 @@ void RttProber::send_probe() {
   p.entered = sim_.now();
   outstanding_.emplace(p.seq, sim_.now());
   path_.ingress().handle(p);
-  sim_.schedule_in(period_, [this] { send_probe(); });
+  send_timer_.schedule_in(period_);
 }
 
 void RttProber::handle(const Packet& p) {

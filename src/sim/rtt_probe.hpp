@@ -28,7 +28,10 @@ class RttProber final : public PacketHandler {
   ~RttProber();
 
   void start();
-  void stop() { running_ = false; }
+  void stop() {
+    running_ = false;
+    send_timer_.cancel();
+  }
 
   const std::vector<RttSample>& samples() const { return samples_; }
   std::uint64_t sent() const { return next_seq_; }
@@ -47,6 +50,7 @@ class RttProber final : public PacketHandler {
   Duration reverse_delay_;
   std::int32_t probe_size_;
   std::uint32_t flow_;
+  Simulator::TimerHandle send_timer_;
 
   bool running_{false};
   std::uint32_t next_seq_{0};

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "util/small_function.hpp"
@@ -17,6 +19,26 @@ namespace pathload::sim {
 /// Events with equal timestamps fire in scheduling order (FIFO tie-break),
 /// which makes packet arrivals deterministic and runs reproducible for a
 /// fixed RNG seed.
+///
+/// Internally the engine is a calendar queue rather than a binary heap:
+///
+///  - Callbacks live in a slab of reusable slots; the queue itself orders
+///    only 32-byte keys (timestamp, FIFO ticket, slot pointer), so no
+///    callable is ever moved by a heap sift or a bucket sort.
+///  - A near-future fast lane holds the current 131 us bucket as a run
+///    sorted by (timestamp, ticket) and consumed front-to-back; inserting
+///    into it is a sorted insert, which for the packet workloads here is
+///    almost always a plain append.
+///  - Events up to ~33.6 ms out are appended unsorted to one of 256 ring
+///    buckets and sorted only when their bucket becomes current; events
+///    beyond the ring go to a min-heap of keys and are admitted into the
+///    ring as the window rotates forward.
+///
+/// Every lane pops in the total order by (timestamp, ticket), so the event
+/// sequence is bit-identical to the previous heap scheduler. Degenerate
+/// workloads degrade gracefully: all-near events turn the fast lane into a
+/// sorted vector, all-far events turn the overflow heap into the old binary
+/// heap -- but of trivially movable keys instead of fat closures.
 class Simulator {
  public:
   // Sized so that a lambda capturing a Packet (~56 B) plus a couple of
@@ -24,7 +46,10 @@ class Simulator {
   // time rather than silently allocating.
   using Callback = SmallFunction<120>;
 
+  class TimerHandle;
+
   Simulator();
+  ~Simulator();
 
   /// Current virtual time.
   TimePoint now() const { return now_; }
@@ -35,10 +60,34 @@ class Simulator {
   /// Schedule `cb` to run `d` from now.
   void schedule_in(Duration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
 
+  /// Schedule `cb` at the current virtual time, after everything already
+  /// scheduled for this instant (normal FIFO tie-break). Fast path: "now"
+  /// can never be in the past, so the validity check is skipped.
+  void schedule_now(Callback cb);
+
+  /// Create a reusable timer owning `cb`. Periodic sources keep one timer
+  /// and re-arm it from inside its own callback, so rescheduling moves no
+  /// callable and allocates nothing.
+  ///
+  /// Lifetime: the handle borrows this Simulator's slab, so every handle
+  /// must be destroyed before the Simulator (declare the Simulator first,
+  /// as Testbed does). A handle outliving its Simulator is use-after-free.
+  TimerHandle make_timer(Callback cb);
+
+  /// Reserve `n` consecutive FIFO tie-break tickets, returning the first.
+  ///
+  /// A sender that knows its whole transmission schedule upfront (e.g. the
+  /// K packets of a SLoPS stream) reserves its tickets in one call and
+  /// attaches them to later timer re-arms: equal-timestamp ordering against
+  /// other events is then exactly as if all occurrences had been scheduled
+  /// upfront, which keeps runs bit-identical to the pre-timer engine.
+  std::uint64_t reserve_fifo_tickets(std::uint32_t n);
+
   /// Run a single event; returns false if the queue is empty.
   bool run_next();
 
   /// Process all events with timestamp <= t, then advance the clock to t.
+  /// With an empty queue this still advances the clock.
   void run_until(TimePoint t);
 
   /// Process all events in the next `d` of virtual time.
@@ -48,7 +97,8 @@ class Simulator {
   void run_all();
 
   std::uint64_t events_processed() const { return processed_; }
-  std::size_t pending_events() const { return heap_.size(); }
+  /// Live (not cancelled) scheduled occurrences.
+  std::size_t pending_events() const { return live_; }
 
   /// Globally unique packet id generator for this simulation.
   std::uint64_t next_packet_id() { return ++packet_ids_; }
@@ -60,25 +110,171 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
  private:
-  struct Event {
-    TimePoint at;
-    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+  static constexpr int kBucketShift = 17;  // 2^17 ns = 131.072 us per bucket
+  static constexpr std::int64_t kBucketWidth = std::int64_t{1} << kBucketShift;
+  static constexpr std::size_t kBucketCount = 256;  // ring window ~33.6 ms
+  static constexpr std::size_t kSlabChunk = 256;    // slots per slab block
+
+  struct Slot {
     Callback cb;
+    Slot* next_free{nullptr};
+    std::uint32_t gen{0};
+    bool persistent{false};  // timer slot: survives firing
+    bool armed{false};       // timer slot: has a live key in the queue
+    bool firing{false};      // timer slot: its callback is on the stack
+    bool zombie{false};      // released mid-fire: recycle after cb returns
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+
+  /// What the queue actually orders: trivially copyable, 32 bytes. The
+  /// slot pointer is stable for the life of the occurrence (slab blocks
+  /// never move), so firing needs no index arithmetic.
+  struct Key {
+    std::int64_t at;    // absolute ns
+    std::uint64_t seq;  // FIFO tie-break ticket
+    Slot* slot;
+    std::uint32_t gen;  // matches slot->gen, else the key is stale
+  };
+  struct KeyBefore {
+    bool operator()(const Key& a, const Key& b) const {
+      return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+    }
+  };
+  struct KeyLater {  // for the overflow min-heap
+    bool operator()(const Key& a, const Key& b) const {
       return a.at > b.at || (a.at == b.at && a.seq > b.seq);
     }
   };
 
-  Event pop_next();
+  Slot* alloc_slot();
+  void free_slot(Slot* s);
+  void insert(Key k);
+  void admit_to_ring(const Key& k);
+  void drain_overflow_into_window();
+  bool pop_live(Key& out);
+  bool advance_bucket();
+  void fire(const Key& k);
 
-  std::vector<Event> heap_;
+  // TimerHandle backdoor.
+  void arm_timer(Slot* slot, TimePoint t);
+  void arm_timer(Slot* slot, TimePoint t, std::uint64_t ticket);
+  void arm_validated(Slot* slot, TimePoint t, std::uint64_t ticket);
+  void disarm_timer(Slot* slot);
+  void release_timer(Slot* slot);
+  friend class TimerHandle;
+
+  [[noreturn]] static void throw_past(TimePoint t, TimePoint now);
+
+  std::vector<std::unique_ptr<Slot[]>> slab_;
+  std::size_t slab_used_{0};  // slots handed out from the newest block
+  std::size_t slab_cap_{0};   // size of the newest block
+  Slot* free_head_{nullptr};
+
+  std::vector<Key> cur_;  // sorted near-future fast lane
+  std::size_t cur_head_{0};
+  std::int64_t cur_start_{0};  // bucket-aligned start of the fast lane
+  std::int64_t window_end_{static_cast<std::int64_t>(kBucketCount) * kBucketWidth};
+  std::vector<std::vector<Key>> buckets_;  // ring, unsorted
+  std::size_t ring_count_{0};              // keys currently in ring buckets
+  // Occupancy bitmap over the ring: advancing the window is a couple of
+  // countr_zero jumps instead of a linear scan over empty buckets.
+  std::uint64_t occupied_[kBucketCount / 64]{};
+  std::vector<Key> overflow_;  // min-heap of beyond-window keys
+
+  std::size_t next_occupied_after(std::size_t slot) const;
+
   TimePoint now_{TimePoint::origin()};
   std::uint64_t seq_{0};
   std::uint64_t processed_{0};
+  std::size_t live_{0};
   std::uint64_t packet_ids_{0};
   std::uint32_t flow_ids_{0};
 };
+
+/// A re-armable handle to one scheduled occurrence of a persistent callback.
+///
+/// At most one occurrence is pending per timer: arming an armed timer
+/// replaces the pending occurrence (reschedule-in-place); `cancel` drops it.
+/// The callback stays in its slab slot for the life of the handle, so
+/// periodic sources pay zero allocation and zero callable moves per period.
+class Simulator::TimerHandle {
+ public:
+  TimerHandle() = default;
+  ~TimerHandle() { release(); }
+
+  TimerHandle(TimerHandle&& o) noexcept : sim_{o.sim_}, slot_{o.slot_} {
+    o.sim_ = nullptr;
+    o.slot_ = nullptr;
+  }
+  TimerHandle& operator=(TimerHandle&& o) noexcept {
+    if (this != &o) {
+      release();
+      sim_ = o.sim_;
+      slot_ = o.slot_;
+      o.sim_ = nullptr;
+      o.slot_ = nullptr;
+    }
+    return *this;
+  }
+  TimerHandle(const TimerHandle&) = delete;
+  TimerHandle& operator=(const TimerHandle&) = delete;
+
+  /// Arm (or re-arm) the timer for absolute time `t` (must not be in the past).
+  void schedule_at(TimePoint t) {
+    require_bound();
+    sim_->arm_timer(slot_, t);
+  }
+  /// Arm (or re-arm) the timer `d` from now.
+  void schedule_in(Duration d) {
+    require_bound();
+    sim_->arm_timer(slot_, sim_->now() + d);
+  }
+  /// Arm with a pre-reserved FIFO ticket (see Simulator::reserve_fifo_tickets).
+  void schedule_at(TimePoint t, std::uint64_t ticket) {
+    require_bound();
+    sim_->arm_timer(slot_, t, ticket);
+  }
+
+  /// Drop the pending occurrence, if any. The callback is retained.
+  void cancel() {
+    if (sim_ != nullptr) sim_->disarm_timer(slot_);
+  }
+
+  /// True if an occurrence is scheduled and not yet fired.
+  bool pending() const { return sim_ != nullptr && slot_->armed; }
+
+  explicit operator bool() const { return sim_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  TimerHandle(Simulator* sim, Slot* slot) : sim_{sim}, slot_{slot} {}
+
+  // Arming an empty (default-constructed or moved-from) handle is a
+  // programming error; fail loudly instead of dereferencing null. cancel()
+  // and pending() stay no-ops on empty handles, mirroring their semantics.
+  void require_bound() const {
+    if (sim_ == nullptr) {
+      throw std::logic_error{"TimerHandle: scheduling on an empty handle"};
+    }
+  }
+
+  void release() {
+    if (sim_ != nullptr) {
+      sim_->release_timer(slot_);
+      sim_ = nullptr;
+      slot_ = nullptr;
+    }
+  }
+
+  Simulator* sim_{nullptr};
+  Slot* slot_{nullptr};
+};
+
+inline Simulator::TimerHandle Simulator::make_timer(Callback cb) {
+  Slot* s = alloc_slot();
+  s->cb = std::move(cb);
+  s->persistent = true;
+  s->armed = false;
+  return TimerHandle{this, s};
+}
 
 }  // namespace pathload::sim

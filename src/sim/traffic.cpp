@@ -4,6 +4,13 @@
 
 namespace pathload::sim {
 
+PacketSizeMix::PacketSizeMix(std::vector<Bin> bins) : bins_{std::move(bins)} {
+  std::vector<double> weights;
+  weights.reserve(bins_.size());
+  for (const auto& b : bins_) weights.push_back(b.weight);
+  sampler_ = AliasSampler{weights};
+}
+
 PacketSizeMix PacketSizeMix::paper_mix() {
   return PacketSizeMix{{{40, 0.4}, {550, 0.5}, {1500, 0.1}}};
 }
@@ -12,17 +19,10 @@ PacketSizeMix PacketSizeMix::fixed(std::int32_t size_bytes) {
   return PacketSizeMix{{{size_bytes, 1.0}}};
 }
 
-std::int32_t PacketSizeMix::sample(Rng& rng) const {
-  std::vector<double> weights;
-  weights.reserve(bins.size());
-  for (const auto& b : bins) weights.push_back(b.weight);
-  return bins[rng.pick_weighted(weights)].size_bytes;
-}
-
 double PacketSizeMix::mean_bytes() const {
   double total_w = 0.0;
   double sum = 0.0;
-  for (const auto& b : bins) {
+  for (const auto& b : bins_) {
     total_w += b.weight;
     sum += b.weight * b.size_bytes;
   }
@@ -38,17 +38,29 @@ CrossTrafficSource::CrossTrafficSource(Simulator& sim, PacketHandler& target,
       model_{model},
       mix_{std::move(mix)},
       rng_{rng},
-      pareto_alpha_{pareto_alpha} {
+      pareto_alpha_{pareto_alpha},
+      timer_{sim.make_timer([this] { emit_and_reschedule(); })} {
   if (mean_rate <= Rate::zero()) {
     throw std::invalid_argument{"cross traffic rate must be positive"};
   }
+  if (model_ == Interarrival::kPareto && pareto_alpha_ <= 1.0) {
+    // Rng::pareto used to reject this on the first draw; with the constants
+    // hoisted below, reject it up front instead of livelocking on a
+    // zero-or-negative interarrival.
+    throw std::invalid_argument{"Pareto mean is infinite for alpha <= 1"};
+  }
   mean_gap_secs_ = mix_.mean_bytes() * 8.0 / mean_rate.bits_per_sec();
+  // Constants of Rng::pareto hoisted out of the per-packet path. The
+  // expressions match that function operation-for-operation, so the drawn
+  // sequence is bit-identical to calling it.
+  pareto_xm_secs_ = mean_gap_secs_ * (pareto_alpha_ - 1.0) / pareto_alpha_;
+  pareto_inv_alpha_ = 1.0 / pareto_alpha_;
 }
 
 void CrossTrafficSource::start() {
   if (running_) return;
   running_ = true;
-  sim_.schedule_in(next_interarrival(), [this] { emit_and_reschedule(); });
+  timer_.schedule_in(next_interarrival());
 }
 
 Duration CrossTrafficSource::next_interarrival() {
@@ -56,7 +68,8 @@ Duration CrossTrafficSource::next_interarrival() {
     case Interarrival::kExponential:
       return Duration::seconds(rng_.exponential(mean_gap_secs_));
     case Interarrival::kPareto:
-      return Duration::seconds(rng_.pareto(pareto_alpha_, mean_gap_secs_));
+      return Duration::seconds(
+          Rng::pareto_from_uniform(rng_.uniform(), pareto_xm_secs_, pareto_inv_alpha_));
     case Interarrival::kConstant:
       return Duration::seconds(mean_gap_secs_);
   }
@@ -75,7 +88,7 @@ void CrossTrafficSource::emit_and_reschedule() {
   target_.handle(p);
   ++packets_sent_;
   bytes_sent_ += p.size();
-  sim_.schedule_in(next_interarrival(), [this] { emit_and_reschedule(); });
+  timer_.schedule_in(next_interarrival());
 }
 
 TrafficAggregate::TrafficAggregate(Simulator& sim, PacketHandler& target,

@@ -5,6 +5,7 @@
 
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/alias_sampler.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -18,20 +19,37 @@ enum class Interarrival {
 };
 
 /// Packet size distribution of cross traffic.
-struct PacketSizeMix {
+///
+/// Sampling is O(1) and allocation-free: the weighted choice is an alias
+/// table precomputed at construction (CDF-aligned, so it picks exactly the
+/// sizes a linear scan of the weights would -- see AliasSampler). One
+/// uniform variate is consumed per packet regardless of bin count, so the
+/// RNG stream is identical for every mix shape.
+class PacketSizeMix {
+ public:
   struct Bin {
     std::int32_t size_bytes;
     double weight;
   };
-  std::vector<Bin> bins;
+
+  PacketSizeMix() = default;
+  explicit PacketSizeMix(std::vector<Bin> bins);
 
   /// The paper's Section V-A mix: 40% 40 B, 50% 550 B, 10% 1500 B.
   static PacketSizeMix paper_mix();
   /// Degenerate single-size mix.
   static PacketSizeMix fixed(std::int32_t size_bytes);
 
-  std::int32_t sample(Rng& rng) const;
+  std::int32_t sample(Rng& rng) const {
+    return bins_[sampler_.sample(rng)].size_bytes;
+  }
   double mean_bytes() const;
+
+  const std::vector<Bin>& bins() const { return bins_; }
+
+ private:
+  std::vector<Bin> bins_;
+  AliasSampler sampler_;
 };
 
 /// One background traffic source feeding a specific link.
@@ -50,11 +68,17 @@ class CrossTrafficSource {
   /// Begin emitting packets (first arrival is one interarrival from now).
   void start();
   /// Stop emitting (in-flight packets are unaffected).
-  void stop() { running_ = false; }
+  void stop() {
+    running_ = false;
+    timer_.cancel();
+  }
 
   Rate mean_rate() const { return mean_rate_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
   DataSize bytes_sent() const { return bytes_sent_; }
+
+  CrossTrafficSource(const CrossTrafficSource&) = delete;
+  CrossTrafficSource& operator=(const CrossTrafficSource&) = delete;
 
  private:
   void emit_and_reschedule();
@@ -68,6 +92,11 @@ class CrossTrafficSource {
   Rng rng_;
   double pareto_alpha_;
   double mean_gap_secs_;
+  double pareto_xm_secs_{0.0};
+  double pareto_inv_alpha_{0.0};
+  // Emission is a single reusable timer re-armed from its own callback:
+  // one packet costs no closure construction and no allocation.
+  Simulator::TimerHandle timer_;
 
   bool running_{false};
   std::uint64_t packets_sent_{0};

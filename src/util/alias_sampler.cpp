@@ -1,0 +1,140 @@
+#include "util/alias_sampler.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace pathload {
+
+namespace {
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+double double_of(std::uint64_t b) {
+  double d;
+  std::memcpy(&d, &b, sizeof(d));
+  return d;
+}
+
+/// Exactly the floating-point subtract chain of Rng::pick_weighted: the
+/// returned index is monotone nondecreasing in u, which is what makes the
+/// split points recoverable by bisection.
+std::size_t linear_scan(std::span<const double> weights, double total, double u) {
+  double x = u * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace
+
+AliasSampler::AliasSampler(std::span<const double> weights) : n_{weights.size()} {
+  if (weights.empty()) {
+    throw std::invalid_argument{"AliasSampler: empty weights"};
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument{"AliasSampler: weights must be finite and >= 0"};
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument{"AliasSampler: total weight must be positive"};
+  }
+  if (!build_cdf_aligned(weights)) build_vose(weights);
+  scale_ = static_cast<double>(cells_.size());
+}
+
+bool AliasSampler::build_cdf_aligned(std::span<const double> weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  std::size_t m = 1;
+  while (m < n_) m <<= 1;  // power of two: u * m floors exactly into cells
+
+  for (; m <= kMaxCells; m <<= 1) {
+    cells_.clear();
+    cells_.reserve(m);
+    bool ok = true;
+    for (std::size_t c = 0; c < m && ok; ++c) {
+      const double u_lo = static_cast<double>(c) / static_cast<double>(m);
+      // Largest representable u strictly inside the cell.
+      const double u_hi = std::nextafter(
+          static_cast<double>(c + 1) / static_cast<double>(m), 0.0);
+      const auto lo_bin =
+          static_cast<std::uint32_t>(linear_scan(weights, total, u_lo));
+      const auto hi_bin =
+          static_cast<std::uint32_t>(linear_scan(weights, total, u_hi));
+      if (lo_bin == hi_bin) {
+        cells_.push_back(Cell{2.0, lo_bin, lo_bin});
+        continue;
+      }
+      // Bisect (over the bit patterns: nonnegative doubles order like their
+      // representations) for the first u where the scan leaves lo_bin.
+      std::uint64_t lo_b = bits_of(u_lo);
+      std::uint64_t hi_b = bits_of(u_hi);
+      while (hi_b - lo_b > 1) {
+        const std::uint64_t mid = lo_b + (hi_b - lo_b) / 2;
+        if (linear_scan(weights, total, double_of(mid)) == lo_bin) {
+          lo_b = mid;
+        } else {
+          hi_b = mid;
+        }
+      }
+      const double split = double_of(hi_b);
+      // A second boundary inside this cell (scan takes a third value) means
+      // the cells are too coarse: double m and retry.
+      if (linear_scan(weights, total, split) != hi_bin) {
+        ok = false;
+        break;
+      }
+      cells_.push_back(Cell{split, lo_bin, hi_bin});
+    }
+    if (ok) {
+      cdf_exact_ = true;
+      return true;
+    }
+  }
+  cells_.clear();
+  return false;
+}
+
+void AliasSampler::build_vose(std::span<const double> weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const std::size_t n = n_;
+  const auto nd = static_cast<double>(n);
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] / total * nd;
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  cells_.assign(n, Cell{2.0, 0, 0});
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    // Cell s: [s/n, s/n + scaled[s]/n) stays s, the rest aliases to l.
+    cells_[s] = Cell{(static_cast<double>(s) + scaled[s]) / nd, s, l};
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const std::uint32_t i : large) cells_[i] = Cell{2.0, i, i};
+  for (const std::uint32_t i : small) cells_[i] = Cell{2.0, i, i};  // rounding dust
+  cdf_exact_ = false;
+}
+
+}  // namespace pathload

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pathload {
+
+/// O(1) weighted index sampler (Walker/Vose alias method): one uniform draw,
+/// one multiply, one comparison per sample, zero allocation after
+/// construction.
+///
+/// The table is built in one of two ways:
+///
+///  - *CDF-aligned* (preferred): the unit interval is cut into 2^k cells,
+///    doubling k until every cell contains at most one boundary of the
+///    cumulative weight distribution. Each cell then holds the exact u-space
+///    split point of the linear scan `Rng::pick_weighted` performs
+///    (recovered by bisection over the floating-point subtract chain), so
+///    `pick(u)` maps every u to the *same index the linear scan would
+///    return* -- replacing a scan with this sampler is bit-identical, not
+///    just equal in distribution.
+///  - Classic Vose construction, as a fallback for pathological weight
+///    vectors (more than `kMaxCells` cells would be needed, e.g. two
+///    boundaries closer than 2^-12). Distribution-correct, but individual
+///    u values may map to different indices than a linear scan.
+///
+/// Both constructions produce the same runtime structure, so `sample` has a
+/// single branch-free-ish hot path either way.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Build a sampler over `weights` (must be non-empty, non-negative, with
+  /// a positive total).
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Draw an index, consuming exactly one uniform variate.
+  std::size_t sample(Rng& rng) const { return pick(rng.uniform()); }
+
+  /// Deterministic mapping from u in [0, 1) to an index (the testable core
+  /// of `sample`).
+  std::size_t pick(double u) const {
+    if (cells_.empty()) throw std::logic_error{"AliasSampler: empty sampler"};
+    std::size_t c = static_cast<std::size_t>(u * scale_);
+    // A Vose table's cell count need not be a power of two, so u within an
+    // ulp of 1 can round the product up to scale_; clamp rather than read
+    // past the end. (Aligned tables scale by a power of two: exact, never
+    // clamped.)
+    if (c >= cells_.size()) c = cells_.size() - 1;
+    const Cell& cell = cells_[c];
+    return u < cell.split_u ? cell.low : cell.high;
+  }
+
+  /// Number of weights the sampler was built over.
+  std::size_t size() const { return n_; }
+
+  /// True if `pick` reproduces the linear-scan mapping exactly.
+  bool cdf_exact() const { return cdf_exact_; }
+
+ private:
+  struct Cell {
+    double split_u;     // u below this -> low, else high (2.0 = never split)
+    std::uint32_t low;
+    std::uint32_t high;
+  };
+
+  static constexpr std::size_t kMaxCells = 4096;
+
+  bool build_cdf_aligned(std::span<const double> weights);
+  void build_vose(std::span<const double> weights);
+
+  std::vector<Cell> cells_;
+  double scale_{0.0};  // == cells_.size()
+  std::size_t n_{0};
+  bool cdf_exact_{false};
+};
+
+}  // namespace pathload

@@ -12,8 +12,7 @@ double Rng::pareto(double alpha, double mean) {
   }
   const double x_m = mean * (alpha - 1.0) / alpha;
   // Inverse-CDF sampling: X = x_m / U^(1/alpha), U ~ Uniform(0,1].
-  double u = 1.0 - uniform();  // in (0, 1]
-  return x_m / std::pow(u, 1.0 / alpha);
+  return pareto_from_uniform(uniform(), x_m, 1.0 / alpha);
 }
 
 std::size_t Rng::pick_weighted(std::span<const double> weights) {

@@ -1,0 +1,261 @@
+// Semantics of the calendar-queue scheduler that the rest of the system
+// leans on: FIFO tie-break, clock advance on an empty queue, timer
+// cancel/reschedule-in-place, reserved FIFO tickets, and -- via a replay
+// against a reference binary-heap scheduler -- that the calendar queue pops
+// the exact event order the old heap engine produced.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pathload::sim {
+namespace {
+
+TEST(SchedulerSemantics, RunUntilOnEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(sim.events_processed(), 0u);
+  // Scheduling still works after the clock outran the bucket window.
+  int fired = 0;
+  sim.schedule_in(Duration::milliseconds(1), [&] { ++fired; });
+  sim.schedule_now([&] { fired += 10; });
+  sim.run_all();
+  EXPECT_EQ(fired, 11);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(5) + Duration::milliseconds(1));
+}
+
+TEST(SchedulerSemantics, ScheduleNowRunsAfterEverythingAlreadyDueNow) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = sim.now() + Duration::milliseconds(1);
+  sim.schedule_at(t, [&] {
+    order.push_back(1);
+    // "now" events queue behind the other event already scheduled for t.
+    sim.schedule_now([&] { order.push_back(3); });
+  });
+  sim.schedule_at(t, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), t);  // schedule_now never advanced the clock
+}
+
+TEST(SchedulerSemantics, PastSchedulingErrorNamesBothTimestamps) {
+  Simulator sim;
+  sim.run_until(TimePoint::origin() + Duration::milliseconds(2));
+  try {
+    sim.schedule_at(TimePoint::origin() + Duration::milliseconds(1), [] {});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1000000"), std::string::npos) << msg;  // t
+    EXPECT_NE(msg.find("2000000"), std::string::npos) << msg;  // now
+  }
+}
+
+TEST(SchedulerSemantics, TimerCancelDropsPendingOccurrence) {
+  Simulator sim;
+  int fired = 0;
+  auto timer = sim.make_timer([&] { ++fired; });
+  timer.schedule_in(Duration::milliseconds(1));
+  EXPECT_TRUE(timer.pending());
+  EXPECT_EQ(sim.pending_events(), 1u);
+  timer.cancel();
+  EXPECT_FALSE(timer.pending());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+  // The callback is retained: the timer can be armed again after a cancel.
+  timer.schedule_in(Duration::milliseconds(1));
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerSemantics, TimerRescheduleInPlaceReplacesOccurrence) {
+  Simulator sim;
+  std::vector<std::int64_t> fired_at;
+  auto timer = sim.make_timer([&] { fired_at.push_back(sim.now().nanos()); });
+  timer.schedule_in(Duration::milliseconds(5));
+  timer.schedule_in(Duration::milliseconds(1));  // replaces the 5 ms occurrence
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_all();
+  ASSERT_EQ(fired_at.size(), 1u);
+  EXPECT_EQ(fired_at[0], Duration::milliseconds(1).nanos());
+}
+
+TEST(SchedulerSemantics, TimerReArmsFromInsideItsOwnCallback) {
+  Simulator sim;
+  int fires = 0;
+  Simulator::TimerHandle timer = sim.make_timer([&] {
+    if (++fires < 5) timer.schedule_in(Duration::milliseconds(1));
+  });
+  timer.schedule_in(Duration::milliseconds(1));
+  sim.run_all();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(sim.events_processed(), 5u);
+  EXPECT_FALSE(timer.pending());
+}
+
+TEST(SchedulerSemantics, TimerDestroyedInsideOwnCallbackIsSafe) {
+  // The callback releases its own handle mid-fire, then keeps scheduling --
+  // the slot must not be recycled under the running lambda.
+  Simulator sim;
+  int fired = 0;
+  int oneshots = 0;
+  auto timer = std::make_unique<Simulator::TimerHandle>();
+  *timer = sim.make_timer([&] {
+    ++fired;
+    timer.reset();  // ~TimerHandle from inside the callback
+    // Nested allocations that would reuse a prematurely freed slot.
+    for (int i = 0; i < 4; ++i) {
+      sim.schedule_now([&] { ++oneshots; });
+    }
+  });
+  timer->schedule_in(Duration::milliseconds(1));
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(oneshots, 4);
+}
+
+TEST(SchedulerSemantics, DestroyedTimerNeverFires) {
+  Simulator sim;
+  int fired = 0;
+  {
+    auto timer = sim.make_timer([&] { ++fired; });
+    timer.schedule_in(Duration::milliseconds(1));
+  }  // handle destroyed with an occurrence pending
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SchedulerSemantics, ReservedTicketsKeepUpfrontTieBreakOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = sim.now() + Duration::milliseconds(10);
+
+  // A periodic sender reserves its tickets first (as if it had scheduled
+  // everything upfront)...
+  const std::uint64_t base = sim.reserve_fifo_tickets(2);
+  // ...then a competitor schedules for the same instant...
+  sim.schedule_at(t, [&] { order.push_back(99); });
+  // ...and the sender arms with its reserved ticket afterwards. The
+  // reserved (earlier) ticket must win the equal-timestamp tie.
+  Simulator::TimerHandle timer = sim.make_timer([&] { order.push_back(1); });
+  timer.schedule_at(t, base);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 99}));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-scheduler determinism: replay a stress workload through the real
+// engine and through a reference implementation of the old binary-heap
+// scheduler; both must report the exact same firing order.
+
+/// The old engine, reduced to its ordering contract: a binary heap over
+/// (timestamp, insertion seq), exactly as src/sim/simulator.cpp had before
+/// the calendar queue.
+class ReferenceHeap {
+ public:
+  void schedule_at(std::int64_t at, int tag) {
+    heap_.push_back(Ev{at, ++seq_, tag});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  bool run_next(std::int64_t& now, int& tag) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Ev ev = heap_.back();
+    heap_.pop_back();
+    now = ev.at;
+    tag = ev.tag;
+    return true;
+  }
+
+ private:
+  struct Ev {
+    std::int64_t at;
+    std::uint64_t seq;
+    int tag;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+  std::vector<Ev> heap_;
+  std::uint64_t seq_{0};
+};
+
+/// Deterministic pseudo-random gaps: mixes sub-bucket, cross-bucket,
+/// beyond-window (overflow heap), and exactly-equal timestamps.
+std::int64_t replay_gap(std::uint64_t& lcg) {
+  lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+  const std::uint64_t r = lcg >> 33;
+  switch (r % 5) {
+    case 0: return static_cast<std::int64_t>(r % 1000);            // same bucket
+    case 1: return static_cast<std::int64_t>(r % 500'000);         // near buckets
+    case 2: return static_cast<std::int64_t>(r % 40'000'000);      // ring edge
+    case 3: return static_cast<std::int64_t>(r % 2'000'000'000);   // overflow
+    default: return 0;                                             // exact tie
+  }
+}
+
+TEST(SchedulerSemantics, ReplayMatchesReferenceHeapOrder) {
+  constexpr int kInitial = 64;
+  constexpr int kTotal = 20000;
+
+  // Reference run: every fired event schedules a successor with the same
+  // deterministic gap stream, keyed by the fired tag.
+  std::vector<std::pair<std::int64_t, int>> ref_trace;
+  {
+    ReferenceHeap ref;
+    std::uint64_t lcg = 12345;
+    std::uint64_t gap_lcg = 999;
+    for (int i = 0; i < kInitial; ++i) ref.schedule_at(replay_gap(lcg), i);
+    int next_tag = kInitial;
+    std::int64_t now = 0;
+    int tag = 0;
+    while (static_cast<int>(ref_trace.size()) < kTotal && ref.run_next(now, tag)) {
+      ref_trace.emplace_back(now, tag);
+      if (next_tag < kTotal) ref.schedule_at(now + replay_gap(gap_lcg), next_tag++);
+    }
+  }
+
+  // Real engine, same workload as one-shot closures.
+  std::vector<std::pair<std::int64_t, int>> trace;
+  {
+    Simulator sim;
+    std::uint64_t lcg = 12345;
+    std::uint64_t gap_lcg = 999;
+    int next_tag = kInitial;
+    std::function<void(int)> fire = [&](int tag) {
+      trace.emplace_back(sim.now().nanos(), tag);
+      if (next_tag < kTotal) {
+        const int t = next_tag++;
+        sim.schedule_in(Duration::nanoseconds(replay_gap(gap_lcg)),
+                        [&fire, t] { fire(t); });
+      }
+    };
+    for (int i = 0; i < kInitial; ++i) {
+      sim.schedule_at(TimePoint::from_nanos(replay_gap(lcg)), [&fire, i] { fire(i); });
+    }
+    while (static_cast<int>(trace.size()) < kTotal && sim.run_next()) {
+    }
+  }
+
+  ASSERT_EQ(trace.size(), ref_trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(trace[i], ref_trace[i]) << "divergence at event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pathload::sim

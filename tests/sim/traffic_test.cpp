@@ -99,6 +99,21 @@ TEST(CrossTrafficSource, RejectsZeroRate) {
                std::invalid_argument);
 }
 
+TEST(CrossTrafficSource, RejectsParetoAlphaAtOrBelowOne) {
+  // An infinite-mean Pareto must fail loudly at construction, not livelock
+  // on zero interarrivals.
+  Simulator sim;
+  Sink sink;
+  EXPECT_THROW(CrossTrafficSource(sim, sink, Rate::mbps(1), Interarrival::kPareto,
+                                  PacketSizeMix::fixed(500), Rng{1},
+                                  /*pareto_alpha=*/1.0),
+               std::invalid_argument);
+  // Alpha is irrelevant to non-Pareto models (matching the old lazy check).
+  EXPECT_NO_THROW(CrossTrafficSource(sim, sink, Rate::mbps(1), Interarrival::kConstant,
+                                     PacketSizeMix::fixed(500), Rng{1},
+                                     /*pareto_alpha=*/1.0));
+}
+
 TEST(CrossTrafficSource, PacketsAreHopLocal) {
   Simulator sim;
   Sink sink;

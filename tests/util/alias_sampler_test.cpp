@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/alias_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace pathload {
+namespace {
+
+/// The linear scan AliasSampler promises to reproduce (the float-exact
+/// behavior of Rng::pick_weighted).
+std::size_t scan(const std::vector<double>& w, double u) {
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  double x = u * total;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    x -= w[i];
+    if (x < 0.0) return i;
+  }
+  return w.size() - 1;
+}
+
+TEST(AliasSampler, MatchesLinearScanExactlyOnPaperMix) {
+  const std::vector<double> w{0.4, 0.5, 0.1};
+  const AliasSampler sampler{w};
+  EXPECT_TRUE(sampler.cdf_exact());
+  Rng rng{7};
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_EQ(sampler.pick(u), scan(w, u)) << "u=" << u;
+  }
+  // Boundary neighborhoods, where float subtlety lives.
+  for (double b : {0.4, 0.9}) {
+    for (double u = b - 1e-12; u < b + 1e-12; u = std::nextafter(u, 2.0)) {
+      ASSERT_EQ(sampler.pick(u), scan(w, u)) << "u=" << u;
+    }
+  }
+}
+
+TEST(AliasSampler, MatchesLinearScanOnRandomMixes) {
+  Rng rng{99};
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_index(8));
+    std::vector<double> w(static_cast<std::size_t>(n));
+    for (auto& x : w) x = rng.uniform(0.01, 2.0);
+    const AliasSampler sampler{w};
+    ASSERT_TRUE(sampler.cdf_exact());
+    for (int i = 0; i < 5000; ++i) {
+      const double u = rng.uniform();
+      ASSERT_EQ(sampler.pick(u), scan(w, u)) << "trial=" << trial << " u=" << u;
+    }
+  }
+}
+
+TEST(AliasSampler, SingleWeightAlwaysPicksZeroAndConsumesOneDraw) {
+  const AliasSampler sampler{std::array<double, 1>{3.0}};
+  Rng a{5};
+  Rng b{5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(a), 0u);
+  // Exactly one uniform consumed per sample: both generators stay in step.
+  for (int i = 0; i < 100; ++i) b.uniform();
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(AliasSampler, ZeroWeightBinIsNeverPicked) {
+  // The two CDF boundaries coincide at 0.5: the scan jumps straight from
+  // bin 0 to bin 2, and the aligned table must reproduce that.
+  const std::vector<double> w{0.5, 0.0, 0.5};
+  const AliasSampler sampler{w};
+  EXPECT_TRUE(sampler.cdf_exact());
+  Rng rng{11};
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.uniform();
+    const auto idx = sampler.pick(u);
+    ASSERT_NE(idx, 1u);
+    ASSERT_EQ(idx, scan(w, u));
+  }
+}
+
+TEST(AliasSampler, DistributionMatchesWeights) {
+  const std::vector<double> w{0.4, 0.5, 0.1};
+  const AliasSampler sampler{w};
+  Rng rng{2024};
+  std::array<int, 3> counts{};
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.4, 0.005);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.005);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.005);
+}
+
+TEST(AliasSampler, PathologicalMixFallsBackToVoseButStaysCorrect) {
+  // Boundaries at 1/3 and 1/3 + 2^-40: off every power-of-two cell grid and
+  // closer together than the finest (4096-cell) table can separate, so
+  // construction falls back to the classic alias table.
+  const double eps = 0x1p-40;
+  const std::vector<double> w{1.0 / 3.0, eps, 2.0 / 3.0 - eps};
+  const AliasSampler sampler{w};
+  EXPECT_FALSE(sampler.cdf_exact());
+  Rng rng{31};
+  std::array<int, 3> counts{};
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 3.0, 0.006);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 2.0 / 3.0, 0.006);
+
+  // Regression: with a non-power-of-two cell count, u within an ulp of 1
+  // rounds u * scale up to the cell count; pick must clamp, not read past
+  // the table.
+  const auto idx = sampler.pick(std::nextafter(1.0, 0.0));
+  EXPECT_LT(idx, w.size());
+  EXPECT_EQ(idx, scan(w, std::nextafter(1.0, 0.0)));
+}
+
+TEST(AliasSampler, RejectsDegenerateInput) {
+  EXPECT_THROW((AliasSampler{std::vector<double>{}}), std::invalid_argument);
+  EXPECT_THROW((AliasSampler{std::vector<double>{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW((AliasSampler{std::vector<double>{1.0, -0.5}}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler{}.pick(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pathload
