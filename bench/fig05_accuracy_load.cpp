@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "scenario/registry.hpp"
 #include "scenario/sweep_runner.hpp"
 #include "util/table.hpp"
 
@@ -27,30 +28,26 @@ int main() {
   Table table{{"traffic", "util_%", "avail_Mbps", "pl_low_Mbps", "pl_high_Mbps",
                "center", "covers_A", "cv_low", "cv_high"}};
 
+  // The path definitions live in the scenario registry; this bench only
+  // sweeps their tight-link load. `scenario_runner --run <preset> --sweep
+  // load=0.2,0.5,0.75,0.9` reproduces these rows byte-for-byte.
+  const auto& registry = scenario::Registry::builtin();
   const struct {
-    const char* name;
-    sim::Interarrival model;
-  } models[] = {{"poisson", sim::Interarrival::kExponential},
-                {"pareto1.9", sim::Interarrival::kPareto}};
+    const char* label;
+    const char* preset;
+  } models[] = {{"poisson", "paper-path-poisson"}, {"pareto1.9", "paper-path"}};
 
   for (const auto& m : models) {
     for (double util : {0.20, 0.50, 0.75, 0.90}) {
-      scenario::PaperPathConfig path;
-      path.hops = 3;
-      path.tight_capacity = Rate::mbps(10);
-      path.tight_utilization = util;
-      path.beta = 2.0;
-      path.nontight_utilization = 0.6;
-      path.model = m.model;
-      path.warmup = Duration::seconds(1);
+      const scenario::ScenarioSpec spec = registry.at(m.preset).with_load(util);
 
       core::PathloadConfig tool;  // defaults: K=100, N=12, omega=1, chi=1.5
 
-      const auto rr = scenario::sweep_pathload_repeated(path, tool, runs,
+      const auto rr = scenario::sweep_scenario_repeated(spec, tool, runs,
                                                         bench::seed() + (util * 1000),
                                                         runner);
-      const Rate truth = path.tight_avail_bw();
-      table.add_row({m.name, Table::num(util * 100, 0),
+      const Rate truth = spec.avail_bw();
+      table.add_row({m.label, Table::num(util * 100, 0),
                      Table::num(truth.mbits_per_sec(), 1),
                      Table::num(rr.mean_low().mbits_per_sec(), 2),
                      Table::num(rr.mean_high().mbits_per_sec(), 2),

@@ -10,6 +10,7 @@
 
 #include "bench/common.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
@@ -22,21 +23,22 @@ int main() {
   Table table{{"hops", "beta", "avail_Mbps", "pl_low_Mbps", "pl_high_Mbps", "center",
                "covers_A", "underest_%"}};
 
+  // The registry's paper-path preset is the single definition of the Fig. 4
+  // topology; this bench varies only its hop count and tightness factor.
+  const scenario::ScenarioSpec& base = scenario::Registry::builtin().at("paper-path");
+
   for (int hops : {3, 6}) {
     for (double beta : {1.0, 1.2, 1.5, 2.0}) {
-      scenario::PaperPathConfig path;
+      scenario::PaperPathConfig path = *base.paper;
       path.hops = hops;
-      path.tight_capacity = Rate::mbps(10);
-      path.tight_utilization = 0.6;  // A = 4 Mb/s
       path.beta = beta;
-      path.nontight_utilization = 0.6;
-      path.model = sim::Interarrival::kPareto;
-      path.warmup = Duration::seconds(1);
+      scenario::ScenarioSpec spec =
+          scenario::ScenarioSpec::from_paper(base.name, base.description, path);
 
       core::PathloadConfig tool;
-      const auto rr = scenario::run_pathload_repeated(
-          path, tool, runs, bench::seed() + hops * 1000 + (beta * 100));
-      const Rate truth = path.tight_avail_bw();
+      const auto rr = scenario::run_scenario_repeated(
+          spec, tool, runs, bench::seed() + hops * 1000 + (beta * 100));
+      const Rate truth = spec.avail_bw();
       const double center =
           (rr.mean_low() + rr.mean_high()).mbits_per_sec() / 2.0;
       const double underestimate =

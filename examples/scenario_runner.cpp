@@ -1,0 +1,300 @@
+// Scenario registry front-end: list, inspect, validate, run, and sweep the
+// named measurement scenarios without writing C++.
+//
+//   $ scenario_runner --list                      # the preset catalogue
+//   $ scenario_runner --show paper-path           # spec in the text format
+//   $ scenario_runner --run bursty-tight --runs 5
+//   $ scenario_runner --run paper-path --sweep load=0.2,0.5,0.75,0.9
+//   $ scenario_runner --spec my.scenario --run    # run a spec file
+//   $ scenario_runner --validate my.scenario      # parse + validate only
+//
+// Sweeps use the same per-point seed derivation as bench/fig05 (base seed +
+// util*1000, runs sharded over SweepRunner), so a sweep of a paper preset
+// reproduces the figure's numbers byte-for-byte at the same settings.
+// `--format csv` / `--format json` emit machine-readable rows; the base
+// seed and run count come from PATHLOAD_SEED / PATHLOAD_RUNS / PATHLOAD_QUICK
+// like every bench, or from --seed / --runs.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep_runner.hpp"
+#include "util/table.hpp"
+
+using namespace pathload;
+
+namespace {
+
+enum class Format { kTable, kCsv, kJson };
+
+struct Options {
+  bool list{false};
+  std::string show;
+  std::string run;        // preset name, or "-" for the loaded spec file
+  std::string spec_file;
+  std::string validate_file;
+  std::vector<double> sweep_loads;
+  int runs{0};            // 0: bench default
+  std::optional<std::uint64_t> seed;
+  int threads{0};
+  Format format{Format::kTable};
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr,
+               "scenario_runner: %s\n"
+               "usage:\n"
+               "  scenario_runner --list [--format table|csv]\n"
+               "  scenario_runner --show <preset>\n"
+               "  scenario_runner --run <preset> [--runs N] [--seed S] [--load u]\n"
+               "                  [--sweep load=u1,u2,...] [--threads T]\n"
+               "                  [--format table|csv|json]\n"
+               "  scenario_runner --spec <file> [--run | --show]\n"
+               "  scenario_runner --validate <file>\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) usage_error("cannot open spec file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+double parse_util(const std::string& item, const char* flag) {
+  char* end = nullptr;
+  const double v = std::strtod(item.c_str(), &end);
+  if (end == item.c_str() || *end != '\0' || v < 0.0 || v >= 1.0) {
+    usage_error(std::string{flag} + " values must be utilizations in [0, 1), got '" +
+                item + "'");
+  }
+  return v;
+}
+
+std::vector<double> parse_sweep(const std::string& arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || arg.substr(0, eq) != "load") {
+    usage_error("--sweep expects load=u1,u2,... (only the load axis is swept; "
+                "use --runs/--seed for repetitions)");
+  }
+  std::vector<double> loads;
+  std::stringstream ss{arg.substr(eq + 1)};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    loads.push_back(parse_util(item, "--sweep load"));
+  }
+  if (loads.empty()) usage_error("--sweep load= needs at least one value");
+  return loads;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  std::optional<double> single_load;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) usage_error(std::string{what} + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--list") {
+      opt.list = true;
+    } else if (a == "--show") {
+      opt.show = (i + 1 < argc && argv[i + 1][0] != '-') ? next("--show") : "-";
+    } else if (a == "--run") {
+      opt.run = (i + 1 < argc && argv[i + 1][0] != '-') ? next("--run") : "-";
+    } else if (a == "--spec") {
+      opt.spec_file = next("--spec");
+    } else if (a == "--validate") {
+      opt.validate_file = next("--validate");
+    } else if (a == "--sweep") {
+      opt.sweep_loads = parse_sweep(next("--sweep"));
+    } else if (a == "--load") {
+      single_load = parse_util(next("--load"), "--load");
+    } else if (a == "--runs") {
+      opt.runs = std::atoi(next("--runs").c_str());
+      if (opt.runs <= 0) usage_error("--runs must be a positive integer");
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(next("--seed").c_str(), nullptr, 10);
+    } else if (a == "--threads") {
+      opt.threads = std::atoi(next("--threads").c_str());
+    } else if (a == "--format") {
+      const std::string f = next("--format");
+      if (f == "table") opt.format = Format::kTable;
+      else if (f == "csv") opt.format = Format::kCsv;
+      else if (f == "json") opt.format = Format::kJson;
+      else usage_error("--format expects table, csv, or json");
+    } else {
+      usage_error("unknown argument '" + a + "'");
+    }
+  }
+  if (single_load) {
+    if (!opt.sweep_loads.empty()) usage_error("--load and --sweep are exclusive");
+    opt.sweep_loads.push_back(*single_load);
+  }
+  if (!opt.list && opt.show.empty() && opt.run.empty() && opt.validate_file.empty()) {
+    usage_error("nothing to do (use --list, --show, --run, or --validate)");
+  }
+  return opt;
+}
+
+std::string traffic_summary(const scenario::ScenarioSpec& spec) {
+  std::string out;
+  std::string last;
+  for (const auto& h : spec.hops) {
+    const std::string m{scenario::to_string(h.traffic.model)};
+    if (m == last || m == "none") continue;
+    if (!out.empty()) out += "+";
+    out += m;
+    last = m;
+  }
+  return out.empty() ? "none" : out;
+}
+
+void print_list(const scenario::Registry& reg, Format format) {
+  Table table{{"preset", "hops", "avail_Mbps", "traffic", "warmup_s", "description"}};
+  for (const auto& spec : reg.entries()) {
+    table.add_row({spec.name, Table::num(static_cast<double>(spec.hops.size()), 0),
+                   Table::num(spec.avail_bw().mbits_per_sec(), 2),
+                   traffic_summary(spec), Table::num(spec.warmup.secs(), 0),
+                   spec.description});
+  }
+  if (format == Format::kCsv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    table.print();
+    std::printf("\n%zu presets; `--show <preset>` prints a spec, `--run <preset>` "
+                "measures it.\n", reg.size());
+  }
+}
+
+/// One sweep point, reduced to the quantities the figures report.
+struct PointRow {
+  std::string preset;
+  double util;
+  std::uint64_t seed0;
+  int runs;
+  Rate truth;
+  scenario::RepeatedRuns rr;
+};
+
+void print_rows(const std::vector<PointRow>& rows, Format format) {
+  if (format == Format::kJson) {
+    std::printf("[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const PointRow& r = rows[i];
+      std::printf(
+          "  {\"preset\": \"%s\", \"load\": %.17g, \"seed\": %llu, \"runs\": %d, "
+          "\"avail_mbps\": %.17g, \"low_mbps\": %.17g, \"high_mbps\": %.17g, "
+          "\"coverage\": %.17g, \"cv_low\": %.17g, \"cv_high\": %.17g, "
+          "\"mean_fleets\": %.17g, \"mean_elapsed_s\": %.17g}%s\n",
+          r.preset.c_str(), r.util, static_cast<unsigned long long>(r.seed0), r.runs,
+          r.truth.mbits_per_sec(), r.rr.mean_low().mbits_per_sec(),
+          r.rr.mean_high().mbits_per_sec(), r.rr.coverage(r.truth), r.rr.cv_low(),
+          r.rr.cv_high(), r.rr.mean_fleets(), r.rr.mean_elapsed().secs(),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("]\n");
+    return;
+  }
+  // The numeric columns use the same Table::num precision as bench/fig05,
+  // so a sweep of a paper preset diffs cell-identical against the figure.
+  Table table{{"preset", "util_%", "avail_Mbps", "pl_low_Mbps", "pl_high_Mbps",
+               "center", "covers_A", "cv_low", "cv_high"}};
+  for (const PointRow& r : rows) {
+    table.add_row({r.preset, Table::num(r.util * 100, 0),
+                   Table::num(r.truth.mbits_per_sec(), 1),
+                   Table::num(r.rr.mean_low().mbits_per_sec(), 2),
+                   Table::num(r.rr.mean_high().mbits_per_sec(), 2),
+                   Table::num((r.rr.mean_low() + r.rr.mean_high()).mbits_per_sec() / 2, 2),
+                   Table::num(r.rr.coverage(r.truth) * 100, 0) + "%",
+                   Table::num(r.rr.cv_low(), 2), Table::num(r.rr.cv_high(), 2)});
+  }
+  if (format == Format::kCsv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    table.print();
+  }
+}
+
+int run_command(const Options& opt, const scenario::ScenarioSpec& base) {
+  const int runs = opt.runs > 0 ? opt.runs : bench::runs(20);
+  const std::uint64_t seed = opt.seed.value_or(bench::seed());
+  const core::PathloadConfig tool;
+  scenario::SweepRunner runner{opt.threads};
+
+  std::vector<PointRow> rows;
+  if (opt.sweep_loads.empty()) {
+    const Rate truth = base.avail_bw();
+    const auto rr = scenario::sweep_scenario_repeated(base, tool, runs, seed, runner);
+    rows.push_back(PointRow{base.name, /*util=*/-1.0, seed, runs, truth,
+                            std::move(rr)});
+    // No load axis: report the preset's own operating point; util column
+    // shows the tight hop's configured load.
+    rows.back().util = base.hops[base.tight_hop()].traffic.utilization;
+  } else {
+    for (const double util : opt.sweep_loads) {
+      const scenario::ScenarioSpec spec = base.with_load(util);
+      // Same per-point seed derivation as bench/fig05: base + util*1000.
+      const auto seed0 = static_cast<std::uint64_t>(
+          static_cast<double>(seed) + util * 1000);
+      const auto rr = scenario::sweep_scenario_repeated(spec, tool, runs, seed0, runner);
+      rows.push_back(PointRow{spec.name, util, seed0, runs, spec.avail_bw(), rr});
+    }
+  }
+  print_rows(rows, opt.format);
+  if (opt.format == Format::kTable && base.nonstationary()) {
+    std::printf("\nnote: %s is non-stationary (post-ramp avail-bw %.2f Mb/s); "
+                "the configured avail_Mbps column is the pre-ramp value.\n",
+                base.name.c_str(), base.final_avail_bw().mbits_per_sec());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  try {
+    if (!opt.validate_file.empty()) {
+      const auto spec = scenario::ScenarioSpec::parse(read_file(opt.validate_file));
+      std::printf("%s: OK (preset '%s', %zu hops, avail-bw %.2f Mb/s)\n",
+                  opt.validate_file.c_str(), spec.name.c_str(), spec.hops.size(),
+                  spec.avail_bw().mbits_per_sec());
+      return 0;
+    }
+
+    // Resolve the working registry: builtin presets, plus the spec file if
+    // one was given (its name must not clash with a builtin).
+    scenario::Registry reg = scenario::Registry::builtin();
+    std::string loaded_name;
+    if (!opt.spec_file.empty()) {
+      auto spec = scenario::ScenarioSpec::parse(read_file(opt.spec_file));
+      loaded_name = spec.name;
+      reg.add(std::move(spec));
+    }
+    auto resolve = [&](const std::string& sel) -> const scenario::ScenarioSpec& {
+      if (sel != "-") return reg.at(sel);
+      if (loaded_name.empty()) {
+        usage_error("no preset named and no --spec file loaded");
+      }
+      return reg.at(loaded_name);
+    };
+
+    if (opt.list) print_list(reg, opt.format);
+    if (!opt.show.empty()) std::fputs(resolve(opt.show).to_text().c_str(), stdout);
+    if (!opt.run.empty()) return run_command(opt, resolve(opt.run));
+    return 0;
+  } catch (const scenario::SpecError& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+}

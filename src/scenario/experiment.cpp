@@ -82,4 +82,27 @@ RepeatedRuns run_pathload_repeated(const PaperPathConfig& path_cfg,
   return out;
 }
 
+core::PathloadResult run_scenario_once(const ScenarioSpec& spec,
+                                       const core::PathloadConfig& tool_cfg,
+                                       std::uint64_t seed) {
+  ScenarioSpec seeded = spec;
+  seeded.seed = seed;
+  ScenarioInstance inst{std::move(seeded)};
+  inst.start();
+  SimProbeChannel channel{inst.simulator(), inst.path()};
+  core::PathloadSession session{channel, tool_cfg};
+  return session.run();
+}
+
+RepeatedRuns run_scenario_repeated(const ScenarioSpec& spec,
+                                   const core::PathloadConfig& tool_cfg, int runs,
+                                   std::uint64_t seed0) {
+  RepeatedRuns out;
+  out.results.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    out.results.push_back(run_scenario_once(spec, tool_cfg, seed0 + i));
+  }
+  return out;
+}
+
 }  // namespace pathload::scenario

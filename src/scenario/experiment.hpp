@@ -6,6 +6,7 @@
 #include "core/config.hpp"
 #include "core/session.hpp"
 #include "scenario/paper_path.hpp"
+#include "scenario/spec.hpp"
 
 namespace pathload::scenario {
 
@@ -42,5 +43,18 @@ RepeatedRuns run_pathload_repeated(const PaperPathConfig& path_cfg,
 core::PathloadResult run_pathload_once(const PaperPathConfig& path_cfg,
                                        const core::PathloadConfig& tool_cfg,
                                        std::uint64_t seed);
+
+/// Single pathload run on a fresh ScenarioInstance built from `spec` with
+/// its seed overridden to `seed`. For paper-derived specs this is
+/// bit-identical to run_pathload_once on the equivalent PaperPathConfig.
+core::PathloadResult run_scenario_once(const ScenarioSpec& spec,
+                                       const core::PathloadConfig& tool_cfg,
+                                       std::uint64_t seed);
+
+/// `runs` independent scenario runs seeded seed0, seed0+1, ... — the
+/// registry-based analogue of run_pathload_repeated.
+RepeatedRuns run_scenario_repeated(const ScenarioSpec& spec,
+                                   const core::PathloadConfig& tool_cfg, int runs,
+                                   std::uint64_t seed0);
 
 }  // namespace pathload::scenario

@@ -1,0 +1,171 @@
+#include "scenario/registry.hpp"
+
+namespace pathload::scenario {
+
+void Registry::add(ScenarioSpec spec) {
+  spec.validate();
+  if (find(spec.name) != nullptr) {
+    throw SpecError{"registry already has a preset named '" + spec.name + "'"};
+  }
+  entries_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* Registry::find(std::string_view name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const ScenarioSpec& Registry::at(std::string_view name) const {
+  if (const ScenarioSpec* s = find(name)) return *s;
+  std::string msg = "unknown preset '" + std::string{name} + "'; known presets:";
+  for (const auto& e : entries_) msg += " " + e.name;
+  throw SpecError{msg};
+}
+
+namespace {
+
+Registry make_builtin() {
+  Registry reg;
+
+  // The paper's Fig. 4 simulation topology with its Section V-A defaults:
+  // 3 hops, tight middle link Ct = 10 Mb/s at ut = 0.6 (A = 4 Mb/s),
+  // beta = 2, Pareto(1.9) cross traffic from 10 sources per hop. The 1 s
+  // warmup is the figure benches' setting; it is part of the preset so a
+  // `scenario_runner` sweep reproduces the figures byte-for-byte.
+  {
+    PaperPathConfig cfg;
+    cfg.warmup = Duration::seconds(1);
+    reg.add(ScenarioSpec::from_paper(
+        "paper-path",
+        "Fig. 4 topology: 3 hops, tight 10 Mb/s middle link at 60% load, "
+        "beta = 2, Pareto(1.9) cross traffic",
+        cfg));
+  }
+
+  // Same path with smooth (Poisson) cross traffic — the other half of every
+  // smooth-vs-bursty comparison in the paper (Figs. 5, 11).
+  {
+    PaperPathConfig cfg;
+    cfg.model = sim::Interarrival::kExponential;
+    cfg.warmup = Duration::seconds(1);
+    reg.add(ScenarioSpec::from_paper(
+        "paper-path-poisson",
+        "Fig. 4 topology with Poisson (smooth) cross traffic",
+        cfg));
+  }
+
+  // Tight link != narrow link (Section II): the first hop has the smallest
+  // capacity (8 Mb/s, narrow) but is nearly idle; the middle 20 Mb/s hop
+  // carries 80% load and is the tight link (A = 4 Mb/s). Capacity-measuring
+  // tools report 8; the avail-bw answer is 4.
+  reg.add_text(R"(
+    name = tight-not-narrow
+    description = narrow 8 Mb/s first hop nearly idle; tight link is the loaded 20 Mb/s middle hop (A = 4 Mb/s)
+    hops = 3
+    hop.0.capacity_mbps = 8
+    hop.0.delay_ms = 10
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.1
+    hop.1.capacity_mbps = 20
+    hop.1.delay_ms = 20
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.8
+    hop.2.capacity_mbps = 40
+    hop.2.delay_ms = 20
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.3
+  )");
+
+  // A 5-hop path with heterogeneous capacities, latencies, multiplexing
+  // degrees, and traffic models per hop — the hop-heterogeneity axis the
+  // comparative-evaluation literature shows estimators are sensitive to.
+  reg.add_text(R"(
+    name = hetero-5hop
+    description = 5 heterogeneous hops (100/34/45/10/155 Mb/s, mixed models); tight 10 Mb/s hop at 60% (A = 4 Mb/s)
+    hops = 5
+    hop.0.capacity_mbps = 100
+    hop.0.delay_ms = 2
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.3
+    hop.0.traffic.sources = 30
+    hop.1.capacity_mbps = 34
+    hop.1.delay_ms = 8
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.5
+    hop.2.capacity_mbps = 45
+    hop.2.delay_ms = 25
+    hop.2.traffic.model = constant
+    hop.2.traffic.utilization = 0.4
+    hop.2.traffic.sources = 4
+    hop.3.capacity_mbps = 10
+    hop.3.delay_ms = 5
+    hop.3.traffic.model = pareto
+    hop.3.traffic.utilization = 0.6
+    hop.4.capacity_mbps = 155
+    hop.4.delay_ms = 10
+    hop.4.traffic.model = poisson
+    hop.4.traffic.utilization = 0.2
+    hop.4.traffic.sources = 50
+  )");
+
+  // The paper path's shape, but the tight link's load arrives as heavy
+  // on/off bursts (Pareto burst sizes) instead of a renewal process: the
+  // short-timescale variability stress case.
+  reg.add_text(R"(
+    name = bursty-tight
+    description = paper-path shape but the tight link's 60% load arrives in Pareto-sized on/off bursts at 95% peak
+    hops = 3
+    hop.0.capacity_mbps = 20
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.6
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = onoff
+    hop.1.traffic.utilization = 0.6
+    hop.1.traffic.peak_utilization = 0.95
+    hop.1.traffic.mean_burst_kb = 30
+    hop.1.traffic.burst_alpha = 1.5
+    hop.2.capacity_mbps = 20
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.6
+  )");
+
+  // Non-stationary load: the tight link steps from 30% to 75% utilization
+  // 15 s into the run (A drops 7 -> 2.5 Mb/s), the Section VI dynamics
+  // question — does the estimate track the change?
+  reg.add_text(R"(
+    name = load-step
+    description = tight 10 Mb/s link steps from 30% to 75% load at t = 15 s (A: 7 -> 2.5 Mb/s)
+    hops = 3
+    hop.0.capacity_mbps = 30
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.2
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = ramp
+    hop.1.traffic.utilization = 0.3
+    hop.1.traffic.end_utilization = 0.75
+    hop.1.traffic.ramp_start_s = 15
+    hop.1.traffic.ramp_end_s = 15
+    hop.2.capacity_mbps = 30
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.2
+  )");
+
+  return reg;
+}
+
+}  // namespace
+
+const Registry& Registry::builtin() {
+  static const Registry reg = make_builtin();
+  return reg;
+}
+
+}  // namespace pathload::scenario

@@ -1,0 +1,54 @@
+// Named scenario presets.
+//
+// The registry is the single source of truth for "a scenario we talk
+// about by name": figure benches, the scenario_runner CLI, tests, and docs
+// all resolve the same ScenarioSpec from the same entry, so a path/traffic
+// definition exists exactly once. Registry::builtin() holds the shipped
+// presets (see docs/SCENARIOS.md for the catalogue); user code can build
+// additional registries, or extend a copy of the builtin one, with add().
+//
+// Adding a scenario is a ~10-line ScenarioSpec (text form or C++), not a
+// C++ patch to a bench main().
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace pathload::scenario {
+
+/// An ordered, name-unique collection of scenario specs.
+class Registry {
+ public:
+  Registry() = default;
+
+  /// Validate `spec` and append it. Throws SpecError on an invalid spec or
+  /// a duplicate name (the error names the clash).
+  void add(ScenarioSpec spec);
+
+  /// Parse the text format and add the result (convenience for spec files).
+  void add_text(std::string_view text) { add(ScenarioSpec::parse(text)); }
+
+  /// Lookup by name; nullptr when absent.
+  const ScenarioSpec* find(std::string_view name) const;
+
+  /// Lookup by name; throws SpecError listing the known presets when
+  /// absent, so a CLI typo gets a usable message.
+  const ScenarioSpec& at(std::string_view name) const;
+
+  /// All entries, in registration order.
+  const std::vector<ScenarioSpec>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// The shipped presets: the paper path (Pareto and Poisson forms),
+  /// tight-link != narrow-link, a 5-hop heterogeneous path, a bursty
+  /// on/off tight link, and a non-stationary load step.
+  static const Registry& builtin();
+
+ private:
+  std::vector<ScenarioSpec> entries_;
+};
+
+}  // namespace pathload::scenario

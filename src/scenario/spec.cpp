@@ -1,0 +1,715 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace pathload::scenario {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string{s.substr(b, e - b)};
+}
+
+/// One `key = value` line of a spec, with its 1-based source line for
+/// error messages.
+struct KvLine {
+  int no;
+  std::string key;
+  std::string value;
+};
+
+[[noreturn]] void fail(const KvLine& l, const std::string& what) {
+  throw SpecError{"line " + std::to_string(l.no) + ": " + l.key + ": " + what};
+}
+
+double parse_num(const KvLine& l) {
+  char* end = nullptr;
+  const double v = std::strtod(l.value.c_str(), &end);
+  if (end == l.value.c_str() || *end != '\0') {
+    fail(l, "expected a number, got '" + l.value + "'");
+  }
+  return v;
+}
+
+int parse_int(const KvLine& l) {
+  const double v = parse_num(l);
+  const int i = static_cast<int>(v);
+  if (static_cast<double>(i) != v) {
+    fail(l, "expected an integer, got '" + l.value + "'");
+  }
+  return i;
+}
+
+std::uint64_t parse_u64(const KvLine& l) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(l.value.c_str(), &end, 10);
+  // strtoull silently wraps a leading '-'; reject it explicitly so the
+  // error message tells the truth.
+  if (l.value.empty() || l.value[0] == '-' || end == l.value.c_str() ||
+      *end != '\0') {
+    fail(l, "expected a non-negative integer, got '" + l.value + "'");
+  }
+  return v;
+}
+
+TrafficModel parse_model(const KvLine& l) {
+  if (l.value == "none") return TrafficModel::kNone;
+  if (l.value == "poisson") return TrafficModel::kPoisson;
+  if (l.value == "pareto") return TrafficModel::kPareto;
+  if (l.value == "constant") return TrafficModel::kConstant;
+  if (l.value == "onoff") return TrafficModel::kOnOff;
+  if (l.value == "ramp") return TrafficModel::kRamp;
+  fail(l, "unknown traffic model '" + l.value +
+              "' (expected none|poisson|pareto|constant|onoff|ramp)");
+}
+
+sim::Interarrival renewal_of(TrafficModel m) {
+  switch (m) {
+    case TrafficModel::kPoisson: return sim::Interarrival::kExponential;
+    case TrafficModel::kPareto: return sim::Interarrival::kPareto;
+    case TrafficModel::kConstant: return sim::Interarrival::kConstant;
+    default: throw std::logic_error{"renewal_of: not a renewal model"};
+  }
+}
+
+TrafficModel model_of(sim::Interarrival m) {
+  switch (m) {
+    case sim::Interarrival::kExponential: return TrafficModel::kPoisson;
+    case sim::Interarrival::kPareto: return TrafficModel::kPareto;
+    case sim::Interarrival::kConstant: return TrafficModel::kConstant;
+  }
+  return TrafficModel::kPoisson;
+}
+
+sim::PacketSizeMix parse_mix(const KvLine& l) {
+  if (l.value == "paper") return sim::PacketSizeMix::paper_mix();
+  if (l.value.rfind("fixed:", 0) == 0) {
+    const KvLine sub{l.no, l.key, l.value.substr(6)};
+    const int bytes = parse_int(sub);
+    if (bytes <= 0) fail(l, "fixed mix size must be a positive byte count");
+    return sim::PacketSizeMix::fixed(bytes);
+  }
+  fail(l, "unknown mix '" + l.value + "' (expected paper or fixed:<bytes>)");
+}
+
+std::string mix_to_text(const sim::PacketSizeMix& mix) {
+  if (mix.bins().size() == 1) {
+    return "fixed:" + std::to_string(mix.bins().front().size_bytes);
+  }
+  return "paper";
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+/// Field-level checks of a paper parameterization, shared by from_paper and
+/// validate(). Must run before any derived quantity (nontight_capacity) is
+/// touched, since ux >= 1 would divide by zero there.
+void validate_paper(const PaperPathConfig& cfg) {
+  if (cfg.hops < 1) throw SpecError{"paper.hops: need at least one hop"};
+  if (cfg.tight_capacity <= Rate::zero()) {
+    throw SpecError{"paper.tight_capacity_mbps: must be positive"};
+  }
+  if (cfg.tight_utilization < 0.0 || cfg.tight_utilization >= 1.0) {
+    throw SpecError{"paper.tight_utilization: must be in [0, 1), got " +
+                    fmt(cfg.tight_utilization)};
+  }
+  if (cfg.nontight_utilization < 0.0 || cfg.nontight_utilization >= 1.0) {
+    throw SpecError{"paper.nontight_utilization: must be in [0, 1), got " +
+                    fmt(cfg.nontight_utilization)};
+  }
+  if (cfg.beta <= 0.0) {
+    throw SpecError{"paper.beta: must be positive, got " + fmt(cfg.beta)};
+  }
+  if (cfg.model == sim::Interarrival::kPareto && cfg.pareto_alpha <= 1.0) {
+    throw SpecError{"paper.pareto_alpha: must be > 1 for a finite mean, got " +
+                    fmt(cfg.pareto_alpha)};
+  }
+  if (cfg.sources_per_link < 1) {
+    throw SpecError{"paper.sources_per_link: must be >= 1"};
+  }
+}
+
+[[noreturn]] void fail_hop(std::size_t hop, const std::string& field,
+                           const std::string& what) {
+  throw SpecError{"hop " + std::to_string(hop) + ": " + field + ": " + what};
+}
+
+void validate_hop(std::size_t i, const HopDecl& h) {
+  if (h.capacity <= Rate::zero()) {
+    fail_hop(i, "capacity_mbps", "must be positive, got " + fmt(h.capacity.mbits_per_sec()));
+  }
+  if (h.delay < Duration::zero()) {
+    fail_hop(i, "delay_ms", "must not be negative, got " + fmt(h.delay.millis()));
+  }
+  if (h.buffer_drain <= Duration::zero()) {
+    fail_hop(i, "buffer_ms", "must be positive, got " + fmt(h.buffer_drain.millis()));
+  }
+  const TrafficSpec& t = h.traffic;
+  if (t.model == TrafficModel::kNone) return;
+  if (t.utilization < 0.0 || t.utilization >= 1.0) {
+    fail_hop(i, "traffic.utilization", "must be in [0, 1), got " + fmt(t.utilization));
+  }
+  if (t.sources < 1) {
+    fail_hop(i, "traffic.sources", "must be >= 1, got " + std::to_string(t.sources));
+  }
+  if (t.mix.mean_bytes() <= 0.0) {
+    fail_hop(i, "traffic.mix", "mean packet size must be positive");
+  }
+  switch (t.model) {
+    case TrafficModel::kPoisson:
+    case TrafficModel::kConstant:
+      break;
+    case TrafficModel::kPareto:
+      if (t.pareto_alpha <= 1.0) {
+        fail_hop(i, "traffic.pareto_alpha",
+                 "must be > 1 for a finite mean, got " + fmt(t.pareto_alpha));
+      }
+      break;
+    case TrafficModel::kOnOff:
+      if (t.utilization <= 0.0) {
+        fail_hop(i, "traffic.utilization",
+                 "onoff traffic needs a positive mean load (or set model = none)");
+      }
+      if (t.peak_utilization <= t.utilization || t.peak_utilization > 1.0) {
+        fail_hop(i, "traffic.peak_utilization",
+                 "must be in (utilization, 1]: bursts emit above the mean load "
+                 "but not above the hop capacity; got " + fmt(t.peak_utilization) +
+                 " with utilization " + fmt(t.utilization));
+      }
+      if (DataSize::kilobytes(t.mean_burst_kb).byte_count() <= 0) {
+        fail_hop(i, "traffic.mean_burst_kb",
+                 "must be at least one byte (0.001), got " + fmt(t.mean_burst_kb));
+      }
+      if (t.burst_alpha <= 1.0) {
+        fail_hop(i, "traffic.burst_alpha",
+                 "must be > 1 for a finite mean burst, got " + fmt(t.burst_alpha));
+      }
+      break;
+    case TrafficModel::kRamp:
+      if (t.utilization <= 0.0) {
+        fail_hop(i, "traffic.utilization",
+                 "ramp traffic needs a positive pre-ramp load (the arrival "
+                 "process cannot restart from rate zero)");
+      }
+      if (t.end_utilization <= 0.0 || t.end_utilization >= 1.0) {
+        fail_hop(i, "traffic.end_utilization",
+                 "must be in (0, 1), got " + fmt(t.end_utilization));
+      }
+      if (t.ramp_start_s < 0.0) {
+        fail_hop(i, "traffic.ramp_start_s", "must not be negative, got " + fmt(t.ramp_start_s));
+      }
+      if (t.ramp_end_s < t.ramp_start_s) {
+        fail_hop(i, "traffic.ramp_end_s",
+                 "must not precede ramp_start_s (" + fmt(t.ramp_start_s) +
+                 "), got " + fmt(t.ramp_end_s));
+      }
+      break;
+    case TrafficModel::kNone:
+      break;
+  }
+}
+
+/// Long-run pre-ramp utilization of a hop (0 when traffic is disabled).
+double initial_util(const HopDecl& h) {
+  return h.traffic.model == TrafficModel::kNone ? 0.0 : h.traffic.utilization;
+}
+
+}  // namespace
+
+std::string_view to_string(TrafficModel m) {
+  switch (m) {
+    case TrafficModel::kNone: return "none";
+    case TrafficModel::kPoisson: return "poisson";
+    case TrafficModel::kPareto: return "pareto";
+    case TrafficModel::kConstant: return "constant";
+    case TrafficModel::kOnOff: return "onoff";
+    case TrafficModel::kRamp: return "ramp";
+  }
+  return "?";
+}
+
+ScenarioSpec ScenarioSpec::from_paper(std::string name, std::string description,
+                                      const PaperPathConfig& cfg) {
+  validate_paper(cfg);
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.warmup = cfg.warmup;
+  spec.seed = cfg.seed;
+  spec.paper = cfg;
+
+  // Mirror Testbed's hop derivation exactly (same expressions, same order)
+  // so the hop list is a faithful description of what instantiation builds.
+  const std::size_t tight = static_cast<std::size_t>(cfg.hops / 2);
+  const Duration per_hop_delay = cfg.total_prop_delay / static_cast<double>(cfg.hops);
+  spec.hops.reserve(static_cast<std::size_t>(cfg.hops));
+  for (int i = 0; i < cfg.hops; ++i) {
+    const bool is_tight = static_cast<std::size_t>(i) == tight;
+    HopDecl hop;
+    hop.capacity = is_tight ? cfg.tight_capacity : cfg.nontight_capacity();
+    hop.delay = per_hop_delay;
+    hop.buffer_drain = cfg.buffer_drain;
+    hop.traffic.model = model_of(cfg.model);
+    hop.traffic.utilization =
+        is_tight ? cfg.tight_utilization : cfg.nontight_utilization;
+    hop.traffic.sources = cfg.sources_per_link;
+    hop.traffic.pareto_alpha = cfg.pareto_alpha;
+    hop.traffic.mix = cfg.size_mix;
+    spec.hops.push_back(std::move(hop));
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::parse(std::string_view text) {
+  std::vector<KvLine> lines;
+  std::set<std::string> seen;
+  {
+    std::istringstream in{std::string{text}};
+    std::string raw;
+    int no = 0;
+    while (std::getline(in, raw)) {
+      ++no;
+      if (const auto hash = raw.find('#'); hash != std::string::npos) {
+        raw.erase(hash);
+      }
+      const std::string stripped = trim(raw);
+      if (stripped.empty()) continue;
+      const auto eq = stripped.find('=');
+      if (eq == std::string::npos) {
+        throw SpecError{"line " + std::to_string(no) +
+                        ": expected 'key = value', got '" + stripped + "'"};
+      }
+      KvLine l{no, trim(stripped.substr(0, eq)), trim(stripped.substr(eq + 1))};
+      if (l.key.empty()) {
+        throw SpecError{"line " + std::to_string(no) + ": empty key before '='"};
+      }
+      if (!seen.insert(l.key).second) {
+        throw SpecError{"line " + std::to_string(no) + ": duplicate key '" +
+                        l.key + "'"};
+      }
+      lines.push_back(std::move(l));
+    }
+  }
+
+  const bool paper_mode = std::any_of(lines.begin(), lines.end(), [](const KvLine& l) {
+    return l.key.rfind("paper.", 0) == 0;
+  });
+  const bool custom_mode = std::any_of(lines.begin(), lines.end(), [](const KvLine& l) {
+    return l.key == "hops" || l.key.rfind("hop.", 0) == 0;
+  });
+  if (paper_mode && custom_mode) {
+    throw SpecError{
+        "spec mixes paper.* keys with hops/hop.* keys; use one form "
+        "(paper.* for the Fig. 4 parameterization, hops/hop.* for a custom path)"};
+  }
+  if (!paper_mode && !custom_mode) {
+    throw SpecError{
+        "spec declares no path: set either 'hops = N' plus hop.<i>.* keys, "
+        "or paper.* keys (see docs/SCENARIOS.md)"};
+  }
+
+  ScenarioSpec spec;
+  PaperPathConfig pcfg;
+
+  int hop_count = 0;
+  if (custom_mode) {
+    const auto hops_line = std::find_if(lines.begin(), lines.end(),
+                                        [](const KvLine& l) { return l.key == "hops"; });
+    if (hops_line == lines.end()) {
+      throw SpecError{"hop.* keys present but 'hops = N' is missing"};
+    }
+    hop_count = parse_int(*hops_line);
+    if (hop_count < 1 || hop_count > 64) {
+      fail(*hops_line, "must be in [1, 64], got " + hops_line->value);
+    }
+    spec.hops.resize(static_cast<std::size_t>(hop_count));
+  }
+  std::vector<bool> sources_set(static_cast<std::size_t>(std::max(hop_count, 0)));
+
+  for (const KvLine& l : lines) {
+    if (l.key == "name") {
+      if (l.value.empty()) fail(l, "must not be empty");
+      if (l.value.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz0123456789-_") != std::string::npos) {
+        fail(l, "preset names use lowercase letters, digits, '-' and '_'; got '" +
+                    l.value + "'");
+      }
+      spec.name = l.value;
+    } else if (l.key == "description") {
+      spec.description = l.value;
+    } else if (l.key == "seed") {
+      spec.seed = parse_u64(l);
+    } else if (l.key == "warmup_s") {
+      const double s = parse_num(l);
+      if (s < 0.0) fail(l, "must not be negative, got " + l.value);
+      spec.warmup = Duration::seconds(s);
+    } else if (l.key == "hops") {
+      // consumed above
+    } else if (l.key.rfind("paper.", 0) == 0) {
+      const std::string field = l.key.substr(6);
+      if (field == "hops") {
+        pcfg.hops = parse_int(l);
+      } else if (field == "tight_capacity_mbps") {
+        pcfg.tight_capacity = Rate::mbps(parse_num(l));
+      } else if (field == "tight_utilization") {
+        pcfg.tight_utilization = parse_num(l);
+      } else if (field == "beta") {
+        pcfg.beta = parse_num(l);
+      } else if (field == "nontight_utilization") {
+        pcfg.nontight_utilization = parse_num(l);
+      } else if (field == "traffic") {
+        const TrafficModel m = parse_model(l);
+        if (m == TrafficModel::kOnOff || m == TrafficModel::kRamp ||
+            m == TrafficModel::kNone) {
+          fail(l, "the paper parameterization supports poisson|pareto|constant; "
+                  "use a custom hop list for onoff/ramp traffic");
+        }
+        pcfg.model = renewal_of(m);
+      } else if (field == "pareto_alpha") {
+        pcfg.pareto_alpha = parse_num(l);
+      } else if (field == "sources_per_link") {
+        pcfg.sources_per_link = parse_int(l);
+      } else if (field == "total_prop_delay_ms") {
+        pcfg.total_prop_delay = Duration::milliseconds(parse_num(l));
+      } else if (field == "buffer_ms") {
+        const double ms = parse_num(l);
+        if (ms <= 0.0) fail(l, "must be positive, got " + l.value);
+        pcfg.buffer_drain = Duration::milliseconds(ms);
+      } else {
+        fail(l, "unknown paper key (expected hops, tight_capacity_mbps, "
+                "tight_utilization, beta, nontight_utilization, traffic, "
+                "pareto_alpha, sources_per_link, total_prop_delay_ms, buffer_ms)");
+      }
+    } else if (l.key.rfind("hop.", 0) == 0) {
+      const auto dot = l.key.find('.', 4);
+      if (dot == std::string::npos) {
+        fail(l, "expected hop.<index>.<field>");
+      }
+      const KvLine idx_line{l.no, l.key, l.key.substr(4, dot - 4)};
+      char* end = nullptr;
+      const long idx = std::strtol(idx_line.value.c_str(), &end, 10);
+      if (end == idx_line.value.c_str() || *end != '\0' || idx < 0) {
+        fail(l, "expected hop.<index>.<field> with a non-negative index");
+      }
+      if (idx >= hop_count) {
+        fail(l, "hop index " + std::to_string(idx) + " out of range (hops = " +
+                    std::to_string(hop_count) + ")");
+      }
+      HopDecl& hop = spec.hops[static_cast<std::size_t>(idx)];
+      const std::string field = l.key.substr(dot + 1);
+      if (field == "capacity_mbps") {
+        hop.capacity = Rate::mbps(parse_num(l));
+      } else if (field == "delay_ms") {
+        hop.delay = Duration::milliseconds(parse_num(l));
+      } else if (field == "buffer_ms") {
+        hop.buffer_drain = Duration::milliseconds(parse_num(l));
+      } else if (field == "traffic.model") {
+        hop.traffic.model = parse_model(l);
+        if ((hop.traffic.model == TrafficModel::kOnOff ||
+             hop.traffic.model == TrafficModel::kRamp) &&
+            !sources_set[static_cast<std::size_t>(idx)]) {
+          hop.traffic.sources = 1;
+        }
+      } else if (field == "traffic.utilization") {
+        hop.traffic.utilization = parse_num(l);
+      } else if (field == "traffic.sources") {
+        hop.traffic.sources = parse_int(l);
+        sources_set[static_cast<std::size_t>(idx)] = true;
+      } else if (field == "traffic.pareto_alpha") {
+        hop.traffic.pareto_alpha = parse_num(l);
+      } else if (field == "traffic.peak_utilization") {
+        hop.traffic.peak_utilization = parse_num(l);
+      } else if (field == "traffic.mean_burst_kb") {
+        hop.traffic.mean_burst_kb = parse_num(l);
+      } else if (field == "traffic.burst_alpha") {
+        hop.traffic.burst_alpha = parse_num(l);
+      } else if (field == "traffic.end_utilization") {
+        hop.traffic.end_utilization = parse_num(l);
+      } else if (field == "traffic.ramp_start_s") {
+        hop.traffic.ramp_start_s = parse_num(l);
+      } else if (field == "traffic.ramp_end_s") {
+        hop.traffic.ramp_end_s = parse_num(l);
+      } else if (field == "traffic.mix") {
+        hop.traffic.mix = parse_mix(l);
+      } else {
+        fail(l, "unknown hop field '" + field +
+                "' (expected capacity_mbps, delay_ms, buffer_ms, or traffic.{"
+                "model, utilization, sources, pareto_alpha, peak_utilization, "
+                "mean_burst_kb, burst_alpha, end_utilization, ramp_start_s, "
+                "ramp_end_s, mix})");
+      }
+    } else {
+      fail(l, "unknown key (expected name, description, seed, warmup_s, "
+              "hops, hop.<i>.*, or paper.*)");
+    }
+  }
+
+  if (spec.name.empty()) {
+    throw SpecError{"spec is missing 'name = <preset-name>'"};
+  }
+
+  if (paper_mode) {
+    pcfg.seed = spec.seed;
+    pcfg.warmup = spec.warmup;
+    ScenarioSpec out = from_paper(spec.name, spec.description, pcfg);
+    out.validate();
+    return out;
+  }
+
+  // A model without a load is almost certainly a forgotten key; fail with
+  // the fix rather than silently generating no traffic.
+  for (std::size_t i = 0; i < spec.hops.size(); ++i) {
+    const TrafficSpec& t = spec.hops[i].traffic;
+    if (t.model != TrafficModel::kNone && t.model != TrafficModel::kOnOff &&
+        t.model != TrafficModel::kRamp && t.utilization == 0.0) {
+      fail_hop(i, "traffic.utilization",
+               "traffic.model = " + std::string{to_string(t.model)} +
+                   " but no load is set; set hop." + std::to_string(i) +
+                   ".traffic.utilization, or model = none");
+    }
+  }
+
+  spec.validate();
+  return spec;
+}
+
+void ScenarioSpec::validate() const {
+  if (name.empty()) throw SpecError{"spec is missing a name"};
+  if (paper) {
+    validate_paper(*paper);
+    return;
+  }
+  if (hops.empty()) throw SpecError{"spec has no hops"};
+  if (warmup < Duration::zero()) throw SpecError{"warmup_s must not be negative"};
+  for (std::size_t i = 0; i < hops.size(); ++i) validate_hop(i, hops[i]);
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::string out;
+  out += "name = " + name + "\n";
+  if (!description.empty()) out += "description = " + description + "\n";
+  out += "seed = " + std::to_string(seed) + "\n";
+  out += "warmup_s = " + fmt(warmup.secs()) + "\n";
+  if (paper) {
+    const PaperPathConfig& p = *paper;
+    out += "paper.hops = " + std::to_string(p.hops) + "\n";
+    out += "paper.tight_capacity_mbps = " + fmt(p.tight_capacity.mbits_per_sec()) + "\n";
+    out += "paper.tight_utilization = " + fmt(p.tight_utilization) + "\n";
+    out += "paper.beta = " + fmt(p.beta) + "\n";
+    out += "paper.nontight_utilization = " + fmt(p.nontight_utilization) + "\n";
+    out += "paper.traffic = " + std::string{to_string(model_of(p.model))} + "\n";
+    out += "paper.pareto_alpha = " + fmt(p.pareto_alpha) + "\n";
+    out += "paper.sources_per_link = " + std::to_string(p.sources_per_link) + "\n";
+    out += "paper.total_prop_delay_ms = " + fmt(p.total_prop_delay.millis()) + "\n";
+    out += "paper.buffer_ms = " + fmt(p.buffer_drain.millis()) + "\n";
+    return out;
+  }
+  out += "hops = " + std::to_string(hops.size()) + "\n";
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const HopDecl& h = hops[i];
+    const std::string pre = "hop." + std::to_string(i) + ".";
+    out += pre + "capacity_mbps = " + fmt(h.capacity.mbits_per_sec()) + "\n";
+    out += pre + "delay_ms = " + fmt(h.delay.millis()) + "\n";
+    out += pre + "buffer_ms = " + fmt(h.buffer_drain.millis()) + "\n";
+    const TrafficSpec& t = h.traffic;
+    out += pre + "traffic.model = " + std::string{to_string(t.model)} + "\n";
+    if (t.model == TrafficModel::kNone) continue;
+    out += pre + "traffic.utilization = " + fmt(t.utilization) + "\n";
+    out += pre + "traffic.sources = " + std::to_string(t.sources) + "\n";
+    out += pre + "traffic.mix = " + mix_to_text(t.mix) + "\n";
+    if (t.model == TrafficModel::kPareto) {
+      out += pre + "traffic.pareto_alpha = " + fmt(t.pareto_alpha) + "\n";
+    } else if (t.model == TrafficModel::kOnOff) {
+      out += pre + "traffic.peak_utilization = " + fmt(t.peak_utilization) + "\n";
+      out += pre + "traffic.mean_burst_kb = " + fmt(t.mean_burst_kb) + "\n";
+      out += pre + "traffic.burst_alpha = " + fmt(t.burst_alpha) + "\n";
+    } else if (t.model == TrafficModel::kRamp) {
+      out += pre + "traffic.end_utilization = " + fmt(t.end_utilization) + "\n";
+      out += pre + "traffic.ramp_start_s = " + fmt(t.ramp_start_s) + "\n";
+      out += pre + "traffic.ramp_end_s = " + fmt(t.ramp_end_s) + "\n";
+    }
+  }
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::with_load(double util) const {
+  if (util < 0.0 || util >= 1.0) {
+    throw SpecError{"with_load: utilization must be in [0, 1), got " + fmt(util)};
+  }
+  if (paper) {
+    PaperPathConfig p = *paper;
+    p.tight_utilization = util;
+    ScenarioSpec out = from_paper(name, description, p);
+    out.warmup = warmup;
+    out.seed = seed;
+    return out;
+  }
+  ScenarioSpec out = *this;
+  const std::size_t tight = tight_hop();
+  if (out.hops[tight].traffic.model == TrafficModel::kNone) {
+    throw SpecError{"with_load: tight hop " + std::to_string(tight) +
+                    " has traffic.model = none; nothing to sweep"};
+  }
+  out.hops[tight].traffic.utilization = util;
+  return out;
+}
+
+std::size_t ScenarioSpec::tight_hop() const {
+  if (paper) {
+    // Testbed's convention: the middle hop, regardless of beta ties.
+    return static_cast<std::size_t>(paper->hops / 2);
+  }
+  std::size_t best = 0;
+  double best_avail = hops[0].capacity.bits_per_sec() * (1.0 - initial_util(hops[0]));
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    const double avail = hops[i].capacity.bits_per_sec() * (1.0 - initial_util(hops[i]));
+    if (avail < best_avail) {
+      best = i;
+      best_avail = avail;
+    }
+  }
+  return best;
+}
+
+Rate ScenarioSpec::avail_bw() const {
+  // For paper specs use the paper's own formula: bit-for-bit the truth
+  // value the figure benches compare coverage against.
+  if (paper) return paper->tight_avail_bw();
+  const std::size_t tight = tight_hop();
+  return hops[tight].capacity * (1.0 - initial_util(hops[tight]));
+}
+
+Rate ScenarioSpec::final_avail_bw() const {
+  if (paper) return paper->tight_avail_bw();
+  Rate best = Rate::mbps(1e12);
+  for (const auto& h : hops) {
+    const double u = h.traffic.model == TrafficModel::kRamp
+                         ? h.traffic.end_utilization
+                         : initial_util(h);
+    best = std::min(best, h.capacity * (1.0 - u));
+  }
+  return best;
+}
+
+bool ScenarioSpec::nonstationary() const {
+  return std::any_of(hops.begin(), hops.end(), [](const HopDecl& h) {
+    return h.traffic.model == TrafficModel::kRamp;
+  });
+}
+
+ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
+  spec_.validate();
+  if (spec_.paper) {
+    PaperPathConfig cfg = *spec_.paper;
+    cfg.seed = spec_.seed;
+    cfg.warmup = spec_.warmup;
+    testbed_ = std::make_unique<Testbed>(std::move(cfg));
+    tight_index_ = testbed_->tight_index();
+    return;
+  }
+
+  sim_ = std::make_unique<sim::Simulator>();
+  std::vector<sim::HopSpec> hop_specs;
+  hop_specs.reserve(spec_.hops.size());
+  for (const HopDecl& h : spec_.hops) {
+    hop_specs.push_back(
+        sim::HopSpec{h.capacity, h.delay, h.capacity.bytes_in(h.buffer_drain)});
+  }
+  path_ = std::make_unique<sim::Path>(*sim_, std::move(hop_specs));
+  tight_index_ = spec_.tight_hop();
+
+  // Seed derivation mirrors Testbed: one fork per traffic-carrying hop, in
+  // hop order, then per-source forks inside the generator. Hops without
+  // traffic consume no randomness, so adding an unloaded hop leaves the
+  // other hops' streams untouched.
+  Rng rng{spec_.seed};
+  for (std::size_t i = 0; i < spec_.hops.size(); ++i) {
+    const TrafficSpec& t = spec_.hops[i].traffic;
+    sim::Link& link = path_->link(i);
+    const Rate mean = link.capacity() * t.utilization;
+    switch (t.model) {
+      case TrafficModel::kNone:
+        traffic_.push_back(nullptr);
+        break;
+      case TrafficModel::kPoisson:
+      case TrafficModel::kPareto:
+      case TrafficModel::kConstant: {
+        if (mean <= Rate::zero()) {
+          traffic_.push_back(nullptr);
+          break;
+        }
+        traffic_.push_back(std::make_unique<sim::TrafficAggregate>(
+            *sim_, link, mean, t.sources, renewal_of(t.model), t.mix, rng.fork(),
+            t.pareto_alpha));
+        break;
+      }
+      case TrafficModel::kOnOff: {
+        Rng hop_rng = rng.fork();
+        const double n = static_cast<double>(t.sources);
+        sim::OnOffParams params;
+        params.peak_rate = link.capacity() * t.peak_utilization / n;
+        params.mean_burst = DataSize::kilobytes(t.mean_burst_kb);
+        params.burst_alpha = t.burst_alpha;
+        std::vector<std::unique_ptr<sim::TrafficGen>> members;
+        members.reserve(static_cast<std::size_t>(t.sources));
+        for (int s = 0; s < t.sources; ++s) {
+          members.push_back(std::make_unique<sim::OnOffSource>(
+              *sim_, link, mean / n, params, t.mix, hop_rng.fork()));
+        }
+        traffic_.push_back(std::make_unique<sim::GenGroup>(std::move(members)));
+        break;
+      }
+      case TrafficModel::kRamp: {
+        Rng hop_rng = rng.fork();
+        const double n = static_cast<double>(t.sources);
+        sim::RampParams params;
+        params.start_rate = mean / n;
+        params.end_rate = link.capacity() * t.end_utilization / n;
+        params.ramp_start = Duration::seconds(t.ramp_start_s);
+        params.ramp_end = Duration::seconds(t.ramp_end_s);
+        std::vector<std::unique_ptr<sim::TrafficGen>> members;
+        members.reserve(static_cast<std::size_t>(t.sources));
+        for (int s = 0; s < t.sources; ++s) {
+          members.push_back(std::make_unique<sim::RampLoadSource>(
+              *sim_, link, params, t.mix, hop_rng.fork()));
+        }
+        traffic_.push_back(std::make_unique<sim::GenGroup>(std::move(members)));
+        break;
+      }
+    }
+  }
+}
+
+sim::Simulator& ScenarioInstance::simulator() {
+  return testbed_ ? testbed_->simulator() : *sim_;
+}
+
+sim::Path& ScenarioInstance::path() {
+  return testbed_ ? testbed_->path() : *path_;
+}
+
+void ScenarioInstance::start() {
+  if (testbed_) {
+    testbed_->start();
+    return;
+  }
+  for (auto& t : traffic_) {
+    if (t) t->start();
+  }
+  sim_->run_for(spec_.warmup);
+}
+
+}  // namespace pathload::scenario

@@ -1,0 +1,199 @@
+// Declarative scenario specifications.
+//
+// A ScenarioSpec describes a complete measurement scenario — an N-hop path
+// of heterogeneous links, each with its own cross-traffic model, plus the
+// warmup and seed that make a run reproducible — without constructing any
+// simulation state. Specs come from three places:
+//
+//  * C++ builders (ScenarioSpec::from_paper, or filling the structs
+//    directly), used by the registry's named presets and the benches;
+//  * the key=value text format parsed by ScenarioSpec::parse (see
+//    docs/SCENARIOS.md for the reference and worked examples);
+//  * transforms of an existing spec (with_load for sweeps).
+//
+// ScenarioInstance turns a validated spec into a live testbed: Simulator +
+// Path + per-hop traffic generators, ready for a SimProbeChannel. For specs
+// built from the paper parameterization (PaperPathConfig), instantiation is
+// bit-identical to scenario::Testbed — the golden determinism anchors and
+// the figure benches rely on this.
+//
+// Units in specs follow the text format: capacities in Mb/s, delays and
+// buffer drain times in milliseconds, burst sizes in kilobytes, timestamps
+// in seconds; utilizations and Pareto shapes are dimensionless.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/paper_path.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+namespace pathload::scenario {
+
+/// A spec failed to parse or validate. The message always names the
+/// offending line (when parsing) or hop/field, what was expected, and what
+/// was found.
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error{what} {}
+};
+
+/// Which generator family loads a hop. kNone disables cross traffic on the
+/// hop (the hop still serializes transit packets).
+enum class TrafficModel {
+  kNone,
+  kPoisson,   ///< sim::Interarrival::kExponential renewal arrivals
+  kPareto,    ///< sim::Interarrival::kPareto, shape `pareto_alpha`
+  kConstant,  ///< CBR (deterministic interarrivals)
+  kOnOff,     ///< sim::OnOffSource — exponential ON/OFF, Pareto burst sizes
+  kRamp,      ///< sim::RampLoadSource — non-stationary ramp/step load
+};
+
+/// Round-trippable name of a traffic model ("poisson", "onoff", ...).
+std::string_view to_string(TrafficModel m);
+
+/// Cross-traffic declaration for one hop. Only the fields relevant to
+/// `model` are consulted; validation flags nonsense combinations.
+struct TrafficSpec {
+  TrafficModel model{TrafficModel::kNone};
+
+  /// Long-run offered load as a fraction of the hop capacity, in [0, 1).
+  /// For kRamp this is the load *before* the ramp.
+  double utilization{0.0};
+
+  /// Independent sources sharing the hop's aggregate rate (statistical
+  /// multiplexing degree, Section VI-B). Renewal models default to the
+  /// paper's 10; on/off and ramp sources default to 1 (a single bursty or
+  /// ramping aggregate is the interesting case).
+  int sources{10};
+
+  /// Pareto interarrival shape (kPareto only; must be > 1).
+  double pareto_alpha{1.9};
+
+  /// kOnOff: burst emission rate as a fraction of hop capacity, in
+  /// (utilization, 1]; the ratio utilization/peak_utilization is the duty
+  /// cycle.
+  double peak_utilization{0.95};
+  /// kOnOff: mean Pareto burst size, kilobytes.
+  double mean_burst_kb{30.0};
+  /// kOnOff: Pareto shape of burst sizes (must be > 1).
+  double burst_alpha{1.5};
+
+  /// kRamp: load after the ramp, in [0, 1) (may be below `utilization` for
+  /// a downward step). Rates at both ends must be positive.
+  double end_utilization{0.0};
+  /// kRamp: ramp window, seconds after traffic start. Equal values make an
+  /// instantaneous step.
+  double ramp_start_s{0.0};
+  double ramp_end_s{0.0};
+
+  /// Packet size distribution (all models).
+  sim::PacketSizeMix mix{sim::PacketSizeMix::paper_mix()};
+};
+
+/// One hop of a scenario path.
+struct HopDecl {
+  Rate capacity{Rate::mbps(10)};
+  Duration delay{Duration::milliseconds(10)};
+  /// Buffer expressed as a drain time at capacity: buffer_bytes =
+  /// capacity * buffer_drain ("sufficiently buffered", paper Section V-A).
+  Duration buffer_drain{Duration::milliseconds(500)};
+  TrafficSpec traffic{};
+};
+
+/// A named, self-contained scenario: path shape, per-hop traffic, duration
+/// controls, and the default seed. Construct via from_paper/parse or fill
+/// the fields and call validate().
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::vector<HopDecl> hops;
+  Duration warmup{Duration::seconds(2)};
+  std::uint64_t seed{1};
+
+  /// Set when the spec was derived from the paper's Fig. 4 parameterization.
+  /// Kept so load sweeps preserve the paper's invariant that the non-tight
+  /// capacities track beta * At (with_load re-derives the whole path), and
+  /// so instantiation can reuse Testbed bit-for-bit.
+  std::optional<PaperPathConfig> paper;
+
+  /// Build a spec from the paper's Fig. 4 parameterization. The resulting
+  /// spec instantiates through scenario::Testbed, so runs are bit-identical
+  /// to code that used PaperPathConfig directly.
+  static ScenarioSpec from_paper(std::string name, std::string description,
+                                 const PaperPathConfig& cfg);
+
+  /// Parse the key=value text format (docs/SCENARIOS.md). Throws SpecError
+  /// with the line number and an actionable message on any problem; the
+  /// returned spec is already validated.
+  static ScenarioSpec parse(std::string_view text);
+
+  /// Render the spec in the text format parse() accepts (round-trips).
+  std::string to_text() const;
+
+  /// Check every invariant (hop count, ranges, model-specific fields).
+  /// Throws SpecError naming the hop and field on the first violation.
+  void validate() const;
+
+  /// The spec with the tight hop's long-run utilization set to `util`.
+  /// Paper-derived specs re-derive the whole path (beta invariant); custom
+  /// specs change only the tight hop's traffic.
+  ScenarioSpec with_load(double util) const;
+
+  /// Index of the tight hop: minimum capacity * (1 - utilization), using
+  /// pre-ramp utilizations.
+  std::size_t tight_hop() const;
+
+  /// Configured long-run end-to-end avail-bw, min over hops of
+  /// C * (1 - u). For ramp hops this is the pre-ramp value; see
+  /// final_avail_bw() for the post-ramp one.
+  Rate avail_bw() const;
+
+  /// Avail-bw with every ramp hop at its end_utilization.
+  Rate final_avail_bw() const;
+
+  /// True if any hop uses the kRamp model (the scenario is non-stationary).
+  bool nonstationary() const;
+};
+
+/// A live, ready-to-measure instantiation of a spec: simulator + path +
+/// per-hop traffic. The analogue of Testbed for arbitrary specs; for
+/// paper-derived specs it *is* a Testbed internally, preserving
+/// bit-identical runs.
+class ScenarioInstance {
+ public:
+  /// Validates the spec (throws SpecError) and builds the testbed.
+  explicit ScenarioInstance(ScenarioSpec spec);
+
+  sim::Simulator& simulator();
+  sim::Path& path();
+  const ScenarioSpec& spec() const { return spec_; }
+
+  std::size_t tight_index() const { return tight_index_; }
+  sim::Link& tight_link() { return path().link(tight_index_); }
+  Rate configured_avail_bw() const { return spec_.avail_bw(); }
+
+  /// Start cross traffic and run the warmup period.
+  void start();
+
+ private:
+  ScenarioSpec spec_;
+  // Exactly one of the two backends is set: paper-derived specs delegate to
+  // Testbed (bit-compatibility), custom specs build their own state. The
+  // Simulator must outlive every TimerHandle owner, hence member order.
+  std::unique_ptr<Testbed> testbed_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Path> path_;
+  std::vector<std::unique_ptr<sim::TrafficGen>> traffic_;
+  std::size_t tight_index_{0};
+};
+
+}  // namespace pathload::scenario

@@ -91,4 +91,14 @@ RepeatedRuns sweep_pathload_repeated(const PaperPathConfig& path_cfg,
   return out;
 }
 
+RepeatedRuns sweep_scenario_repeated(const ScenarioSpec& spec,
+                                     const core::PathloadConfig& tool_cfg, int runs,
+                                     std::uint64_t seed0, SweepRunner& runner) {
+  RepeatedRuns out;
+  out.results = runner.map(static_cast<std::size_t>(runs), [&](std::size_t i) {
+    return run_scenario_once(spec, tool_cfg, seed0 + i);
+  });
+  return out;
+}
+
 }  // namespace pathload::scenario

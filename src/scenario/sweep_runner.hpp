@@ -79,4 +79,11 @@ RepeatedRuns sweep_pathload_repeated(const PaperPathConfig& path_cfg,
                                      const core::PathloadConfig& tool_cfg, int runs,
                                      std::uint64_t seed0, SweepRunner& runner);
 
+/// Registry-based analogue: `runs` repetitions of one scenario spec (seeds
+/// seed0, seed0+1, ...), sharded across the runner's threads. Results are
+/// identical to run_scenario_repeated regardless of thread count.
+RepeatedRuns sweep_scenario_repeated(const ScenarioSpec& spec,
+                                     const core::PathloadConfig& tool_cfg, int runs,
+                                     std::uint64_t seed0, SweepRunner& runner);
+
 }  // namespace pathload::scenario

@@ -46,6 +46,14 @@ Rate Path::capacity() const {
   return min_cap;
 }
 
+std::size_t Path::narrow_index() const {
+  std::size_t idx = 0;
+  for (std::size_t i = 1; i < links_.size(); ++i) {
+    if (links_[i]->capacity() < links_[idx]->capacity()) idx = i;
+  }
+  return idx;
+}
+
 Duration Path::base_delay() const {
   Duration d = Duration::zero();
   for (const auto& l : links_) d += l->prop_delay();

@@ -57,6 +57,11 @@ class Path {
   /// End-to-end capacity: min link capacity (Eq. (1), the narrow link).
   Rate capacity() const;
 
+  /// Index of the narrow link (first minimum-capacity hop). Distinct from
+  /// the *tight* link (min avail-bw) on heterogeneous paths — the paper's
+  /// Section II distinction that the tight≠narrow scenarios exercise.
+  std::size_t narrow_index() const;
+
   /// Sum of propagation delays (no queueing).
   Duration base_delay() const;
 

@@ -120,4 +120,134 @@ DataSize TrafficAggregate::bytes_sent() const {
   return total;
 }
 
+OnOffSource::OnOffSource(Simulator& sim, PacketHandler& target, Rate mean_rate,
+                         OnOffParams params, PacketSizeMix mix, Rng rng)
+    : sim_{sim},
+      target_{target},
+      mean_rate_{mean_rate},
+      params_{params},
+      mix_{std::move(mix)},
+      rng_{rng},
+      timer_{sim.make_timer([this] { on_timer(); })} {
+  if (mean_rate <= Rate::zero()) {
+    throw std::invalid_argument{"on/off traffic mean rate must be positive"};
+  }
+  if (params_.peak_rate <= mean_rate) {
+    throw std::invalid_argument{
+        "on/off peak rate must exceed the mean rate (duty cycle < 1)"};
+  }
+  if (params_.burst_alpha <= 1.0) {
+    throw std::invalid_argument{"on/off burst sizes need Pareto alpha > 1"};
+  }
+  if (params_.mean_burst.byte_count() <= 0) {
+    throw std::invalid_argument{"on/off mean burst size must be positive"};
+  }
+  const double mean_burst_bits = params_.mean_burst.bits();
+  mean_off_secs_ = mean_burst_bits * (1.0 / mean_rate_.bits_per_sec() -
+                                      1.0 / params_.peak_rate.bits_per_sec());
+  burst_xm_bytes_ = static_cast<double>(params_.mean_burst.byte_count()) *
+                    (params_.burst_alpha - 1.0) / params_.burst_alpha;
+  burst_inv_alpha_ = 1.0 / params_.burst_alpha;
+}
+
+void OnOffSource::start() {
+  if (running_) return;
+  running_ = true;
+  in_burst_ = false;
+  timer_.schedule_in(off_gap());
+}
+
+Duration OnOffSource::off_gap() {
+  return Duration::seconds(rng_.exponential(mean_off_secs_));
+}
+
+void OnOffSource::on_timer() {
+  if (!running_) return;
+  if (!in_burst_) {
+    // A new burst begins now: draw its size and fall through to emit the
+    // first packet immediately.
+    in_burst_ = true;
+    burst_remaining_bytes_ =
+        Rng::pareto_from_uniform(rng_.uniform(), burst_xm_bytes_, burst_inv_alpha_);
+    ++bursts_started_;
+  }
+  Packet p;
+  p.id = sim_.next_packet_id();
+  p.flow = kCrossTrafficFlow;
+  p.kind = PacketKind::kCrossTraffic;
+  p.size_bytes = mix_.sample(rng_);
+  p.transit = false;
+  p.entered = sim_.now();
+  target_.handle(p);
+  ++packets_sent_;
+  bytes_sent_ += p.size();
+  burst_remaining_bytes_ -= static_cast<double>(p.size_bytes);
+  // Pace the burst at the peak rate: the next event is one serialization
+  // time away, either the burst's next packet or (burst exhausted) the end
+  // of the ON period, from which the exponential OFF gap runs.
+  const Duration tx = params_.peak_rate.transmission_time(p.size());
+  if (burst_remaining_bytes_ > 0.0) {
+    timer_.schedule_in(tx);
+  } else {
+    in_burst_ = false;
+    timer_.schedule_in(tx + off_gap());
+  }
+}
+
+RampLoadSource::RampLoadSource(Simulator& sim, PacketHandler& target,
+                               RampParams params, PacketSizeMix mix, Rng rng)
+    : sim_{sim},
+      target_{target},
+      params_{params},
+      mix_{std::move(mix)},
+      rng_{rng},
+      timer_{sim.make_timer([this] { emit_and_reschedule(); })} {
+  if (params_.start_rate <= Rate::zero() || params_.end_rate <= Rate::zero()) {
+    throw std::invalid_argument{"ramp traffic rates must be positive"};
+  }
+  if (params_.ramp_end < params_.ramp_start) {
+    throw std::invalid_argument{"ramp_end must not precede ramp_start"};
+  }
+  if (params_.ramp_start < Duration::zero()) {
+    throw std::invalid_argument{"ramp_start must not be negative"};
+  }
+  mean_bytes_ = mix_.mean_bytes();
+}
+
+Rate RampLoadSource::rate_at(Duration elapsed) const {
+  if (elapsed <= params_.ramp_start) return params_.start_rate;
+  if (elapsed >= params_.ramp_end) return params_.end_rate;
+  const double frac = (elapsed - params_.ramp_start) /
+                      (params_.ramp_end - params_.ramp_start);
+  return params_.start_rate + (params_.end_rate - params_.start_rate) * frac;
+}
+
+void RampLoadSource::start() {
+  if (running_) return;
+  running_ = true;
+  epoch_ = sim_.now();
+  timer_.schedule_in(next_gap());
+}
+
+Duration RampLoadSource::next_gap() {
+  const Rate now_rate = rate_at(sim_.now() - epoch_);
+  const double mean_gap = mean_bytes_ * 8.0 / now_rate.bits_per_sec();
+  return Duration::seconds(rng_.exponential(mean_gap));
+}
+
+void RampLoadSource::emit_and_reschedule() {
+  if (!running_) return;
+  Packet p;
+  p.id = sim_.next_packet_id();
+  p.flow = kCrossTrafficFlow;
+  p.kind = PacketKind::kCrossTraffic;
+  p.size_bytes = mix_.sample(rng_);
+  p.transit = false;
+  p.entered = sim_.now();
+  target_.handle(p);
+  ++packets_sent_;
+  bytes_sent_ += p.size();
+  timer_.schedule_in(next_gap());
+}
+
 }  // namespace pathload::sim

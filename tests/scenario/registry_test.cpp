@@ -1,0 +1,98 @@
+// Tests for the scenario registry: the builtin preset catalogue and the
+// name-uniqueness / lookup-diagnostic contract.
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+TEST(Registry, BuiltinHasTheDocumentedPresets) {
+  const Registry& reg = Registry::builtin();
+  EXPECT_GE(reg.size(), 5u);
+  for (const char* name : {"paper-path", "paper-path-poisson", "tight-not-narrow",
+                           "hetero-5hop", "bursty-tight", "load-step"}) {
+    const ScenarioSpec* spec = reg.find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_NO_THROW(spec->validate()) << name;
+    EXPECT_FALSE(spec->description.empty()) << name;
+  }
+}
+
+TEST(Registry, EveryBuiltinPresetInstantiatesAndWarmsUp) {
+  for (const ScenarioSpec& spec : Registry::builtin().entries()) {
+    ScenarioSpec quick = spec;
+    quick.warmup = Duration::milliseconds(200);
+    ScenarioInstance inst{std::move(quick)};
+    inst.start();
+    EXPECT_GT(inst.simulator().events_processed(), 0u) << spec.name;
+    EXPECT_GT(inst.configured_avail_bw().mbits_per_sec(), 0.0) << spec.name;
+  }
+}
+
+TEST(Registry, TightNotNarrowSeparatesTheTwoLinks) {
+  ScenarioSpec spec = Registry::builtin().at("tight-not-narrow");
+  const std::size_t tight = spec.tight_hop();
+  ScenarioInstance inst{std::move(spec)};
+  EXPECT_NE(inst.path().narrow_index(), tight);
+  EXPECT_EQ(inst.path().capacity(), Rate::mbps(8));     // narrow: first hop
+  EXPECT_EQ(inst.tight_link().capacity(), Rate::mbps(20));  // tight: middle
+}
+
+TEST(Registry, LoadStepActuallyStepsTheTightLinkLoad) {
+  ScenarioSpec spec = Registry::builtin().at("load-step");
+  ASSERT_TRUE(spec.nonstationary());
+  spec.warmup = Duration::zero();
+  ScenarioInstance inst{std::move(spec)};
+  inst.start();
+  sim::Link& tight = inst.tight_link();
+  // Pre-step window (the step is at t = 15 s): ~30% of 10 Mb/s.
+  inst.simulator().run_for(Duration::seconds(14));
+  const double before =
+      tight.bytes_forwarded().bits() / 14.0 / 1e6;
+  // Post-step window: ~75%.
+  const DataSize mark = tight.bytes_forwarded();
+  inst.simulator().run_for(Duration::seconds(10));
+  const double after = (tight.bytes_forwarded() - mark).bits() / 10.0 / 1e6;
+  EXPECT_NEAR(before, 3.0, 0.5);
+  EXPECT_NEAR(after, 7.5, 0.9);
+}
+
+TEST(Registry, AddRejectsDuplicateNames) {
+  Registry reg = Registry::builtin();  // a mutable copy
+  ScenarioSpec dup = reg.at("paper-path");
+  try {
+    reg.add(std::move(dup));
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string{e.what()}.find("already has a preset named 'paper-path'"),
+              std::string::npos);
+  }
+}
+
+TEST(Registry, AtNamesTheKnownPresetsOnMiss) {
+  EXPECT_EQ(Registry::builtin().find("no-such"), nullptr);
+  try {
+    (void)Registry::builtin().at("no-such");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown preset 'no-such'"), std::string::npos);
+    EXPECT_NE(msg.find("paper-path"), std::string::npos);
+  }
+}
+
+TEST(Registry, AddTextParsesAndRegisters) {
+  Registry reg;
+  reg.add_text(R"(
+    name = tiny
+    hops = 1
+    hop.0.traffic.model = none
+  )");
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.at("tiny").hops.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pathload::scenario

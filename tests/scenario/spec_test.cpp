@@ -1,0 +1,284 @@
+// Tests for the scenario spec format: parsing, validation diagnostics,
+// round-tripping, load transforms, and — the load-bearing one — that a
+// paper-form spec instantiates bit-identically to the hand-built Testbed.
+
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+#include "scenario/spec.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+/// EXPECT_THROW plus a substring check on the diagnostic, so a test failure
+/// shows which message regressed.
+template <typename Fn>
+void expect_spec_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected SpecError containing '" << needle << "'";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+constexpr const char* kCustomSpec = R"(
+  # A comment, and blank lines, are ignored.
+  name = my-scenario
+  description = two heterogeneous hops
+  seed = 9
+  warmup_s = 1.5
+  hops = 2
+  hop.0.capacity_mbps = 40
+  hop.0.delay_ms = 5
+  hop.0.traffic.model = poisson
+  hop.0.traffic.utilization = 0.25
+  hop.0.traffic.sources = 4
+  hop.1.capacity_mbps = 10
+  hop.1.delay_ms = 30
+  hop.1.buffer_ms = 250
+  hop.1.traffic.model = pareto
+  hop.1.traffic.utilization = 0.6
+  hop.1.traffic.pareto_alpha = 1.7
+  hop.1.traffic.mix = fixed:1000
+)";
+
+TEST(SpecParse, CustomFormRoundTrips) {
+  const ScenarioSpec spec = ScenarioSpec::parse(kCustomSpec);
+  EXPECT_EQ(spec.name, "my-scenario");
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.warmup, Duration::seconds(1.5));
+  ASSERT_EQ(spec.hops.size(), 2u);
+  EXPECT_EQ(spec.hops[0].capacity, Rate::mbps(40));
+  EXPECT_EQ(spec.hops[0].traffic.model, TrafficModel::kPoisson);
+  EXPECT_EQ(spec.hops[0].traffic.sources, 4);
+  EXPECT_EQ(spec.hops[1].buffer_drain, Duration::milliseconds(250));
+  EXPECT_DOUBLE_EQ(spec.hops[1].traffic.pareto_alpha, 1.7);
+  EXPECT_EQ(spec.hops[1].traffic.mix.bins().size(), 1u);
+  EXPECT_EQ(spec.tight_hop(), 1u);
+  EXPECT_DOUBLE_EQ(spec.avail_bw().mbits_per_sec(), 4.0);
+
+  // to_text() re-parses to an equivalent spec.
+  const ScenarioSpec again = ScenarioSpec::parse(spec.to_text());
+  EXPECT_EQ(again.to_text(), spec.to_text());
+  EXPECT_EQ(again.hops.size(), spec.hops.size());
+  EXPECT_EQ(again.seed, spec.seed);
+}
+
+TEST(SpecParse, PaperFormRoundTrips) {
+  const ScenarioSpec spec = ScenarioSpec::parse(R"(
+    name = paper-variant
+    seed = 5
+    paper.hops = 6
+    paper.tight_capacity_mbps = 20
+    paper.tight_utilization = 0.4
+    paper.beta = 1.5
+    paper.traffic = poisson
+  )");
+  ASSERT_TRUE(spec.paper.has_value());
+  EXPECT_EQ(spec.paper->hops, 6);
+  EXPECT_EQ(spec.paper->tight_capacity, Rate::mbps(20));
+  EXPECT_EQ(spec.paper->model, sim::Interarrival::kExponential);
+  EXPECT_EQ(spec.hops.size(), 6u);
+  EXPECT_EQ(spec.tight_hop(), 3u);
+  EXPECT_DOUBLE_EQ(spec.avail_bw().mbits_per_sec(), 12.0);
+  const ScenarioSpec again = ScenarioSpec::parse(spec.to_text());
+  EXPECT_EQ(again.to_text(), spec.to_text());
+  EXPECT_EQ(again.seed, 5u);
+}
+
+TEST(SpecParse, DiagnosticsNameLineAndFix) {
+  // Malformed line (no '=').
+  expect_spec_error([] { ScenarioSpec::parse("name = x\nhops 3\n"); },
+                    "line 2: expected 'key = value'");
+  // Unknown top-level key.
+  expect_spec_error([] { ScenarioSpec::parse("name = x\nhops = 1\nhop.0.traffic.model = none\nbogus = 1\n"); },
+                    "unknown key");
+  // Unknown hop field.
+  expect_spec_error(
+      [] { ScenarioSpec::parse("name = x\nhops = 1\nhop.0.trafic.model = poisson\n"); },
+      "unknown hop field 'trafic.model'");
+  // Non-numeric value, with the key and the offending text.
+  expect_spec_error(
+      [] { ScenarioSpec::parse("name = x\nhops = 1\nhop.0.capacity_mbps = fast\n"); },
+      "expected a number, got 'fast'");
+  // Hop index out of range names the declared count.
+  expect_spec_error(
+      [] { ScenarioSpec::parse("name = x\nhops = 2\nhop.5.capacity_mbps = 1\n"); },
+      "hop index 5 out of range (hops = 2)");
+  // Duplicate key.
+  expect_spec_error([] { ScenarioSpec::parse("name = x\nname = y\nhops = 1\n"); },
+                    "duplicate key 'name'");
+  // Unknown traffic model lists the valid ones.
+  expect_spec_error(
+      [] { ScenarioSpec::parse("name = x\nhops = 1\nhop.0.traffic.model = fractal\n"); },
+      "none|poisson|pareto|constant|onoff|ramp");
+  // Missing name.
+  expect_spec_error([] { ScenarioSpec::parse("hops = 1\nhop.0.traffic.model = none\n"); },
+                    "missing 'name");
+  // No path at all.
+  expect_spec_error([] { ScenarioSpec::parse("name = x\n"); },
+                    "declares no path");
+  // Mixing paper.* with hop.* is ambiguous.
+  expect_spec_error(
+      [] { ScenarioSpec::parse("name = x\nhops = 1\npaper.hops = 3\n"); },
+      "mixes paper.* keys");
+  // A renewal model without a load is a forgotten key, not silence.
+  expect_spec_error(
+      [] { ScenarioSpec::parse("name = x\nhops = 1\nhop.0.traffic.model = pareto\n"); },
+      "no load is set");
+  // A negative seed must not silently wrap through strtoull.
+  expect_spec_error(
+      [] { ScenarioSpec::parse("name = x\nseed = -1\nhops = 1\nhop.0.traffic.model = none\n"); },
+      "expected a non-negative integer, got '-1'");
+  // A burst that truncates to zero bytes must fail at validation, not as an
+  // uncaught invalid_argument from OnOffSource at instantiation.
+  expect_spec_error(
+      [] {
+        ScenarioSpec::parse(
+            "name = x\nhops = 1\nhop.0.traffic.model = onoff\n"
+            "hop.0.traffic.utilization = 0.5\n"
+            "hop.0.traffic.mean_burst_kb = 0.0004\n");
+      },
+      "at least one byte");
+}
+
+TEST(SpecValidate, OutOfRangeValues) {
+  // Utilization at or above 1.
+  expect_spec_error(
+      [] {
+        ScenarioSpec::parse(
+            "name = x\nhops = 1\nhop.0.traffic.model = poisson\n"
+            "hop.0.traffic.utilization = 1.3\n");
+      },
+      "must be in [0, 1), got 1.3");
+  // Negative capacity.
+  expect_spec_error(
+      [] {
+        ScenarioSpec::parse(
+            "name = x\nhops = 1\nhop.0.capacity_mbps = -4\n"
+            "hop.0.traffic.model = none\n");
+      },
+      "hop 0: capacity_mbps: must be positive");
+  // Pareto alpha at 1 (infinite mean).
+  expect_spec_error(
+      [] {
+        ScenarioSpec::parse(
+            "name = x\nhops = 1\nhop.0.traffic.model = pareto\n"
+            "hop.0.traffic.utilization = 0.5\nhop.0.traffic.pareto_alpha = 1\n");
+      },
+      "must be > 1");
+  // On/off peak below the mean load.
+  expect_spec_error(
+      [] {
+        ScenarioSpec::parse(
+            "name = x\nhops = 1\nhop.0.traffic.model = onoff\n"
+            "hop.0.traffic.utilization = 0.6\n"
+            "hop.0.traffic.peak_utilization = 0.5\n");
+      },
+      "traffic.peak_utilization");
+  // Ramp window running backwards.
+  expect_spec_error(
+      [] {
+        ScenarioSpec::parse(
+            "name = x\nhops = 1\nhop.0.traffic.model = ramp\n"
+            "hop.0.traffic.utilization = 0.3\n"
+            "hop.0.traffic.end_utilization = 0.7\n"
+            "hop.0.traffic.ramp_start_s = 10\nhop.0.traffic.ramp_end_s = 5\n");
+      },
+      "must not precede ramp_start_s");
+  // Paper form is validated too.
+  expect_spec_error(
+      [] { ScenarioSpec::parse("name = x\npaper.tight_utilization = 1.5\n"); },
+      "paper.tight_utilization");
+}
+
+TEST(SpecParse, OnOffAndRampDefaultToOneSource) {
+  const ScenarioSpec spec = ScenarioSpec::parse(R"(
+    name = x
+    hops = 2
+    hop.0.traffic.model = onoff
+    hop.0.traffic.utilization = 0.5
+    hop.1.traffic.model = ramp
+    hop.1.traffic.utilization = 0.3
+    hop.1.traffic.end_utilization = 0.6
+  )");
+  EXPECT_EQ(spec.hops[0].traffic.sources, 1);
+  EXPECT_EQ(spec.hops[1].traffic.sources, 1);
+  // ...unless set explicitly.
+  const ScenarioSpec multi = ScenarioSpec::parse(R"(
+    name = x
+    hops = 1
+    hop.0.traffic.sources = 3
+    hop.0.traffic.model = onoff
+    hop.0.traffic.utilization = 0.5
+  )");
+  EXPECT_EQ(multi.hops[0].traffic.sources, 3);
+}
+
+TEST(SpecTransform, WithLoadPreservesPaperBetaInvariant) {
+  PaperPathConfig cfg;  // beta = 2, ux = 0.6
+  const ScenarioSpec base = ScenarioSpec::from_paper("p", "", cfg);
+  const ScenarioSpec swept = base.with_load(0.2);
+  ASSERT_TRUE(swept.paper.has_value());
+  EXPECT_DOUBLE_EQ(swept.paper->tight_utilization, 0.2);
+  // Non-tight capacity re-derives from the new avail-bw: Cx = A*beta/(1-ux).
+  EXPECT_DOUBLE_EQ(swept.hops[0].capacity.mbits_per_sec(), 8.0 * 2.0 / 0.4);
+  // Custom specs change only the tight hop's load.
+  const ScenarioSpec custom = ScenarioSpec::parse(kCustomSpec);
+  const ScenarioSpec custom_swept = custom.with_load(0.3);
+  EXPECT_DOUBLE_EQ(custom_swept.hops[1].traffic.utilization, 0.3);
+  EXPECT_EQ(custom_swept.hops[0].capacity, custom.hops[0].capacity);
+  EXPECT_DOUBLE_EQ(custom_swept.hops[0].traffic.utilization, 0.25);
+  expect_spec_error([&] { (void)custom.with_load(1.0); }, "must be in [0, 1)");
+}
+
+TEST(SpecInstance, PaperSpecRunsBitIdenticalToTestbed) {
+  // The keystone compatibility guarantee: a registry/spec-driven run of the
+  // paper path must replay the direct PaperPathConfig run to the last bit
+  // (same anchors as tests/integration/engine_determinism_test.cpp).
+  PaperPathConfig cfg;
+  cfg.seed = 77;
+  core::PathloadConfig tool;
+  const auto direct = run_pathload_once(cfg, tool, 77);
+  const auto via_spec =
+      run_scenario_once(ScenarioSpec::from_paper("p", "", cfg), tool, 77);
+  EXPECT_EQ(direct.range.low.bits_per_sec(), via_spec.range.low.bits_per_sec());
+  EXPECT_EQ(direct.range.high.bits_per_sec(), via_spec.range.high.bits_per_sec());
+  EXPECT_EQ(direct.elapsed.nanos(), via_spec.elapsed.nanos());
+  EXPECT_EQ(direct.fleets, via_spec.fleets);
+}
+
+TEST(SpecInstance, CustomSpecWarmupIsDeterministic) {
+  auto warmup_state = [] {
+    ScenarioSpec spec = ScenarioSpec::parse(kCustomSpec);
+    ScenarioInstance inst{std::move(spec)};
+    inst.start();
+    return std::pair{inst.simulator().events_processed(),
+                     inst.tight_link().bytes_forwarded().byte_count()};
+  };
+  const auto a = warmup_state();
+  EXPECT_EQ(a, warmup_state());
+  EXPECT_GT(a.first, 0u);
+}
+
+TEST(SpecInstance, NonstationaryAccessors) {
+  const ScenarioSpec spec = ScenarioSpec::parse(R"(
+    name = stepper
+    hops = 1
+    hop.0.capacity_mbps = 10
+    hop.0.traffic.model = ramp
+    hop.0.traffic.utilization = 0.3
+    hop.0.traffic.end_utilization = 0.75
+    hop.0.traffic.ramp_start_s = 15
+    hop.0.traffic.ramp_end_s = 15
+  )");
+  EXPECT_TRUE(spec.nonstationary());
+  EXPECT_DOUBLE_EQ(spec.avail_bw().mbits_per_sec(), 7.0);
+  EXPECT_DOUBLE_EQ(spec.final_avail_bw().mbits_per_sec(), 2.5);
+  EXPECT_FALSE(ScenarioSpec::parse(kCustomSpec).nonstationary());
+}
+
+}  // namespace
+}  // namespace pathload::scenario

@@ -1,0 +1,245 @@
+// Tests for the on/off bursty and ramp/step traffic models.
+//
+// Each model gets the same three guarantees as the renewal sources: the
+// long-run rate converges to the configured mean, reruns with one seed are
+// bit-identical, and a golden anchor pins the exact packet/byte sequence so
+// an accidental change to the RNG consumption order fails loudly.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/stats.hpp"
+
+namespace pathload::sim {
+namespace {
+
+class Sink final : public PacketHandler {
+ public:
+  void handle(const Packet& p) override {
+    ++count;
+    bytes += p.size();
+    EXPECT_FALSE(p.transit);
+    EXPECT_EQ(p.kind, PacketKind::kCrossTraffic);
+  }
+  std::uint64_t count{0};
+  DataSize bytes{};
+};
+
+OnOffParams default_onoff() {
+  OnOffParams p;
+  p.peak_rate = Rate::mbps(9.5);
+  p.mean_burst = DataSize::bytes(30'000);
+  p.burst_alpha = 1.5;
+  return p;
+}
+
+TEST(OnOffSource, LongRunRateMatchesConfigured) {
+  Simulator sim;
+  Sink sink;
+  OnOffSource src{sim, sink, Rate::mbps(6), default_onoff(),
+                  PacketSizeMix::paper_mix(), Rng{7}};
+  src.start();
+  const Duration window = Duration::seconds(60);
+  sim.run_for(window);
+  const Rate achieved = rate_of(sink.bytes, window);
+  // Pareto burst sizes converge slowly; 10% over 60 s matches the renewal
+  // models' tolerance.
+  EXPECT_NEAR(achieved.mbits_per_sec(), 6.0, 0.6);
+}
+
+TEST(OnOffSource, DeterministicAcrossReruns) {
+  auto run = [] {
+    Simulator sim;
+    Sink sink;
+    OnOffSource src{sim, sink, Rate::mbps(6), default_onoff(),
+                    PacketSizeMix::paper_mix(), Rng{42}};
+    src.start();
+    sim.run_for(Duration::seconds(10));
+    return std::pair{src.packets_sent(), src.bytes_sent().byte_count()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(OnOffSource, GoldenAnchor) {
+  // Captured from the initial implementation (seed 42, mean 6 Mb/s, peak
+  // 9.5 Mb/s, 30 KB Pareto(1.5) bursts, paper mix, 10 s). A diff here means
+  // the model's RNG consumption or pacing changed — a documented
+  // compatibility break, not noise.
+  Simulator sim;
+  Sink sink;
+  OnOffSource src{sim, sink, Rate::mbps(6), default_onoff(),
+                  PacketSizeMix::paper_mix(), Rng{42}};
+  src.start();
+  sim.run_for(Duration::seconds(10));
+  EXPECT_EQ(src.packets_sent(), 16714u);
+  EXPECT_EQ(src.bytes_sent().byte_count(), 7'353'710);
+  EXPECT_EQ(src.bursts_started(), 273u);
+}
+
+TEST(OnOffSource, BurstierThanPoissonAtSameMeanRate) {
+  // The model's reason to exist: at one mean rate, on/off arrivals have a
+  // more variable per-window byte process than Poisson arrivals.
+  auto cv_of = [](auto make_src) {
+    Simulator sim;
+    Sink sink;
+    auto src = make_src(sim, sink);
+    src->start();
+    OnlineStats per_window;
+    DataSize last{};
+    for (int w = 0; w < 400; ++w) {
+      sim.run_for(Duration::milliseconds(50));
+      per_window.add((sink.bytes - last).bits());
+      last = sink.bytes;
+    }
+    return per_window.cv();
+  };
+  const double onoff_cv = cv_of([&](Simulator& sim, Sink& sink) {
+    return std::make_unique<OnOffSource>(sim, sink, Rate::mbps(4), default_onoff(),
+                                         PacketSizeMix::fixed(500), Rng{11});
+  });
+  const double poisson_cv = cv_of([&](Simulator& sim, Sink& sink) {
+    return std::make_unique<CrossTrafficSource>(sim, sink, Rate::mbps(4),
+                                                Interarrival::kExponential,
+                                                PacketSizeMix::fixed(500), Rng{11});
+  });
+  EXPECT_GT(onoff_cv, 1.5 * poisson_cv);
+}
+
+TEST(OnOffSource, StopHaltsEmission) {
+  Simulator sim;
+  Sink sink;
+  OnOffSource src{sim, sink, Rate::mbps(6), default_onoff(),
+                  PacketSizeMix::paper_mix(), Rng{3}};
+  src.start();
+  sim.run_for(Duration::seconds(2));
+  const auto at_stop = sink.count;
+  EXPECT_GT(at_stop, 0u);
+  src.stop();
+  sim.run_for(Duration::seconds(2));
+  EXPECT_EQ(sink.count, at_stop);
+}
+
+TEST(OnOffSource, RejectsDegenerateParameters) {
+  Simulator sim;
+  Sink sink;
+  // Peak must exceed the mean (duty cycle < 1).
+  OnOffParams peak_too_low = default_onoff();
+  peak_too_low.peak_rate = Rate::mbps(5);
+  EXPECT_THROW(OnOffSource(sim, sink, Rate::mbps(6), peak_too_low,
+                           PacketSizeMix::paper_mix(), Rng{1}),
+               std::invalid_argument);
+  // Infinite-mean burst sizes must fail at construction.
+  OnOffParams bad_alpha = default_onoff();
+  bad_alpha.burst_alpha = 1.0;
+  EXPECT_THROW(OnOffSource(sim, sink, Rate::mbps(6), bad_alpha,
+                           PacketSizeMix::paper_mix(), Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(OnOffSource(sim, sink, Rate::zero(), default_onoff(),
+                           PacketSizeMix::paper_mix(), Rng{1}),
+               std::invalid_argument);
+}
+
+RampParams step_3_to_7_5() {
+  RampParams p;
+  p.start_rate = Rate::mbps(3);
+  p.end_rate = Rate::mbps(7.5);
+  p.ramp_start = Duration::seconds(5);
+  p.ramp_end = Duration::seconds(5);
+  return p;
+}
+
+TEST(RampLoadSource, RateFollowsStepProfile) {
+  Simulator sim;
+  Sink sink;
+  RampLoadSource src{sim, sink, step_3_to_7_5(), PacketSizeMix::paper_mix(), Rng{7}};
+  src.start();
+  sim.run_for(Duration::seconds(5));
+  const DataSize before = sink.bytes;
+  sim.run_for(Duration::seconds(5));
+  const DataSize after = sink.bytes - before;
+  EXPECT_NEAR(rate_of(before, Duration::seconds(5)).mbits_per_sec(), 3.0, 0.45);
+  EXPECT_NEAR(rate_of(after, Duration::seconds(5)).mbits_per_sec(), 7.5, 1.1);
+}
+
+TEST(RampLoadSource, LinearRampPassesThroughMidpoint) {
+  RampParams p;
+  p.start_rate = Rate::mbps(2);
+  p.end_rate = Rate::mbps(8);
+  p.ramp_start = Duration::seconds(10);
+  p.ramp_end = Duration::seconds(30);
+  Simulator sim;
+  Sink sink;
+  RampLoadSource src{sim, sink, p, PacketSizeMix::paper_mix(), Rng{9}};
+  EXPECT_DOUBLE_EQ(src.rate_at(Duration::seconds(0)).mbits_per_sec(), 2.0);
+  EXPECT_DOUBLE_EQ(src.rate_at(Duration::seconds(20)).mbits_per_sec(), 5.0);
+  EXPECT_DOUBLE_EQ(src.rate_at(Duration::seconds(31)).mbits_per_sec(), 8.0);
+  src.start();
+  sim.run_for(Duration::seconds(40));
+  // Profile average: 10 s at 2, 20 s ramping (mean 5), 10 s at 8 = 5 Mb/s.
+  EXPECT_NEAR(rate_of(sink.bytes, Duration::seconds(40)).mbits_per_sec(), 5.0, 0.5);
+}
+
+TEST(RampLoadSource, DeterministicAcrossReruns) {
+  auto run = [] {
+    Simulator sim;
+    Sink sink;
+    RampLoadSource src{sim, sink, step_3_to_7_5(), PacketSizeMix::paper_mix(),
+                       Rng{42}};
+    src.start();
+    sim.run_for(Duration::seconds(10));
+    return std::pair{src.packets_sent(), src.bytes_sent().byte_count()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RampLoadSource, GoldenAnchor) {
+  // Captured from the initial implementation (seed 42, 3 -> 7.5 Mb/s step
+  // at t = 5 s, paper mix, 10 s).
+  Simulator sim;
+  Sink sink;
+  RampLoadSource src{sim, sink, step_3_to_7_5(), PacketSizeMix::paper_mix(), Rng{42}};
+  src.start();
+  sim.run_for(Duration::seconds(10));
+  EXPECT_EQ(src.packets_sent(), 15017u);
+  EXPECT_EQ(src.bytes_sent().byte_count(), 6'577'120);
+}
+
+TEST(RampLoadSource, RejectsDegenerateParameters) {
+  Simulator sim;
+  Sink sink;
+  RampParams zero_rate = step_3_to_7_5();
+  zero_rate.start_rate = Rate::zero();
+  EXPECT_THROW(
+      RampLoadSource(sim, sink, zero_rate, PacketSizeMix::paper_mix(), Rng{1}),
+      std::invalid_argument);
+  RampParams backwards = step_3_to_7_5();
+  backwards.ramp_start = Duration::seconds(6);
+  backwards.ramp_end = Duration::seconds(5);
+  EXPECT_THROW(
+      RampLoadSource(sim, sink, backwards, PacketSizeMix::paper_mix(), Rng{1}),
+      std::invalid_argument);
+}
+
+TEST(GenGroup, AggregatesMembers) {
+  Simulator sim;
+  Sink sink;
+  std::vector<std::unique_ptr<TrafficGen>> members;
+  members.push_back(std::make_unique<OnOffSource>(sim, sink, Rate::mbps(2),
+                                                  default_onoff(),
+                                                  PacketSizeMix::paper_mix(), Rng{1}));
+  members.push_back(std::make_unique<RampLoadSource>(
+      sim, sink, step_3_to_7_5(), PacketSizeMix::paper_mix(), Rng{2}));
+  GenGroup group{std::move(members)};
+  group.start();
+  sim.run_for(Duration::seconds(2));
+  EXPECT_GT(group.bytes_sent().byte_count(), 0);
+  EXPECT_EQ(group.bytes_sent(), sink.bytes);
+  group.stop();
+  const auto at_stop = sink.bytes;
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(sink.bytes, at_stop);
+}
+
+}  // namespace
+}  // namespace pathload::sim

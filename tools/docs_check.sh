@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# docs_check — fail if README/docs reference something that doesn't exist.
+#
+# Checked, over README.md and docs/*.md:
+#   1. every backticked repo-relative path (src/..., bench/..., docs/...,
+#      examples/..., tests/..., tools/...) exists;
+#   2. every relative markdown link target exists;
+#   3. every bench_<name> target token has a bench/<name>.cpp source
+#      (bench_smoke, a ctest name, is whitelisted);
+#   4. `scenario_runner --list` runs, and every preset it reports is
+#      documented in docs/SCENARIOS.md;
+#   5. every entry in docs/FIGURES.md's "preset" table column is a preset
+#      the registry actually has (or the em-dash placeholder).
+#
+# Usage: docs_check.sh <repo_root> <scenario_runner_binary>
+
+set -u
+
+root=${1:?usage: docs_check.sh <repo_root> <scenario_runner_binary>}
+runner=${2:?usage: docs_check.sh <repo_root> <scenario_runner_binary>}
+
+fail=0
+err() {
+  echo "docs_check: $*" >&2
+  fail=1
+}
+
+docs=("$root/README.md")
+for f in "$root"/docs/*.md; do
+  [ -e "$f" ] && docs+=("$f")
+done
+[ ${#docs[@]} -ge 4 ] || err "expected README.md plus at least 3 docs/ pages, found ${#docs[@]} files"
+
+# --- 1. backticked repo paths ------------------------------------------------
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || { err "missing doc: $doc"; continue; }
+  while IFS= read -r ref; do
+    path=${ref%/}              # allow `src/util/` directory references
+    [ -e "$root/$path" ] || err "$(basename "$doc"): referenced path '$ref' does not exist"
+  done < <(grep -o '`[^`]*`' "$doc" | tr -d '`' |
+           grep -E '^(src|bench|docs|examples|tests|tools)/' | sort -u)
+done
+
+# --- 2. relative markdown links ----------------------------------------------
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  while IFS= read -r target; do
+    case $target in
+      http://*|https://*|\#*) continue ;;
+    esac
+    target=${target%%#*}       # drop anchors
+    [ -z "$target" ] && continue
+    if ! { [ -e "$root/$target" ] || [ -e "$(dirname "$doc")/$target" ]; }; then
+      err "$(basename "$doc"): markdown link target '$target' does not exist"
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed 's/^](//; s/)$//' | sort -u)
+done
+
+# --- 3. bench target tokens --------------------------------------------------
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  while IFS= read -r target; do
+    name=${target#bench_}
+    [ "$name" = "smoke" ] && continue
+    [ -f "$root/bench/$name.cpp" ] ||
+      err "$(basename "$doc"): bench target '$target' has no bench/$name.cpp"
+  done < <(grep -ohE '\bbench_[a-z0-9_]+' "$doc" | sort -u)
+done
+
+# --- 4. registry is runnable and every preset is documented -------------------
+presets=$("$runner" --list --format csv 2>/dev/null | awk -F, 'NR > 1 {print $1}')
+if [ -z "$presets" ]; then
+  err "'$runner --list --format csv' produced no presets"
+else
+  for p in $presets; do
+    # Word-anchored: 'paper-path' must not be satisfied by a mention of
+    # 'paper-path-poisson'.
+    grep -qE "(^|[^a-z0-9_-])${p}([^a-z0-9_-]|\$)" "$root/docs/SCENARIOS.md" ||
+      err "preset '$p' is not documented in docs/SCENARIOS.md"
+  done
+fi
+
+# --- 5. FIGURES.md preset column ---------------------------------------------
+figures="$root/docs/FIGURES.md"
+if [ -f "$figures" ]; then
+  while IFS= read -r cell; do
+    for p in ${cell//,/ }; do
+      [ -z "$p" ] && continue
+      echo "$presets" | grep -qx "$p" ||
+        err "FIGURES.md: preset column names unknown preset '$p'"
+    done
+  done < <(awk -F'|' '
+    /^\|/ {
+      if (col == 0) {                      # header row: locate the column
+        for (i = 1; i <= NF; ++i) {
+          h = $i; gsub(/[ `]/, "", h)
+          if (h == "preset") col = i
+        }
+        next
+      }
+      cell = $col; gsub(/[ `]/, "", cell)
+      if (cell ~ /^[-—:]*$/) next          # separator row or placeholder
+      print cell
+    }' "$figures")
+else
+  err "docs/FIGURES.md is missing"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs_check: FAILED" >&2
+  exit 1
+fi
+echo "docs_check: OK (${#docs[@]} docs, $(echo "$presets" | wc -w) presets)"
