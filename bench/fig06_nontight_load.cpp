@@ -10,6 +10,7 @@
 
 #include "bench/common.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
@@ -22,21 +23,22 @@ int main() {
   Table table{{"hops", "ux_%", "avail_Mbps", "pl_low_Mbps", "pl_high_Mbps", "center",
                "covers_A"}};
 
+  // The registry's paper-path preset is the single definition of the Fig. 4
+  // topology; this bench varies only its hop count and non-tight load.
+  const scenario::ScenarioSpec& base = scenario::Registry::builtin().at("paper-path");
+
   for (int hops : {3, 6}) {
     for (double ux : {0.20, 0.40, 0.60, 0.80}) {
-      scenario::PaperPathConfig path;
+      scenario::PaperPathConfig path = *base.paper;
       path.hops = hops;
-      path.tight_capacity = Rate::mbps(10);
-      path.tight_utilization = 0.6;
-      path.beta = 2.0;
       path.nontight_utilization = ux;
-      path.model = sim::Interarrival::kPareto;
-      path.warmup = Duration::seconds(1);
+      const scenario::ScenarioSpec spec =
+          scenario::ScenarioSpec::from_paper(base.name, base.description, path);
 
       core::PathloadConfig tool;
-      const auto rr = scenario::run_pathload_repeated(
-          path, tool, runs, bench::seed() + hops * 10000 + (ux * 100));
-      const Rate truth = path.tight_avail_bw();
+      const auto rr = scenario::run_scenario_repeated(
+          spec, tool, runs, bench::seed() + hops * 10000 + (ux * 100));
+      const Rate truth = spec.avail_bw();
       table.add_row({Table::num(hops, 0), Table::num(ux * 100, 0),
                      Table::num(truth.mbits_per_sec(), 1),
                      Table::num(rr.mean_low().mbits_per_sec(), 2),

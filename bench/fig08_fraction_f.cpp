@@ -9,6 +9,7 @@
 
 #include "bench/common.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
@@ -20,20 +21,17 @@ int main() {
 
   Table table{{"f", "avail_Mbps", "low_Mbps", "high_Mbps", "width_Mbps"}};
 
-  for (double f : {0.5, 0.6, 0.7, 0.8, 0.9}) {
-    scenario::PaperPathConfig path;
-    path.hops = 3;
-    path.tight_capacity = Rate::mbps(10);
-    path.tight_utilization = 0.5;
-    path.beta = 2.0;
-    path.model = sim::Interarrival::kPareto;
-    path.warmup = Duration::seconds(1);
+  // The Fig. 4 topology from the registry, at the figure's 50% tight load
+  // (A = 5 Mb/s); only the tool's fleet fraction varies.
+  const scenario::ScenarioSpec spec =
+      scenario::Registry::builtin().at("paper-path").with_load(0.5);
 
+  for (double f : {0.5, 0.6, 0.7, 0.8, 0.9}) {
     core::PathloadConfig tool;
     tool.fleet_fraction = f;
 
     const auto rr =
-        scenario::run_pathload_repeated(path, tool, repeats, bench::seed() + (f * 100));
+        scenario::run_scenario_repeated(spec, tool, repeats, bench::seed() + (f * 100));
     table.add_row({Table::num(f, 2), "5.0",
                    Table::num(rr.mean_low().mbits_per_sec(), 2),
                    Table::num(rr.mean_high().mbits_per_sec(), 2),

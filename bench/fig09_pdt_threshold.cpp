@@ -9,6 +9,7 @@
 
 #include "bench/common.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
@@ -20,21 +21,18 @@ int main() {
 
   Table table{{"pdt_thresh", "avail_Mbps", "low_Mbps", "high_Mbps", "center"}};
 
-  for (double thr : {0.05, 0.20, 0.40, 0.60, 0.80, 0.95}) {
-    scenario::PaperPathConfig path;
-    path.hops = 3;
-    path.tight_capacity = Rate::mbps(10);
-    path.tight_utilization = 0.5;  // A = 5 Mb/s
-    path.beta = 2.0;
-    path.model = sim::Interarrival::kPareto;
-    path.warmup = Duration::seconds(1);
+  // The Fig. 4 topology from the registry at 50% tight load (A = 5 Mb/s);
+  // only the trend-detection threshold varies.
+  const scenario::ScenarioSpec spec =
+      scenario::Registry::builtin().at("paper-path").with_load(0.5);
 
+  for (double thr : {0.05, 0.20, 0.40, 0.60, 0.80, 0.95}) {
     core::PathloadConfig tool;
     tool.trend.mode = core::TrendConfig::Mode::kPdtOnly;
     tool.trend.pdt_threshold = thr;
 
     const auto rr =
-        scenario::run_pathload_repeated(path, tool, repeats, bench::seed() + (thr * 100));
+        scenario::run_scenario_repeated(spec, tool, repeats, bench::seed() + (thr * 100));
     table.add_row({Table::num(thr, 2), "5.0",
                    Table::num(rr.mean_low().mbits_per_sec(), 2),
                    Table::num(rr.mean_high().mbits_per_sec(), 2),

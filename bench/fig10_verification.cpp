@@ -8,16 +8,22 @@
 // reading, quantized to 6 Mb/s bands like the paper's graphs. 12
 // independent runs under slightly different load conditions.
 //
+// Built on the unified harness: the path is a declarative ScenarioSpec
+// (text form, swept with with_load), and pathload runs as a registry
+// estimator whose EstimateReport supplies both the estimate and the probe
+// footprint the MRTG subtraction needs.
+//
 // Scaling note: MRTG windows are 45 s here instead of 5 min to keep the
 // single-core bench fast; the comparison logic is unchanged.
 
 #include <cstdio>
 #include <vector>
 
+#include "baselines/estimators.hpp"
 #include "bench/common.hpp"
-#include "core/session.hpp"
-#include "scenario/paper_path.hpp"
 #include "scenario/sim_channel.hpp"
+#include "scenario/spec.hpp"
+#include "sim/monitor.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -27,50 +33,63 @@ using namespace pathload;
 int main() {
   bench::banner("Fig. 10", "pathload vs MRTG on a tight!=narrow path (12 runs)");
 
+  // Hop 0: the tight link (OC-3-like, 155 Mb/s, heavily used; load varies
+  // per run via with_load). Hop 1: the narrow link (Fast-Ethernet-like,
+  // 100 Mb/s, ~5 Mb/s of light cross traffic).
+  const scenario::ScenarioSpec base = scenario::ScenarioSpec::parse(R"(
+    name = fig10-tight-not-narrow
+    description = OC-3 tight link upstream of a lightly used Fast-Ethernet narrow link
+    warmup_s = 1
+    hops = 2
+    hop.0.capacity_mbps = 155
+    hop.0.delay_ms = 15
+    hop.0.buffer_ms = 400
+    hop.0.traffic.model = pareto
+    hop.0.traffic.utilization = 0.5
+    hop.0.traffic.sources = 30
+    hop.1.capacity_mbps = 100
+    hop.1.delay_ms = 15
+    hop.1.buffer_ms = 400
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.05
+    hop.1.traffic.sources = 5
+  )");
+
   const Duration window = Duration::seconds(45);
   Table table{{"run", "util_%", "mrtg_band_Mbps", "pathload_Mbps", "in_band",
                "pl_runs"}};
 
-  Rng seeds{bench::seed()};
+  // The paper's Fig. 10 parameters: omega=1, chi=1.5 Mb/s (defaults),
+  // f=0.7, PCT 0.6, PDT 0.5.
+  const auto& registry = baselines::builtin_estimators();
+  const auto estimator =
+      registry.make("pathload", "pct_threshold=0.6, pdt_threshold=0.5");
+
   int hits = 0;
   const int total_runs = 12;
+  Rng seed_stream{bench::seed()};  // one forked seed per run, as pre-harness
   for (int run = 1; run <= total_runs; ++run) {
     // Slightly different operating point each run, like a real path
     // observed at different times of day.
     const double util = 0.44 + 0.02 * run;  // 46%..68% -> A in [50, 87] Mb/s
 
-    sim::Simulator sim;
-    // Hop 0: the tight link (OC-3-like, 155 Mb/s, heavily used).
-    // Hop 1: the narrow link (Fast-Ethernet-like, 100 Mb/s, lightly used).
-    sim::Path path{sim,
-                   {{Rate::mbps(155), Duration::milliseconds(15),
-                     Rate::mbps(155).bytes_in(Duration::milliseconds(400))},
-                    {Rate::mbps(100), Duration::milliseconds(15),
-                     Rate::mbps(100).bytes_in(Duration::milliseconds(400))}}};
-    sim::TrafficAggregate tight_cross{
-        sim,  path.link(0), Rate::mbps(155) * util, 30, sim::Interarrival::kPareto,
-        sim::PacketSizeMix::paper_mix(), seeds.fork()};
-    sim::TrafficAggregate narrow_cross{
-        sim,  path.link(1), Rate::mbps(5), 5, sim::Interarrival::kPareto,
-        sim::PacketSizeMix::paper_mix(), seeds.fork()};
-    tight_cross.start();
-    narrow_cross.start();
-    sim.run_for(Duration::seconds(1));  // warmup
+    scenario::ScenarioSpec spec = base.with_load(util);
+    spec.seed = seed_stream.fork().engine()();
+    const std::uint64_t seed = spec.seed;
+    scenario::ScenarioInstance inst{std::move(spec)};
+    inst.start();
+    sim::Simulator& sim = inst.simulator();
 
     // MRTG-style byte counters over the window. Consecutive pathload runs
     // themselves add ~R/10 of probe load to the link; in the paper that
     // footprint is diluted across a 5-minute window, so we subtract the
-    // known probe bytes to get the cross-traffic avail-bw the paper's MRTG
-    // graphs effectively show (the raw reading is also reported).
-    const DataSize bytes_at_start = path.link(0).bytes_forwarded();
+    // known probe bytes — straight from the EstimateReports — to get the
+    // cross-traffic avail-bw the paper's MRTG graphs effectively show.
+    const DataSize bytes_at_start = inst.path().link(0).bytes_forwarded();
     const TimePoint window_start = sim.now();
 
-    scenario::SimProbeChannel channel{sim, path};
-    core::PathloadConfig tool;
-    // The paper's Fig. 10 parameters: omega=1, chi=1.5 Mb/s (defaults),
-    // f=0.7, PCT 0.6, PDT 0.5.
-    tool.trend.pct_threshold = 0.6;
-    tool.trend.pdt_threshold = 0.5;
+    scenario::SimProbeChannel channel{sim, inst.path()};
+    Rng rng{seed};
 
     // Run pathload consecutively across the window, Eq. (11)-averaging.
     std::vector<WeightedSample> samples;
@@ -78,15 +97,15 @@ int main() {
     int pl_runs = 0;
     DataSize probe_bytes{};
     while (sim.now() < window_end) {
-      core::PathloadSession session{channel, tool};
-      const auto result = session.run();
-      samples.push_back({result.range.center().mbits_per_sec(), result.elapsed});
-      probe_bytes += result.bytes_sent;
+      const core::EstimateReport report = estimator->run(channel, rng);
+      samples.push_back({report.center().mbits_per_sec(), report.elapsed});
+      probe_bytes += report.bytes_sent;
       ++pl_runs;
     }
 
     const Duration actual_window = sim.now() - window_start;
-    const DataSize link_bytes = path.link(0).bytes_forwarded() - bytes_at_start;
+    const DataSize link_bytes =
+        inst.path().link(0).bytes_forwarded() - bytes_at_start;
     const double cross_util =
         (link_bytes - probe_bytes).bits() /
         (Rate::mbps(155).bits_per_sec() * actual_window.secs());

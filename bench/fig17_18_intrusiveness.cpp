@@ -54,8 +54,8 @@ int main() {
     if (pl_on) {
       const TimePoint end = start + interval;
       while (bed.sim.now() < end) {
-        core::PathloadSession session{channel, tool};
-        const auto result = session.run();
+        core::PathloadSession session{tool};
+        const auto result = session.run(channel);
         reports.push_back({result.range.center().mbits_per_sec(), result.elapsed});
         ++pl_runs;
         probe_packets += result.packets_sent;

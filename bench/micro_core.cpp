@@ -9,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "baselines/estimators.hpp"
 #include "core/stream.hpp"
 #include "core/trend.hpp"
 #include "fluid/fluid_model.hpp"
+#include "scenario/registry.hpp"
 #include "scenario/sweep_runner.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
@@ -167,6 +169,35 @@ void BM_SweepRunner(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4);
 }
 BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_EstimatorMatrix(benchmark::State& state) {
+  // The comparison harness end-to-end: a tiny 2-estimator x 2-scenario
+  // matrix (fast probe-stream tools, short warmups, 1 run per cell). This
+  // bounds the fixed cost of "compare anything against anything" — cell
+  // planning, per-run instantiation, channel metering, report reduction —
+  // and its ctest wrapper (bench_smoke_estimator_matrix) records rows in
+  // BENCH_micro.json so a harness slowdown fails loudly.
+  const auto& ereg = pathload::baselines::builtin_estimators();
+  const std::vector<scenario::MatrixEstimator> estimators = {
+      scenario::MatrixEstimator::from_registry(ereg, "cprobe",
+                                               "trains=2, train_length=30"),
+      scenario::MatrixEstimator::from_registry(ereg, "pktpair", "pairs=10"),
+  };
+  scenario::ScenarioSpec paper = scenario::Registry::builtin().at("paper-path");
+  paper.warmup = Duration::milliseconds(200);
+  scenario::ScenarioSpec tight =
+      scenario::Registry::builtin().at("tight-not-narrow");
+  tight.warmup = Duration::milliseconds(200);
+  scenario::SweepRunner runner{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    const auto cells = scenario::run_matrix(estimators, {paper, tight}, {},
+                                            /*runs=*/1, /*seed0=*/11, runner);
+    benchmark::DoNotOptimize(cells.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // cells per matrix
+}
+BENCHMARK(BM_EstimatorMatrix)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace

@@ -34,8 +34,8 @@ int main() {
     scenario::Testbed bed{network};
     bed.start();
     scenario::SimProbeChannel ch{bed.simulator(), bed.path()};
-    core::PathloadSession session{ch, core::PathloadConfig{}};
-    const auto r = session.run();
+    core::PathloadSession session{core::PathloadConfig{}};
+    const auto r = session.run(ch);
     table.add_row({"pathload (SLoPS)", "avail-bw range",
                    "[" + Table::num(r.range.low.mbits_per_sec(), 1) + ", " +
                        Table::num(r.range.high.mbits_per_sec(), 1) + "]",

@@ -37,8 +37,8 @@ int main() {
     tool.chi = Rate::mbps(15);
     tool.max_fleets = 12;
 
-    core::PathloadSession session{channel, tool};
-    const auto result = session.run();
+    core::PathloadSession session{tool};
+    const auto result = session.run(channel);
 
     std::printf("loopback avail-bw range: [%s, %s]%s\n", result.range.low.str().c_str(),
                 result.range.high.str().c_str(),

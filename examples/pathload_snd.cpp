@@ -77,8 +77,8 @@ int main(int argc, char** argv) {
     net::LiveProbeChannel channel{{host, static_cast<std::uint16_t>(port)}};
     std::printf("pathload_snd: connected to %s:%d (control RTT ~ %s)\n", host.c_str(),
                 port, channel.rtt().str().c_str());
-    core::PathloadSession session{channel, cfg};
-    const auto result = session.run();
+    core::PathloadSession session{cfg};
+    const auto result = session.run(channel);
 
     std::printf("\nfleet trace:\n");
     for (std::size_t i = 0; i < result.trace.size(); ++i) {

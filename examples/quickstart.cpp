@@ -30,10 +30,10 @@ int main() {
   // 2. A probe channel through that network and a pathload session on it.
   scenario::SimProbeChannel channel{testbed.simulator(), testbed.path()};
   core::PathloadConfig tool;  // paper defaults: K=100, N=12, omega=1 Mb/s
-  core::PathloadSession session{channel, tool};
+  core::PathloadSession session{tool};
 
   // 3. Measure.
-  const core::PathloadResult result = session.run();
+  const core::PathloadResult result = session.run(channel);
 
   std::printf("true avail-bw : %s\n", testbed.configured_avail_bw().str().c_str());
   std::printf("pathload range: [%s, %s]\n", result.range.low.str().c_str(),

@@ -1,20 +1,29 @@
-// Scenario registry front-end: list, inspect, validate, run, and sweep the
-// named measurement scenarios without writing C++.
+// Scenario registry front-end: list, inspect, validate, run, sweep, and
+// *compare* — any registered estimator over any named scenario, without
+// writing C++.
 //
 //   $ scenario_runner --list                      # the preset catalogue
+//   $ scenario_runner --list-estimators           # the estimator catalogue
 //   $ scenario_runner --show paper-path           # spec in the text format
 //   $ scenario_runner --run bursty-tight --runs 5
 //   $ scenario_runner --run paper-path --sweep load=0.2,0.5,0.75,0.9
+//   $ scenario_runner --run paper-path --estimator topp --set max_rate_mbps=16
+//   $ scenario_runner --compare --scenario paper-path
 //   $ scenario_runner --spec my.scenario --run    # run a spec file
 //   $ scenario_runner --validate my.scenario      # parse + validate only
 //
-// Sweeps use the same per-point seed derivation as bench/fig05 (base seed +
-// util*1000, runs sharded over SweepRunner), so a sweep of a paper preset
-// reproduces the figure's numbers byte-for-byte at the same settings.
+// Without --estimator/--compare, --run is a pathload measurement with the
+// pre-harness output format; sweeps use the same per-point seed derivation
+// as bench/fig05 (base seed + util*1000, runs sharded over SweepRunner),
+// so a sweep of a paper preset reproduces the figure's numbers
+// byte-for-byte at the same settings. With estimators selected, runs go
+// through the scenario::run_matrix comparison harness: one
+// accuracy/variation/intrusiveness/latency row per estimator × load.
 // `--format csv` / `--format json` emit machine-readable rows; the base
 // seed and run count come from PATHLOAD_SEED / PATHLOAD_RUNS / PATHLOAD_QUICK
 // like every bench, or from --seed / --runs.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,7 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "baselines/estimators.hpp"
 #include "bench/common.hpp"
+#include "scenario/experiment.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/sweep_runner.hpp"
 #include "util/table.hpp"
@@ -33,13 +44,19 @@ using namespace pathload;
 namespace {
 
 enum class Format { kTable, kCsv, kJson };
+enum class Channel { kSim, kLive };
 
 struct Options {
   bool list{false};
+  bool list_estimators{false};
   std::string show;
   std::string run;        // preset name, or "-" for the loaded spec file
   std::string spec_file;
   std::string validate_file;
+  std::vector<std::string> estimators;  // --estimator selections
+  bool compare{false};                  // all registered estimators
+  std::string set_overrides;            // --set key=value[,...]
+  Channel channel{Channel::kSim};
   std::vector<double> sweep_loads;
   int runs{0};            // 0: bench default
   std::optional<std::uint64_t> seed;
@@ -52,10 +69,13 @@ struct Options {
                "scenario_runner: %s\n"
                "usage:\n"
                "  scenario_runner --list [--format table|csv]\n"
+               "  scenario_runner --list-estimators [--format table|csv]\n"
                "  scenario_runner --show <preset>\n"
                "  scenario_runner --run <preset> [--runs N] [--seed S] [--load u]\n"
                "                  [--sweep load=u1,u2,...] [--threads T]\n"
-               "                  [--format table|csv|json]\n"
+               "                  [--estimator name[,name...]] [--set k=v[,k=v...]]\n"
+               "                  [--channel sim|live] [--format table|csv|json]\n"
+               "  scenario_runner --compare --scenario <preset> [same options]\n"
                "  scenario_runner --spec <file> [--run | --show]\n"
                "  scenario_runner --validate <file>\n",
                msg.c_str());
@@ -107,6 +127,27 @@ Options parse_args(int argc, char** argv) {
     };
     if (a == "--list") {
       opt.list = true;
+    } else if (a == "--list-estimators") {
+      opt.list_estimators = true;
+    } else if (a == "--estimator") {
+      std::stringstream ss{next("--estimator")};
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) opt.estimators.push_back(name);
+      }
+      if (opt.estimators.empty()) usage_error("--estimator needs at least one name");
+    } else if (a == "--compare") {
+      opt.compare = true;
+    } else if (a == "--set") {
+      opt.set_overrides = next("--set");
+    } else if (a == "--channel") {
+      const std::string c = next("--channel");
+      if (c == "sim") opt.channel = Channel::kSim;
+      else if (c == "live") opt.channel = Channel::kLive;
+      else usage_error("--channel expects sim or live, got '" + c + "'");
+    } else if (a == "--scenario") {
+      // Synonym of --run <preset>, reading better next to --compare.
+      opt.run = next("--scenario");
     } else if (a == "--show") {
       opt.show = (i + 1 < argc && argv[i + 1][0] != '-') ? next("--show") : "-";
     } else if (a == "--run") {
@@ -140,10 +181,51 @@ Options parse_args(int argc, char** argv) {
     if (!opt.sweep_loads.empty()) usage_error("--load and --sweep are exclusive");
     opt.sweep_loads.push_back(*single_load);
   }
-  if (!opt.list && opt.show.empty() && opt.run.empty() && opt.validate_file.empty()) {
-    usage_error("nothing to do (use --list, --show, --run, or --validate)");
+  if (opt.compare && !opt.estimators.empty()) {
+    usage_error("--compare already selects every estimator; drop --estimator");
+  }
+  if (opt.compare && opt.run.empty()) {
+    usage_error("--compare needs a scenario (--scenario <preset> or --spec <file> --run)");
+  }
+  if (!opt.set_overrides.empty() && opt.estimators.size() != 1) {
+    usage_error("--set configures exactly one estimator; name it with "
+                "--estimator <name> (got " +
+                std::to_string(opt.estimators.size()) + " selections)");
+  }
+  if (!opt.list && !opt.list_estimators && opt.show.empty() && opt.run.empty() &&
+      opt.validate_file.empty()) {
+    usage_error("nothing to do (use --list, --list-estimators, --show, --run, "
+                "--compare, or --validate)");
   }
   return opt;
+}
+
+/// Channel-capability gate for estimator runs. The simulated channel
+/// implements every capability; a live channel cannot be driven from a
+/// scenario preset at all (presets instantiate a simulated path) and in
+/// addition lacks bulk TCP — so rather than silently falling through to
+/// the simulator, mismatches are a structured error that lists which
+/// estimators support which channel.
+void check_channel_support(const core::EstimatorRegistry& reg, Channel channel) {
+  if (channel == Channel::kSim) return;
+  std::string sim_names;
+  std::string live_names;
+  std::string live_excluded;
+  for (const auto& e : reg.entries()) {
+    sim_names += " " + e.name;
+    if (e.needs_bulk_tcp) {
+      live_excluded += (live_excluded.empty() ? "" : ", ") + e.name;
+    } else {
+      live_names += " " + e.name;
+    }
+  }
+  throw core::EstimatorError{
+      "--channel live: scenario presets instantiate a *simulated* path, so "
+      "this runner cannot drive a live channel (use examples/pathload_snd + "
+      "pathload_rcv against a real peer); refusing to fall back to sim "
+      "silently.\nestimator support by channel:\n  sim: " +
+      sim_names + "\n  live:" + live_names + "  (" + live_excluded +
+      " needs a bulk-TCP-capable channel, which the live channel lacks)"};
 }
 
 std::string traffic_summary(const scenario::ScenarioSpec& spec) {
@@ -174,6 +256,125 @@ void print_list(const scenario::Registry& reg, Format format) {
     std::printf("\n%zu presets; `--show <preset>` prints a spec, `--run <preset>` "
                 "measures it.\n", reg.size());
   }
+}
+
+void print_list_estimators(const core::EstimatorRegistry& reg, Format format) {
+  Table table{{"estimator", "reports", "channels", "summary"}};
+  for (const auto& e : reg.entries()) {
+    table.add_row({e.name, e.quantity, e.needs_bulk_tcp ? "sim" : "sim+live",
+                   e.summary});
+  }
+  if (format == Format::kCsv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    table.print();
+    std::printf("\n%zu estimators; `--run <preset> --estimator <name>` measures "
+                "with one, `--compare --scenario <preset>` with all. Config "
+                "overrides: `--set key=value[,key=value]` (keys in "
+                "docs/ESTIMATORS.md).\n",
+                reg.size());
+  }
+}
+
+/// Point-estimator coverage slack for the covers_A column: a point
+/// estimate "covers" the truth within pathload's default avail-bw
+/// resolution (omega = 1 Mb/s), so range and point tools share one column.
+const Rate kPointSlack = Rate::mbps(1.0);
+
+void print_matrix(const std::vector<scenario::MatrixCell>& cells,
+                  const core::EstimatorRegistry& reg, Format format) {
+  if (format == Format::kJson) {
+    // rel_error/cv_center are NaN for an all-invalid cell (never a false
+    // perfect score); JSON has no NaN, so those emit null.
+    auto num_or_null = [](double v) {
+      char buf[40];
+      if (std::isnan(v)) return std::string{"null"};
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      return std::string{buf};
+    };
+    std::printf("[\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const scenario::MatrixCell& c = cells[i];
+      std::printf(
+          "  {\"estimator\": \"%s\", \"scenario\": \"%s\", \"load\": %.17g, "
+          "\"seed\": %llu, \"runs\": %zu, \"valid_runs\": %d, "
+          "\"avail_mbps\": %.17g, \"low_mbps\": %.17g, \"high_mbps\": %.17g, "
+          "\"center_mbps\": %.17g, \"rel_error\": %s, \"coverage\": %.17g, "
+          "\"cv_center\": %s, \"probe_mbytes\": %.17g, "
+          "\"mean_packets\": %.17g, \"mean_elapsed_s\": %.17g}%s\n",
+          c.estimator.c_str(), c.scenario.c_str(), c.load,
+          static_cast<unsigned long long>(c.seed0), c.reports.size(),
+          c.valid_runs(), c.truth.mbits_per_sec(),
+          c.mean_low().mbits_per_sec(), c.mean_high().mbits_per_sec(),
+          c.mean_center().mbits_per_sec(),
+          num_or_null(c.mean_rel_error()).c_str(), c.coverage(kPointSlack),
+          num_or_null(c.cv_center()).c_str(),
+          c.mean_bytes().bits() / 8e6, c.mean_packets(),
+          c.mean_elapsed().secs(), i + 1 < cells.size() ? "," : "");
+    }
+    std::printf("]\n");
+    return;
+  }
+  Table table{{"estimator", "reports", "util_%", "A_Mbps", "estimate_Mbps",
+               "err_%", "covers_A", "cv", "probe_MB", "time_s", "ok"}};
+  for (const scenario::MatrixCell& c : cells) {
+    const auto* entry = reg.find(c.estimator);
+    std::string estimate = "n/a";
+    if (c.valid_runs() > 0) {
+      const bool range = !c.reports.empty() && c.reports.front().is_range;
+      estimate = range ? "[" + Table::num(c.mean_low().mbits_per_sec(), 2) + ", " +
+                             Table::num(c.mean_high().mbits_per_sec(), 2) + "]"
+                       : Table::num(c.mean_center().mbits_per_sec(), 2);
+    }
+    const bool any_valid = c.valid_runs() > 0;
+    table.add_row(
+        {c.estimator, entry != nullptr ? entry->quantity : "?",
+         Table::num(c.load * 100, 0), Table::num(c.truth.mbits_per_sec(), 1),
+         estimate,
+         any_valid ? Table::num(c.mean_rel_error() * 100, 1) : "n/a",
+         Table::num(c.coverage(kPointSlack) * 100, 0) + "%",
+         any_valid ? Table::num(c.cv_center(), 2) : "n/a",
+         Table::num(c.mean_bytes().bits() / 8e6, 2),
+         Table::num(c.mean_elapsed().secs(), 1),
+         Table::num(c.valid_runs(), 0) + "/" + Table::num(c.reports.size(), 0)});
+  }
+  if (format == Format::kCsv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    table.print();
+    std::printf("\ncovers_A: range containment, points within %.0f Mb/s; "
+                "probe_MB/time_s are per-run means (intrusiveness/latency).\n",
+                kPointSlack.mbits_per_sec());
+  }
+}
+
+int run_estimator_command(const Options& opt, const scenario::ScenarioSpec& base) {
+  const core::EstimatorRegistry& reg = baselines::builtin_estimators();
+  check_channel_support(reg, opt.channel);
+
+  std::vector<scenario::MatrixEstimator> selected;
+  if (opt.compare) {
+    for (const auto& e : reg.entries()) {
+      selected.push_back(scenario::MatrixEstimator::from_registry(reg, e.name));
+    }
+  } else {
+    for (const std::string& name : opt.estimators) {
+      selected.push_back(
+          scenario::MatrixEstimator::from_registry(reg, name, opt.set_overrides));
+    }
+  }
+
+  const int runs = opt.runs > 0 ? opt.runs : bench::runs(5);
+  const std::uint64_t seed = opt.seed.value_or(bench::seed());
+  scenario::SweepRunner runner{opt.threads};
+  const auto cells = scenario::run_matrix(selected, {base}, opt.sweep_loads,
+                                          runs, seed, runner);
+  print_matrix(cells, reg, opt.format);
+  if (opt.format == Format::kTable && base.nonstationary()) {
+    std::printf("note: %s is non-stationary; A_Mbps is the pre-ramp value.\n",
+                base.name.c_str());
+  }
+  return 0;
 }
 
 /// One sweep point, reduced to the quantities the figures report.
@@ -226,6 +427,12 @@ void print_rows(const std::vector<PointRow>& rows, Format format) {
 }
 
 int run_command(const Options& opt, const scenario::ScenarioSpec& base) {
+  // The channel gate applies to every run form — the plain pathload path
+  // must not silently fall through to the simulator either.
+  check_channel_support(baselines::builtin_estimators(), opt.channel);
+  if (opt.compare || !opt.estimators.empty()) {
+    return run_estimator_command(opt, base);
+  }
   const int runs = opt.runs > 0 ? opt.runs : bench::runs(20);
   const std::uint64_t seed = opt.seed.value_or(bench::seed());
   const core::PathloadConfig tool;
@@ -290,10 +497,16 @@ int main(int argc, char** argv) {
     };
 
     if (opt.list) print_list(reg, opt.format);
+    if (opt.list_estimators) {
+      print_list_estimators(baselines::builtin_estimators(), opt.format);
+    }
     if (!opt.show.empty()) std::fputs(resolve(opt.show).to_text().c_str(), stdout);
     if (!opt.run.empty()) return run_command(opt, resolve(opt.run));
     return 0;
   } catch (const scenario::SpecError& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  } catch (const core::EstimatorError& e) {
     std::fprintf(stderr, "scenario_runner: %s\n", e.what());
     return 1;
   }

@@ -85,8 +85,8 @@ int main() {
 
   // Measure.
   scenario::SimProbeChannel channel{bed.simulator(), bed.path()};
-  core::PathloadSession session{channel, core::PathloadConfig{}};
-  const auto result = session.run();
+  core::PathloadSession session{core::PathloadConfig{}};
+  const auto result = session.run(channel);
   std::printf("measured avail-bw range: [%.2f, %.2f] Mb/s (true A = %.2f)\n",
               result.range.low.mbits_per_sec(), result.range.high.mbits_per_sec(),
               bed.configured_avail_bw().mbits_per_sec());

@@ -67,8 +67,8 @@ int main() {
   scenario::Testbed bed{network};
   bed.start();
   scenario::SimProbeChannel channel{bed.simulator(), bed.path()};
-  core::PathloadSession session{channel, core::PathloadConfig{}};
-  const auto estimate = session.run();
+  core::PathloadSession session{core::PathloadConfig{}};
+  const auto estimate = session.run(channel);
   std::printf("pathload: avail-bw in [%.2f, %.2f] Mb/s (true A = 6.0)\n",
               estimate.range.low.mbits_per_sec(), estimate.range.high.mbits_per_sec());
 

@@ -1,36 +1,71 @@
 #include "baselines/btc.hpp"
 
+
+#include "tcp/bulk.hpp"
+
 namespace pathload::baselines {
+
+BtcMeasurement::Result BtcMeasurement::from_outcome(
+    const core::BulkTransferOutcome& outcome, Duration duration) {
+  Result result;
+  result.average_throughput = rate_of(outcome.bytes_acked, duration);
+  result.per_bucket = outcome.per_bucket;
+  result.fast_retransmits = outcome.fast_retransmits;
+  result.timeouts = outcome.timeouts;
+  for (double s : outcome.rtt_samples_secs) result.rtt_secs.add(s);
+  return result;
+}
 
 BtcMeasurement::Result BtcMeasurement::run(sim::Simulator& sim,
                                            sim::Path& path) const {
-  tcp::TcpConnection conn{sim, path, cfg_.tcp, cfg_.reverse_delay};
+  core::BulkTransferSpec spec;
+  spec.duration = cfg_.duration;
+  spec.throughput_bucket = cfg_.throughput_bucket;
+  spec.reverse_delay = cfg_.reverse_delay;
+  return from_outcome(tcp::run_bulk_transfer(sim, path, spec, cfg_.tcp),
+                      cfg_.duration);
+}
 
-  // Interpose a throughput monitor between the path egress and the
-  // receiver so the per-bucket series reflects arrivals at the receiver.
-  sim::ThroughputMonitor monitor{sim, cfg_.throughput_bucket};
-  monitor.set_downstream(&conn.receiver());
-  path.egress().register_flow(conn.flow(), &monitor);
+std::string BtcMeasurement::config_text() const {
+  std::string out;
+  out += core::kv_config_line("duration_s", cfg_.duration.secs());
+  out += core::kv_config_line("reverse_delay_ms", cfg_.reverse_delay.millis());
+  out += core::kv_config_line("bucket_s", cfg_.throughput_bucket.secs());
+  return out;
+}
 
-  const DataSize acked_before = conn.sender().bytes_acked();
-  conn.sender().start();
-  sim.run_for(cfg_.duration);
-  conn.sender().stop();
-
-  Result result;
-  result.average_throughput =
-      rate_of(conn.sender().bytes_acked() - acked_before, cfg_.duration);
-  for (const auto& bucket : monitor.finish()) {
-    result.per_bucket.push_back(bucket.rate());
+core::EstimateReport BtcMeasurement::run(core::ProbeChannel& channel,
+                                         Rng& /*rng*/) {
+  core::BulkChannel* bulk = channel.bulk();
+  if (bulk == nullptr) {
+    throw core::EstimatorError{
+        "estimator 'btc' needs a bulk-TCP-capable channel, and this channel "
+        "has none (BTC measures with a greedy TCP connection, not probe "
+        "streams; run it over a simulated channel, or pick a probe-stream "
+        "estimator for this channel)"};
   }
-  result.fast_retransmits = conn.sender().fast_retransmits();
-  result.timeouts = conn.sender().timeouts();
-  for (double s : conn.sender().rtt_samples_secs()) result.rtt_secs.add(s);
 
-  // Restore the receiver as the direct egress handler before the monitor
-  // goes out of scope (the connection is destroyed right after anyway).
-  path.egress().register_flow(conn.flow(), &conn.receiver());
-  return result;
+  core::BulkTransferSpec spec;
+  spec.duration = cfg_.duration;
+  spec.throughput_bucket = cfg_.throughput_bucket;
+  spec.reverse_delay = cfg_.reverse_delay;
+  const core::BulkTransferOutcome outcome = bulk->run_bulk_transfer(spec);
+  const Result result = from_outcome(outcome, cfg_.duration);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kTcpThroughput;
+  report.valid = outcome.bytes_acked.byte_count() > 0;
+  report.low = report.high = result.average_throughput;
+  // Intrusiveness: a BTC "probe" is the transfer itself. Count acked
+  // payload as the injected bytes; the stream/packet notions do not apply.
+  report.bytes_sent = outcome.bytes_acked;
+  report.elapsed = outcome.elapsed;
+  report.iterations.reserve(result.per_bucket.size());
+  for (const Rate& r : result.per_bucket) {
+    report.iterations.push_back({0.0, r.mbits_per_sec(), "bucket"});
+  }
+  return report;
 }
 
 }  // namespace pathload::baselines

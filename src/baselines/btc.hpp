@@ -1,6 +1,6 @@
 #pragma once
 
-#include "sim/monitor.hpp"
+#include "core/estimator.hpp"
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/reno.hpp"
@@ -19,7 +19,7 @@ struct BtcConfig {
   tcp::TcpConfig tcp{};  ///< default: unbounded advertised window (BTC)
 };
 
-class BtcMeasurement {
+class BtcMeasurement final : public core::Estimator {
  public:
 
   struct Result {
@@ -34,10 +34,25 @@ class BtcMeasurement {
   explicit BtcMeasurement(BtcConfig cfg = BtcConfig()) : cfg_{cfg} {}
 
   /// Runs the transfer on the given simulated path, advancing the
-  /// simulator by cfg.duration.
+  /// simulator by cfg.duration. Direct-simulator form, for callers that
+  /// hold the testbed (supports a custom cfg.tcp, e.g. window-limited
+  /// cross flows studies).
   Result run(sim::Simulator& sim, sim::Path& path) const;
 
+  // Estimator interface: the same transfer through the channel's bulk-TCP
+  // capability. Throws core::EstimatorError when the channel has none
+  // (e.g. the live channel) — BTC cannot degrade to probe streams. The
+  // channel owns the TCP implementation, so this form always runs the
+  // default (unbounded-window) BTC configuration.
+  std::string_view name() const override { return "btc"; }
+  std::string config_text() const override;
+  bool needs_bulk_tcp() const override { return true; }
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
+
  private:
+  static Result from_outcome(const core::BulkTransferOutcome& outcome,
+                             Duration duration);
+
   BtcConfig cfg_;
 };
 

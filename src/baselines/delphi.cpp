@@ -48,4 +48,36 @@ DelphiEstimator::Estimate DelphiEstimator::measure(core::ProbeChannel& channel) 
   return est;
 }
 
+std::string DelphiEstimator::config_text() const {
+  std::string out;
+  out += core::kv_config_line("capacity_mbps", cfg_.capacity.mbits_per_sec());
+  out += core::kv_config_line("pairs", cfg_.pairs);
+  out += core::kv_config_line("packet_size", cfg_.packet_size);
+  out += core::kv_config_line("pair_spacing_ms", cfg_.pair_spacing.millis());
+  out += core::kv_config_line("inter_pair_gap_ms", cfg_.inter_pair_gap.millis());
+  return out;
+}
+
+core::EstimateReport DelphiEstimator::run(core::ProbeChannel& channel, Rng& /*rng*/) {
+  core::MeteredChannel metered{channel};
+  const TimePoint start = metered.now();
+  const Estimate est = measure(metered);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kAvailBw;
+  report.valid = est.valid;
+  report.low = report.high = est.avail_bw;
+  report.streams_sent = metered.streams();
+  report.packets_sent = metered.packets();
+  report.bytes_sent = metered.bytes();
+  report.elapsed = metered.now() - start;
+  if (est.usable_pairs > 0) {
+    report.iterations.push_back({0.0, est.cross_traffic.mbits_per_sec(),
+                                 "mean-lambda over " +
+                                     std::to_string(est.usable_pairs) + " pairs"});
+  }
+  return report;
+}
+
 }  // namespace pathload::baselines

@@ -1,6 +1,6 @@
 #pragma once
 
-#include "core/channel.hpp"
+#include "core/estimator.hpp"
 #include "util/units.hpp"
 
 namespace pathload::baselines {
@@ -34,7 +34,7 @@ struct DelphiConfig {
 /// drained) contribute lambda = C - L/delta_in, anchoring the estimate to
 /// the probe's own rate. `baselines_table` and the unit tests demonstrate
 /// both the working case and the failure modes.
-class DelphiEstimator {
+class DelphiEstimator final : public core::Estimator {
  public:
   explicit DelphiEstimator(DelphiConfig cfg = DelphiConfig()) : cfg_{cfg} {}
 
@@ -46,6 +46,12 @@ class DelphiEstimator {
   };
 
   Estimate measure(core::ProbeChannel& channel) const;
+
+  // Estimator interface: avail-bw point (A = C - E[lambda]); remember the
+  // capacity C is an *input* here, not something Delphi measures.
+  std::string_view name() const override { return "delphi"; }
+  std::string config_text() const override;
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
 
  private:
   DelphiConfig cfg_;

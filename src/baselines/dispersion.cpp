@@ -17,7 +17,8 @@ Rate CprobeEstimator::train_dispersion_rate(const core::StreamOutcome& outcome,
   return Rate::bps(bits / spread.secs());
 }
 
-Rate CprobeEstimator::measure(core::ProbeChannel& channel) const {
+Rate CprobeEstimator::measure(core::ProbeChannel& channel,
+                              std::vector<double>* train_rates_mbps) const {
   OnlineStats rates;
   for (int t = 0; t < cfg_.trains; ++t) {
     core::StreamSpec spec;
@@ -28,9 +29,44 @@ Rate CprobeEstimator::measure(core::ProbeChannel& channel) const {
     const auto outcome = channel.run_stream(spec);
     const Rate r = train_dispersion_rate(outcome, cfg_.packet_size);
     if (r > Rate::zero()) rates.add(r.bits_per_sec());
+    if (train_rates_mbps != nullptr) train_rates_mbps->push_back(r.mbits_per_sec());
     channel.idle(cfg_.inter_train_gap);
   }
   return Rate::bps(rates.mean());
+}
+
+std::string CprobeEstimator::config_text() const {
+  std::string out;
+  out += core::kv_config_line("trains", cfg_.trains);
+  out += core::kv_config_line("train_length", cfg_.train_length);
+  out += core::kv_config_line("packet_size", cfg_.packet_size);
+  out += core::kv_config_line("period_us", cfg_.period.micros());
+  out += core::kv_config_line("inter_train_gap_ms", cfg_.inter_train_gap.millis());
+  return out;
+}
+
+core::EstimateReport CprobeEstimator::run(core::ProbeChannel& channel,
+                                          Rng& /*rng*/) {
+  core::MeteredChannel metered{channel};
+  const TimePoint start = metered.now();
+  std::vector<double> train_rates;
+  const Rate adr = measure(metered, &train_rates);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kAdr;
+  report.valid = adr > Rate::zero();
+  report.low = report.high = adr;
+  report.streams_sent = metered.streams();
+  report.packets_sent = metered.packets();
+  report.bytes_sent = metered.bytes();
+  report.elapsed = metered.now() - start;
+  const double offered =
+      Rate::bps(cfg_.packet_size * 8.0 / cfg_.period.secs()).mbits_per_sec();
+  for (double r : train_rates) {
+    report.iterations.push_back({offered, r, "train"});
+  }
+  return report;
 }
 
 Rate PacketPairEstimator::measure(core::ProbeChannel& channel) const {
@@ -54,6 +90,32 @@ Rate PacketPairEstimator::measure(core::ProbeChannel& channel) const {
   if (gaps.empty()) return Rate::zero();
   const double typical_gap = median(gaps);
   return Rate::bps(cfg_.packet_size * 8.0 / typical_gap);
+}
+
+std::string PacketPairEstimator::config_text() const {
+  std::string out;
+  out += core::kv_config_line("pairs", cfg_.pairs);
+  out += core::kv_config_line("packet_size", cfg_.packet_size);
+  out += core::kv_config_line("inter_pair_gap_ms", cfg_.inter_pair_gap.millis());
+  return out;
+}
+
+core::EstimateReport PacketPairEstimator::run(core::ProbeChannel& channel,
+                                              Rng& /*rng*/) {
+  core::MeteredChannel metered{channel};
+  const TimePoint start = metered.now();
+  const Rate cap = measure(metered);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kCapacity;
+  report.valid = cap > Rate::zero();
+  report.low = report.high = cap;
+  report.streams_sent = metered.streams();
+  report.packets_sent = metered.packets();
+  report.bytes_sent = metered.bytes();
+  report.elapsed = metered.now() - start;
+  return report;
 }
 
 }  // namespace pathload::baselines

@@ -1,6 +1,8 @@
 #pragma once
 
-#include "core/channel.hpp"
+#include <vector>
+
+#include "core/estimator.hpp"
 #include "util/units.hpp"
 
 namespace pathload::baselines {
@@ -12,7 +14,7 @@ namespace pathload::baselines {
 /// Dovrolis et al., INFOCOM 2001) showed that what it actually measures is
 /// the *asymptotic dispersion rate* (ADR), a quantity between the avail-bw
 /// and the capacity. We implement it faithfully — as a baseline whose bias
-/// the `baselines_table` bench quantifies against SLoPS.
+/// the comparison harness quantifies against SLoPS.
 struct CprobeConfig {
   int trains{4};            ///< cprobe averaged a handful of trains
   int train_length{100};    ///< packets per train
@@ -21,17 +23,26 @@ struct CprobeConfig {
   Duration inter_train_gap{Duration::milliseconds(100)};
 };
 
-class CprobeEstimator {
+class CprobeEstimator final : public core::Estimator {
  public:
 
   explicit CprobeEstimator(CprobeConfig cfg = CprobeConfig()) : cfg_{cfg} {}
 
-  /// Average dispersion rate over the configured number of trains.
-  Rate measure(core::ProbeChannel& channel) const;
+  /// Average dispersion rate over the configured number of trains. When
+  /// `train_rates` is given it receives each train's dispersion rate in
+  /// Mb/s (the per-iteration trace of the Estimator report).
+  Rate measure(core::ProbeChannel& channel,
+               std::vector<double>* train_rates_mbps = nullptr) const;
 
   /// Dispersion rate of a single received train: (n-1)*L*8 / spread.
   static Rate train_dispersion_rate(const core::StreamOutcome& outcome,
                                     int packet_size);
+
+  // Estimator interface. The reported point is the ADR — deliberately
+  // labelled as such, since it is *not* the avail-bw (Section II).
+  std::string_view name() const override { return "cprobe"; }
+  std::string config_text() const override;
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
 
  private:
   CprobeConfig cfg_;
@@ -46,13 +57,18 @@ struct PacketPairConfig {
   Duration inter_pair_gap{Duration::milliseconds(20)};
 };
 
-class PacketPairEstimator {
+class PacketPairEstimator final : public core::Estimator {
  public:
 
   explicit PacketPairEstimator(PacketPairConfig cfg = PacketPairConfig()) : cfg_{cfg} {}
 
   /// Median-of-pairs capacity estimate.
   Rate measure(core::ProbeChannel& channel) const;
+
+  // Estimator interface: a capacity point, not an avail-bw estimate.
+  std::string_view name() const override { return "pktpair"; }
+  std::string config_text() const override;
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
 
  private:
   PacketPairConfig cfg_;

@@ -1,0 +1,120 @@
+#include "baselines/estimators.hpp"
+
+#include "baselines/btc.hpp"
+#include "baselines/delphi.hpp"
+#include "baselines/dispersion.hpp"
+#include "baselines/topp.hpp"
+#include "core/session.hpp"
+
+namespace pathload::baselines {
+
+namespace {
+
+std::unique_ptr<core::Estimator> make_pathload(const core::KvOverrides& kv) {
+  core::PathloadConfig cfg;
+  kv.require_known("pathload",
+                   {"packets_per_stream", "streams_per_fleet", "fleet_fraction",
+                    "omega_mbps", "chi_mbps", "pct_threshold", "pdt_threshold",
+                    "max_fleets", "initial_rmax_mbps"});
+  cfg.packets_per_stream = kv.integer("packets_per_stream", cfg.packets_per_stream);
+  cfg.streams_per_fleet = kv.integer("streams_per_fleet", cfg.streams_per_fleet);
+  cfg.fleet_fraction = kv.num("fleet_fraction", cfg.fleet_fraction);
+  cfg.omega = kv.mbps("omega_mbps", cfg.omega);
+  cfg.chi = kv.mbps("chi_mbps", cfg.chi);
+  cfg.trend.pct_threshold = kv.num("pct_threshold", cfg.trend.pct_threshold);
+  cfg.trend.pdt_threshold = kv.num("pdt_threshold", cfg.trend.pdt_threshold);
+  cfg.max_fleets = kv.integer("max_fleets", cfg.max_fleets);
+  if (kv.num("initial_rmax_mbps", 0.0) > 0.0) {
+    cfg.initial_rmax = kv.mbps("initial_rmax_mbps", Rate::zero());
+  }
+  return std::make_unique<core::PathloadSession>(cfg);
+}
+
+std::unique_ptr<core::Estimator> make_cprobe(const core::KvOverrides& kv) {
+  CprobeConfig cfg;
+  kv.require_known("cprobe", {"trains", "train_length", "packet_size",
+                              "period_us", "inter_train_gap_ms"});
+  cfg.trains = kv.integer("trains", cfg.trains);
+  cfg.train_length = kv.integer("train_length", cfg.train_length);
+  cfg.packet_size = kv.integer("packet_size", cfg.packet_size);
+  cfg.period = Duration::microseconds(kv.num("period_us", cfg.period.micros()));
+  cfg.inter_train_gap = kv.millis("inter_train_gap_ms", cfg.inter_train_gap);
+  return std::make_unique<CprobeEstimator>(cfg);
+}
+
+std::unique_ptr<core::Estimator> make_pktpair(const core::KvOverrides& kv) {
+  PacketPairConfig cfg;
+  kv.require_known("pktpair", {"pairs", "packet_size", "inter_pair_gap_ms"});
+  cfg.pairs = kv.integer("pairs", cfg.pairs);
+  cfg.packet_size = kv.integer("packet_size", cfg.packet_size);
+  cfg.inter_pair_gap = kv.millis("inter_pair_gap_ms", cfg.inter_pair_gap);
+  return std::make_unique<PacketPairEstimator>(cfg);
+}
+
+std::unique_ptr<core::Estimator> make_topp(const core::KvOverrides& kv) {
+  ToppConfig cfg;
+  kv.require_known("topp", {"min_rate_mbps", "max_rate_mbps", "step_mbps",
+                            "packets_per_train", "trains_per_rate",
+                            "inter_train_gap_ms", "overload_threshold"});
+  cfg.min_rate = kv.mbps("min_rate_mbps", cfg.min_rate);
+  cfg.max_rate = kv.mbps("max_rate_mbps", cfg.max_rate);
+  cfg.step = kv.mbps("step_mbps", cfg.step);
+  cfg.packets_per_train = kv.integer("packets_per_train", cfg.packets_per_train);
+  cfg.trains_per_rate = kv.integer("trains_per_rate", cfg.trains_per_rate);
+  cfg.inter_train_gap = kv.millis("inter_train_gap_ms", cfg.inter_train_gap);
+  cfg.overload_threshold = kv.num("overload_threshold", cfg.overload_threshold);
+  return std::make_unique<ToppEstimator>(cfg);
+}
+
+std::unique_ptr<core::Estimator> make_delphi(const core::KvOverrides& kv) {
+  DelphiConfig cfg;
+  kv.require_known("delphi", {"capacity_mbps", "pairs", "packet_size",
+                              "pair_spacing_ms", "inter_pair_gap_ms"});
+  cfg.capacity = kv.mbps("capacity_mbps", cfg.capacity);
+  cfg.pairs = kv.integer("pairs", cfg.pairs);
+  cfg.packet_size = kv.integer("packet_size", cfg.packet_size);
+  cfg.pair_spacing = kv.millis("pair_spacing_ms", cfg.pair_spacing);
+  cfg.inter_pair_gap = kv.millis("inter_pair_gap_ms", cfg.inter_pair_gap);
+  return std::make_unique<DelphiEstimator>(cfg);
+}
+
+std::unique_ptr<core::Estimator> make_btc(const core::KvOverrides& kv) {
+  BtcConfig cfg;
+  kv.require_known("btc", {"duration_s", "reverse_delay_ms", "bucket_s"});
+  cfg.duration = kv.seconds("duration_s", cfg.duration);
+  cfg.reverse_delay = kv.millis("reverse_delay_ms", cfg.reverse_delay);
+  cfg.throughput_bucket = kv.seconds("bucket_s", cfg.throughput_bucket);
+  return std::make_unique<BtcMeasurement>(cfg);
+}
+
+core::EstimatorRegistry make_builtin() {
+  core::EstimatorRegistry reg;
+  reg.add({"pathload",
+           "SLoPS: fleets of periodic streams, OWD-trend search (the paper's tool)",
+           "avail-bw range", /*needs_bulk_tcp=*/false, make_pathload});
+  reg.add({"cprobe",
+           "packet-train dispersion; measures the ADR, not the avail-bw (Sec. II)",
+           "ADR point", /*needs_bulk_tcp=*/false, make_cprobe});
+  reg.add({"pktpair",
+           "back-to-back packet pairs; narrow-link capacity, load-blind",
+           "capacity point", /*needs_bulk_tcp=*/false, make_pktpair});
+  reg.add({"topp",
+           "trains of pairs over a rate sweep; avail-bw + capacity from the knee",
+           "avail-bw point", /*needs_bulk_tcp=*/false, make_topp});
+  reg.add({"delphi",
+           "single-queue pair identity, needs capacity a priori (Sec. II critique)",
+           "avail-bw point", /*needs_bulk_tcp=*/false, make_delphi});
+  reg.add({"btc",
+           "greedy TCP bulk transfer (RFC 3148); intrusive, >= A under elastic load",
+           "tcp-throughput point", /*needs_bulk_tcp=*/true, make_btc});
+  return reg;
+}
+
+}  // namespace
+
+const core::EstimatorRegistry& builtin_estimators() {
+  static const core::EstimatorRegistry reg = make_builtin();
+  return reg;
+}
+
+}  // namespace pathload::baselines

@@ -1,0 +1,22 @@
+// The builtin estimator catalogue.
+//
+// One registry entry per tool family the paper compares (Section II and
+// Sections V-VIII): pathload's SLoPS plus the cprobe, packet-pair, TOPP,
+// Delphi, and BTC baselines. This is the estimator-side mirror of
+// scenario::Registry::builtin(): benches, the scenario_runner CLI, tests,
+// and docs all resolve the same tool by the same name. The catalogue
+// lives here (not in core) because it names the concrete implementations.
+
+#pragma once
+
+#include "core/estimator.hpp"
+
+namespace pathload::baselines {
+
+/// The shipped estimators: pathload, cprobe, pktpair, topp, delphi, btc.
+/// Every entry accepts key=value config overrides (see docs/ESTIMATORS.md
+/// for the per-estimator key tables); an unknown key or malformed value
+/// fails with a line-numbered core::EstimatorError.
+const core::EstimatorRegistry& builtin_estimators();
+
+}  // namespace pathload::baselines

@@ -58,4 +58,39 @@ ToppEstimator::Estimate ToppEstimator::measure(core::ProbeChannel& channel) cons
   return est;
 }
 
+std::string ToppEstimator::config_text() const {
+  std::string out;
+  out += core::kv_config_line("min_rate_mbps", cfg_.min_rate.mbits_per_sec());
+  out += core::kv_config_line("max_rate_mbps", cfg_.max_rate.mbits_per_sec());
+  out += core::kv_config_line("step_mbps", cfg_.step.mbits_per_sec());
+  out += core::kv_config_line("packets_per_train", cfg_.packets_per_train);
+  out += core::kv_config_line("trains_per_rate", cfg_.trains_per_rate);
+  out += core::kv_config_line("inter_train_gap_ms", cfg_.inter_train_gap.millis());
+  out += core::kv_config_line("overload_threshold", cfg_.overload_threshold);
+  return out;
+}
+
+core::EstimateReport ToppEstimator::run(core::ProbeChannel& channel, Rng& /*rng*/) {
+  core::MeteredChannel metered{channel};
+  const TimePoint start = metered.now();
+  const Estimate est = measure(metered);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kAvailBw;
+  report.valid = est.valid;
+  report.low = report.high = est.avail_bw;
+  if (est.valid) report.capacity = est.capacity;
+  report.streams_sent = metered.streams();
+  report.packets_sent = metered.packets();
+  report.bytes_sent = metered.bytes();
+  report.elapsed = metered.now() - start;
+  report.iterations.reserve(est.sweep.size());
+  for (const auto& [ro, rm] : est.sweep) {
+    report.iterations.push_back(
+        {ro.mbits_per_sec(), rm.mbits_per_sec(), "rate-point"});
+  }
+  return report;
+}
+
 }  // namespace pathload::baselines

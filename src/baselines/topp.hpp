@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "core/channel.hpp"
+#include "core/estimator.hpp"
 #include "util/units.hpp"
 
 namespace pathload::baselines {
@@ -33,7 +33,7 @@ struct ToppConfig {
   double overload_threshold{1.12};
 };
 
-class ToppEstimator {
+class ToppEstimator final : public core::Estimator {
  public:
 
   struct Estimate {
@@ -47,6 +47,12 @@ class ToppEstimator {
   explicit ToppEstimator(ToppConfig cfg = ToppConfig()) : cfg_{cfg} {}
 
   Estimate measure(core::ProbeChannel& channel) const;
+
+  // Estimator interface: avail-bw point, with the regression capacity as
+  // the secondary estimate and the rate sweep as the iteration trace.
+  std::string_view name() const override { return "topp"; }
+  std::string config_text() const override;
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
 
  private:
   ToppConfig cfg_;

@@ -1,9 +1,45 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/stream.hpp"
 #include "util/time.hpp"
+#include "util/units.hpp"
 
 namespace pathload::core {
+
+/// Parameters of one greedy-TCP bulk transfer (the BTC measurement of
+/// Section VII). Deliberately transport-agnostic: the channel owns the TCP
+/// implementation (simulated Reno today), the spec only shapes the run.
+struct BulkTransferSpec {
+  Duration duration{Duration::seconds(300)};
+  /// Bucketing of the receiver-side throughput series (Fig. 15).
+  Duration throughput_bucket{Duration::seconds(1)};
+  /// Reverse-path (ACK) delay for channels that must model it.
+  Duration reverse_delay{Duration::milliseconds(100)};
+};
+
+/// What one bulk transfer achieved, as seen by the transport.
+struct BulkTransferOutcome {
+  DataSize bytes_acked{};          ///< cumulative payload acknowledged
+  Duration elapsed{};              ///< how long the transfer actually ran
+  std::vector<Rate> per_bucket;    ///< receiver-side throughput per bucket
+  std::uint64_t fast_retransmits{0};
+  std::uint64_t timeouts{0};
+  std::vector<double> rtt_samples_secs;  ///< the connection's own RTT samples
+};
+
+/// Optional ProbeChannel capability: run one greedy TCP connection through
+/// the measured path. Implemented by `scenario::SimProbeChannel` (simulated
+/// Reno); absent from `net::LiveProbeChannel` (the live tool has no TCP
+/// data mover), which is why BTC cannot run there — the estimator registry
+/// surfaces that as a structured capability error, not a silent fallback.
+class BulkChannel {
+ public:
+  virtual ~BulkChannel() = default;
+  virtual BulkTransferOutcome run_bulk_transfer(const BulkTransferSpec& spec) = 0;
+};
 
 /// The backend a pathload session measures through.
 ///
@@ -34,6 +70,10 @@ class ProbeChannel {
 
   /// Round-trip time estimate of the path; lower-bounds the idle interval.
   virtual Duration rtt() const = 0;
+
+  /// The channel's bulk-TCP capability, or nullptr when it has none.
+  /// Estimators that need it (BTC) check this; everything else ignores it.
+  virtual BulkChannel* bulk() { return nullptr; }
 };
 
 }  // namespace pathload::core

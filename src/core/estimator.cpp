@@ -1,0 +1,183 @@
+#include "core/estimator.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace pathload::core {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string{s.substr(b, e - b)};
+}
+
+[[noreturn]] void fail_value(int line, std::string_view key,
+                             const std::string& what) {
+  throw EstimatorError{"line " + std::to_string(line) + ": " +
+                       std::string{key} + ": " + what};
+}
+
+}  // namespace
+
+bool EstimateReport::covers(Rate truth, Rate point_slack) const {
+  if (!valid) return false;
+  if (is_range) return low <= truth && truth <= high;
+  const Rate c = center();
+  const Rate lo = c - point_slack;
+  const Rate hi = c + point_slack;
+  return lo <= truth && truth <= hi;
+}
+
+std::string kv_config_line(const char* key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s = %.12g\n", key, value);
+  return buf;
+}
+
+std::string_view EstimateReport::quantity_label(Quantity q) {
+  switch (q) {
+    case Quantity::kAvailBw: return "avail-bw";
+    case Quantity::kAdr: return "ADR";
+    case Quantity::kCapacity: return "capacity";
+    case Quantity::kTcpThroughput: return "tcp-throughput";
+  }
+  return "?";
+}
+
+KvOverrides KvOverrides::parse(std::string_view text) {
+  KvOverrides out;
+  std::istringstream in{std::string{text}};
+  std::string raw;
+  int no = 0;
+  while (std::getline(in, raw)) {
+    ++no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    // The CLI single-line form separates overrides with commas; each chunk
+    // keeps its source line so errors stay line-numbered either way.
+    std::stringstream chunks{raw};
+    std::string chunk;
+    while (std::getline(chunks, chunk, ',')) {
+      const std::string stripped = trim(chunk);
+      if (stripped.empty()) continue;
+      const auto eq = stripped.find('=');
+      if (eq == std::string::npos) {
+        throw EstimatorError{"line " + std::to_string(no) +
+                             ": expected 'key = value', got '" + stripped + "'"};
+      }
+      Item item{no, trim(stripped.substr(0, eq)), trim(stripped.substr(eq + 1))};
+      if (item.key.empty()) {
+        throw EstimatorError{"line " + std::to_string(no) + ": empty key before '='"};
+      }
+      if (out.find(item.key) != nullptr) {
+        throw EstimatorError{"line " + std::to_string(no) + ": duplicate key '" +
+                             item.key + "'"};
+      }
+      out.items_.push_back(std::move(item));
+    }
+  }
+  return out;
+}
+
+const KvOverrides::Item* KvOverrides::find(std::string_view key) const {
+  for (const Item& i : items_) {
+    if (i.key == key) return &i;
+  }
+  return nullptr;
+}
+
+double KvOverrides::num(std::string_view key, double def) const {
+  const Item* item = find(key);
+  if (item == nullptr) return def;
+  char* end = nullptr;
+  const double v = std::strtod(item->value.c_str(), &end);
+  if (end == item->value.c_str() || *end != '\0') {
+    fail_value(item->line, key, "expected a number, got '" + item->value + "'");
+  }
+  return v;
+}
+
+int KvOverrides::integer(std::string_view key, int def) const {
+  const Item* item = find(key);
+  if (item == nullptr) return def;
+  const double v = num(key, 0.0);
+  const int i = static_cast<int>(v);
+  if (static_cast<double>(i) != v) {
+    fail_value(item->line, key, "expected an integer, got '" + item->value + "'");
+  }
+  return i;
+}
+
+Rate KvOverrides::mbps(std::string_view key, Rate def) const {
+  if (find(key) == nullptr) return def;
+  return Rate::mbps(num(key, 0.0));
+}
+
+Duration KvOverrides::millis(std::string_view key, Duration def) const {
+  if (find(key) == nullptr) return def;
+  return Duration::milliseconds(num(key, 0.0));
+}
+
+Duration KvOverrides::seconds(std::string_view key, Duration def) const {
+  if (find(key) == nullptr) return def;
+  return Duration::seconds(num(key, 0.0));
+}
+
+void KvOverrides::require_known(
+    std::string_view estimator,
+    std::initializer_list<std::string_view> known) const {
+  for (const Item& item : items_) {
+    bool ok = false;
+    for (std::string_view k : known) {
+      if (item.key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (ok) continue;
+    std::string msg = "line " + std::to_string(item.line) + ": unknown key '" +
+                      item.key + "' for estimator '" + std::string{estimator} +
+                      "' (known keys:";
+    for (std::string_view k : known) msg += " " + std::string{k};
+    msg += ")";
+    throw EstimatorError{msg};
+  }
+}
+
+void EstimatorRegistry::add(Entry entry) {
+  if (find(entry.name) != nullptr) {
+    throw EstimatorError{"registry already has an estimator named '" +
+                         entry.name + "'"};
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const EstimatorRegistry::Entry* EstimatorRegistry::find(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const EstimatorRegistry::Entry& EstimatorRegistry::at(std::string_view name) const {
+  if (const Entry* e = find(name)) return *e;
+  std::string msg =
+      "unknown estimator '" + std::string{name} + "'; known estimators:";
+  for (const Entry& e : entries_) msg += " " + e.name;
+  throw EstimatorError{msg};
+}
+
+std::unique_ptr<Estimator> EstimatorRegistry::make(std::string_view name,
+                                                   std::string_view overrides) const {
+  const Entry& entry = at(name);
+  return entry.make(KvOverrides::parse(overrides));
+}
+
+}  // namespace pathload::core

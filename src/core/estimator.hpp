@@ -1,0 +1,248 @@
+// The unified estimator abstraction.
+//
+// Every bandwidth-estimation tool in this repo — pathload's SLoPS search
+// and the Section II baselines (cprobe train dispersion, packet-pair
+// capacity probing, TOPP, Delphi, greedy-TCP BTC) — implements one
+// interface: `Estimator::run(ProbeChannel&, Rng&)` returning a uniform
+// `EstimateReport`. The interface is what makes the "any estimator × any
+// scenario" cross-product possible: an estimator never knows whether its
+// channel is `scenario::SimProbeChannel` or `net::LiveProbeChannel`, and
+// the comparison harness (`scenario::run_matrix`) never knows which tool
+// it is fanning out.
+//
+// `EstimatorRegistry` mirrors `scenario::Registry`: named presets with
+// key=value config overrides and line-numbered, actionable errors. The
+// builtin catalogue lives one layer up, in
+// `baselines::builtin_estimators()`, because core cannot depend on the
+// baseline implementations.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pathload::core {
+
+/// An estimator could not be configured or run: unknown name, bad config
+/// override, or a channel missing a required capability. Messages name the
+/// offending key/line (for overrides) or list what would work (for
+/// capability and lookup failures).
+class EstimatorError : public std::runtime_error {
+ public:
+  explicit EstimatorError(const std::string& what) : std::runtime_error{what} {}
+};
+
+/// Uniform outcome of one estimator run, whatever the tool measures.
+struct EstimateReport {
+  /// Which quantity `low`/`high` report. The paper's Section II point:
+  /// the tool families do not even answer the same question.
+  enum class Quantity {
+    kAvailBw,        ///< end-to-end available bandwidth (SLoPS, TOPP, Delphi)
+    kAdr,            ///< asymptotic dispersion rate (cprobe trains)
+    kCapacity,       ///< narrow-link capacity (packet pairs)
+    kTcpThroughput,  ///< greedy-TCP bulk transfer capacity (BTC)
+  };
+
+  std::string estimator;  ///< registry name of the tool that produced this
+  Quantity quantity{Quantity::kAvailBw};
+
+  /// The estimate. Pathload reports a genuine [low, high] range
+  /// (`is_range` true); every other tool reports a point (low == high).
+  /// `valid` is false when the tool could not produce an estimate at all
+  /// (e.g. TOPP's sweep never exceeded the avail-bw).
+  bool valid{false};
+  bool is_range{false};
+  Rate low{};
+  Rate high{};
+  /// Secondary estimate, when the tool yields one (TOPP's tight-link
+  /// capacity from the regression slope).
+  std::optional<Rate> capacity{};
+
+  /// Intrusiveness: probe traffic injected into the path.
+  std::int64_t streams_sent{0};
+  std::int64_t packets_sent{0};
+  DataSize bytes_sent{};
+  /// Latency: virtual (sim) or wall (live) time the measurement took.
+  Duration elapsed{};
+
+  /// Per-iteration trace: one entry per fleet (pathload), train (cprobe),
+  /// offered rate (TOPP), or throughput bucket (BTC).
+  struct Iteration {
+    double offered_mbps{0.0};   ///< probing rate of the iteration (0 if n/a)
+    double measured_mbps{0.0};  ///< what the iteration measured
+    std::string note;           ///< tool-specific label (verdict, bucket, ...)
+  };
+  std::vector<Iteration> iterations;
+
+  Rate center() const { return (low + high) / 2.0; }
+  /// Coverage predicate for accuracy accounting: a range covers `truth`
+  /// by containment; a point covers it within `point_slack`.
+  bool covers(Rate truth, Rate point_slack) const;
+
+  static std::string_view quantity_label(Quantity q);
+};
+
+/// One bandwidth-estimation tool, ready to run over any ProbeChannel.
+///
+/// Contract:
+///  * `run` is a complete measurement; implementations may be stateful
+///    across calls (stream-id counters) but each call stands alone.
+///  * `run` must drive all probing through the channel — no backdoor to a
+///    simulator — so the same estimator runs over sim and live channels.
+///  * An estimator that `needs_bulk_tcp` may only be run on channels whose
+///    `bulk()` is non-null; `run` throws EstimatorError otherwise. Callers
+///    that want a structured error up front (the CLI, the matrix harness)
+///    check the flag before running.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Registry name ("pathload", "cprobe", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Config introspection: the instance's effective configuration as
+  /// `key = value` lines, using exactly the keys its registry factory
+  /// accepts as overrides (round-trips through EstimatorRegistry::make).
+  virtual std::string config_text() const = 0;
+
+  /// True for tools that measure by running a greedy TCP connection (BTC)
+  /// rather than by sending probe streams.
+  virtual bool needs_bulk_tcp() const { return false; }
+
+  /// Run one measurement. `rng` seeds any tool-internal randomness; the
+  /// current tools are deterministic given the channel, but the parameter
+  /// is part of the contract so stochastic probers fit without an
+  /// interface change.
+  virtual EstimateReport run(ProbeChannel& channel, Rng& rng) = 0;
+};
+
+/// Parsed `key = value` estimator-config overrides.
+///
+/// Accepts the same line-based format as scenario specs (`#` comments,
+/// each key at most once) plus a comma-separated single-line form for CLI
+/// flags (`--set pairs=40,packet_size=800`). Errors are EstimatorError
+/// and name the 1-based line, the key, what was expected, and what was
+/// found — mirroring scenario::SpecError.
+class KvOverrides {
+ public:
+  KvOverrides() = default;
+  static KvOverrides parse(std::string_view text);
+
+  bool empty() const { return items_.empty(); }
+
+  /// Typed getters: the default when the key is absent, EstimatorError
+  /// (with the line number) when the value does not parse.
+  double num(std::string_view key, double def) const;
+  int integer(std::string_view key, int def) const;
+  Rate mbps(std::string_view key, Rate def) const;
+  Duration millis(std::string_view key, Duration def) const;
+  Duration seconds(std::string_view key, Duration def) const;
+
+  /// Reject unknown keys: every present key must appear in `known`. The
+  /// error names the estimator, the line, the offending key, and the full
+  /// legal key list. Factories call this after consuming their keys.
+  void require_known(std::string_view estimator,
+                     std::initializer_list<std::string_view> known) const;
+
+ private:
+  struct Item {
+    int line{0};
+    std::string key;
+    std::string value;
+  };
+  const Item* find(std::string_view key) const;
+
+  std::vector<Item> items_;
+};
+
+/// Render one `key = value\n` config line (%.12g), the format KvOverrides
+/// parses back — the shared building block of every config_text().
+std::string kv_config_line(const char* key, double value);
+
+/// Named estimator catalogue: the estimator-side mirror of
+/// scenario::Registry. Each entry is a factory taking parsed config
+/// overrides, so `make("topp", "max_rate_mbps = 16")` yields a configured
+/// instance and a typo'd key fails with the line and the legal keys.
+class EstimatorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Estimator>(const KvOverrides&)>;
+
+  struct Entry {
+    std::string name;
+    std::string summary;        ///< one line for `--list-estimators`
+    std::string quantity;       ///< what it reports ("avail-bw range", ...)
+    bool needs_bulk_tcp{false}; ///< mirrored from the estimator for
+                                ///< capability checks before construction
+    Factory make;
+  };
+
+  EstimatorRegistry() = default;
+
+  /// Append an entry; throws EstimatorError on a duplicate name.
+  void add(Entry entry);
+
+  /// Lookup by name; nullptr when absent.
+  const Entry* find(std::string_view name) const;
+
+  /// Lookup by name; throws EstimatorError listing the known estimators.
+  const Entry& at(std::string_view name) const;
+
+  /// Construct a configured instance: parse `overrides` and invoke the
+  /// entry's factory. All EstimatorError paths (unknown name, bad value,
+  /// unknown key) originate here or inside the factory.
+  std::unique_ptr<Estimator> make(std::string_view name,
+                                  std::string_view overrides = {}) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// ProbeChannel decorator that tallies probe traffic.
+///
+/// Estimator adapters wrap their channel in one of these so EstimateReport
+/// footprints are exact without touching the probing loops: the forwarded
+/// call sequence is bit-identical to running on the inner channel
+/// directly (the golden anchors in tests/baselines rely on this).
+class MeteredChannel final : public ProbeChannel {
+ public:
+  explicit MeteredChannel(ProbeChannel& inner) : inner_{inner} {}
+
+  StreamOutcome run_stream(const StreamSpec& spec) override {
+    StreamOutcome outcome = inner_.run_stream(spec);
+    ++streams_;
+    packets_ += outcome.sent_count;
+    bytes_ += DataSize::bytes(static_cast<std::int64_t>(outcome.sent_count) *
+                              spec.packet_size);
+    return outcome;
+  }
+  void idle(Duration d) override { inner_.idle(d); }
+  TimePoint now() override { return inner_.now(); }
+  Duration rtt() const override { return inner_.rtt(); }
+  BulkChannel* bulk() override { return inner_.bulk(); }
+
+  std::int64_t streams() const { return streams_; }
+  std::int64_t packets() const { return packets_; }
+  DataSize bytes() const { return bytes_; }
+
+ private:
+  ProbeChannel& inner_;
+  std::int64_t streams_{0};
+  std::int64_t packets_{0};
+  DataSize bytes_{};
+};
+
+}  // namespace pathload::core

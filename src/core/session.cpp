@@ -6,10 +6,24 @@
 
 namespace pathload::core {
 
-PathloadSession::PathloadSession(ProbeChannel& channel, PathloadConfig cfg)
-    : channel_{channel}, cfg_{std::move(cfg)} {}
+namespace {
 
-Rate PathloadSession::initial_estimate(PathloadResult& result) {
+std::string_view verdict_label(FleetVerdict v) {
+  switch (v) {
+    case FleetVerdict::kAbove: return "above";
+    case FleetVerdict::kBelow: return "below";
+    case FleetVerdict::kGrey: return "grey";
+    case FleetVerdict::kAbortedLoss: return "aborted-loss";
+  }
+  return "?";
+}
+
+}  // namespace
+
+PathloadSession::PathloadSession(PathloadConfig cfg) : cfg_{std::move(cfg)} {}
+
+Rate PathloadSession::initial_estimate(ProbeChannel& channel,
+                                       PathloadResult& result) {
   // A short train at the tool's maximum rate. Its dispersion at the
   // receiver is (roughly) the asymptotic dispersion rate, which lies
   // between the avail-bw and the capacity — a sound upper-bound seed.
@@ -18,12 +32,12 @@ Rate PathloadSession::initial_estimate(PathloadResult& result) {
   spec.packet_count = std::min(cfg_.packets_per_stream, 20);
   spec.packet_size = cfg_.max_packet_size;
   spec.period = cfg_.min_period;
-  const StreamOutcome outcome = channel_.run_stream(spec);
+  const StreamOutcome outcome = channel.run_stream(spec);
   ++result.streams_sent;
   result.packets_sent += outcome.sent_count;
   result.bytes_sent +=
       DataSize::bytes(static_cast<std::int64_t>(outcome.sent_count) * spec.packet_size);
-  channel_.idle(std::max(channel_.rtt(), spec.duration() * 9.0));
+  channel.idle(std::max(channel.rtt(), spec.duration() * 9.0));
   if (outcome.records.size() < 2) return cfg_.max_rate();
   const Duration spread = outcome.records.back().received -
                           outcome.records.front().received;
@@ -33,15 +47,15 @@ Rate PathloadSession::initial_estimate(PathloadResult& result) {
   return Rate::bps(bits / spread.secs());
 }
 
-PathloadResult PathloadSession::run() {
+PathloadResult PathloadSession::run(ProbeChannel& channel) {
   PathloadResult result;
-  const TimePoint start = channel_.now();
+  const TimePoint start = channel.now();
 
   Rate initial_rmax = cfg_.max_rate();
   if (cfg_.initial_rmax.has_value()) {
     initial_rmax = *cfg_.initial_rmax;
   } else {
-    const Rate dispersion = initial_estimate(result);
+    const Rate dispersion = initial_estimate(channel, result);
     // The dispersion rate estimates ADR >= A; leave headroom above it so
     // the true avail-bw is strictly inside the initial search interval.
     initial_rmax = std::min(cfg_.max_rate(), dispersion * 1.25);
@@ -55,7 +69,7 @@ PathloadResult PathloadSession::run() {
 
     FleetTrace trace;
     trace.rate = actual;
-    const FleetVerdict verdict = run_fleet(actual, trace, result);
+    const FleetVerdict verdict = run_fleet(channel, actual, trace, result);
     trace.verdict = verdict;
     ++result.fleets;
     adjuster.record(actual, verdict);
@@ -64,18 +78,18 @@ PathloadResult PathloadSession::run() {
 
   result.range = adjuster.report();
   result.converged = adjuster.converged();
-  result.elapsed = channel_.now() - start;
+  result.elapsed = channel.now() - start;
   return result;
 }
 
-FleetVerdict PathloadSession::run_fleet(Rate rate, FleetTrace& trace,
-                                        PathloadResult& result) {
+FleetVerdict PathloadSession::run_fleet(ProbeChannel& channel, Rate rate,
+                                        FleetTrace& trace, PathloadResult& result) {
   const StreamSpec base = make_stream_spec(rate, cfg_);
   // Inter-stream idle keeps the *average* probing rate at a fraction of R
   // (Section IV: <= R/10 -> idle nine stream durations) and is never below
   // the RTT, so each stream is acknowledged before the next is sent.
   const Duration idle = std::max(
-      channel_.rtt(),
+      channel.rtt(),
       base.duration() * (1.0 / cfg_.average_rate_fraction - 1.0));
 
   int retries_left = cfg_.max_stream_retries_per_fleet;
@@ -85,7 +99,7 @@ FleetVerdict PathloadSession::run_fleet(Rate rate, FleetTrace& trace,
   while (accepted < cfg_.streams_per_fleet) {
     StreamSpec spec = base;
     spec.stream_id = ++next_stream_id_;
-    const StreamOutcome outcome = channel_.run_stream(spec);
+    const StreamOutcome outcome = channel.run_stream(spec);
     ++result.streams_sent;
     result.packets_sent += outcome.sent_count;
     result.bytes_sent +=
@@ -115,18 +129,57 @@ FleetVerdict PathloadSession::run_fleet(Rate rate, FleetTrace& trace,
       // fleet's verdict only counts valid streams either way.
       trace.streams.push_back(report);
       --retries_left;
-      channel_.idle(idle);
+      channel.idle(idle);
       continue;
     }
 
     trace.streams.push_back(report);
     ++accepted;
-    channel_.idle(idle);
+    channel.idle(idle);
   }
 
   trace.counts = count_fleet(trace.streams, cfg_);
   if (excessive_loss_abort) return FleetVerdict::kAbortedLoss;
   return judge_fleet(trace.streams, cfg_);
+}
+
+std::string PathloadSession::config_text() const {
+  std::string out;
+  out += kv_config_line("packets_per_stream", cfg_.packets_per_stream);
+  out += kv_config_line("streams_per_fleet", cfg_.streams_per_fleet);
+  out += kv_config_line("fleet_fraction", cfg_.fleet_fraction);
+  out += kv_config_line("omega_mbps", cfg_.omega.mbits_per_sec());
+  out += kv_config_line("chi_mbps", cfg_.chi.mbits_per_sec());
+  out += kv_config_line("pct_threshold", cfg_.trend.pct_threshold);
+  out += kv_config_line("pdt_threshold", cfg_.trend.pdt_threshold);
+  out += kv_config_line("max_fleets", cfg_.max_fleets);
+  if (cfg_.initial_rmax) {
+    out += kv_config_line("initial_rmax_mbps", cfg_.initial_rmax->mbits_per_sec());
+  }
+  return out;
+}
+
+EstimateReport PathloadSession::run(ProbeChannel& channel, Rng& /*rng*/) {
+  const PathloadResult result = run(channel);
+  EstimateReport report;
+  report.estimator = name();
+  report.quantity = EstimateReport::Quantity::kAvailBw;
+  report.valid = true;
+  report.is_range = true;
+  report.low = result.range.low;
+  report.high = result.range.high;
+  report.streams_sent = result.streams_sent;
+  report.packets_sent = result.packets_sent;
+  report.bytes_sent = result.bytes_sent;
+  report.elapsed = result.elapsed;
+  report.iterations.reserve(result.trace.size());
+  for (const FleetTrace& fleet : result.trace) {
+    EstimateReport::Iteration it;
+    it.offered_mbps = fleet.rate.mbits_per_sec();
+    it.note = verdict_label(fleet.verdict);
+    report.iterations.push_back(std::move(it));
+  }
+  return report;
 }
 
 }  // namespace pathload::core

@@ -5,6 +5,7 @@
 
 #include "core/channel.hpp"
 #include "core/config.hpp"
+#include "core/estimator.hpp"
 #include "core/fleet.hpp"
 #include "core/rate_adjuster.hpp"
 #include "core/stream.hpp"
@@ -37,13 +38,23 @@ struct PathloadResult {
 /// stream's OWD trend (PCT/PDT), aggregates per-fleet verdicts with the
 /// grey region, and walks the rate-adjustment search until the termination
 /// resolutions (omega, chi) are met.
-class PathloadSession {
+///
+/// The session is channel-free at construction: `run(channel)` measures
+/// through whatever backend it is handed, and the `Estimator` face makes
+/// it one tool among equals in the comparison harness.
+class PathloadSession final : public Estimator {
  public:
-  PathloadSession(ProbeChannel& channel, PathloadConfig cfg);
+  explicit PathloadSession(PathloadConfig cfg = PathloadConfig{});
 
-  /// Run the measurement to completion. Reentrant: each call is an
-  /// independent measurement.
-  PathloadResult run();
+  /// Run the measurement to completion, with the full pathload-specific
+  /// result (fleet traces). Reentrant: each call is an independent
+  /// measurement.
+  PathloadResult run(ProbeChannel& channel);
+
+  // Estimator interface: the same measurement, reported uniformly.
+  std::string_view name() const override { return "pathload"; }
+  std::string config_text() const override;
+  EstimateReport run(ProbeChannel& channel, Rng& rng) override;
 
   const PathloadConfig& config() const { return cfg_; }
 
@@ -51,12 +62,12 @@ class PathloadSession {
   /// Initial dispersion probe (Section IV footnote 3 / [12]): one short
   /// maximal-rate train whose receiving rate initializes the search bounds.
   /// Its traffic is charged to `result`'s footprint accounting.
-  Rate initial_estimate(PathloadResult& result);
+  Rate initial_estimate(ProbeChannel& channel, PathloadResult& result);
 
   /// Run one fleet at `rate`; fills `trace` and returns the verdict.
-  FleetVerdict run_fleet(Rate rate, FleetTrace& trace, PathloadResult& result);
+  FleetVerdict run_fleet(ProbeChannel& channel, Rate rate, FleetTrace& trace,
+                         PathloadResult& result);
 
-  ProbeChannel& channel_;
   PathloadConfig cfg_;
   std::uint32_t next_stream_id_{0};
 };

@@ -8,9 +8,9 @@ AvailBwTracker::AvailBwTracker(ProbeChannel& channel, Config cfg)
     : channel_{channel}, cfg_{std::move(cfg)} {}
 
 const AvailBwTracker::Sample& AvailBwTracker::measure_once() {
-  PathloadSession session{channel_, cfg_.tool};
+  PathloadSession session{cfg_.tool};
   const TimePoint started = channel_.now();
-  const PathloadResult result = session.run();
+  const PathloadResult result = session.run(channel_);
 
   Sample sample;
   sample.started = started;

@@ -1,6 +1,10 @@
 #include "scenario/experiment.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "scenario/sim_channel.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "util/stats.hpp"
 
 namespace pathload::scenario {
@@ -67,8 +71,8 @@ core::PathloadResult run_pathload_once(const PaperPathConfig& path_cfg,
   Testbed bed{cfg};
   bed.start();
   SimProbeChannel channel{bed.simulator(), bed.path()};
-  core::PathloadSession session{channel, tool_cfg};
-  return session.run();
+  core::PathloadSession session{tool_cfg};
+  return session.run(channel);
 }
 
 RepeatedRuns run_pathload_repeated(const PaperPathConfig& path_cfg,
@@ -90,8 +94,8 @@ core::PathloadResult run_scenario_once(const ScenarioSpec& spec,
   ScenarioInstance inst{std::move(seeded)};
   inst.start();
   SimProbeChannel channel{inst.simulator(), inst.path()};
-  core::PathloadSession session{channel, tool_cfg};
-  return session.run();
+  core::PathloadSession session{tool_cfg};
+  return session.run(channel);
 }
 
 RepeatedRuns run_scenario_repeated(const ScenarioSpec& spec,
@@ -103,6 +107,176 @@ RepeatedRuns run_scenario_repeated(const ScenarioSpec& spec,
     out.results.push_back(run_scenario_once(spec, tool_cfg, seed0 + i));
   }
   return out;
+}
+
+MatrixEstimator MatrixEstimator::from_registry(const core::EstimatorRegistry& reg,
+                                               std::string_view name,
+                                               std::string_view overrides) {
+  const core::EstimatorRegistry::Entry& entry = reg.at(name);
+  const std::string ov{overrides};
+  // Surface override errors (unknown key, bad value) now, with their
+  // line numbers, instead of from inside a worker thread mid-matrix.
+  (void)entry.make(core::KvOverrides::parse(ov));
+  MatrixEstimator out;
+  out.name = entry.name;
+  // Copy the factory (not a reference to the entry): the column must
+  // outlive registry mutation or destruction.
+  out.make = [factory = entry.make, ov] {
+    return factory(core::KvOverrides::parse(ov));
+  };
+  return out;
+}
+
+int MatrixCell::valid_runs() const {
+  int n = 0;
+  for (const auto& r : reports) n += r.valid ? 1 : 0;
+  return n;
+}
+
+Rate MatrixCell::mean_low() const {
+  OnlineStats s;
+  for (const auto& r : reports) {
+    if (r.valid) s.add(r.low.bits_per_sec());
+  }
+  return s.count() > 0 ? Rate::bps(s.mean()) : Rate::zero();
+}
+
+Rate MatrixCell::mean_high() const {
+  OnlineStats s;
+  for (const auto& r : reports) {
+    if (r.valid) s.add(r.high.bits_per_sec());
+  }
+  return s.count() > 0 ? Rate::bps(s.mean()) : Rate::zero();
+}
+
+Rate MatrixCell::mean_center() const {
+  OnlineStats s;
+  for (const auto& r : reports) {
+    if (r.valid) s.add(r.center().bits_per_sec());
+  }
+  return s.count() > 0 ? Rate::bps(s.mean()) : Rate::zero();
+}
+
+double MatrixCell::mean_rel_error() const {
+  OnlineStats s;
+  if (truth > Rate::zero()) {
+    for (const auto& r : reports) {
+      if (!r.valid) continue;
+      s.add(std::abs(r.center().bits_per_sec() - truth.bits_per_sec()) /
+            truth.bits_per_sec());
+    }
+  }
+  return s.count() > 0 ? s.mean()
+                       : std::numeric_limits<double>::quiet_NaN();
+}
+
+double MatrixCell::coverage(Rate point_slack) const {
+  if (reports.empty()) return 0.0;
+  int hits = 0;
+  for (const auto& r : reports) {
+    if (r.covers(truth, point_slack)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(reports.size());
+}
+
+double MatrixCell::cv_center() const {
+  OnlineStats s;
+  for (const auto& r : reports) {
+    if (r.valid) s.add(r.center().bits_per_sec());
+  }
+  if (s.count() == 0) return std::numeric_limits<double>::quiet_NaN();
+  return s.count() > 1 ? s.cv() : 0.0;
+}
+
+DataSize MatrixCell::mean_bytes() const {
+  if (reports.empty()) return DataSize{};
+  double total = 0.0;
+  for (const auto& r : reports) total += static_cast<double>(r.bytes_sent.byte_count());
+  return DataSize::bytes(
+      static_cast<std::int64_t>(total / static_cast<double>(reports.size())));
+}
+
+double MatrixCell::mean_packets() const {
+  if (reports.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : reports) total += static_cast<double>(r.packets_sent);
+  return total / static_cast<double>(reports.size());
+}
+
+Duration MatrixCell::mean_elapsed() const {
+  if (reports.empty()) return Duration::zero();
+  Duration total = Duration::zero();
+  for (const auto& r : reports) total += r.elapsed;
+  return total / static_cast<double>(reports.size());
+}
+
+core::EstimateReport run_estimator_once(const ScenarioSpec& spec,
+                                        core::Estimator& est, std::uint64_t seed) {
+  ScenarioSpec seeded = spec;
+  seeded.seed = seed;
+  ScenarioInstance inst{std::move(seeded)};
+  inst.start();
+  SimProbeChannel channel{inst.simulator(), inst.path()};
+  Rng rng{seed};
+  return est.run(channel, rng);
+}
+
+std::vector<MatrixCell> run_matrix(const std::vector<MatrixEstimator>& estimators,
+                                   const std::vector<ScenarioSpec>& scenarios,
+                                   const std::vector<double>& loads, int runs,
+                                   std::uint64_t seed0, SweepRunner& runner) {
+  // Enumerate every cell — and derive its seeds — before anything runs, so
+  // the fan-out is deterministic and independent of the thread count.
+  struct CellPlan {
+    const MatrixEstimator* est;
+    ScenarioSpec spec;  // already loaded to the cell's utilization
+    double load;
+    std::uint64_t seed0;
+  };
+  std::vector<CellPlan> plans;
+  plans.reserve(estimators.size() * scenarios.size() *
+                std::max<std::size_t>(loads.size(), 1));
+  for (const MatrixEstimator& est : estimators) {
+    for (const ScenarioSpec& scenario : scenarios) {
+      if (loads.empty()) {
+        const double own =
+            scenario.hops[scenario.tight_hop()].traffic.utilization;
+        plans.push_back(CellPlan{&est, scenario, own, seed0});
+      } else {
+        for (const double u : loads) {
+          // Same per-point seed derivation as bench/fig05 and --sweep.
+          const auto cell_seed = static_cast<std::uint64_t>(
+              static_cast<double>(seed0) + u * 1000);
+          plans.push_back(CellPlan{&est, scenario.with_load(u), u, cell_seed});
+        }
+      }
+    }
+  }
+
+  const auto n_runs = static_cast<std::size_t>(runs);
+  std::vector<core::EstimateReport> reports =
+      runner.map(plans.size() * n_runs, [&](std::size_t i) {
+        const CellPlan& plan = plans[i / n_runs];
+        const auto run = static_cast<std::uint64_t>(i % n_runs);
+        const auto est = plan.est->make();
+        return run_estimator_once(plan.spec, *est, plan.seed0 + run);
+      });
+
+  std::vector<MatrixCell> cells;
+  cells.reserve(plans.size());
+  for (std::size_t c = 0; c < plans.size(); ++c) {
+    MatrixCell cell;
+    cell.estimator = plans[c].est->name;
+    cell.scenario = plans[c].spec.name;
+    cell.load = plans[c].load;
+    cell.truth = plans[c].spec.avail_bw();
+    cell.seed0 = plans[c].seed0;
+    cell.reports.assign(
+        std::make_move_iterator(reports.begin() + static_cast<std::ptrdiff_t>(c * n_runs)),
+        std::make_move_iterator(reports.begin() + static_cast<std::ptrdiff_t>((c + 1) * n_runs)));
+    cells.push_back(std::move(cell));
+  }
+  return cells;
 }
 
 }  // namespace pathload::scenario

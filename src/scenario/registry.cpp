@@ -158,6 +158,100 @@ Registry make_builtin() {
     hop.2.traffic.utilization = 0.2
   )");
 
+  // Heterogeneous per-hop queue depths: the tight middle link is deeply
+  // buffered (it can absorb a long SLoPS stream without loss) while the
+  // outer hops have shallow buffers that clip bursts — estimators that
+  // equate queueing delay with congestion misread the shallow hops.
+  reg.add_text(R"(
+    name = asym-buffers
+    description = paper-path shape with asymmetric buffers: 40 ms shallow edges around a deeply buffered (1 s) tight link
+    hops = 3
+    hop.0.capacity_mbps = 20
+    hop.0.delay_ms = 17
+    hop.0.buffer_ms = 40
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.6
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.buffer_ms = 1000
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.6
+    hop.2.capacity_mbps = 20
+    hop.2.delay_ms = 16
+    hop.2.buffer_ms = 40
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.6
+  )");
+
+  // Many near-tight links: an 8-hop ladder whose every hop's avail-bw sits
+  // within ~12% of the tight link's (the beta -> 1 stress of Fig. 7,
+  // pushed to a long path). Multiple links imprint OWD trends, so SLoPS
+  // underestimates — the scenario quantifies by how much.
+  reg.add_text(R"(
+    name = tight-ladder-8hop
+    description = 8 hops all near-tight (avail-bw 4.0-4.5 Mb/s per hop, tight first hop A = 4 Mb/s)
+    hops = 8
+    hop.0.capacity_mbps = 10
+    hop.0.delay_ms = 6
+    hop.0.traffic.model = pareto
+    hop.0.traffic.utilization = 0.6
+    hop.1.capacity_mbps = 10.4
+    hop.1.delay_ms = 6
+    hop.1.traffic.model = poisson
+    hop.1.traffic.utilization = 0.6
+    hop.2.capacity_mbps = 10.8
+    hop.2.delay_ms = 6
+    hop.2.traffic.model = pareto
+    hop.2.traffic.utilization = 0.6
+    hop.3.capacity_mbps = 10.2
+    hop.3.delay_ms = 6
+    hop.3.traffic.model = poisson
+    hop.3.traffic.utilization = 0.6
+    hop.4.capacity_mbps = 11
+    hop.4.delay_ms = 6
+    hop.4.traffic.model = pareto
+    hop.4.traffic.utilization = 0.6
+    hop.5.capacity_mbps = 10.6
+    hop.5.delay_ms = 6
+    hop.5.traffic.model = poisson
+    hop.5.traffic.utilization = 0.6
+    hop.6.capacity_mbps = 11.2
+    hop.6.delay_ms = 6
+    hop.6.traffic.model = pareto
+    hop.6.traffic.utilization = 0.6
+    hop.7.capacity_mbps = 10.9
+    hop.7.delay_ms = 6
+    hop.7.traffic.model = poisson
+    hop.7.traffic.utilization = 0.6
+  )");
+
+  // Ramp-up-then-down: the tight link's load climbs 30% -> 80% over
+  // t = 10..15 s (A: 7 -> 2 Mb/s), holds, then returns to 30% over
+  // t = 25..30 s — the paper's Section VI dynamics question in wave form:
+  // does the estimate track down *and* back up?
+  reg.add_text(R"(
+    name = wave-load
+    description = tight 10 Mb/s link load waves 30% -> 80% -> 30% (ramps at t = 10-15 s and 25-30 s)
+    hops = 3
+    hop.0.capacity_mbps = 30
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.2
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = ramp
+    hop.1.traffic.utilization = 0.3
+    hop.1.traffic.end_utilization = 0.8
+    hop.1.traffic.ramp_start_s = 10
+    hop.1.traffic.ramp_end_s = 15
+    hop.1.traffic.ramp_back_start_s = 25
+    hop.1.traffic.ramp_back_end_s = 30
+    hop.2.capacity_mbps = 30
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.2
+  )");
+
   return reg;
 }
 

@@ -44,7 +44,8 @@ class Registry {
 
   /// The shipped presets: the paper path (Pareto and Poisson forms),
   /// tight-link != narrow-link, a 5-hop heterogeneous path, a bursty
-  /// on/off tight link, and a non-stationary load step.
+  /// on/off tight link, a non-stationary load step, asymmetric per-hop
+  /// buffers, an 8-hop near-tight ladder, and an up-then-down load wave.
   static const Registry& builtin();
 
  private:

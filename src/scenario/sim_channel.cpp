@@ -1,5 +1,7 @@
 #include "scenario/sim_channel.hpp"
 
+#include "tcp/bulk.hpp"
+
 namespace pathload::scenario {
 
 SimProbeChannel::SimProbeChannel(sim::Simulator& sim, sim::Path& path)
@@ -96,6 +98,11 @@ core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
   outcome.records = std::move(records_);
   records_ = {};
   return outcome;
+}
+
+core::BulkTransferOutcome SimProbeChannel::run_bulk_transfer(
+    const core::BulkTransferSpec& spec) {
+  return tcp::run_bulk_transfer(sim_, path_, spec);
 }
 
 }  // namespace pathload::scenario

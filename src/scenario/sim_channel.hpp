@@ -18,7 +18,7 @@ namespace pathload::scenario {
 /// SLoPS analysis must work on the resulting relative OWDs alone —
 /// faithfully reproducing the real tool's "no clock synchronization
 /// required" property (Section IV).
-class SimProbeChannel final : public core::ProbeChannel {
+class SimProbeChannel final : public core::ProbeChannel, public core::BulkChannel {
  public:
   SimProbeChannel(sim::Simulator& sim, sim::Path& path);
   ~SimProbeChannel() override;
@@ -27,6 +27,12 @@ class SimProbeChannel final : public core::ProbeChannel {
   void idle(Duration d) override { sim_.run_for(d); }
   TimePoint now() override { return sim_.now(); }
   Duration rtt() const override;
+
+  /// Bulk-TCP capability: a simulated path can always host a greedy Reno
+  /// connection (tcp::run_bulk_transfer), so BTC runs over this channel.
+  core::BulkChannel* bulk() override { return this; }
+  core::BulkTransferOutcome run_bulk_transfer(
+      const core::BulkTransferSpec& spec) override;
 
   /// Clock offsets of the two hosts relative to the simulation clock.
   void set_sender_clock_offset(Duration d) { sender_offset_ = d; }

@@ -216,6 +216,18 @@ void validate_hop(std::size_t i, const HopDecl& h) {
                  "must not precede ramp_start_s (" + fmt(t.ramp_start_s) +
                  "), got " + fmt(t.ramp_end_s));
       }
+      if (t.has_ramp_back()) {
+        if (t.ramp_back_start_s < t.ramp_end_s) {
+          fail_hop(i, "traffic.ramp_back_start_s",
+                   "the return segment must not precede ramp_end_s (" +
+                   fmt(t.ramp_end_s) + "), got " + fmt(t.ramp_back_start_s));
+        }
+        if (t.ramp_back_end_s < t.ramp_back_start_s) {
+          fail_hop(i, "traffic.ramp_back_end_s",
+                   "must not precede ramp_back_start_s (" +
+                   fmt(t.ramp_back_start_s) + "), got " + fmt(t.ramp_back_end_s));
+        }
+      }
       break;
     case TrafficModel::kNone:
       break;
@@ -442,6 +454,10 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
         hop.traffic.ramp_start_s = parse_num(l);
       } else if (field == "traffic.ramp_end_s") {
         hop.traffic.ramp_end_s = parse_num(l);
+      } else if (field == "traffic.ramp_back_start_s") {
+        hop.traffic.ramp_back_start_s = parse_num(l);
+      } else if (field == "traffic.ramp_back_end_s") {
+        hop.traffic.ramp_back_end_s = parse_num(l);
       } else if (field == "traffic.mix") {
         hop.traffic.mix = parse_mix(l);
       } else {
@@ -449,7 +465,7 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
                 "' (expected capacity_mbps, delay_ms, buffer_ms, or traffic.{"
                 "model, utilization, sources, pareto_alpha, peak_utilization, "
                 "mean_burst_kb, burst_alpha, end_utilization, ramp_start_s, "
-                "ramp_end_s, mix})");
+                "ramp_end_s, ramp_back_start_s, ramp_back_end_s, mix})");
       }
     } else {
       fail(l, "unknown key (expected name, description, seed, warmup_s, "
@@ -540,6 +556,10 @@ std::string ScenarioSpec::to_text() const {
       out += pre + "traffic.end_utilization = " + fmt(t.end_utilization) + "\n";
       out += pre + "traffic.ramp_start_s = " + fmt(t.ramp_start_s) + "\n";
       out += pre + "traffic.ramp_end_s = " + fmt(t.ramp_end_s) + "\n";
+      if (t.has_ramp_back()) {
+        out += pre + "traffic.ramp_back_start_s = " + fmt(t.ramp_back_start_s) + "\n";
+        out += pre + "traffic.ramp_back_end_s = " + fmt(t.ramp_back_end_s) + "\n";
+      }
     }
   }
   return out;
@@ -596,7 +616,10 @@ Rate ScenarioSpec::final_avail_bw() const {
   if (paper) return paper->tight_avail_bw();
   Rate best = Rate::mbps(1e12);
   for (const auto& h : hops) {
-    const double u = h.traffic.model == TrafficModel::kRamp
+    // A wave returns to its pre-ramp load; a one-way ramp holds its end
+    // load.
+    const double u = h.traffic.model == TrafficModel::kRamp &&
+                             !h.traffic.has_ramp_back()
                          ? h.traffic.end_utilization
                          : initial_util(h);
     best = std::min(best, h.capacity * (1.0 - u));
@@ -680,6 +703,12 @@ ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
         params.end_rate = link.capacity() * t.end_utilization / n;
         params.ramp_start = Duration::seconds(t.ramp_start_s);
         params.ramp_end = Duration::seconds(t.ramp_end_s);
+        if (t.has_ramp_back()) {
+          // The wave returns to the pre-ramp load.
+          params.back_rate = mean / n;
+          params.back_start = Duration::seconds(t.ramp_back_start_s);
+          params.back_end = Duration::seconds(t.ramp_back_end_s);
+        }
         std::vector<std::unique_ptr<sim::TrafficGen>> members;
         members.reserve(static_cast<std::size_t>(t.sources));
         for (int s = 0; s < t.sources; ++s) {

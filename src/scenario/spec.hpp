@@ -94,6 +94,18 @@ struct TrafficSpec {
   /// instantaneous step.
   double ramp_start_s{0.0};
   double ramp_end_s{0.0};
+  /// kRamp: optional return window making the profile a *wave*: after
+  /// holding end_utilization the load ramps back to `utilization` over
+  /// [ramp_back_start_s, ramp_back_end_s]. Both zero (the default)
+  /// disables the return segment; when set, the window must not precede
+  /// ramp_end_s. Equal values make the return an instantaneous step.
+  double ramp_back_start_s{0.0};
+  double ramp_back_end_s{0.0};
+
+  /// True when the return segment is configured.
+  bool has_ramp_back() const {
+    return ramp_back_start_s > 0.0 || ramp_back_end_s > 0.0;
+  }
 
   /// Packet size distribution (all models).
   sim::PacketSizeMix mix{sim::PacketSizeMix::paper_mix()};

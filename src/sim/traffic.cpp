@@ -211,15 +211,32 @@ RampLoadSource::RampLoadSource(Simulator& sim, PacketHandler& target,
   if (params_.ramp_start < Duration::zero()) {
     throw std::invalid_argument{"ramp_start must not be negative"};
   }
+  if (params_.back_rate) {
+    if (*params_.back_rate <= Rate::zero()) {
+      throw std::invalid_argument{"ramp back_rate must be positive"};
+    }
+    if (params_.back_start < params_.ramp_end) {
+      throw std::invalid_argument{"ramp back_start must not precede ramp_end"};
+    }
+    if (params_.back_end < params_.back_start) {
+      throw std::invalid_argument{"ramp back_end must not precede back_start"};
+    }
+  }
   mean_bytes_ = mix_.mean_bytes();
 }
 
 Rate RampLoadSource::rate_at(Duration elapsed) const {
   if (elapsed <= params_.ramp_start) return params_.start_rate;
-  if (elapsed >= params_.ramp_end) return params_.end_rate;
-  const double frac = (elapsed - params_.ramp_start) /
-                      (params_.ramp_end - params_.ramp_start);
-  return params_.start_rate + (params_.end_rate - params_.start_rate) * frac;
+  if (elapsed < params_.ramp_end) {
+    const double frac = (elapsed - params_.ramp_start) /
+                        (params_.ramp_end - params_.ramp_start);
+    return params_.start_rate + (params_.end_rate - params_.start_rate) * frac;
+  }
+  if (!params_.back_rate || elapsed <= params_.back_start) return params_.end_rate;
+  if (elapsed >= params_.back_end) return *params_.back_rate;
+  const double frac = (elapsed - params_.back_start) /
+                      (params_.back_end - params_.back_start);
+  return params_.end_rate + (*params_.back_rate - params_.end_rate) * frac;
 }
 
 void RampLoadSource::start() {

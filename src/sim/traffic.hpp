@@ -20,6 +20,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/packet.hpp"
@@ -238,6 +239,15 @@ struct RampParams {
   Rate end_rate{Rate::mbps(1)};
   Duration ramp_start{Duration::zero()};
   Duration ramp_end{Duration::zero()};
+
+  /// Optional return segment (a load *wave*): after holding `end_rate`,
+  /// the rate moves linearly to `back_rate` over [back_start, back_end]
+  /// (both measured from start(), like ramp_start/ramp_end) and holds it
+  /// afterwards. Disabled while `back_rate` is unset — the profile then
+  /// matches the original single-segment ramp exactly.
+  std::optional<Rate> back_rate{};
+  Duration back_start{Duration::zero()};
+  Duration back_end{Duration::zero()};
 };
 
 /// Non-stationary Poisson background load for load-change scenarios.

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/channel.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/reno.hpp"
+
+namespace pathload::tcp {
+
+/// Run one greedy TCP connection over `path` for `spec.duration` and report
+/// what it achieved. This is the single implementation behind both the BTC
+/// baseline's direct simulator API (`baselines::BtcMeasurement::run`) and
+/// the `core::BulkChannel` capability of `scenario::SimProbeChannel` — the
+/// two must stay one code path so channel-driven BTC is bit-identical to
+/// the bespoke form.
+core::BulkTransferOutcome run_bulk_transfer(sim::Simulator& sim, sim::Path& path,
+                                            const core::BulkTransferSpec& spec,
+                                            const TcpConfig& tcp = TcpConfig{});
+
+}  // namespace pathload::tcp

@@ -1,0 +1,132 @@
+// Golden determinism anchors for the unified-estimator refactor.
+//
+// The expected values below were captured from the PRE-refactor bespoke
+// APIs (CprobeEstimator::measure on a raw channel, BtcMeasurement::run on
+// the simulator, PathloadSession{channel, cfg}.run(), ...) on the
+// paper-path preset at seed 9001. The Estimator interface — registry
+// construction, MeteredChannel accounting, bulk-TCP capability — must
+// reproduce every measured bit: a diff here means the refactor changed
+// what a tool sends or how its result is computed, not just how it is
+// reported. Same pattern as tests/integration/engine_determinism_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include "baselines/btc.hpp"
+#include "baselines/estimators.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sim_channel.hpp"
+#include "scenario/spec.hpp"
+
+namespace pathload::baselines {
+namespace {
+
+constexpr std::uint64_t kSeed = 9001;
+
+scenario::ScenarioInstance golden_instance() {
+  scenario::ScenarioSpec spec = scenario::Registry::builtin().at("paper-path");
+  spec.seed = kSeed;
+  return scenario::ScenarioInstance{std::move(spec)};
+}
+
+core::EstimateReport run_golden(const char* name, const char* overrides = "") {
+  auto inst = golden_instance();
+  inst.start();
+  scenario::SimProbeChannel channel{inst.simulator(), inst.path()};
+  const auto est = builtin_estimators().make(name, overrides);
+  Rng rng{kSeed};
+  return est->run(channel, rng);
+}
+
+TEST(EstimatorGolden, PathloadReplaysBespokeSessionBitExact) {
+  const auto r = run_golden("pathload");
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.is_range);
+  EXPECT_EQ(r.low.bits_per_sec(), 3261498.8217835505);
+  EXPECT_EQ(r.high.bits_per_sec(), 5435835.0631745951);
+  EXPECT_EQ(r.iterations.size(), 5u);  // fleets
+  EXPECT_EQ(r.streams_sent, 61);
+  EXPECT_EQ(r.packets_sent, 6020);
+  EXPECT_EQ(r.bytes_sent.byte_count(), 1230000);
+  EXPECT_EQ(r.elapsed.nanos(), 29056684175);
+}
+
+TEST(EstimatorGolden, CprobeReplaysBespokeMeasureBitExact) {
+  const auto r = run_golden("cprobe");
+  EXPECT_TRUE(r.valid);
+  EXPECT_FALSE(r.is_range);
+  EXPECT_EQ(r.quantity, core::EstimateReport::Quantity::kAdr);
+  EXPECT_EQ(r.low.bits_per_sec(), 7578200.4885507468);
+  EXPECT_EQ(r.high.bits_per_sec(), 7578200.4885507468);
+  EXPECT_EQ(r.elapsed.nanos(), 1243340708);
+  // 4 trains x 100 packets x 1500 B, all transmitted.
+  EXPECT_EQ(r.streams_sent, 4);
+  EXPECT_EQ(r.packets_sent, 400);
+  EXPECT_EQ(r.bytes_sent.byte_count(), 600000);
+  EXPECT_EQ(r.iterations.size(), 4u);
+}
+
+TEST(EstimatorGolden, PacketPairReplaysBespokeMeasureBitExact) {
+  const auto r = run_golden("pktpair");
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.quantity, core::EstimateReport::Quantity::kCapacity);
+  EXPECT_EQ(r.low.bits_per_sec(), 7177033.4928229665);
+  EXPECT_EQ(r.elapsed.nanos(), 4496665753);
+  // 60 pairs x 2 packets x 1500 B.
+  EXPECT_EQ(r.streams_sent, 60);
+  EXPECT_EQ(r.packets_sent, 120);
+  EXPECT_EQ(r.bytes_sent.byte_count(), 180000);
+}
+
+TEST(EstimatorGolden, ToppReplaysBespokeMeasureBitExact) {
+  const auto r = run_golden("topp");
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.quantity, core::EstimateReport::Quantity::kAvailBw);
+  EXPECT_EQ(r.low.bits_per_sec(), 3444583.3232455598);
+  ASSERT_TRUE(r.capacity.has_value());
+  EXPECT_EQ(r.capacity->bits_per_sec(), 7365181.4192511253);
+  EXPECT_EQ(r.iterations.size(), 20u);  // the 1..20 Mb/s sweep
+  EXPECT_EQ(r.elapsed.nanos(), 8726672489);
+}
+
+TEST(EstimatorGolden, DelphiReplaysBespokeMeasureBitExact) {
+  const auto r = run_golden("delphi");  // default capacity = the tight 10 Mb/s
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.low.bits_per_sec(), 1594491.1999999993);
+  EXPECT_EQ(r.elapsed.nanos(), 7989796700);
+  EXPECT_EQ(r.streams_sent, 100);
+  EXPECT_EQ(r.packets_sent, 200);
+}
+
+TEST(EstimatorGolden, BtcOverChannelReplaysBespokeSimulatorRunBitExact) {
+  const auto r = run_golden("btc", "duration_s = 8");
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.quantity, core::EstimateReport::Quantity::kTcpThroughput);
+  EXPECT_EQ(r.low.bits_per_sec(), 3498160.0);
+  EXPECT_EQ(r.iterations.size(), 8u);  // 1-second buckets
+  EXPECT_EQ(r.iterations.front().measured_mbps, Rate::bps(1812000).mbits_per_sec());
+}
+
+TEST(EstimatorGolden, BtcDirectAndChannelFormsAgreeBitExact) {
+  // The two BTC entry points (direct simulator API vs the channel's
+  // bulk-TCP capability) must be one code path: identical numbers.
+  BtcConfig cfg;
+  cfg.duration = Duration::seconds(8);
+
+  auto direct = golden_instance();
+  direct.start();
+  const auto bespoke = BtcMeasurement{cfg}.run(direct.simulator(), direct.path());
+
+  const auto r = run_golden("btc", "duration_s = 8");
+  EXPECT_EQ(r.low.bits_per_sec(), bespoke.average_throughput.bits_per_sec());
+  ASSERT_EQ(r.iterations.size(), bespoke.per_bucket.size());
+  for (std::size_t i = 0; i < bespoke.per_bucket.size(); ++i) {
+    EXPECT_EQ(r.iterations[i].measured_mbps, bespoke.per_bucket[i].mbits_per_sec());
+  }
+  EXPECT_EQ(bespoke.fast_retransmits, 0u);
+  EXPECT_EQ(bespoke.timeouts, 0u);
+  EXPECT_EQ(bespoke.rtt_secs.count(), 35);
+  EXPECT_EQ(bespoke.rtt_secs.mean(), 0.22166139585714284);
+}
+
+}  // namespace
+}  // namespace pathload::baselines

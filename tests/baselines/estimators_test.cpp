@@ -1,0 +1,169 @@
+// Tests for the estimator registry: the builtin catalogue, config
+// overrides (line-numbered parse errors, unknown keys), the config_text
+// round-trip, and the bulk-TCP capability contract.
+
+#include <gtest/gtest.h>
+
+#include "baselines/estimators.hpp"
+#include "core/channel.hpp"
+
+namespace pathload::baselines {
+namespace {
+
+using core::EstimatorError;
+
+const core::EstimatorRegistry& reg() { return builtin_estimators(); }
+
+TEST(EstimatorRegistry, BuiltinHasTheDocumentedEstimators) {
+  EXPECT_EQ(reg().size(), 6u);
+  for (const char* name :
+       {"pathload", "cprobe", "pktpair", "topp", "delphi", "btc"}) {
+    const auto* entry = reg().find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_FALSE(entry->summary.empty()) << name;
+    const auto est = reg().make(name);
+    EXPECT_EQ(est->name(), name);
+    EXPECT_EQ(est->needs_bulk_tcp(), entry->needs_bulk_tcp) << name;
+  }
+}
+
+TEST(EstimatorRegistry, OnlyBtcNeedsBulkTcp) {
+  for (const auto& entry : reg().entries()) {
+    EXPECT_EQ(entry.needs_bulk_tcp, entry.name == "btc") << entry.name;
+  }
+}
+
+TEST(EstimatorRegistry, AtNamesTheKnownEstimatorsOnMiss) {
+  EXPECT_EQ(reg().find("no-such"), nullptr);
+  try {
+    (void)reg().at("no-such");
+    FAIL() << "expected EstimatorError";
+  } catch (const EstimatorError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown estimator 'no-such'"), std::string::npos);
+    EXPECT_NE(msg.find("pathload"), std::string::npos);
+    EXPECT_NE(msg.find("btc"), std::string::npos);
+  }
+}
+
+TEST(EstimatorRegistry, OverridesConfigureTheInstance) {
+  const auto est = reg().make("topp", "max_rate_mbps = 16\nstep_mbps = 0.5");
+  const std::string cfg = est->config_text();
+  EXPECT_NE(cfg.find("max_rate_mbps = 16"), std::string::npos);
+  EXPECT_NE(cfg.find("step_mbps = 0.5"), std::string::npos);
+  // Untouched keys keep their defaults.
+  EXPECT_NE(cfg.find("min_rate_mbps = 1"), std::string::npos);
+}
+
+TEST(EstimatorRegistry, CommaSeparatedCliFormWorks) {
+  const auto est = reg().make("cprobe", "trains = 2, train_length = 50");
+  const std::string cfg = est->config_text();
+  EXPECT_NE(cfg.find("trains = 2"), std::string::npos);
+  EXPECT_NE(cfg.find("train_length = 50"), std::string::npos);
+}
+
+TEST(EstimatorRegistry, UnknownKeyNamesLineEstimatorAndLegalKeys) {
+  try {
+    (void)reg().make("cprobe", "trains = 2\ntrainz = 3");
+    FAIL() << "expected EstimatorError";
+  } catch (const EstimatorError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown key 'trainz'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'cprobe'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("train_length"), std::string::npos) << msg;
+  }
+}
+
+TEST(EstimatorRegistry, MalformedNumberNamesLineAndKey) {
+  try {
+    (void)reg().make("delphi", "pairs = ten");
+    FAIL() << "expected EstimatorError";
+  } catch (const EstimatorError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pairs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected a number"), std::string::npos) << msg;
+  }
+}
+
+TEST(EstimatorRegistry, NonIntegerRejectedForIntegerKeys) {
+  EXPECT_THROW((void)reg().make("pktpair", "pairs = 1.5"), EstimatorError);
+}
+
+TEST(EstimatorRegistry, DuplicateKeyRejected) {
+  try {
+    (void)reg().make("pktpair", "pairs = 10, pairs = 20");
+    FAIL() << "expected EstimatorError";
+  } catch (const EstimatorError& e) {
+    EXPECT_NE(std::string{e.what()}.find("duplicate key 'pairs'"),
+              std::string::npos);
+  }
+}
+
+TEST(EstimatorRegistry, MissingEqualsRejected) {
+  try {
+    (void)reg().make("pktpair", "pairs");
+    FAIL() << "expected EstimatorError";
+  } catch (const EstimatorError& e) {
+    EXPECT_NE(std::string{e.what()}.find("expected 'key = value'"),
+              std::string::npos);
+  }
+}
+
+TEST(EstimatorRegistry, ConfigTextRoundTripsThroughOverrides) {
+  // Every estimator's introspected config must itself be a legal override
+  // text producing an identically-configured instance — the contract that
+  // keeps config_text and the factories' key lists in sync.
+  for (const auto& entry : reg().entries()) {
+    const auto original = reg().make(entry.name);
+    const std::string cfg = original->config_text();
+    const auto reparsed = reg().make(entry.name, cfg);
+    EXPECT_EQ(reparsed->config_text(), cfg) << entry.name;
+  }
+}
+
+TEST(EstimatorRegistry, AddRejectsDuplicateNames) {
+  core::EstimatorRegistry copy;
+  copy.add({"x", "an estimator", "avail-bw", false,
+            [](const core::KvOverrides&) -> std::unique_ptr<core::Estimator> {
+              return nullptr;
+            }});
+  EXPECT_THROW(copy.add({"x", "again", "avail-bw", false,
+                         [](const core::KvOverrides&) -> std::unique_ptr<core::Estimator> {
+                           return nullptr;
+                         }}),
+               EstimatorError);
+}
+
+TEST(EstimatorCapability, BtcThrowsStructuredErrorOnBulklessChannel) {
+  // A minimal probe-only channel: bulk() stays the base-class nullptr.
+  class ProbeOnlyChannel final : public core::ProbeChannel {
+   public:
+    core::StreamOutcome run_stream(const core::StreamSpec& spec) override {
+      core::StreamOutcome o;
+      o.sent_count = spec.packet_count;
+      return o;
+    }
+    void idle(Duration d) override { now_ += d; }
+    TimePoint now() override { return now_; }
+    Duration rtt() const override { return Duration::milliseconds(10); }
+
+   private:
+    TimePoint now_{};
+  } channel;
+
+  const auto btc = reg().make("btc");
+  Rng rng{1};
+  try {
+    (void)btc->run(channel, rng);
+    FAIL() << "expected EstimatorError";
+  } catch (const EstimatorError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("btc"), std::string::npos);
+    EXPECT_NE(msg.find("bulk-TCP"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pathload::baselines

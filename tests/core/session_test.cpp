@@ -70,8 +70,8 @@ PathloadConfig tool() {
 
 TEST(PathloadSession, ConvergesOnNoiselessFluidPath) {
   FluidChannel channel{path_with_avail(4.0)};
-  PathloadSession session{channel, tool()};
-  const auto result = session.run();
+  PathloadSession session{tool()};
+  const auto result = session.run(channel);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.range.contains(Rate::mbps(4.0)))
       << "[" << result.range.low.str() << ", " << result.range.high.str() << "]";
@@ -81,8 +81,8 @@ TEST(PathloadSession, ConvergesOnNoiselessFluidPath) {
 TEST(PathloadSession, ConvergesUnderOwdNoise) {
   FluidChannel channel{path_with_avail(4.0)};
   channel.noise_secs = 200e-6;  // +-200 us jitter per packet
-  PathloadSession session{channel, tool()};
-  const auto result = session.run();
+  PathloadSession session{tool()};
+  const auto result = session.run(channel);
   EXPECT_TRUE(result.converged);
   // Noise creates a grey region; the range must still cover the truth.
   EXPECT_LE(result.range.low, Rate::mbps(4.5));
@@ -91,8 +91,8 @@ TEST(PathloadSession, ConvergesUnderOwdNoise) {
 
 TEST(PathloadSession, InterStreamIdleKeepsAverageRateLow) {
   FluidChannel channel{path_with_avail(4.0)};
-  PathloadSession session{channel, tool()};
-  (void)session.run();
+  PathloadSession session{tool()};
+  (void)session.run(channel);
   ASSERT_FALSE(channel.idles.empty());
   // Every idle must be at least 9 stream durations or the RTT, whichever
   // is larger (Section IV: average pathload rate <= R/10). Stream duration
@@ -107,8 +107,8 @@ TEST(PathloadSession, HeavyLossAbortsFleetsAndDrivesRateDown) {
   channel.loss_rate = 0.5;  // catastrophic loss at any rate
   auto cfg = tool();
   cfg.max_fleets = 8;
-  PathloadSession session{channel, cfg};
-  const auto result = session.run();
+  PathloadSession session{cfg};
+  const auto result = session.run(channel);
   ASSERT_FALSE(result.trace.empty());
   for (const auto& fleet : result.trace) {
     EXPECT_EQ(fleet.verdict, FleetVerdict::kAbortedLoss);
@@ -122,8 +122,8 @@ TEST(PathloadSession, ExcessiveLossStopsFleetEarly) {
   channel.loss_rate = 0.2;  // > 10% per stream
   auto cfg = tool();
   cfg.max_fleets = 2;
-  PathloadSession session{channel, cfg};
-  const auto result = session.run();
+  PathloadSession session{cfg};
+  const auto result = session.run(channel);
   // The first lossy stream aborts each fleet: one stream per fleet.
   for (const auto& fleet : result.trace) {
     EXPECT_EQ(fleet.streams.size(), 1u);
@@ -133,8 +133,8 @@ TEST(PathloadSession, ExcessiveLossStopsFleetEarly) {
 TEST(PathloadSession, ModerateLossIsToleratedWithinLimits) {
   FluidChannel channel{path_with_avail(4.0)};
   channel.loss_rate = 0.01;  // 1% well under the 3% moderate threshold
-  PathloadSession session{channel, tool()};
-  const auto result = session.run();
+  PathloadSession session{tool()};
+  const auto result = session.run(channel);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.range.contains(Rate::mbps(4.0)));
 }
@@ -144,16 +144,16 @@ TEST(PathloadSession, RespectsMaxFleetsCap) {
   channel.noise_secs = 5e-3;  // so noisy nothing is ever decisive
   auto cfg = tool();
   cfg.max_fleets = 5;
-  PathloadSession session{channel, cfg};
-  const auto result = session.run();
+  PathloadSession session{cfg};
+  const auto result = session.run(channel);
   EXPECT_LE(result.fleets, 5);
 }
 
 TEST(PathloadSession, InitialProbeSeedsUpperBound) {
   FluidChannel channel{path_with_avail(4.0)};
   PathloadConfig cfg;  // no initial_rmax: uses the dispersion probe
-  PathloadSession session{channel, cfg};
-  const auto result = session.run();
+  PathloadSession session{cfg};
+  const auto result = session.run(channel);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.range.contains(Rate::mbps(4.0)));
   // The fluid exit rate for a max-rate train on C=10,A=4 is ~ 10*120/126;
@@ -165,8 +165,8 @@ TEST(PathloadSession, InitialProbeSeedsUpperBound) {
 TEST(PathloadSession, FleetRateNeverExceedsToolMax) {
   FluidChannel channel{path_with_avail(115.0, 1000.0)};
   PathloadConfig cfg;
-  PathloadSession session{channel, cfg};
-  const auto result = session.run();
+  PathloadSession session{cfg};
+  const auto result = session.run(channel);
   for (const auto& fleet : result.trace) {
     EXPECT_LE(fleet.rate, cfg.max_rate() + Rate::bps(1));
   }
@@ -174,8 +174,8 @@ TEST(PathloadSession, FleetRateNeverExceedsToolMax) {
 
 TEST(PathloadSession, TraceRecordsPerStreamStatistics) {
   FluidChannel channel{path_with_avail(4.0)};
-  PathloadSession session{channel, tool()};
-  const auto result = session.run();
+  PathloadSession session{tool()};
+  const auto result = session.run(channel);
   for (const auto& fleet : result.trace) {
     if (fleet.verdict == FleetVerdict::kAbortedLoss) continue;
     EXPECT_EQ(static_cast<int>(fleet.streams.size()), 12);
@@ -190,9 +190,9 @@ TEST(PathloadSession, TraceRecordsPerStreamStatistics) {
 
 TEST(PathloadSession, ElapsedTimeMatchesChannelClock) {
   FluidChannel channel{path_with_avail(4.0)};
-  PathloadSession session{channel, tool()};
+  PathloadSession session{tool()};
   const TimePoint before = channel.now();
-  const auto result = session.run();
+  const auto result = session.run(channel);
   EXPECT_EQ(result.elapsed, channel.now() - before);
   EXPECT_GT(result.elapsed, Duration::zero());
 }
@@ -205,8 +205,8 @@ TEST_P(SessionFluidSweep, BracketsHiddenAvailBw) {
   const double avail = GetParam();
   FluidChannel channel{path_with_avail(avail, 120.0)};
   PathloadConfig cfg;
-  PathloadSession session{channel, cfg};
-  const auto result = session.run();
+  PathloadSession session{cfg};
+  const auto result = session.run(channel);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.range.contains(Rate::mbps(avail)))
       << avail << " not in [" << result.range.low.str() << ", "
@@ -230,8 +230,8 @@ TEST_P(SessionKnSweep, ConvergesForAnyStreamAndFleetLength) {
   auto cfg = tool();
   cfg.packets_per_stream = GetParam().k;
   cfg.streams_per_fleet = GetParam().n;
-  PathloadSession session{channel, cfg};
-  const auto result = session.run();
+  PathloadSession session{cfg};
+  const auto result = session.run(channel);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.range.contains(Rate::mbps(4.0)));
 }

@@ -23,8 +23,8 @@ TEST(LossHandling, UnderbufferedPathStillYieldsEstimate) {
   bed.start();
   SimProbeChannel channel{bed.simulator(), bed.path()};
   core::PathloadConfig tool;
-  core::PathloadSession session{channel, tool};
-  const auto result = session.run();
+  core::PathloadSession session{tool};
+  const auto result = session.run(channel);
   // With a tiny buffer, high-rate fleets lose packets and abort, which is
   // informationally equivalent to "R > A": the estimate must stay sane.
   EXPECT_GT(result.fleets, 0);
@@ -45,8 +45,8 @@ TEST(LossHandling, AbortedFleetsAppearInTrace) {
   SimProbeChannel channel{bed.simulator(), bed.path()};
   core::PathloadConfig tool;
   tool.initial_rmax = Rate::mbps(6);
-  core::PathloadSession session{channel, tool};
-  const auto result = session.run();
+  core::PathloadSession session{tool};
+  const auto result = session.run(channel);
   int aborted = 0;
   for (const auto& fleet : result.trace) {
     if (fleet.verdict == core::FleetVerdict::kAbortedLoss) ++aborted;
@@ -132,8 +132,8 @@ TEST(ClockRobustness, SessionUnaffectedByHostClockOffsets) {
     channel.set_receiver_clock_offset(rcv);
     core::PathloadConfig tool;
     tool.initial_rmax = Rate::mbps(12);
-    core::PathloadSession session{channel, tool};
-    return session.run();
+    core::PathloadSession session{tool};
+    return session.run(channel);
   };
   const auto synced = run_with_offsets(Duration::zero(), Duration::zero());
   const auto skewed =

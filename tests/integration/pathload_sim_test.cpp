@@ -86,9 +86,9 @@ TEST(PathloadOverSim, SessionIsReentrant) {
   Testbed bed{cfg};
   bed.start();
   SimProbeChannel ch{bed.simulator(), bed.path()};
-  core::PathloadSession session{ch, fast_tool()};
-  const auto r1 = session.run();
-  const auto r2 = session.run();
+  core::PathloadSession session{fast_tool()};
+  const auto r1 = session.run(ch);
+  const auto r2 = session.run(ch);
   EXPECT_TRUE(r1.converged);
   EXPECT_TRUE(r2.converged);
   // Same path, so the two measurements must roughly agree.
@@ -103,8 +103,8 @@ TEST(PathloadOverSim, ExplicitInitialRmaxSkipsDispersionProbe) {
   SimProbeChannel ch{bed.simulator(), bed.path()};
   auto tool = fast_tool();
   tool.initial_rmax = Rate::mbps(12);
-  core::PathloadSession session{ch, tool};
-  const auto result = session.run();
+  core::PathloadSession session{tool};
+  const auto result = session.run(ch);
   EXPECT_TRUE(result.converged);
   EXPECT_LE(result.range.high, Rate::mbps(12));
   // First fleet probes at (0 + 12)/2 = 6 Mb/s.
@@ -150,8 +150,8 @@ TEST(PathloadOverSim, SendAnomaliesGetRetriedNotCounted) {
   auto tool = fast_tool();
   tool.initial_rmax = Rate::mbps(12);
   tool.max_fleets = 3;
-  core::PathloadSession session{ch, tool};
-  const auto result = session.run();
+  core::PathloadSession session{tool};
+  const auto result = session.run(ch);
   for (const auto& fleet : result.trace) {
     for (const auto& s : fleet.streams) EXPECT_FALSE(s.valid);
     EXPECT_EQ(fleet.verdict, core::FleetVerdict::kGrey);

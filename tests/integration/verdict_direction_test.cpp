@@ -24,8 +24,8 @@ TEST(VerdictDirection, FleetVerdictsConsistentWithRates) {
   bed.start();
   SimProbeChannel channel{bed.simulator(), bed.path()};
   core::PathloadConfig tool;
-  core::PathloadSession session{channel, tool};
-  const auto result = session.run();
+  core::PathloadSession session{tool};
+  const auto result = session.run(channel);
 
   ASSERT_GT(result.fleets, 1);
   for (const auto& fleet : result.trace) {

@@ -160,8 +160,8 @@ TEST(LiveLoopback, FullPathloadSessionOnLoopback) {
     cfg.max_fleets = 10;
     // Loopback "RTT" is microseconds; idling 9 stream-durations between
     // streams still keeps this test fast.
-    core::PathloadSession session{channel, cfg};
-    const auto result = session.run();
+    core::PathloadSession session{cfg};
+    const auto result = session.run(channel);
     EXPECT_GT(result.fleets, 0);
     // The loopback path is far faster than the tool's max measurable rate,
     // so the upper bound should sit high.

@@ -10,13 +10,90 @@ namespace {
 
 TEST(Registry, BuiltinHasTheDocumentedPresets) {
   const Registry& reg = Registry::builtin();
-  EXPECT_GE(reg.size(), 5u);
+  EXPECT_GE(reg.size(), 9u);
   for (const char* name : {"paper-path", "paper-path-poisson", "tight-not-narrow",
-                           "hetero-5hop", "bursty-tight", "load-step"}) {
+                           "hetero-5hop", "bursty-tight", "load-step",
+                           "asym-buffers", "tight-ladder-8hop", "wave-load"}) {
     const ScenarioSpec* spec = reg.find(name);
     ASSERT_NE(spec, nullptr) << name;
     EXPECT_NO_THROW(spec->validate()) << name;
     EXPECT_FALSE(spec->description.empty()) << name;
+  }
+}
+
+TEST(Registry, AsymBuffersHasHeterogeneousQueueDepths) {
+  const ScenarioSpec& spec = Registry::builtin().at("asym-buffers");
+  ASSERT_EQ(spec.hops.size(), 3u);
+  EXPECT_EQ(spec.hops[0].buffer_drain, Duration::milliseconds(40));
+  EXPECT_EQ(spec.hops[1].buffer_drain, Duration::milliseconds(1000));
+  EXPECT_EQ(spec.hops[2].buffer_drain, Duration::milliseconds(40));
+  EXPECT_EQ(spec.tight_hop(), 1u);
+  // The shallow edge buffers are really that shallow once instantiated.
+  ScenarioInstance inst{spec};
+  EXPECT_EQ(inst.path().link(0).buffer_limit(),
+            Rate::mbps(20).bytes_in(Duration::milliseconds(40)));
+  EXPECT_EQ(inst.path().link(1).buffer_limit(),
+            Rate::mbps(10).bytes_in(Duration::milliseconds(1000)));
+}
+
+TEST(Registry, TightLadderHasManyNearTightHops) {
+  const ScenarioSpec& spec = Registry::builtin().at("tight-ladder-8hop");
+  ASSERT_EQ(spec.hops.size(), 8u);
+  const Rate tight_avail = spec.avail_bw();
+  EXPECT_EQ(tight_avail, Rate::mbps(10) * 0.4);
+  // Every hop's avail-bw is within 12.5% of the tight link's.
+  for (const auto& h : spec.hops) {
+    const Rate avail = h.capacity * (1.0 - h.traffic.utilization);
+    EXPECT_GE(avail, tight_avail);
+    EXPECT_LE(avail.bits_per_sec(), tight_avail.bits_per_sec() * 1.125);
+  }
+}
+
+TEST(Registry, WaveLoadRampsUpThenBackDown) {
+  ScenarioSpec spec = Registry::builtin().at("wave-load");
+  ASSERT_TRUE(spec.nonstationary());
+  ASSERT_TRUE(spec.hops[1].traffic.has_ramp_back());
+  // A wave returns to its starting load, so the long-run avail-bw equals
+  // the pre-ramp value at both ends of the run.
+  EXPECT_EQ(spec.final_avail_bw(), spec.avail_bw());
+  EXPECT_EQ(spec.avail_bw(), Rate::mbps(7));
+
+  spec.warmup = Duration::zero();
+  ScenarioInstance inst{std::move(spec)};
+  inst.start();
+  sim::Link& tight = inst.tight_link();
+  auto mbps_over = [&](Duration window) {
+    const DataSize mark = tight.bytes_forwarded();
+    inst.simulator().run_for(window);
+    return (tight.bytes_forwarded() - mark).bits() / window.secs() / 1e6;
+  };
+  const double before = mbps_over(Duration::seconds(9));   // t in [0, 9): ~3
+  inst.simulator().run_for(Duration::seconds(7));          // skip the up-ramp
+  const double peak = mbps_over(Duration::seconds(8));     // t in [16, 24): ~8
+  inst.simulator().run_for(Duration::seconds(7));          // skip the down-ramp
+  const double after = mbps_over(Duration::seconds(10));   // t in [31, 41): ~3
+  EXPECT_NEAR(before, 3.0, 0.5);
+  EXPECT_NEAR(peak, 8.0, 0.9);
+  EXPECT_NEAR(after, 3.0, 0.6);
+}
+
+TEST(Registry, WaveLoadSpecRoundTripsThroughText) {
+  const ScenarioSpec& spec = Registry::builtin().at("wave-load");
+  const ScenarioSpec reparsed = ScenarioSpec::parse(spec.to_text());
+  EXPECT_EQ(reparsed.to_text(), spec.to_text());
+  EXPECT_TRUE(reparsed.hops[1].traffic.has_ramp_back());
+  EXPECT_EQ(reparsed.hops[1].traffic.ramp_back_start_s, 25.0);
+  EXPECT_EQ(reparsed.hops[1].traffic.ramp_back_end_s, 30.0);
+}
+
+TEST(Registry, RampBackValidationRejectsWindowBeforeRampEnd) {
+  ScenarioSpec spec = Registry::builtin().at("wave-load");
+  spec.hops[1].traffic.ramp_back_start_s = 12.0;  // before ramp_end_s = 15
+  try {
+    spec.validate();
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string{e.what()}.find("ramp_back_start_s"), std::string::npos);
   }
 }
 

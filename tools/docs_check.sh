@@ -10,7 +10,9 @@
 #   4. `scenario_runner --list` runs, and every preset it reports is
 #      documented in docs/SCENARIOS.md;
 #   5. every entry in docs/FIGURES.md's "preset" table column is a preset
-#      the registry actually has (or the em-dash placeholder).
+#      the registry actually has (or the em-dash placeholder);
+#   6. `scenario_runner --list-estimators` runs, and every estimator it
+#      reports is documented (with its config keys) in docs/ESTIMATORS.md.
 #
 # Usage: docs_check.sh <repo_root> <scenario_runner_binary>
 
@@ -106,8 +108,26 @@ else
   err "docs/FIGURES.md is missing"
 fi
 
+# --- 6. estimator catalogue is runnable and documented --------------------
+estimators=$("$runner" --list-estimators --format csv 2>/dev/null |
+             awk -F, 'NR > 1 {print $1}')
+if [ -z "$estimators" ]; then
+  err "'$runner --list-estimators --format csv' produced no estimators"
+elif [ ! -f "$root/docs/ESTIMATORS.md" ]; then
+  err "docs/ESTIMATORS.md is missing"
+else
+  for e in $estimators; do
+    # The catalogue row: | `name` | ... in the per-estimator tables.
+    grep -qE "(^|[^a-z0-9_-])${e}([^a-z0-9_-]|\$)" "$root/docs/ESTIMATORS.md" ||
+      err "estimator '$e' is not documented in docs/ESTIMATORS.md"
+    # And its config-key table row must exist (the overrides section).
+    grep -qE "^\| .?\`?${e}\`? .?\|" "$root/docs/ESTIMATORS.md" ||
+      err "estimator '$e' has no table row in docs/ESTIMATORS.md"
+  done
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "docs_check: FAILED" >&2
   exit 1
 fi
-echo "docs_check: OK (${#docs[@]} docs, $(echo "$presets" | wc -w) presets)"
+echo "docs_check: OK (${#docs[@]} docs, $(echo "$presets" | wc -w) presets, $(echo "$estimators" | wc -w) estimators)"
