@@ -1,74 +1,57 @@
 #pragma once
 
-// Shared scenario for the Section VII/VIII experiments (Figs. 15-18): a
-// path whose tight link mirrors the paper's Univ-Ioannina -> Univ-Delaware
-// experiment — 8.2 Mb/s capacity, ~200 ms quiescent RTT, drop-tail buffer
-// of ~180 ms drain time (the paper infers >= 170 kB from the RTT climb to
-// 370 ms). Background traffic is a mix of window-limited TCP flows (whose
-// throughput responds to RTT inflation and losses, the mechanism behind
-// BTC's bandwidth "stealing") and light UDP.
+// Shared scenario for the Section VII/VIII experiments (Figs. 15-18),
+// instantiated from the scenario registry's flow-bearing `btc-path` preset:
+// a path whose tight link mirrors the paper's Univ-Ioannina ->
+// Univ-Delaware experiment — 8.2 Mb/s capacity, ~200 ms quiescent RTT,
+// drop-tail buffer of ~180 ms drain time (the paper infers >= 170 kB from
+// the RTT climb to 370 ms). Background traffic is a mix of window-limited
+// TCP flows (whose throughput responds to RTT inflation and losses, the
+// mechanism behind BTC's bandwidth "stealing" — declared as `flow tcp`
+// entries and driven by tcp::SegmentTcpFlow) and light UDP. The benches
+// only add their measurement-side agents (BTC connection or pathload
+// session, plus the RTT prober) on top of the preset.
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
 #include "sim/monitor.hpp"
 #include "sim/path.hpp"
 #include "sim/rtt_probe.hpp"
 #include "sim/simulator.hpp"
-#include "sim/traffic.hpp"
 #include "tcp/reno.hpp"
-#include "util/rng.hpp"
+#include "tcp/workload.hpp"
 
 namespace pathload::bench {
 
 struct BtcTestbed {
-  static constexpr double kCapacityMbps = 8.2;
-
-  sim::Simulator sim;
-  std::unique_ptr<sim::Path> path;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> cross_tcp;
-  std::unique_ptr<sim::TrafficAggregate> cross_udp;
-  std::unique_ptr<sim::RttProber> pinger;
-
-  static constexpr Duration kForwardProp = Duration::milliseconds(100);
   static constexpr Duration kReverseDelay = Duration::milliseconds(100);
 
-  explicit BtcTestbed(std::uint64_t seed, Duration ping_period) {
-    const Rate capacity = Rate::mbps(kCapacityMbps);
-    path = std::make_unique<sim::Path>(
-        sim, std::vector<sim::HopSpec>{
-                 {capacity, kForwardProp,
-                  capacity.bytes_in(Duration::milliseconds(180))}});
+  scenario::ScenarioInstance inst;
+  sim::Simulator& sim;
+  sim::Path* path;  // non-owning; keeps the pre-port `bed.path->` call sites
+  std::unique_ptr<sim::RttProber> pinger;
 
-    // Window-limited cross TCP: ~0.7 Mb/s each at the 200 ms base RTT.
-    // TCP dominates the background mix, as on the paper's path, so that a
-    // BTC connection has bandwidth to steal via RTT inflation and losses.
-    tcp::TcpConfig limited;
-    limited.advertised_window = 12.0;
-    for (int i = 0; i < 5; ++i) {
-      cross_tcp.push_back(
-          std::make_unique<tcp::TcpConnection>(sim, *path, limited, kReverseDelay));
-      cross_tcp.back()->sender().start();
-    }
-    // Light non-congestion-controlled background (~0.7 Mb/s).
-    Rng rng{seed};
-    cross_udp = std::make_unique<sim::TrafficAggregate>(
-        sim, path->link(0), Rate::mbps(0.7), 5, sim::Interarrival::kPareto,
-        sim::PacketSizeMix::paper_mix(), rng.fork());
-    cross_udp->start();
-
+  explicit BtcTestbed(std::uint64_t seed, Duration ping_period)
+      : inst{[&] {
+          scenario::ScenarioSpec spec = scenario::Registry::builtin().at("btc-path");
+          spec.seed = seed;
+          return spec;
+        }()},
+        sim{inst.simulator()},
+        path{&inst.path()} {
+    // The prober must exist before the warmup so RTTs are sampled while
+    // the background TCP flows settle, as in the paper's timeline.
     pinger = std::make_unique<sim::RttProber>(sim, *path, ping_period, kReverseDelay);
     pinger->start();
-
-    sim.run_for(Duration::seconds(5));  // settle TCP + queues
+    inst.start();  // launches the rwnd-capped flows + UDP, runs the 5 s settle
   }
 
-  /// Aggregate bytes ACKed by the cross TCP flows so far.
-  DataSize cross_tcp_bytes() const {
-    DataSize total{};
-    for (const auto& c : cross_tcp) total += c->sender().bytes_acked();
-    return total;
-  }
+  /// Aggregate bytes ACKed by the background TCP flows so far.
+  DataSize cross_tcp_bytes() const { return inst.flow_bytes_acked(); }
 
   /// Ping RTT samples whose send time falls in [from, to).
   std::vector<double> rtt_samples_in(TimePoint from, TimePoint to) const {

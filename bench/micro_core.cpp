@@ -86,6 +86,38 @@ void BM_AliasSamplerPaperMix(benchmark::State& state) {
 }
 BENCHMARK(BM_AliasSamplerPaperMix);
 
+void BM_SegmentFlowRouting(benchmark::State& state) {
+  // Segment attach/detach plus per-packet routing through a 4-hop chain
+  // whose middle segment [1, 2] hosts the flow: bounds the junction
+  // exit-hop check and the segment demux against the plain end-to-end
+  // forwarding path (BM_LinkForwarding is the 1-hop baseline).
+  sim::Simulator sim;
+  sim::Path path{sim, std::vector<sim::HopSpec>(
+                          4, sim::HopSpec{Rate::mbps(1000), Duration::zero(),
+                                          DataSize::bytes(10'000'000)})};
+  struct Sink final : sim::PacketHandler {
+    std::uint64_t count{0};
+    void handle(const sim::Packet&) override { ++count; }
+  } sink;
+  const sim::Segment seg{1, 2};
+  for (auto _ : state) {
+    const std::uint32_t flow = sim.next_flow_id();
+    path.segment_exit(seg).register_flow(flow, &sink);
+    sim::Packet p;
+    p.flow = flow;
+    p.kind = sim::PacketKind::kTcpData;
+    p.size_bytes = 500;
+    p.transit = true;
+    p.exit_hop = path.exit_hop_value(seg);
+    for (int i = 0; i < 1000; ++i) path.segment_entry(seg).handle(p);
+    sim.run_all();
+    path.segment_exit(seg).unregister_flow(flow);
+  }
+  benchmark::DoNotOptimize(sink.count);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SegmentFlowRouting);
+
 void BM_CrossTrafficSecond(benchmark::State& state) {
   // Cost of one simulated second of 10-source Pareto cross traffic at
   // 6 Mb/s (the Fig. 5 operating point).

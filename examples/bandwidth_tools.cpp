@@ -3,24 +3,115 @@
 // the introduction: which estimate would you trust to pick a mirror?
 //
 //   $ ./build/examples/bandwidth_tools
+//   $ ./build/examples/bandwidth_tools --live <host>:<port>
+//
+// The default run uses a simulated single-queue path. With --live, the
+// same registry estimators run over a net::LiveProbeChannel connected to a
+// running pathload_rcv (its printed control port is the port to use) — the
+// Estimator-over-LiveProbeChannel path end to end. BTC is the exception:
+// it needs a bulk-TCP-capable channel, which the live channel lacks, so it
+// reports the same structured capability-mismatch error scenario_runner
+// gives instead of silently falling back to the simulator.
 //
 // Runs SLoPS/pathload, cprobe-style train dispersion (ADR), packet-pair
 // capacity probing, TOPP, and a greedy-TCP (BTC) transfer, and contrasts
 // what each one measures.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "baselines/btc.hpp"
 #include "baselines/dispersion.hpp"
+#include "baselines/estimators.hpp"
 #include "baselines/topp.hpp"
 #include "core/session.hpp"
+#include "net/live_channel.hpp"
 #include "scenario/paper_path.hpp"
 #include "scenario/sim_channel.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
 
-int main() {
+namespace {
+
+/// The structured capability-mismatch message for bulk-TCP estimators on
+/// the live channel — the same core::channel_support_summary catalogue
+/// scenario_runner's --channel error ends with: name who supports what
+/// instead of silently substituting a simulator.
+core::EstimatorError live_bulk_mismatch(const core::EstimatorRegistry& reg,
+                                        const std::string& names) {
+  return core::EstimatorError{
+      "--live: " + names +
+      ": measuring by greedy TCP connection needs a bulk-TCP-capable "
+      "channel, and the live channel has no TCP data mover; refusing to "
+      "fall back to sim silently.\n" +
+      core::channel_support_summary(reg)};
+}
+
+int run_live(const std::string& target) {
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= target.size()) {
+    std::fprintf(stderr,
+                 "bandwidth_tools: --live expects <host>:<port> (the control "
+                 "port a running pathload_rcv printed), got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bandwidth_tools: bad --live port in '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+
+  const core::EstimatorRegistry& reg = baselines::builtin_estimators();
+  try {
+    net::LiveProbeChannel channel{{host, static_cast<std::uint16_t>(port)}};
+    std::printf("live path to %s (control RTT ~ %s)\n\n", target.c_str(),
+                channel.rtt().str().c_str());
+
+    Table table{{"tool", "reports", "value_Mbps", "probe_MB", "time_s"}};
+    std::string skipped;
+    for (const auto& entry : reg.entries()) {
+      if (entry.needs_bulk_tcp) {
+        // Don't throw mid-table: record the row, print the structured
+        // error once after the results.
+        table.add_row({entry.name, entry.quantity, "n/a (needs bulk TCP)", "-", "-"});
+        skipped += (skipped.empty() ? "" : ", ") + entry.name;
+        continue;
+      }
+      const auto est = entry.make(core::KvOverrides{});
+      Rng rng{1};
+      const core::EstimateReport r = est->run(channel, rng);
+      std::string value = "n/a";
+      if (r.valid) {
+        value = r.is_range ? "[" + Table::num(r.low.mbits_per_sec(), 1) + ", " +
+                                 Table::num(r.high.mbits_per_sec(), 1) + "]"
+                           : Table::num(r.center().mbits_per_sec(), 1);
+      }
+      table.add_row({entry.name, entry.quantity, value,
+                     Table::num(r.bytes_sent.bits() / 8e6, 2),
+                     Table::num(r.elapsed.secs(), 1)});
+    }
+    table.print();
+    if (!skipped.empty()) {
+      std::printf("\n%s\n", live_bulk_mismatch(reg, skipped).what());
+    }
+  } catch (const core::EstimatorError& e) {
+    std::fprintf(stderr, "bandwidth_tools: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bandwidth_tools: --live %s: %s\n", target.c_str(),
+                 e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int run_sim() {
   scenario::PaperPathConfig network;
   network.hops = 1;
   network.tight_capacity = Rate::mbps(10);
@@ -88,4 +179,21 @@ int main() {
       "cost of queueing delay for everyone else) — only SLoPS/TOPP answer\n"
       "the avail-bw question, and only SLoPS bounds its own footprint.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--live") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s [--live <host>:<port>]\n", argv[0]);
+      return 2;
+    }
+    return run_live(argv[2]);
+  }
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--live <host>:<port>]\n", argv[0]);
+    return 2;
+  }
+  return run_sim();
 }

@@ -208,24 +208,12 @@ Options parse_args(int argc, char** argv) {
 /// estimators support which channel.
 void check_channel_support(const core::EstimatorRegistry& reg, Channel channel) {
   if (channel == Channel::kSim) return;
-  std::string sim_names;
-  std::string live_names;
-  std::string live_excluded;
-  for (const auto& e : reg.entries()) {
-    sim_names += " " + e.name;
-    if (e.needs_bulk_tcp) {
-      live_excluded += (live_excluded.empty() ? "" : ", ") + e.name;
-    } else {
-      live_names += " " + e.name;
-    }
-  }
   throw core::EstimatorError{
       "--channel live: scenario presets instantiate a *simulated* path, so "
       "this runner cannot drive a live channel (use examples/pathload_snd + "
       "pathload_rcv against a real peer); refusing to fall back to sim "
-      "silently.\nestimator support by channel:\n  sim: " +
-      sim_names + "\n  live:" + live_names + "  (" + live_excluded +
-      " needs a bulk-TCP-capable channel, which the live channel lacks)"};
+      "silently.\n" +
+      core::channel_support_summary(reg)};
 }
 
 std::string traffic_summary(const scenario::ScenarioSpec& spec) {
@@ -238,7 +226,24 @@ std::string traffic_summary(const scenario::ScenarioSpec& spec) {
     out += m;
     last = m;
   }
+  if (spec.has_flows()) {
+    int n = 0;
+    for (const auto& f : spec.flows) n += f.count;
+    if (!out.empty()) out += "+";
+    out += "tcp(" + std::to_string(n) + ")";
+  }
   return out.empty() ? "none" : out;
+}
+
+/// Printed after flow-bearing runs: with responsive cross flows the
+/// configured avail-bw is what the flows and the estimator compete for,
+/// not a truth the estimate should reproduce.
+void note_flow_truth(const scenario::ScenarioSpec& spec, Format format) {
+  if (format != Format::kTable || !spec.has_flows()) return;
+  std::printf("note: %s carries responsive TCP cross flows; A_Mbps/avail_Mbps "
+              "is the open-loop value the flows compete for, not a fixed "
+              "truth.\n",
+              spec.name.c_str());
 }
 
 void print_list(const scenario::Registry& reg, Format format) {
@@ -374,6 +379,7 @@ int run_estimator_command(const Options& opt, const scenario::ScenarioSpec& base
     std::printf("note: %s is non-stationary; A_Mbps is the pre-ramp value.\n",
                 base.name.c_str());
   }
+  note_flow_truth(base, opt.format);
   return 0;
 }
 
@@ -463,6 +469,7 @@ int run_command(const Options& opt, const scenario::ScenarioSpec& base) {
                 "the configured avail_Mbps column is the pre-ramp value.\n",
                 base.name.c_str(), base.final_avail_bw().mbits_per_sec());
   }
+  note_flow_truth(base, opt.format);
   return 0;
 }
 

@@ -180,4 +180,21 @@ std::unique_ptr<Estimator> EstimatorRegistry::make(std::string_view name,
   return entry.make(KvOverrides::parse(overrides));
 }
 
+std::string channel_support_summary(const EstimatorRegistry& reg) {
+  std::string sim_names;
+  std::string live_names;
+  std::string live_excluded;
+  for (const auto& e : reg.entries()) {
+    sim_names += " " + e.name;
+    if (e.needs_bulk_tcp) {
+      live_excluded += (live_excluded.empty() ? "" : ", ") + e.name;
+    } else {
+      live_names += " " + e.name;
+    }
+  }
+  return "estimator support by channel:\n  sim: " + sim_names + "\n  live:" +
+         live_names + "  (" + live_excluded +
+         " needs a bulk-TCP-capable channel, which the live channel lacks)";
+}
+
 }  // namespace pathload::core

@@ -211,6 +211,13 @@ class EstimatorRegistry {
   std::vector<Entry> entries_;
 };
 
+/// Render the per-channel support catalogue ("estimator support by
+/// channel: ...") that capability-mismatch errors end with: which
+/// estimators run over the simulated channel, which over the live one, and
+/// which are excluded from live for needing bulk TCP. One formatter so the
+/// CLIs' structured errors cannot drift apart.
+std::string channel_support_summary(const EstimatorRegistry& reg);
+
 /// ProbeChannel decorator that tallies probe traffic.
 ///
 /// Estimator adapters wrap their channel in one of these so EstimateReport

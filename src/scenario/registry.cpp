@@ -252,6 +252,100 @@ Registry make_builtin() {
     hop.2.traffic.utilization = 0.2
   )");
 
+  // Responsive background load: the paper-path shape at a light open-loop
+  // load plus one greedy end-to-end TCP flow. The flow expands into
+  // whatever the open-loop traffic leaves free, so the probe is no longer
+  // measuring a fixed A — it is competing with an elastic flow (the
+  // comparative-evaluation literature's "responsive cross traffic" axis).
+  reg.add_text(R"(
+    name = tcp-bg-greedy
+    description = paper-path shape at 30% open-loop load plus one greedy end-to-end TCP flow (elastic competitor)
+    hops = 3
+    hop.0.capacity_mbps = 20
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.3
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.3
+    hop.2.capacity_mbps = 20
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.3
+    flow tcp hops=0-2
+  )");
+
+  // Window-limited background TCP: three rwnd-capped flows whose throughput
+  // is bounded by rwnd/RTT (~1 Mb/s each at the ~100 ms base RTT) but still
+  // *responsive* — RTT inflation and losses push them back, the mechanism
+  // behind BTC's bandwidth stealing in Section VII.
+  reg.add_text(R"(
+    name = tcp-bg-rwnd-capped
+    description = paper-path shape at 30% open-loop load plus 3 rwnd-capped TCP flows (~1 Mb/s each at base RTT)
+    hops = 3
+    hop.0.capacity_mbps = 20
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.3
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.3
+    hop.2.capacity_mbps = 20
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.3
+    flow tcp hops=0-2 rwnd=8 count=3
+  )");
+
+  // A greedy TCP flow that only *partially* overlaps the measured path
+  // (segment 1-2: it enters just before the tight link), cycling 5 s ON /
+  // 5 s OFF with a fresh connection (slow start) each burst. The probe and
+  // the flow duel for the tight link: avail-bw collapses while the flow is
+  // ON and recovers while it is OFF.
+  reg.add_text(R"(
+    name = tcp-vs-probe-duel
+    description = greedy TCP on segment 1-2 cycling 5 s on / 5 s off against the prober (fresh connection each burst)
+    hops = 3
+    hop.0.capacity_mbps = 30
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.2
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.3
+    hop.2.capacity_mbps = 30
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.2
+    flow tcp hops=1-2 on_s=5 off_s=5
+  )");
+
+  // The Section VII/VIII experiment path (Figs. 15-18): a single 8.2 Mb/s
+  // bottleneck with ~200 ms quiescent RTT and a 180 ms drop-tail buffer,
+  // mirroring the paper's Univ-Ioannina -> Univ-Delaware path. Background
+  // is 5 window-limited TCP flows (~0.7 Mb/s each at the base RTT — the
+  // bandwidth a BTC connection steals via RTT inflation and losses) plus
+  // ~0.7 Mb/s of open-loop Pareto traffic. bench/fig15_16_btc and
+  // bench/fig17_18_intrusiveness instantiate this preset.
+  reg.add_text(R"(
+    name = btc-path
+    description = Figs. 15-18 path: 8.2 Mb/s bottleneck, 180 ms buffer, 5 rwnd-capped TCP flows + light UDP
+    warmup_s = 5
+    hops = 1
+    hop.0.capacity_mbps = 8.2
+    hop.0.delay_ms = 100
+    hop.0.buffer_ms = 180
+    hop.0.traffic.model = pareto
+    # ~0.7 Mb/s of 8.2; 12 significant digits so the value survives the
+    # to_text (%.12g) round-trip bit-exactly.
+    hop.0.traffic.utilization = 0.085365853659
+    hop.0.traffic.sources = 5
+    flow tcp hops=0-0 rwnd=12 count=5 reverse_ms=100
+  )");
+
   return reg;
 }
 

@@ -45,7 +45,10 @@ class Registry {
   /// The shipped presets: the paper path (Pareto and Poisson forms),
   /// tight-link != narrow-link, a 5-hop heterogeneous path, a bursty
   /// on/off tight link, a non-stationary load step, asymmetric per-hop
-  /// buffers, an 8-hop near-tight ladder, and an up-then-down load wave.
+  /// buffers, an 8-hop near-tight ladder, an up-then-down load wave, and
+  /// the responsive-cross-traffic family (tcp-bg-greedy,
+  /// tcp-bg-rwnd-capped, tcp-vs-probe-duel, plus btc-path — the
+  /// Figs. 15-18 experiment path).
   static const Registry& builtin();
 
  private:

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <sstream>
+
+#include "tcp/workload.hpp"
 
 namespace pathload::scenario {
 
@@ -239,6 +242,156 @@ double initial_util(const HopDecl& h) {
   return h.traffic.model == TrafficModel::kNone ? 0.0 : h.traffic.utilization;
 }
 
+[[noreturn]] void fail_flow_line(int no, const std::string& what) {
+  throw SpecError{"line " + std::to_string(no) + ": flow: " + what};
+}
+
+/// Parse the `i` or `i-j` value of a flow's hops= key.
+void parse_flow_hops(int no, const std::string& value, FlowSpec& flow) {
+  auto parse_index = [&](const std::string& s) -> std::size_t {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    // The overflow check matters: strtoul clamps to ULONG_MAX, which would
+    // otherwise alias Segment::kPathEnd and validate as "whole path".
+    if (s.empty() || s[0] == '-' || end == s.c_str() || *end != '\0' ||
+        errno == ERANGE || v > 64) {
+      fail_flow_line(no, "hops expects <hop> or <first>-<last> with "
+                         "hop indices in [0, 64], got '" + value + "'");
+    }
+    return static_cast<std::size_t>(v);
+  };
+  const auto dash = value.find('-');
+  if (dash == std::string::npos) {
+    flow.first_hop = flow.last_hop = parse_index(value);
+  } else {
+    flow.first_hop = parse_index(value.substr(0, dash));
+    flow.last_hop = parse_index(value.substr(dash + 1));
+  }
+}
+
+/// Parse one `flow <kind> key=value ...` directive body (everything after
+/// the `flow` token). Field-level range checks live in validate_flow so
+/// C++-built specs get the same diagnostics.
+FlowSpec parse_flow_line(int no, const std::string& body) {
+  std::istringstream in{body};
+  std::string tok;
+  if (!(in >> tok)) {
+    fail_flow_line(no, "expected 'flow <kind> key=value ...' (kinds: tcp)");
+  }
+  if (tok != "tcp") {
+    fail_flow_line(no, "unknown flow kind '" + tok + "' (expected tcp)");
+  }
+  FlowSpec flow;
+  std::set<std::string> seen;
+  while (in >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail_flow_line(no, "expected key=value, got '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (!seen.insert(key).second) {
+      fail_flow_line(no, "duplicate key '" + key + "'");
+    }
+    const KvLine kv{no, "flow " + key, value};
+    if (key == "hops") {
+      parse_flow_hops(no, value, flow);
+    } else if (key == "rwnd") {
+      flow.rwnd = parse_num(kv);
+    } else if (key == "count") {
+      flow.count = parse_int(kv);
+    } else if (key == "start_s") {
+      flow.start_s = parse_num(kv);
+    } else if (key == "stop_s") {
+      flow.stop_s = parse_num(kv);
+    } else if (key == "on_s") {
+      flow.on_s = parse_num(kv);
+    } else if (key == "off_s") {
+      flow.off_s = parse_num(kv);
+    } else if (key == "mss") {
+      flow.mss_bytes = parse_int(kv);
+    } else if (key == "reverse_ms") {
+      flow.reverse_ms = parse_num(kv);
+    } else {
+      fail_flow_line(no, "unknown key '" + key +
+                             "' (expected hops, rwnd, count, start_s, stop_s, "
+                             "on_s, off_s, mss, reverse_ms)");
+    }
+  }
+  return flow;
+}
+
+[[noreturn]] void fail_flow(std::size_t flow, const std::string& field,
+                            const std::string& what) {
+  throw SpecError{"flow " + std::to_string(flow) + ": " + field + ": " + what};
+}
+
+void validate_flow(std::size_t i, const FlowSpec& f, std::size_t hop_count) {
+  const std::size_t last =
+      f.last_hop == sim::Segment::kPathEnd ? hop_count - 1 : f.last_hop;
+  if (f.first_hop > last || last >= hop_count) {
+    fail_flow(i, "hops",
+              "segment " + std::to_string(f.first_hop) + "-" +
+                  std::to_string(last) + " does not fit the path (hops 0-" +
+                  std::to_string(hop_count - 1) +
+                  ", first must not exceed last)");
+  }
+  if (f.rwnd.has_value() && *f.rwnd < 1.0) {
+    fail_flow(i, "rwnd",
+              "must be at least 1 segment (drop the key for a greedy flow), "
+              "got " + fmt(*f.rwnd));
+  }
+  if (f.count < 1 || f.count > 64) {
+    fail_flow(i, "count", "must be in [1, 64], got " + std::to_string(f.count));
+  }
+  if (f.start_s < 0.0) {
+    fail_flow(i, "start_s", "must not be negative, got " + fmt(f.start_s));
+  }
+  if (f.stop_s.has_value() && *f.stop_s <= f.start_s) {
+    fail_flow(i, "stop_s", "must come after start_s (" + fmt(f.start_s) +
+                               "), got " + fmt(*f.stop_s));
+  }
+  if (f.on_s.has_value() != f.off_s.has_value()) {
+    fail_flow(i, f.on_s.has_value() ? "off_s" : "on_s",
+              "on_s and off_s must be set together (the on/off restart "
+              "variant needs both; drop both for a long-lived flow)");
+  }
+  if (f.on_s.has_value() && *f.on_s <= 0.0) {
+    fail_flow(i, "on_s", "must be positive, got " + fmt(*f.on_s));
+  }
+  if (f.off_s.has_value() && *f.off_s <= 0.0) {
+    fail_flow(i, "off_s", "must be positive, got " + fmt(*f.off_s));
+  }
+  if (f.mss_bytes <= 0) {
+    fail_flow(i, "mss",
+              "must be a positive byte count, got " + std::to_string(f.mss_bytes));
+  }
+  if (f.reverse_ms < 0.0) {
+    fail_flow(i, "reverse_ms", "must not be negative, got " + fmt(f.reverse_ms));
+  }
+}
+
+/// Render one flow entry as the directive line parse_flow_line accepts;
+/// defaults are omitted so presets stay terse, and the hop range is printed
+/// resolved so a rendered spec is self-describing.
+std::string flow_to_text(const FlowSpec& f, std::size_t hop_count) {
+  const std::size_t last =
+      f.last_hop == sim::Segment::kPathEnd ? hop_count - 1 : f.last_hop;
+  std::string out = "flow tcp hops=" + std::to_string(f.first_hop) + "-" +
+                    std::to_string(last);
+  if (f.rwnd.has_value()) out += " rwnd=" + fmt(*f.rwnd);
+  if (f.count != 1) out += " count=" + std::to_string(f.count);
+  if (f.start_s != 0.0) out += " start_s=" + fmt(f.start_s);
+  if (f.stop_s.has_value()) out += " stop_s=" + fmt(*f.stop_s);
+  if (f.on_s.has_value()) out += " on_s=" + fmt(*f.on_s);
+  if (f.off_s.has_value()) out += " off_s=" + fmt(*f.off_s);
+  if (f.mss_bytes != 1460) out += " mss=" + std::to_string(f.mss_bytes);
+  if (f.reverse_ms != 50.0) out += " reverse_ms=" + fmt(f.reverse_ms);
+  out += "\n";
+  return out;
+}
+
 }  // namespace
 
 std::string_view to_string(TrafficModel m) {
@@ -287,6 +440,9 @@ ScenarioSpec ScenarioSpec::from_paper(std::string name, std::string description,
 
 ScenarioSpec ScenarioSpec::parse(std::string_view text) {
   std::vector<KvLine> lines;
+  // `flow` directive lines (1-based line number + body after the keyword);
+  // unlike keys they may repeat, one line per flow.
+  std::vector<std::pair<int, std::string>> flow_lines;
   std::set<std::string> seen;
   {
     std::istringstream in{std::string{text}};
@@ -299,6 +455,12 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
       }
       const std::string stripped = trim(raw);
       if (stripped.empty()) continue;
+      if (stripped.rfind("flow", 0) == 0 &&
+          (stripped.size() == 4 ||
+           std::isspace(static_cast<unsigned char>(stripped[4])))) {
+        flow_lines.emplace_back(no, stripped.substr(4));
+        continue;
+      }
       const auto eq = stripped.find('=');
       if (eq == std::string::npos) {
         throw SpecError{"line " + std::to_string(no) +
@@ -477,10 +639,15 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
     throw SpecError{"spec is missing 'name = <preset-name>'"};
   }
 
+  for (const auto& [no, body] : flow_lines) {
+    spec.flows.push_back(parse_flow_line(no, body));
+  }
+
   if (paper_mode) {
     pcfg.seed = spec.seed;
     pcfg.warmup = spec.warmup;
     ScenarioSpec out = from_paper(spec.name, spec.description, pcfg);
+    out.flows = std::move(spec.flows);
     out.validate();
     return out;
   }
@@ -504,13 +671,19 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
 
 void ScenarioSpec::validate() const {
   if (name.empty()) throw SpecError{"spec is missing a name"};
+  std::size_t hop_count = 0;
   if (paper) {
     validate_paper(*paper);
-    return;
+    hop_count = static_cast<std::size_t>(paper->hops);
+  } else {
+    if (hops.empty()) throw SpecError{"spec has no hops"};
+    if (warmup < Duration::zero()) throw SpecError{"warmup_s must not be negative"};
+    for (std::size_t i = 0; i < hops.size(); ++i) validate_hop(i, hops[i]);
+    hop_count = hops.size();
   }
-  if (hops.empty()) throw SpecError{"spec has no hops"};
-  if (warmup < Duration::zero()) throw SpecError{"warmup_s must not be negative"};
-  for (std::size_t i = 0; i < hops.size(); ++i) validate_hop(i, hops[i]);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    validate_flow(i, flows[i], hop_count);
+  }
 }
 
 std::string ScenarioSpec::to_text() const {
@@ -531,6 +704,9 @@ std::string ScenarioSpec::to_text() const {
     out += "paper.sources_per_link = " + std::to_string(p.sources_per_link) + "\n";
     out += "paper.total_prop_delay_ms = " + fmt(p.total_prop_delay.millis()) + "\n";
     out += "paper.buffer_ms = " + fmt(p.buffer_drain.millis()) + "\n";
+    for (const FlowSpec& f : flows) {
+      out += flow_to_text(f, static_cast<std::size_t>(p.hops));
+    }
     return out;
   }
   out += "hops = " + std::to_string(hops.size()) + "\n";
@@ -562,6 +738,7 @@ std::string ScenarioSpec::to_text() const {
       }
     }
   }
+  for (const FlowSpec& f : flows) out += flow_to_text(f, hops.size());
   return out;
 }
 
@@ -573,6 +750,7 @@ ScenarioSpec ScenarioSpec::with_load(double util) const {
     PaperPathConfig p = *paper;
     p.tight_utilization = util;
     ScenarioSpec out = from_paper(name, description, p);
+    out.flows = flows;
     out.warmup = warmup;
     out.seed = seed;
     return out;
@@ -633,14 +811,44 @@ bool ScenarioSpec::nonstationary() const {
   });
 }
 
+namespace {
+
+/// Translate a validated FlowSpec into the workload layer's config.
+tcp::SegmentFlowConfig flow_config(const FlowSpec& f) {
+  tcp::SegmentFlowConfig cfg;
+  cfg.segment = sim::Segment{f.first_hop, f.last_hop};
+  cfg.tcp.mss_bytes = f.mss_bytes;
+  if (f.rwnd.has_value()) cfg.tcp.advertised_window = *f.rwnd;
+  cfg.reverse_delay = Duration::milliseconds(f.reverse_ms);
+  cfg.start = Duration::seconds(f.start_s);
+  if (f.stop_s.has_value()) cfg.stop = Duration::seconds(*f.stop_s);
+  if (f.on_s.has_value()) cfg.on_period = Duration::seconds(*f.on_s);
+  if (f.off_s.has_value()) cfg.off_period = Duration::seconds(*f.off_s);
+  return cfg;
+}
+
+}  // namespace
+
 ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
   spec_.validate();
+  // Expand `flow` entries (count=N becomes N flows) against whichever
+  // backend carries the path. A spec without flows builds no flow state at
+  // all, so pre-flow scenarios stay bit-identical.
+  auto build_flows = [this] {
+    for (const FlowSpec& f : spec_.flows) {
+      for (int c = 0; c < f.count; ++c) {
+        flows_.push_back(std::make_unique<tcp::SegmentTcpFlow>(
+            simulator(), path(), flow_config(f)));
+      }
+    }
+  };
   if (spec_.paper) {
     PaperPathConfig cfg = *spec_.paper;
     cfg.seed = spec_.seed;
     cfg.warmup = spec_.warmup;
     testbed_ = std::make_unique<Testbed>(std::move(cfg));
     tight_index_ = testbed_->tight_index();
+    build_flows();
     return;
   }
 
@@ -720,7 +928,10 @@ ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
       }
     }
   }
+  build_flows();
 }
+
+ScenarioInstance::~ScenarioInstance() = default;
 
 sim::Simulator& ScenarioInstance::simulator() {
   return testbed_ ? testbed_->simulator() : *sim_;
@@ -730,7 +941,16 @@ sim::Path& ScenarioInstance::path() {
   return testbed_ ? testbed_->path() : *path_;
 }
 
+DataSize ScenarioInstance::flow_bytes_acked() const {
+  DataSize total{};
+  for (const auto& f : flows_) total += f->bytes_acked();
+  return total;
+}
+
 void ScenarioInstance::start() {
+  // Flows launch first so a start_s of zero begins exactly at traffic
+  // start; their events interleave with cross traffic during the warmup.
+  for (auto& f : flows_) f->launch();
   if (testbed_) {
     testbed_->start();
     return;

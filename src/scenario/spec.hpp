@@ -36,6 +36,10 @@
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
 
+namespace pathload::tcp {
+class SegmentTcpFlow;
+}
+
 namespace pathload::scenario {
 
 /// A spec failed to parse or validate. The message always names the
@@ -121,6 +125,40 @@ struct HopDecl {
   TrafficSpec traffic{};
 };
 
+/// One responsive TCP cross flow attached to a segment of the path,
+/// declared in the text format as a `flow` directive line:
+///
+///   flow tcp hops=1-2 rwnd=32 start_s=0.5 count=3
+///
+/// Tokens after the kind are key=value pairs; see docs/SCENARIOS.md for the
+/// key table. Unlike the open-loop per-hop traffic models, these flows
+/// react to queueing and loss (tcp::SegmentTcpFlow), so a scenario's
+/// effective avail-bw is emergent — `avail_bw()` keeps reporting the
+/// open-loop configured value (what the flows compete *for*).
+struct FlowSpec {
+  /// Hop range [first_hop, last_hop] the flow traverses. kPathEnd in
+  /// last_hop means the final hop; the default is the whole path.
+  std::size_t first_hop{0};
+  std::size_t last_hop{sim::Segment::kPathEnd};
+
+  /// Receiver advertised window in segments; unset = greedy.
+  std::optional<double> rwnd{};
+  /// Identical parallel flows this entry expands to (each draws its own
+  /// flow id and connection state).
+  int count{1};
+
+  double start_s{0.0};             ///< first connection, seconds from traffic start
+  std::optional<double> stop_s{};  ///< flow end (unset: runs to the end)
+  /// Restart variant: both set => a fresh connection every cycle.
+  std::optional<double> on_s{};
+  std::optional<double> off_s{};
+
+  int mss_bytes{1460};
+  double reverse_ms{50.0};  ///< uncongested reverse-path (ACK) delay
+
+  bool cycles() const { return on_s.has_value() && off_s.has_value(); }
+};
+
 /// A named, self-contained scenario: path shape, per-hop traffic, duration
 /// controls, and the default seed. Construct via from_paper/parse or fill
 /// the fields and call validate().
@@ -128,6 +166,9 @@ struct ScenarioSpec {
   std::string name;
   std::string description;
   std::vector<HopDecl> hops;
+  /// Responsive TCP cross flows (segment-scoped), on top of the per-hop
+  /// open-loop traffic. Valid with both path forms.
+  std::vector<FlowSpec> flows;
   Duration warmup{Duration::seconds(2)};
   std::uint64_t seed{1};
 
@@ -174,6 +215,11 @@ struct ScenarioSpec {
 
   /// True if any hop uses the kRamp model (the scenario is non-stationary).
   bool nonstationary() const;
+
+  /// True when responsive TCP cross flows are declared. Their throughput is
+  /// emergent, so avail_bw() is then the open-loop value the flows and the
+  /// estimator compete for, not a truth the estimate must match.
+  bool has_flows() const { return !flows.empty(); }
 };
 
 /// A live, ready-to-measure instantiation of a spec: simulator + path +
@@ -184,6 +230,7 @@ class ScenarioInstance {
  public:
   /// Validates the spec (throws SpecError) and builds the testbed.
   explicit ScenarioInstance(ScenarioSpec spec);
+  ~ScenarioInstance();
 
   sim::Simulator& simulator();
   sim::Path& path();
@@ -193,18 +240,29 @@ class ScenarioInstance {
   sim::Link& tight_link() { return path().link(tight_index_); }
   Rate configured_avail_bw() const { return spec_.avail_bw(); }
 
-  /// Start cross traffic and run the warmup period.
+  /// The live responsive cross flows, one per expanded `flow` entry
+  /// (count=N entries expand to N), in declaration order.
+  const std::vector<std::unique_ptr<tcp::SegmentTcpFlow>>& flows() const {
+    return flows_;
+  }
+  /// Payload acknowledged by every flow so far, restarts included.
+  DataSize flow_bytes_acked() const;
+
+  /// Launch the declared flows, start cross traffic, and run the warmup
+  /// period (flows whose start_s falls inside the warmup begin during it).
   void start();
 
  private:
   ScenarioSpec spec_;
   // Exactly one of the two backends is set: paper-derived specs delegate to
   // Testbed (bit-compatibility), custom specs build their own state. The
-  // Simulator must outlive every TimerHandle owner, hence member order.
+  // Simulator must outlive every TimerHandle owner, hence member order —
+  // flows_ last so its timers and connections die first.
   std::unique_ptr<Testbed> testbed_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::Path> path_;
   std::vector<std::unique_ptr<sim::TrafficGen>> traffic_;
+  std::vector<std::unique_ptr<tcp::SegmentTcpFlow>> flows_;
   std::size_t tight_index_{0};
 };
 

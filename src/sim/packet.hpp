@@ -20,6 +20,10 @@ enum class PacketKind : std::uint8_t {
 /// Flow id 0 is reserved for anonymous cross traffic.
 constexpr std::uint32_t kCrossTrafficFlow = 0;
 
+/// Packet::exit_hop value of a flow that traverses the path end to end and
+/// surfaces at the egress demux (the default; see Path for segment routing).
+constexpr std::uint32_t kExitAtEgress = 0xFFFFFFFFu;
+
 /// A simulated packet. Kept as a small value type: links move packets
 /// through FIFO queues by value, so there is no per-packet allocation.
 struct Packet {
@@ -27,7 +31,12 @@ struct Packet {
   std::uint32_t flow{kCrossTrafficFlow};
   PacketKind kind{PacketKind::kCrossTraffic};
   std::int32_t size_bytes{0};   ///< wire size used for serialization delay
-  bool transit{false};          ///< true: traverses the whole path; false: one hop
+  bool transit{false};          ///< true: traverses hops up to exit_hop; false: one hop
+  /// Segment routing: index of the last hop a transit packet traverses
+  /// before leaving at that hop's exit demux. kExitAtEgress (the default)
+  /// means the packet runs the whole path and surfaces at Path::egress().
+  /// Ignored while transit is false (hop-local cross traffic).
+  std::uint32_t exit_hop{kExitAtEgress};
 
   std::uint32_t stream_id{0};   ///< probe: stream index within a session
   std::uint32_t seq{0};         ///< probe/ping sequence within the stream

@@ -35,9 +35,32 @@ Path::Path(Simulator& sim, std::vector<HopSpec> hops) {
     PacketHandler* next =
         (i + 1 < hops.size()) ? static_cast<PacketHandler*>(links_[i + 1].get())
                               : static_cast<PacketHandler*>(&egress_);
-    junctions_.push_back(std::make_unique<Junction>(next));
+    junctions_.push_back(
+        std::make_unique<Junction>(static_cast<std::uint32_t>(i), next));
     links_[i]->set_downstream(junctions_[i].get());
   }
+}
+
+Segment Path::normalized(Segment s) const {
+  if (s.last == Segment::kPathEnd) s.last = links_.size() - 1;
+  if (s.first > s.last || s.last >= links_.size()) {
+    throw std::out_of_range{"Path: segment [" + std::to_string(s.first) + ", " +
+                            std::to_string(s.last) + "] does not fit a " +
+                            std::to_string(links_.size()) + "-hop path"};
+  }
+  return s;
+}
+
+FlowDemux& Path::segment_exit(Segment s) {
+  s = normalized(s);
+  if (s.last + 1 == links_.size()) return egress_;
+  return junctions_[s.last]->exits();
+}
+
+std::uint32_t Path::exit_hop_value(Segment s) const {
+  s = normalized(s);
+  if (s.last + 1 == links_.size()) return kExitAtEgress;
+  return static_cast<std::uint32_t>(s.last);
 }
 
 Rate Path::capacity() const {

@@ -39,10 +39,14 @@ void TcpReceiver::handle(const sim::Packet& data) {
 
 // --- TcpSender --------------------------------------------------------------
 
-TcpSender::TcpSender(sim::Simulator& sim, sim::Path& path, TcpConfig cfg)
+TcpSender::TcpSender(sim::Simulator& sim, sim::Path& path, TcpConfig cfg,
+                     sim::Segment segment)
     : sim_{sim},
       path_{path},
       cfg_{cfg},
+      segment_{path.normalized(segment)},
+      entry_{&path.segment_entry(segment_)},
+      exit_hop_{path.exit_hop_value(segment_)},
       flow_{sim.next_flow_id()},
       cwnd_{cfg.initial_cwnd},
       ssthresh_{cfg.initial_ssthresh},
@@ -76,9 +80,10 @@ void TcpSender::transmit(std::uint64_t seq) {
   p.kind = sim::PacketKind::kTcpData;
   p.size_bytes = cfg_.mss_bytes + cfg_.header_bytes;
   p.transit = true;
+  p.exit_hop = exit_hop_;
   p.tcp_seq = seq;
   p.entered = sim_.now();
-  path_.ingress().handle(p);
+  entry_->handle(p);
   ++segments_sent_;
   // Karn's rule: time one un-retransmitted segment at a time. A segment is
   // "clean" here when it is the first transmission of a new sequence.
@@ -206,12 +211,16 @@ Rate TcpSender::average_throughput() const {
 // --- TcpConnection -----------------------------------------------------------
 
 TcpConnection::TcpConnection(sim::Simulator& sim, sim::Path& path, TcpConfig cfg,
-                             Duration reverse_delay)
-    : path_{path}, receiver_{sim, reverse_delay}, sender_{sim, path, cfg} {
+                             Duration reverse_delay, sim::Segment segment)
+    : path_{path},
+      receiver_{sim, reverse_delay},
+      sender_{sim, path, cfg, segment} {
   receiver_.connect(&sender_, sender_.alive_token());
-  path_.egress().register_flow(sender_.flow(), &receiver_);
+  path_.segment_exit(sender_.segment()).register_flow(sender_.flow(), &receiver_);
 }
 
-TcpConnection::~TcpConnection() { path_.egress().unregister_flow(sender_.flow()); }
+TcpConnection::~TcpConnection() {
+  path_.segment_exit(sender_.segment()).unregister_flow(sender_.flow());
+}
 
 }  // namespace pathload::tcp

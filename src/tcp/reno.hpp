@@ -69,9 +69,15 @@ class TcpReceiver final : public sim::PacketHandler {
 /// congestion avoidance, fast retransmit / fast recovery (with NewReno-style
 /// partial-ACK retransmission so multi-drop windows recover without RTO),
 /// Jacobson/Karels RTO with Karn's rule and exponential backoff.
+///
+/// The sender attaches to a path *segment* [first, last]: data enters just
+/// before link `first` and leaves the path right after link `last`. The
+/// default segment is the whole path, which routes bit-identically to the
+/// pre-segment sender.
 class TcpSender final : public sim::PacketHandler {
  public:
-  TcpSender(sim::Simulator& sim, sim::Path& path, TcpConfig cfg);
+  TcpSender(sim::Simulator& sim, sim::Path& path, TcpConfig cfg,
+            sim::Segment segment = {});
 
   /// Begin the (greedy) transfer: the application always has data.
   void start();
@@ -79,6 +85,7 @@ class TcpSender final : public sim::PacketHandler {
   void stop() { running_ = false; }
 
   std::uint32_t flow() const { return flow_; }
+  const sim::Segment& segment() const { return segment_; }
 
   // --- observability ---------------------------------------------------
   double cwnd_segments() const { return cwnd_; }
@@ -117,6 +124,9 @@ class TcpSender final : public sim::PacketHandler {
   sim::Simulator& sim_;
   sim::Path& path_;
   TcpConfig cfg_;
+  sim::Segment segment_;                 ///< normalized hop range [first, last]
+  sim::PacketHandler* entry_{nullptr};   ///< head of link segment_.first
+  std::uint32_t exit_hop_;               ///< Packet::exit_hop for this segment
   std::uint32_t flow_;
   bool running_{false};
   TimePoint started_{};
@@ -150,17 +160,20 @@ class TcpSender final : public sim::PacketHandler {
 };
 
 /// A fully wired TCP connection over a simulated path: sender at the
-/// ingress, receiver at the egress (registered on the path's flow demux),
-/// ACKs over a fixed-delay reverse path.
+/// segment entry, receiver at the segment exit (registered on that demux),
+/// ACKs over a fixed-delay reverse path. The default segment is the whole
+/// path — sender at the ingress, receiver on the egress demux, exactly the
+/// pre-segment wiring.
 class TcpConnection {
  public:
   TcpConnection(sim::Simulator& sim, sim::Path& path, TcpConfig cfg,
-                Duration reverse_delay);
+                Duration reverse_delay, sim::Segment segment = {});
   ~TcpConnection();
 
   TcpSender& sender() { return sender_; }
   TcpReceiver& receiver() { return receiver_; }
   std::uint32_t flow() const { return sender_.flow(); }
+  const sim::Segment& segment() const { return sender_.segment(); }
 
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;

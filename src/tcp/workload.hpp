@@ -1,0 +1,109 @@
+// The responsive cross-workload layer: TCP flows bound to path segments.
+//
+// Open-loop generators (src/sim/traffic.hpp) offer a fixed load no matter
+// what the path does; real cross traffic is dominated by *responsive* TCP
+// flows whose rate reacts to queueing and loss. A SegmentTcpFlow drives one
+// such flow over any contiguous hop range [first, last] of a sim::Path —
+// end-to-end, partially overlapping the measured path, or hop-local
+// (first == last) — reusing TcpSender/TcpReceiver and the per-segment
+// FlowDemux seam. Three shapes cover the scenario catalogue:
+//
+//  * greedy       — the application always has data (BTC-style background);
+//  * rwnd-capped  — TcpConfig::advertised_window models receiver- or
+//                   application-limited transfers (the Section VII mix);
+//  * on/off restart — a fresh connection (slow start again) every ON
+//                   period, idle for OFF: flash-crowd / short-transfer
+//                   churn rather than one long-lived flow.
+//
+// ScenarioInstance owns these for `flow` spec entries; benches may also
+// construct them directly. No randomness: a flow's behaviour is fully
+// determined by the path, so flow-bearing runs stay bit-reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/reno.hpp"
+#include "util/units.hpp"
+
+namespace pathload::tcp {
+
+/// Shape of one responsive cross flow bound to a path segment. All times
+/// are measured from launch() — for scenario flows, from traffic start, so
+/// warmup is included just like the ramp models' windows.
+struct SegmentFlowConfig {
+  sim::Segment segment{};  ///< hop range; the default is the whole path
+  /// Reno parameters; set tcp.advertised_window for an rwnd-capped flow,
+  /// leave it unset for a greedy one.
+  TcpConfig tcp{};
+  Duration reverse_delay{Duration::milliseconds(50)};  ///< uncongested ACK path
+  Duration start{Duration::zero()};   ///< first connection begins here
+  std::optional<Duration> stop{};     ///< flow ends here (unset: never)
+  /// Restart variant: both set => cycle a fresh connection ON for
+  /// `on_period`, then idle for `off_period`, until `stop`. Each ON period
+  /// is a new connection — slow start begins again.
+  std::optional<Duration> on_period{};
+  std::optional<Duration> off_period{};
+
+  bool cycles() const { return on_period.has_value() && off_period.has_value(); }
+};
+
+/// One responsive TCP cross flow on a segment of a path.
+///
+/// Owns the live TcpConnection (created at each ON transition, destroyed at
+/// each OFF), a single re-armable timer driving the start/stop/cycle state
+/// machine, and cumulative counters that survive restarts. Must be
+/// destroyed before its Simulator (it holds a TimerHandle).
+class SegmentTcpFlow {
+ public:
+  SegmentTcpFlow(sim::Simulator& sim, sim::Path& path, SegmentFlowConfig cfg);
+
+  /// Schedule the flow's first connection `cfg.start` from now. Call once,
+  /// before running the simulation past the start time.
+  void launch();
+
+  /// True while a connection is up (ON period, after start, before stop).
+  bool active() const { return conn_ != nullptr; }
+  const SegmentFlowConfig& config() const { return cfg_; }
+
+  /// Payload acknowledged across every connection so far, restarts included.
+  DataSize bytes_acked() const;
+  /// Connections begun so far (1 for non-cycling flows that have started).
+  std::uint64_t connections_started() const { return connections_; }
+  /// Cumulative RTO timeouts across connections.
+  std::uint64_t timeouts() const;
+
+  /// The live connection, or nullptr while idle. Flow ids change across
+  /// restarts (each connection draws a fresh id).
+  TcpConnection* connection() { return conn_.get(); }
+
+  SegmentTcpFlow(const SegmentTcpFlow&) = delete;
+  SegmentTcpFlow& operator=(const SegmentTcpFlow&) = delete;
+
+ private:
+  enum class Phase { kIdle, kWaitingOn, kOn };
+
+  void on_timer();
+  void begin_connection();
+  void end_connection();
+  /// Absolute stop time, or nullopt.
+  std::optional<TimePoint> stop_at() const;
+
+  sim::Simulator& sim_;
+  sim::Path& path_;
+  SegmentFlowConfig cfg_;
+  TimePoint epoch_{};
+  Phase phase_{Phase::kIdle};
+  sim::Simulator::TimerHandle timer_;
+  std::unique_ptr<TcpConnection> conn_;
+
+  DataSize completed_bytes_{};
+  std::uint64_t completed_timeouts_{0};
+  std::uint64_t connections_{0};
+};
+
+}  // namespace pathload::tcp

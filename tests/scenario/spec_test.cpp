@@ -217,6 +217,160 @@ TEST(SpecParse, OnOffAndRampDefaultToOneSource) {
   EXPECT_EQ(multi.hops[0].traffic.sources, 3);
 }
 
+TEST(SpecParse, FlowLinesParseWithDefaults) {
+  const ScenarioSpec spec = ScenarioSpec::parse(R"(
+    name = flowy
+    hops = 3
+    hop.0.traffic.model = none
+    hop.1.traffic.model = none
+    hop.2.traffic.model = none
+    flow tcp
+    flow tcp hops=1-2 rwnd=32 start_s=0.5 count=3 reverse_ms=100
+    flow tcp hops=1 on_s=2 off_s=1 stop_s=30 mss=576
+  )");
+  ASSERT_EQ(spec.flows.size(), 3u);
+  // Defaults: whole path, greedy, one flow, starts at 0.
+  EXPECT_EQ(spec.flows[0].first_hop, 0u);
+  EXPECT_EQ(spec.flows[0].last_hop, sim::Segment::kPathEnd);
+  EXPECT_FALSE(spec.flows[0].rwnd.has_value());
+  EXPECT_EQ(spec.flows[0].count, 1);
+  EXPECT_EQ(spec.flows[0].start_s, 0.0);
+  EXPECT_FALSE(spec.flows[0].cycles());
+  // Explicit segment + rwnd cap.
+  EXPECT_EQ(spec.flows[1].first_hop, 1u);
+  EXPECT_EQ(spec.flows[1].last_hop, 2u);
+  EXPECT_DOUBLE_EQ(*spec.flows[1].rwnd, 32.0);
+  EXPECT_EQ(spec.flows[1].count, 3);
+  EXPECT_DOUBLE_EQ(spec.flows[1].reverse_ms, 100.0);
+  // Single-hop shorthand + on/off restart variant.
+  EXPECT_EQ(spec.flows[2].first_hop, 1u);
+  EXPECT_EQ(spec.flows[2].last_hop, 1u);
+  EXPECT_TRUE(spec.flows[2].cycles());
+  EXPECT_DOUBLE_EQ(*spec.flows[2].on_s, 2.0);
+  EXPECT_DOUBLE_EQ(*spec.flows[2].off_s, 1.0);
+  EXPECT_DOUBLE_EQ(*spec.flows[2].stop_s, 30.0);
+  EXPECT_EQ(spec.flows[2].mss_bytes, 576);
+  EXPECT_TRUE(spec.has_flows());
+
+  // to_text() renders flow lines that re-parse to the same spec.
+  const ScenarioSpec again = ScenarioSpec::parse(spec.to_text());
+  EXPECT_EQ(again.to_text(), spec.to_text());
+  ASSERT_EQ(again.flows.size(), 3u);
+  EXPECT_EQ(again.flows[1].count, 3);
+}
+
+TEST(SpecParse, FlowLinesWorkWithThePaperForm) {
+  const ScenarioSpec spec = ScenarioSpec::parse(R"(
+    name = paper-with-flow
+    paper.hops = 3
+    flow tcp rwnd=16
+  )");
+  ASSERT_TRUE(spec.paper.has_value());
+  ASSERT_EQ(spec.flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(*spec.flows[0].rwnd, 16.0);
+  const ScenarioSpec again = ScenarioSpec::parse(spec.to_text());
+  EXPECT_EQ(again.to_text(), spec.to_text());
+}
+
+TEST(SpecParse, FlowLineDiagnostics) {
+  const auto with_flow = [](const std::string& flow_line) {
+    return "name = x\nhops = 2\nhop.0.traffic.model = none\n"
+           "hop.1.traffic.model = none\n" + flow_line + "\n";
+  };
+  // Missing kind.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow")); },
+                    "line 5: flow: expected 'flow <kind>");
+  // Unknown kind.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow udp")); },
+                    "unknown flow kind 'udp'");
+  // Unknown key lists the legal ones.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp window=3")); },
+                    "unknown key 'window' (expected hops, rwnd");
+  // Malformed token.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp rwnd")); },
+                    "expected key=value, got 'rwnd'");
+  // Duplicate key within the line.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp rwnd=2 rwnd=3")); },
+                    "duplicate key 'rwnd'");
+  // Bad hop-range syntax.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp hops=a-b")); },
+                    "hops expects <hop> or <first>-<last>");
+  // An index that overflows strtoul must not alias kPathEnd (whole path).
+  expect_spec_error(
+      [&] {
+        ScenarioSpec::parse(with_flow("flow tcp hops=0-99999999999999999999"));
+      },
+      "hop indices in [0, 64]");
+  // Range out of the path.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp hops=1-5")); },
+                    "flow 0: hops: segment 1-5 does not fit the path (hops 0-1");
+  // Backwards range.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp hops=1-0")); },
+                    "first must not exceed last");
+  // Non-numeric value names the flow key.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp start_s=soon")); },
+                    "flow start_s: expected a number, got 'soon'");
+  // rwnd below one segment.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp rwnd=0.5")); },
+                    "flow 0: rwnd: must be at least 1 segment");
+  // stop before start.
+  expect_spec_error(
+      [&] { ScenarioSpec::parse(with_flow("flow tcp start_s=5 stop_s=2")); },
+      "stop_s: must come after start_s (5)");
+  // on_s without off_s (and vice versa) is half a restart variant.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp on_s=2")); },
+                    "on_s and off_s must be set together");
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp off_s=2")); },
+                    "on_s and off_s must be set together");
+  // count bounds.
+  expect_spec_error([&] { ScenarioSpec::parse(with_flow("flow tcp count=0")); },
+                    "flow 0: count: must be in [1, 64]");
+}
+
+TEST(SpecParse, OverlappingFlowSegmentsAreLegal) {
+  // Overlap is a feature (competing flows sharing links), including two
+  // flows that end after the same hop and an end-to-end flow over both.
+  const ScenarioSpec spec = ScenarioSpec::parse(R"(
+    name = overlappy
+    hops = 3
+    hop.0.traffic.model = none
+    hop.1.traffic.model = none
+    hop.2.traffic.model = none
+    flow tcp hops=0-1
+    flow tcp hops=1-1
+    flow tcp hops=0-2
+  )");
+  ASSERT_EQ(spec.flows.size(), 3u);
+  ScenarioInstance inst{spec};
+  EXPECT_EQ(inst.flows().size(), 3u);
+}
+
+TEST(SpecInstance, FlowBearingSpecRunsDeterministically) {
+  auto run_once = [] {
+    ScenarioSpec spec = ScenarioSpec::parse(R"(
+      name = det
+      warmup_s = 3
+      hops = 2
+      hop.0.capacity_mbps = 20
+      hop.0.traffic.model = poisson
+      hop.0.traffic.utilization = 0.2
+      hop.1.capacity_mbps = 10
+      hop.1.traffic.model = pareto
+      hop.1.traffic.utilization = 0.3
+      flow tcp hops=0-1 rwnd=16
+      flow tcp hops=1 on_s=1 off_s=0.5
+    )");
+    ScenarioInstance inst{std::move(spec)};
+    inst.start();
+    return std::tuple{inst.simulator().events_processed(),
+                      inst.flow_bytes_acked().byte_count(),
+                      inst.tight_link().bytes_forwarded().byte_count()};
+  };
+  const auto a = run_once();
+  EXPECT_EQ(a, run_once());
+  EXPECT_GT(std::get<1>(a), 0);
+}
+
 TEST(SpecTransform, WithLoadPreservesPaperBetaInvariant) {
   PaperPathConfig cfg;  // beta = 2, ux = 0.6
   const ScenarioSpec base = ScenarioSpec::from_paper("p", "", cfg);

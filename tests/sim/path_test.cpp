@@ -134,6 +134,94 @@ TEST(FlowDemux, UnregisterStopsDelivery) {
   EXPECT_EQ(path.egress().unclaimed_packets(), 1u);
 }
 
+TEST(Segment, NormalizedResolvesPathEndAndRejectsNonsense) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  const Segment whole = path.normalized(Segment{});
+  EXPECT_EQ(whole.first, 0u);
+  EXPECT_EQ(whole.last, 2u);
+  const Segment mid = path.normalized(Segment{1, 1});
+  EXPECT_EQ(mid.first, 1u);
+  EXPECT_EQ(mid.last, 1u);
+  EXPECT_THROW(path.normalized(Segment{2, 1}), std::out_of_range);
+  EXPECT_THROW(path.normalized(Segment{0, 3}), std::out_of_range);
+  EXPECT_THROW(path.normalized(Segment{5, Segment::kPathEnd}), std::out_of_range);
+}
+
+TEST(Segment, FlowExitsAfterItsLastHop) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  const Segment seg{0, 1};  // enters at the front, leaves after the middle
+  const std::uint32_t flow = sim.next_flow_id();
+  Collector out{sim};
+  path.segment_exit(seg).register_flow(flow, &out);
+  Packet p = transit_packet(sim, flow);
+  p.exit_hop = path.exit_hop_value(seg);
+  path.segment_entry(seg).handle(p);
+  sim.run_all();
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(path.link(0).packets_forwarded(), 1u);
+  EXPECT_EQ(path.link(1).packets_forwarded(), 1u);
+  EXPECT_EQ(path.link(2).packets_forwarded(), 0u);  // exited before hop 2
+  EXPECT_EQ(path.egress().unclaimed_packets(), 0u);
+}
+
+TEST(Segment, PartialOverlapEntersMidPath) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  const Segment seg{1, 2};  // skips the first hop
+  const std::uint32_t flow = sim.next_flow_id();
+  Collector out{sim};
+  path.segment_exit(seg).register_flow(flow, &out);
+  Packet p = transit_packet(sim, flow);
+  p.exit_hop = path.exit_hop_value(seg);
+  path.segment_entry(seg).handle(p);
+  sim.run_all();
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(path.link(0).packets_forwarded(), 0u);
+  EXPECT_EQ(path.link(1).packets_forwarded(), 1u);
+  EXPECT_EQ(path.link(2).packets_forwarded(), 1u);
+}
+
+TEST(Segment, SegmentEndingAtLastHopUsesTheEgressDemux) {
+  Simulator sim;
+  Path path{sim, three_hops()};
+  const Segment seg{1, 2};
+  EXPECT_EQ(&path.segment_exit(seg), &path.egress());
+  EXPECT_EQ(path.exit_hop_value(seg), kExitAtEgress);
+  // A one-hop segment in the middle has its own junction demux.
+  const Segment mid{1, 1};
+  EXPECT_NE(&path.segment_exit(mid), &path.egress());
+  EXPECT_EQ(path.exit_hop_value(mid), 1u);
+}
+
+TEST(Segment, OverlappingSegmentsRouteByFlowId) {
+  // Two segments ending after the same hop share that hop's exit demux;
+  // their flows separate by id, exactly like the egress demux.
+  Simulator sim;
+  Path path{sim, three_hops()};
+  const Segment a{0, 1};
+  const Segment b{1, 1};  // overlaps `a` on the middle link
+  const std::uint32_t fa = sim.next_flow_id();
+  const std::uint32_t fb = sim.next_flow_id();
+  Collector out_a{sim};
+  Collector out_b{sim};
+  path.segment_exit(a).register_flow(fa, &out_a);
+  path.segment_exit(b).register_flow(fb, &out_b);
+  Packet pa = transit_packet(sim, fa);
+  pa.exit_hop = path.exit_hop_value(a);
+  Packet pb = transit_packet(sim, fb);
+  pb.exit_hop = path.exit_hop_value(b);
+  path.segment_entry(a).handle(pa);
+  path.segment_entry(b).handle(pb);
+  sim.run_all();
+  EXPECT_EQ(out_a.packets.size(), 1u);
+  EXPECT_EQ(out_b.packets.size(), 1u);
+  // Both crossed the shared middle link; only `a` used the first link.
+  EXPECT_EQ(path.link(0).packets_forwarded(), 1u);
+  EXPECT_EQ(path.link(1).packets_forwarded(), 2u);
+}
+
 TEST(Path, PerFlowDropsVisibleAcrossLinks) {
   Simulator sim;
   // Tiny buffer on the middle link forces drops there.

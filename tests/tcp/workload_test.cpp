@@ -1,0 +1,159 @@
+// Tests for the responsive cross-workload layer: segment-scoped TCP flows
+// (greedy, rwnd-capped, on/off restart) driven by tcp::SegmentTcpFlow.
+
+#include <gtest/gtest.h>
+
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/workload.hpp"
+
+namespace pathload::tcp {
+namespace {
+
+std::vector<sim::HopSpec> three_hops() {
+  return {
+      {Rate::mbps(100), Duration::milliseconds(5), DataSize::bytes(1'000'000)},
+      {Rate::mbps(10), Duration::milliseconds(5), DataSize::bytes(1'000'000)},
+      {Rate::mbps(100), Duration::milliseconds(5), DataSize::bytes(1'000'000)},
+  };
+}
+
+TEST(SegmentTcpFlow, GreedyFlowFillsItsSegment) {
+  sim::Simulator sim;
+  sim::Path path{sim, three_hops()};
+  SegmentFlowConfig cfg;  // whole path, greedy
+  SegmentTcpFlow flow{sim, path, cfg};
+  flow.launch();
+  sim.run_for(Duration::seconds(10));
+  ASSERT_TRUE(flow.active());
+  EXPECT_EQ(flow.connections_started(), 1u);
+  // Uncontended 10 Mb/s bottleneck: a greedy Reno flow should move most of
+  // it once past slow start.
+  const double mbps = flow.bytes_acked().bits() / 10.0 / 1e6;
+  EXPECT_GT(mbps, 6.0);
+  EXPECT_LE(mbps, 10.0);
+}
+
+TEST(SegmentTcpFlow, PartialSegmentLeavesOtherLinksUntouched) {
+  sim::Simulator sim;
+  sim::Path path{sim, three_hops()};
+  SegmentFlowConfig cfg;
+  cfg.segment = sim::Segment{1, 1};  // hop-local responsive flow
+  SegmentTcpFlow flow{sim, path, cfg};
+  flow.launch();
+  sim.run_for(Duration::seconds(5));
+  EXPECT_GT(flow.bytes_acked().byte_count(), 0);
+  EXPECT_EQ(path.link(0).packets_forwarded(), 0u);
+  EXPECT_GT(path.link(1).packets_forwarded(), 0u);
+  EXPECT_EQ(path.link(2).packets_forwarded(), 0u);
+  EXPECT_EQ(path.egress().unclaimed_packets(), 0u);
+}
+
+TEST(SegmentTcpFlow, RwndCapBoundsThroughput) {
+  sim::Simulator sim;
+  sim::Path path{sim, three_hops()};
+  SegmentFlowConfig cfg;
+  cfg.tcp.advertised_window = 8.0;  // 8 segments per ~40 ms RTT
+  cfg.reverse_delay = Duration::milliseconds(25);
+  SegmentTcpFlow flow{sim, path, cfg};
+  flow.launch();
+  sim.run_for(Duration::seconds(10));
+  // rwnd/RTT with RTT >= 40 ms (15 ms forward prop + serialization + 25 ms
+  // reverse) bounds the rate to ~2.9 Mb/s; well below the greedy ~9.
+  const double mbps = flow.bytes_acked().bits() / 10.0 / 1e6;
+  EXPECT_GT(mbps, 1.0);
+  EXPECT_LT(mbps, 4.0);
+}
+
+TEST(SegmentTcpFlow, StartAndStopBoundTheTransfer) {
+  sim::Simulator sim;
+  sim::Path path{sim, three_hops()};
+  SegmentFlowConfig cfg;
+  cfg.start = Duration::seconds(2);
+  cfg.stop = Duration::seconds(4);
+  SegmentTcpFlow flow{sim, path, cfg};
+  flow.launch();
+  sim.run_for(Duration::seconds(1));
+  EXPECT_FALSE(flow.active());
+  EXPECT_EQ(flow.bytes_acked().byte_count(), 0);
+  sim.run_for(Duration::seconds(2));  // t = 3: ON
+  EXPECT_TRUE(flow.active());
+  sim.run_for(Duration::seconds(2));  // t = 5: stopped
+  EXPECT_FALSE(flow.active());
+  const DataSize at_stop = flow.bytes_acked();
+  EXPECT_GT(at_stop.byte_count(), 0);
+  sim.run_for(Duration::seconds(2));  // no restart after stop
+  EXPECT_EQ(flow.bytes_acked(), at_stop);
+  EXPECT_EQ(flow.connections_started(), 1u);
+}
+
+TEST(SegmentTcpFlow, OnOffRestartCyclesFreshConnections) {
+  sim::Simulator sim;
+  sim::Path path{sim, three_hops()};
+  SegmentFlowConfig cfg;
+  cfg.on_period = Duration::seconds(2);
+  cfg.off_period = Duration::seconds(1);
+  SegmentTcpFlow flow{sim, path, cfg};
+  flow.launch();
+  sim.run_for(Duration::seconds(1));  // t = 1: first ON period
+  EXPECT_TRUE(flow.active());
+  const std::uint32_t first_flow_id = flow.connection()->flow();
+  sim.run_for(Duration::seconds(1.5));  // t = 2.5: OFF gap
+  EXPECT_FALSE(flow.active());
+  const DataSize after_first_burst = flow.bytes_acked();
+  EXPECT_GT(after_first_burst.byte_count(), 0);
+  sim.run_for(Duration::seconds(0.55));  // t = 3.05: just into ON period 2
+  ASSERT_TRUE(flow.active());
+  // A *fresh* connection: new flow id, slow start from the initial window
+  // again (one ~40 ms RTT in, cwnd is still single-digit).
+  EXPECT_NE(flow.connection()->flow(), first_flow_id);
+  EXPECT_EQ(flow.connections_started(), 2u);
+  EXPECT_LT(flow.connection()->sender().cwnd_segments(), 10.0);
+  sim.run_for(Duration::seconds(1));
+  EXPECT_GT(flow.bytes_acked().byte_count(), after_first_burst.byte_count());
+}
+
+TEST(SegmentTcpFlow, StopEndsTheCycleForGood) {
+  sim::Simulator sim;
+  sim::Path path{sim, three_hops()};
+  SegmentFlowConfig cfg;
+  cfg.on_period = Duration::seconds(1);
+  cfg.off_period = Duration::seconds(1);
+  cfg.stop = Duration::seconds(2.5);  // cuts the second ON period short
+  SegmentTcpFlow flow{sim, path, cfg};
+  flow.launch();
+  sim.run_for(Duration::seconds(10));
+  EXPECT_FALSE(flow.active());
+  EXPECT_EQ(flow.connections_started(), 2u);
+  const DataSize done = flow.bytes_acked();
+  sim.run_for(Duration::seconds(5));
+  EXPECT_EQ(flow.bytes_acked(), done);
+}
+
+TEST(SegmentTcpFlow, RejectsBadSegmentAtConstruction) {
+  sim::Simulator sim;
+  sim::Path path{sim, three_hops()};
+  SegmentFlowConfig cfg;
+  cfg.segment = sim::Segment{2, 1};
+  EXPECT_THROW((SegmentTcpFlow{sim, path, cfg}), std::out_of_range);
+}
+
+TEST(SegmentTcpFlow, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    sim::Path path{sim, three_hops()};
+    SegmentFlowConfig cfg;
+    cfg.on_period = Duration::seconds(1);
+    cfg.off_period = Duration::milliseconds(500);
+    SegmentTcpFlow flow{sim, path, cfg};
+    flow.launch();
+    sim.run_for(Duration::seconds(8));
+    return std::pair{flow.bytes_acked().byte_count(), sim.events_processed()};
+  };
+  const auto a = run_once();
+  EXPECT_EQ(a, run_once());
+  EXPECT_GT(a.first, 0);
+}
+
+}  // namespace
+}  // namespace pathload::tcp

@@ -12,7 +12,11 @@
 #   5. every entry in docs/FIGURES.md's "preset" table column is a preset
 #      the registry actually has (or the em-dash placeholder);
 #   6. `scenario_runner --list-estimators` runs, and every estimator it
-#      reports is documented (with its config keys) in docs/ESTIMATORS.md.
+#      reports is documented (with its config keys) in docs/ESTIMATORS.md;
+#   7. every `flow` spec key the parser accepts is documented in
+#      docs/SCENARIOS.md, and every preset's rendered spec (`--show`,
+#      including its flow lines) parses back through `--validate` — the
+#      round-trip that keeps the docs' flow examples honest.
 #
 # Usage: docs_check.sh <repo_root> <scenario_runner_binary>
 
@@ -125,6 +129,26 @@ else
       err "estimator '$e' has no table row in docs/ESTIMATORS.md"
   done
 fi
+
+# --- 7. flow spec keys and preset round-trips ---------------------------------
+# The authoritative flow-directive key list (mirrors parse_flow_line in
+# src/scenario/spec.cpp); each must be documented in docs/SCENARIOS.md.
+flow_keys="hops rwnd count start_s stop_s on_s off_s mss reverse_ms"
+for k in $flow_keys; do
+  grep -qE "(^|[^a-z0-9_])${k}=" "$root/docs/SCENARIOS.md" ||
+    err "flow key '$k' is not documented in docs/SCENARIOS.md (flow table)"
+done
+# Every preset's rendered spec must parse back, flow lines included.
+roundtrip_tmp=$(mktemp)
+for p in $presets; do
+  if ! "$runner" --show "$p" > "$roundtrip_tmp" 2>/dev/null; then
+    err "'$runner --show $p' failed"
+    continue
+  fi
+  "$runner" --validate "$roundtrip_tmp" >/dev/null 2>&1 ||
+    err "preset '$p': rendered spec does not re-parse (--show | --validate round-trip)"
+done
+rm -f "$roundtrip_tmp"
 
 if [ "$fail" -ne 0 ]; then
   echo "docs_check: FAILED" >&2
