@@ -232,6 +232,33 @@ void BM_EstimatorMatrix(benchmark::State& state) {
 BENCHMARK(BM_EstimatorMatrix)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();
 
+void BM_EstimatorMatrixNewTools(benchmark::State& state) {
+  // The PR 5 estimators end-to-end on the harness, one run per cell on a
+  // short-warmup paper-path: spruce's Poisson-scheduled pairs, igi's
+  // turning-point search, pathchirp's gapped (non-periodic) streams.
+  // Bounds the cost of the gap-model and chirp probing loops the same way
+  // BM_EstimatorMatrix bounds the classic tools; the ctest wrapper
+  // bench_smoke_new_estimators records rows so a regression fails loudly.
+  const auto& ereg = pathload::baselines::builtin_estimators();
+  const std::vector<scenario::MatrixEstimator> estimators = {
+      scenario::MatrixEstimator::from_registry(ereg, "spruce",
+                                               "capacity_mbps=10, pairs=25"),
+      scenario::MatrixEstimator::from_registry(ereg, "igi", "capacity_mbps=10"),
+      scenario::MatrixEstimator::from_registry(ereg, "pathchirp", "chirps=4"),
+  };
+  scenario::ScenarioSpec paper = scenario::Registry::builtin().at("paper-path");
+  paper.warmup = Duration::milliseconds(200);
+  scenario::SweepRunner runner{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    const auto cells = scenario::run_matrix(estimators, {paper}, {},
+                                            /*runs=*/1, /*seed0=*/13, runner);
+    benchmark::DoNotOptimize(cells.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);  // cells per matrix
+}
+BENCHMARK(BM_EstimatorMatrixNewTools)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
 }  // namespace
 
 // BENCHMARK_MAIN, plus a default JSON sink: unless the caller passes its

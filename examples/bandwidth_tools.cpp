@@ -75,12 +75,23 @@ int run_live(const std::string& target) {
 
     Table table{{"tool", "reports", "value_Mbps", "probe_MB", "time_s"}};
     std::string skipped;
+    std::string unhinted;
     for (const auto& entry : reg.entries()) {
       if (entry.needs_bulk_tcp) {
         // Don't throw mid-table: record the row, print the structured
         // error once after the results.
         table.add_row({entry.name, entry.quantity, "n/a (needs bulk TCP)", "-", "-"});
         skipped += (skipped.empty() ? "" : ", ") + entry.name;
+        continue;
+      }
+      if (entry.needs_capacity_hint) {
+        // Same structured path as the bulk-TCP mismatch: a live path's
+        // capacity is not known a priori, and this example takes no
+        // capacity flag — declare the gap instead of running the tool
+        // into its EstimatorError mid-table.
+        table.add_row({entry.name, entry.quantity,
+                       "n/a (needs capacity_mbps hint)", "-", "-"});
+        unhinted += (unhinted.empty() ? "" : ", ") + entry.name;
         continue;
       }
       const auto est = entry.make(core::KvOverrides{});
@@ -99,6 +110,13 @@ int run_live(const std::string& target) {
     table.print();
     if (!skipped.empty()) {
       std::printf("\n%s\n", live_bulk_mismatch(reg, skipped).what());
+    }
+    if (!unhinted.empty()) {
+      std::printf("\n%s: the gap model needs the bottleneck capacity a "
+                  "priori (capacity_mbps); measure it first (pktpair above) "
+                  "and run these via scenario_runner --set, which fills the "
+                  "hint from a scenario's declared narrow link.\n",
+                  unhinted.c_str());
     }
   } catch (const core::EstimatorError& e) {
     std::fprintf(stderr, "bandwidth_tools: %s\n", e.what());

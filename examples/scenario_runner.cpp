@@ -23,6 +23,7 @@
 // seed and run count come from PATHLOAD_SEED / PATHLOAD_RUNS / PATHLOAD_QUICK
 // like every bench, or from --seed / --runs.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -357,15 +358,34 @@ int run_estimator_command(const Options& opt, const scenario::ScenarioSpec& base
   const core::EstimatorRegistry& reg = baselines::builtin_estimators();
   check_channel_support(reg, opt.channel);
 
+  // Gap-model tools (spruce, igi) need the bottleneck capacity a priori.
+  // A preset *declares* its links, so the runner can supply the hint the
+  // way a live operator would supply a pathrate result: the narrow-link
+  // capacity, unless the user already set capacity_mbps.
+  Rate narrow = base.hops.front().capacity;
+  for (const auto& h : base.hops) narrow = std::min(narrow, h.capacity);
+  const std::string hint_line =
+      core::kv_config_line("capacity_mbps", narrow.mbits_per_sec());
+  std::string hinted;
+  auto with_hint = [&](const core::EstimatorRegistry::Entry& entry,
+                       std::string overrides) {
+    if (entry.needs_capacity_hint &&
+        !core::KvOverrides::parse(overrides).has("capacity_mbps")) {
+      if (!overrides.empty()) overrides += "\n";
+      overrides += hint_line;
+      hinted += (hinted.empty() ? "" : ", ") + entry.name;
+    }
+    return scenario::MatrixEstimator::from_registry(reg, entry.name, overrides);
+  };
+
   std::vector<scenario::MatrixEstimator> selected;
   if (opt.compare) {
     for (const auto& e : reg.entries()) {
-      selected.push_back(scenario::MatrixEstimator::from_registry(reg, e.name));
+      selected.push_back(with_hint(e, ""));
     }
   } else {
     for (const std::string& name : opt.estimators) {
-      selected.push_back(
-          scenario::MatrixEstimator::from_registry(reg, name, opt.set_overrides));
+      selected.push_back(with_hint(reg.at(name), opt.set_overrides));
     }
   }
 
@@ -375,6 +395,12 @@ int run_estimator_command(const Options& opt, const scenario::ScenarioSpec& base
   const auto cells = scenario::run_matrix(selected, {base}, opt.sweep_loads,
                                           runs, seed, runner);
   print_matrix(cells, reg, opt.format);
+  if (opt.format == Format::kTable && !hinted.empty()) {
+    std::printf("note: %s took the capacity hint capacity_mbps = %.6g from "
+                "%s's narrow link (override with --estimator <name> --set "
+                "capacity_mbps=...).\n",
+                hinted.c_str(), narrow.mbits_per_sec(), base.name.c_str());
+  }
   if (opt.format == Format::kTable && base.nonstationary()) {
     std::printf("note: %s is non-stationary; A_Mbps is the pre-ramp value.\n",
                 base.name.c_str());

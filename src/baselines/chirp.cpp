@@ -1,0 +1,170 @@
+#include "baselines/chirp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stream.hpp"
+#include "util/stats.hpp"
+
+namespace pathload::baselines {
+
+std::vector<PathChirpEstimator::Excursion> PathChirpEstimator::segment_excursions(
+    std::span<const double> delays, double decrease_factor, int busy_period_len) {
+  std::vector<Excursion> out;
+  const std::size_t n = delays.size();
+  std::size_t i = 0;
+  while (i + 1 < n) {
+    if (delays[i + 1] <= delays[i]) {
+      ++i;
+      continue;
+    }
+    // Delay rises at i: track the excursion until it falls back to within
+    // (peak - base) / F of the base, or the chirp ends first.
+    const double base = delays[i];
+    double peak = delays[i];
+    std::size_t j = i + 1;
+    bool terminated = false;
+    while (j < n) {
+      peak = std::max(peak, delays[j]);
+      if (delays[j] <= base + (peak - base) / decrease_factor) {
+        terminated = true;
+        break;
+      }
+      ++j;
+    }
+    const std::size_t end = std::min(j, n - 1);
+    // Shorter than the busy-period floor: jitter, not a busy period.
+    if (end - i >= static_cast<std::size_t>(busy_period_len)) {
+      out.push_back(Excursion{i, end, terminated});
+    }
+    i = end > i ? end : i + 1;
+  }
+  return out;
+}
+
+double PathChirpEstimator::chirp_estimate_mbps(std::span<const double> delays,
+                                               std::span<const double> rates_mbps,
+                                               std::span<const double> gaps_secs,
+                                               double decrease_factor,
+                                               int busy_period_len) {
+  const std::size_t spacings = rates_mbps.size();
+  if (spacings == 0 || gaps_secs.size() != spacings ||
+      delays.size() != spacings + 1) {
+    return 0.0;
+  }
+  const auto excursions =
+      segment_excursions(delays, decrease_factor, busy_period_len);
+
+  // Default assignment: the onset rate of persistent self-loading — the
+  // last excursion, and only if it never recovered. A chirp that recovered
+  // from every excursion (transient bursts only) never saturated, so its
+  // fallback is the top chirp rate, exactly as with no excursion at all.
+  const bool saturated = !excursions.empty() && !excursions.back().terminated;
+  const double fallback = saturated ? rates_mbps[excursions.back().start]
+                                    : rates_mbps[spacings - 1];
+  std::vector<double> assigned(spacings, fallback);
+  for (const Excursion& e : excursions) {
+    if (!e.terminated) continue;  // non-terminating: covered by `fallback`
+    for (std::size_t k = e.start; k < e.end && k < spacings; ++k) {
+      assigned[k] = rates_mbps[k];
+    }
+  }
+
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < spacings; ++k) {
+    weighted += assigned[k] * gaps_secs[k];
+    total += gaps_secs[k];
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+std::vector<Duration> PathChirpEstimator::chirp_gaps() const {
+  std::vector<Duration> gaps;
+  Rate r = cfg_.min_rate;
+  while (true) {
+    const Rate capped = std::min(r, cfg_.max_rate);
+    gaps.push_back(Duration::seconds(cfg_.packet_size * 8.0 /
+                                     capped.bits_per_sec()));
+    if (capped >= cfg_.max_rate) break;
+    r = r * cfg_.spread_factor;
+  }
+  return gaps;
+}
+
+PathChirpEstimator::Estimate PathChirpEstimator::measure(
+    core::ProbeChannel& channel) const {
+  Estimate est;
+  const std::vector<Duration> gaps = chirp_gaps();
+  std::vector<double> gaps_secs;
+  std::vector<double> rates_mbps;
+  gaps_secs.reserve(gaps.size());
+  rates_mbps.reserve(gaps.size());
+  for (const Duration& g : gaps) {
+    gaps_secs.push_back(g.secs());
+    rates_mbps.push_back(Rate::bps(cfg_.packet_size * 8.0 / g.secs()).mbits_per_sec());
+  }
+
+  for (int c = 0; c < cfg_.chirps; ++c) {
+    core::StreamSpec spec;
+    spec.stream_id = 0xc4120000u + static_cast<std::uint32_t>(c);
+    spec.packet_count = static_cast<int>(gaps.size()) + 1;
+    spec.packet_size = cfg_.packet_size;
+    spec.gaps = gaps;
+    const auto outcome = channel.run_stream(spec);
+    channel.idle(cfg_.inter_chirp_gap);
+    // The excursion signature needs the complete delay sequence; a chirp
+    // with losses or reordering is discarded, like the tool does.
+    if (outcome.records.size() != static_cast<std::size_t>(spec.packet_count)) {
+      continue;
+    }
+    const std::vector<double> delays = core::relative_owds(outcome);
+    est.per_chirp_mbps.push_back(chirp_estimate_mbps(
+        delays, rates_mbps, gaps_secs, cfg_.decrease_factor, cfg_.busy_period_len));
+  }
+  if (est.per_chirp_mbps.empty()) return est;
+  est.low = Rate::mbps(percentile(est.per_chirp_mbps, 0.25));
+  est.high = Rate::mbps(percentile(est.per_chirp_mbps, 0.75));
+  est.valid = true;
+  return est;
+}
+
+std::string PathChirpEstimator::config_text() const {
+  std::string out;
+  out += core::kv_config_line("min_rate_mbps", cfg_.min_rate.mbits_per_sec());
+  out += core::kv_config_line("max_rate_mbps", cfg_.max_rate.mbits_per_sec());
+  out += core::kv_config_line("spread_factor", cfg_.spread_factor);
+  out += core::kv_config_line("packet_size", cfg_.packet_size);
+  out += core::kv_config_line("chirps", cfg_.chirps);
+  out += core::kv_config_line("inter_chirp_gap_ms", cfg_.inter_chirp_gap.millis());
+  out += core::kv_config_line("decrease_factor", cfg_.decrease_factor);
+  out += core::kv_config_line("busy_period_len", cfg_.busy_period_len);
+  return out;
+}
+
+core::EstimateReport PathChirpEstimator::run(core::ProbeChannel& channel,
+                                             Rng& /*rng*/) {
+  core::MeteredChannel metered{channel};
+  const TimePoint start = metered.now();
+  const Estimate est = measure(metered);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kAvailBw;
+  report.valid = est.valid;
+  report.is_range = est.valid;
+  report.low = est.low;
+  report.high = est.high;
+  report.streams_sent = metered.streams();
+  report.packets_sent = metered.packets();
+  report.bytes_sent = metered.bytes();
+  report.elapsed = metered.now() - start;
+  const double top = cfg_.max_rate.mbits_per_sec();
+  report.iterations.reserve(est.per_chirp_mbps.size());
+  for (double d : est.per_chirp_mbps) {
+    report.iterations.push_back({top, d, "chirp"});
+  }
+  return report;
+}
+
+}  // namespace pathload::baselines

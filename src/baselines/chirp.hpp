@@ -1,0 +1,103 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "util/units.hpp"
+
+namespace pathload::baselines {
+
+/// pathChirp-style chirp estimator (Ribeiro et al., PAM 2003), the
+/// rate-response tool of Liebeherr et al.'s system-theoretic framing: one
+/// chirp sweeps a whole range of probing rates with exponentially
+/// shrinking inter-packet spacings, so a single N-packet train carries the
+/// information a TOPP sweep needs N trains for.
+///
+/// Spacing k of a chirp probes the instantaneous rate R_k = L*8/g_k, with
+/// R_{k+1} = spread_factor * R_k. The receiver-side queuing-delay
+/// signature is segmented into *excursions* (delay rises, then either
+/// recovers — a transient cross-traffic burst — or never recovers — the
+/// chirp has crossed the avail-bw for good):
+///
+///  * spacings inside a recovering excursion assert E_k = R_k (the
+///    momentary avail-bw tracked the probing rate while the queue grew);
+///  * every other spacing asserts the rate at which the final
+///    *non-terminating* excursion began (the onset of persistent
+///    self-loading), or the top chirp rate when every excursion recovered
+///    or none occurred (the chirp never saturated the path, so the
+///    estimate saturates at its max probing rate);
+///
+/// and the per-chirp estimate is the gap-weighted average of the E_k. The
+/// reported range is the interquartile band of the per-chirp estimates
+/// across `chirps` chirps.
+///
+/// Needs nothing a priori (no capacity hint) and runs over any channel —
+/// chirps use StreamSpec's per-packet gap schedule, honored by both the
+/// simulated and the live channel.
+struct PathChirpConfig {
+  Rate min_rate{Rate::mbps(1)};   ///< first (widest) spacing's rate
+  Rate max_rate{Rate::mbps(20)};  ///< last (narrowest) spacing's rate
+  double spread_factor{1.2};      ///< rate ratio between adjacent spacings
+  int packet_size{1000};          ///< bytes
+  int chirps{12};                 ///< chirps averaged per measurement
+  Duration inter_chirp_gap{Duration::milliseconds(100)};
+  /// Excursion termination: the delay has fallen back to within
+  /// (peak - base) / decrease_factor of the excursion's starting delay.
+  double decrease_factor{1.5};
+  /// Minimum spacings an excursion must span to count (jitter filter).
+  int busy_period_len{3};
+};
+
+class PathChirpEstimator final : public core::Estimator {
+ public:
+  explicit PathChirpEstimator(PathChirpConfig cfg = PathChirpConfig()) : cfg_{cfg} {}
+
+  /// One excursion of a queuing-delay signature: delays rise at `start`,
+  /// and either recover before the chirp ends (`terminated`) or not.
+  struct Excursion {
+    std::size_t start{0};  ///< packet index where the delay began rising
+    std::size_t end{0};    ///< last packet index inside the excursion
+    bool terminated{false};
+  };
+
+  /// Segment a per-packet queuing-delay signature (seconds, N entries)
+  /// into excursions. Excursions spanning fewer than `busy_period_len`
+  /// spacings are dropped as jitter. Pure function — the property tests
+  /// drive it on hand-built signatures.
+  static std::vector<Excursion> segment_excursions(std::span<const double> delays,
+                                                   double decrease_factor,
+                                                   int busy_period_len);
+
+  /// Per-chirp estimate from the delay signature and the chirp's
+  /// per-spacing rates/gaps (N-1 entries each): the gap-weighted average
+  /// of the per-spacing rate assignments described above, in Mb/s.
+  static double chirp_estimate_mbps(std::span<const double> delays,
+                                    std::span<const double> rates_mbps,
+                                    std::span<const double> gaps_secs,
+                                    double decrease_factor, int busy_period_len);
+
+  /// The chirp's gap schedule for this config: exponentially shrinking
+  /// spacings covering [min_rate, max_rate].
+  std::vector<Duration> chirp_gaps() const;
+
+  struct Estimate {
+    Rate low{};   ///< 25th percentile of per-chirp estimates
+    Rate high{};  ///< 75th percentile
+    bool valid{false};
+    std::vector<double> per_chirp_mbps;
+  };
+
+  Estimate measure(core::ProbeChannel& channel) const;
+
+  // Estimator interface: an avail-bw range (interquartile band of the
+  // per-chirp estimates).
+  std::string_view name() const override { return "pathchirp"; }
+  std::string config_text() const override;
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
+
+ private:
+  PathChirpConfig cfg_;
+};
+
+}  // namespace pathload::baselines

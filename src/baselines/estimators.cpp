@@ -1,8 +1,11 @@
 #include "baselines/estimators.hpp"
 
 #include "baselines/btc.hpp"
+#include "baselines/chirp.hpp"
 #include "baselines/delphi.hpp"
 #include "baselines/dispersion.hpp"
+#include "baselines/igi.hpp"
+#include "baselines/spruce.hpp"
 #include "baselines/topp.hpp"
 #include "core/session.hpp"
 
@@ -78,6 +81,57 @@ std::unique_ptr<core::Estimator> make_delphi(const core::KvOverrides& kv) {
   return std::make_unique<DelphiEstimator>(cfg);
 }
 
+std::unique_ptr<core::Estimator> make_spruce(const core::KvOverrides& kv) {
+  SpruceConfig cfg;
+  kv.require_known("spruce",
+                   {"capacity_mbps", "pairs", "packet_size", "inter_pair_gap_ms"});
+  cfg.capacity = kv.mbps("capacity_mbps", cfg.capacity);
+  cfg.pairs = kv.integer("pairs", cfg.pairs);
+  cfg.packet_size = kv.integer("packet_size", cfg.packet_size);
+  cfg.inter_pair_gap = kv.millis("inter_pair_gap_ms", cfg.inter_pair_gap);
+  return std::make_unique<SpruceEstimator>(cfg);
+}
+
+std::unique_ptr<core::Estimator> make_igi(const core::KvOverrides& kv) {
+  IgiConfig cfg;
+  kv.require_known("igi", {"capacity_mbps", "train_length", "packet_size",
+                           "init_gap_us", "gap_factor", "max_gap_steps",
+                           "gap_tolerance", "inter_train_gap_ms"});
+  cfg.capacity = kv.mbps("capacity_mbps", cfg.capacity);
+  cfg.train_length = kv.integer("train_length", cfg.train_length);
+  cfg.packet_size = kv.integer("packet_size", cfg.packet_size);
+  cfg.init_gap = Duration::microseconds(kv.num("init_gap_us", cfg.init_gap.micros()));
+  cfg.gap_factor = kv.num("gap_factor", cfg.gap_factor);
+  cfg.max_gap_steps = kv.integer("max_gap_steps", cfg.max_gap_steps);
+  cfg.gap_tolerance = kv.num("gap_tolerance", cfg.gap_tolerance);
+  cfg.inter_train_gap = kv.millis("inter_train_gap_ms", cfg.inter_train_gap);
+  return std::make_unique<IgiEstimator>(cfg);
+}
+
+std::unique_ptr<core::Estimator> make_pathchirp(const core::KvOverrides& kv) {
+  PathChirpConfig cfg;
+  kv.require_known("pathchirp",
+                   {"min_rate_mbps", "max_rate_mbps", "spread_factor",
+                    "packet_size", "chirps", "inter_chirp_gap_ms",
+                    "decrease_factor", "busy_period_len"});
+  cfg.min_rate = kv.mbps("min_rate_mbps", cfg.min_rate);
+  cfg.max_rate = kv.mbps("max_rate_mbps", cfg.max_rate);
+  cfg.spread_factor = kv.num("spread_factor", cfg.spread_factor);
+  cfg.packet_size = kv.integer("packet_size", cfg.packet_size);
+  cfg.chirps = kv.integer("chirps", cfg.chirps);
+  cfg.inter_chirp_gap = kv.millis("inter_chirp_gap_ms", cfg.inter_chirp_gap);
+  cfg.decrease_factor = kv.num("decrease_factor", cfg.decrease_factor);
+  cfg.busy_period_len = kv.integer("busy_period_len", cfg.busy_period_len);
+  if (cfg.min_rate <= Rate::zero() || cfg.max_rate < cfg.min_rate) {
+    throw core::EstimatorError{
+        "pathchirp: need 0 < min_rate_mbps <= max_rate_mbps"};
+  }
+  if (cfg.spread_factor <= 1.0) {
+    throw core::EstimatorError{"pathchirp: spread_factor must be > 1"};
+  }
+  return std::make_unique<PathChirpEstimator>(cfg);
+}
+
 std::unique_ptr<core::Estimator> make_btc(const core::KvOverrides& kv) {
   BtcConfig cfg;
   kv.require_known("btc", {"duration_s", "reverse_delay_ms", "bucket_s"});
@@ -104,6 +158,17 @@ core::EstimatorRegistry make_builtin() {
   reg.add({"delphi",
            "single-queue pair identity, needs capacity a priori (Sec. II critique)",
            "avail-bw point", /*needs_bulk_tcp=*/false, make_delphi});
+  reg.add({"spruce",
+           "gap-model pairs at the narrow-link rate; needs a capacity hint",
+           "avail-bw range", /*needs_bulk_tcp=*/false, make_spruce,
+           /*needs_capacity_hint=*/true});
+  reg.add({"igi",
+           "increasing-gap trains, turning-point search; IGI + PTR estimates",
+           "avail-bw range", /*needs_bulk_tcp=*/false, make_igi,
+           /*needs_capacity_hint=*/true});
+  reg.add({"pathchirp",
+           "exponentially spaced chirps with excursion segmentation",
+           "avail-bw range", /*needs_bulk_tcp=*/false, make_pathchirp});
   reg.add({"btc",
            "greedy TCP bulk transfer (RFC 3148); intrusive, >= A under elastic load",
            "tcp-throughput point", /*needs_bulk_tcp=*/true, make_btc});

@@ -2,7 +2,10 @@
 //
 // One registry entry per tool family the paper compares (Section II and
 // Sections V-VIII): pathload's SLoPS plus the cprobe, packet-pair, TOPP,
-// Delphi, and BTC baselines. This is the estimator-side mirror of
+// Delphi, and BTC baselines — and the three tools of the comparative-
+// evaluation literature (Ait Ali et al.): Spruce's gap-model pairs,
+// IGI/PTR's increasing-gap trains, and pathChirp's exponentially spaced
+// chirps. This is the estimator-side mirror of
 // scenario::Registry::builtin(): benches, the scenario_runner CLI, tests,
 // and docs all resolve the same tool by the same name. The catalogue
 // lives here (not in core) because it names the concrete implementations.
@@ -13,10 +16,12 @@
 
 namespace pathload::baselines {
 
-/// The shipped estimators: pathload, cprobe, pktpair, topp, delphi, btc.
-/// Every entry accepts key=value config overrides (see docs/ESTIMATORS.md
-/// for the per-estimator key tables); an unknown key or malformed value
-/// fails with a line-numbered core::EstimatorError.
+/// The shipped estimators: pathload, cprobe, pktpair, topp, delphi,
+/// spruce, igi, pathchirp, btc. Every entry accepts key=value config
+/// overrides (see docs/ESTIMATORS.md for the per-estimator key tables); an
+/// unknown key or malformed value fails with a line-numbered
+/// core::EstimatorError. Spruce and IGI carry `needs_capacity_hint`: their
+/// gap formulas need `capacity_mbps` configured before `run`.
 const core::EstimatorRegistry& builtin_estimators();
 
 }  // namespace pathload::baselines

@@ -1,0 +1,119 @@
+#include "baselines/igi.hpp"
+
+#include <algorithm>
+
+namespace pathload::baselines {
+
+Rate IgiEstimator::igi_cross_traffic(Rate capacity, Duration input_gap,
+                                     const std::vector<double>& output_gaps_secs) {
+  const double g_in = input_gap.secs();
+  double sum_all = 0.0;
+  double sum_increased = 0.0;
+  for (double g_out : output_gaps_secs) {
+    sum_all += g_out;
+    if (g_out > g_in) sum_increased += g_out - g_in;
+  }
+  if (sum_all <= 0.0) return Rate::zero();
+  return Rate::bps(capacity.bits_per_sec() * sum_increased / sum_all);
+}
+
+IgiEstimator::Estimate IgiEstimator::measure(core::ProbeChannel& channel) const {
+  Estimate est;
+  Duration gap = cfg_.init_gap;
+  for (int step = 0; step < cfg_.max_gap_steps; ++step, gap = gap * cfg_.gap_factor) {
+    core::StreamSpec spec;
+    spec.stream_id = 0x16100000u + static_cast<std::uint32_t>(step);
+    spec.packet_count = cfg_.train_length;
+    spec.packet_size = cfg_.packet_size;
+    spec.period = gap;
+    const auto outcome = channel.run_stream(spec);
+    channel.idle(cfg_.inter_train_gap);
+    if (outcome.records.size() < 2) continue;
+
+    // Output gaps between consecutively *received* packets; across a loss
+    // the spacing is not one probe gap, so only seq-adjacent pairs count.
+    std::vector<double> output_gaps;
+    output_gaps.reserve(outcome.records.size());
+    for (std::size_t i = 1; i < outcome.records.size(); ++i) {
+      if (outcome.records[i].seq != outcome.records[i - 1].seq + 1) continue;
+      const Duration d =
+          outcome.records[i].received - outcome.records[i - 1].received;
+      if (d > Duration::zero()) output_gaps.push_back(d.secs());
+    }
+    if (output_gaps.empty()) continue;
+
+    double sum = 0.0;
+    for (double g : output_gaps) sum += g;
+    const double avg_out = sum / static_cast<double>(output_gaps.size());
+
+    const Duration spread =
+        outcome.records.back().received - outcome.records.front().received;
+    const double bits = static_cast<double>(outcome.records.size() - 1) *
+                        cfg_.packet_size * 8.0;
+    GapStep row;
+    row.input_gap = gap;
+    row.avg_output_gap = Duration::seconds(avg_out);
+    row.output_rate = Rate::bps(bits / spread.secs());
+    row.turning = avg_out <= gap.secs() * (1.0 + cfg_.gap_tolerance);
+    est.sweep.push_back(row);
+
+    if (row.turning) {
+      const Rate lambda = igi_cross_traffic(cfg_.capacity, gap, output_gaps);
+      est.igi_avail_bw =
+          std::clamp(cfg_.capacity - lambda, Rate::zero(), cfg_.capacity);
+      est.ptr_rate = row.output_rate;
+      est.valid = true;
+      break;
+    }
+  }
+  return est;
+}
+
+std::string IgiEstimator::config_text() const {
+  std::string out;
+  out += core::kv_config_line("capacity_mbps", cfg_.capacity.mbits_per_sec());
+  out += core::kv_config_line("train_length", cfg_.train_length);
+  out += core::kv_config_line("packet_size", cfg_.packet_size);
+  out += core::kv_config_line("init_gap_us", cfg_.init_gap.micros());
+  out += core::kv_config_line("gap_factor", cfg_.gap_factor);
+  out += core::kv_config_line("max_gap_steps", cfg_.max_gap_steps);
+  out += core::kv_config_line("gap_tolerance", cfg_.gap_tolerance);
+  out += core::kv_config_line("inter_train_gap_ms", cfg_.inter_train_gap.millis());
+  return out;
+}
+
+core::EstimateReport IgiEstimator::run(core::ProbeChannel& channel, Rng& /*rng*/) {
+  if (cfg_.capacity <= Rate::zero()) {
+    throw core::EstimatorError{
+        "estimator 'igi' needs the bottleneck capacity a priori and no "
+        "capacity_mbps hint was configured (the IGI formula turns increased "
+        "gaps into cross-traffic bits via C): set capacity_mbps=<C>, e.g. "
+        "from a pktpair run (scenario_runner fills the hint from the "
+        "scenario's narrow link automatically)"};
+  }
+  core::MeteredChannel metered{channel};
+  const TimePoint start = metered.now();
+  const Estimate est = measure(metered);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kAvailBw;
+  report.valid = est.valid;
+  report.is_range = est.valid;
+  report.low = std::min(est.igi_avail_bw, est.ptr_rate);
+  report.high = std::max(est.igi_avail_bw, est.ptr_rate);
+  report.streams_sent = metered.streams();
+  report.packets_sent = metered.packets();
+  report.bytes_sent = metered.bytes();
+  report.elapsed = metered.now() - start;
+  report.iterations.reserve(est.sweep.size());
+  for (const GapStep& row : est.sweep) {
+    report.iterations.push_back(
+        {Rate::bps(cfg_.packet_size * 8.0 / row.input_gap.secs()).mbits_per_sec(),
+         row.output_rate.mbits_per_sec(),
+         row.turning ? "turning-point" : "gap-step"});
+  }
+  return report;
+}
+
+}  // namespace pathload::baselines

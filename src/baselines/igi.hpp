@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "util/units.hpp"
+
+namespace pathload::baselines {
+
+/// IGI/PTR (Hu & Steenkiste, JSAC 2003): increasing-gap probe trains with
+/// a turning-point search.
+///
+/// The tool sends trains of equal-sized packets, widening the input gap
+/// g from train to train. While the train rate L*8/g exceeds the avail-bw
+/// the bottleneck queue stays busy and the output gaps are wider than g;
+/// the *turning point* is the first gap where the average output gap
+/// matches the input gap (train rate == avail-bw, queue no longer loaded
+/// by the probes). At the turning-point train it emits two estimates:
+///
+///  * IGI: cross traffic from the increased gaps,
+///        lambda = C * sum(g_out_i - g | g_out_i > g) / sum(g_out_i),
+///    and A_igi = C - lambda — this is the gap-model half and needs the
+///    bottleneck capacity C a priori (like Spruce);
+///  * PTR: the train's own output rate, (M-1)*L*8 / (t_M - t_1) — the
+///    self-loading half, no capacity needed.
+///
+/// The report is the [min, max] bracket of the two (the tool's authors
+/// treat their agreement as a health check), with the per-gap sweep as
+/// the iteration trace.
+struct IgiConfig {
+  /// Bottleneck capacity hint for the IGI formula; zero = not provided
+  /// (run throws an actionable error, as for Spruce).
+  Rate capacity{Rate::zero()};
+  int train_length{60};
+  int packet_size{700};
+  /// First (smallest) input gap; the initial train rate L*8/g should
+  /// exceed the capacity so the search starts on the loaded side.
+  Duration init_gap{Duration::microseconds(100)};
+  double gap_factor{1.25};  ///< multiplicative gap growth per train
+  int max_gap_steps{16};    ///< give up (invalid) past this many trains
+  /// Turning point: avg output gap within (1 + tolerance) of the input.
+  double gap_tolerance{0.05};
+  Duration inter_train_gap{Duration::milliseconds(50)};
+};
+
+class IgiEstimator final : public core::Estimator {
+ public:
+  explicit IgiEstimator(IgiConfig cfg = IgiConfig()) : cfg_{cfg} {}
+
+  /// One gap step of the sweep, for the trace and the tests.
+  struct GapStep {
+    Duration input_gap{};
+    Duration avg_output_gap{};
+    Rate output_rate{};   ///< the train's PTR-style dispersion rate
+    bool turning{false};  ///< this step satisfied the turning condition
+  };
+
+  struct Estimate {
+    Rate igi_avail_bw{};  ///< C - lambda at the turning point
+    Rate ptr_rate{};      ///< output rate at the turning point
+    bool valid{false};
+    std::vector<GapStep> sweep;
+  };
+
+  /// The IGI cross-traffic formula over one train's output gaps.
+  static Rate igi_cross_traffic(Rate capacity, Duration input_gap,
+                                const std::vector<double>& output_gaps_secs);
+
+  Estimate measure(core::ProbeChannel& channel) const;
+
+  // Estimator interface: avail-bw range bracketing the IGI and PTR
+  // estimates at the turning point.
+  std::string_view name() const override { return "igi"; }
+  std::string config_text() const override;
+  bool needs_capacity_hint() const override { return true; }
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
+
+ private:
+  IgiConfig cfg_;
+};
+
+}  // namespace pathload::baselines

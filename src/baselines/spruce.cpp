@@ -1,0 +1,98 @@
+#include "baselines/spruce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace pathload::baselines {
+
+Rate SpruceEstimator::pair_sample(Rate capacity, Duration delta_in,
+                                  Duration delta_out) {
+  const double din = delta_in.secs();
+  const double dout = delta_out.secs();
+  const double a = capacity.bits_per_sec() * (1.0 - (dout - din) / din);
+  // Clamp negatives only (a burst bigger than the gap can buy): compressed
+  // pairs legitimately sample above C, and keeping them lets downstream
+  // jitter cancel in the mean instead of biasing it low — only the final
+  // mean is folded back into [0, C].
+  return Rate::bps(std::max(a, 0.0));
+}
+
+SpruceEstimator::Estimate SpruceEstimator::measure(core::ProbeChannel& channel,
+                                                   Rng& rng) const {
+  Estimate est;
+  OnlineStats samples_bps;
+  const Duration delta_in =
+      cfg_.capacity.transmission_time(DataSize::bytes(cfg_.packet_size));
+  for (int p = 0; p < cfg_.pairs; ++p) {
+    core::StreamSpec spec;
+    spec.stream_id = 0x59ce0000u + static_cast<std::uint32_t>(p);
+    spec.packet_count = 2;
+    spec.packet_size = cfg_.packet_size;
+    spec.period = delta_in;
+    const auto outcome = channel.run_stream(spec);
+    // Poisson inter-pair sampling: the exponential draw comes from the
+    // run's seeded Rng, so a fixed seed still replays bit-exactly.
+    channel.idle(Duration::seconds(rng.exponential(cfg_.inter_pair_gap.secs())));
+    if (outcome.records.size() != 2) continue;
+    const Duration delta_out =
+        outcome.records[1].received - outcome.records[0].received;
+    if (delta_out <= Duration::zero()) continue;
+    const Rate a = pair_sample(cfg_.capacity, delta_in, delta_out);
+    samples_bps.add(a.bits_per_sec());
+    est.samples_mbps.push_back(a.mbits_per_sec());
+  }
+  est.usable_pairs = static_cast<int>(samples_bps.count());
+  if (est.usable_pairs == 0) return est;
+  est.avail_bw = std::clamp(Rate::bps(samples_bps.mean()), Rate::zero(),
+                            cfg_.capacity);
+  est.std_error = Rate::bps(samples_bps.stddev() /
+                            std::sqrt(static_cast<double>(samples_bps.count())));
+  est.valid = true;
+  return est;
+}
+
+std::string SpruceEstimator::config_text() const {
+  std::string out;
+  out += core::kv_config_line("capacity_mbps", cfg_.capacity.mbits_per_sec());
+  out += core::kv_config_line("pairs", cfg_.pairs);
+  out += core::kv_config_line("packet_size", cfg_.packet_size);
+  out += core::kv_config_line("inter_pair_gap_ms", cfg_.inter_pair_gap.millis());
+  return out;
+}
+
+core::EstimateReport SpruceEstimator::run(core::ProbeChannel& channel, Rng& rng) {
+  if (cfg_.capacity <= Rate::zero()) {
+    throw core::EstimatorError{
+        "estimator 'spruce' needs the bottleneck capacity a priori and no "
+        "capacity_mbps hint was configured (the gap model sends pairs at "
+        "delta_in = L/C): set capacity_mbps=<C>, e.g. from a pktpair run "
+        "(scenario_runner fills the hint from the scenario's narrow link "
+        "automatically)"};
+  }
+  core::MeteredChannel metered{channel};
+  const TimePoint start = metered.now();
+  const Estimate est = measure(metered, rng);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kAvailBw;
+  report.valid = est.valid;
+  report.is_range = est.valid;
+  const Rate mean = est.avail_bw;
+  report.low = std::max(Rate::zero(), mean - est.std_error);
+  report.high = std::min(cfg_.capacity, mean + est.std_error);
+  report.streams_sent = metered.streams();
+  report.packets_sent = metered.packets();
+  report.bytes_sent = metered.bytes();
+  report.elapsed = metered.now() - start;
+  const double offered = cfg_.capacity.mbits_per_sec();  // pairs leave at C
+  report.iterations.reserve(est.samples_mbps.size());
+  for (double a : est.samples_mbps) {
+    report.iterations.push_back({offered, a, "pair"});
+  }
+  return report;
+}
+
+}  // namespace pathload::baselines

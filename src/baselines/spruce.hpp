@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "util/units.hpp"
+
+namespace pathload::baselines {
+
+/// Spruce (Strauss, Katabi & Kaashoek, IMC 2003): the gap-model baseline
+/// the comparative-evaluation literature judges against pathload.
+///
+/// Spruce sends packet pairs whose *input* gap equals the bottleneck's
+/// transmission time of one probe packet, delta_in = L/C. If the queue
+/// stays busy between the two probes, the cross traffic that slipped in
+/// between widens the gap, and each pair yields an avail-bw sample
+///     A_i = C * (1 - (delta_out - delta_in) / delta_in).
+/// Pairs leave on a Poisson schedule (exponential inter-pair gaps) so the
+/// probes sample the path like an ASTA observer instead of beating against
+/// periodic cross traffic; the estimate is the sample mean over K pairs.
+///
+/// Like Delphi, Spruce needs the capacity C a priori (in practice from a
+/// pathrate/pktpair run). Unlike Delphi this repo gives it no default:
+/// `capacity_mbps` is a required hint, `run` throws an actionable
+/// core::EstimatorError without it, and `needs_capacity_hint()` lets
+/// callers plan (scenario_runner fills the hint from the scenario's
+/// narrow link; bandwidth_tools --live reports a structured skip).
+struct SpruceConfig {
+  /// Bottleneck capacity hint; zero means "not provided".
+  Rate capacity{Rate::zero()};
+  int pairs{100};         ///< the tool's default sample count
+  int packet_size{1500};  ///< bytes; delta_in = L/C
+  /// Mean of the exponential inter-pair gaps (Poisson sampling). The
+  /// default keeps the average probe rate near the tool's ~240 Kb/s.
+  Duration inter_pair_gap{Duration::milliseconds(100)};
+};
+
+class SpruceEstimator final : public core::Estimator {
+ public:
+  explicit SpruceEstimator(SpruceConfig cfg = SpruceConfig()) : cfg_{cfg} {}
+
+  struct Estimate {
+    Rate avail_bw{};     ///< sample mean over usable pairs
+    Rate std_error{};    ///< standard error of the mean
+    int usable_pairs{0};
+    bool valid{false};
+    std::vector<double> samples_mbps;  ///< per-pair A_i (the trace)
+  };
+
+  /// One Spruce sample from a received pair: A = C * (1 - (out-in)/in),
+  /// clamped to [0, C] (compressed pairs assert full availability, heavy
+  /// expansion asserts none — the tool's own clamping).
+  static Rate pair_sample(Rate capacity, Duration delta_in, Duration delta_out);
+
+  Estimate measure(core::ProbeChannel& channel, Rng& rng) const;
+
+  // Estimator interface: an avail-bw band, mean +- one standard error
+  // over the K pair samples (the center is the classic Spruce estimate).
+  std::string_view name() const override { return "spruce"; }
+  std::string config_text() const override;
+  bool needs_capacity_hint() const override { return true; }
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
+
+ private:
+  SpruceConfig cfg_;
+};
+
+}  // namespace pathload::baselines

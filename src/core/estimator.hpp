@@ -1,8 +1,10 @@
 // The unified estimator abstraction.
 //
-// Every bandwidth-estimation tool in this repo — pathload's SLoPS search
-// and the Section II baselines (cprobe train dispersion, packet-pair
-// capacity probing, TOPP, Delphi, greedy-TCP BTC) — implements one
+// Every bandwidth-estimation tool in this repo — pathload's SLoPS search,
+// the Section II baselines (cprobe train dispersion, packet-pair capacity
+// probing, TOPP, Delphi, greedy-TCP BTC), and the comparative-evaluation
+// trio (Spruce's gap-model pairs, IGI/PTR's increasing-gap trains,
+// pathChirp's chirps) — implements one
 // interface: `Estimator::run(ProbeChannel&, Rng&)` returning a uniform
 // `EstimateReport`. The interface is what makes the "any estimator × any
 // scenario" cross-product possible: an estimator never knows whether its
@@ -120,6 +122,13 @@ class Estimator {
   /// rather than by sending probe streams.
   virtual bool needs_bulk_tcp() const { return false; }
 
+  /// True for gap-model tools (Spruce, IGI) whose formula needs the
+  /// bottleneck capacity a priori. Such a tool throws EstimatorError from
+  /// `run` until `capacity_mbps` is configured; callers that know the path
+  /// (scenario_runner driving a preset) check the flag and supply the hint
+  /// up front, the way they check needs_bulk_tcp before running.
+  virtual bool needs_capacity_hint() const { return false; }
+
   /// Run one measurement. `rng` seeds any tool-internal randomness; the
   /// current tools are deterministic given the channel, but the parameter
   /// is part of the contract so stochastic probers fit without an
@@ -140,6 +149,10 @@ class KvOverrides {
   static KvOverrides parse(std::string_view text);
 
   bool empty() const { return items_.empty(); }
+
+  /// True when `key` was given (used by callers that auto-fill a default —
+  /// the CLI's capacity-hint plumbing — without overriding the user).
+  bool has(std::string_view key) const { return find(key) != nullptr; }
 
   /// Typed getters: the default when the key is absent, EstimatorError
   /// (with the line number) when the value does not parse.
@@ -185,6 +198,11 @@ class EstimatorRegistry {
     bool needs_bulk_tcp{false}; ///< mirrored from the estimator for
                                 ///< capability checks before construction
     Factory make;
+    /// Mirrored from Estimator::needs_capacity_hint, again so callers can
+    /// plan (auto-fill `capacity_mbps`, or skip with a structured message
+    /// on a live path of unknown capacity) before construction. Declared
+    /// after `make` so pre-hint aggregate initializers stay valid.
+    bool needs_capacity_hint{false};
   };
 
   EstimatorRegistry() = default;

@@ -6,6 +6,29 @@
 
 namespace pathload::core {
 
+Duration StreamSpec::send_offset(int i) const {
+  if (periodic()) return period * static_cast<double>(i);
+  Duration off = Duration::zero();
+  const int n = std::min<int>(i, static_cast<int>(gaps.size()));
+  for (int k = 0; k < n; ++k) off += gaps[static_cast<std::size_t>(k)];
+  return off;
+}
+
+Rate StreamSpec::rate() const {
+  if (periodic()) return Rate::bps(packet_size * 8.0 / period.secs());
+  const Duration window = duration();
+  if (window <= Duration::zero()) return Rate::zero();
+  return Rate::bps(static_cast<double>(packet_count) * packet_size * 8.0 /
+                   window.secs());
+}
+
+Duration StreamSpec::duration() const {
+  if (periodic()) return period * static_cast<double>(packet_count);
+  Duration total = Duration::zero();
+  for (const Duration& g : gaps) total += g;
+  return total;
+}
+
 StreamSpec make_stream_spec(Rate desired, const PathloadConfig& cfg) {
   if (desired <= Rate::zero()) {
     throw std::invalid_argument{"stream rate must be positive"};

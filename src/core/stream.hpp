@@ -9,15 +9,31 @@
 
 namespace pathload::core {
 
-/// Transmission schedule of one periodic stream: K packets of L bytes every
-/// T time units, i.e. rate R = L*8/T (Section III).
+/// Transmission schedule of one probe stream.
+///
+/// The default form is periodic: K packets of L bytes every T time units,
+/// i.e. rate R = L*8/T (Section III). A stream may instead carry an
+/// explicit per-packet gap schedule (`gaps`, one entry per inter-packet
+/// spacing) — the form pathChirp's exponentially shrinking spacings need.
+/// Channels honor `gaps` when present and fall back to the periodic
+/// schedule otherwise, so every pre-chirp code path is unchanged.
 struct StreamSpec {
   std::uint32_t stream_id{0};
   int packet_count{100};     ///< K
   int packet_size{200};      ///< L, bytes
-  Duration period{};         ///< T
-  Rate rate() const { return Rate::bps(packet_size * 8.0 / period.secs()); }
-  Duration duration() const { return period * static_cast<double>(packet_count); }
+  Duration period{};         ///< T (periodic form)
+  /// Non-periodic send schedule: packet k+1 departs gaps[k] after packet k
+  /// (size packet_count - 1). Empty selects the periodic form.
+  std::vector<Duration> gaps;
+
+  bool periodic() const { return gaps.empty(); }
+  /// Offset of packet `i`'s departure from the first packet's.
+  Duration send_offset(int i) const;
+  /// Periodic: L*8/T. Gapped: the average rate over the send window.
+  Rate rate() const;
+  /// Periodic: K*T (the receiver-side wait convention, one trailing
+  /// period included). Gapped: the send window, sum of the gaps.
+  Duration duration() const;
 };
 
 /// Sender/receiver timestamps of one probe packet that made it across.

@@ -51,17 +51,28 @@ Duration LiveProbeChannel::measure_rtt(int samples) {
 }
 
 core::StreamOutcome LiveProbeChannel::run_stream(const core::StreamSpec& spec) {
+  if (!spec.periodic() &&
+      spec.gaps.size() + 1 != static_cast<std::size_t>(spec.packet_count)) {
+    throw std::invalid_argument{
+        "StreamSpec.gaps must carry packet_count - 1 entries"};
+  }
   const auto start_msg = StreamStartMsg::from_spec(spec).encode();
   control_.send_frame(make_message(MsgType::kStreamStart, start_msg));
 
-  // Pace K packets at the period T using absolute deadlines so that timer
-  // error does not accumulate across the stream; the *actual* send time is
-  // what goes into the packet, so the receiver's send-gap screening sees
-  // real pacing quality, context switches included.
+  // Pace K packets on the spec's schedule — the period T, or the explicit
+  // gap list (chirps) — using absolute deadlines so that timer error does
+  // not accumulate across the stream; the *actual* send time is what goes
+  // into the packet, so the receiver's send-gap screening sees real pacing
+  // quality, context switches included.
   std::vector<std::byte> packet(static_cast<std::size_t>(spec.packet_size));
   const TimePoint t0 = monotonic_now() + Duration::milliseconds(1);
+  Duration offset = Duration::zero();
   for (int i = 0; i < spec.packet_count; ++i) {
-    sleep_until(t0 + spec.period * static_cast<double>(i));
+    if (i > 0) {
+      offset += spec.periodic() ? spec.period
+                                : spec.gaps[static_cast<std::size_t>(i - 1)];
+    }
+    sleep_until(t0 + offset);
     ProbeHeader h;
     h.stream_id = spec.stream_id;
     h.seq = static_cast<std::uint32_t>(i);

@@ -1,5 +1,7 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
+
 namespace pathload::net {
 
 std::vector<std::byte> StreamStartMsg::encode() const {
@@ -39,7 +41,14 @@ StreamStartMsg StreamStartMsg::from_spec(const core::StreamSpec& spec) {
   m.stream_id = spec.stream_id;
   m.packet_count = static_cast<std::uint32_t>(spec.packet_count);
   m.packet_size = static_cast<std::uint32_t>(spec.packet_size);
-  m.period_ns = spec.period.nanos();
+  // The receiver only uses the period for its collection deadline
+  // (period * count). A gapped stream (chirp) has no single period; send
+  // the mean gap so the derived deadline still covers the send window.
+  m.period_ns = spec.periodic()
+                    ? spec.period.nanos()
+                    : std::max<std::int64_t>(
+                          1, spec.duration().nanos() /
+                                 std::max(spec.packet_count - 1, 1));
   return m;
 }
 

@@ -30,8 +30,12 @@ class ByteWriter {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put(T v) {
-    const auto* p = reinterpret_cast<const std::byte*>(&v);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
+    // resize + memcpy rather than insert(end, p, p + n): gcc 12's
+    // -Wstringop-overflow misjudges the range-insert growth path once
+    // put(i64) is inlined into a larger frame.
+    const std::size_t old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &v, sizeof(T));
   }
   std::vector<std::byte> take() { return std::move(buf_); }
 

@@ -1,5 +1,7 @@
 #include "scenario/sim_channel.hpp"
 
+#include <stdexcept>
+
 #include "tcp/bulk.hpp"
 
 namespace pathload::scenario {
@@ -59,6 +61,11 @@ void SimProbeChannel::send_next() {
 }
 
 core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
+  if (!spec.periodic() &&
+      spec.gaps.size() + 1 != static_cast<std::size_t>(spec.packet_count)) {
+    throw std::invalid_argument{
+        "StreamSpec.gaps must carry packet_count - 1 entries"};
+  }
   current_stream_ = spec.stream_id;
   records_.clear();
   records_.reserve(static_cast<std::size_t>(spec.packet_count));
@@ -66,16 +73,22 @@ core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
   const std::uint64_t drops_before = probe_drops();
   const TimePoint start = sim_.now();
 
-  // Fix the K periodic departure times upfront. A send-gap injection
-  // (context switch) delays a packet's actual departure; subsequent packets
-  // keep their nominal schedule unless they too are delayed, which matches
-  // a sender that falls behind and immediately catches up.
+  // Fix the K departure times upfront — periodic multiples of T, or the
+  // spec's explicit gap schedule (chirps). A send-gap injection (context
+  // switch) delays a packet's actual departure; subsequent packets keep
+  // their nominal schedule unless they too are delayed, which matches a
+  // sender that falls behind and immediately catches up.
   send_times_.resize(static_cast<std::size_t>(spec.packet_count));
   Duration accumulated_gap = Duration::zero();
+  Duration nominal_offset = Duration::zero();
   for (int i = 0; i < spec.packet_count; ++i) {
     if (gap_injector_) accumulated_gap += gap_injector_(static_cast<std::uint32_t>(i));
-    send_times_[static_cast<std::size_t>(i)] =
-        start + spec.period * static_cast<double>(i) + accumulated_gap;
+    if (i > 0) {
+      nominal_offset += spec.periodic()
+                            ? spec.period
+                            : spec.gaps[static_cast<std::size_t>(i - 1)];
+    }
+    send_times_[static_cast<std::size_t>(i)] = start + nominal_offset + accumulated_gap;
   }
   spec_ = &spec;
   send_idx_ = 0;

@@ -97,6 +97,60 @@ TEST(EstimatorGolden, DelphiReplaysBespokeMeasureBitExact) {
   EXPECT_EQ(r.packets_sent, 200);
 }
 
+// The PR 5 additions (spruce, igi, pathchirp) have no pre-refactor bespoke
+// ancestor; their anchors below were captured from the implementations at
+// introduction, on the same paper-path/seed-9001 convention. A diff means
+// the tool's probing schedule or analysis drifted, not just its reporting.
+
+TEST(EstimatorGolden, SpruceAnchorOnPaperPathBitExact) {
+  const auto r = run_golden("spruce", "capacity_mbps = 10");
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.is_range);
+  EXPECT_EQ(r.quantity, core::EstimateReport::Quantity::kAvailBw);
+  EXPECT_EQ(r.low.bits_per_sec(), 3659731.2989660795);
+  EXPECT_EQ(r.high.bits_per_sec(), 4452955.8677005861);
+  // 100 pairs x 2 packets x 1500 B.
+  EXPECT_EQ(r.streams_sent, 100);
+  EXPECT_EQ(r.packets_sent, 200);
+  EXPECT_EQ(r.bytes_sent.byte_count(), 300000);
+  EXPECT_EQ(r.elapsed.nanos(), 15718773936);
+  EXPECT_EQ(r.iterations.size(), 100u);  // one sample per usable pair
+}
+
+TEST(EstimatorGolden, IgiAnchorOnPaperPathBitExact) {
+  const auto r = run_golden("igi", "capacity_mbps = 10");
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.is_range);
+  EXPECT_EQ(r.quantity, core::EstimateReport::Quantity::kAvailBw);
+  // low = PTR at the turning point, high = the IGI gap-model estimate
+  // (biased up: probing below the knee misses cross traffic, the bias the
+  // comparative-evaluation literature reports).
+  EXPECT_EQ(r.low.bits_per_sec(), 3896490.0255103339);
+  EXPECT_EQ(r.high.bits_per_sec(), 7893219.9693745784);
+  // 13 gap steps x 60-packet trains of 700 B until the turning point.
+  EXPECT_EQ(r.streams_sent, 13);
+  EXPECT_EQ(r.packets_sent, 780);
+  EXPECT_EQ(r.bytes_sent.byte_count(), 546000);
+  EXPECT_EQ(r.elapsed.nanos(), 2074709901);
+  ASSERT_EQ(r.iterations.size(), 13u);
+  EXPECT_EQ(r.iterations.back().note, "turning-point");
+}
+
+TEST(EstimatorGolden, PathChirpAnchorOnPaperPathBitExact) {
+  const auto r = run_golden("pathchirp");  // needs no capacity hint
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.is_range);
+  EXPECT_EQ(r.quantity, core::EstimateReport::Quantity::kAvailBw);
+  EXPECT_EQ(r.low.bits_per_sec(), 2547196.1536893314);
+  EXPECT_EQ(r.high.bits_per_sec(), 4298748.1200772244);
+  // 12 chirps x 19 packets (18 exponential spacings, 1 -> 20 Mb/s) x 1 kB.
+  EXPECT_EQ(r.streams_sent, 12);
+  EXPECT_EQ(r.packets_sent, 228);
+  EXPECT_EQ(r.bytes_sent.byte_count(), 228000);
+  EXPECT_EQ(r.elapsed.nanos(), 2463296935);
+  EXPECT_EQ(r.iterations.size(), 12u);  // every chirp fully received
+}
+
 TEST(EstimatorGolden, BtcOverChannelReplaysBespokeSimulatorRunBitExact) {
   const auto r = run_golden("btc", "duration_s = 8");
   EXPECT_TRUE(r.valid);

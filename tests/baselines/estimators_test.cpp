@@ -15,21 +15,29 @@ using core::EstimatorError;
 const core::EstimatorRegistry& reg() { return builtin_estimators(); }
 
 TEST(EstimatorRegistry, BuiltinHasTheDocumentedEstimators) {
-  EXPECT_EQ(reg().size(), 6u);
-  for (const char* name :
-       {"pathload", "cprobe", "pktpair", "topp", "delphi", "btc"}) {
+  EXPECT_EQ(reg().size(), 9u);
+  for (const char* name : {"pathload", "cprobe", "pktpair", "topp", "delphi",
+                           "spruce", "igi", "pathchirp", "btc"}) {
     const auto* entry = reg().find(name);
     ASSERT_NE(entry, nullptr) << name;
     EXPECT_FALSE(entry->summary.empty()) << name;
     const auto est = reg().make(name);
     EXPECT_EQ(est->name(), name);
     EXPECT_EQ(est->needs_bulk_tcp(), entry->needs_bulk_tcp) << name;
+    EXPECT_EQ(est->needs_capacity_hint(), entry->needs_capacity_hint) << name;
   }
 }
 
 TEST(EstimatorRegistry, OnlyBtcNeedsBulkTcp) {
   for (const auto& entry : reg().entries()) {
     EXPECT_EQ(entry.needs_bulk_tcp, entry.name == "btc") << entry.name;
+  }
+}
+
+TEST(EstimatorRegistry, OnlyTheGapModelToolsNeedACapacityHint) {
+  for (const auto& entry : reg().entries()) {
+    const bool expects = entry.name == "spruce" || entry.name == "igi";
+    EXPECT_EQ(entry.needs_capacity_hint, expects) << entry.name;
   }
 }
 
@@ -111,6 +119,57 @@ TEST(EstimatorRegistry, MissingEqualsRejected) {
   }
 }
 
+TEST(EstimatorRegistry, NewEstimatorUnknownKeysAreLineNumberedAndActionable) {
+  // Every PR 5 estimator must reuse the structured override error path:
+  // the 1-based line, the offending key, the estimator name, and the full
+  // legal key list.
+  struct Case {
+    const char* name;
+    const char* overrides;  // line 2 carries the typo
+    const char* bad_key;
+    const char* a_legal_key;
+  };
+  for (const Case& c :
+       {Case{"spruce", "pairs = 10\ncapacity_mpbs = 10", "capacity_mpbs",
+             "capacity_mbps"},
+        Case{"igi", "train_length = 30\ngapfactor = 2", "gapfactor",
+             "gap_factor"},
+        Case{"pathchirp", "chirps = 4\nspread = 1.3", "spread",
+             "spread_factor"}}) {
+    try {
+      (void)reg().make(c.name, c.overrides);
+      FAIL() << c.name << ": expected EstimatorError";
+    } catch (const EstimatorError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("line 2"), std::string::npos) << c.name << ": " << msg;
+      EXPECT_NE(msg.find(std::string{"unknown key '"} + c.bad_key), std::string::npos)
+          << c.name << ": " << msg;
+      EXPECT_NE(msg.find(std::string{"'"} + c.name + "'"), std::string::npos)
+          << c.name << ": " << msg;
+      EXPECT_NE(msg.find(c.a_legal_key), std::string::npos) << c.name << ": " << msg;
+    }
+  }
+}
+
+TEST(EstimatorRegistry, NewEstimatorMalformedValuesNameLineAndKey) {
+  for (const char* bad : {"pairs = many", "packet_size = 1.5"}) {
+    try {
+      (void)reg().make("spruce", bad);
+      FAIL() << "expected EstimatorError for '" << bad << "'";
+    } catch (const EstimatorError& e) {
+      EXPECT_NE(std::string{e.what()}.find("line 1"), std::string::npos) << e.what();
+    }
+  }
+  EXPECT_THROW((void)reg().make("igi", "max_gap_steps = 2.5"), EstimatorError);
+  EXPECT_THROW((void)reg().make("pathchirp", "chirps = twelve"), EstimatorError);
+}
+
+TEST(EstimatorRegistry, PathChirpRejectsNonsenseRateLadder) {
+  EXPECT_THROW((void)reg().make("pathchirp", "min_rate_mbps = 8, max_rate_mbps = 2"),
+               EstimatorError);
+  EXPECT_THROW((void)reg().make("pathchirp", "spread_factor = 0.9"), EstimatorError);
+}
+
 TEST(EstimatorRegistry, ConfigTextRoundTripsThroughOverrides) {
   // Every estimator's introspected config must itself be a legal override
   // text producing an identically-configured instance — the contract that
@@ -163,6 +222,54 @@ TEST(EstimatorCapability, BtcThrowsStructuredErrorOnBulklessChannel) {
     EXPECT_NE(msg.find("btc"), std::string::npos);
     EXPECT_NE(msg.find("bulk-TCP"), std::string::npos);
   }
+}
+
+TEST(EstimatorCapability, GapModelToolsThrowActionablyWithoutCapacityHint) {
+  // spruce and igi constructed without a capacity_mbps hint must fail at
+  // run() with a message that says what to set and where to get it —
+  // before any probe leaves (the channel must stay untouched).
+  class CountingChannel final : public core::ProbeChannel {
+   public:
+    core::StreamOutcome run_stream(const core::StreamSpec& spec) override {
+      ++streams;
+      core::StreamOutcome o;
+      o.sent_count = spec.packet_count;
+      return o;
+    }
+    void idle(Duration d) override { now_ += d; }
+    TimePoint now() override { return now_; }
+    Duration rtt() const override { return Duration::milliseconds(10); }
+    int streams{0};
+
+   private:
+    TimePoint now_{};
+  } channel;
+
+  for (const char* name : {"spruce", "igi"}) {
+    const auto est = reg().make(name);
+    EXPECT_TRUE(est->needs_capacity_hint()) << name;
+    Rng rng{1};
+    try {
+      (void)est->run(channel, rng);
+      FAIL() << name << ": expected EstimatorError";
+    } catch (const EstimatorError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(std::string{"'"} + name + "'"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("capacity_mbps"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("pktpair"), std::string::npos) << msg;  // actionable
+    }
+  }
+  EXPECT_EQ(channel.streams, 0);
+
+  // With the hint, the same instances run (the channel above reports
+  // total loss, so the estimate is invalid — but no throw).
+  for (const char* name : {"spruce", "igi"}) {
+    const auto est = reg().make(name, "capacity_mbps = 10");
+    Rng rng{1};
+    const auto r = est->run(channel, rng);
+    EXPECT_FALSE(r.valid) << name;
+  }
+  EXPECT_GT(channel.streams, 0);
 }
 
 }  // namespace

@@ -1,0 +1,337 @@
+// Property tests for the PR 5 estimators (Spruce, IGI/PTR, pathChirp):
+// the analysis math on synthetic channels and hand-built signatures, where
+// the right answer is known in closed form — the complement of the golden
+// anchors in estimator_golden_test.cpp, which pin the full runs bit-exactly
+// on the paper-path preset.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/chirp.hpp"
+#include "baselines/igi.hpp"
+#include "baselines/spruce.hpp"
+#include "core/channel.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sim_channel.hpp"
+#include "scenario/spec.hpp"
+
+namespace pathload::baselines {
+namespace {
+
+// ---------------------------------------------------------------- Spruce
+
+TEST(SpruceProperty, PairSampleInvertsTheGapModel) {
+  // The busy-queue identity: cross traffic lambda widens delta_in = L/C to
+  // delta_out = delta_in * (1 + lambda/C), and the sample must recover
+  // A = C - lambda exactly, for any utilization.
+  const Rate C = Rate::mbps(10);
+  const Duration din = C.transmission_time(DataSize::bytes(1500));
+  for (double u : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const Duration dout = din * (1.0 + u);
+    const Rate a = SpruceEstimator::pair_sample(C, din, dout);
+    EXPECT_NEAR(a.mbits_per_sec(), 10.0 * (1.0 - u), 1e-9) << "u=" << u;
+  }
+}
+
+TEST(SpruceProperty, PairSampleClampsNegativesOnly) {
+  const Rate C = Rate::mbps(10);
+  const Duration din = C.transmission_time(DataSize::bytes(1500));
+  // A compressed pair samples *above* C (downstream jitter must be allowed
+  // to cancel in the mean — only the final mean folds back into [0, C]).
+  EXPECT_NEAR(SpruceEstimator::pair_sample(C, din, din * 0.5).mbits_per_sec(),
+              15.0, 1e-9);
+  // More than doubled gap: no availability, never negative.
+  EXPECT_EQ(SpruceEstimator::pair_sample(C, din, din * 3.0), Rate::zero());
+}
+
+/// Synthetic single-queue channel with constant fluid cross traffic: a
+/// pair spaced delta_in comes out spaced delta_in * (1 + lambda/C); a
+/// train at rate R > A disperses to rate A (output gaps L*8/A); a train at
+/// rate R <= A keeps its input spacing. Known ground truth for both gap
+/// models, no simulator.
+class FluidQueueChannel final : public core::ProbeChannel {
+ public:
+  FluidQueueChannel(Rate capacity, Rate cross) : capacity_{capacity}, cross_{cross} {}
+
+  core::StreamOutcome run_stream(const core::StreamSpec& spec) override {
+    const Rate avail = capacity_ - cross_;
+    core::StreamOutcome o;
+    o.sent_count = spec.packet_count;
+    const Duration base = Duration::milliseconds(5);
+    TimePoint sent = now_;
+    TimePoint received = now_ + base;
+    for (int i = 0; i < spec.packet_count; ++i) {
+      if (i > 0) {
+        const Duration gap = spec.periodic()
+                                 ? spec.period
+                                 : spec.gaps[static_cast<std::size_t>(i - 1)];
+        sent += gap;
+        const Rate in_rate =
+            Rate::bps(spec.packet_size * 8.0 / gap.secs());
+        // Busy queue while overdriven (pairs at C count: their momentary
+        // rate C exceeds A whenever cross > 0): the output gap carries the
+        // probe bits plus the cross bits that arrived in between.
+        const Duration out_gap =
+            in_rate > avail
+                ? Duration::seconds((spec.packet_size * 8.0 +
+                                     cross_.bits_per_sec() * gap.secs()) /
+                                    capacity_.bits_per_sec())
+                : gap;
+        received += out_gap;
+      }
+      core::ProbeRecord rec;
+      rec.seq = static_cast<std::uint32_t>(i);
+      rec.sent = sent;
+      rec.received = received;
+      o.records.push_back(rec);
+    }
+    now_ = sent;
+    return o;
+  }
+  void idle(Duration d) override { now_ += d; }
+  TimePoint now() override { return now_; }
+  Duration rtt() const override { return Duration::milliseconds(10); }
+
+ private:
+  Rate capacity_;
+  Rate cross_;
+  TimePoint now_{};
+};
+
+TEST(SpruceProperty, RecoversAvailBwOnTheFluidQueue) {
+  // On the ideal gap-model path the estimate must be exact (zero sample
+  // variance, so the range collapses onto A) for any cross-traffic level.
+  for (double cross_mbps : {0.0, 2.0, 5.0, 8.0}) {
+    FluidQueueChannel channel{Rate::mbps(10), Rate::mbps(cross_mbps)};
+    SpruceConfig cfg;
+    cfg.capacity = Rate::mbps(10);
+    cfg.pairs = 20;
+    SpruceEstimator spruce{cfg};
+    Rng rng{7};
+    const auto r = spruce.run(channel, rng);
+    ASSERT_TRUE(r.valid) << cross_mbps;
+    EXPECT_NEAR(r.low.mbits_per_sec(), 10.0 - cross_mbps, 1e-6);
+    EXPECT_NEAR(r.high.mbits_per_sec(), 10.0 - cross_mbps, 1e-6);
+    EXPECT_EQ(r.streams_sent, 20);
+    EXPECT_EQ(r.packets_sent, 40);
+  }
+}
+
+// --------------------------------------------------------------- IGI/PTR
+
+TEST(IgiProperty, CrossTrafficFormulaCountsOnlyIncreasedGaps) {
+  const Rate C = Rate::mbps(10);
+  const Duration g_in = Duration::microseconds(1000);
+  // All gaps unchanged: no cross traffic visible.
+  EXPECT_EQ(IgiEstimator::igi_cross_traffic(C, g_in, {1e-3, 1e-3, 1e-3}),
+            Rate::zero());
+  // One gap widened by 500 us among 2 ms of output time: the widening is
+  // C * 500us worth of cross bits over the observation window.
+  const Rate lambda = IgiEstimator::igi_cross_traffic(C, g_in, {1.5e-3, 0.5e-3});
+  EXPECT_NEAR(lambda.bits_per_sec(), 10e6 * 0.5e-3 / 2e-3, 1e-6);
+  // Empty window: zero, not a division crash.
+  EXPECT_EQ(IgiEstimator::igi_cross_traffic(C, g_in, {}), Rate::zero());
+}
+
+TEST(IgiProperty, FindsTheTurningPointOnTheFluidQueue) {
+  // Fluid queue with A = 4 of 10 Mb/s: trains faster than A disperse to
+  // output rate A, trains at or below A keep their spacing. The sweep must
+  // stop at the first gap whose train rate has fallen to A (within the
+  // tolerance), and the PTR there is the train's own rate — between
+  // A/gap_factor and A(1 + tol).
+  FluidQueueChannel channel{Rate::mbps(10), Rate::mbps(6)};
+  IgiConfig cfg;
+  cfg.capacity = Rate::mbps(10);
+  IgiEstimator igi{cfg};
+  Rng rng{7};
+  const auto r = igi.run(channel, rng);
+  ASSERT_TRUE(r.valid);
+  const double ptr = r.low.mbits_per_sec();  // fluid: IGI side is >= PTR
+  EXPECT_LE(ptr, 4.0 * (1.0 + cfg.gap_tolerance) + 1e-9);
+  EXPECT_GE(ptr, 4.0 / cfg.gap_factor - 1e-9);
+  // Pre-turning rows are overdriven: their dispersion rate lies strictly
+  // between A and C (the ADR regime), falling towards A as the input gap
+  // widens; offered rates shrink monotonically along the sweep.
+  ASSERT_GE(r.iterations.size(), 2u);
+  for (std::size_t i = 0; i + 1 < r.iterations.size(); ++i) {
+    EXPECT_GT(r.iterations[i].measured_mbps, 4.0) << i;
+    EXPECT_LT(r.iterations[i].measured_mbps, 10.0) << i;
+    EXPECT_GT(r.iterations[i].offered_mbps, r.iterations[i + 1].offered_mbps);
+    if (i > 0) {
+      EXPECT_LT(r.iterations[i].measured_mbps, r.iterations[i - 1].measured_mbps);
+    }
+  }
+  EXPECT_EQ(r.iterations.back().note, "turning-point");
+}
+
+TEST(IgiProperty, GivesUpInvalidWhenTheSweepCannotReachTheKnee) {
+  // Gap schedule capped before the train rate falls to A: no turning
+  // point, and the report must say invalid rather than fabricate a point.
+  FluidQueueChannel channel{Rate::mbps(10), Rate::mbps(9.5)};  // A = 0.5
+  IgiConfig cfg;
+  cfg.capacity = Rate::mbps(10);
+  cfg.max_gap_steps = 6;  // trains stay way above 0.5 Mb/s
+  IgiEstimator igi{cfg};
+  Rng rng{7};
+  const auto r = igi.run(channel, rng);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.iterations.size(), 6u);
+}
+
+// -------------------------------------------------------------- pathChirp
+
+using Chirp = PathChirpEstimator;
+
+TEST(PathChirpProperty, FlatSignatureHasNoExcursions) {
+  const std::vector<double> q(20, 0.0);
+  EXPECT_TRUE(Chirp::segment_excursions(q, 1.5, 3).empty());
+}
+
+TEST(PathChirpProperty, MonotoneRampIsOneNonTerminatingExcursion) {
+  std::vector<double> q;
+  for (int i = 0; i < 12; ++i) q.push_back(i < 5 ? 0.0 : (i - 5) * 1e-4);
+  const auto ex = Chirp::segment_excursions(q, 1.5, 3);
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0].start, 5u);
+  EXPECT_EQ(ex[0].end, 11u);
+  EXPECT_FALSE(ex[0].terminated);
+}
+
+TEST(PathChirpProperty, RecoveringBumpTerminatesAndShortBlipsAreFiltered) {
+  // A 4-spacing bump that decays back to the baseline, then a 1-packet
+  // blip: the bump is a terminated excursion, the blip is jitter.
+  const std::vector<double> q = {0, 0, 1e-3, 2e-3, 1.5e-3, 1e-4, 0,
+                                 0, 5e-4, 0,    0,    0};
+  const auto ex = Chirp::segment_excursions(q, 1.5, 3);
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0].start, 1u);
+  EXPECT_TRUE(ex[0].terminated);
+}
+
+TEST(PathChirpProperty, NoCongestionEstimatesTheTopChirpRate) {
+  // No excursion anywhere: the chirp asserts availability up to its own
+  // maximum probing rate — the estimate saturates there, by construction.
+  const std::vector<double> q(10, 0.0);
+  std::vector<double> rates{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<double> gaps;
+  for (double r : rates) gaps.push_back(8e-3 / r);
+  EXPECT_NEAR(Chirp::chirp_estimate_mbps(q, rates, gaps, 1.5, 3), 9.0, 1e-9);
+}
+
+TEST(PathChirpProperty, PersistentExcursionPinsTheEstimateToItsOnsetRate) {
+  // Delays rise from packet 5 and never recover: every spacing asserts
+  // the onset rate rates[5], so the weighted average equals it exactly.
+  std::vector<double> q;
+  for (int i = 0; i < 10; ++i) q.push_back(i < 5 ? 0.0 : (i - 5) * 1e-3);
+  std::vector<double> rates{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<double> gaps;
+  for (double r : rates) gaps.push_back(8e-3 / r);
+  EXPECT_NEAR(Chirp::chirp_estimate_mbps(q, rates, gaps, 1.5, 3), 6.0, 1e-9);
+}
+
+TEST(PathChirpProperty, TransientBurstOnAQuietPathDoesNotCollapseTheEstimate) {
+  // One recovered excursion (a cross-traffic burst) on an otherwise flat
+  // signature: only the spacings inside the burst assert their own rates;
+  // the fallback for everything else is the top chirp rate, NOT the
+  // burst's onset rate — a terminated excursion is not persistent
+  // self-loading, so a quiet path keeps estimating near max rate.
+  //                    0  1  2     3     4       5     6  7  8  9
+  const std::vector<double> q{0, 0, 1e-3, 2e-3, 1.5e-3, 1e-4, 0, 0, 0, 0};
+  const std::vector<double> rates{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<double> gaps;
+  for (double r : rates) gaps.push_back(8e-3 / r);
+  const double d = Chirp::chirp_estimate_mbps(q, rates, gaps, 1.5, 3);
+  // Excursion spans packets [1, 5): spacings 1-4 assert rates 2..5, the
+  // rest assert 9. The weighted average must sit well above the burst's
+  // onset rate (2) and below the top rate.
+  EXPECT_GT(d, 5.0);
+  EXPECT_LT(d, 9.0);
+}
+
+TEST(GappedStreams, SimChannelRejectsMalformedGapCounts) {
+  scenario::ScenarioSpec spec = scenario::Registry::builtin().at("paper-path");
+  spec.warmup = Duration::milliseconds(100);
+  scenario::ScenarioInstance inst{std::move(spec)};
+  inst.start();
+  scenario::SimProbeChannel channel{inst.simulator(), inst.path()};
+  core::StreamSpec stream;
+  stream.packet_count = 10;
+  stream.gaps = {Duration::milliseconds(1), Duration::milliseconds(1)};
+  EXPECT_THROW((void)channel.run_stream(stream), std::invalid_argument);
+}
+
+TEST(PathChirpProperty, MismatchedSignatureLengthsYieldZeroNotUb) {
+  const std::vector<double> q{0, 0};
+  const std::vector<double> rates{1, 2};
+  const std::vector<double> one_gap{1};
+  EXPECT_EQ(Chirp::chirp_estimate_mbps(q, rates, one_gap, 1.5, 3), 0.0);
+  const std::vector<double> empty;
+  EXPECT_EQ(Chirp::chirp_estimate_mbps(empty, empty, empty, 1.5, 3), 0.0);
+}
+
+TEST(PathChirpProperty, GapScheduleCoversTheConfiguredRateLadder) {
+  PathChirpConfig cfg;
+  cfg.min_rate = Rate::mbps(1);
+  cfg.max_rate = Rate::mbps(20);
+  cfg.spread_factor = 1.2;
+  cfg.packet_size = 1000;
+  PathChirpEstimator chirp{cfg};
+  const auto gaps = chirp.chirp_gaps();
+  ASSERT_GE(gaps.size(), 2u);
+  // First spacing probes min_rate, last probes exactly max_rate, and the
+  // schedule shrinks monotonically.
+  EXPECT_NEAR(1000 * 8.0 / gaps.front().secs(), 1e6, 1.0);
+  EXPECT_NEAR(1000 * 8.0 / gaps.back().secs(), 20e6, 20.0);
+  for (std::size_t i = 1; i < gaps.size(); ++i) {
+    EXPECT_LT(gaps[i], gaps[i - 1]) << i;
+  }
+}
+
+TEST(PathChirpProperty, FluidQueueEstimateLandsAtTheAvailBw) {
+  // On the fluid queue the persistent excursion starts where the chirp
+  // rate crosses A = 4: the per-chirp estimate must land within one
+  // spread-factor step of it, every chirp identically.
+  FluidQueueChannel channel{Rate::mbps(10), Rate::mbps(6)};
+  PathChirpConfig cfg;
+  cfg.chirps = 4;
+  PathChirpEstimator chirp{cfg};
+  Rng rng{7};
+  const auto r = chirp.run(channel, rng);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.low.mbits_per_sec(), 4.0, 4.0 * (cfg.spread_factor - 1.0));
+  EXPECT_EQ(r.low, r.high);  // deterministic channel: all chirps agree
+}
+
+// -------------------------------------------- gapped streams in channels
+
+TEST(GappedStreams, SimChannelHonorsThePerPacketSchedule) {
+  // A gapped StreamSpec through the real simulated path: the sender-side
+  // timestamps must follow the exponential schedule exactly (send pacing
+  // is schedule-driven, independent of cross traffic).
+  scenario::ScenarioSpec spec = scenario::Registry::builtin().at("paper-path");
+  spec.seed = 31;
+  spec.warmup = Duration::milliseconds(200);
+  scenario::ScenarioInstance inst{std::move(spec)};
+  inst.start();
+  scenario::SimProbeChannel channel{inst.simulator(), inst.path()};
+
+  PathChirpConfig cfg;
+  PathChirpEstimator chirp{cfg};
+  core::StreamSpec stream;
+  stream.stream_id = 0xabc;
+  stream.packet_size = cfg.packet_size;
+  stream.gaps = chirp.chirp_gaps();
+  stream.packet_count = static_cast<int>(stream.gaps.size()) + 1;
+  const auto outcome = channel.run_stream(stream);
+  ASSERT_EQ(outcome.records.size(), static_cast<std::size_t>(stream.packet_count));
+  for (std::size_t i = 1; i < outcome.records.size(); ++i) {
+    EXPECT_EQ((outcome.records[i].sent - outcome.records[i - 1].sent).nanos(),
+              stream.gaps[i - 1].nanos())
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace pathload::baselines

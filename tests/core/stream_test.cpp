@@ -62,6 +62,31 @@ TEST(StreamSpec, DurationIsPacketsTimesPeriod) {
   EXPECT_EQ(spec.duration(), Duration::milliseconds(18));
 }
 
+TEST(StreamSpec, GappedScheduleOverridesThePeriodicForm) {
+  // The chirp form: explicit per-packet gaps. Offsets are the prefix
+  // sums, the duration is the send window, and the rate is the average
+  // over it; the periodic fields are ignored while gaps are present.
+  StreamSpec spec;
+  spec.packet_count = 4;
+  spec.packet_size = 1000;
+  spec.period = Duration::seconds(99);  // must be ignored
+  spec.gaps = {Duration::milliseconds(8), Duration::milliseconds(4),
+               Duration::milliseconds(2)};
+  EXPECT_FALSE(spec.periodic());
+  EXPECT_EQ(spec.send_offset(0), Duration::zero());
+  EXPECT_EQ(spec.send_offset(1), Duration::milliseconds(8));
+  EXPECT_EQ(spec.send_offset(3), Duration::milliseconds(14));
+  EXPECT_EQ(spec.duration(), Duration::milliseconds(14));
+  // 4 kB over 14 ms.
+  EXPECT_NEAR(spec.rate().mbits_per_sec(), 4 * 8000.0 / 14e-3 / 1e6, 1e-9);
+
+  StreamSpec periodic;
+  periodic.packet_count = 4;
+  periodic.period = Duration::milliseconds(2);
+  EXPECT_TRUE(periodic.periodic());
+  EXPECT_EQ(periodic.send_offset(3), Duration::milliseconds(6));
+}
+
 StreamOutcome outcome_with_owds(const std::vector<double>& owds_ms) {
   StreamOutcome o;
   for (std::size_t i = 0; i < owds_ms.size(); ++i) {

@@ -130,6 +130,52 @@ TEST(LiveLoopback, SingleStreamDeliversRecords) {
   rx.join();
 }
 
+TEST(LiveLoopback, GappedChirpStreamDeliversRecordsWithShrinkingSendGaps) {
+  // A pathchirp-style gapped StreamSpec over the real UDP channel: the
+  // sender must pace the explicit per-packet schedule (not the periodic
+  // field), and the receiver's records must carry sender timestamps whose
+  // spacing tracks the exponentially shrinking gaps.
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(5)); }};
+
+  {
+    LiveProbeChannel channel{{"127.0.0.1", receiver.control_port()}};
+    core::StreamSpec spec;
+    spec.stream_id = 2;
+    spec.packet_size = 300;
+    // 8 gaps from 8 ms down to ~1.7 ms: long enough that scheduler jitter
+    // (well under a millisecond) cannot invert the ordering check.
+    for (int i = 0; i < 8; ++i) {
+      spec.gaps.push_back(Duration::microseconds(8000.0 / (1 + 0.8 * i)));
+    }
+    spec.packet_count = static_cast<int>(spec.gaps.size()) + 1;
+    const auto outcome = channel.run_stream(spec);
+    EXPECT_EQ(outcome.sent_count, 9);
+    ASSERT_GE(outcome.records.size(), 8u);  // loopback: at most 1 straggler
+    for (std::size_t i = 1; i < outcome.records.size(); ++i) {
+      if (outcome.records[i].seq != outcome.records[i - 1].seq + 1) continue;
+      const Duration sent_gap = outcome.records[i].sent - outcome.records[i - 1].sent;
+      const Duration want =
+          spec.gaps[static_cast<std::size_t>(outcome.records[i - 1].seq)];
+      // Absolute-deadline pacing, checked with the same generous bound as
+      // SleepUntilReachesDeadline: under a parallel ctest run the sleeps
+      // overshoot by several ms, but a sender that ignored the gap list
+      // (the periodic field is zero here) would send ~back-to-back, tens
+      // of times below the scheduled gaps.
+      EXPECT_LT(sent_gap - want, Duration::milliseconds(50)) << i;
+      EXPECT_GT(sent_gap, Duration::zero()) << i;
+    }
+    // The whole send window must be at least most of the schedule: an
+    // overshoot on packet k only shifts later deadlines, it cannot shrink
+    // the total below the scheduled sum by more than packet 0's own lag.
+    const Duration window =
+        outcome.records.back().sent - outcome.records.front().sent;
+    EXPECT_GT(window, spec.duration() * 0.5);
+  }
+  rx.join();
+}
+
 TEST(LiveLoopback, RttEstimateIsSmallOnLoopback) {
   REQUIRE_SOCKETS();
   LiveReceiver receiver;
