@@ -2,6 +2,7 @@
 // the original pathload distribution's pathload_rcv binary.
 //
 //   $ ./build/examples/pathload_rcv [--host 0.0.0.0] [--sessions N]
+//                                   [--idle-timeout SECS]
 //
 // Prints the control port to connect pathload_snd to, then serves
 // measurement sessions (one sender at a time).
@@ -18,13 +19,18 @@ using namespace pathload;
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int sessions = 1;
+  double idle_timeout_s = 30.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
       host = argv[++i];
     } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
       sessions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--idle-timeout") == 0 && i + 1 < argc) {
+      idle_timeout_s = std::atof(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--host H] [--sessions N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--host H] [--sessions N] [--idle-timeout SECS]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -35,7 +41,8 @@ int main(int argc, char** argv) {
                 host.c_str(), receiver.control_port(), receiver.probe_port());
     std::fflush(stdout);
     for (int s = 0; s < sessions || sessions <= 0; ++s) {
-      const int streams = receiver.serve_one_session(Duration::seconds(3600));
+      const int streams = receiver.serve_one_session(
+          Duration::seconds(3600), Duration::seconds(idle_timeout_s));
       std::printf("pathload_rcv: session ended after %d streams\n", streams);
       std::fflush(stdout);
     }

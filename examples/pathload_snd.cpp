@@ -4,6 +4,7 @@
 //   $ ./build/examples/pathload_snd --port P [--host 127.0.0.1]
 //                                   [--omega MBPS] [--chi MBPS]
 //                                   [--packets K] [--streams N]
+//                                   [--deadline SECS] [--retries N]
 //
 // Connects to a running pathload_rcv, runs one SLoPS measurement, and
 // prints the estimated avail-bw range plus a per-fleet trace.
@@ -39,7 +40,9 @@ const char* verdict_str(core::FleetVerdict v) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  double deadline_s = 0.0;
   core::PathloadConfig cfg;
+  net::LiveChannelConfig channel_cfg;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
@@ -60,10 +63,14 @@ int main(int argc, char** argv) {
       cfg.packets_per_stream = std::atoi(next("--packets"));
     } else if (std::strcmp(argv[i], "--streams") == 0) {
       cfg.streams_per_fleet = std::atoi(next("--streams"));
+    } else if (std::strcmp(argv[i], "--deadline") == 0) {
+      deadline_s = std::atof(next("--deadline"));
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      channel_cfg.handshake_attempts = std::atoi(next("--retries"));
     } else {
       std::fprintf(stderr,
                    "usage: %s --port P [--host H] [--omega MBPS] [--chi MBPS] "
-                   "[--packets K] [--streams N]\n",
+                   "[--packets K] [--streams N] [--deadline SECS] [--retries N]\n",
                    argv[0]);
       return 2;
     }
@@ -74,10 +81,12 @@ int main(int argc, char** argv) {
   }
 
   try {
-    net::LiveProbeChannel channel{{host, static_cast<std::uint16_t>(port)}};
+    net::LiveProbeChannel channel{{host, static_cast<std::uint16_t>(port)},
+                                  channel_cfg};
     std::printf("pathload_snd: connected to %s:%d (control RTT ~ %s)\n", host.c_str(),
                 port, channel.rtt().str().c_str());
     core::PathloadSession session{cfg};
+    if (deadline_s > 0.0) session.set_run_deadline(Duration::seconds(deadline_s));
     const auto result = session.run(channel);
 
     std::printf("\nfleet trace:\n");
@@ -87,12 +96,21 @@ int main(int argc, char** argv) {
                   fleet.rate.str().c_str(), verdict_str(fleet.verdict),
                   fleet.counts.type_i, fleet.counts.type_n, fleet.counts.discarded);
     }
+    const char* cut_short = "";
+    if (!result.converged) {
+      cut_short = result.hit_deadline ? "  (deadline reached)"
+                                      : "  (fleet cap reached)";
+    }
     std::printf("\navail-bw range: [%s, %s]%s\n", result.range.low.str().c_str(),
-                result.range.high.str().c_str(),
-                result.converged ? "" : "  (fleet cap reached)");
-    std::printf("elapsed %.1f s, %lld streams, %s of probe traffic\n",
+                result.range.high.str().c_str(), cut_short);
+    std::printf("elapsed %.1f s, %lld streams, %s of probe traffic, "
+                "%lld probe packets lost\n",
                 result.elapsed.secs(), static_cast<long long>(result.streams_sent),
-                result.bytes_sent.str().c_str());
+                result.bytes_sent.str().c_str(),
+                static_cast<long long>(result.packets_lost));
+  } catch (const core::ChannelFault& f) {
+    std::fprintf(stderr, "pathload_snd: session aborted: %s\n", f.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pathload_snd: %s\n", e.what());
     return 1;

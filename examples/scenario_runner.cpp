@@ -307,7 +307,8 @@ void print_matrix(const std::vector<scenario::MatrixCell>& cells,
           "\"avail_mbps\": %.17g, \"low_mbps\": %.17g, \"high_mbps\": %.17g, "
           "\"center_mbps\": %.17g, \"rel_error\": %s, \"coverage\": %.17g, "
           "\"cv_center\": %s, \"probe_mbytes\": %.17g, "
-          "\"mean_packets\": %.17g, \"mean_elapsed_s\": %.17g}%s\n",
+          "\"mean_packets\": %.17g, \"mean_elapsed_s\": %.17g, "
+          "\"outcome\": \"%s\", \"loss_fraction\": %.17g}%s\n",
           c.estimator.c_str(), c.scenario.c_str(), c.load,
           static_cast<unsigned long long>(c.seed0), c.reports.size(),
           c.valid_runs(), c.truth.mbits_per_sec(),
@@ -316,13 +317,15 @@ void print_matrix(const std::vector<scenario::MatrixCell>& cells,
           num_or_null(c.mean_rel_error()).c_str(), c.coverage(kPointSlack),
           num_or_null(c.cv_center()).c_str(),
           c.mean_bytes().bits() / 8e6, c.mean_packets(),
-          c.mean_elapsed().secs(), i + 1 < cells.size() ? "," : "");
+          c.mean_elapsed().secs(), c.outcome_summary().c_str(),
+          c.mean_loss_fraction(), i + 1 < cells.size() ? "," : "");
     }
     std::printf("]\n");
     return;
   }
   Table table{{"estimator", "reports", "util_%", "A_Mbps", "estimate_Mbps",
-               "err_%", "covers_A", "cv", "probe_MB", "time_s", "ok"}};
+               "err_%", "covers_A", "cv", "probe_MB", "time_s", "outcome",
+               "loss_%", "ok"}};
   for (const scenario::MatrixCell& c : cells) {
     const auto* entry = reg.find(c.estimator);
     std::string estimate = "n/a";
@@ -341,7 +344,8 @@ void print_matrix(const std::vector<scenario::MatrixCell>& cells,
          Table::num(c.coverage(kPointSlack) * 100, 0) + "%",
          any_valid ? Table::num(c.cv_center(), 2) : "n/a",
          Table::num(c.mean_bytes().bits() / 8e6, 2),
-         Table::num(c.mean_elapsed().secs(), 1),
+         Table::num(c.mean_elapsed().secs(), 1), c.outcome_summary(),
+         Table::num(c.mean_loss_fraction() * 100, 1),
          Table::num(c.valid_runs(), 0) + "/" + Table::num(c.reports.size(), 0)});
   }
   if (format == Format::kCsv) {

@@ -49,14 +49,31 @@ core::EstimateReport BtcMeasurement::run(core::ProbeChannel& channel,
   spec.duration = cfg_.duration;
   spec.throughput_bucket = cfg_.throughput_bucket;
   spec.reverse_delay = cfg_.reverse_delay;
+  // BTC has one atomic measurement, so the deadline shortens the transfer
+  // up front rather than interrupting it — a shorter transfer is a real
+  // (if noisier) BTC sample, which the outcome marks as degraded.
+  bool shortened = false;
+  if (run_deadline().has_value() && *run_deadline() < spec.duration) {
+    spec.duration = *run_deadline();
+    shortened = true;
+  }
   const core::BulkTransferOutcome outcome = bulk->run_bulk_transfer(spec);
-  const Result result = from_outcome(outcome, cfg_.duration);
+  const Result result = from_outcome(outcome, spec.duration);
 
   core::EstimateReport report;
   report.estimator = name();
   report.quantity = core::EstimateReport::Quantity::kTcpThroughput;
   report.valid = outcome.bytes_acked.byte_count() > 0;
   report.low = report.high = result.average_throughput;
+  if (!report.valid) {
+    report.outcome = core::EstimateReport::Outcome::kFailed;
+    report.outcome_note = "no payload acknowledged within the transfer";
+  } else if (shortened) {
+    report.outcome = core::EstimateReport::Outcome::kDegraded;
+    report.outcome_note = "bulk transfer shortened to " +
+                          std::to_string(spec.duration.secs()) +
+                          " s by the run deadline";
+  }
   // Intrusiveness: a BTC "probe" is the transfer itself. Count acked
   // payload as the injected bytes; the stream/packet notions do not apply.
   report.bytes_sent = outcome.bytes_acked;

@@ -105,7 +105,12 @@ PathChirpEstimator::Estimate PathChirpEstimator::measure(
     rates_mbps.push_back(Rate::bps(cfg_.packet_size * 8.0 / g.secs()).mbits_per_sec());
   }
 
+  const TimePoint start = channel.now();
   for (int c = 0; c < cfg_.chirps; ++c) {
+    if (deadline_exceeded(channel.now() - start)) {
+      est.hit_deadline = true;
+      break;
+    }
     core::StreamSpec spec;
     spec.stream_id = 0xc4120000u + static_cast<std::uint32_t>(c);
     spec.packet_count = static_cast<int>(gaps.size()) + 1;
@@ -159,11 +164,13 @@ core::EstimateReport PathChirpEstimator::run(core::ProbeChannel& channel,
   report.packets_sent = metered.packets();
   report.bytes_sent = metered.bytes();
   report.elapsed = metered.now() - start;
+  report.packets_lost = metered.packets() - metered.received();
   const double top = cfg_.max_rate.mbits_per_sec();
   report.iterations.reserve(est.per_chirp_mbps.size());
   for (double d : est.per_chirp_mbps) {
     report.iterations.push_back({top, d, "chirp"});
   }
+  core::classify_outcome(report, est.hit_deadline);
   return report;
 }
 

@@ -85,6 +85,7 @@ class PathChirpEstimator final : public core::Estimator {
     Rate low{};   ///< 25th percentile of per-chirp estimates
     Rate high{};  ///< 75th percentile
     bool valid{false};
+    bool hit_deadline{false};  ///< a run deadline cut the chirp loop short
     std::vector<double> per_chirp_mbps;
   };
 

@@ -7,10 +7,16 @@
 namespace pathload::baselines {
 
 DelphiEstimator::Estimate DelphiEstimator::measure(core::ProbeChannel& channel) const {
+  Estimate est;
   OnlineStats lambda_bps;
   std::uint32_t next_id = 0xde1f0000u;
 
+  const TimePoint start = channel.now();
   for (int p = 0; p < cfg_.pairs; ++p) {
+    if (deadline_exceeded(channel.now() - start)) {
+      est.hit_deadline = true;
+      break;
+    }
     core::StreamSpec spec;
     spec.stream_id = ++next_id;
     spec.packet_count = 2;
@@ -38,7 +44,6 @@ DelphiEstimator::Estimate DelphiEstimator::measure(core::ProbeChannel& channel) 
     lambda_bps.add(std::max(0.0, lambda));
   }
 
-  Estimate est;
   est.usable_pairs = static_cast<int>(lambda_bps.count());
   if (est.usable_pairs == 0) return est;
   est.cross_traffic = Rate::bps(lambda_bps.mean());
@@ -72,11 +77,13 @@ core::EstimateReport DelphiEstimator::run(core::ProbeChannel& channel, Rng& /*rn
   report.packets_sent = metered.packets();
   report.bytes_sent = metered.bytes();
   report.elapsed = metered.now() - start;
+  report.packets_lost = metered.packets() - metered.received();
   if (est.usable_pairs > 0) {
     report.iterations.push_back({0.0, est.cross_traffic.mbits_per_sec(),
                                  "mean-lambda over " +
                                      std::to_string(est.usable_pairs) + " pairs"});
   }
+  core::classify_outcome(report, est.hit_deadline);
   return report;
 }
 

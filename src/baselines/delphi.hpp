@@ -43,6 +43,7 @@ class DelphiEstimator final : public core::Estimator {
     Rate avail_bw{};
     int usable_pairs{0};
     bool valid{false};
+    bool hit_deadline{false};  ///< a run deadline cut the pair loop short
   };
 
   Estimate measure(core::ProbeChannel& channel) const;

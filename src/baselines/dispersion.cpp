@@ -18,9 +18,15 @@ Rate CprobeEstimator::train_dispersion_rate(const core::StreamOutcome& outcome,
 }
 
 Rate CprobeEstimator::measure(core::ProbeChannel& channel,
-                              std::vector<double>* train_rates_mbps) const {
+                              std::vector<double>* train_rates_mbps,
+                              bool* hit_deadline) const {
   OnlineStats rates;
+  const TimePoint start = channel.now();
   for (int t = 0; t < cfg_.trains; ++t) {
+    if (deadline_exceeded(channel.now() - start)) {
+      if (hit_deadline != nullptr) *hit_deadline = true;
+      break;
+    }
     core::StreamSpec spec;
     spec.stream_id = 0x0c0b0000u + static_cast<std::uint32_t>(t);
     spec.packet_count = cfg_.train_length;
@@ -50,7 +56,8 @@ core::EstimateReport CprobeEstimator::run(core::ProbeChannel& channel,
   core::MeteredChannel metered{channel};
   const TimePoint start = metered.now();
   std::vector<double> train_rates;
-  const Rate adr = measure(metered, &train_rates);
+  bool hit_deadline = false;
+  const Rate adr = measure(metered, &train_rates, &hit_deadline);
 
   core::EstimateReport report;
   report.estimator = name();
@@ -61,18 +68,26 @@ core::EstimateReport CprobeEstimator::run(core::ProbeChannel& channel,
   report.packets_sent = metered.packets();
   report.bytes_sent = metered.bytes();
   report.elapsed = metered.now() - start;
+  report.packets_lost = metered.packets() - metered.received();
   const double offered =
       Rate::bps(cfg_.packet_size * 8.0 / cfg_.period.secs()).mbits_per_sec();
   for (double r : train_rates) {
     report.iterations.push_back({offered, r, "train"});
   }
+  core::classify_outcome(report, hit_deadline);
   return report;
 }
 
-Rate PacketPairEstimator::measure(core::ProbeChannel& channel) const {
+Rate PacketPairEstimator::measure(core::ProbeChannel& channel,
+                                  bool* hit_deadline) const {
   std::vector<double> gaps;
   gaps.reserve(static_cast<std::size_t>(cfg_.pairs));
+  const TimePoint start = channel.now();
   for (int p = 0; p < cfg_.pairs; ++p) {
+    if (deadline_exceeded(channel.now() - start)) {
+      if (hit_deadline != nullptr) *hit_deadline = true;
+      break;
+    }
     core::StreamSpec spec;
     spec.stream_id = 0x0bb00000u + static_cast<std::uint32_t>(p);
     spec.packet_count = 2;
@@ -104,7 +119,8 @@ core::EstimateReport PacketPairEstimator::run(core::ProbeChannel& channel,
                                               Rng& /*rng*/) {
   core::MeteredChannel metered{channel};
   const TimePoint start = metered.now();
-  const Rate cap = measure(metered);
+  bool hit_deadline = false;
+  const Rate cap = measure(metered, &hit_deadline);
 
   core::EstimateReport report;
   report.estimator = name();
@@ -115,6 +131,8 @@ core::EstimateReport PacketPairEstimator::run(core::ProbeChannel& channel,
   report.packets_sent = metered.packets();
   report.bytes_sent = metered.bytes();
   report.elapsed = metered.now() - start;
+  report.packets_lost = metered.packets() - metered.received();
+  core::classify_outcome(report, hit_deadline);
   return report;
 }
 

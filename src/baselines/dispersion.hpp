@@ -30,9 +30,12 @@ class CprobeEstimator final : public core::Estimator {
 
   /// Average dispersion rate over the configured number of trains. When
   /// `train_rates` is given it receives each train's dispersion rate in
-  /// Mb/s (the per-iteration trace of the Estimator report).
+  /// Mb/s (the per-iteration trace of the Estimator report). A run
+  /// deadline stops the train loop early; `hit_deadline` (when given)
+  /// reports that the average covers fewer trains than configured.
   Rate measure(core::ProbeChannel& channel,
-               std::vector<double>* train_rates_mbps = nullptr) const;
+               std::vector<double>* train_rates_mbps = nullptr,
+               bool* hit_deadline = nullptr) const;
 
   /// Dispersion rate of a single received train: (n-1)*L*8 / spread.
   static Rate train_dispersion_rate(const core::StreamOutcome& outcome,
@@ -62,8 +65,9 @@ class PacketPairEstimator final : public core::Estimator {
 
   explicit PacketPairEstimator(PacketPairConfig cfg = PacketPairConfig()) : cfg_{cfg} {}
 
-  /// Median-of-pairs capacity estimate.
-  Rate measure(core::ProbeChannel& channel) const;
+  /// Median-of-pairs capacity estimate. A run deadline stops the pair
+  /// loop early; the median then covers the pairs sent so far.
+  Rate measure(core::ProbeChannel& channel, bool* hit_deadline = nullptr) const;
 
   // Estimator interface: a capacity point, not an avail-bw estimate.
   std::string_view name() const override { return "pktpair"; }

@@ -20,7 +20,12 @@ Rate IgiEstimator::igi_cross_traffic(Rate capacity, Duration input_gap,
 IgiEstimator::Estimate IgiEstimator::measure(core::ProbeChannel& channel) const {
   Estimate est;
   Duration gap = cfg_.init_gap;
+  const TimePoint start = channel.now();
   for (int step = 0; step < cfg_.max_gap_steps; ++step, gap = gap * cfg_.gap_factor) {
+    if (deadline_exceeded(channel.now() - start)) {
+      est.hit_deadline = true;
+      break;
+    }
     core::StreamSpec spec;
     spec.stream_id = 0x16100000u + static_cast<std::uint32_t>(step);
     spec.packet_count = cfg_.train_length;
@@ -106,6 +111,7 @@ core::EstimateReport IgiEstimator::run(core::ProbeChannel& channel, Rng& /*rng*/
   report.packets_sent = metered.packets();
   report.bytes_sent = metered.bytes();
   report.elapsed = metered.now() - start;
+  report.packets_lost = metered.packets() - metered.received();
   report.iterations.reserve(est.sweep.size());
   for (const GapStep& row : est.sweep) {
     report.iterations.push_back(
@@ -113,6 +119,7 @@ core::EstimateReport IgiEstimator::run(core::ProbeChannel& channel, Rng& /*rng*/
          row.output_rate.mbits_per_sec(),
          row.turning ? "turning-point" : "gap-step"});
   }
+  core::classify_outcome(report, est.hit_deadline);
   return report;
 }
 

@@ -59,6 +59,7 @@ class IgiEstimator final : public core::Estimator {
     Rate igi_avail_bw{};  ///< C - lambda at the turning point
     Rate ptr_rate{};      ///< output rate at the turning point
     bool valid{false};
+    bool hit_deadline{false};  ///< a run deadline cut the gap sweep short
     std::vector<GapStep> sweep;
   };
 

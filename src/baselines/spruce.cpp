@@ -25,7 +25,12 @@ SpruceEstimator::Estimate SpruceEstimator::measure(core::ProbeChannel& channel,
   OnlineStats samples_bps;
   const Duration delta_in =
       cfg_.capacity.transmission_time(DataSize::bytes(cfg_.packet_size));
+  const TimePoint start = channel.now();
   for (int p = 0; p < cfg_.pairs; ++p) {
+    if (deadline_exceeded(channel.now() - start)) {
+      est.hit_deadline = true;
+      break;
+    }
     core::StreamSpec spec;
     spec.stream_id = 0x59ce0000u + static_cast<std::uint32_t>(p);
     spec.packet_count = 2;
@@ -87,11 +92,13 @@ core::EstimateReport SpruceEstimator::run(core::ProbeChannel& channel, Rng& rng)
   report.packets_sent = metered.packets();
   report.bytes_sent = metered.bytes();
   report.elapsed = metered.now() - start;
+  report.packets_lost = metered.packets() - metered.received();
   const double offered = cfg_.capacity.mbits_per_sec();  // pairs leave at C
   report.iterations.reserve(est.samples_mbps.size());
   for (double a : est.samples_mbps) {
     report.iterations.push_back({offered, a, "pair"});
   }
+  core::classify_outcome(report, est.hit_deadline);
   return report;
 }
 

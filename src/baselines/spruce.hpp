@@ -44,6 +44,7 @@ class SpruceEstimator final : public core::Estimator {
     Rate std_error{};    ///< standard error of the mean
     int usable_pairs{0};
     bool valid{false};
+    bool hit_deadline{false};  ///< a run deadline cut the pair loop short
     std::vector<double> samples_mbps;  ///< per-pair A_i (the trace)
   };
 

@@ -14,11 +14,17 @@ ToppEstimator::Estimate ToppEstimator::measure(core::ProbeChannel& channel) cons
   core::PathloadConfig spec_rules;  // reuse the tool's L/T constraints
   spec_rules.packets_per_stream = cfg_.packets_per_train;
 
-  for (Rate offered = cfg_.min_rate; offered <= cfg_.max_rate;
+  const TimePoint start = channel.now();
+  for (Rate offered = cfg_.min_rate;
+       offered <= cfg_.max_rate && !est.hit_deadline;
        offered = offered + cfg_.step) {
     const auto spec_base = core::make_stream_spec(offered, spec_rules);
     OnlineStats measured_bps;
     for (int t = 0; t < cfg_.trains_per_rate; ++t) {
+      if (deadline_exceeded(channel.now() - start)) {
+        est.hit_deadline = true;
+        break;
+      }
       auto spec = spec_base;
       spec.stream_id = ++next_id;
       const auto outcome = channel.run_stream(spec);
@@ -85,11 +91,13 @@ core::EstimateReport ToppEstimator::run(core::ProbeChannel& channel, Rng& /*rng*
   report.packets_sent = metered.packets();
   report.bytes_sent = metered.bytes();
   report.elapsed = metered.now() - start;
+  report.packets_lost = metered.packets() - metered.received();
   report.iterations.reserve(est.sweep.size());
   for (const auto& [ro, rm] : est.sweep) {
     report.iterations.push_back(
         {ro.mbits_per_sec(), rm.mbits_per_sec(), "rate-point"});
   }
+  core::classify_outcome(report, est.hit_deadline);
   return report;
 }
 

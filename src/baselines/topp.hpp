@@ -40,6 +40,7 @@ class ToppEstimator final : public core::Estimator {
     Rate avail_bw{};
     Rate capacity{};
     bool valid{false};
+    bool hit_deadline{false};  ///< a run deadline cut the rate sweep short
     /// The raw sweep, for plotting/diagnostics: (offered, measured) pairs.
     std::vector<std::pair<Rate, Rate>> sweep;
   };

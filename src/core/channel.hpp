@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/stream.hpp"
@@ -8,6 +10,16 @@
 #include "util/units.hpp"
 
 namespace pathload::core {
+
+/// The channel itself became unusable mid-run: a control operation failed,
+/// the peer aborted the session, or an injected fault fired
+/// (core::FaultChannel). Estimators are not expected to recover from it —
+/// the guarded-run wrapper (run_guarded) converts it into a `failed`
+/// EstimateReport so a matrix sweep keeps going.
+class ChannelFault : public std::runtime_error {
+ public:
+  explicit ChannelFault(const std::string& what) : std::runtime_error{what} {}
+};
 
 /// Parameters of one greedy-TCP bulk transfer (the BTC measurement of
 /// Section VII). Deliberately transport-agnostic: the channel owns the TCP

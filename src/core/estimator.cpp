@@ -23,6 +23,18 @@ std::string trim(std::string_view s) {
                        std::string{key} + ": " + what};
 }
 
+/// Override keys every estimator understands; consumed by
+/// apply_common_overrides rather than the factories, and therefore always
+/// legal in require_known.
+constexpr std::string_view kUniversalKeys[] = {"deadline_s"};
+
+bool is_universal_key(std::string_view key) {
+  for (std::string_view k : kUniversalKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 bool EstimateReport::covers(Rate truth, Rate point_slack) const {
@@ -46,6 +58,16 @@ std::string_view EstimateReport::quantity_label(Quantity q) {
     case Quantity::kAdr: return "ADR";
     case Quantity::kCapacity: return "capacity";
     case Quantity::kTcpThroughput: return "tcp-throughput";
+  }
+  return "?";
+}
+
+std::string_view EstimateReport::outcome_label(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kDegraded: return "degraded";
+    case Outcome::kTimeout: return "timeout";
+    case Outcome::kFailed: return "failed";
   }
   return "?";
 }
@@ -134,7 +156,7 @@ void KvOverrides::require_known(
     std::string_view estimator,
     std::initializer_list<std::string_view> known) const {
   for (const Item& item : items_) {
-    bool ok = false;
+    bool ok = is_universal_key(item.key);
     for (std::string_view k : known) {
       if (item.key == k) {
         ok = true;
@@ -177,7 +199,74 @@ const EstimatorRegistry::Entry& EstimatorRegistry::at(std::string_view name) con
 std::unique_ptr<Estimator> EstimatorRegistry::make(std::string_view name,
                                                    std::string_view overrides) const {
   const Entry& entry = at(name);
-  return entry.make(KvOverrides::parse(overrides));
+  const KvOverrides kv = KvOverrides::parse(overrides);
+  std::unique_ptr<Estimator> est = entry.make(kv);
+  apply_common_overrides(*est, kv);
+  return est;
+}
+
+void apply_common_overrides(Estimator& est, const KvOverrides& kv) {
+  if (kv.has("deadline_s")) {
+    const Duration d = kv.seconds("deadline_s", Duration::zero());
+    if (d <= Duration::zero()) {
+      throw EstimatorError{"deadline_s: must be positive"};
+    }
+    est.set_run_deadline(d);
+  }
+}
+
+EstimateReport run_guarded(Estimator& est, ProbeChannel& channel, Rng& rng) {
+  auto failed_report = [&](const char* kind, const std::string& what) {
+    EstimateReport report;
+    report.estimator = est.name();
+    report.valid = false;
+    report.outcome = EstimateReport::Outcome::kFailed;
+    report.outcome_note = std::string{kind} + ": " + what;
+    return report;
+  };
+  try {
+    return est.run(channel, rng);
+  } catch (const EstimatorError&) {
+    throw;  // configuration/capability bug: no other seed can fix it
+  } catch (const ChannelFault& f) {
+    return failed_report("channel fault", f.what());
+  } catch (const std::exception& e) {
+    return failed_report("error", e.what());
+  }
+}
+
+void classify_outcome(EstimateReport& report, bool hit_deadline,
+                      double degraded_loss) {
+  using Outcome = EstimateReport::Outcome;
+  auto pct = [](double f) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%", f * 100.0);
+    return std::string{buf};
+  };
+  if (!report.valid) {
+    report.outcome = Outcome::kFailed;
+    if (report.outcome_note.empty()) {
+      report.outcome_note = hit_deadline
+                                ? "deadline before any usable estimate"
+                                : "no usable estimate from the probes sent";
+    }
+    return;
+  }
+  if (hit_deadline) {
+    report.outcome = Outcome::kTimeout;
+    if (report.outcome_note.empty()) {
+      report.outcome_note = "deadline cut the run short; estimate from partial data";
+    }
+    return;
+  }
+  if (report.loss_fraction() > degraded_loss) {
+    report.outcome = Outcome::kDegraded;
+    if (report.outcome_note.empty()) {
+      report.outcome_note = pct(report.loss_fraction()) + " probe loss";
+    }
+    return;
+  }
+  report.outcome = Outcome::kOk;
 }
 
 std::string channel_support_summary(const EstimatorRegistry& reg) {

@@ -56,8 +56,26 @@ struct EstimateReport {
     kTcpThroughput,  ///< greedy-TCP bulk transfer capacity (BTC)
   };
 
+  /// Structured degradation verdict of a run. Every run ends in exactly one
+  /// state; `outcome_note` carries the diagnostic ("deadline after 3
+  /// fleets", "14% probe loss", ...). The ladder is ordered by severity so
+  /// matrix reducers can take a worst-of.
+  enum class Outcome {
+    kOk,        ///< clean run, estimate trustworthy
+    kDegraded,  ///< an estimate exists but stands on lossy/partial evidence
+    kTimeout,   ///< the run deadline cut the measurement short
+    kFailed,    ///< no usable estimate (valid is false)
+  };
+
   std::string estimator;  ///< registry name of the tool that produced this
   Quantity quantity{Quantity::kAvailBw};
+
+  /// Degradation verdict + diagnostic; kOk/empty for a clean run.
+  Outcome outcome{Outcome::kOk};
+  std::string outcome_note;
+  /// Probe-loss accounting: probe packets sent that never produced a
+  /// receiver record (lost, or still in flight when the tool gave up).
+  std::int64_t packets_lost{0};
 
   /// The estimate. Pathload reports a genuine [low, high] range
   /// (`is_range` true); every other tool reports a point (low == high).
@@ -92,7 +110,15 @@ struct EstimateReport {
   /// by containment; a point covers it within `point_slack`.
   bool covers(Rate truth, Rate point_slack) const;
 
+  /// Lost fraction of the probes sent (0 when nothing was sent).
+  double loss_fraction() const {
+    return packets_sent > 0
+               ? static_cast<double>(packets_lost) / static_cast<double>(packets_sent)
+               : 0.0;
+  }
+
   static std::string_view quantity_label(Quantity q);
+  static std::string_view outcome_label(Outcome o);
 };
 
 /// One bandwidth-estimation tool, ready to run over any ProbeChannel.
@@ -134,6 +160,25 @@ class Estimator {
   /// is part of the contract so stochastic probers fit without an
   /// interface change.
   virtual EstimateReport run(ProbeChannel& channel, Rng& rng) = 0;
+
+  /// Degradation contract, part 1: an optional per-run deadline in channel
+  /// time. A tool checks `deadline_exceeded` between its probing units
+  /// (streams, trains, fleets) and, once past it, stops probing and returns
+  /// whatever partial report it has with Outcome::kTimeout — it never hangs
+  /// and never throws for running long. Configured uniformly via the
+  /// `deadline_s` override key (accepted by every registry entry).
+  void set_run_deadline(Duration d) { run_deadline_ = d; }
+  std::optional<Duration> run_deadline() const { return run_deadline_; }
+
+ protected:
+  /// True once `elapsed` channel time has passed the configured deadline
+  /// (never true when no deadline is set).
+  bool deadline_exceeded(Duration elapsed) const {
+    return run_deadline_.has_value() && elapsed > *run_deadline_;
+  }
+
+ private:
+  std::optional<Duration> run_deadline_{};
 };
 
 /// Parsed `key = value` estimator-config overrides.
@@ -165,6 +210,8 @@ class KvOverrides {
   /// Reject unknown keys: every present key must appear in `known`. The
   /// error names the estimator, the line, the offending key, and the full
   /// legal key list. Factories call this after consuming their keys.
+  /// Universal keys every estimator accepts (`deadline_s`; consumed by
+  /// apply_common_overrides, not the factory) are always allowed.
   void require_known(std::string_view estimator,
                      std::initializer_list<std::string_view> known) const;
 
@@ -182,6 +229,27 @@ class KvOverrides {
 /// Render one `key = value\n` config line (%.12g), the format KvOverrides
 /// parses back — the shared building block of every config_text().
 std::string kv_config_line(const char* key, double value);
+
+/// Apply the universal override keys (`deadline_s`) to a constructed
+/// estimator. Called by EstimatorRegistry::make and by any harness that
+/// invokes an entry's factory directly (scenario::MatrixEstimator), so the
+/// keys work identically everywhere an estimator is configured.
+void apply_common_overrides(Estimator& est, const KvOverrides& kv);
+
+/// Degradation contract, part 2: run an estimator and never let an
+/// exception escape a matrix cell. ChannelFault (the channel died or an
+/// injected fault fired) and unexpected runtime errors become a `failed`
+/// report carrying the message; EstimatorError (a configuration or
+/// capability bug) stays loud, since retrying other seeds cannot fix it.
+EstimateReport run_guarded(Estimator& est, ProbeChannel& channel, Rng& rng);
+
+/// Shared outcome policy for probe-based tools: fills report.outcome and
+/// outcome_note from the uniform evidence. kFailed when no estimate came
+/// out, kTimeout when the deadline cut the run short, kDegraded when more
+/// than `degraded_loss` of the probes were lost, else kOk. Tools with a
+/// richer notion of health (pathload's convergence) set outcome directly.
+void classify_outcome(EstimateReport& report, bool hit_deadline,
+                      double degraded_loss = 0.02);
 
 /// Named estimator catalogue: the estimator-side mirror of
 /// scenario::Registry. Each entry is a factory taking parsed config
@@ -250,6 +318,7 @@ class MeteredChannel final : public ProbeChannel {
     StreamOutcome outcome = inner_.run_stream(spec);
     ++streams_;
     packets_ += outcome.sent_count;
+    received_ += static_cast<std::int64_t>(outcome.records.size());
     bytes_ += DataSize::bytes(static_cast<std::int64_t>(outcome.sent_count) *
                               spec.packet_size);
     return outcome;
@@ -261,12 +330,16 @@ class MeteredChannel final : public ProbeChannel {
 
   std::int64_t streams() const { return streams_; }
   std::int64_t packets() const { return packets_; }
+  /// Receiver records that came back (for probe-loss accounting:
+  /// packets() - received() is what the path ate).
+  std::int64_t received() const { return received_; }
   DataSize bytes() const { return bytes_; }
 
  private:
   ProbeChannel& inner_;
   std::int64_t streams_{0};
   std::int64_t packets_{0};
+  std::int64_t received_{0};
   DataSize bytes_{};
 };
 

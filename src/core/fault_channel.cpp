@@ -1,0 +1,44 @@
+#include "core/fault_channel.hpp"
+
+#include <cstddef>
+
+namespace pathload::core {
+
+StreamOutcome FaultChannel::run_stream(const StreamSpec& spec) {
+  if (plan_.stall > Duration::zero()) inner_.idle(plan_.stall);
+  if (plan_.fail_after_streams >= 0 &&
+      streams_seen_ >= plan_.fail_after_streams) {
+    throw ChannelFault{"injected fault: channel failed after " +
+                       std::to_string(streams_seen_) + " streams"};
+  }
+  // The inner stream always runs — a faulted stream still loads the path
+  // and still consumes channel time, exactly like a blackout between the
+  // path and the receiver would.
+  StreamOutcome outcome = inner_.run_stream(spec);
+  ++streams_seen_;
+  if (plan_.drop_every > 0 && streams_seen_ % plan_.drop_every == 0) {
+    ++blacked_out_;
+    outcome.records.clear();
+    return outcome;
+  }
+  if (plan_.truncate_every > 0 && streams_seen_ % plan_.truncate_every == 0 &&
+      !outcome.records.empty()) {
+    ++truncated_;
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(outcome.records.size()) *
+        (1.0 - plan_.truncate_fraction));
+    outcome.records.resize(keep);
+  }
+  return outcome;
+}
+
+Duration FaultChannel::rtt() const {
+  if (plan_.fail_after_streams >= 0 &&
+      streams_seen_ >= plan_.fail_after_streams) {
+    throw ChannelFault{"injected fault: control operation failed after " +
+                       std::to_string(streams_seen_) + " streams"};
+  }
+  return inner_.rtt();
+}
+
+}  // namespace pathload::core

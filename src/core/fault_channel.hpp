@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/channel.hpp"
+
+namespace pathload::core {
+
+/// Deterministic fault schedule for a FaultChannel. Faults are keyed on the
+/// 1-based index of the run_stream call, so a given plan always hits the
+/// same streams of a given estimator — no RNG, no flakiness; a degradation
+/// unit test pins exact behavior.
+struct FaultPlan {
+  /// Every Nth stream is "blacked out": the stream is transmitted (and the
+  /// path loaded) but none of its records come back. 0 disables.
+  int drop_every{0};
+
+  /// Every Nth stream is truncated: the trailing `truncate_fraction` of its
+  /// records is discarded, as if the receiver lost the tail mid-collection.
+  /// 0 disables. When a stream matches both drop_every and truncate_every,
+  /// the blackout wins.
+  int truncate_every{0};
+  double truncate_fraction{0.5};
+
+  /// After this many successful run_stream calls the channel breaks: every
+  /// further stream (and rtt()) throws ChannelFault, like a control
+  /// connection dying mid-session. Negative disables.
+  int fail_after_streams{-1};
+
+  /// Stall added before every control-plane operation (run_stream, rtt),
+  /// consuming channel time via the inner channel's idle — a slow or
+  /// congested control path. Zero disables.
+  Duration stall{};
+};
+
+/// ProbeChannel decorator that injects the faults of a FaultPlan into an
+/// inner channel. Sits anywhere a real channel does, so any estimator's
+/// graceful-degradation contract (partial reports, no hangs, structured
+/// failure) can be unit-tested without a network or an impaired simulation.
+class FaultChannel final : public ProbeChannel {
+ public:
+  FaultChannel(ProbeChannel& inner, FaultPlan plan)
+      : inner_{inner}, plan_{plan} {}
+
+  StreamOutcome run_stream(const StreamSpec& spec) override;
+  void idle(Duration d) override { inner_.idle(d); }
+  TimePoint now() override { return inner_.now(); }
+  Duration rtt() const override;
+
+  /// Bulk capability is forwarded untouched; the plan's faults model the
+  /// probe/control plane, not the TCP data mover.
+  BulkChannel* bulk() override { return inner_.bulk(); }
+
+  /// Streams that went through (faulted or not) before any hard failure.
+  int streams_seen() const { return streams_seen_; }
+  int streams_blacked_out() const { return blacked_out_; }
+  int streams_truncated() const { return truncated_; }
+
+ private:
+  ProbeChannel& inner_;
+  FaultPlan plan_;
+  int streams_seen_{0};
+  int blacked_out_{0};
+  int truncated_{0};
+};
+
+}  // namespace pathload::core

@@ -35,6 +35,8 @@ Rate PathloadSession::initial_estimate(ProbeChannel& channel,
   const StreamOutcome outcome = channel.run_stream(spec);
   ++result.streams_sent;
   result.packets_sent += outcome.sent_count;
+  result.packets_lost += static_cast<std::int64_t>(outcome.sent_count) -
+                         static_cast<std::int64_t>(outcome.records.size());
   result.bytes_sent +=
       DataSize::bytes(static_cast<std::int64_t>(outcome.sent_count) * spec.packet_size);
   channel.idle(std::max(channel.rtt(), spec.duration() * 9.0));
@@ -63,6 +65,12 @@ PathloadResult PathloadSession::run(ProbeChannel& channel) {
 
   RateAdjuster adjuster{cfg_, initial_rmax};
   while (!adjuster.converged() && result.fleets < cfg_.max_fleets) {
+    if (deadline_exceeded(channel.now() - start)) {
+      // Degrade instead of overrunning: report the range as narrowed so
+      // far. The grey region already makes partial ranges meaningful.
+      result.hit_deadline = true;
+      break;
+    }
     const Rate requested = adjuster.next_rate();
     const StreamSpec probe = make_stream_spec(requested, cfg_);
     const Rate actual = probe.rate();
@@ -102,6 +110,8 @@ FleetVerdict PathloadSession::run_fleet(ProbeChannel& channel, Rate rate,
     const StreamOutcome outcome = channel.run_stream(spec);
     ++result.streams_sent;
     result.packets_sent += outcome.sent_count;
+    result.packets_lost += static_cast<std::int64_t>(outcome.sent_count) -
+                           static_cast<std::int64_t>(outcome.records.size());
     result.bytes_sent +=
         DataSize::bytes(static_cast<std::int64_t>(outcome.sent_count) * spec.packet_size);
 
@@ -170,8 +180,23 @@ EstimateReport PathloadSession::run(ProbeChannel& channel, Rng& /*rng*/) {
   report.high = result.range.high;
   report.streams_sent = result.streams_sent;
   report.packets_sent = result.packets_sent;
+  report.packets_lost = result.packets_lost;
   report.bytes_sent = result.bytes_sent;
   report.elapsed = result.elapsed;
+  // Outcome policy: probe loss alone never degrades pathload — SLoPS treats
+  // loss as a congestion signal (aborted-loss fleets), so a converged range
+  // is `ok` even on a lossy path. Only a cut-short search degrades.
+  if (result.converged) {
+    report.outcome = EstimateReport::Outcome::kOk;
+  } else if (result.hit_deadline) {
+    report.outcome = EstimateReport::Outcome::kTimeout;
+    report.outcome_note = "deadline before convergence; range narrowed over " +
+                          std::to_string(result.fleets) + " fleets";
+  } else {
+    report.outcome = EstimateReport::Outcome::kDegraded;
+    report.outcome_note = "fleet cap (" + std::to_string(result.fleets) +
+                          ") reached without convergence";
+  }
   report.iterations.reserve(result.trace.size());
   for (const FleetTrace& fleet : result.trace) {
     EstimateReport::Iteration it;

@@ -29,6 +29,8 @@ struct PathloadResult {
   std::int64_t packets_sent{0};
   DataSize bytes_sent{};       ///< total probe bytes injected into the path
   Duration elapsed{};          ///< wall/virtual time of the whole run
+  bool hit_deadline{false};    ///< a run deadline stopped the fleet loop early
+  std::int64_t packets_lost{0};  ///< probe packets sent but never received
   std::vector<FleetTrace> trace;
 };
 

@@ -1,31 +1,89 @@
 #include "net/live_channel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <system_error>
 #include <vector>
 
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace pathload::net {
 
 namespace {
-constexpr Duration kControlTimeout = Duration::seconds(5);
+
+/// Backoff before retry `attempt` (0-based): base * 2^attempt capped, then
+/// jittered into [d/2, d] so a herd of restarted senders spreads out.
+Duration backoff_delay(const LiveChannelConfig& cfg, int attempt, Rng& rng) {
+  const double d = std::min(cfg.backoff_cap.secs(),
+                            cfg.backoff_base.secs() * std::pow(2.0, attempt));
+  return Duration::seconds(d * 0.5 + d * 0.5 * rng.uniform());
 }
 
-LiveProbeChannel::LiveProbeChannel(const Endpoint& control)
-    : control_{TcpStream::connect(control, kControlTimeout)},
-      probe_socket_{UdpSocket::bind({control.host, 0})} {
-  control_.send_frame(make_message(MsgType::kHello));
-  const auto reply = control_.recv_frame(kControlTimeout);
-  if (!reply.has_value()) throw std::runtime_error{"pathload handshake timed out"};
-  const auto msg = parse_message(*reply);
-  if (!msg.has_value() || msg->type != MsgType::kHelloReply) {
-    throw std::runtime_error{"unexpected handshake reply"};
+[[noreturn]] void throw_abort(std::span<const std::byte> payload) {
+  std::string reason = abort_reason(payload);
+  throw core::ChannelFault{reason.empty()
+                               ? "receiver aborted the session"
+                               : "receiver aborted the session: " + reason};
+}
+
+}  // namespace
+
+LiveProbeChannel::Handshake LiveProbeChannel::connect_with_retry(
+    const Endpoint& control, const LiveChannelConfig& cfg) {
+  Rng jitter{cfg.jitter_seed};
+  const int attempts = std::max(1, cfg.handshake_attempts);
+  std::string last_error = "handshake never attempted";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      sleep_until(monotonic_now() + backoff_delay(cfg, attempt - 1, jitter));
+    }
+    try {
+      TcpStream stream = TcpStream::connect(control, cfg.control_timeout);
+      stream.send_frame(make_message(MsgType::kHello));
+      const FrameResult reply =
+          stream.recv_frame_ex(cfg.control_timeout, kMaxControlFrame);
+      if (reply.status != FrameStatus::kOk) {
+        last_error = "pathload handshake got no reply";
+        continue;
+      }
+      const auto msg = parse_message(reply.payload);
+      if (!msg.has_value()) {
+        last_error = "malformed handshake reply";
+        continue;
+      }
+      if (msg->type == MsgType::kAbort) throw_abort(msg->payload);
+      if (msg->type != MsgType::kHelloReply) {
+        last_error = "unexpected handshake reply";
+        continue;
+      }
+      ByteReader r{msg->payload};
+      const auto udp_port = r.get<std::uint16_t>();
+      if (!r.ok()) {
+        last_error = "malformed handshake reply";
+        continue;
+      }
+      return Handshake{std::move(stream), udp_port};
+    } catch (const std::system_error& e) {
+      // Typically ECONNREFUSED: the receiver is not up yet. Retry.
+      last_error = e.what();
+    }
   }
-  ByteReader r{msg->payload};
-  const auto udp_port = r.get<std::uint16_t>();
-  if (!r.ok()) throw std::runtime_error{"malformed handshake reply"};
-  probe_socket_.connect({control.host, udp_port});
+  throw std::runtime_error{"pathload handshake failed after " +
+                           std::to_string(attempts) +
+                           " attempts (last error: " + last_error + ")"};
+}
+
+LiveProbeChannel::LiveProbeChannel(const Endpoint& control, LiveChannelConfig cfg)
+    : LiveProbeChannel{control, cfg, connect_with_retry(control, cfg)} {}
+
+LiveProbeChannel::LiveProbeChannel(const Endpoint& control,
+                                   const LiveChannelConfig& cfg, Handshake hs)
+    : cfg_{cfg},
+      control_{std::move(hs.control)},
+      probe_socket_{UdpSocket::bind({control.host, 0})} {
+  probe_socket_.connect({control.host, hs.udp_port});
   rtt_ = measure_rtt(5);
 }
 
@@ -42,8 +100,12 @@ Duration LiveProbeChannel::measure_rtt(int samples) {
   for (int i = 0; i < samples; ++i) {
     const TimePoint start = monotonic_now();
     control_.send_frame(make_message(MsgType::kEcho));
-    const auto reply = control_.recv_frame(kControlTimeout);
-    if (!reply.has_value()) break;
+    const FrameResult reply =
+        control_.recv_frame_ex(cfg_.control_timeout, kMaxControlFrame);
+    if (reply.status != FrameStatus::kOk) break;
+    const auto msg = parse_message(reply.payload);
+    if (msg.has_value() && msg->type == MsgType::kAbort) throw_abort(msg->payload);
+    if (!msg.has_value() || msg->type != MsgType::kEchoReply) break;
     rtts.push_back((monotonic_now() - start).secs());
   }
   if (rtts.empty()) return Duration::milliseconds(1);
@@ -87,10 +149,21 @@ core::StreamOutcome LiveProbeChannel::run_stream(const core::StreamSpec& spec) {
   // The receiver reports after its collection deadline (stream duration
   // + 500 ms slack); wait a little longer than that.
   const Duration wait = spec.duration() + Duration::seconds(2);
-  const auto reply = control_.recv_frame(wait);
-  if (!reply.has_value()) return outcome;  // receiver gone: total loss
-  const auto msg = parse_message(*reply);
-  if (!msg.has_value() || msg->type != MsgType::kStreamResult) return outcome;
+  const FrameResult reply = control_.recv_frame_ex(wait, kMaxResultFrame);
+  switch (reply.status) {
+    case FrameStatus::kOk:
+      break;
+    case FrameStatus::kTimeout:
+      return outcome;  // receiver silent: total loss of this stream
+    case FrameStatus::kClosed:
+      throw core::ChannelFault{"control connection closed mid-session"};
+    case FrameStatus::kTooLarge:
+      throw core::ChannelFault{"oversized control frame from receiver"};
+  }
+  const auto msg = parse_message(reply.payload);
+  if (!msg.has_value()) return outcome;
+  if (msg->type == MsgType::kAbort) throw_abort(msg->payload);
+  if (msg->type != MsgType::kStreamResult) return outcome;
   auto result = StreamResultMsg::decode(msg->payload);
   if (!result.has_value() || result->stream_id != spec.stream_id) return outcome;
 

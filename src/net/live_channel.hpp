@@ -8,6 +8,23 @@
 
 namespace pathload::net {
 
+/// Connection-robustness knobs of the live sender. The defaults suit the
+/// common race — the sender launched moments before the receiver — without
+/// stalling a genuinely unreachable target for long.
+struct LiveChannelConfig {
+  /// Handshake attempts before giving up (connect + Hello round trip).
+  int handshake_attempts{5};
+  /// Exponential backoff between attempts: attempt n sleeps about
+  /// base * 2^n, capped. Each delay is jittered to half-to-full of that
+  /// value so simultaneously restarted senders do not reconnect in phase.
+  Duration backoff_base{Duration::milliseconds(100)};
+  Duration backoff_cap{Duration::seconds(2)};
+  /// Seed of the jitter stream (deterministic backoff for tests).
+  std::uint64_t jitter_seed{1};
+  /// Deadline of each control-channel operation (connect, replies).
+  Duration control_timeout{Duration::seconds(5)};
+};
+
 /// The pathload *sender* side over real sockets: the ProbeChannel backend
 /// that makes `core::PathloadSession` a live measurement tool.
 ///
@@ -15,11 +32,20 @@ namespace pathload::net {
 /// measurement; each periodic stream is K UDP packets of L bytes paced at
 /// period T with a hybrid sleep/spin timer; the receiver sends back
 /// per-packet (sender timestamp, receiver timestamp) records.
+///
+/// Failure contract: a control connection that closes mid-session, an
+/// oversized control frame, or a kAbort from the receiver all surface as
+/// core::ChannelFault — the structured "this channel is dead" signal that
+/// core::run_guarded converts into a `failed` EstimateReport. A missing
+/// stream result within the collection window is NOT a fault: it reports
+/// as total loss of that stream, exactly like the simulated channel.
 class LiveProbeChannel final : public core::ProbeChannel {
  public:
   /// Connect to a LiveReceiver's control endpoint and perform the
-  /// handshake (learn the probe port, estimate the control-channel RTT).
-  explicit LiveProbeChannel(const Endpoint& control);
+  /// handshake (learn the probe port, estimate the control-channel RTT),
+  /// retrying with capped exponential backoff per `cfg`.
+  explicit LiveProbeChannel(const Endpoint& control,
+                            LiveChannelConfig cfg = LiveChannelConfig{});
   ~LiveProbeChannel() override;
 
   core::StreamOutcome run_stream(const core::StreamSpec& spec) override;
@@ -31,8 +57,20 @@ class LiveProbeChannel final : public core::ProbeChannel {
   LiveProbeChannel& operator=(const LiveProbeChannel&) = delete;
 
  private:
+  /// Result of one successful connect + Hello handshake.
+  struct Handshake {
+    TcpStream control;
+    std::uint16_t udp_port{0};
+  };
+  static Handshake connect_with_retry(const Endpoint& control,
+                                      const LiveChannelConfig& cfg);
+
+  LiveProbeChannel(const Endpoint& control, const LiveChannelConfig& cfg,
+                   Handshake hs);
+
   Duration measure_rtt(int samples);
 
+  LiveChannelConfig cfg_;
   TcpStream control_;
   UdpSocket probe_socket_;
   Duration rtt_{Duration::milliseconds(1)};

@@ -1,6 +1,21 @@
 #include "net/live_receiver.hpp"
 
+#include <vector>
+
 namespace pathload::net {
+
+namespace {
+
+/// Best-effort abort: the peer may already be gone, which is fine — the
+/// abort is a courtesy for its logs, not part of the teardown contract.
+void try_abort(TcpStream& conn, std::string_view reason) {
+  try {
+    conn.send_frame(make_abort(reason));
+  } catch (...) {
+  }
+}
+
+}  // namespace
 
 LiveReceiver::LiveReceiver(const std::string& host)
     : listener_{TcpListener::bind({host, 0})},
@@ -23,6 +38,11 @@ StreamResultMsg LiveReceiver::collect_stream(const StreamStartMsg& start) {
       Duration::nanoseconds(start.period_ns) * static_cast<double>(start.packet_count);
   const TimePoint deadline = monotonic_now() + nominal + Duration::milliseconds(500);
 
+  // A duplicated (or replayed) datagram must not fill the stream's quota
+  // with repeats of one sequence number: first arrival per seq wins, any
+  // seq past the announced count is not ours.
+  std::vector<bool> seen(start.packet_count, false);
+
   while (result.records.size() < start.packet_count) {
     const Duration remaining = deadline - monotonic_now();
     if (remaining <= Duration::zero()) break;
@@ -30,6 +50,8 @@ StreamResultMsg LiveReceiver::collect_stream(const StreamStartMsg& start) {
     if (!datagram.has_value()) break;
     const auto header = read_probe_header(datagram->payload);
     if (!header.has_value() || header->stream_id != start.stream_id) continue;
+    if (header->seq >= start.packet_count || seen[header->seq]) continue;
+    seen[header->seq] = true;
     core::ProbeRecord rec;
     rec.seq = header->seq;
     rec.sent = TimePoint::from_nanos(header->sent_ns);
@@ -39,19 +61,36 @@ StreamResultMsg LiveReceiver::collect_stream(const StreamStartMsg& start) {
   return result;
 }
 
-int LiveReceiver::serve_one_session(Duration accept_timeout) {
+int LiveReceiver::serve_one_session(Duration accept_timeout, Duration idle_timeout) {
   auto conn = listener_.accept(accept_timeout);
   if (!conn.has_value()) return 0;
 
   int streams_served = 0;
+  TimePoint last_activity = monotonic_now();
   while (!stop_.load(std::memory_order_relaxed)) {
-    auto frame = conn->recv_frame(Duration::seconds(2));
-    if (!frame.has_value()) {
-      // Timeout or disconnect: loop (to honor request_stop) unless closed.
-      continue;
+    const FrameResult frame =
+        conn->recv_frame_ex(Duration::seconds(2), kMaxControlFrame);
+    switch (frame.status) {
+      case FrameStatus::kOk:
+        break;
+      case FrameStatus::kTimeout:
+        if (monotonic_now() - last_activity > idle_timeout) {
+          try_abort(*conn, "idle timeout");
+          return streams_served;
+        }
+        continue;  // keep waiting (and keep honoring request_stop)
+      case FrameStatus::kClosed:
+        // The sender is gone — mid-frame or between frames. Done either way.
+        return streams_served;
+      case FrameStatus::kTooLarge:
+        // The stream is unframed past an oversized prefix: abort, don't
+        // guess at a resync point inside attacker-controlled bytes.
+        try_abort(*conn, "oversized control frame");
+        return streams_served;
     }
-    const auto msg = parse_message(*frame);
-    if (!msg.has_value()) continue;
+    last_activity = monotonic_now();
+    const auto msg = parse_message(frame.payload);
+    if (!msg.has_value()) continue;  // unknown/malformed message: skip it
 
     switch (msg->type) {
       case MsgType::kHello: {
@@ -66,7 +105,7 @@ int LiveReceiver::serve_one_session(Duration accept_timeout) {
         break;
       case MsgType::kStreamStart: {
         const auto start = StreamStartMsg::decode(msg->payload);
-        if (!start.has_value()) break;
+        if (!start.has_value()) break;  // malformed announcement: skip it
         const auto result = collect_stream(*start);
         const auto payload = result.encode();
         conn->send_frame(make_message(MsgType::kStreamResult, payload));
@@ -74,6 +113,7 @@ int LiveReceiver::serve_one_session(Duration accept_timeout) {
         break;
       }
       case MsgType::kBye:
+      case MsgType::kAbort:
         return streams_served;
       default:
         break;

@@ -16,6 +16,11 @@ namespace pathload::net {
 /// The receiver never needs a clock synchronized with the sender: records
 /// pair sender timestamps (embedded in each probe packet) with local
 /// receive timestamps, and the SLoPS analysis uses only OWD *differences*.
+///
+/// Robustness contract: malformed control frames and unparseable messages
+/// are skipped, not fatal; a sender that disconnects mid-stream ends the
+/// session cleanly; a sender idle past `idle_timeout` (or one sending an
+/// oversized frame) gets a kAbort with a reason before the session closes.
 class LiveReceiver {
  public:
   /// Bind the control listener and probe socket on `host` (ephemeral ports).
@@ -24,10 +29,12 @@ class LiveReceiver {
   std::uint16_t control_port() const;
   std::uint16_t probe_port() const { return udp_port_; }
 
-  /// Serve one sender session: blocks until the sender says kBye, the
-  /// control connection drops, or no sender connects within `accept_timeout`.
+  /// Serve one sender session: blocks until the sender says kBye/kAbort,
+  /// the control connection drops, the sender goes idle past
+  /// `idle_timeout`, or no sender connects within `accept_timeout`.
   /// Returns the number of streams served.
-  int serve_one_session(Duration accept_timeout);
+  int serve_one_session(Duration accept_timeout,
+                        Duration idle_timeout = Duration::seconds(30));
 
   /// Ask a concurrently running serve_one_session() to wind down at the
   /// next control-channel timeout.

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <system_error>
 
 namespace pathload::net {
@@ -31,13 +32,23 @@ sockaddr_in make_addr(const Endpoint& ep) {
   return addr;
 }
 
-/// Wait for readability; false on timeout.
+/// Wait for readability; false on timeout. A benign signal (profiler tick,
+/// SIGCHLD from a test harness) interrupts poll with EINTR — that must not
+/// tear the connection down, so the poll retries with the remaining budget.
 bool wait_readable(int fd, Duration timeout) {
-  pollfd pfd{fd, POLLIN, 0};
-  const auto ms = static_cast<int>(std::max<std::int64_t>(0, timeout.nanos() / 1'000'000));
-  const int rc = ::poll(&pfd, 1, ms);
-  if (rc < 0) throw_errno("poll");
-  return rc > 0;
+  const TimePoint deadline = monotonic_now() + timeout;
+  for (;;) {
+    const Duration remaining = deadline - monotonic_now();
+    const auto ms = static_cast<int>(
+        std::max<std::int64_t>(0, remaining.nanos() / 1'000'000));
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return rc > 0;
+  }
 }
 
 std::uint16_t bound_port(int fd) {
@@ -168,33 +179,55 @@ void TcpStream::send_frame(std::span<const std::byte> payload) {
   send_all(payload);
 }
 
-bool TcpStream::recv_all(std::span<std::byte> out, Duration timeout) {
+FrameStatus TcpStream::recv_all(std::span<std::byte> out, Duration timeout) {
   const TimePoint deadline = monotonic_now() + timeout;
   std::size_t got = 0;
   while (got < out.size()) {
     const Duration remaining = deadline - monotonic_now();
     if (remaining <= Duration::zero() || !wait_readable(fd_.get(), remaining)) {
-      return false;
+      return FrameStatus::kTimeout;
     }
     const ssize_t n = ::recv(fd_.get(), out.data() + got, out.size() - got, 0);
-    if (n == 0) return false;  // orderly shutdown
-    if (n < 0) throw_errno("recv(TCP)");
+    if (n == 0) return FrameStatus::kClosed;  // orderly shutdown
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv(TCP)");
+    }
     got += static_cast<std::size_t>(n);
   }
-  return true;
+  return FrameStatus::kOk;
 }
 
-std::optional<std::vector<std::byte>> TcpStream::recv_frame(Duration timeout) {
+FrameResult TcpStream::recv_frame_ex(Duration timeout, std::uint32_t max_len) {
+  FrameResult result;
   std::byte header[4];
-  if (!recv_all({header, 4}, timeout)) return std::nullopt;
+  result.status = recv_all({header, 4}, timeout);
+  if (result.status != FrameStatus::kOk) return result;
   std::uint32_t len = 0;
   std::memcpy(&len, header, 4);
-  if (len > 64 * 1024 * 1024) {
-    throw std::runtime_error{"control frame too large"};
+  if (len > max_len) {
+    // The length prefix is peer-controlled: refuse before allocating, and
+    // leave the body unread — the stream is unframed from here on.
+    result.status = FrameStatus::kTooLarge;
+    return result;
   }
-  std::vector<std::byte> payload(len);
-  if (len > 0 && !recv_all(payload, timeout)) return std::nullopt;
-  return payload;
+  result.payload.resize(len);
+  if (len > 0) {
+    result.status = recv_all(result.payload, timeout);
+    if (result.status != FrameStatus::kOk) result.payload.clear();
+  }
+  return result;
+}
+
+std::optional<std::vector<std::byte>> TcpStream::recv_frame(Duration timeout,
+                                                            std::uint32_t max_len) {
+  FrameResult result = recv_frame_ex(timeout, max_len);
+  if (result.status == FrameStatus::kTooLarge) {
+    throw std::length_error{"frame length prefix exceeds the " +
+                            std::to_string(max_len) + "-byte cap"};
+  }
+  if (result.status != FrameStatus::kOk) return std::nullopt;
+  return std::move(result.payload);
 }
 
 TcpListener TcpListener::bind(const Endpoint& local) {

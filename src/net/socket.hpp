@@ -70,6 +70,30 @@ class UdpSocket {
   FileDescriptor fd_;
 };
 
+/// Why a framed receive ended. `kTimeout` and `kClosed` were previously
+/// conflated (both surfaced as nullopt), which made a dead peer look like a
+/// slow one — a receiver loop could spin on a closed connection forever.
+enum class FrameStatus : std::uint8_t {
+  kOk,        ///< a complete frame arrived
+  kTimeout,   ///< the deadline passed with the frame incomplete
+  kClosed,    ///< the peer shut the connection down (possibly mid-frame)
+  kTooLarge,  ///< the length prefix exceeds the caller's cap (see below)
+};
+
+/// Result of TcpStream::recv_frame_ex; `payload` is filled only on kOk.
+struct FrameResult {
+  FrameStatus status{FrameStatus::kTimeout};
+  std::vector<std::byte> payload;
+};
+
+/// Frame caps. Control messages (handshake, stream announcements, echoes)
+/// are tens of bytes — 64 KiB is generous headroom. Stream-result frames
+/// carry up to 1M per-packet records of 20 bytes, hence the larger cap.
+/// A peer's length prefix is attacker-controlled input; it must never size
+/// an allocation past the cap the caller chose for that message class.
+inline constexpr std::uint32_t kMaxControlFrame = 64 * 1024;
+inline constexpr std::uint32_t kMaxResultFrame = 32 * 1024 * 1024;
+
 /// Minimal blocking TCP stream with length-prefixed message framing:
 /// every message is [u32 little-endian length][payload].
 class TcpStream {
@@ -79,8 +103,18 @@ class TcpStream {
   /// Send one framed message.
   void send_frame(std::span<const std::byte> payload);
 
-  /// Receive one framed message; nullopt on timeout or orderly shutdown.
-  std::optional<std::vector<std::byte>> recv_frame(Duration timeout);
+  /// Receive one framed message, reporting how the attempt ended. A frame
+  /// whose length prefix exceeds `max_len` yields kTooLarge *without
+  /// reading or allocating the body* — the stream is then mid-frame and no
+  /// longer parseable, so callers should abort the connection.
+  FrameResult recv_frame_ex(Duration timeout,
+                            std::uint32_t max_len = kMaxResultFrame);
+
+  /// Convenience form: nullopt on timeout or orderly shutdown (use
+  /// recv_frame_ex to tell the two apart); throws std::length_error on an
+  /// oversized frame.
+  std::optional<std::vector<std::byte>> recv_frame(
+      Duration timeout, std::uint32_t max_len = kMaxResultFrame);
 
   int fd() const { return fd_.get(); }
 
@@ -88,7 +122,7 @@ class TcpStream {
 
  private:
   void send_all(std::span<const std::byte> data);
-  bool recv_all(std::span<std::byte> out, Duration timeout);
+  FrameStatus recv_all(std::span<std::byte> out, Duration timeout);
 
   FileDescriptor fd_;
 };

@@ -20,8 +20,11 @@ std::optional<StreamStartMsg> StreamStartMsg::decode(std::span<const std::byte> 
   m.packet_count = r.get<std::uint32_t>();
   m.packet_size = r.get<std::uint32_t>();
   m.period_ns = r.get<std::int64_t>();
-  if (!r.ok() || m.packet_count == 0 || m.packet_size < kProbeHeaderSize ||
-      m.period_ns <= 0) {
+  // The count bounds the receiver's record reservation, so it is subject
+  // to the same 1M cap as StreamResultMsg — a announced count beyond it is
+  // a malformed (or hostile) announcement, not a plausible stream.
+  if (!r.ok() || m.packet_count == 0 || m.packet_count > 1'000'000 ||
+      m.packet_size < kProbeHeaderSize || m.period_ns <= 0) {
     return std::nullopt;
   }
   return m;
@@ -91,11 +94,21 @@ std::vector<std::byte> make_message(MsgType type, std::span<const std::byte> pay
   return out;
 }
 
+std::vector<std::byte> make_abort(std::string_view reason) {
+  return make_message(MsgType::kAbort,
+                      std::as_bytes(std::span{reason.data(), reason.size()}));
+}
+
+std::string abort_reason(std::span<const std::byte> payload) {
+  return std::string{reinterpret_cast<const char*>(payload.data()),
+                     payload.size()};
+}
+
 std::optional<ParsedMessage> parse_message(std::span<const std::byte> frame) {
   if (frame.empty()) return std::nullopt;
   const auto type = static_cast<std::uint8_t>(frame[0]);
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kBye)) {
+      type > static_cast<std::uint8_t>(MsgType::kAbort)) {
     return std::nullopt;
   }
   return ParsedMessage{static_cast<MsgType>(type), frame.subspan(1)};

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/stream.hpp"
@@ -22,6 +24,8 @@ enum class MsgType : std::uint8_t {
   kEcho = 5,         ///< RTT probe over the control channel
   kEchoReply = 6,
   kBye = 7,          ///< session close
+  kAbort = 8,        ///< either side: session torn down now (payload: an
+                     ///< optional UTF-8 reason for the peer's logs)
 };
 
 /// Little-endian append-only buffer writer.
@@ -96,6 +100,12 @@ struct StreamResultMsg {
 
 /// Build a full framed control message: [type u8][payload...].
 std::vector<std::byte> make_message(MsgType type, std::span<const std::byte> payload = {});
+
+/// Build a kAbort message carrying a human-readable reason.
+std::vector<std::byte> make_abort(std::string_view reason);
+
+/// The reason text of a received kAbort payload (may be empty).
+std::string abort_reason(std::span<const std::byte> payload);
 
 /// Split a received control message into type + payload view.
 struct ParsedMessage {

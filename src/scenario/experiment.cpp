@@ -116,13 +116,19 @@ MatrixEstimator MatrixEstimator::from_registry(const core::EstimatorRegistry& re
   const std::string ov{overrides};
   // Surface override errors (unknown key, bad value) now, with their
   // line numbers, instead of from inside a worker thread mid-matrix.
-  (void)entry.make(core::KvOverrides::parse(ov));
+  {
+    const core::KvOverrides kv = core::KvOverrides::parse(ov);
+    core::apply_common_overrides(*entry.make(kv), kv);
+  }
   MatrixEstimator out;
   out.name = entry.name;
   // Copy the factory (not a reference to the entry): the column must
   // outlive registry mutation or destruction.
   out.make = [factory = entry.make, ov] {
-    return factory(core::KvOverrides::parse(ov));
+    const core::KvOverrides kv = core::KvOverrides::parse(ov);
+    std::unique_ptr<core::Estimator> est = factory(kv);
+    core::apply_common_overrides(*est, kv);
+    return est;
   };
   return out;
 }
@@ -210,6 +216,36 @@ Duration MatrixCell::mean_elapsed() const {
   return total / static_cast<double>(reports.size());
 }
 
+std::array<int, 4> MatrixCell::outcome_counts() const {
+  std::array<int, 4> counts{};
+  for (const auto& r : reports) {
+    ++counts[static_cast<std::size_t>(r.outcome)];
+  }
+  return counts;
+}
+
+std::string MatrixCell::outcome_summary() const {
+  if (reports.empty()) return "n/a";
+  const std::array<int, 4> counts = outcome_counts();
+  std::string out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto label = core::EstimateReport::outcome_label(
+        static_cast<core::EstimateReport::Outcome>(i));
+    if (counts[i] == static_cast<int>(reports.size())) return std::string{label};
+    if (!out.empty()) out += ' ';
+    out += std::string{label} + ":" + std::to_string(counts[i]);
+  }
+  return out;
+}
+
+double MatrixCell::mean_loss_fraction() const {
+  if (reports.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : reports) total += r.loss_fraction();
+  return total / static_cast<double>(reports.size());
+}
+
 core::EstimateReport run_estimator_once(const ScenarioSpec& spec,
                                         core::Estimator& est, std::uint64_t seed) {
   ScenarioSpec seeded = spec;
@@ -218,7 +254,7 @@ core::EstimateReport run_estimator_once(const ScenarioSpec& spec,
   inst.start();
   SimProbeChannel channel{inst.simulator(), inst.path()};
   Rng rng{seed};
-  return est.run(channel, rng);
+  return core::run_guarded(est, channel, rng);
 }
 
 std::vector<MatrixCell> run_matrix(const std::vector<MatrixEstimator>& estimators,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -117,6 +118,15 @@ struct MatrixCell {
   DataSize mean_bytes() const;
   double mean_packets() const;
   Duration mean_elapsed() const;
+
+  /// Per-outcome run counts, indexed by EstimateReport::Outcome in enum
+  /// order (ok, degraded, timeout, failed).
+  std::array<int, 4> outcome_counts() const;
+  /// Single label when every run agrees ("ok"), else "label:n" pairs in
+  /// enum order ("ok:3 degraded:2"); "n/a" for an empty cell.
+  std::string outcome_summary() const;
+  /// Mean per-run probe-loss fraction over all runs (valid or not).
+  double mean_loss_fraction() const;
 };
 
 /// Run every estimator × every scenario × every load, `runs` independent
@@ -135,7 +145,9 @@ std::vector<MatrixCell> run_matrix(const std::vector<MatrixEstimator>& estimator
 
 /// One estimator run on a fresh ScenarioInstance built from `spec` with
 /// its seed overridden to `seed` — the estimator-generic analogue of
-/// run_scenario_once (and identical to it for pathload).
+/// run_scenario_once (and identical to it for pathload). Runs guarded:
+/// a mid-run ChannelFault or stray exception becomes a `failed` report
+/// instead of tearing down the matrix.
 core::EstimateReport run_estimator_once(const ScenarioSpec& spec,
                                         core::Estimator& est, std::uint64_t seed);
 

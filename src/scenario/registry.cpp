@@ -346,6 +346,75 @@ Registry make_builtin() {
     flow tcp hops=0-0 rwnd=12 count=5 reverse_ms=100
   )");
 
+  // --- Impaired presets (fault-injection matrix) -------------------------
+  // Random (non-congestive) loss at the tight link: the condition the
+  // paper's Section VII argues SLoPS survives (it screens lossy streams and
+  // re-probes) while gap-model tools silently lose their pair/train
+  // structure. 3% loss ruins roughly 1 in 4 packet-pair samples.
+  reg.add_text(R"(
+    name = lossy-tight
+    description = paper-path shape with 3% random loss at the tight link (non-congestive loss stress)
+    hops = 3
+    hop.0.capacity_mbps = 20
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.6
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.6
+    hop.2.capacity_mbps = 20
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.6
+    impair hop=1 loss=0.03
+  )");
+
+  // Reorder jitter after the tight link: up to 2 ms of per-packet delay
+  // noise, enough to swap back-to-back probes. Dispersion tools read the
+  // scrambled spacings as signal; SLoPS's per-stream OWD trend medians
+  // through it.
+  reg.add_text(R"(
+    name = reorder-jitter
+    description = paper-path shape with up to 2 ms reorder jitter after the tight link (swaps back-to-back probes)
+    hops = 3
+    hop.0.capacity_mbps = 20
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.6
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.6
+    hop.2.capacity_mbps = 20
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.6
+    impair hop=2 reorder_ms=2
+  )");
+
+  // Everything at once: a flaky first hop (loss + duplication + jitter) in
+  // front of the loaded tight link — the adverse-path composite the
+  // comparative-evaluation literature grades tools on.
+  reg.add_text(R"(
+    name = flaky-path
+    description = flaky first hop (2% loss, 1% duplication, 1 ms jitter) in front of the loaded tight link
+    hops = 3
+    hop.0.capacity_mbps = 20
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.6
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.6
+    hop.2.capacity_mbps = 20
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.6
+    impair hop=0 loss=0.02 dup=0.01 reorder_ms=1
+  )");
+
   return reg;
 }
 

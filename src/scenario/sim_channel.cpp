@@ -1,5 +1,6 @@
 #include "scenario/sim_channel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "tcp/bulk.hpp"
@@ -30,6 +31,21 @@ std::uint64_t SimProbeChannel::probe_drops() const {
     total += path_.link(i).drops_for_flow(flow_);
   }
   return total;
+}
+
+std::uint64_t SimProbeChannel::probe_dups() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < path_.hop_count(); ++i) {
+    total += path_.link(i).dups_for_flow(flow_);
+  }
+  return total;
+}
+
+bool SimProbeChannel::path_impaired() const {
+  for (std::size_t i = 0; i < path_.hop_count(); ++i) {
+    if (path_.link(i).impaired()) return true;
+  }
+  return false;
 }
 
 void SimProbeChannel::Receiver::handle(const sim::Packet& p) {
@@ -70,7 +86,11 @@ core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
   records_.clear();
   records_.reserve(static_cast<std::size_t>(spec.packet_count));
 
+  // Impairment bookkeeping engages only on an impaired path; pristine paths
+  // take the exact pre-impairment accounting (bit-identical runs).
+  const bool impaired = path_impaired();
   const std::uint64_t drops_before = probe_drops();
+  const std::uint64_t dups_before = impaired ? probe_dups() : 0;
   const TimePoint start = sim_.now();
 
   // Fix the K departure times upfront — periodic multiples of T, or the
@@ -95,12 +115,15 @@ core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
   ticket_base_ = sim_.reserve_fifo_tickets(static_cast<std::uint32_t>(spec.packet_count));
   if (!send_times_.empty()) send_timer_.schedule_at(send_times_[0], ticket_base_);
 
-  // Run until every probe packet is accounted for: received or dropped.
-  // Cross-traffic sources always have future events pending, so the guard
-  // against an empty queue is purely defensive.
+  // Run until every probe copy is accounted for: received or dropped. On an
+  // impaired path the accounting includes link-made duplicates — every
+  // copy created (original K plus dups so far) ends as either a record or a
+  // per-flow drop, so the loop still terminates exactly. Cross-traffic
+  // sources always have future events pending, so the guard against an
+  // empty queue is purely defensive.
   const auto target = static_cast<std::uint64_t>(spec.packet_count);
   while (static_cast<std::uint64_t>(records_.size()) + (probe_drops() - drops_before) <
-         target) {
+         target + (impaired ? probe_dups() - dups_before : 0)) {
     if (!sim_.run_next()) break;
   }
   send_timer_.cancel();  // defensive: only armed if the loop exited early
@@ -110,6 +133,23 @@ core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
   outcome.sent_count = spec.packet_count;
   outcome.records = std::move(records_);
   records_ = {};
+  if (impaired) {
+    // Present what the real receiver logic reports: per-seq first arrival,
+    // in seq order (duplicates discarded, reordering resolved). Pristine
+    // paths deliver in seq order already, so this block never runs for
+    // them and their outcomes stay bit-identical.
+    std::stable_sort(outcome.records.begin(), outcome.records.end(),
+                     [](const core::ProbeRecord& a, const core::ProbeRecord& b) {
+                       return a.seq != b.seq ? a.seq < b.seq
+                                             : a.received < b.received;
+                     });
+    outcome.records.erase(
+        std::unique(outcome.records.begin(), outcome.records.end(),
+                    [](const core::ProbeRecord& a, const core::ProbeRecord& b) {
+                      return a.seq == b.seq;
+                    }),
+        outcome.records.end());
+  }
   return outcome;
 }
 

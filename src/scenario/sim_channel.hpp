@@ -54,6 +54,8 @@ class SimProbeChannel final : public core::ProbeChannel, public core::BulkChanne
   };
 
   std::uint64_t probe_drops() const;
+  std::uint64_t probe_dups() const;
+  bool path_impaired() const;
   void send_next();
 
   sim::Simulator& sim_;

@@ -392,7 +392,106 @@ std::string flow_to_text(const FlowSpec& f, std::size_t hop_count) {
   return out;
 }
 
+[[noreturn]] void fail_impair_line(int no, const std::string& what) {
+  throw SpecError{"line " + std::to_string(no) + ": impair: " + what};
+}
+
+/// Parse one `impair key=value ...` directive body (everything after the
+/// `impair` token). Range checks live in validate_impair so C++-built specs
+/// get the same diagnostics.
+ImpairSpec parse_impair_line(int no, const std::string& body) {
+  std::istringstream in{body};
+  std::string tok;
+  ImpairSpec imp;
+  bool hop_set = false;
+  std::set<std::string> seen;
+  while (in >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail_impair_line(no, "expected key=value, got '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (!seen.insert(key).second) {
+      fail_impair_line(no, "duplicate key '" + key + "'");
+    }
+    const KvLine kv{no, "impair " + key, value};
+    if (key == "hop") {
+      const int idx = parse_int(kv);
+      if (idx < 0 || idx > 64) {
+        fail_impair_line(no, "hop index must be in [0, 64], got '" + value + "'");
+      }
+      imp.hop = static_cast<std::size_t>(idx);
+      hop_set = true;
+    } else if (key == "loss") {
+      imp.loss = parse_num(kv);
+    } else if (key == "dup") {
+      imp.dup = parse_num(kv);
+    } else if (key == "reorder_ms") {
+      imp.reorder_ms = parse_num(kv);
+    } else if (key == "seed") {
+      imp.seed = parse_u64(kv);
+    } else {
+      fail_impair_line(no, "unknown key '" + key +
+                               "' (expected hop, loss, dup, reorder_ms, seed)");
+    }
+  }
+  if (!hop_set) {
+    fail_impair_line(no, "hop= is required (which hop's link to impair)");
+  }
+  return imp;
+}
+
+[[noreturn]] void fail_impair(std::size_t entry, const std::string& field,
+                              const std::string& what) {
+  throw SpecError{"impair " + std::to_string(entry) + ": " + field + ": " + what};
+}
+
+void validate_impair(std::size_t i, const ImpairSpec& imp, std::size_t hop_count) {
+  if (imp.hop >= hop_count) {
+    fail_impair(i, "hop",
+                "hop index " + std::to_string(imp.hop) +
+                    " does not fit the path (hops 0-" +
+                    std::to_string(hop_count - 1) + ")");
+  }
+  if (imp.loss < 0.0 || imp.loss >= 1.0) {
+    fail_impair(i, "loss", "must be in [0, 1), got " + fmt(imp.loss));
+  }
+  if (imp.dup < 0.0 || imp.dup >= 1.0) {
+    fail_impair(i, "dup", "must be in [0, 1), got " + fmt(imp.dup));
+  }
+  if (imp.reorder_ms < 0.0) {
+    fail_impair(i, "reorder_ms", "must not be negative, got " + fmt(imp.reorder_ms));
+  }
+  if (!imp.any()) {
+    fail_impair(i, "loss",
+                "impair line enables nothing; set at least one of loss, dup, "
+                "reorder_ms (or drop the line)");
+  }
+}
+
+/// Render one impairment as the directive line parse_impair_line accepts;
+/// zero knobs are omitted so presets stay terse.
+std::string impair_to_text(const ImpairSpec& imp) {
+  std::string out = "impair hop=" + std::to_string(imp.hop);
+  if (imp.loss != 0.0) out += " loss=" + fmt(imp.loss);
+  if (imp.dup != 0.0) out += " dup=" + fmt(imp.dup);
+  if (imp.reorder_ms != 0.0) out += " reorder_ms=" + fmt(imp.reorder_ms);
+  if (imp.seed.has_value()) out += " seed=" + std::to_string(*imp.seed);
+  out += "\n";
+  return out;
+}
+
 }  // namespace
+
+std::uint64_t derive_impair_seed(std::uint64_t scenario_seed, std::size_t hop) {
+  // splitmix64 over (seed, hop): decorrelated from the scenario's traffic
+  // forks (mt19937_64 draws), stable under changes to the rest of the spec.
+  std::uint64_t z = scenario_seed + 0x9e3779b97f4a7c15ULL * (hop + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 std::string_view to_string(TrafficModel m) {
   switch (m) {
@@ -440,9 +539,10 @@ ScenarioSpec ScenarioSpec::from_paper(std::string name, std::string description,
 
 ScenarioSpec ScenarioSpec::parse(std::string_view text) {
   std::vector<KvLine> lines;
-  // `flow` directive lines (1-based line number + body after the keyword);
-  // unlike keys they may repeat, one line per flow.
+  // `flow` / `impair` directive lines (1-based line number + body after the
+  // keyword); unlike keys they may repeat, one line per entry.
   std::vector<std::pair<int, std::string>> flow_lines;
+  std::vector<std::pair<int, std::string>> impair_lines;
   std::set<std::string> seen;
   {
     std::istringstream in{std::string{text}};
@@ -459,6 +559,12 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
           (stripped.size() == 4 ||
            std::isspace(static_cast<unsigned char>(stripped[4])))) {
         flow_lines.emplace_back(no, stripped.substr(4));
+        continue;
+      }
+      if (stripped.rfind("impair", 0) == 0 &&
+          (stripped.size() == 6 ||
+           std::isspace(static_cast<unsigned char>(stripped[6])))) {
+        impair_lines.emplace_back(no, stripped.substr(6));
         continue;
       }
       const auto eq = stripped.find('=');
@@ -642,12 +748,16 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
   for (const auto& [no, body] : flow_lines) {
     spec.flows.push_back(parse_flow_line(no, body));
   }
+  for (const auto& [no, body] : impair_lines) {
+    spec.impairments.push_back(parse_impair_line(no, body));
+  }
 
   if (paper_mode) {
     pcfg.seed = spec.seed;
     pcfg.warmup = spec.warmup;
     ScenarioSpec out = from_paper(spec.name, spec.description, pcfg);
     out.flows = std::move(spec.flows);
+    out.impairments = std::move(spec.impairments);
     out.validate();
     return out;
   }
@@ -684,6 +794,15 @@ void ScenarioSpec::validate() const {
   for (std::size_t i = 0; i < flows.size(); ++i) {
     validate_flow(i, flows[i], hop_count);
   }
+  std::set<std::size_t> impaired_hops;
+  for (std::size_t i = 0; i < impairments.size(); ++i) {
+    validate_impair(i, impairments[i], hop_count);
+    if (!impaired_hops.insert(impairments[i].hop).second) {
+      fail_impair(i, "hop",
+                  "hop " + std::to_string(impairments[i].hop) +
+                      " already has an impair line; merge the knobs into one");
+    }
+  }
 }
 
 std::string ScenarioSpec::to_text() const {
@@ -707,6 +826,7 @@ std::string ScenarioSpec::to_text() const {
     for (const FlowSpec& f : flows) {
       out += flow_to_text(f, static_cast<std::size_t>(p.hops));
     }
+    for (const ImpairSpec& imp : impairments) out += impair_to_text(imp);
     return out;
   }
   out += "hops = " + std::to_string(hops.size()) + "\n";
@@ -739,6 +859,7 @@ std::string ScenarioSpec::to_text() const {
     }
   }
   for (const FlowSpec& f : flows) out += flow_to_text(f, hops.size());
+  for (const ImpairSpec& imp : impairments) out += impair_to_text(imp);
   return out;
 }
 
@@ -751,6 +872,7 @@ ScenarioSpec ScenarioSpec::with_load(double util) const {
     p.tight_utilization = util;
     ScenarioSpec out = from_paper(name, description, p);
     out.flows = flows;
+    out.impairments = impairments;
     out.warmup = warmup;
     out.seed = seed;
     return out;
@@ -842,12 +964,27 @@ ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
       }
     }
   };
+  // Impairments install after the path exists, identically for both
+  // backends. Links without an impair entry never get an impairment RNG, so
+  // unimpaired specs stay bit-identical to pre-impairment builds.
+  auto apply_impairments = [this] {
+    for (const ImpairSpec& imp : spec_.impairments) {
+      sim::LinkImpairments li;
+      li.loss = imp.loss;
+      li.dup = imp.dup;
+      li.reorder = Duration::milliseconds(imp.reorder_ms);
+      li.seed = imp.seed.has_value() ? *imp.seed
+                                     : derive_impair_seed(spec_.seed, imp.hop);
+      path().link(imp.hop).set_impairments(li);
+    }
+  };
   if (spec_.paper) {
     PaperPathConfig cfg = *spec_.paper;
     cfg.seed = spec_.seed;
     cfg.warmup = spec_.warmup;
     testbed_ = std::make_unique<Testbed>(std::move(cfg));
     tight_index_ = testbed_->tight_index();
+    apply_impairments();
     build_flows();
     return;
   }
@@ -928,6 +1065,7 @@ ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
       }
     }
   }
+  apply_impairments();
   build_flows();
 }
 

@@ -159,6 +159,32 @@ struct FlowSpec {
   bool cycles() const { return on_s.has_value() && off_s.has_value(); }
 };
 
+/// Stochastic impairments of one hop's link, declared in the text format as
+/// an `impair` directive line:
+///
+///   impair hop=1 loss=0.02 dup=0.01 reorder_ms=2 seed=7
+///
+/// All knobs are strictly opt-in: a spec without impair lines builds links
+/// that never touch an impairment RNG, so pre-impairment scenarios stay
+/// bit-identical (the golden-anchor contract). Each impaired link draws
+/// from its own stream: `seed` when given, otherwise derived from the
+/// scenario seed and the hop index (so per-run seed offsets also reseed the
+/// impairments).
+struct ImpairSpec {
+  std::size_t hop{0};
+  /// Random-loss probability, [0, 1).
+  double loss{0.0};
+  /// Duplication probability, [0, 1).
+  double dup{0.0};
+  /// Reorder jitter: per-packet extra propagation delay drawn uniformly
+  /// from [0, reorder_ms) milliseconds.
+  double reorder_ms{0.0};
+  /// Explicit impairment-stream seed; unset derives one from the scenario.
+  std::optional<std::uint64_t> seed{};
+
+  bool any() const { return loss > 0.0 || dup > 0.0 || reorder_ms > 0.0; }
+};
+
 /// A named, self-contained scenario: path shape, per-hop traffic, duration
 /// controls, and the default seed. Construct via from_paper/parse or fill
 /// the fields and call validate().
@@ -169,6 +195,9 @@ struct ScenarioSpec {
   /// Responsive TCP cross flows (segment-scoped), on top of the per-hop
   /// open-loop traffic. Valid with both path forms.
   std::vector<FlowSpec> flows;
+  /// Per-hop link impairments (at most one entry per hop). Valid with both
+  /// path forms; empty means pristine links.
+  std::vector<ImpairSpec> impairments;
   Duration warmup{Duration::seconds(2)};
   std::uint64_t seed{1};
 
@@ -220,7 +249,16 @@ struct ScenarioSpec {
   /// emergent, so avail_bw() is then the open-loop value the flows and the
   /// estimator compete for, not a truth the estimate must match.
   bool has_flows() const { return !flows.empty(); }
+
+  /// True when any hop carries link impairments (loss/dup/reorder).
+  bool impaired() const { return !impairments.empty(); }
 };
+
+/// Deterministic per-hop impairment seed when an `impair` line has no
+/// explicit seed= (splitmix64 over the scenario seed and hop index, so
+/// per-run seed offsets reseed the impairment streams independently of the
+/// traffic forks).
+std::uint64_t derive_impair_seed(std::uint64_t scenario_seed, std::size_t hop);
 
 /// A live, ready-to-measure instantiation of a spec: simulator + path +
 /// per-hop traffic. The analogue of Testbed for arbitrary specs; for

@@ -19,6 +19,28 @@ Link::Link(Simulator& sim, std::string name, Rate capacity, Duration prop_delay,
 }
 
 void Link::handle(const Packet& p) {
+  if (impair_rng_ != nullptr) {
+    // Draw order is part of the determinism contract (see LinkImpairments):
+    // loss first, then duplication; a disabled knob draws nothing.
+    if (impair_.loss > 0.0 && impair_rng_->uniform() < impair_.loss) {
+      ++drops_;
+      ++impaired_drops_;
+      if (p.flow != kCrossTrafficFlow) ++flow_drops_[p.flow];
+      return;
+    }
+    if (impair_.dup > 0.0 && impair_rng_->uniform() < impair_.dup) {
+      // The extra copy is counted *before* it is accepted so that per-flow
+      // accounting (records + drops == sent + dups) balances even when the
+      // copy is immediately drop-tailed.
+      ++duplicates_;
+      if (p.flow != kCrossTrafficFlow) ++flow_dups_[p.flow];
+      accept(p);
+    }
+  }
+  accept(p);
+}
+
+void Link::accept(const Packet& p) {
   if (busy_) {
     if (queued_bytes_ + p.size() > buffer_limit_) {
       ++drops_;
@@ -33,6 +55,11 @@ void Link::handle(const Packet& p) {
   begin_service();
 }
 
+void Link::set_impairments(const LinkImpairments& imp) {
+  impair_ = imp;
+  impair_rng_ = imp.any() ? std::make_unique<Rng>(imp.seed) : nullptr;
+}
+
 void Link::begin_service() {
   busy_ = true;
   const Duration tx = capacity_.transmission_time(in_service_.size());
@@ -44,8 +71,14 @@ void Link::finish_service() {
   ++packets_forwarded_;
   if (downstream_ != nullptr) {
     // Propagation: the packet appears at the downstream node prop_delay
-    // after its last bit leaves this link.
-    sim_.schedule_in(prop_delay_, [h = downstream_, pkt = in_service_] { h->handle(pkt); });
+    // after its last bit leaves this link. Reorder jitter stretches the
+    // propagation of individual packets, so a lucky later packet can
+    // overtake an unlucky earlier one downstream.
+    Duration delay = prop_delay_;
+    if (impair_rng_ != nullptr && impair_.reorder > Duration::zero()) {
+      delay += impair_.reorder * impair_rng_->uniform();
+    }
+    sim_.schedule_in(delay, [h = downstream_, pkt = in_service_] { h->handle(pkt); });
   }
   if (!queue_.empty()) {
     in_service_ = queue_.front();
@@ -60,6 +93,11 @@ void Link::finish_service() {
 std::uint64_t Link::drops_for_flow(std::uint32_t flow) const {
   auto it = flow_drops_.find(flow);
   return it != flow_drops_.end() ? it->second : 0;
+}
+
+std::uint64_t Link::dups_for_flow(std::uint32_t flow) const {
+  auto it = flow_dups_.find(flow);
+  return it != flow_dups_.end() ? it->second : 0;
 }
 
 Duration Link::backlog_delay() const {

@@ -2,14 +2,41 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace pathload::sim {
+
+/// Optional stochastic impairments of a link, off by default.
+///
+/// Each enabled knob draws from the link's *own* seeded RNG stream (never
+/// from the scenario's traffic RNG), and a knob left at zero consumes no
+/// draws at all — so an unimpaired link is bit-identical to a link built
+/// before impairments existed, and enabling one knob does not perturb the
+/// draw sequence of another. Draw order per packet: loss, then duplication
+/// (both at arrival), then reorder jitter (at delivery, per forwarded copy).
+struct LinkImpairments {
+  /// Probability in [0, 1) that an arriving packet is dropped outright
+  /// (non-congestive random loss, e.g. a noisy wireless hop).
+  double loss{0.0};
+  /// Probability in [0, 1) that an arriving packet is accepted twice.
+  double dup{0.0};
+  /// Upper bound of a uniform [0, reorder) extra propagation delay applied
+  /// per delivered packet; enough jitter reorders back-to-back packets.
+  Duration reorder{};
+  /// Seed of the link's private impairment RNG stream.
+  std::uint64_t seed{1};
+
+  bool any() const {
+    return loss > 0.0 || dup > 0.0 || reorder > Duration::zero();
+  }
+};
 
 /// A store-and-forward link with an FCFS drop-tail queue, matching the
 /// queueing model of the paper (Section III-A assumes FCFS; Section VII
@@ -29,6 +56,12 @@ class Link final : public PacketHandler {
   /// Packet arrival at the tail of the queue (drop-tail if over buffer).
   void handle(const Packet& p) override;
 
+  /// Install (or clear, with an all-zero struct) stochastic impairments.
+  /// Safe to call between runs; resets the impairment RNG to `imp.seed`.
+  void set_impairments(const LinkImpairments& imp);
+  bool impaired() const { return impair_rng_ != nullptr; }
+  const LinkImpairments& impairments() const { return impair_; }
+
   const std::string& name() const { return name_; }
   Rate capacity() const { return capacity_; }
   Duration prop_delay() const { return prop_delay_; }
@@ -45,9 +78,19 @@ class Link final : public PacketHandler {
   std::uint64_t packets_forwarded() const { return packets_forwarded_; }
   std::uint64_t drops() const { return drops_; }
 
+  /// Packets dropped by the random-loss impairment (subset of drops()).
+  std::uint64_t impaired_drops() const { return impaired_drops_; }
+  /// Extra copies created by the duplication impairment.
+  std::uint64_t duplicates() const { return duplicates_; }
+
   /// Drops of a specific flow (probe-loss accounting; cheap because the
   /// per-flow map is only touched on the rare drop path).
   std::uint64_t drops_for_flow(std::uint32_t flow) const;
+
+  /// Duplicate copies created for a specific flow. Probe accounting needs
+  /// this: every copy a stream's sender is owed (original or duplicate)
+  /// eventually shows up as either a record or a per-flow drop.
+  std::uint64_t dups_for_flow(std::uint32_t flow) const;
 
   /// Queueing + serialization delay a hypothetical arrival right now would
   /// see before reaching the wire (diagnostics / tests).
@@ -57,6 +100,7 @@ class Link final : public PacketHandler {
   Link& operator=(const Link&) = delete;
 
  private:
+  void accept(const Packet& p);
   void begin_service();
   void finish_service();
 
@@ -79,6 +123,14 @@ class Link final : public PacketHandler {
   std::uint64_t packets_forwarded_{0};
   std::uint64_t drops_{0};
   std::unordered_map<std::uint32_t, std::uint64_t> flow_drops_;
+
+  // Impairment state. The RNG exists only while impairments are enabled,
+  // so unimpaired links never allocate it nor draw from it.
+  LinkImpairments impair_{};
+  std::unique_ptr<Rng> impair_rng_;
+  std::uint64_t impaired_drops_{0};
+  std::uint64_t duplicates_{0};
+  std::unordered_map<std::uint32_t, std::uint64_t> flow_dups_;
 };
 
 }  // namespace pathload::sim

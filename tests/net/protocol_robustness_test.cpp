@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <cstring>
+#include <optional>
 #include <thread>
 
 #include "net/live_receiver.hpp"
@@ -135,6 +139,127 @@ TEST(ProtocolRobustness, ForeignUdpPacketsAreIgnored) {
   }
   ctrl.send_frame(make_message(MsgType::kBye));
   rx.join();
+}
+
+TEST(ProtocolRobustness, CorruptStreamStartWithHugePacketCountIsRejected) {
+  // The decode-side cap: a packet_count that would reserve gigabytes is
+  // malformed input, not a big request.
+  StreamStartMsg huge;
+  huge.stream_id = 1;
+  huge.packet_count = 2'000'000;
+  huge.packet_size = 300;
+  huge.period_ns = 100'000;
+  EXPECT_FALSE(StreamStartMsg::decode(huge.encode()).has_value());
+
+  // And the receiver treats it like any other malformed announcement:
+  // skipped, session alive.
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  std::thread rx{[&receiver] { receiver.serve_one_session(Duration::seconds(5)); }};
+  auto ctrl = TcpStream::connect({"127.0.0.1", receiver.control_port()},
+                                 Duration::seconds(2));
+  ctrl.send_frame(make_message(MsgType::kStreamStart, huge.encode()));
+  ctrl.send_frame(make_message(MsgType::kEcho));
+  const auto reply = ctrl.recv_frame(Duration::seconds(2));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(parse_message(*reply)->type, MsgType::kEchoReply);
+  ctrl.send_frame(make_message(MsgType::kBye));
+  rx.join();
+}
+
+TEST(ProtocolRobustness, OversizedFrameHeaderAbortsTheSession) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  int streams = -1;
+  std::thread rx{[&receiver, &streams] {
+    streams = receiver.serve_one_session(Duration::seconds(5));
+  }};
+  auto ctrl = TcpStream::connect({"127.0.0.1", receiver.control_port()},
+                                 Duration::seconds(2));
+  // A raw length prefix far past the control-frame cap, with no body. The
+  // receiver must not allocate for it or wait for the body: it aborts with
+  // a reason and closes.
+  const unsigned char prefix[4] = {0x00, 0x00, 0x10, 0x00};  // LE 1 MiB
+  ASSERT_EQ(::send(ctrl.fd(), prefix, sizeof prefix, 0),
+            static_cast<ssize_t>(sizeof prefix));
+
+  const auto reply = ctrl.recv_frame(Duration::seconds(2));
+  ASSERT_TRUE(reply.has_value());
+  const auto msg = parse_message(*reply);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kAbort);
+  EXPECT_EQ(abort_reason(msg->payload), "oversized control frame");
+  rx.join();
+  EXPECT_EQ(streams, 0);
+}
+
+TEST(ProtocolRobustness, MidStreamDisconnectEndsTheSessionCleanly) {
+  REQUIRE_SOCKETS();
+  LiveReceiver receiver;
+  int streams = -1;
+  std::thread rx{[&receiver, &streams] {
+    streams = receiver.serve_one_session(Duration::seconds(5));
+  }};
+  std::optional<TcpStream> ctrl{TcpStream::connect(
+      {"127.0.0.1", receiver.control_port()}, Duration::seconds(2))};
+  ctrl->send_frame(make_message(MsgType::kHello));
+  ASSERT_TRUE(ctrl->recv_frame(Duration::seconds(2)).has_value());
+  // Drop the connection without a kBye: the receiver must notice the close
+  // and return instead of spinning on timeouts.
+  ctrl.reset();
+  rx.join();
+  EXPECT_EQ(streams, 0);
+}
+
+TEST(ProtocolRobustness, RecvFrameExDistinguishesTimeoutClosedAndTooLarge) {
+  REQUIRE_SOCKETS();
+  auto listener = TcpListener::bind({"127.0.0.1", 0});
+  auto client = TcpStream::connect({"127.0.0.1", listener.local_port()},
+                                   Duration::seconds(2));
+  auto server = listener.accept(Duration::seconds(2));
+  ASSERT_TRUE(server.has_value());
+
+  // Nothing sent yet: timeout.
+  EXPECT_EQ(server->recv_frame_ex(Duration::milliseconds(50)).status,
+            FrameStatus::kTimeout);
+
+  // A frame larger than the caller's cap: kTooLarge from recv_frame_ex,
+  // std::length_error from the legacy wrapper.
+  std::vector<std::byte> big(1024, std::byte{7});
+  client.send_frame(big);
+  EXPECT_EQ(server->recv_frame_ex(Duration::seconds(1), /*max_len=*/256).status,
+            FrameStatus::kTooLarge);
+  // (A fresh connection: the first stream is mid-frame after the cap hit.)
+  auto client2 = TcpStream::connect({"127.0.0.1", listener.local_port()},
+                                    Duration::seconds(2));
+  auto server2 = listener.accept(Duration::seconds(2));
+  ASSERT_TRUE(server2.has_value());
+  client2.send_frame(big);
+  EXPECT_THROW(server2->recv_frame(Duration::seconds(1), /*max_len=*/256),
+               std::length_error);
+
+  // Orderly shutdown: kClosed, not a timeout.
+  {
+    auto client3 = TcpStream::connect({"127.0.0.1", listener.local_port()},
+                                      Duration::seconds(2));
+    auto server3 = listener.accept(Duration::seconds(2));
+    ASSERT_TRUE(server3.has_value());
+    { TcpStream gone = std::move(client3); }  // close
+    EXPECT_EQ(server3->recv_frame_ex(Duration::seconds(2)).status,
+              FrameStatus::kClosed);
+  }
+}
+
+TEST(ProtocolRobustness, AbortMessageRoundTripsItsReason) {
+  const auto frame = make_abort("idle timeout");
+  const auto msg = parse_message(frame);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kAbort);
+  EXPECT_EQ(abort_reason(msg->payload), "idle timeout");
+  // Reason-less abort is legal.
+  const auto bare = parse_message(make_abort(""));
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(abort_reason(bare->payload), "");
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// Tests for the `impair` spec directive: parsing, validation, round-trip,
+// seed derivation, and that instantiation actually installs the
+// impairments on the right link (and only there).
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+template <typename Fn>
+void expect_spec_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected SpecError containing '" << needle << "'";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+constexpr const char* kImpairedSpec = R"(
+  name = lossy
+  hops = 2
+  hop.0.capacity_mbps = 40
+  hop.0.delay_ms = 5
+  hop.1.capacity_mbps = 10
+  hop.1.delay_ms = 10
+  hop.1.traffic.model = poisson
+  hop.1.traffic.utilization = 0.5
+  impair hop=1 loss=0.02 dup=0.01 reorder_ms=2 seed=7
+)";
+
+TEST(ImpairSpec, ParsesAllKeys) {
+  const ScenarioSpec spec = ScenarioSpec::parse(kImpairedSpec);
+  ASSERT_EQ(spec.impairments.size(), 1u);
+  const ImpairSpec& imp = spec.impairments[0];
+  EXPECT_EQ(imp.hop, 1u);
+  EXPECT_DOUBLE_EQ(imp.loss, 0.02);
+  EXPECT_DOUBLE_EQ(imp.dup, 0.01);
+  EXPECT_DOUBLE_EQ(imp.reorder_ms, 2.0);
+  ASSERT_TRUE(imp.seed.has_value());
+  EXPECT_EQ(*imp.seed, 7u);
+  EXPECT_TRUE(spec.impaired());
+}
+
+TEST(ImpairSpec, RoundTripsThroughText) {
+  const ScenarioSpec spec = ScenarioSpec::parse(kImpairedSpec);
+  const ScenarioSpec again = ScenarioSpec::parse(spec.to_text());
+  ASSERT_EQ(again.impairments.size(), 1u);
+  EXPECT_EQ(again.impairments[0].hop, spec.impairments[0].hop);
+  EXPECT_DOUBLE_EQ(again.impairments[0].loss, spec.impairments[0].loss);
+  EXPECT_DOUBLE_EQ(again.impairments[0].dup, spec.impairments[0].dup);
+  EXPECT_DOUBLE_EQ(again.impairments[0].reorder_ms, spec.impairments[0].reorder_ms);
+  EXPECT_EQ(again.impairments[0].seed, spec.impairments[0].seed);
+}
+
+TEST(ImpairSpec, RejectsBadDirectives) {
+  auto with_line = [](const std::string& line) {
+    std::string text{kImpairedSpec};
+    return text + "\n  " + line + "\n";
+  };
+  // Two impair lines for the same hop.
+  expect_spec_error(
+      [&] { ScenarioSpec::parse(with_line("impair hop=1 loss=0.1")); },
+      "already has an impair line");
+  // Out-of-range knobs.
+  expect_spec_error(
+      [&] { ScenarioSpec::parse(with_line("impair hop=0 loss=1.5")); },
+      "must be in [0, 1)");
+  expect_spec_error(
+      [&] { ScenarioSpec::parse(with_line("impair hop=0 dup=-0.1")); },
+      "must be in [0, 1)");
+  expect_spec_error(
+      [&] { ScenarioSpec::parse(with_line("impair hop=0 reorder_ms=-2")); },
+      "must not be negative");
+  // A hop the path does not have.
+  expect_spec_error(
+      [&] { ScenarioSpec::parse(with_line("impair hop=5 loss=0.1")); },
+      "hop");
+  // Directive that enables nothing.
+  expect_spec_error([&] { ScenarioSpec::parse(with_line("impair hop=0")); },
+                    "enables nothing");
+  // Unknown key, and hop= missing.
+  expect_spec_error(
+      [&] { ScenarioSpec::parse(with_line("impair hop=0 jitter=3")); },
+      "unknown key");
+  expect_spec_error([&] { ScenarioSpec::parse(with_line("impair loss=0.1")); },
+                    "hop= is required");
+}
+
+TEST(ImpairSpec, DerivedSeedIsStableAndPerHop) {
+  const auto s0 = derive_impair_seed(1, 0);
+  EXPECT_EQ(derive_impair_seed(1, 0), s0);  // deterministic
+  EXPECT_NE(derive_impair_seed(1, 1), s0);  // distinct per hop
+  EXPECT_NE(derive_impair_seed(2, 0), s0);  // distinct per scenario seed
+}
+
+TEST(ImpairSpec, InstantiationInstallsImpairmentsOnTheNamedHop) {
+  ScenarioInstance inst{ScenarioSpec::parse(kImpairedSpec)};
+  EXPECT_FALSE(inst.path().link(0).impaired());
+  ASSERT_TRUE(inst.path().link(1).impaired());
+  const sim::LinkImpairments& li = inst.path().link(1).impairments();
+  EXPECT_DOUBLE_EQ(li.loss, 0.02);
+  EXPECT_DOUBLE_EQ(li.dup, 0.01);
+  EXPECT_EQ(li.reorder, Duration::milliseconds(2));
+  EXPECT_EQ(li.seed, 7u);
+}
+
+TEST(ImpairSpec, BuiltinImpairedPresetsValidateAndStayOptIn) {
+  const Registry& reg = Registry::builtin();
+  for (const char* name : {"lossy-tight", "reorder-jitter", "flaky-path"}) {
+    const ScenarioSpec spec = reg.at(name);
+    EXPECT_TRUE(spec.impaired()) << name;
+    spec.validate();
+  }
+  // And the pristine presets really are pristine.
+  EXPECT_FALSE(reg.at("paper-path").impaired());
+}
+
+}  // namespace
+}  // namespace pathload::scenario

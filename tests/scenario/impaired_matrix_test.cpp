@@ -1,0 +1,113 @@
+// The determinism contract for impaired scenarios: a seeded impairment run
+// is exactly repeatable, byte-identical across worker thread counts, and
+// its degradation verdicts (outcome + loss accounting) are part of that
+// repeatability — not just the estimates.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/estimators.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep_runner.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+const core::EstimatorRegistry& reg() { return baselines::builtin_estimators(); }
+
+ScenarioSpec quick_preset(const char* name) {
+  ScenarioSpec spec = Registry::builtin().at(name);
+  spec.warmup = Duration::milliseconds(300);
+  return spec;
+}
+
+std::vector<MatrixEstimator> cheap_estimators() {
+  std::vector<MatrixEstimator> ests;
+  ests.push_back(
+      MatrixEstimator::from_registry(reg(), "cprobe", "trains=2, train_length=40"));
+  ests.push_back(MatrixEstimator::from_registry(reg(), "pktpair", "pairs=15"));
+  return ests;
+}
+
+/// Everything a cell reports, rendered to one string — if any byte of any
+/// report (estimate, footprint, outcome, loss note) depends on scheduling,
+/// this string changes.
+std::string fingerprint(const std::vector<MatrixCell>& cells) {
+  std::string out;
+  for (const auto& c : cells) {
+    out += c.estimator + "@" + c.scenario + " " + c.outcome_summary() + " ";
+    for (const auto& r : c.reports) {
+      out += std::to_string(r.low.bits_per_sec()) + "/" +
+             std::to_string(r.high.bits_per_sec()) + " " +
+             std::to_string(r.packets_sent) + "-" +
+             std::to_string(r.packets_lost) + " " +
+             std::to_string(r.elapsed.nanos()) + " " +
+             std::string{core::EstimateReport::outcome_label(r.outcome)} + " [" +
+             r.outcome_note + "]; ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(ImpairedMatrix, ByteIdenticalAcrossThreadCounts) {
+  const auto ests = cheap_estimators();
+  const std::vector<ScenarioSpec> scenarios = {quick_preset("flaky-path")};
+  SweepRunner one{1};
+  SweepRunner four{4};
+  const auto a = run_matrix(ests, scenarios, {}, /*runs=*/2, /*seed0=*/11, one);
+  const auto b = run_matrix(ests, scenarios, {}, /*runs=*/2, /*seed0=*/11, four);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(ImpairedMatrix, SameSeedRepeatsExactlyDifferentSeedDoesNot) {
+  const auto ests = cheap_estimators();
+  const std::vector<ScenarioSpec> scenarios = {quick_preset("lossy-tight")};
+  SweepRunner runner{2};
+  const auto a = run_matrix(ests, scenarios, {}, 2, 21, runner);
+  const auto b = run_matrix(ests, scenarios, {}, 2, 21, runner);
+  const auto c = run_matrix(ests, scenarios, {}, 2, 22, runner);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+}
+
+TEST(ImpairedMatrix, LossyPresetActuallyLosesProbesAndDegradesGapTools) {
+  // 3% random loss on the tight hop: the probe-loss accounting must see
+  // it, and the shared outcome ladder must flag probe-based tools as
+  // degraded (loss above the 2% threshold).
+  std::vector<MatrixEstimator> ests;
+  ests.push_back(
+      MatrixEstimator::from_registry(reg(), "cprobe", "trains=3, train_length=60"));
+  SweepRunner runner{1};
+  const auto cells =
+      run_matrix(ests, {quick_preset("lossy-tight")}, {}, /*runs=*/2, 5, runner);
+  ASSERT_EQ(cells.size(), 1u);
+  const MatrixCell& c = cells[0];
+  std::int64_t lost = 0;
+  for (const auto& r : c.reports) lost += r.packets_lost;
+  EXPECT_GT(lost, 0);
+  EXPECT_GT(c.mean_loss_fraction(), 0.0);
+  const auto counts = c.outcome_counts();
+  EXPECT_GT(counts[static_cast<int>(core::EstimateReport::Outcome::kDegraded)], 0)
+      << c.outcome_summary();
+}
+
+TEST(ImpairedMatrix, PristineScenarioStaysOk) {
+  // The flip side: no impairments, no loss, outcome "ok" across the board
+  // — the degradation plumbing must not invent problems.
+  std::vector<MatrixEstimator> ests;
+  ests.push_back(
+      MatrixEstimator::from_registry(reg(), "cprobe", "trains=2, train_length=40"));
+  SweepRunner runner{1};
+  const auto cells =
+      run_matrix(ests, {quick_preset("paper-path")}, {0.5}, 2, 9, runner);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].outcome_summary(), "ok");
+  EXPECT_EQ(cells[0].mean_loss_fraction(), 0.0);
+  for (const auto& r : cells[0].reports) EXPECT_EQ(r.packets_lost, 0);
+}
+
+}  // namespace
+}  // namespace pathload::scenario

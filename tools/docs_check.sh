@@ -67,7 +67,7 @@ for doc in "${docs[@]}"; do
   [ -f "$doc" ] || continue
   while IFS= read -r target; do
     name=${target#bench_}
-    [ "$name" = "smoke" ] && continue
+    case $name in smoke|smoke_*) continue ;; esac  # ctest names, not bench sources
     [ -f "$root/bench/$name.cpp" ] ||
       err "$(basename "$doc"): bench target '$target' has no bench/$name.cpp"
   done < <(grep -ohE '\bbench_[a-z0-9_]+' "$doc" | sort -u)
@@ -137,6 +137,12 @@ flow_keys="hops rwnd count start_s stop_s on_s off_s mss reverse_ms"
 for k in $flow_keys; do
   grep -qE "(^|[^a-z0-9_])${k}=" "$root/docs/SCENARIOS.md" ||
     err "flow key '$k' is not documented in docs/SCENARIOS.md (flow table)"
+done
+# Same for the impair-directive keys (mirrors parse_impair_line).
+impair_keys="hop loss dup reorder_ms seed"
+for k in $impair_keys; do
+  grep -qE "(^|[^a-z0-9_])${k}=" "$root/docs/SCENARIOS.md" ||
+    err "impair key '$k' is not documented in docs/SCENARIOS.md (impair section)"
 done
 # Every preset's rendered spec must parse back, flow lines included.
 roundtrip_tmp=$(mktemp)
