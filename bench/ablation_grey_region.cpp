@@ -10,6 +10,7 @@
 
 #include "bench/common.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
@@ -21,19 +22,21 @@ int main() {
   Table table{{"variant", "chi_Mbps", "low_Mbps", "high_Mbps", "covers_A",
                "fleets", "latency_s"}};
 
-  scenario::PaperPathConfig path;
+  // The registry's paper-path preset is the topology baseline; this bench
+  // collapses it to a single heavily loaded, weakly multiplexed hop.
+  const scenario::ScenarioSpec& base = scenario::Registry::builtin().at("paper-path");
+  scenario::PaperPathConfig path = *base.paper;
   path.hops = 1;
-  path.tight_capacity = Rate::mbps(10);
   path.tight_utilization = 0.75;  // A = 2.5 Mb/s, heavy + bursty
   path.sources_per_link = 4;      // low multiplexing -> strong variability
-  path.model = sim::Interarrival::kPareto;
-  path.warmup = Duration::seconds(1);
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::from_paper(base.name, base.description, path);
 
   // Full algorithm at two grey resolutions.
   for (double chi : {1.5, 0.5}) {
     core::PathloadConfig tool;
     tool.chi = Rate::mbps(chi);
-    const auto rr = scenario::run_pathload_repeated(path, tool, runs, bench::seed());
+    const auto rr = scenario::run_scenario_repeated(spec, tool, runs, bench::seed());
     table.add_row({"grey-region", Table::num(chi, 1),
                    Table::num(rr.mean_low().mbits_per_sec(), 2),
                    Table::num(rr.mean_high().mbits_per_sec(), 2),
@@ -48,7 +51,7 @@ int main() {
   {
     core::PathloadConfig tool;
     tool.fleet_fraction = 0.51;
-    const auto rr = scenario::run_pathload_repeated(path, tool, runs, bench::seed());
+    const auto rr = scenario::run_scenario_repeated(spec, tool, runs, bench::seed());
     table.add_row({"no-grey(f=0.51)", "-",
                    Table::num(rr.mean_low().mbits_per_sec(), 2),
                    Table::num(rr.mean_high().mbits_per_sec(), 2),

@@ -11,6 +11,7 @@
 #include "bench/common.hpp"
 #include "core/trend.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -28,18 +29,13 @@ void run_detector_comparison(int runs) {
                    {"pct-only", core::TrendConfig::Mode::kPctOnly},
                    {"pdt-only", core::TrendConfig::Mode::kPdtOnly}};
 
+  // The Fig. 5 path is exactly the registry's paper-path preset — no
+  // inline re-dimensioning needed.
+  const scenario::ScenarioSpec& spec = scenario::Registry::builtin().at("paper-path");
   for (const auto& d : detectors) {
-    scenario::PaperPathConfig path;
-    path.hops = 3;
-    path.tight_capacity = Rate::mbps(10);
-    path.tight_utilization = 0.6;
-    path.beta = 2.0;
-    path.model = sim::Interarrival::kPareto;
-    path.warmup = Duration::seconds(1);
-
     core::PathloadConfig tool;
     tool.trend.mode = d.mode;
-    const auto rr = scenario::run_pathload_repeated(path, tool, runs, bench::seed());
+    const auto rr = scenario::run_scenario_repeated(spec, tool, runs, bench::seed());
     table.add_row({d.name, "4.0", Table::num(rr.mean_low().mbits_per_sec(), 2),
                    Table::num(rr.mean_high().mbits_per_sec(), 2),
                    Table::num(rr.coverage(Rate::mbps(4)) * 100, 0) + "%"});

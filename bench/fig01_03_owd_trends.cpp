@@ -11,8 +11,9 @@
 #include "bench/common.hpp"
 #include "core/stream.hpp"
 #include "core/trend.hpp"
-#include "scenario/paper_path.hpp"
+#include "scenario/registry.hpp"
 #include "scenario/sim_channel.hpp"
+#include "scenario/spec.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
@@ -20,31 +21,34 @@ using namespace pathload;
 namespace {
 
 void probe_and_print(const char* figure, double rate_mbps, std::uint64_t seed) {
-  scenario::PaperPathConfig cfg;
-  cfg.hops = 3;  // the trend forms at the tight link; extra hops add noise
-  cfg.tight_capacity = Rate::mbps(155);
-  cfg.tight_utilization = 0.52;  // A ~ 74 Mb/s
-  cfg.beta = 1.8;
-  cfg.nontight_utilization = 0.5;
-  cfg.model = sim::Interarrival::kPareto;
-  cfg.seed = seed;
-  cfg.warmup = Duration::seconds(1);
+  // The registry's paper-path preset is the topology baseline; this bench
+  // re-dimensions only the tight link and tightness factor to the paper's
+  // Univ-Oregon -> Univ-Delaware numbers.
+  const scenario::ScenarioSpec& base = scenario::Registry::builtin().at("paper-path");
+  scenario::PaperPathConfig path = *base.paper;
+  path.tight_capacity = Rate::mbps(155);
+  path.tight_utilization = 0.52;  // A ~ 74 Mb/s
+  path.beta = 1.8;
+  path.nontight_utilization = 0.5;
+  path.seed = seed;
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::from_paper(base.name, base.description, path);
 
-  scenario::Testbed bed{cfg};
-  bed.start();
-  scenario::SimProbeChannel channel{bed.simulator(), bed.path()};
+  scenario::ScenarioInstance inst{spec};
+  inst.start();
+  scenario::SimProbeChannel channel{inst.simulator(), inst.path()};
 
   core::PathloadConfig tool;  // K = 100, T >= 100 us
-  auto spec = core::make_stream_spec(Rate::mbps(rate_mbps), tool);
-  spec.stream_id = 1;
-  const auto outcome = channel.run_stream(spec);
+  auto stream = core::make_stream_spec(Rate::mbps(rate_mbps), tool);
+  stream.stream_id = 1;
+  const auto outcome = channel.run_stream(stream);
   const auto owds = core::relative_owds(outcome);
   const auto stats = core::compute_trend(owds, tool.trend);
   const auto cls = core::classify_stream(stats, tool.trend);
 
   std::printf("%s: R = %.0f Mb/s, A ~ 74 Mb/s (K=%d, L=%d B, T=%.0f us)\n", figure,
-              spec.rate().mbits_per_sec(), spec.packet_count, spec.packet_size,
-              spec.period.micros());
+              stream.rate().mbits_per_sec(), stream.packet_count, stream.packet_size,
+              stream.period.micros());
   std::printf("PCT = %.3f  PDT = %.3f  -> type %s\n", stats.pct, stats.pdt,
               cls == core::StreamClass::kIncreasing ? "I (increasing)"
                                                     : "N (non-increasing)");

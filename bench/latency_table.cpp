@@ -7,6 +7,7 @@
 
 #include "bench/common.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/table.hpp"
 
 using namespace pathload;
@@ -22,22 +23,23 @@ int main() {
     double cap, util;
   } points[] = {{10, 0.8}, {10, 0.5}, {40, 0.5}, {100, 0.5}, {100, 0.26}};
 
+  // The registry's paper-path preset is the topology baseline; each point
+  // re-dimensions only the tight link.
+  const scenario::ScenarioSpec& base = scenario::Registry::builtin().at("paper-path");
   for (const auto& pt : points) {
     for (double omega : {1.0, 0.5}) {
-      scenario::PaperPathConfig path;
-      path.hops = 3;
+      scenario::PaperPathConfig path = *base.paper;
       path.tight_capacity = Rate::mbps(pt.cap);
       path.tight_utilization = pt.util;
-      path.beta = 2.0;
-      path.model = sim::Interarrival::kPareto;
-      path.warmup = Duration::seconds(1);
+      const scenario::ScenarioSpec spec =
+          scenario::ScenarioSpec::from_paper(base.name, base.description, path);
 
       core::PathloadConfig tool;
       tool.omega = Rate::mbps(omega);
       tool.chi = Rate::mbps(omega * 1.5);
 
-      const auto rr = scenario::run_pathload_repeated(
-          path, tool, runs, bench::seed() + (pt.cap * 100 + omega * 10));
+      const auto rr = scenario::run_scenario_repeated(
+          spec, tool, runs, bench::seed() + (pt.cap * 100 + omega * 10));
       double mean_bytes = 0.0;
       for (const auto& r : rr.results) {
         mean_bytes += static_cast<double>(r.bytes_sent.byte_count());

@@ -1,0 +1,237 @@
+// Seeded scenario fuzzing driver (scenario/fuzz.hpp): generate valid
+// random ScenarioSpecs, run estimators over them, and check the property
+// invariants. Every violation is replayable: the failing spec is written
+// as text (it carries its own seed) and the replay command is printed.
+//
+//   $ scenario_fuzz --count 200 --seed 90210 --out build/fuzz_failures
+//   $ scenario_fuzz --replay build/fuzz_failures/fuzz-1234.scenario
+//   $ scenario_fuzz --list-invariants
+//
+// Cases fan out over SweepRunner threads (thread-count invariant: every
+// case is a pure function of its seed). Exit status 1 when any invariant
+// was violated, 0 on a clean batch.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/estimators.hpp"
+#include "bench/common.hpp"
+#include "scenario/fuzz.hpp"
+#include "scenario/sweep_runner.hpp"
+
+using namespace pathload;
+
+namespace {
+
+struct Options {
+  int count{25};
+  std::optional<std::uint64_t> seed;
+  std::vector<std::string> estimators;  // empty: per-case rotation
+  std::string out_dir{"."};
+  std::string replay_file;
+  int threads{0};
+  int max_hops{3};
+  bool allow_flows{true};
+  bool allow_impairments{true};
+  bool list_invariants{false};
+};
+
+struct Invariant {
+  const char* name;
+  const char* what;
+};
+
+constexpr Invariant kInvariants[] = {
+    {"roundtrip", "generated spec re-parses and to_text is byte-identical"},
+    {"no-crash", "no EstimatorError / exception-backed failed report on any valid spec"},
+    {"finite-estimate", "valid estimates are finite, non-negative, low <= high"},
+    {"physical-bound", "no estimate exceeds 1.5x the narrow-link capacity"},
+    {"oracle-agreement", "min-plus service-curve rate matches configured avail-bw (calm specs)"},
+    {"monitor-bracket", "pathload's range intersects the pre-probe UtilizationMonitor bracket; point gap tools within 0.5-1.5x (calm specs)"},
+    {"pristine-outcome", "probe tools lose under 20% of probes on pristine calm paths"},
+    {"impair-consistency", "injected loss >= 2% with enough probes actually loses packets"},
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr,
+               "scenario_fuzz: %s\n"
+               "usage:\n"
+               "  scenario_fuzz [--count N] [--seed S] [--out DIR] [--threads T]\n"
+               "                [--estimators all|name[,name...]] [--max-hops H]\n"
+               "                [--no-flows] [--no-impair]\n"
+               "  scenario_fuzz --replay <spec-file> [--estimators ...]\n"
+               "  scenario_fuzz --list-invariants\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) usage_error(std::string{what} + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--count") {
+      opt.count = std::atoi(next("--count").c_str());
+      if (opt.count <= 0) usage_error("--count must be a positive integer");
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(next("--seed").c_str(), nullptr, 10);
+    } else if (a == "--out") {
+      opt.out_dir = next("--out");
+    } else if (a == "--threads") {
+      opt.threads = std::atoi(next("--threads").c_str());
+    } else if (a == "--estimators") {
+      const std::string sel = next("--estimators");
+      if (sel != "all") {
+        std::stringstream ss{sel};
+        std::string name;
+        while (std::getline(ss, name, ',')) {
+          if (!name.empty()) opt.estimators.push_back(name);
+        }
+        if (opt.estimators.empty()) {
+          usage_error("--estimators needs 'all' or at least one name");
+        }
+      } else {
+        for (const auto& e : baselines::builtin_estimators().entries()) {
+          opt.estimators.push_back(e.name);
+        }
+      }
+    } else if (a == "--max-hops") {
+      opt.max_hops = std::atoi(next("--max-hops").c_str());
+      if (opt.max_hops <= 0) usage_error("--max-hops must be a positive integer");
+    } else if (a == "--no-flows") {
+      opt.allow_flows = false;
+    } else if (a == "--no-impair") {
+      opt.allow_impairments = false;
+    } else if (a == "--replay") {
+      opt.replay_file = next("--replay");
+    } else if (a == "--list-invariants") {
+      opt.list_invariants = true;
+    } else {
+      usage_error("unknown argument '" + a + "'");
+    }
+  }
+  return opt;
+}
+
+scenario::FuzzOptions fuzz_options(const Options& opt) {
+  scenario::FuzzOptions fo;
+  fo.max_hops = opt.max_hops;
+  fo.allow_flows = opt.allow_flows;
+  fo.allow_impairments = opt.allow_impairments;
+  return fo;
+}
+
+std::vector<std::string> case_estimators(const Options& opt, std::uint64_t seed) {
+  if (!opt.estimators.empty()) return opt.estimators;
+  return scenario::default_fuzz_estimators(baselines::builtin_estimators(), seed);
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) out += (out.empty() ? "" : ",") + n;
+  return out;
+}
+
+/// Write the failing spec and print the violation block with the replay
+/// command — the ctest log IS the repro recipe.
+void report_violations(const scenario::FuzzResult& r, const Options& opt,
+                       const std::vector<std::string>& estimators) {
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+  const std::string path =
+      opt.out_dir + "/fuzz-" + std::to_string(r.seed) + ".scenario";
+  {
+    std::ofstream out{path};
+    out << r.spec_text;
+  }
+  for (const auto& v : r.violations) {
+    std::printf("VIOLATION seed=%llu invariant=%s%s%s\n  %s\n",
+                static_cast<unsigned long long>(r.seed), v.invariant.c_str(),
+                v.estimator.empty() ? "" : " estimator=",
+                v.estimator.c_str(), v.detail.c_str());
+  }
+  std::printf("  repro spec: %s\n  replay: scenario_fuzz --replay %s --estimators %s\n",
+              path.c_str(), path.c_str(), join(estimators).c_str());
+}
+
+int run_replay(const Options& opt) {
+  std::ifstream in{opt.replay_file};
+  if (!in) usage_error("cannot open spec file '" + opt.replay_file + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse(buf.str());
+  // A generated spec carries its fuzz seed as its scenario seed, so the
+  // file alone reproduces the exact simulation; --seed can override.
+  const std::uint64_t seed = opt.seed.value_or(spec.seed);
+  const std::vector<std::string> estimators = case_estimators(opt, seed);
+  const scenario::FuzzResult r = scenario::fuzz_check(
+      baselines::builtin_estimators(), spec, seed, fuzz_options(opt), estimators);
+  std::printf("replay %s: seed=%llu calm=%d estimators=%s\n",
+              opt.replay_file.c_str(), static_cast<unsigned long long>(seed),
+              r.calm ? 1 : 0, join(estimators).c_str());
+  if (r.ok()) {
+    std::printf("replay: all invariants hold\n");
+    return 0;
+  }
+  for (const auto& v : r.violations) {
+    std::printf("VIOLATION invariant=%s%s%s\n  %s\n", v.invariant.c_str(),
+                v.estimator.empty() ? "" : " estimator=", v.estimator.c_str(),
+                v.detail.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  if (opt.list_invariants) {
+    for (const auto& inv : kInvariants) {
+      std::printf("%-18s %s\n", inv.name, inv.what);
+    }
+    return 0;
+  }
+  try {
+    if (!opt.replay_file.empty()) return run_replay(opt);
+
+    const std::uint64_t base = opt.seed.value_or(bench::seed());
+    const scenario::FuzzOptions fo = fuzz_options(opt);
+    scenario::SweepRunner runner{opt.threads};
+    const std::vector<scenario::FuzzResult> results = runner.map(
+        static_cast<std::size_t>(opt.count), [&](std::size_t i) {
+          const std::uint64_t seed =
+              scenario::fuzz_case_seed(base, static_cast<int>(i));
+          return scenario::fuzz_one(baselines::builtin_estimators(), seed, fo,
+                                    case_estimators(opt, seed));
+        });
+
+    int violations = 0;
+    int calm = 0;
+    for (const auto& r : results) {
+      calm += r.calm ? 1 : 0;
+      if (r.ok()) continue;
+      violations += static_cast<int>(r.violations.size());
+      report_violations(r, opt, case_estimators(opt, r.seed));
+    }
+    std::printf("fuzz: %d cases (base seed %llu), %d calm, %d violation%s\n",
+                opt.count, static_cast<unsigned long long>(base), calm,
+                violations, violations == 1 ? "" : "s");
+    return violations > 0 ? 1 : 0;
+  } catch (const scenario::SpecError& e) {
+    std::fprintf(stderr, "scenario_fuzz: %s\n", e.what());
+    return 1;
+  } catch (const core::EstimatorError& e) {
+    std::fprintf(stderr, "scenario_fuzz: %s\n", e.what());
+    return 1;
+  }
+}

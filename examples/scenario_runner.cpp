@@ -37,6 +37,7 @@
 #include "bench/common.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/registry.hpp"
+#include "scenario/shard.hpp"
 #include "scenario/sweep_runner.hpp"
 #include "util/table.hpp"
 
@@ -63,6 +64,13 @@ struct Options {
   std::optional<std::uint64_t> seed;
   int threads{0};
   Format format{Format::kTable};
+  // Sharded matrix runs (scenario/shard.hpp): --shard i/N runs only the
+  // owned cells, --emit-cells prints the serialized cell stream instead of
+  // the reduced table, --merge-cells re-assembles shard streams.
+  int shard_index{0};
+  int shard_count{0};     // 0: not sharded
+  bool emit_cells{false};
+  std::vector<std::string> merge_files;
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
@@ -77,6 +85,8 @@ struct Options {
                "                  [--estimator name[,name...]] [--set k=v[,k=v...]]\n"
                "                  [--channel sim|live] [--format table|csv|json]\n"
                "  scenario_runner --compare --scenario <preset> [same options]\n"
+               "                  [--shard i/N] [--emit-cells]\n"
+               "  scenario_runner --merge-cells f1[,f2,...] [--emit-cells]\n"
                "  scenario_runner --spec <file> [--run | --show]\n"
                "  scenario_runner --validate <file>\n",
                msg.c_str());
@@ -168,6 +178,29 @@ Options parse_args(int argc, char** argv) {
       opt.seed = std::strtoull(next("--seed").c_str(), nullptr, 10);
     } else if (a == "--threads") {
       opt.threads = std::atoi(next("--threads").c_str());
+    } else if (a == "--shard") {
+      const std::string s = next("--shard");
+      const auto slash = s.find('/');
+      char* end = nullptr;
+      opt.shard_index = static_cast<int>(std::strtol(s.c_str(), &end, 10));
+      if (slash == std::string::npos || end != s.c_str() + slash) {
+        usage_error("--shard expects i/N (e.g. 0/4), got '" + s + "'");
+      }
+      opt.shard_count =
+          static_cast<int>(std::strtol(s.c_str() + slash + 1, &end, 10));
+      if (*end != '\0' || opt.shard_count < 1 || opt.shard_index < 0 ||
+          opt.shard_index >= opt.shard_count) {
+        usage_error("--shard expects i/N with 0 <= i < N, got '" + s + "'");
+      }
+    } else if (a == "--emit-cells") {
+      opt.emit_cells = true;
+    } else if (a == "--merge-cells") {
+      std::stringstream ss{next("--merge-cells")};
+      std::string f;
+      while (std::getline(ss, f, ',')) {
+        if (!f.empty()) opt.merge_files.push_back(f);
+      }
+      if (opt.merge_files.empty()) usage_error("--merge-cells needs at least one file");
     } else if (a == "--format") {
       const std::string f = next("--format");
       if (f == "table") opt.format = Format::kTable;
@@ -193,12 +226,58 @@ Options parse_args(int argc, char** argv) {
                 "--estimator <name> (got " +
                 std::to_string(opt.estimators.size()) + " selections)");
   }
+  if (opt.shard_count > 0) {
+    if (!opt.emit_cells) {
+      usage_error("--shard produces a partial matrix; it requires --emit-cells "
+                  "(merge the shards with --merge-cells)");
+    }
+    if (opt.run.empty() || (!opt.compare && opt.estimators.empty())) {
+      usage_error("--shard applies to estimator matrices: combine it with "
+                  "--compare/--estimator and a scenario");
+    }
+  }
+  if (!opt.merge_files.empty() &&
+      (!opt.run.empty() || opt.compare || opt.shard_count > 0)) {
+    usage_error("--merge-cells reads finished shard outputs; it cannot be "
+                "combined with --run/--compare/--shard");
+  }
+  if (opt.emit_cells && opt.merge_files.empty() &&
+      (opt.run.empty() || (!opt.compare && opt.estimators.empty()))) {
+    usage_error("--emit-cells applies to estimator matrices: combine it with "
+                "--compare/--estimator and a scenario, or with --merge-cells");
+  }
   if (!opt.list && !opt.list_estimators && opt.show.empty() && opt.run.empty() &&
-      opt.validate_file.empty()) {
+      opt.validate_file.empty() && opt.merge_files.empty()) {
     usage_error("nothing to do (use --list, --list-estimators, --show, --run, "
-                "--compare, or --validate)");
+                "--compare, --merge-cells, or --validate)");
   }
   return opt;
+}
+
+/// Minimal JSON string escaping for the emitters: free-text fields
+/// (scenario names from spec files, outcome summaries) must not be able to
+/// break out of their quoted value.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
 }
 
 /// Channel-capability gate for estimator runs. The simulated channel
@@ -309,15 +388,15 @@ void print_matrix(const std::vector<scenario::MatrixCell>& cells,
           "\"cv_center\": %s, \"probe_mbytes\": %.17g, "
           "\"mean_packets\": %.17g, \"mean_elapsed_s\": %.17g, "
           "\"outcome\": \"%s\", \"loss_fraction\": %.17g}%s\n",
-          c.estimator.c_str(), c.scenario.c_str(), c.load,
-          static_cast<unsigned long long>(c.seed0), c.reports.size(),
+          json_escape(c.estimator).c_str(), json_escape(c.scenario).c_str(),
+          c.load, static_cast<unsigned long long>(c.seed0), c.reports.size(),
           c.valid_runs(), c.truth.mbits_per_sec(),
           c.mean_low().mbits_per_sec(), c.mean_high().mbits_per_sec(),
           c.mean_center().mbits_per_sec(),
           num_or_null(c.mean_rel_error()).c_str(), c.coverage(kPointSlack),
           num_or_null(c.cv_center()).c_str(),
           c.mean_bytes().bits() / 8e6, c.mean_packets(),
-          c.mean_elapsed().secs(), c.outcome_summary().c_str(),
+          c.mean_elapsed().secs(), json_escape(c.outcome_summary()).c_str(),
           c.mean_loss_fraction(), i + 1 < cells.size() ? "," : "");
     }
     std::printf("]\n");
@@ -396,8 +475,24 @@ int run_estimator_command(const Options& opt, const scenario::ScenarioSpec& base
   const int runs = opt.runs > 0 ? opt.runs : bench::runs(5);
   const std::uint64_t seed = opt.seed.value_or(bench::seed());
   scenario::SweepRunner runner{opt.threads};
+  if (opt.shard_count > 0) {
+    // One shard of the matrix: run only the owned cells and emit them in
+    // the serialized stream form under their global indices. A driver
+    // (tools/shard_merge_check.sh, or any job scheduler) reassembles the
+    // full matrix with --merge-cells.
+    std::fputs(scenario::run_matrix_shard(selected, {base}, opt.sweep_loads,
+                                          runs, seed, opt.shard_index,
+                                          opt.shard_count, runner)
+                   .c_str(),
+               stdout);
+    return 0;
+  }
   const auto cells = scenario::run_matrix(selected, {base}, opt.sweep_loads,
                                           runs, seed, runner);
+  if (opt.emit_cells) {
+    std::fputs(scenario::cells_to_text(cells).c_str(), stdout);
+    return 0;
+  }
   print_matrix(cells, reg, opt.format);
   if (opt.format == Format::kTable && !hinted.empty()) {
     std::printf("note: %s took the capacity hint capacity_mbps = %.6g from "
@@ -433,7 +528,8 @@ void print_rows(const std::vector<PointRow>& rows, Format format) {
           "\"avail_mbps\": %.17g, \"low_mbps\": %.17g, \"high_mbps\": %.17g, "
           "\"coverage\": %.17g, \"cv_low\": %.17g, \"cv_high\": %.17g, "
           "\"mean_fleets\": %.17g, \"mean_elapsed_s\": %.17g}%s\n",
-          r.preset.c_str(), r.util, static_cast<unsigned long long>(r.seed0), r.runs,
+          json_escape(r.preset).c_str(), r.util,
+          static_cast<unsigned long long>(r.seed0), r.runs,
           r.truth.mbits_per_sec(), r.rr.mean_low().mbits_per_sec(),
           r.rr.mean_high().mbits_per_sec(), r.rr.coverage(r.truth), r.rr.cv_low(),
           r.rr.cv_high(), r.rr.mean_fleets(), r.rr.mean_elapsed().secs(),
@@ -532,6 +628,19 @@ int main(int argc, char** argv) {
       }
       return reg.at(loaded_name);
     };
+
+    if (!opt.merge_files.empty()) {
+      std::vector<std::string> texts;
+      texts.reserve(opt.merge_files.size());
+      for (const std::string& f : opt.merge_files) texts.push_back(read_file(f));
+      const auto cells = scenario::merge_cell_texts(texts);
+      if (opt.emit_cells) {
+        std::fputs(scenario::cells_to_text(cells).c_str(), stdout);
+      } else {
+        print_matrix(cells, baselines::builtin_estimators(), opt.format);
+      }
+      return 0;
+    }
 
     if (opt.list) print_list(reg, opt.format);
     if (opt.list_estimators) {

@@ -257,19 +257,14 @@ core::EstimateReport run_estimator_once(const ScenarioSpec& spec,
   return core::run_guarded(est, channel, rng);
 }
 
-std::vector<MatrixCell> run_matrix(const std::vector<MatrixEstimator>& estimators,
-                                   const std::vector<ScenarioSpec>& scenarios,
-                                   const std::vector<double>& loads, int runs,
-                                   std::uint64_t seed0, SweepRunner& runner) {
+std::vector<MatrixCellPlan> plan_matrix(const std::vector<MatrixEstimator>& estimators,
+                                        const std::vector<ScenarioSpec>& scenarios,
+                                        const std::vector<double>& loads,
+                                        std::uint64_t seed0) {
   // Enumerate every cell — and derive its seeds — before anything runs, so
-  // the fan-out is deterministic and independent of the thread count.
-  struct CellPlan {
-    const MatrixEstimator* est;
-    ScenarioSpec spec;  // already loaded to the cell's utilization
-    double load;
-    std::uint64_t seed0;
-  };
-  std::vector<CellPlan> plans;
+  // the fan-out is deterministic and independent of the thread count (and,
+  // via shard.hpp, of how the cells are partitioned across processes).
+  std::vector<MatrixCellPlan> plans;
   plans.reserve(estimators.size() * scenarios.size() *
                 std::max<std::size_t>(loads.size(), 1));
   for (const MatrixEstimator& est : estimators) {
@@ -277,22 +272,26 @@ std::vector<MatrixCell> run_matrix(const std::vector<MatrixEstimator>& estimator
       if (loads.empty()) {
         const double own =
             scenario.hops[scenario.tight_hop()].traffic.utilization;
-        plans.push_back(CellPlan{&est, scenario, own, seed0});
+        plans.push_back(MatrixCellPlan{&est, scenario, own, seed0});
       } else {
         for (const double u : loads) {
           // Same per-point seed derivation as bench/fig05 and --sweep.
           const auto cell_seed = static_cast<std::uint64_t>(
               static_cast<double>(seed0) + u * 1000);
-          plans.push_back(CellPlan{&est, scenario.with_load(u), u, cell_seed});
+          plans.push_back(MatrixCellPlan{&est, scenario.with_load(u), u, cell_seed});
         }
       }
     }
   }
+  return plans;
+}
 
+std::vector<MatrixCell> run_planned_cells(const std::vector<MatrixCellPlan>& plans,
+                                          int runs, SweepRunner& runner) {
   const auto n_runs = static_cast<std::size_t>(runs);
   std::vector<core::EstimateReport> reports =
       runner.map(plans.size() * n_runs, [&](std::size_t i) {
-        const CellPlan& plan = plans[i / n_runs];
+        const MatrixCellPlan& plan = plans[i / n_runs];
         const auto run = static_cast<std::uint64_t>(i % n_runs);
         const auto est = plan.est->make();
         return run_estimator_once(plan.spec, *est, plan.seed0 + run);
@@ -313,6 +312,14 @@ std::vector<MatrixCell> run_matrix(const std::vector<MatrixEstimator>& estimator
     cells.push_back(std::move(cell));
   }
   return cells;
+}
+
+std::vector<MatrixCell> run_matrix(const std::vector<MatrixEstimator>& estimators,
+                                   const std::vector<ScenarioSpec>& scenarios,
+                                   const std::vector<double>& loads, int runs,
+                                   std::uint64_t seed0, SweepRunner& runner) {
+  return run_planned_cells(plan_matrix(estimators, scenarios, loads, seed0),
+                           runs, runner);
 }
 
 }  // namespace pathload::scenario

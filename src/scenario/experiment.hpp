@@ -129,14 +129,40 @@ struct MatrixCell {
   double mean_loss_fraction() const;
 };
 
+/// One planned (estimator × scenario × load) cell of a matrix, enumerated
+/// before anything runs. `est` points into the caller's estimator list and
+/// must outlive the plan; `spec` is already loaded to the cell's
+/// utilization and `seed0` is the cell's base seed.
+struct MatrixCellPlan {
+  const MatrixEstimator* est;
+  ScenarioSpec spec;
+  double load;
+  std::uint64_t seed0;
+};
+
+/// Deterministic cell enumeration shared by run_matrix and the sharded
+/// runner (scenario/shard.hpp): estimator-major, then scenario, then load,
+/// with the fig05 seed derivation (seed0 + round(u * 1000); an empty
+/// `loads` list keeps each scenario at its own configured load with the
+/// plain seed0). Shard workers partition exactly this list, so a cell's
+/// global index — and therefore its seeds — is identical in-process and
+/// across any shard count.
+std::vector<MatrixCellPlan> plan_matrix(const std::vector<MatrixEstimator>& estimators,
+                                        const std::vector<ScenarioSpec>& scenarios,
+                                        const std::vector<double>& loads,
+                                        std::uint64_t seed0);
+
+/// Run an explicit list of planned cells, `runs` independent seeds per
+/// cell (run i of a cell uses plan.seed0 + i), fanned out on `runner`.
+std::vector<MatrixCell> run_planned_cells(const std::vector<MatrixCellPlan>& plans,
+                                          int runs, SweepRunner& runner);
+
 /// Run every estimator × every scenario × every load, `runs` independent
 /// seeds per cell, fanned out on `runner` (each run is a self-contained
 /// simulation, so results are independent of the thread count).
 ///
-/// Seed derivation matches the figure benches: a cell at load u uses
-/// seed0 + round(u * 1000); with an empty `loads` list each scenario runs
-/// at its own configured load with the plain seed0. Run i of a cell adds
-/// +i. A pathload-only matrix therefore reproduces the numbers of
+/// Seed derivation matches the figure benches (see plan_matrix). A
+/// pathload-only matrix therefore reproduces the numbers of
 /// sweep_scenario_repeated (and `scenario_runner --sweep`) bit-for-bit.
 std::vector<MatrixCell> run_matrix(const std::vector<MatrixEstimator>& estimators,
                                    const std::vector<ScenarioSpec>& scenarios,

@@ -1,0 +1,459 @@
+#include "scenario/fuzz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "core/estimator.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/service_curve.hpp"
+#include "scenario/sim_channel.hpp"
+#include "sim/monitor.hpp"
+#include "util/rng.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generator menus. Every value is an exact short decimal, so a generated
+// spec survives to_text's %.12g rendering bit-for-bit — the roundtrip
+// invariant is then a real check of the parser, not of float formatting.
+
+constexpr double kCapacitiesMbps[] = {5, 8, 10, 12, 16, 20, 30, 45};
+constexpr double kDelaysMs[] = {1, 2, 5, 10, 20};
+constexpr double kBuffersMs[] = {300, 500, 800};
+constexpr double kUtils[] = {0.1, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8};
+constexpr int kSources[] = {1, 2, 4, 10};
+constexpr double kParetoAlphas[] = {1.5, 1.9, 2.5};
+constexpr double kPeakBoosts[] = {0.1, 0.2, 0.3};
+constexpr double kBurstKb[] = {10, 30, 60};
+constexpr double kBurstAlphas[] = {1.5, 1.9};
+constexpr double kWarmupS[] = {0.5, 1};
+constexpr int kFixedMixBytes[] = {500, 1000, 1500};
+constexpr double kLossRates[] = {0.005, 0.01, 0.02, 0.03};
+constexpr double kFlowStarts[] = {0, 0.5, 1};
+constexpr double kRwnds[] = {8, 16, 32};
+
+template <typename T, std::size_t N>
+T pick(Rng& rng, const T (&menu)[N]) {
+  return menu[rng.uniform_index(N)];
+}
+
+bool chance(Rng& rng, double p) { return rng.uniform() < p; }
+
+TrafficModel pick_model(Rng& rng) {
+  // none/constant keep easy cases in the corpus; pareto gets the largest
+  // share (the paper's own cross-traffic model, and the burstiest of the
+  // renewal family).
+  constexpr double w[] = {0.15, 0.20, 0.25, 0.15, 0.15, 0.10};
+  static_assert(sizeof w / sizeof w[0] == 6);
+  switch (rng.pick_weighted(std::span<const double>{w, 6})) {
+    case 0: return TrafficModel::kNone;
+    case 1: return TrafficModel::kPoisson;
+    case 2: return TrafficModel::kPareto;
+    case 3: return TrafficModel::kConstant;
+    case 4: return TrafficModel::kOnOff;
+    default: return TrafficModel::kRamp;
+  }
+}
+
+Rate narrow_capacity(const ScenarioSpec& spec) {
+  Rate narrow = spec.hops.front().capacity;
+  for (const HopDecl& h : spec.hops) narrow = std::min(narrow, h.capacity);
+  return narrow;
+}
+
+std::string fmt_mbps(Rate r) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", r.mbits_per_sec());
+  return buf;
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t seed, const FuzzOptions& opt) {
+  Rng rng{seed};
+  ScenarioSpec spec;
+  spec.name = "fuzz-" + std::to_string(seed);
+  spec.description = "seeded fuzz scenario (scenario_fuzz)";
+  spec.seed = seed;
+  spec.warmup = Duration::seconds(pick(rng, kWarmupS));
+
+  const int hops = 1 + static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(std::max(opt.max_hops, 1))));
+  spec.hops.reserve(static_cast<std::size_t>(hops));
+  for (int h = 0; h < hops; ++h) {
+    HopDecl hop;
+    hop.capacity = Rate::mbps(pick(rng, kCapacitiesMbps));
+    hop.delay = Duration::milliseconds(pick(rng, kDelaysMs));
+    hop.buffer_drain = Duration::milliseconds(pick(rng, kBuffersMs));
+
+    TrafficSpec& t = hop.traffic;
+    t.model = pick_model(rng);
+    if (t.model != TrafficModel::kNone) {
+      t.utilization = pick(rng, kUtils);
+      t.sources = pick(rng, kSources);
+      if (chance(rng, 0.3)) {
+        t.mix = sim::PacketSizeMix::fixed(pick(rng, kFixedMixBytes));
+      }
+    }
+    switch (t.model) {
+      case TrafficModel::kPareto:
+        t.pareto_alpha = pick(rng, kParetoAlphas);
+        break;
+      case TrafficModel::kOnOff:
+        t.peak_utilization = std::min(0.95, t.utilization + pick(rng, kPeakBoosts));
+        t.mean_burst_kb = pick(rng, kBurstKb);
+        t.burst_alpha = pick(rng, kBurstAlphas);
+        break;
+      case TrafficModel::kRamp:
+        t.end_utilization = pick(rng, kUtils);
+        t.ramp_start_s = chance(rng, 0.5) ? 0.0 : 1.0;
+        t.ramp_end_s = t.ramp_start_s + (chance(rng, 0.5) ? 0.0 : 2.0);
+        if (chance(rng, 0.3)) {
+          t.ramp_back_start_s = t.ramp_end_s + 1.0;
+          t.ramp_back_end_s = t.ramp_back_start_s + 1.0;
+        }
+        break;
+      default:
+        break;
+    }
+    spec.hops.push_back(hop);
+  }
+
+  if (opt.allow_flows && chance(rng, 0.25)) {
+    FlowSpec flow;
+    flow.first_hop = rng.uniform_index(static_cast<std::uint64_t>(hops));
+    flow.last_hop = flow.first_hop +
+                    rng.uniform_index(static_cast<std::uint64_t>(hops) - flow.first_hop);
+    if (chance(rng, 0.6)) flow.rwnd = pick(rng, kRwnds);
+    flow.count = chance(rng, 0.3) ? 2 : 1;
+    flow.start_s = pick(rng, kFlowStarts);
+    if (chance(rng, 0.25)) {
+      flow.on_s = 2.0;
+      flow.off_s = 1.0;
+    }
+    spec.flows.push_back(flow);
+  }
+
+  if (opt.allow_impairments && chance(rng, 0.25)) {
+    ImpairSpec imp;
+    imp.hop = rng.uniform_index(static_cast<std::uint64_t>(hops));
+    imp.loss = pick(rng, kLossRates);
+    if (chance(rng, 0.3)) imp.dup = 0.01;
+    if (chance(rng, 0.3)) imp.reorder_ms = 1.0;
+    if (chance(rng, 0.5)) imp.seed = rng.uniform_index(100000);
+    spec.impairments.push_back(imp);
+  }
+
+  spec.validate();
+  return spec;
+}
+
+bool spec_is_calm(const ScenarioSpec& spec) {
+  if (spec.has_flows() || spec.impaired() || spec.nonstationary()) return false;
+  for (const HopDecl& h : spec.hops) {
+    // On/off bursts swing the short-window truth itself; CBR violates the
+    // statistically-multiplexed cross-traffic assumption the trend and
+    // gap models rest on (probe/CBR phase aliasing makes them
+    // overestimate by design — the paper's simulations use Poisson and
+    // Pareto, never CBR).
+    if (h.traffic.model == TrafficModel::kOnOff) return false;
+    if (h.traffic.model == TrafficModel::kConstant &&
+        h.traffic.utilization > 0.0) {
+      return false;
+    }
+  }
+  const double tight_util = spec.hops[spec.tight_hop()].traffic.utilization;
+  return tight_util <= 0.6;
+}
+
+std::vector<std::string> default_fuzz_estimators(const core::EstimatorRegistry& reg,
+                                                 std::uint64_t seed) {
+  std::vector<std::string> others;
+  for (const auto& e : reg.entries()) {
+    if (e.name != "pathload") others.push_back(e.name);
+  }
+  std::vector<std::string> out = {"pathload"};
+  if (!others.empty()) {
+    const std::size_t n = others.size();
+    out.push_back(others[static_cast<std::size_t>(seed) % n]);
+    out.push_back(others[static_cast<std::size_t>(seed / n) % n]);
+    if (out[1] == out[2]) out.pop_back();
+  }
+  return out;
+}
+
+std::uint64_t fuzz_case_seed(std::uint64_t base, int index) {
+  // splitmix64 over base + index: adjacent batch indices give decorrelated
+  // generator draws while staying pure functions of (base, index).
+  std::uint64_t z = base + static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+struct MonitorBracket {
+  Rate low;
+  Rate high;
+};
+
+/// Sample the tight link's utilization monitor over an unperturbed span —
+/// before any probing, so the probes' own load does not pollute the truth
+/// they are judged against (the pattern of
+/// tests/scenario/new_estimator_matrix_test.cpp).
+MonitorBracket measure_bracket(const ScenarioSpec& spec, const FuzzOptions& opt) {
+  ScenarioInstance inst{spec};
+  inst.start();
+  sim::UtilizationMonitor monitor{inst.simulator(), inst.tight_link(),
+                                  opt.monitor_window};
+  monitor.start();
+  inst.simulator().run_for(opt.monitor_span);
+  monitor.stop();
+  MonitorBracket b{Rate::zero(), Rate::zero()};
+  if (monitor.readings().empty()) return b;
+  b.low = b.high = monitor.readings().front().avail_bw;
+  for (const auto& w : monitor.readings()) {
+    b.low = std::min(b.low, w.avail_bw);
+    b.high = std::max(b.high, w.avail_bw);
+  }
+  return b;
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+FuzzResult fuzz_check(const core::EstimatorRegistry& reg, const ScenarioSpec& spec,
+                      std::uint64_t seed, const FuzzOptions& opt,
+                      const std::vector<std::string>& estimators) {
+  FuzzResult out;
+  out.seed = seed;
+  out.spec = spec;
+  out.spec_text = spec.to_text();
+  out.calm = spec_is_calm(spec);
+
+  auto violate = [&](std::string invariant, std::string estimator,
+                     std::string detail) {
+    out.violations.push_back(
+        FuzzViolation{std::move(invariant), std::move(estimator), std::move(detail)});
+  };
+
+  const Rate narrow = narrow_capacity(spec);
+  const ServiceCurveOracle oracle = service_curve_oracle(spec);
+
+  // oracle-agreement: on calm specs the min-plus leftover rate must equal
+  // the configured avail-bw (same min over hops of C*(1-u), reached from
+  // the network-calculus side).
+  if (out.calm) {
+    const double a = oracle.avail_bw.bits_per_sec();
+    const double b = spec.avail_bw().bits_per_sec();
+    if (std::abs(a - b) > 1e-6 * std::max({std::abs(a), std::abs(b), 1.0})) {
+      violate("oracle-agreement", "",
+              "service-curve rate " + std::to_string(a * 1e-6) +
+                  " Mb/s vs configured avail-bw " + std::to_string(b * 1e-6) +
+                  " Mb/s");
+    }
+  }
+
+  MonitorBracket bracket{Rate::zero(), Rate::zero()};
+  if (out.calm) bracket = measure_bracket(spec, opt);
+
+  // Bracket slack: the monitor's own resolution (the 1 Mb/s the golden
+  // tests grant), the oracle's burst tolerance for one window, or 10% of
+  // the narrow capacity — whichever is largest.
+  const Rate slack = std::max({Rate::mbps(1.5), oracle.tolerance(opt.monitor_window),
+                               narrow * 0.10});
+
+  bool any_dup = false;
+  double max_loss = 0.0;
+  for (const ImpairSpec& imp : spec.impairments) {
+    any_dup = any_dup || imp.dup > 0.0;
+    max_loss = std::max(max_loss, imp.loss);
+  }
+  std::int64_t probe_packets = 0;
+  std::int64_t probe_lost = 0;
+
+  for (const std::string& name : estimators) {
+    const core::EstimatorRegistry::Entry& entry = reg.at(name);
+    std::string overrides;
+    if (entry.needs_capacity_hint) {
+      overrides += "capacity_mbps = " + fmt_mbps(narrow) + "\n";
+    }
+    if (opt.deadline_s > 0.0) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "deadline_s = %.12g\n", opt.deadline_s);
+      overrides += buf;
+    }
+
+    core::EstimateReport r;
+    try {
+      const auto est = reg.make(name, overrides);
+      ScenarioSpec run_spec = spec;
+      ScenarioInstance inst{std::move(run_spec)};
+      inst.start();
+      SimProbeChannel channel{inst.simulator(), inst.path()};
+      Rng rng{spec.seed};
+      r = core::run_guarded(*est, channel, rng);
+    } catch (const core::EstimatorError& e) {
+      violate("no-crash", name, std::string{"EstimatorError: "} + e.what());
+      continue;
+    } catch (const SpecError& e) {
+      violate("no-crash", name, std::string{"SpecError during run: "} + e.what());
+      continue;
+    }
+
+    // no-crash: run_guarded converts stray exceptions and channel faults
+    // into failed reports with these note prefixes; a valid spec must not
+    // produce either.
+    if (r.outcome == core::EstimateReport::Outcome::kFailed &&
+        (starts_with(r.outcome_note, "error:") ||
+         starts_with(r.outcome_note, "channel fault:"))) {
+      violate("no-crash", name, "failed report: " + r.outcome_note);
+      continue;
+    }
+
+    if (r.valid) {
+      const double lo = r.low.bits_per_sec();
+      const double hi = r.high.bits_per_sec();
+      if (!std::isfinite(lo) || !std::isfinite(hi) || lo < 0.0 || lo > hi) {
+        violate("finite-estimate", name,
+                "low=" + std::to_string(lo * 1e-6) +
+                    " Mb/s high=" + std::to_string(hi * 1e-6) + " Mb/s");
+      } else if (Rate::bps(hi) > narrow * 1.5 + Rate::mbps(1.0)) {
+        violate("physical-bound", name,
+                "high=" + std::to_string(hi * 1e-6) + " Mb/s exceeds 1.5x narrow capacity " +
+                    std::to_string(narrow.mbits_per_sec()) + " Mb/s");
+      }
+    }
+
+    // Pathload's SLoPS is end-to-end; spruce/igi are single-bottleneck gap
+    // models, so their bracket check additionally requires that only one
+    // hop carries load (a second congested queue breaks their model, and
+    // the resulting overestimate is the tool's documented limitation, not
+    // an implementation bug).
+    bool single_loaded_hop = true;
+    {
+      int loaded = 0;
+      for (const HopDecl& h : spec.hops) {
+        if (h.traffic.model != TrafficModel::kNone && h.traffic.utilization > 0.0) {
+          ++loaded;
+        }
+      }
+      single_loaded_hop = loaded <= 1;
+    }
+    const bool bracketing_tool =
+        name == "pathload" ||
+        ((name == "spruce" || name == "igi") && single_loaded_hop);
+    if (out.calm && bracketing_tool && r.valid &&
+        r.outcome == core::EstimateReport::Outcome::kOk &&
+        r.quantity == core::EstimateReport::Quantity::kAvailBw) {
+      // The truth band: the monitor bracket joined with the model oracle
+      // (either may be slightly generous), widened by the slack.
+      const Rate band_lo = std::min(bracket.low, oracle.avail_bw) - slack;
+      const Rate band_hi = std::max(bracket.high, oracle.avail_bw) + slack;
+      if (name == "pathload") {
+        // Pathload reports a range, and the paper's claim is that the
+        // *range* brackets the truth (the center may sit off-middle): the
+        // [low, high] range must intersect the truth band.
+        if (r.high < band_lo || r.low > band_hi) {
+          violate("monitor-bracket", name,
+                  "range [" + std::to_string(r.low.mbits_per_sec()) + ", " +
+                      std::to_string(r.high.mbits_per_sec()) +
+                      "] Mb/s misses the truth band [" +
+                      std::to_string(band_lo.mbits_per_sec()) + ", " +
+                      std::to_string(band_hi.mbits_per_sec()) +
+                      "] Mb/s (monitor [" + std::to_string(bracket.low.mbits_per_sec()) +
+                      ", " + std::to_string(bracket.high.mbits_per_sec()) +
+                      "], oracle " + std::to_string(oracle.avail_bw.mbits_per_sec()) + ")");
+        }
+      } else {
+        // Gap-model point tools carry a documented load-dependent bias
+        // (their own papers quote errors of 20-40% in unfavorable
+        // regimes), so the envelope the fuzzer can hold them to is
+        // multiplicative: within [0.5x, 1.5x] of the truth band. A tool
+        // reporting zero, or doubling the capacity, still fails.
+        const Rate center = r.center();
+        const Rate lo = std::min(bracket.low, oracle.avail_bw) * 0.5 - slack;
+        const Rate hi = std::max(bracket.high, oracle.avail_bw) * 1.5 + slack;
+        if (center < lo || center > hi) {
+          violate("monitor-bracket", name,
+                  "point " + std::to_string(center.mbits_per_sec()) +
+                      " Mb/s outside 0.5-1.5x of the truth band [" +
+                      std::to_string(band_lo.mbits_per_sec()) + ", " +
+                      std::to_string(band_hi.mbits_per_sec()) +
+                      "] Mb/s (monitor [" + std::to_string(bracket.low.mbits_per_sec()) +
+                      ", " + std::to_string(bracket.high.mbits_per_sec()) +
+                      "], oracle " + std::to_string(oracle.avail_bw.mbits_per_sec()) + ")");
+        }
+      }
+    }
+
+    if (!entry.needs_bulk_tcp) {
+      probe_packets += r.packets_sent;
+      probe_lost += r.packets_lost;
+      // pristine-outcome: on a pristine calm path a probe tool may lose a
+      // few probes to queues its own load fills (cprobe's flooding trains
+      // do, by design), but losing over 20% signals phantom impairments
+      // or broken loss accounting.
+      if (out.calm && r.loss_fraction() > 0.20) {
+        violate("pristine-outcome", name,
+                "lost " + std::to_string(r.loss_fraction() * 100.0) +
+                    "% of probes on a pristine calm path (" + r.outcome_note + ")");
+      }
+    }
+  }
+
+  // impair-consistency: a >=2% injected loss rate with a large probe count
+  // must actually lose packets (P[no loss] < 1e-4 at 500 probes). Specs
+  // with duplication are excluded — duplicate receiver records offset the
+  // sent-minus-received accounting.
+  if (max_loss >= 0.02 && !any_dup && probe_packets >= 500 && probe_lost <= 0) {
+    violate("impair-consistency", "",
+            "loss=" + std::to_string(max_loss) + " injected but " +
+                std::to_string(probe_packets) + " probes all arrived");
+  }
+
+  return out;
+}
+
+FuzzResult fuzz_one(const core::EstimatorRegistry& reg, std::uint64_t seed,
+                    const FuzzOptions& opt,
+                    const std::vector<std::string>& estimators) {
+  const ScenarioSpec spec = generate_scenario(seed, opt);
+  const std::string text = spec.to_text();
+  ScenarioSpec parsed;
+  try {
+    parsed = ScenarioSpec::parse(text);
+  } catch (const SpecError& e) {
+    FuzzResult out;
+    out.seed = seed;
+    out.spec = spec;
+    out.spec_text = text;
+    out.violations.push_back(
+        FuzzViolation{"roundtrip", "", std::string{"generated spec does not re-parse: "} + e.what()});
+    return out;
+  }
+  const std::string second = parsed.to_text();
+  if (second != text) {
+    FuzzResult out;
+    out.seed = seed;
+    out.spec = spec;
+    out.spec_text = text;
+    out.violations.push_back(FuzzViolation{
+        "roundtrip", "", "to_text -> parse -> to_text is not byte-identical"});
+    return out;
+  }
+  // Run the parsed-back spec: what runs is exactly what a --replay from
+  // the emitted file would run.
+  return fuzz_check(reg, parsed, seed, opt, estimators);
+}
+
+}  // namespace pathload::scenario

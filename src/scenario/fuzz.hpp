@@ -1,0 +1,127 @@
+// Seeded scenario fuzzing: generate valid random ScenarioSpecs and check
+// property invariants of every estimator run over them.
+//
+// The generator draws every knob from small discrete menus of exact
+// decimals, so a generated spec (a) always passes ScenarioSpec::validate
+// and (b) round-trips bit-exactly through to_text/parse — the emitted
+// repro file IS the scenario, and `scenario_fuzz --replay <file>`
+// reproduces a violation from the file alone (the generated spec carries
+// its fuzz seed as its scenario seed). docs/FUZZING.md documents the
+// grammar, the invariant list, and the replay workflow.
+//
+// Invariants checked per (spec × estimator) cell:
+//   roundtrip          to_text → parse → to_text is byte-identical
+//   no-crash           no EstimatorError and no exception-backed `failed`
+//                      report ("error: ..." / "channel fault: ...") on any
+//                      valid spec
+//   finite-estimate    valid estimates are finite, non-negative, low<=high
+//   physical-bound     no estimate exceeds 1.5x the narrow-link capacity
+//   oracle-agreement   on calm specs the min-plus service-curve oracle
+//                      (scenario/service_curve.hpp) agrees with the
+//                      configured avail-bw
+//   monitor-bracket    on calm, uncongested specs pathload's [low, high]
+//                      range intersects the UtilizationMonitor bracket
+//                      (the MRTG stand-in, sampled pre-probe) widened by
+//                      the oracle tolerance; gap-model point tools
+//                      (spruce, igi, single-bottleneck paths) land within
+//                      0.5-1.5x of that band — their own papers document
+//                      20-40% load-dependent bias, so the envelope is
+//                      multiplicative
+//   pristine-outcome   probe tools lose under 20% of their probes on
+//                      pristine calm paths (phantom impairments / broken
+//                      loss accounting)
+//   impair-consistency an injected loss rate >= 2% with enough probes
+//                      actually loses packets
+//
+// A violation carries the invariant name, a diagnostic, the spec text, and
+// the seed; scenario_fuzz writes the spec to a file and prints the replay
+// command.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "util/time.hpp"
+
+namespace pathload::core {
+class EstimatorRegistry;
+}
+
+namespace pathload::scenario {
+
+/// Generator knobs. Defaults are what the fuzz corpus tiers run.
+struct FuzzOptions {
+  int max_hops{3};               ///< path length drawn from [1, max_hops]
+  bool allow_flows{true};        ///< permit responsive TCP cross flows
+  bool allow_impairments{true};  ///< permit loss/dup/reorder impair lines
+  /// Virtual-time deadline handed to every estimator (deadline_s), so a
+  /// pathological spec times out structurally instead of hanging the run.
+  double deadline_s{120.0};
+  /// Monitor sampling for the bracket invariant: window size and pre-probe
+  /// sampling span.
+  Duration monitor_window{Duration::seconds(1)};
+  Duration monitor_span{Duration::seconds(10)};
+};
+
+/// Deterministically generate one valid ScenarioSpec from a seed. The
+/// spec's own `seed` field is set to `seed`, so a written spec file alone
+/// reproduces the exact simulation. Every generated spec validates and
+/// round-trips through to_text bit-exactly.
+ScenarioSpec generate_scenario(std::uint64_t seed, const FuzzOptions& opt);
+
+/// One violated invariant.
+struct FuzzViolation {
+  std::string invariant;  ///< name from the list above
+  std::string estimator;  ///< offending tool; empty for spec-level checks
+  std::string detail;     ///< human diagnostic (values, bracket, note)
+};
+
+/// Everything one fuzz case produced.
+struct FuzzResult {
+  std::uint64_t seed{0};
+  ScenarioSpec spec;
+  std::string spec_text;  ///< the replayable text form
+  bool calm{false};       ///< the oracle/bracket invariants applied
+  std::vector<FuzzViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// A spec qualifies for the truth-comparing invariants (oracle-agreement,
+/// monitor-bracket, pristine-outcome) when its ground truth is actually
+/// well-defined and steady — open-loop only (no flows), pristine links,
+/// stationary traffic, tight-hop utilization <= 0.6 — and the estimators'
+/// statistical-multiplexing assumption holds (no on/off bursts, no CBR:
+/// probe/CBR phase aliasing makes trend and gap models overestimate by
+/// design, and the paper's simulations never use CBR cross traffic).
+bool spec_is_calm(const ScenarioSpec& spec);
+
+/// Check all invariants of `spec` with every named estimator. `seed` is
+/// recorded in the result and seeds nothing beyond what `spec.seed`
+/// already pins. Estimators needing a capacity hint get the narrow-link
+/// capacity, mirroring scenario_runner's auto-fill.
+FuzzResult fuzz_check(const core::EstimatorRegistry& reg, const ScenarioSpec& spec,
+                      std::uint64_t seed, const FuzzOptions& opt,
+                      const std::vector<std::string>& estimators);
+
+/// Generate + roundtrip-check + fuzz_check: one full fuzz case. The run
+/// uses the *parsed-back* spec, so what runs is exactly what a replay from
+/// the emitted file would run.
+FuzzResult fuzz_one(const core::EstimatorRegistry& reg, std::uint64_t seed,
+                    const FuzzOptions& opt,
+                    const std::vector<std::string>& estimators);
+
+/// Default estimator rotation for case `seed`: pathload always, plus two
+/// other registry tools cycling with the seed, so a batch covers the whole
+/// catalogue while keeping each case cheap.
+std::vector<std::string> default_fuzz_estimators(const core::EstimatorRegistry& reg,
+                                                 std::uint64_t seed);
+
+/// Seed for case `index` of a batch starting at `base` (splitmix64, so
+/// nearby batch indices give decorrelated generator draws).
+std::uint64_t fuzz_case_seed(std::uint64_t base, int index);
+
+}  // namespace pathload::scenario

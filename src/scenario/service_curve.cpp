@@ -1,0 +1,81 @@
+#include "scenario/service_curve.hpp"
+
+#include <algorithm>
+
+namespace pathload::scenario {
+namespace {
+
+/// Worst-case long-run utilization of a hop's declared traffic: for ramp
+/// hops the worse of the two plateaus (the curve must floor the whole
+/// run), for everything else the long-run utilization.
+double worst_utilization(const TrafficSpec& t) {
+  if (t.model == TrafficModel::kNone) return 0.0;
+  if (t.model == TrafficModel::kRamp) {
+    return std::max(t.utilization, t.end_utilization);
+  }
+  return t.utilization;
+}
+
+/// Burst allowance of one hop's cross traffic, in bytes: how much data the
+/// declared sources can park ahead of a probe beyond their long-run rate.
+/// Renewal sources contribute a packet in flight each, scaled by the
+/// heavy-tail factor alpha/(alpha-1) for Pareto interarrivals; on/off
+/// sources contribute their mean Pareto burst each (same tail scaling on
+/// the burst-size shape).
+DataSize hop_burst(const TrafficSpec& t) {
+  const double sources = static_cast<double>(std::max(t.sources, 1));
+  const double mean_packet = t.mix.mean_bytes();
+  switch (t.model) {
+    case TrafficModel::kNone:
+      return DataSize{};
+    case TrafficModel::kOnOff: {
+      const double tail = t.burst_alpha / (t.burst_alpha - 1.0);
+      return DataSize::kilobytes(t.mean_burst_kb * tail * sources);
+    }
+    case TrafficModel::kPareto: {
+      const double tail = t.pareto_alpha / (t.pareto_alpha - 1.0);
+      return DataSize::bytes(
+          static_cast<std::int64_t>(mean_packet * tail * sources));
+    }
+    case TrafficModel::kPoisson:
+    case TrafficModel::kConstant:
+    case TrafficModel::kRamp:
+      return DataSize::bytes(static_cast<std::int64_t>(mean_packet * sources));
+  }
+  return DataSize{};
+}
+
+}  // namespace
+
+ServiceCurve hop_leftover_curve(const HopDecl& hop) {
+  const double u = worst_utilization(hop.traffic);
+  ServiceCurve curve;
+  curve.rate = hop.capacity * (1.0 - u);
+  // Latency: propagation delay, plus the time the leftover rate needs to
+  // work off the cross-traffic burst allowance, plus one MTU of
+  // store-and-forward serialization at line rate.
+  Duration latency = hop.delay + hop.capacity.transmission_time(DataSize::bytes(1500));
+  if (curve.rate > Rate::zero()) {
+    latency += curve.rate.transmission_time(hop_burst(hop.traffic));
+  }
+  curve.latency = latency;
+  return curve;
+}
+
+ServiceCurveOracle service_curve_oracle(const ScenarioSpec& spec) {
+  spec.validate();
+  ServiceCurveOracle out;
+  bool first = true;
+  DataSize burst{};
+  for (const HopDecl& hop : spec.hops) {
+    const ServiceCurve c = hop_leftover_curve(hop);
+    out.curve = first ? c : out.curve.convolve(c);
+    first = false;
+    burst += hop_burst(hop.traffic);
+  }
+  out.avail_bw = out.curve.rate;
+  out.burst = burst;
+  return out;
+}
+
+}  // namespace pathload::scenario

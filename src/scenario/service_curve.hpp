@@ -1,0 +1,83 @@
+// Min-plus service-curve model of a scenario path.
+//
+// The system-theoretic view of bandwidth estimation (see PAPERS.md, "A
+// System Theoretic Approach to Bandwidth Estimation") models each hop as a
+// rate-latency service curve beta(t) = R * max(0, t - T): after a worst-case
+// latency T, the hop guarantees service at rate R. For a FIFO hop of
+// capacity C carrying open-loop cross traffic of long-run utilization u,
+// the leftover (residual) curve available to probe traffic has
+// R = C * (1 - u), with T collecting propagation delay plus the backlog a
+// burst of cross traffic can park in front of a probe. A path is the
+// min-plus convolution of its hops — for rate-latency curves simply
+// (min of rates, sum of latencies) — so the end-to-end long-run rate is the
+// min over hops of C * (1 - u): exactly ScenarioSpec::avail_bw(), but
+// arrived at from the network-calculus side.
+//
+// The fuzzer (scenario/fuzz.hpp) uses this as its model-predicted oracle:
+// the curve's rate scores every generated scenario's estimates, and the
+// burst allowance bounds how far short-window readings may legitimately
+// swing from the long-run value.
+
+#pragma once
+
+#include "scenario/spec.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pathload::scenario {
+
+/// A rate-latency service curve beta(t) = rate * max(0, t - latency) — the
+/// min-plus building block. The zero-initialized curve (rate 0) is the
+/// curve of a fully saturated hop.
+struct ServiceCurve {
+  Rate rate{};
+  Duration latency{};
+
+  /// Min-plus convolution. For rate-latency curves the closed form is
+  /// (min of rates, sum of latencies): the path is as slow as its slowest
+  /// hop and as laggy as all its hops together.
+  ServiceCurve convolve(const ServiceCurve& other) const {
+    return ServiceCurve{rate < other.rate ? rate : other.rate,
+                        latency + other.latency};
+  }
+
+  /// Service guaranteed over a window: beta(window), as data.
+  DataSize guaranteed(Duration window) const {
+    if (window <= latency) return DataSize{};
+    return rate.bytes_in(window - latency);
+  }
+};
+
+/// Leftover rate-latency curve of one hop under its declared open-loop
+/// cross traffic. Conservative for non-stationary (ramp) hops: uses the
+/// worse of the pre- and post-ramp utilizations, so the curve is a valid
+/// long-run floor across the whole run.
+ServiceCurve hop_leftover_curve(const HopDecl& hop);
+
+/// The model-predicted view of a whole scenario.
+struct ServiceCurveOracle {
+  /// End-to-end leftover curve (min-plus convolution over hops).
+  ServiceCurve curve;
+  /// Long-run model-predicted avail-bw == curve.rate. For stationary specs
+  /// this equals ScenarioSpec::avail_bw(); for ramp specs it is
+  /// min(avail_bw(), final_avail_bw()).
+  Rate avail_bw;
+  /// Total cross-traffic burst allowance along the path: how much data the
+  /// declared sources can dump ahead of a probe beyond their long-run
+  /// rates. Short-window readings may swing from avail_bw by roughly
+  /// burst_allowance() spread over the window.
+  DataSize burst;
+
+  /// Rate slack a measurement window of `window` must be granted around
+  /// avail_bw: the burst allowance spread over the window.
+  Rate tolerance(Duration window) const {
+    return Rate::bps(burst.bits() / window.secs());
+  }
+};
+
+/// Reduce a validated spec to its oracle. Flows (responsive TCP) are not
+/// part of the open-loop model; callers that need a hard truth should only
+/// trust the oracle on flow-free specs (the fuzzer's calm predicate).
+ServiceCurveOracle service_curve_oracle(const ScenarioSpec& spec);
+
+}  // namespace pathload::scenario

@@ -1,0 +1,462 @@
+#include "scenario/shard.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/spec.hpp"
+#include "scenario/sweep_runner.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rendering primitives. Doubles use %.17g: the shortest printf precision
+// guaranteed to round-trip any IEEE double through strtod, which is what
+// makes re-serializing a parsed stream byte-identical.
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string fmt_i64(std::int64_t v) { return std::to_string(v); }
+
+/// Backslash-escape a free-text field so it fits on one `key = value`
+/// line: \\ for backslash, \n and \r for line breaks. Everything else
+/// (commas, quotes, equals signs) passes through — the parser takes the
+/// whole rest of the line as the value.
+std::string escape_note(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string unescape_note(std::string_view s, int line) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      throw SpecError{"cells line " + std::to_string(line) +
+                      ": dangling backslash in escaped text"};
+    }
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default:
+        throw SpecError{"cells line " + std::to_string(line) +
+                        ": unknown escape '\\" + std::string(1, s[i]) + "'"};
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: a strict line cursor. The format is rigid and sequential (every
+// field always present, fixed order), so the parser is a sequence of
+// expect() calls and every error carries the 1-based line number.
+
+struct LineCursor {
+  std::string_view text;
+  std::size_t pos{0};
+  int line{0};
+
+  bool done() const { return pos >= text.size(); }
+
+  /// Next line, stripped of a trailing '\r' (streams may cross platforms).
+  std::string_view next() {
+    if (done()) {
+      throw SpecError{"cells line " + std::to_string(line + 1) +
+                      ": unexpected end of cell stream"};
+    }
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view out = nl == std::string_view::npos
+                               ? text.substr(pos)
+                               : text.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    ++line;
+    if (!out.empty() && out.back() == '\r') out.remove_suffix(1);
+    return out;
+  }
+
+  /// Expect `key = value`; returns the raw value (everything after the
+  /// single space following '=', which may be empty).
+  std::string_view expect(std::string_view key) {
+    const std::string_view l = next();
+    const std::string head = std::string{key} + " =";
+    std::string_view rest;
+    if (l.substr(0, head.size()) == head) rest = l.substr(head.size());
+    if (l.substr(0, head.size()) != head || (!rest.empty() && rest[0] != ' ')) {
+      throw SpecError{"cells line " + std::to_string(line) + ": expected '" +
+                      std::string{key} + " = ...', found '" + std::string{l} + "'"};
+    }
+    return rest.empty() ? rest : rest.substr(1);
+  }
+
+  /// Expect an exact literal line.
+  void expect_literal(std::string_view lit) {
+    const std::string_view l = next();
+    if (l != lit) {
+      throw SpecError{"cells line " + std::to_string(line) + ": expected '" +
+                      std::string{lit} + "', found '" + std::string{l} + "'"};
+    }
+  }
+
+  double expect_double(std::string_view key) {
+    const std::string v{expect(key)};
+    errno = 0;
+    char* end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+      throw SpecError{"cells line " + std::to_string(line) + ": " +
+                      std::string{key} + ": expected a number, found '" + v + "'"};
+    }
+    return out;
+  }
+
+  std::int64_t expect_i64(std::string_view key) {
+    const std::string v{expect(key)};
+    errno = 0;
+    char* end = nullptr;
+    const long long out = std::strtoll(v.c_str(), &end, 10);
+    if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+      throw SpecError{"cells line " + std::to_string(line) + ": " +
+                      std::string{key} + ": expected an integer, found '" + v + "'"};
+    }
+    return static_cast<std::int64_t>(out);
+  }
+
+  std::uint64_t expect_u64(std::string_view key) {
+    const std::string v{expect(key)};
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long out = std::strtoull(v.c_str(), &end, 10);
+    if (v.empty() || v[0] == '-' || end != v.c_str() + v.size() || errno == ERANGE) {
+      throw SpecError{"cells line " + std::to_string(line) + ": " +
+                      std::string{key} +
+                      ": expected an unsigned integer, found '" + v + "'"};
+    }
+    return static_cast<std::uint64_t>(out);
+  }
+
+  bool expect_bool(std::string_view key) {
+    const std::string_view v = expect(key);
+    if (v == "1") return true;
+    if (v == "0") return false;
+    throw SpecError{"cells line " + std::to_string(line) + ": " +
+                    std::string{key} + ": expected 0 or 1, found '" +
+                    std::string{v} + "'"};
+  }
+};
+
+core::EstimateReport::Quantity parse_quantity(std::string_view v, int line) {
+  using Q = core::EstimateReport::Quantity;
+  for (const Q q : {Q::kAvailBw, Q::kAdr, Q::kCapacity, Q::kTcpThroughput}) {
+    if (v == core::EstimateReport::quantity_label(q)) return q;
+  }
+  throw SpecError{"cells line " + std::to_string(line) +
+                  ": unknown quantity '" + std::string{v} + "'"};
+}
+
+core::EstimateReport::Outcome parse_outcome(std::string_view v, int line) {
+  using O = core::EstimateReport::Outcome;
+  for (const O o : {O::kOk, O::kDegraded, O::kTimeout, O::kFailed}) {
+    if (v == core::EstimateReport::outcome_label(o)) return o;
+  }
+  throw SpecError{"cells line " + std::to_string(line) +
+                  ": unknown outcome '" + std::string{v} + "'"};
+}
+
+void append_report(std::string& out, const core::EstimateReport& r,
+                   std::size_t index) {
+  out += "report " + std::to_string(index) + "\n";
+  out += "tool = " + r.estimator + "\n";
+  out += "quantity = " + std::string{core::EstimateReport::quantity_label(r.quantity)} + "\n";
+  out += "outcome = " + std::string{core::EstimateReport::outcome_label(r.outcome)} + "\n";
+  out += "note = " + escape_note(r.outcome_note) + "\n";
+  out += "packets_lost = " + fmt_i64(r.packets_lost) + "\n";
+  out += "valid = " + std::string{r.valid ? "1" : "0"} + "\n";
+  out += "range = " + std::string{r.is_range ? "1" : "0"} + "\n";
+  out += "low_bps = " + fmt_double(r.low.bits_per_sec()) + "\n";
+  out += "high_bps = " + fmt_double(r.high.bits_per_sec()) + "\n";
+  out += "capacity_bps = " +
+         (r.capacity ? fmt_double(r.capacity->bits_per_sec()) : std::string{"none"}) + "\n";
+  out += "streams = " + fmt_i64(r.streams_sent) + "\n";
+  out += "packets = " + fmt_i64(r.packets_sent) + "\n";
+  out += "bytes = " + fmt_i64(r.bytes_sent.byte_count()) + "\n";
+  out += "elapsed_ns = " + fmt_i64(r.elapsed.nanos()) + "\n";
+  out += "iterations = " + std::to_string(r.iterations.size()) + "\n";
+  for (const auto& it : r.iterations) {
+    // offered and measured first (they never contain spaces), then the
+    // note as the rest of the line.
+    out += "iteration = " + fmt_double(it.offered_mbps) + " " +
+           fmt_double(it.measured_mbps) + " " + escape_note(it.note) + "\n";
+  }
+  out += "end report\n";
+}
+
+core::EstimateReport parse_report(LineCursor& in, std::size_t index) {
+  in.expect_literal("report " + std::to_string(index));
+  core::EstimateReport r;
+  r.estimator = std::string{in.expect("tool")};
+  r.quantity = parse_quantity(in.expect("quantity"), in.line);
+  r.outcome = parse_outcome(in.expect("outcome"), in.line);
+  r.outcome_note = unescape_note(in.expect("note"), in.line);
+  r.packets_lost = in.expect_i64("packets_lost");
+  r.valid = in.expect_bool("valid");
+  r.is_range = in.expect_bool("range");
+  r.low = Rate::bps(in.expect_double("low_bps"));
+  r.high = Rate::bps(in.expect_double("high_bps"));
+  if (const std::string_view cap = in.expect("capacity_bps"); cap != "none") {
+    errno = 0;
+    const std::string v{cap};
+    char* end = nullptr;
+    const double bps = std::strtod(v.c_str(), &end);
+    if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+      throw SpecError{"cells line " + std::to_string(in.line) +
+                      ": capacity_bps: expected a number or 'none', found '" + v + "'"};
+    }
+    r.capacity = Rate::bps(bps);
+  }
+  r.streams_sent = in.expect_i64("streams");
+  r.packets_sent = in.expect_i64("packets");
+  r.bytes_sent = DataSize::bytes(in.expect_i64("bytes"));
+  r.elapsed = Duration::nanoseconds(in.expect_i64("elapsed_ns"));
+  const std::int64_t n_iter = in.expect_i64("iterations");
+  if (n_iter < 0) {
+    throw SpecError{"cells line " + std::to_string(in.line) +
+                    ": iterations: negative count"};
+  }
+  r.iterations.reserve(static_cast<std::size_t>(n_iter));
+  for (std::int64_t i = 0; i < n_iter; ++i) {
+    const std::string v{in.expect("iteration")};
+    core::EstimateReport::Iteration it;
+    char* end = nullptr;
+    errno = 0;
+    it.offered_mbps = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != ' ' || errno == ERANGE) {
+      throw SpecError{"cells line " + std::to_string(in.line) +
+                      ": iteration: expected '<offered> <measured> <note>'"};
+    }
+    char* end2 = nullptr;
+    it.measured_mbps = std::strtod(end + 1, &end2);
+    if (end2 == end + 1 || (*end2 != ' ' && *end2 != '\0') || errno == ERANGE) {
+      throw SpecError{"cells line " + std::to_string(in.line) +
+                      ": iteration: expected '<offered> <measured> <note>'"};
+    }
+    if (*end2 == ' ') {
+      it.note = unescape_note(
+          std::string_view{v}.substr(static_cast<std::size_t>(end2 + 1 - v.c_str())),
+          in.line);
+    }
+    r.iterations.push_back(std::move(it));
+  }
+  in.expect_literal("end report");
+  return r;
+}
+
+MatrixCell parse_cell_body(LineCursor& in, std::size_t* index_out) {
+  const std::string_view head = in.next();
+  constexpr std::string_view kPrefix = "cell ";
+  if (head.substr(0, kPrefix.size()) != kPrefix) {
+    throw SpecError{"cells line " + std::to_string(in.line) +
+                    ": expected 'cell <index>', found '" + std::string{head} + "'"};
+  }
+  const std::string idx{head.substr(kPrefix.size())};
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long index = std::strtoull(idx.c_str(), &end, 10);
+  if (idx.empty() || end != idx.c_str() + idx.size() || errno == ERANGE) {
+    throw SpecError{"cells line " + std::to_string(in.line) +
+                    ": bad cell index '" + idx + "'"};
+  }
+  *index_out = static_cast<std::size_t>(index);
+
+  MatrixCell cell;
+  cell.estimator = std::string{in.expect("estimator")};
+  cell.scenario = std::string{in.expect("scenario")};
+  cell.load = in.expect_double("load");
+  cell.truth = Rate::bps(in.expect_double("truth_bps"));
+  cell.seed0 = in.expect_u64("seed0");
+  const std::int64_t n_reports = in.expect_i64("reports");
+  if (n_reports < 0) {
+    throw SpecError{"cells line " + std::to_string(in.line) +
+                    ": reports: negative count"};
+  }
+  cell.reports.reserve(static_cast<std::size_t>(n_reports));
+  for (std::int64_t i = 0; i < n_reports; ++i) {
+    cell.reports.push_back(parse_report(in, static_cast<std::size_t>(i)));
+  }
+  in.expect_literal("end cell");
+  return cell;
+}
+
+}  // namespace
+
+std::string cell_to_text(const MatrixCell& cell, std::size_t index) {
+  std::string out;
+  out += "cell " + std::to_string(index) + "\n";
+  out += "estimator = " + cell.estimator + "\n";
+  out += "scenario = " + cell.scenario + "\n";
+  out += "load = " + fmt_double(cell.load) + "\n";
+  out += "truth_bps = " + fmt_double(cell.truth.bits_per_sec()) + "\n";
+  out += "seed0 = " + std::to_string(cell.seed0) + "\n";
+  out += "reports = " + std::to_string(cell.reports.size()) + "\n";
+  for (std::size_t i = 0; i < cell.reports.size(); ++i) {
+    append_report(out, cell.reports[i], i);
+  }
+  out += "end cell\n";
+  return out;
+}
+
+std::string cells_to_text(const std::vector<MatrixCell>& cells) {
+  std::string out = "cells total=" + std::to_string(cells.size()) + " version=1\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) out += cell_to_text(cells[i], i);
+  return out;
+}
+
+ParsedCells parse_cells(std::string_view text) {
+  LineCursor in{text};
+  const std::string_view head = in.next();
+  constexpr std::string_view kPrefix = "cells total=";
+  constexpr std::string_view kSuffix = " version=1";
+  if (head.substr(0, kPrefix.size()) != kPrefix ||
+      head.size() < kPrefix.size() + kSuffix.size() ||
+      head.substr(head.size() - kSuffix.size()) != kSuffix) {
+    throw SpecError{"cells line 1: expected 'cells total=<n> version=1', found '" +
+                    std::string{head} + "'"};
+  }
+  const std::string total_s{head.substr(
+      kPrefix.size(), head.size() - kPrefix.size() - kSuffix.size())};
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long total = std::strtoull(total_s.c_str(), &end, 10);
+  if (total_s.empty() || end != total_s.c_str() + total_s.size() || errno == ERANGE) {
+    throw SpecError{"cells line 1: bad total '" + total_s + "'"};
+  }
+
+  ParsedCells out;
+  out.total = static_cast<std::size_t>(total);
+  while (!in.done()) {
+    // Tolerate trailing blank lines (e.g. shell-appended newlines).
+    if (in.text.substr(in.pos).find_first_not_of("\r\n") == std::string_view::npos) break;
+    std::size_t index = 0;
+    MatrixCell cell = parse_cell_body(in, &index);
+    if (index >= out.total) {
+      throw SpecError{"cells line " + std::to_string(in.line) + ": cell index " +
+                      std::to_string(index) + " >= declared total " +
+                      std::to_string(out.total)};
+    }
+    // Every emitter writes indices strictly increasing; enforcing it here
+    // catches a concatenation of two streams (duplicates) at parse time.
+    if (!out.cells.empty() && index <= out.cells.back().first) {
+      throw SpecError{"cells line " + std::to_string(in.line) + ": cell index " +
+                      std::to_string(index) + " out of order after " +
+                      std::to_string(out.cells.back().first)};
+    }
+    out.cells.emplace_back(index, std::move(cell));
+  }
+  return out;
+}
+
+bool shard_owns_cell(std::size_t index, int shard_index, int shard_count) {
+  return index % static_cast<std::size_t>(shard_count) ==
+         static_cast<std::size_t>(shard_index);
+}
+
+void validate_shard(int shard_index, int shard_count) {
+  if (shard_count < 1) {
+    throw SpecError{"shard: count must be >= 1, got " + std::to_string(shard_count)};
+  }
+  if (shard_index < 0 || shard_index >= shard_count) {
+    throw SpecError{"shard: index must be in [0, " + std::to_string(shard_count) +
+                    "), got " + std::to_string(shard_index)};
+  }
+}
+
+std::string run_matrix_shard(const std::vector<MatrixEstimator>& estimators,
+                             const std::vector<ScenarioSpec>& scenarios,
+                             const std::vector<double>& loads, int runs,
+                             std::uint64_t seed0, int shard_index,
+                             int shard_count, SweepRunner& runner) {
+  validate_shard(shard_index, shard_count);
+  const std::vector<MatrixCellPlan> all =
+      plan_matrix(estimators, scenarios, loads, seed0);
+  std::vector<MatrixCellPlan> owned;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!shard_owns_cell(i, shard_index, shard_count)) continue;
+    owned.push_back(all[i]);
+    indices.push_back(i);
+  }
+  const std::vector<MatrixCell> cells = run_planned_cells(owned, runs, runner);
+  std::string out = "cells total=" + std::to_string(all.size()) + " version=1\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out += cell_to_text(cells[i], indices[i]);
+  }
+  return out;
+}
+
+std::vector<MatrixCell> merge_cell_texts(const std::vector<std::string>& shard_texts) {
+  if (shard_texts.empty()) throw SpecError{"merge: no cell streams given"};
+  std::size_t total = 0;
+  std::vector<std::pair<std::size_t, MatrixCell>> gathered;
+  for (std::size_t s = 0; s < shard_texts.size(); ++s) {
+    ParsedCells parsed = parse_cells(shard_texts[s]);
+    if (s == 0) {
+      total = parsed.total;
+    } else if (parsed.total != total) {
+      throw SpecError{"merge: stream " + std::to_string(s) + " declares total " +
+                      std::to_string(parsed.total) + ", expected " +
+                      std::to_string(total)};
+    }
+    for (auto& [index, cell] : parsed.cells) {
+      gathered.emplace_back(index, std::move(cell));
+    }
+  }
+  std::vector<MatrixCell> cells(total);
+  std::vector<bool> seen(total, false);
+  for (auto& [index, cell] : gathered) {
+    if (seen[index]) {
+      throw SpecError{"merge: cell index " + std::to_string(index) +
+                      " appears in more than one stream"};
+    }
+    seen[index] = true;
+    cells[index] = std::move(cell);
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!seen[i]) {
+      throw SpecError{"merge: cell index " + std::to_string(i) +
+                      " is missing from every stream"};
+    }
+  }
+  return cells;
+}
+
+std::vector<MatrixCell> run_matrix_sharded(int shard_count, const ShardWorker& worker) {
+  validate_shard(0, shard_count);
+  std::vector<std::string> texts;
+  texts.reserve(static_cast<std::size_t>(shard_count));
+  for (int k = 0; k < shard_count; ++k) {
+    texts.push_back(worker(k, shard_count));
+  }
+  return merge_cell_texts(texts);
+}
+
+}  // namespace pathload::scenario

@@ -1,0 +1,91 @@
+// Sharded matrix runs: partition run_matrix's cells across worker
+// processes and merge their outputs back into the exact in-process result.
+//
+// The contract that makes this safe is determinism: plan_matrix enumerates
+// cells (and derives their seeds) before anything runs, every cell's runs
+// are self-contained simulations, and cell_to_text round-trips every field
+// bit-exactly (%.17g for doubles, raw int64 for counters). A shard worker
+// therefore only needs the cell *indices* it owns — shard k of N owns
+// cells {i : i % N == k} of the canonical enumeration — and the merged
+// output is byte-identical to run_matrix whatever N is. The test
+// tests/scenario/shard_matrix_test.cpp pins this for N in {1, 2, 4}, and
+// tools/shard_merge_check.sh pins it at the process level through
+// `scenario_runner --shard i/N --emit-cells` + `--merge-cells`.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+
+namespace pathload::scenario {
+
+// ---------------------------------------------------------------------------
+// Cell serialization: a stable line-based text form of MatrixCell.
+
+/// Serialize one cell under its global matrix index. Doubles render with
+/// %.17g (strtod round-trips them bit-exactly), int64 counters render raw,
+/// and free-text notes are backslash-escaped (\\, \n, \r), so
+/// parse_cells(cell_to_text(c)) reproduces `c` field-for-field and
+/// re-serializing is byte-identical.
+std::string cell_to_text(const MatrixCell& cell, std::size_t index);
+
+/// Serialize a full matrix: a `cells total=N version=1` header followed by
+/// each cell under its position as the global index. This is what
+/// `scenario_runner --emit-cells` prints.
+std::string cells_to_text(const std::vector<MatrixCell>& cells);
+
+/// One parsed cell stream: the declared matrix-wide total plus the cells
+/// present in this stream (a shard emits only the indices it owns).
+struct ParsedCells {
+  std::size_t total{0};
+  std::vector<std::pair<std::size_t, MatrixCell>> cells;
+};
+
+/// Parse a cell stream. Throws SpecError naming the 1-based line on any
+/// malformed header, field, or out-of-order/duplicate index.
+ParsedCells parse_cells(std::string_view text);
+
+// ---------------------------------------------------------------------------
+// Shard partition and merge.
+
+/// Ownership rule: shard `shard_index` of `shard_count` owns cell `index`
+/// iff index % shard_count == shard_index. Round-robin (rather than block)
+/// assignment keeps shard workloads balanced when consecutive cells share
+/// an expensive estimator.
+bool shard_owns_cell(std::size_t index, int shard_index, int shard_count);
+
+/// Validate a shard request; throws SpecError on shard_count < 1 or
+/// shard_index outside [0, shard_count).
+void validate_shard(int shard_index, int shard_count);
+
+/// Run one shard of the matrix: enumerate the canonical plan, keep the
+/// owned cells, run them on `runner`, and serialize them under their
+/// *global* indices with the matrix-wide total in the header.
+std::string run_matrix_shard(const std::vector<MatrixEstimator>& estimators,
+                             const std::vector<ScenarioSpec>& scenarios,
+                             const std::vector<double>& loads, int runs,
+                             std::uint64_t seed0, int shard_index,
+                             int shard_count, SweepRunner& runner);
+
+/// Merge shard outputs back into index order. Validates the streams agree
+/// on the total and that together they cover every index exactly once;
+/// throws SpecError naming any missing or duplicated cell index.
+std::vector<MatrixCell> merge_cell_texts(const std::vector<std::string>& shard_texts);
+
+/// A shard worker: given (shard_index, shard_count), produce that shard's
+/// serialized cell stream. The in-process worker wraps run_matrix_shard;
+/// the process-level equivalent is `scenario_runner --shard i/N
+/// --emit-cells` with tools/shard_merge_check.sh doing the merge.
+using ShardWorker = std::function<std::string(int shard_index, int shard_count)>;
+
+/// Run `worker` for every shard in order and merge. With a worker that
+/// wraps run_matrix_shard on the same inputs, the result is byte-identical
+/// (through cells_to_text) to run_matrix for any shard_count >= 1.
+std::vector<MatrixCell> run_matrix_sharded(int shard_count, const ShardWorker& worker);
+
+}  // namespace pathload::scenario

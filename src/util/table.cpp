@@ -44,11 +44,25 @@ std::string Table::str() const {
   return out;
 }
 
+std::string Table::csv_field(const std::string& cell) {
+  // RFC 4180: only fields containing a comma, a double quote, or a line
+  // break need quoting (embedded quotes doubled); everything else passes
+  // through untouched, so numeric tables render exactly as before.
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 std::string Table::to_csv() const {
   auto render = [](const std::vector<std::string>& row) {
     std::string out;
     for (std::size_t c = 0; c < row.size(); ++c) {
-      out += row[c];
+      out += csv_field(row[c]);
       if (c + 1 < row.size()) out += ',';
     }
     out += '\n';

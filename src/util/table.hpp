@@ -21,6 +21,12 @@ class Table {
   /// Convenience: formats doubles with the given precision.
   static std::string num(double v, int precision = 2);
 
+  /// RFC 4180 field encoding: cells containing commas, quotes, or line
+  /// breaks come back quoted (embedded quotes doubled); plain cells pass
+  /// through unchanged. to_csv() applies this to every cell, so free-text
+  /// columns (outcome notes, descriptions) cannot corrupt the row format.
+  static std::string csv_field(const std::string& cell);
+
   /// Render with aligned columns.
   std::string str() const;
   /// Render as CSV.

@@ -1,0 +1,85 @@
+// Edge-case tests for KvOverrides (core/estimator.hpp): duplicate keys,
+// empty values, comment/comma forms, and the universal deadline_s key's
+// positivity contract across every registry estimator.
+
+#include <gtest/gtest.h>
+
+#include "baselines/estimators.hpp"
+#include "core/estimator.hpp"
+
+namespace pathload::core {
+namespace {
+
+const EstimatorRegistry& reg() { return baselines::builtin_estimators(); }
+
+TEST(KvOverrides, DuplicateKeysAreRejectedWithTheLine) {
+  try {
+    KvOverrides::parse("pairs = 10\npairs = 20\n");
+    FAIL() << "expected EstimatorError";
+  } catch (const EstimatorError& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string{e.what()}.find("duplicate key 'pairs'"), std::string::npos)
+        << e.what();
+  }
+  // Also across the comma form on one line.
+  EXPECT_THROW(KvOverrides::parse("pairs=10,pairs=20"), EstimatorError);
+  // And mixing the two spellings of the same key is still a duplicate.
+  EXPECT_THROW(KvOverrides::parse("pairs=10\npairs = 20"), EstimatorError);
+}
+
+TEST(KvOverrides, EmptyValuesParseButFailAnyTypedRead) {
+  // `key =` is syntactically a kv line (the value is empty); the error
+  // surfaces at the typed getter with the line number, mirroring a
+  // non-numeric value.
+  const KvOverrides kv = KvOverrides::parse("pairs =\n");
+  EXPECT_TRUE(kv.has("pairs"));
+  EXPECT_THROW(kv.num("pairs", 1.0), EstimatorError);
+  EXPECT_THROW(kv.integer("pairs", 1), EstimatorError);
+  EXPECT_THROW(kv.mbps("pairs", Rate::mbps(1)), EstimatorError);
+  EXPECT_THROW(kv.seconds("pairs", Duration::seconds(1)), EstimatorError);
+  // An empty key is rejected at parse.
+  EXPECT_THROW(KvOverrides::parse("= 3\n"), EstimatorError);
+}
+
+TEST(KvOverrides, CommentsCommasAndBlanksAreTolerated) {
+  const KvOverrides kv =
+      KvOverrides::parse("# tuning\npairs = 10, packet_size = 800\n\n");
+  EXPECT_EQ(kv.integer("pairs", 0), 10);
+  EXPECT_EQ(kv.integer("packet_size", 0), 800);
+  EXPECT_FALSE(kv.has("tuning"));
+  EXPECT_TRUE(KvOverrides::parse("# only a comment\n").empty());
+}
+
+TEST(KvOverrides, NonPositiveDeadlineIsRejectedByEveryEstimator) {
+  // deadline_s is the universal key (applied by apply_common_overrides for
+  // every factory): zero and negative values must fail identically for the
+  // whole catalogue, and a positive one must configure cleanly.
+  ASSERT_EQ(reg().size(), 9u);
+  for (const auto& entry : reg().entries()) {
+    EXPECT_THROW((void)reg().make(entry.name, "deadline_s = 0"), EstimatorError)
+        << entry.name;
+    EXPECT_THROW((void)reg().make(entry.name, "deadline_s = -3"), EstimatorError)
+        << entry.name;
+    const auto est = reg().make(entry.name, "deadline_s = 45");
+    ASSERT_NE(est, nullptr) << entry.name;
+    ASSERT_TRUE(est->run_deadline().has_value()) << entry.name;
+    EXPECT_EQ(est->run_deadline()->nanos(), Duration::seconds(45).nanos())
+        << entry.name;
+  }
+}
+
+TEST(KvOverrides, UnknownKeysNameTheEstimatorAndTheLegalKeys) {
+  for (const auto& entry : reg().entries()) {
+    try {
+      (void)reg().make(entry.name, "definitely_not_a_key = 1");
+      FAIL() << entry.name << " accepted an unknown key";
+    } catch (const EstimatorError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(entry.name), std::string::npos) << msg;
+      EXPECT_NE(msg.find("definitely_not_a_key"), std::string::npos) << msg;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pathload::core

@@ -1,0 +1,157 @@
+// Tests for the scenario fuzzer (scenario/fuzz.hpp): the generator always
+// produces valid specs that round-trip bit-exactly, case seeds are
+// decorrelated, the calm predicate gates the truth-comparing invariants
+// correctly, and a small batch at the CI base seed holds every invariant.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/estimators.hpp"
+#include "scenario/fuzz.hpp"
+#include "scenario/spec.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+const core::EstimatorRegistry& reg() { return baselines::builtin_estimators(); }
+
+ScenarioSpec calm_base() {
+  ScenarioSpec spec;
+  spec.name = "calm";
+  spec.seed = 7;
+  HopDecl hop;
+  hop.capacity = Rate::mbps(10);
+  hop.delay = Duration::milliseconds(5);
+  hop.traffic.model = TrafficModel::kPoisson;
+  hop.traffic.utilization = 0.3;
+  spec.hops.push_back(hop);
+  spec.validate();
+  return spec;
+}
+
+TEST(GenerateScenario, ValidRoundTrippingAndSeedCarrying) {
+  const FuzzOptions opt;
+  for (int i = 0; i < 150; ++i) {
+    const std::uint64_t seed = fuzz_case_seed(42, i);
+    const ScenarioSpec spec = generate_scenario(seed, opt);
+    EXPECT_EQ(spec.seed, seed);  // the spec file alone reproduces the case
+    EXPECT_NO_THROW(spec.validate());
+    const std::string text = spec.to_text();
+    const ScenarioSpec parsed = ScenarioSpec::parse(text);
+    EXPECT_EQ(parsed.to_text(), text) << "seed " << seed;
+  }
+}
+
+TEST(GenerateScenario, DeterministicPerSeedAndSensitiveToSeed) {
+  const FuzzOptions opt;
+  EXPECT_EQ(generate_scenario(123, opt).to_text(),
+            generate_scenario(123, opt).to_text());
+  // Not every pair of seeds differs, but over a handful at least one must.
+  std::set<std::string> texts;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    texts.insert(generate_scenario(fuzz_case_seed(9, static_cast<int>(s)), opt).to_text());
+  }
+  EXPECT_GT(texts.size(), 1u);
+}
+
+TEST(GenerateScenario, OptionsGateFlowsImpairmentsAndPathLength) {
+  FuzzOptions opt;
+  opt.allow_flows = false;
+  opt.allow_impairments = false;
+  opt.max_hops = 1;
+  for (int i = 0; i < 80; ++i) {
+    const ScenarioSpec spec = generate_scenario(fuzz_case_seed(5, i), opt);
+    EXPECT_FALSE(spec.has_flows());
+    EXPECT_FALSE(spec.impaired());
+    EXPECT_EQ(spec.hops.size(), 1u);
+  }
+}
+
+TEST(FuzzCaseSeed, DecorrelatedAndPure) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(fuzz_case_seed(90210, i));
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(fuzz_case_seed(1, 3), fuzz_case_seed(1, 3));
+  EXPECT_NE(fuzz_case_seed(1, 3), fuzz_case_seed(2, 3));
+}
+
+TEST(SpecIsCalm, GatesOnFlowsImpairmentsModelsAndLoad) {
+  EXPECT_TRUE(spec_is_calm(calm_base()));
+  {
+    ScenarioSpec s = calm_base();
+    FlowSpec flow;
+    flow.first_hop = 0;
+    flow.last_hop = 0;
+    s.flows.push_back(flow);
+    EXPECT_FALSE(spec_is_calm(s));
+  }
+  {
+    ScenarioSpec s = calm_base();
+    ImpairSpec imp;
+    imp.hop = 0;
+    imp.loss = 0.01;
+    s.impairments.push_back(imp);
+    EXPECT_FALSE(spec_is_calm(s));
+  }
+  {
+    ScenarioSpec s = calm_base();
+    s.hops[0].traffic.model = TrafficModel::kRamp;
+    s.hops[0].traffic.end_utilization = 0.5;
+    s.hops[0].traffic.ramp_end_s = 2.0;
+    EXPECT_FALSE(spec_is_calm(s));  // nonstationary
+  }
+  {
+    ScenarioSpec s = calm_base();
+    s.hops[0].traffic.model = TrafficModel::kOnOff;
+    s.hops[0].traffic.peak_utilization = 0.5;
+    EXPECT_FALSE(spec_is_calm(s));  // bursty short-window truth
+  }
+  {
+    ScenarioSpec s = calm_base();
+    s.hops[0].traffic.model = TrafficModel::kConstant;
+    EXPECT_FALSE(spec_is_calm(s));  // CBR breaks the multiplexing assumption
+  }
+  {
+    ScenarioSpec s = calm_base();
+    s.hops[0].traffic.utilization = 0.7;
+    EXPECT_FALSE(spec_is_calm(s));  // too loaded for a steady bracket
+  }
+}
+
+TEST(DefaultFuzzEstimators, PathloadPlusRotatingRegistryTools) {
+  std::set<std::string> covered;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const std::vector<std::string> names = default_fuzz_estimators(reg(), seed);
+    ASSERT_GE(names.size(), 2u);
+    ASSERT_LE(names.size(), 3u);
+    EXPECT_EQ(names[0], "pathload");
+    for (const std::string& n : names) {
+      EXPECT_NE(reg().find(n), nullptr) << n;
+      covered.insert(n);
+    }
+  }
+  // The rotation reaches the whole catalogue over a modest seed range.
+  EXPECT_EQ(covered.size(), reg().size());
+}
+
+TEST(FuzzOne, SmallBatchAtTheCIBaseSeedHoldsEveryInvariant) {
+  const FuzzOptions opt;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t seed = fuzz_case_seed(90210, i);
+    const FuzzResult r =
+        fuzz_one(reg(), seed, opt, default_fuzz_estimators(reg(), seed));
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ": "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations[0].invariant + ": " +
+                                      r.violations[0].detail);
+    EXPECT_EQ(r.seed, seed);
+    EXPECT_FALSE(r.spec_text.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pathload::scenario

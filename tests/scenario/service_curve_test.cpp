@@ -1,0 +1,92 @@
+// Tests for the min-plus service-curve model (scenario/service_curve.hpp):
+// convolution algebra, per-hop leftover curves, and agreement of the
+// oracle's long-run rate with ScenarioSpec::avail_bw on stationary specs.
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+#include "scenario/service_curve.hpp"
+#include "scenario/spec.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+TEST(ServiceCurve, ConvolutionIsMinRateSumLatency) {
+  const ServiceCurve a{Rate::mbps(10), Duration::milliseconds(5)};
+  const ServiceCurve b{Rate::mbps(4), Duration::milliseconds(2)};
+  const ServiceCurve c = a.convolve(b);
+  EXPECT_EQ(c.rate.bits_per_sec(), Rate::mbps(4).bits_per_sec());
+  EXPECT_EQ(c.latency.nanos(), Duration::milliseconds(7).nanos());
+  // Commutative and associative for rate-latency curves.
+  const ServiceCurve d = b.convolve(a);
+  EXPECT_EQ(c.rate.bits_per_sec(), d.rate.bits_per_sec());
+  EXPECT_EQ(c.latency.nanos(), d.latency.nanos());
+}
+
+TEST(ServiceCurve, GuaranteedServiceIsZeroInsideTheLatency) {
+  const ServiceCurve c{Rate::mbps(8), Duration::milliseconds(10)};
+  EXPECT_EQ(c.guaranteed(Duration::milliseconds(10)).byte_count(), 0);
+  // After the latency, service accrues at the curve's rate.
+  const DataSize d = c.guaranteed(Duration::milliseconds(1010));
+  EXPECT_EQ(d.byte_count(), Rate::mbps(8).bytes_in(Duration::seconds(1)).byte_count());
+}
+
+TEST(HopLeftoverCurve, RateIsCapacityTimesIdleFraction) {
+  HopDecl hop;
+  hop.capacity = Rate::mbps(20);
+  hop.delay = Duration::milliseconds(5);
+  hop.traffic.model = TrafficModel::kPoisson;
+  hop.traffic.utilization = 0.4;
+  const ServiceCurve c = hop_leftover_curve(hop);
+  EXPECT_DOUBLE_EQ(c.rate.mbits_per_sec(), 12.0);
+  EXPECT_GT(c.latency, hop.delay);  // plus serialization and burst drain
+}
+
+TEST(HopLeftoverCurve, RampHopsUseTheWorsePlateau) {
+  HopDecl hop;
+  hop.capacity = Rate::mbps(10);
+  hop.traffic.model = TrafficModel::kRamp;
+  hop.traffic.utilization = 0.2;
+  hop.traffic.end_utilization = 0.6;
+  hop.traffic.ramp_end_s = 2.0;
+  EXPECT_DOUBLE_EQ(hop_leftover_curve(hop).rate.mbits_per_sec(), 4.0);
+}
+
+TEST(ServiceCurveOracle, MatchesConfiguredAvailBwOnStationarySpecs) {
+  // Every stationary builtin preset: the network-calculus route to the
+  // long-run rate must land exactly on the declarative one.
+  for (const ScenarioSpec& spec : Registry::builtin().entries()) {
+    if (spec.nonstationary()) continue;
+    const ServiceCurveOracle oracle = service_curve_oracle(spec);
+    EXPECT_NEAR(oracle.avail_bw.bits_per_sec(), spec.avail_bw().bits_per_sec(),
+                1e-3 * spec.avail_bw().bits_per_sec() + 1.0)
+        << spec.name;
+  }
+}
+
+TEST(ServiceCurveOracle, BurstAllowanceGrowsWithSourcesAndHeavyTails) {
+  ScenarioSpec spec;
+  spec.name = "burst";
+  HopDecl hop;
+  hop.capacity = Rate::mbps(10);
+  hop.traffic.model = TrafficModel::kPareto;
+  hop.traffic.utilization = 0.3;
+  hop.traffic.sources = 1;
+  hop.traffic.pareto_alpha = 2.5;
+  spec.hops.push_back(hop);
+  spec.validate();
+  const DataSize light = service_curve_oracle(spec).burst;
+
+  spec.hops[0].traffic.sources = 10;
+  spec.hops[0].traffic.pareto_alpha = 1.5;
+  const DataSize heavy = service_curve_oracle(spec).burst;
+  EXPECT_GT(heavy.byte_count(), light.byte_count());
+  // The tolerance spreads the burst over the window: longer window, less
+  // slack demanded.
+  const ServiceCurveOracle o = service_curve_oracle(spec);
+  EXPECT_GT(o.tolerance(Duration::seconds(1)).bits_per_sec(),
+            o.tolerance(Duration::seconds(10)).bits_per_sec());
+}
+
+}  // namespace
+}  // namespace pathload::scenario

@@ -1,0 +1,209 @@
+// Tests for the sharded comparison matrix (scenario/shard.hpp): the cell
+// text form round-trips bit-exactly, shard partition/merge reproduces the
+// in-process run_matrix byte-for-byte for shard counts {1, 2, 4}, and the
+// merge validates coverage loudly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "baselines/estimators.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/shard.hpp"
+#include "scenario/sweep_runner.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+const core::EstimatorRegistry& reg() { return baselines::builtin_estimators(); }
+
+ScenarioSpec quick_paper_path() {
+  ScenarioSpec spec = Registry::builtin().at("paper-path");
+  spec.warmup = Duration::milliseconds(300);
+  return spec;
+}
+
+std::vector<MatrixEstimator> small_estimators() {
+  std::vector<MatrixEstimator> ests;
+  ests.push_back(
+      MatrixEstimator::from_registry(reg(), "cprobe", "trains=2, train_length=30"));
+  ests.push_back(MatrixEstimator::from_registry(reg(), "pktpair", "pairs=10"));
+  ests.push_back(MatrixEstimator::from_registry(
+      reg(), "topp", "min_rate_mbps=2, max_rate_mbps=14, packets_per_train=20"));
+  return ests;
+}
+
+// ---------------------------------------------------------------- partition
+
+TEST(ShardPartition, RoundRobinOwnershipCoversEveryIndexOnce) {
+  for (int count : {1, 2, 3, 4, 7}) {
+    for (std::size_t index = 0; index < 40; ++index) {
+      int owners = 0;
+      for (int shard = 0; shard < count; ++shard) {
+        owners += shard_owns_cell(index, shard, count) ? 1 : 0;
+      }
+      EXPECT_EQ(owners, 1) << "index " << index << " shards " << count;
+    }
+  }
+}
+
+TEST(ShardPartition, ValidateRejectsBadRequests) {
+  EXPECT_THROW(validate_shard(0, 0), SpecError);
+  EXPECT_THROW(validate_shard(-1, 4), SpecError);
+  EXPECT_THROW(validate_shard(4, 4), SpecError);
+  EXPECT_NO_THROW(validate_shard(0, 1));
+  EXPECT_NO_THROW(validate_shard(3, 4));
+}
+
+// ------------------------------------------------------------ serialization
+
+TEST(CellText, RoundTripsEveryFieldIncludingAwkwardNotes) {
+  MatrixCell cell;
+  cell.estimator = "pktpair";
+  cell.scenario = "paper-path";
+  cell.load = 0.30000000000000004;  // not exactly representable in decimal
+  cell.truth = Rate::bps(7000000) * (1.0 / 3.0);
+  cell.seed0 = 18446744073709551615ull;  // max u64 survives
+  core::EstimateReport r;
+  r.estimator = "pktpair";
+  r.quantity = core::EstimateReport::Quantity::kCapacity;
+  r.outcome = core::EstimateReport::Outcome::kDegraded;
+  r.outcome_note = "14% loss, note with \"quotes\", commas,\nnewline and \\slash\r";
+  r.packets_lost = 7;
+  r.valid = true;
+  r.is_range = false;
+  r.low = r.high = Rate::mbps(9.600000000000001);
+  r.capacity = Rate::mbps(10);
+  r.streams_sent = 3;
+  r.packets_sent = 60;
+  r.bytes_sent = DataSize::bytes(12345);
+  r.elapsed = Duration::nanoseconds(987654321);
+  r.iterations.push_back({4.25, 9.33, "pair 1, dispersion \"tight\"\n"});
+  cell.reports.push_back(r);
+  core::EstimateReport invalid;
+  invalid.estimator = "pktpair";
+  invalid.outcome = core::EstimateReport::Outcome::kFailed;
+  invalid.outcome_note = "error: channel died";
+  cell.reports.push_back(invalid);
+
+  const std::string text = cell_to_text(cell, 5);
+  const ParsedCells parsed = parse_cells("cells total=6 version=1\n" + text);
+  ASSERT_EQ(parsed.total, 6u);
+  ASSERT_EQ(parsed.cells.size(), 1u);
+  EXPECT_EQ(parsed.cells[0].first, 5u);
+  const MatrixCell& back = parsed.cells[0].second;
+  EXPECT_EQ(back.estimator, cell.estimator);
+  EXPECT_EQ(back.scenario, cell.scenario);
+  EXPECT_EQ(back.load, cell.load);
+  EXPECT_EQ(back.truth.bits_per_sec(), cell.truth.bits_per_sec());
+  EXPECT_EQ(back.seed0, cell.seed0);
+  ASSERT_EQ(back.reports.size(), 2u);
+  EXPECT_EQ(back.reports[0].outcome_note, r.outcome_note);
+  EXPECT_EQ(back.reports[0].quantity, r.quantity);
+  EXPECT_EQ(back.reports[0].outcome, r.outcome);
+  EXPECT_EQ(back.reports[0].low.bits_per_sec(), r.low.bits_per_sec());
+  ASSERT_TRUE(back.reports[0].capacity.has_value());
+  EXPECT_EQ(back.reports[0].capacity->bits_per_sec(), r.capacity->bits_per_sec());
+  EXPECT_EQ(back.reports[0].elapsed.nanos(), r.elapsed.nanos());
+  ASSERT_EQ(back.reports[0].iterations.size(), 1u);
+  EXPECT_EQ(back.reports[0].iterations[0].note, r.iterations[0].note);
+  EXPECT_FALSE(back.reports[1].valid);
+  EXPECT_EQ(back.reports[1].outcome_note, invalid.outcome_note);
+
+  // Re-serializing the parsed cell is byte-identical: the text form is a
+  // fixed point, which is what makes merged output comparable with cmp.
+  EXPECT_EQ(cell_to_text(back, 5), text);
+}
+
+TEST(CellText, ParseRejectsMalformedStreams) {
+  // Truthful line numbers on: bad header, wrong field, non-numeric value,
+  // duplicate index, and an index beyond the declared total.
+  EXPECT_THROW(parse_cells("not a header\n"), SpecError);
+  EXPECT_THROW(parse_cells("cells total=x version=1\n"), SpecError);
+  EXPECT_THROW(parse_cells("cells total=1 version=2\n"), SpecError);
+
+  SweepRunner runner{1};
+  const auto cells =
+      run_matrix(small_estimators(), {quick_paper_path()}, {0.4}, 1, 11, runner);
+  std::string text = cells_to_text(cells);
+  {
+    std::string broken = text;
+    const auto pos = broken.find("load =");
+    ASSERT_NE(pos, std::string::npos);
+    broken.replace(pos, 6, "lode =");
+    EXPECT_THROW(parse_cells(broken), SpecError);
+  }
+  {
+    std::string broken = text;
+    const auto pos = broken.find("seed0 = ");
+    ASSERT_NE(pos, std::string::npos);
+    broken.replace(pos, 8, "seed0 = zz");
+    EXPECT_THROW(parse_cells(broken), SpecError);
+  }
+  {
+    // Same stream twice under one header: duplicate indices.
+    const std::string first_cell = cell_to_text(cells[0], 0);
+    EXPECT_THROW(parse_cells("cells total=3 version=1\n" + first_cell + first_cell),
+                 SpecError);
+  }
+  {
+    const std::string out_of_range = cell_to_text(cells[0], 9);
+    EXPECT_THROW(parse_cells("cells total=3 version=1\n" + out_of_range), SpecError);
+  }
+}
+
+// ------------------------------------------------------------------- merge
+
+TEST(ShardMatrix, MergedShardsAreByteIdenticalToInProcessFor124) {
+  const std::vector<MatrixEstimator> ests = small_estimators();
+  const std::vector<ScenarioSpec> scenarios = {quick_paper_path()};
+  const std::vector<double> loads = {0.3, 0.6};
+  SweepRunner runner{2};
+
+  const auto direct = run_matrix(ests, scenarios, loads, /*runs=*/2, 77, runner);
+  const std::string golden = cells_to_text(direct);
+  ASSERT_EQ(direct.size(), 6u);
+
+  for (int shards : {1, 2, 4}) {
+    const auto merged = run_matrix_sharded(shards, [&](int index, int count) {
+      return run_matrix_shard(ests, scenarios, loads, 2, 77, index, count, runner);
+    });
+    EXPECT_EQ(cells_to_text(merged), golden) << shards << " shards";
+  }
+}
+
+TEST(ShardMatrix, ShardStreamsCarryGlobalIndicesAndTotals) {
+  const std::vector<MatrixEstimator> ests = small_estimators();
+  SweepRunner runner{1};
+  const std::string shard1 =
+      run_matrix_shard(ests, {quick_paper_path()}, {0.5}, 1, 5, 1, 2, runner);
+  const ParsedCells parsed = parse_cells(shard1);
+  EXPECT_EQ(parsed.total, 3u);  // 3 estimators x 1 scenario x 1 load
+  ASSERT_EQ(parsed.cells.size(), 1u);
+  EXPECT_EQ(parsed.cells[0].first, 1u);  // shard 1 of 2 owns the odd index
+  EXPECT_EQ(parsed.cells[0].second.estimator, "pktpair");
+}
+
+TEST(ShardMatrix, MergeRejectsMissingDuplicateAndDisagreeingStreams) {
+  const std::vector<MatrixEstimator> ests = small_estimators();
+  SweepRunner runner{1};
+  const std::string shard0 =
+      run_matrix_shard(ests, {quick_paper_path()}, {0.5}, 1, 5, 0, 2, runner);
+  const std::string shard1 =
+      run_matrix_shard(ests, {quick_paper_path()}, {0.5}, 1, 5, 1, 2, runner);
+
+  EXPECT_NO_THROW(merge_cell_texts({shard0, shard1}));
+  // Missing a shard: indices uncovered.
+  EXPECT_THROW(merge_cell_texts({shard0}), SpecError);
+  // The same shard twice: duplicated indices.
+  EXPECT_THROW(merge_cell_texts({shard0, shard0}), SpecError);
+  // Totals disagree (a stream from some other matrix).
+  EXPECT_THROW(merge_cell_texts({shard0, "cells total=99 version=1\n"}), SpecError);
+  EXPECT_THROW(merge_cell_texts({}), SpecError);
+}
+
+}  // namespace
+}  // namespace pathload::scenario

@@ -27,6 +27,24 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
 }
 
+TEST(Table, CsvFieldQuotesPerRfc4180) {
+  // Plain fields pass through; anything with a comma, quote, or line break
+  // is quoted, with embedded quotes doubled.
+  EXPECT_EQ(Table::csv_field("plain"), "plain");
+  EXPECT_EQ(Table::csv_field(""), "");
+  EXPECT_EQ(Table::csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(Table::csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(Table::csv_field("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(Table::csv_field("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(Table, CsvOutputQuotesAwkwardCells) {
+  Table t{{"tool", "note"}};
+  t.add_row({"cprobe", "degraded:2 (14% loss, \"flood\")"});
+  EXPECT_EQ(t.to_csv(),
+            "tool,note\ncprobe,\"degraded:2 (14% loss, \"\"flood\"\")\"\n");
+}
+
 TEST(Table, NumFormatsPrecision) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(3.14159, 0), "3");

@@ -16,14 +16,18 @@
 #   7. every `flow` spec key the parser accepts is documented in
 #      docs/SCENARIOS.md, and every preset's rendered spec (`--show`,
 #      including its flow lines) parses back through `--validate` — the
-#      round-trip that keeps the docs' flow examples honest.
+#      round-trip that keeps the docs' flow examples honest;
+#   8. (when a scenario_fuzz binary is given) every invariant
+#      `scenario_fuzz --list-invariants` reports is documented in
+#      docs/FUZZING.md.
 #
-# Usage: docs_check.sh <repo_root> <scenario_runner_binary>
+# Usage: docs_check.sh <repo_root> <scenario_runner_binary> [scenario_fuzz_binary]
 
 set -u
 
 root=${1:?usage: docs_check.sh <repo_root> <scenario_runner_binary>}
 runner=${2:?usage: docs_check.sh <repo_root> <scenario_runner_binary>}
+fuzzer=${3:-}
 
 fail=0
 err() {
@@ -155,6 +159,23 @@ for p in $presets; do
     err "preset '$p': rendered spec does not re-parse (--show | --validate round-trip)"
 done
 rm -f "$roundtrip_tmp"
+
+# --- 8. fuzz invariants are documented ----------------------------------------
+if [ -n "$fuzzer" ]; then
+  fuzzdoc="$root/docs/FUZZING.md"
+  invariants=$("$fuzzer" --list-invariants 2>/dev/null | awk '{print $1}' |
+               grep -E '^[a-z][a-z-]*$')
+  if [ -z "$invariants" ]; then
+    err "'$fuzzer --list-invariants' produced no invariant names"
+  elif [ ! -f "$fuzzdoc" ]; then
+    err "docs/FUZZING.md is missing"
+  else
+    for inv in $invariants; do
+      grep -qE "\`${inv}\`" "$fuzzdoc" ||
+        err "fuzz invariant '$inv' is not documented in docs/FUZZING.md"
+    done
+  fi
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "docs_check: FAILED" >&2

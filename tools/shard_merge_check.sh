@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# shard_merge_check — process-level proof that the sharded comparison
+# matrix is lossless: run the full matrix in one process with --emit-cells,
+# run the same matrix as N independent --shard i/N worker processes, merge
+# the worker streams with --merge-cells --emit-cells, and require the two
+# byte-identical (cmp). This is the end-to-end counterpart of
+# tests/scenario/shard_matrix_test.cpp, exercising the real CLI surface:
+# argument parsing, stream emission, file round-trip, and the merge.
+#
+# Usage: shard_merge_check.sh <scenario_runner_binary> <shards> [extra args...]
+#   extra args are passed to every run (e.g. --scenario paper-path --runs 1);
+#   they must include the --compare matrix selection.
+
+set -u
+
+runner=${1:?usage: shard_merge_check.sh <scenario_runner_binary> <shards> [extra args...]}
+shards=${2:?usage: shard_merge_check.sh <scenario_runner_binary> <shards> [extra args...]}
+shift 2
+
+case $shards in
+  ''|*[!0-9]*|0) echo "shard_merge_check: shard count must be a positive integer" >&2; exit 2 ;;
+esac
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+if ! "$runner" --compare "$@" --emit-cells > "$workdir/full.cells"; then
+  echo "shard_merge_check: full --emit-cells run failed" >&2
+  exit 1
+fi
+
+files=""
+for ((i = 0; i < shards; ++i)); do
+  if ! "$runner" --compare "$@" --shard "$i/$shards" --emit-cells \
+       > "$workdir/shard$i.cells"; then
+    echo "shard_merge_check: shard $i/$shards run failed" >&2
+    exit 1
+  fi
+  files="$files${files:+,}$workdir/shard$i.cells"
+done
+
+if ! "$runner" --merge-cells "$files" --emit-cells > "$workdir/merged.cells"; then
+  echo "shard_merge_check: merge failed" >&2
+  exit 1
+fi
+
+if ! cmp -s "$workdir/full.cells" "$workdir/merged.cells"; then
+  echo "shard_merge_check: merged output differs from the in-process run" >&2
+  diff "$workdir/full.cells" "$workdir/merged.cells" | head -20 >&2
+  exit 1
+fi
+
+cells=$(head -1 "$workdir/full.cells" | sed -n 's/^cells total=\([0-9]*\).*/\1/p')
+echo "shard_merge_check: OK ($cells cells, $shards shards, byte-identical merge)"
