@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "scenario/registry.hpp"
 #include "scenario/sweep_runner.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -30,18 +31,20 @@ int main() {
   std::vector<std::vector<double>> rho_columns;
   scenario::SweepRunner runner;
 
+  // The shared path shape (single 12.4 Mb/s hop, Pareto cross traffic,
+  // 1 s warmup) lives in the registry; each point overrides only the
+  // swept utilization and its seed.
+  const scenario::PaperPathConfig base =
+      *scenario::Registry::builtin().at("fig11-access").paper;
+
   for (const auto& load : loads) {
     // Enumerate the points (drawing utilizations and seeds) sequentially so
     // the sweep is identical however many threads execute it.
     Rng rng{bench::seed() + static_cast<std::uint64_t>(load.lo * 1000)};
     std::vector<scenario::SweepPoint> points(static_cast<std::size_t>(runs));
     for (auto& pt : points) {
-      pt.path.hops = 1;
-      pt.path.tight_capacity = Rate::mbps(12.4);
+      pt.path = base;
       pt.path.tight_utilization = rng.uniform(load.lo, load.hi);
-      pt.path.model = sim::Interarrival::kPareto;
-      pt.path.sources_per_link = 10;
-      pt.path.warmup = Duration::seconds(1);
       pt.path.seed = rng.engine()();
       pt.seed = pt.path.seed;
       // pt.tool: defaults (omega = 1, chi = 1.5 Mb/s, Section VI)

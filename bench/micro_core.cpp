@@ -14,7 +14,9 @@
 #include "core/trend.hpp"
 #include "fluid/fluid_model.hpp"
 #include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
 #include "scenario/sweep_runner.hpp"
+#include "sim/fluid_traffic.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
@@ -134,6 +136,42 @@ void BM_CrossTrafficSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CrossTrafficSecond);
+
+void BM_CrossTrafficSecondV2(benchmark::State& state) {
+  // The same operating point under the engine-v2 mapping: renewal cross
+  // traffic collapses to a constant fluid rate on a fluid-mode link, so a
+  // simulated second costs zero packet events. Paired with
+  // BM_CrossTrafficSecond this is the A/B that tools/bench_ab.sh records.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Link link{sim, "l", Rate::mbps(10), Duration::zero(),
+                   DataSize::bytes(1'000'000)};
+    link.enable_fluid_mode();
+    sim::FluidConstantSource src{sim, link, Rate::mbps(6)};
+    src.start();
+    sim.run_for(Duration::seconds(1));
+    benchmark::DoNotOptimize(link.bytes_forwarded());
+  }
+}
+BENCHMARK(BM_CrossTrafficSecondV2);
+
+void BM_SimSecondsPerSec(benchmark::State& state) {
+  // Headline engine metric: simulated seconds per wall-clock second on the
+  // full paper-path scenario (3 hops, 10 Pareto sources each, utilization
+  // accounting live). Arg 0 = engine v1, Arg 1 = engine v2; each iteration
+  // simulates warmup (2 s, run by start()) + 1 s, so items/s x 3 =
+  // simulated-seconds/s.
+  scenario::ScenarioSpec spec = scenario::Registry::builtin().at("paper-path");
+  if (state.range(0) != 0) spec.engine = scenario::EngineVersion::kV2;
+  for (auto _ : state) {
+    scenario::ScenarioInstance inst{spec};
+    inst.start();
+    inst.simulator().run_for(Duration::seconds(1));
+    benchmark::DoNotOptimize(inst.tight_link().bytes_forwarded());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_SimSecondsPerSec)->Arg(0)->Arg(1);
 
 std::vector<double> synthetic_owds(int k) {
   Rng rng{7};

@@ -40,6 +40,7 @@ struct Options {
   int max_hops{3};
   bool allow_flows{true};
   bool allow_impairments{true};
+  bool allow_engine_v2{false};
   bool list_invariants{false};
 };
 
@@ -65,7 +66,7 @@ constexpr Invariant kInvariants[] = {
                "usage:\n"
                "  scenario_fuzz [--count N] [--seed S] [--out DIR] [--threads T]\n"
                "                [--estimators all|name[,name...]] [--max-hops H]\n"
-               "                [--no-flows] [--no-impair]\n"
+               "                [--no-flows] [--no-impair] [--engine-v2]\n"
                "  scenario_fuzz --replay <spec-file> [--estimators ...]\n"
                "  scenario_fuzz --list-invariants\n",
                msg.c_str());
@@ -112,6 +113,8 @@ Options parse_args(int argc, char** argv) {
       opt.allow_flows = false;
     } else if (a == "--no-impair") {
       opt.allow_impairments = false;
+    } else if (a == "--engine-v2") {
+      opt.allow_engine_v2 = true;
     } else if (a == "--replay") {
       opt.replay_file = next("--replay");
     } else if (a == "--list-invariants") {
@@ -128,6 +131,7 @@ scenario::FuzzOptions fuzz_options(const Options& opt) {
   fo.max_hops = opt.max_hops;
   fo.allow_flows = opt.allow_flows;
   fo.allow_impairments = opt.allow_impairments;
+  fo.allow_engine_v2 = opt.allow_engine_v2;
   return fo;
 }
 

@@ -59,6 +59,9 @@ struct Options {
   bool compare{false};                  // all registered estimators
   std::string set_overrides;            // --set key=value[,...]
   Channel channel{Channel::kSim};
+  /// --engine override: forces the determinism-contract version onto the
+  /// resolved spec (presets default to v1; see docs/ENGINE.md).
+  std::optional<scenario::EngineVersion> engine;
   std::vector<double> sweep_loads;
   int runs{0};            // 0: bench default
   std::optional<std::uint64_t> seed;
@@ -82,6 +85,7 @@ struct Options {
                "  scenario_runner --show <preset>\n"
                "  scenario_runner --run <preset> [--runs N] [--seed S] [--load u]\n"
                "                  [--sweep load=u1,u2,...] [--threads T]\n"
+               "                  [--engine v1|v2]\n"
                "                  [--estimator name[,name...]] [--set k=v[,k=v...]]\n"
                "                  [--channel sim|live] [--format table|csv|json]\n"
                "  scenario_runner --compare --scenario <preset> [same options]\n"
@@ -156,6 +160,11 @@ Options parse_args(int argc, char** argv) {
       if (c == "sim") opt.channel = Channel::kSim;
       else if (c == "live") opt.channel = Channel::kLive;
       else usage_error("--channel expects sim or live, got '" + c + "'");
+    } else if (a == "--engine") {
+      const std::string e = next("--engine");
+      if (e == "v1") opt.engine = scenario::EngineVersion::kV1;
+      else if (e == "v2") opt.engine = scenario::EngineVersion::kV2;
+      else usage_error("--engine expects v1 or v2, got '" + e + "'");
     } else if (a == "--scenario") {
       // Synonym of --run <preset>, reading better next to --compare.
       opt.run = next("--scenario");
@@ -621,12 +630,14 @@ int main(int argc, char** argv) {
       loaded_name = spec.name;
       reg.add(std::move(spec));
     }
-    auto resolve = [&](const std::string& sel) -> const scenario::ScenarioSpec& {
-      if (sel != "-") return reg.at(sel);
-      if (loaded_name.empty()) {
+    auto resolve = [&](const std::string& sel) -> scenario::ScenarioSpec {
+      const std::string& name = sel != "-" ? sel : loaded_name;
+      if (name.empty()) {
         usage_error("no preset named and no --spec file loaded");
       }
-      return reg.at(loaded_name);
+      scenario::ScenarioSpec spec = reg.at(name);
+      if (opt.engine.has_value()) spec.engine = *opt.engine;
+      return spec;
     };
 
     if (!opt.merge_files.empty()) {
@@ -646,8 +657,14 @@ int main(int argc, char** argv) {
     if (opt.list_estimators) {
       print_list_estimators(baselines::builtin_estimators(), opt.format);
     }
-    if (!opt.show.empty()) std::fputs(resolve(opt.show).to_text().c_str(), stdout);
-    if (!opt.run.empty()) return run_command(opt, resolve(opt.run));
+    if (!opt.show.empty()) {
+      const scenario::ScenarioSpec spec = resolve(opt.show);
+      std::fputs(spec.to_text().c_str(), stdout);
+    }
+    if (!opt.run.empty()) {
+      const scenario::ScenarioSpec spec = resolve(opt.run);
+      return run_command(opt, spec);
+    }
     return 0;
   } catch (const scenario::SpecError& e) {
     std::fprintf(stderr, "scenario_runner: %s\n", e.what());

@@ -11,15 +11,19 @@
 
 namespace pathload::net {
 
-namespace {
-
-/// Backoff before retry `attempt` (0-based): base * 2^attempt capped, then
-/// jittered into [d/2, d] so a herd of restarted senders spreads out.
-Duration backoff_delay(const LiveChannelConfig& cfg, int attempt, Rng& rng) {
-  const double d = std::min(cfg.backoff_cap.secs(),
-                            cfg.backoff_base.secs() * std::pow(2.0, attempt));
+Duration handshake_backoff(const LiveChannelConfig& cfg, int attempt, Rng& rng) {
+  // 1ULL << n is exact in double for n <= 62, and 2^62 * any sane base is
+  // far past every cap, so clamping the exponent preserves the pre-clamp
+  // schedule bit-for-bit below the cap while making huge attempt counts
+  // (or an int overflowing 2^attempt in floating point) saturate safely.
+  const int shift = std::clamp(attempt, 0, 62);
+  const double d =
+      std::min(cfg.backoff_cap.secs(),
+               cfg.backoff_base.secs() * static_cast<double>(1ULL << shift));
   return Duration::seconds(d * 0.5 + d * 0.5 * rng.uniform());
 }
+
+namespace {
 
 [[noreturn]] void throw_abort(std::span<const std::byte> payload) {
   std::string reason = abort_reason(payload);
@@ -37,7 +41,7 @@ LiveProbeChannel::Handshake LiveProbeChannel::connect_with_retry(
   std::string last_error = "handshake never attempted";
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      sleep_until(monotonic_now() + backoff_delay(cfg, attempt - 1, jitter));
+      sleep_until(monotonic_now() + handshake_backoff(cfg, attempt - 1, jitter));
     }
     try {
       TcpStream stream = TcpStream::connect(control, cfg.control_timeout);

@@ -5,6 +5,7 @@
 #include "core/channel.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "util/rng.hpp"
 
 namespace pathload::net {
 
@@ -24,6 +25,13 @@ struct LiveChannelConfig {
   /// Deadline of each control-channel operation (connect, replies).
   Duration control_timeout{Duration::seconds(5)};
 };
+
+/// Backoff before retry `attempt` (0-based): base * 2^attempt capped at
+/// backoff_cap, then jittered into [d/2, d] so a herd of restarted senders
+/// spreads out. The doubling is an integer shift with the exponent clamped
+/// (a pathological attempt count must saturate at the cap, not overflow).
+/// Exposed for the unit test of the capped schedule.
+Duration handshake_backoff(const LiveChannelConfig& cfg, int attempt, Rng& rng);
 
 /// The pathload *sender* side over real sockets: the ProbeChannel backend
 /// that makes `core::PathloadSession` a live measurement tool.

@@ -149,6 +149,12 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const FuzzOptions& opt) {
     spec.impairments.push_back(imp);
   }
 
+  // Drawn last so corpora generated with the flag off are byte-identical
+  // to the pre-v2 generator (no draw is consumed).
+  if (opt.allow_engine_v2 && chance(rng, 0.5)) {
+    spec.engine = EngineVersion::kV2;
+  }
+
   spec.validate();
   return spec;
 }

@@ -57,6 +57,11 @@ struct FuzzOptions {
   int max_hops{3};               ///< path length drawn from [1, max_hops]
   bool allow_flows{true};        ///< permit responsive TCP cross flows
   bool allow_impairments{true};  ///< permit loss/dup/reorder impair lines
+  /// Permit the `engine = v2` directive (half the generated specs then run
+  /// the hybrid fluid/packet engine; docs/ENGINE.md). Off by default so the
+  /// existing corpus seeds keep generating byte-identical specs; the
+  /// nightly engine-v2 batch turns it on (`scenario_fuzz --engine-v2`).
+  bool allow_engine_v2{false};
   /// Virtual-time deadline handed to every estimator (deadline_s), so a
   /// pathological spec times out structurally instead of hanging the run.
   double deadline_s{120.0};

@@ -56,6 +56,63 @@ Registry make_builtin() {
         cfg));
   }
 
+  // Fig. 11's access path: a single 12.4 Mb/s hop (the paper's
+  // Univ-Crete-like link) with Pareto(1.9) cross traffic from 10 sources.
+  // The bench sweeps tight_utilization and seed per point on top of this
+  // shared shape; the preset's 60% load is the nominal mid-range point.
+  {
+    PaperPathConfig cfg;
+    cfg.hops = 1;
+    cfg.tight_capacity = Rate::mbps(12.4);
+    cfg.warmup = Duration::seconds(1);
+    reg.add(ScenarioSpec::from_paper(
+        "fig11-access",
+        "Fig. 11 path: single 12.4 Mb/s hop, Pareto(1.9) cross traffic "
+        "from 10 sources",
+        cfg));
+  }
+
+  // Fig. 12's three statistical-multiplexing paths: same ~65% utilization,
+  // very different capacity / source-count products (the paper's Abilene,
+  // Univ-Crete, and Univ-Pireaus tight links). The bench draws the exact
+  // utilization in 60-70% per point.
+  {
+    PaperPathConfig cfg;
+    cfg.hops = 1;
+    cfg.tight_capacity = Rate::mbps(155);
+    cfg.tight_utilization = 0.65;
+    cfg.sources_per_link = 120;
+    cfg.warmup = Duration::seconds(1);
+    reg.add(ScenarioSpec::from_paper(
+        "fig12-abilene",
+        "Fig. 12 path A: 155 Mb/s hop, 120 sources (high multiplexing)",
+        cfg));
+  }
+  {
+    PaperPathConfig cfg;
+    cfg.hops = 1;
+    cfg.tight_capacity = Rate::mbps(12.4);
+    cfg.tight_utilization = 0.65;
+    cfg.sources_per_link = 24;
+    cfg.warmup = Duration::seconds(1);
+    reg.add(ScenarioSpec::from_paper(
+        "fig12-crete",
+        "Fig. 12 path B: 12.4 Mb/s hop, 24 sources (medium multiplexing)",
+        cfg));
+  }
+  {
+    PaperPathConfig cfg;
+    cfg.hops = 1;
+    cfg.tight_capacity = Rate::mbps(6.1);
+    cfg.tight_utilization = 0.65;
+    cfg.sources_per_link = 6;
+    cfg.warmup = Duration::seconds(1);
+    reg.add(ScenarioSpec::from_paper(
+        "fig12-pireaus",
+        "Fig. 12 path C: 6.1 Mb/s hop, 6 sources (low multiplexing)",
+        cfg));
+  }
+
   // Tight link != narrow link (Section II): the first hop has the smallest
   // capacity (8 Mb/s, narrow) but is nearly idle; the middle 20 Mb/s hop
   // carries 80% load and is the tight link (A = 4 Mb/s). Capacity-measuring

@@ -8,7 +8,9 @@
 #include <set>
 #include <sstream>
 
+#include "sim/fluid_traffic.hpp"
 #include "tcp/workload.hpp"
+#include "util/counter_rng.hpp"
 
 namespace pathload::scenario {
 
@@ -493,6 +495,14 @@ std::uint64_t derive_impair_seed(std::uint64_t scenario_seed, std::size_t hop) {
   return z ^ (z >> 31);
 }
 
+std::string_view to_string(EngineVersion v) {
+  switch (v) {
+    case EngineVersion::kV1: return "v1";
+    case EngineVersion::kV2: return "v2";
+  }
+  return "?";
+}
+
 std::string_view to_string(TrafficModel m) {
   switch (m) {
     case TrafficModel::kNone: return "none";
@@ -630,6 +640,15 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
       spec.name = l.value;
     } else if (l.key == "description") {
       spec.description = l.value;
+    } else if (l.key == "engine") {
+      if (l.value == "v1") {
+        spec.engine = EngineVersion::kV1;
+      } else if (l.value == "v2") {
+        spec.engine = EngineVersion::kV2;
+      } else {
+        fail(l, "unknown engine '" + l.value + "' (expected v1 or v2; see "
+                "docs/ENGINE.md)");
+      }
     } else if (l.key == "seed") {
       spec.seed = parse_u64(l);
     } else if (l.key == "warmup_s") {
@@ -736,8 +755,8 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
                 "ramp_end_s, ramp_back_start_s, ramp_back_end_s, mix})");
       }
     } else {
-      fail(l, "unknown key (expected name, description, seed, warmup_s, "
-              "hops, hop.<i>.*, or paper.*)");
+      fail(l, "unknown key (expected name, description, engine, seed, "
+              "warmup_s, hops, hop.<i>.*, or paper.*)");
     }
   }
 
@@ -756,6 +775,7 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
     pcfg.seed = spec.seed;
     pcfg.warmup = spec.warmup;
     ScenarioSpec out = from_paper(spec.name, spec.description, pcfg);
+    out.engine = spec.engine;
     out.flows = std::move(spec.flows);
     out.impairments = std::move(spec.impairments);
     out.validate();
@@ -809,6 +829,9 @@ std::string ScenarioSpec::to_text() const {
   std::string out;
   out += "name = " + name + "\n";
   if (!description.empty()) out += "description = " + description + "\n";
+  // v1 is implicit: emitting the line only for v2 keeps every pre-engine
+  // preset text, golden spec file, and shard round-trip byte-identical.
+  if (engine == EngineVersion::kV2) out += "engine = v2\n";
   out += "seed = " + std::to_string(seed) + "\n";
   out += "warmup_s = " + fmt(warmup.secs()) + "\n";
   if (paper) {
@@ -871,6 +894,7 @@ ScenarioSpec ScenarioSpec::with_load(double util) const {
     PaperPathConfig p = *paper;
     p.tight_utilization = util;
     ScenarioSpec out = from_paper(name, description, p);
+    out.engine = engine;
     out.flows = flows;
     out.impairments = impairments;
     out.warmup = warmup;
@@ -978,7 +1002,8 @@ ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
       path().link(imp.hop).set_impairments(li);
     }
   };
-  if (spec_.paper) {
+  const bool v2 = spec_.engine == EngineVersion::kV2;
+  if (spec_.paper && !v2) {
     PaperPathConfig cfg = *spec_.paper;
     cfg.seed = spec_.seed;
     cfg.warmup = spec_.warmup;
@@ -998,6 +1023,13 @@ ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
   }
   path_ = std::make_unique<sim::Path>(*sim_, std::move(hop_specs));
   tight_index_ = spec_.tight_hop();
+
+  if (v2) {
+    build_v2_traffic();
+    apply_impairments();
+    build_flows();
+    return;
+  }
 
   // Seed derivation mirrors Testbed: one fork per traffic-carrying hop, in
   // hop order, then per-source forks inside the generator. Hops without
@@ -1067,6 +1099,84 @@ ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
   }
   apply_impairments();
   build_flows();
+}
+
+void ScenarioInstance::build_v2_traffic() {
+  // Every link runs in fluid mode under v2 — including unloaded ones, so a
+  // probe or TCP packet costs one scheduled event per hop instead of two,
+  // with packet-on-packet FIFO queueing still exact (Link::accept_fluid).
+  for (std::size_t i = 0; i < path_->hop_count(); ++i) {
+    path_->link(i).enable_fluid_mode();
+  }
+  // CounterRng streams are keyed (scenario seed, hop, source), so draws are
+  // order-independent: unlike the v1 fork() chain, adding or removing a
+  // hop's traffic never perturbs another hop's sequence.
+  const auto stream_id = [](std::size_t hop, int source) {
+    return (static_cast<std::uint64_t>(hop) << 20) |
+           static_cast<std::uint64_t>(source);
+  };
+  for (std::size_t i = 0; i < spec_.hops.size(); ++i) {
+    const TrafficSpec& t = spec_.hops[i].traffic;
+    sim::Link& link = path_->link(i);
+    const Rate mean = link.capacity() * t.utilization;
+    switch (t.model) {
+      case TrafficModel::kNone:
+        traffic_.push_back(nullptr);
+        break;
+      case TrafficModel::kPoisson:
+      case TrafficModel::kPareto:
+      case TrafficModel::kConstant:
+        // A renewal process offered at lambda is, in the fluid view,
+        // exactly the constant rate lambda = u * C of the paper's Section
+        // III-A model (fluid::FluidLink): zero events, zero draws. The
+        // sources/pareto_alpha knobs only shape packet-scale burstiness,
+        // which fluid service averages out by construction.
+        if (mean <= Rate::zero()) {
+          traffic_.push_back(nullptr);
+        } else {
+          traffic_.push_back(
+              std::make_unique<sim::FluidConstantSource>(*sim_, link, mean));
+        }
+        break;
+      case TrafficModel::kOnOff: {
+        // Burst structure survives fluid service (it lives on timescales
+        // the workload variable resolves), so each source keeps its own
+        // ON/OFF process — as fluid rate segments.
+        const double n = static_cast<double>(t.sources);
+        sim::OnOffParams params;
+        params.peak_rate = link.capacity() * t.peak_utilization / n;
+        params.mean_burst = DataSize::kilobytes(t.mean_burst_kb);
+        params.burst_alpha = t.burst_alpha;
+        std::vector<std::unique_ptr<sim::TrafficGen>> members;
+        members.reserve(static_cast<std::size_t>(t.sources));
+        for (int s = 0; s < t.sources; ++s) {
+          members.push_back(std::make_unique<sim::FluidOnOffSource>(
+              *sim_, link, mean / n, params,
+              CounterRng{spec_.seed, stream_id(i, s)}));
+        }
+        traffic_.push_back(std::make_unique<sim::GenGroup>(std::move(members)));
+        break;
+      }
+      case TrafficModel::kRamp: {
+        // The ramp profile is deterministic in fluid form (v1's randomness
+        // only jitters arrivals around it), and rate contributions add, so
+        // one source carries the hop's whole aggregate.
+        sim::RampParams params;
+        params.start_rate = mean;
+        params.end_rate = link.capacity() * t.end_utilization;
+        params.ramp_start = Duration::seconds(t.ramp_start_s);
+        params.ramp_end = Duration::seconds(t.ramp_end_s);
+        if (t.has_ramp_back()) {
+          params.back_rate = mean;
+          params.back_start = Duration::seconds(t.ramp_back_start_s);
+          params.back_end = Duration::seconds(t.ramp_back_end_s);
+        }
+        traffic_.push_back(
+            std::make_unique<sim::FluidRampSource>(*sim_, link, params));
+        break;
+      }
+    }
+  }
 }
 
 ScenarioInstance::~ScenarioInstance() = default;

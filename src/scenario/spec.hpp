@@ -64,6 +64,25 @@ enum class TrafficModel {
 /// Round-trippable name of a traffic model ("poisson", "onoff", ...).
 std::string_view to_string(TrafficModel m);
 
+/// Determinism-contract version a spec runs under (the `engine` directive;
+/// docs/ENGINE.md).
+///
+///  * kV1 — the original packet engine: mt19937-64 draws, std::pow inverse
+///    CDFs, every cross-traffic packet simulated. Bit-compatible with every
+///    golden anchor captured since PR 1.
+///  * kV2 — the hybrid fluid/packet engine: cross traffic as fluid rate
+///    segments (sim/fluid_traffic.hpp) over Link's fluid mode, CounterRng
+///    draws, exp2/log2 inverse CDFs. Probe streams, TCP flows, and the
+///    UtilizationMonitor stay packet-accurate. Its RNG and floating-point
+///    sequences are free to change relative to v1; v2 has its own anchors.
+enum class EngineVersion {
+  kV1,
+  kV2,
+};
+
+/// Round-trippable name of an engine version ("v1", "v2").
+std::string_view to_string(EngineVersion v);
+
 /// Cross-traffic declaration for one hop. Only the fields relevant to
 /// `model` are consulted; validation flags nonsense combinations.
 struct TrafficSpec {
@@ -200,6 +219,10 @@ struct ScenarioSpec {
   std::vector<ImpairSpec> impairments;
   Duration warmup{Duration::seconds(2)};
   std::uint64_t seed{1};
+  /// Determinism-contract version (the `engine` directive). Defaults to v1
+  /// so every pre-v2 spec, preset, and golden anchor is untouched; to_text
+  /// emits the line only for v2, keeping v1 round-trips byte-identical.
+  EngineVersion engine{EngineVersion::kV1};
 
   /// Set when the spec was derived from the paper's Fig. 4 parameterization.
   /// Kept so load sweeps preserve the paper's invariant that the non-tight
@@ -291,9 +314,15 @@ class ScenarioInstance {
   void start();
 
  private:
+  /// Engine-v2 backend: every link in fluid mode, cross traffic from
+  /// sim/fluid_traffic.hpp with CounterRng streams keyed (seed, hop, source).
+  void build_v2_traffic();
+
   ScenarioSpec spec_;
-  // Exactly one of the two backends is set: paper-derived specs delegate to
-  // Testbed (bit-compatibility), custom specs build their own state. The
+  // Exactly one of the two backends is set: paper-derived v1 specs delegate
+  // to Testbed (bit-compatibility); custom and engine-v2 specs build their
+  // own state (v2 always, because its links run in fluid mode and from_paper
+  // mirrors the Testbed hop derivation into spec.hops anyway). The
   // Simulator must outlive every TimerHandle owner, hence member order —
   // flows_ last so its timers and connections die first.
   std::unique_ptr<Testbed> testbed_;

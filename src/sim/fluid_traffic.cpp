@@ -1,0 +1,138 @@
+#include "sim/fluid_traffic.hpp"
+
+#include <optional>
+
+namespace pathload::sim {
+
+FluidOnOffSource::FluidOnOffSource(Simulator& sim, Link& link, Rate mean_rate,
+                                   OnOffParams params, CounterRng rng)
+    : sim_{sim},
+      link_{link},
+      mean_rate_{mean_rate},
+      params_{params},
+      rng_{rng},
+      timer_{sim.make_timer([this] { on_timer(); })} {
+  const double burst_bytes = static_cast<double>(params_.mean_burst.byte_count());
+  mean_off_secs_ = burst_bytes * 8.0 * (1.0 / mean_rate_.bits_per_sec() -
+                                        1.0 / params_.peak_rate.bits_per_sec());
+  burst_xm_bytes_ = burst_bytes * (params_.burst_alpha - 1.0) / params_.burst_alpha;
+  burst_inv_alpha_ = 1.0 / params_.burst_alpha;
+}
+
+void FluidOnOffSource::start() {
+  if (running_) return;
+  running_ = true;
+  in_burst_ = false;
+  timer_.schedule_in(Duration::seconds(rng_.exponential(mean_off_secs_)));
+}
+
+void FluidOnOffSource::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (in_burst_) {
+    link_.add_fluid_rate(Rate::zero() - params_.peak_rate);
+    in_burst_ = false;
+  }
+  timer_.cancel();
+}
+
+void FluidOnOffSource::on_timer() {
+  if (!running_) return;
+  if (in_burst_) {
+    link_.add_fluid_rate(Rate::zero() - params_.peak_rate);
+    in_burst_ = false;
+    timer_.schedule_in(Duration::seconds(rng_.exponential(mean_off_secs_)));
+    return;
+  }
+  // Begin a burst: the whole Pareto burst becomes one fluid segment at the
+  // peak rate — two timer events instead of one event per packet.
+  const double burst_bytes = CounterRng::pareto_from_uniform(
+      rng_.uniform(), burst_xm_bytes_, burst_inv_alpha_);
+  const double on_secs = burst_bytes * 8.0 / params_.peak_rate.bits_per_sec();
+  offered_ += DataSize::bytes(static_cast<std::int64_t>(burst_bytes));
+  link_.add_fluid_rate(params_.peak_rate);
+  in_burst_ = true;
+  ++bursts_started_;
+  timer_.schedule_in(Duration::seconds(on_secs));
+}
+
+FluidRampSource::FluidRampSource(Simulator& sim, Link& link, RampParams params,
+                                 Duration step)
+    : sim_{sim},
+      link_{link},
+      params_{params},
+      step_{step},
+      timer_{sim.make_timer([this] { on_timer(); })} {}
+
+void FluidRampSource::start() {
+  if (running_) return;
+  running_ = true;
+  epoch_ = sim_.now();
+  applied_ = Rate::zero();
+  applied_since_ = epoch_;
+  on_timer();
+}
+
+void FluidRampSource::stop() {
+  if (!running_) return;
+  apply(Rate::zero());
+  running_ = false;
+  timer_.cancel();
+}
+
+Rate FluidRampSource::rate_at(Duration elapsed) const {
+  auto lerp = [](Rate a, Rate b, Duration t0, Duration t1, Duration t) {
+    if (t >= t1) return b;
+    if (t <= t0) return a;
+    return a + (b - a) * ((t - t0) / (t1 - t0));
+  };
+  if (params_.back_rate.has_value() && elapsed >= params_.back_start) {
+    return lerp(params_.end_rate, *params_.back_rate, params_.back_start,
+                params_.back_end, elapsed);
+  }
+  return lerp(params_.start_rate, params_.end_rate, params_.ramp_start,
+              params_.ramp_end, elapsed);
+}
+
+void FluidRampSource::apply(Rate target) {
+  if (target == applied_) return;
+  const TimePoint now = sim_.now();
+  offered_ += applied_.bytes_in(now - applied_since_);
+  applied_since_ = now;
+  link_.add_fluid_rate(target - applied_);
+  applied_ = target;
+}
+
+DataSize FluidRampSource::bytes_sent() const {
+  if (!running_) return offered_;
+  return offered_ + applied_.bytes_in(sim_.now() - applied_since_);
+}
+
+void FluidRampSource::on_timer() {
+  if (!running_) return;
+  const Duration elapsed = sim_.now() - epoch_;
+  apply(rate_at(elapsed));
+  // Next wake: the nearest profile breakpoint, or one `step` ahead while
+  // inside a ramp window (the breakpoint candidates clamp the step at the
+  // window edge). Past the last breakpoint the rate is flat forever and the
+  // timer goes quiet.
+  const std::int64_t e = elapsed.nanos();
+  std::optional<std::int64_t> next;
+  auto consider = [&](std::int64_t t) {
+    if (t > e && (!next.has_value() || t < *next)) next = t;
+  };
+  auto inside = [e](Duration a, Duration b) {
+    return e >= a.nanos() && e < b.nanos();
+  };
+  consider(params_.ramp_start.nanos());
+  consider(params_.ramp_end.nanos());
+  if (inside(params_.ramp_start, params_.ramp_end)) consider(e + step_.nanos());
+  if (params_.back_rate.has_value()) {
+    consider(params_.back_start.nanos());
+    consider(params_.back_end.nanos());
+    if (inside(params_.back_start, params_.back_end)) consider(e + step_.nanos());
+  }
+  if (next.has_value()) timer_.schedule_in(Duration::nanoseconds(*next - e));
+}
+
+}  // namespace pathload::sim

@@ -1,0 +1,144 @@
+// Fluid cross-traffic sources for the engine-v2 hybrid mode.
+//
+// Each source drives a Link's fluid rate (Link::add_fluid_rate) instead of
+// injecting packets, mirroring the packet models of traffic.hpp:
+//
+//  * FluidConstantSource — the renewal models (poisson/pareto/constant)
+//    collapse to their long-run mean, lambda = u * C: exactly the paper's
+//    Section III-A fluid model (fluid::FluidLink), so for stationary
+//    scenarios the v2 cross traffic is the *ground truth* the v1 packet
+//    models merely approximate. Zero events, zero draws.
+//  * FluidOnOffSource — keeps the ON/OFF burst structure (exponential OFF
+//    gaps, Pareto burst sizes) but emits each burst as a fluid rate
+//    segment at the peak rate: two events per burst instead of one per
+//    packet. Draws come from the seekable CounterRng, one stream per
+//    source.
+//  * FluidRampSource — the piecewise-linear load profile as piecewise-
+//    constant fluid rate updates (a step per `step` interval during ramp
+//    windows, single updates on flat segments). Fully deterministic: the
+//    v1 model's randomness only jitters arrival instants around the same
+//    profile.
+//
+// All three implement TrafficGen so ScenarioInstance can hold v1 and v2
+// traffic behind the same pointers. bytes_sent() reports *offered* fluid
+// bytes, the analogue of the packet sources' counter.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/counter_rng.hpp"
+#include "util/units.hpp"
+
+namespace pathload::sim {
+
+/// Constant fluid load lambda on one link (renewal models under v2).
+class FluidConstantSource final : public TrafficGen {
+ public:
+  FluidConstantSource(Simulator& sim, Link& link, Rate rate)
+      : sim_{sim}, link_{link}, rate_{rate} {}
+
+  void start() override {
+    if (running_) return;
+    running_ = true;
+    epoch_ = sim_.now();
+    link_.add_fluid_rate(rate_);
+  }
+  void stop() override {
+    if (!running_) return;
+    running_ = false;
+    offered_ += rate_.bytes_in(sim_.now() - epoch_);
+    link_.add_fluid_rate(Rate::zero() - rate_);
+  }
+  DataSize bytes_sent() const override {
+    if (!running_) return offered_;
+    return offered_ + rate_.bytes_in(sim_.now() - epoch_);
+  }
+
+ private:
+  Simulator& sim_;
+  Link& link_;
+  Rate rate_;
+  TimePoint epoch_{};
+  DataSize offered_{};
+  bool running_{false};
+};
+
+/// One bursty ON/OFF source as fluid rate segments. Same shape parameters
+/// and the same mean-load bookkeeping as sim::OnOffSource:
+///
+///   E[on]  = E[burst] * 8 / peak_rate
+///   E[off] = E[burst] * 8 * (1/mean_rate - 1/peak_rate)
+///
+/// and the source starts in OFF, one exponential gap before its first burst.
+class FluidOnOffSource final : public TrafficGen {
+ public:
+  FluidOnOffSource(Simulator& sim, Link& link, Rate mean_rate,
+                   OnOffParams params, CounterRng rng);
+
+  void start() override;
+  void stop() override;
+
+  DataSize bytes_sent() const override { return offered_; }
+  std::uint64_t bursts_started() const { return bursts_started_; }
+
+  FluidOnOffSource(const FluidOnOffSource&) = delete;
+  FluidOnOffSource& operator=(const FluidOnOffSource&) = delete;
+
+ private:
+  void on_timer();
+
+  Simulator& sim_;
+  Link& link_;
+  Rate mean_rate_;
+  OnOffParams params_;
+  CounterRng rng_;
+  double mean_off_secs_{0.0};
+  double burst_xm_bytes_{0.0};
+  double burst_inv_alpha_{0.0};
+  Simulator::TimerHandle timer_;
+
+  bool running_{false};
+  bool in_burst_{false};
+  std::uint64_t bursts_started_{0};
+  DataSize offered_{};
+};
+
+/// The ramp/step/wave load profile of sim::RampLoadSource as deterministic
+/// piecewise-constant fluid updates. Within a ramp window the linear rate
+/// is sampled every `step`; flat segments cost one update each.
+class FluidRampSource final : public TrafficGen {
+ public:
+  FluidRampSource(Simulator& sim, Link& link, RampParams params,
+                  Duration step = Duration::milliseconds(100));
+
+  void start() override;
+  void stop() override;
+
+  /// The profile's offered rate at `elapsed` after start() (same profile
+  /// as RampLoadSource::rate_at).
+  Rate rate_at(Duration elapsed) const;
+
+  DataSize bytes_sent() const override;
+
+ private:
+  void on_timer();
+  void apply(Rate target);
+
+  Simulator& sim_;
+  Link& link_;
+  RampParams params_;
+  Duration step_;
+  Simulator::TimerHandle timer_;
+
+  bool running_{false};
+  TimePoint epoch_{};
+  Rate applied_{Rate::zero()};
+  TimePoint applied_since_{};
+  DataSize offered_{};
+};
+
+}  // namespace pathload::sim

@@ -1,5 +1,6 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -41,6 +42,10 @@ void Link::handle(const Packet& p) {
 }
 
 void Link::accept(const Packet& p) {
+  if (fluid_mode_) {
+    accept_fluid(p);
+    return;
+  }
   if (busy_) {
     if (queued_bytes_ + p.size() > buffer_limit_) {
       ++drops_;
@@ -58,6 +63,72 @@ void Link::accept(const Packet& p) {
 void Link::set_impairments(const LinkImpairments& imp) {
   impair_ = imp;
   impair_rng_ = imp.any() ? std::make_unique<Rng>(imp.seed) : nullptr;
+}
+
+void Link::enable_fluid_mode() {
+  fluid_mode_ = true;
+  fluid_last_ = sim_.now();
+}
+
+void Link::add_fluid_rate(Rate delta) {
+  settle_fluid();
+  // Cancel tiny negative residue when the last of several sources removes
+  // its share (the adds and removes are floating-point sums).
+  fluid_rate_bps_ = std::max(0.0, fluid_rate_bps_ + delta.bits_per_sec());
+}
+
+void Link::settle_fluid() {
+  const TimePoint now = sim_.now();
+  const double dt = (now - fluid_last_).secs();
+  if (dt <= 0.0) return;
+  const double cap = capacity_.bits_per_sec();
+  fluid_bytes_ += std::min(fluid_rate_bps_, cap) * dt / 8.0;
+  // W drifts at lambda/C - 1: drains while under-loaded, grows while the
+  // fluid alone oversubscribes the link (transient on/off peaks). The
+  // max() clamps at the instant the queue empties; the min() is drop-tail
+  // for the fluid itself (overflow fluid vanishes, as v1's drop-tail
+  // discards the packets it stood for).
+  fluid_work_secs_ += dt * (fluid_rate_bps_ / cap - 1.0);
+  fluid_work_secs_ = std::max(0.0, fluid_work_secs_);
+  fluid_work_secs_ =
+      std::min(fluid_work_secs_, capacity_.transmission_time(buffer_limit_).secs());
+  fluid_last_ = now;
+}
+
+void Link::accept_fluid(const Packet& p) {
+  settle_fluid();
+  const Duration tx = capacity_.transmission_time(p.size());
+  if (capacity_.bytes_in(Duration::seconds(fluid_work_secs_)) + p.size() >
+      buffer_limit_) {
+    ++drops_;
+    if (p.flow != kCrossTrafficFlow) ++flow_drops_[p.flow];
+    return;
+  }
+  // FIFO: the packet waits out the whole current workload, then serializes.
+  // Its own transmission time joins the workload seen by later arrivals, so
+  // packet-on-packet queueing (a SLoPS stream overrunning the link) stays
+  // exact; only the cross traffic is fluid.
+  const Duration wait = Duration::seconds(fluid_work_secs_) + tx;
+  fluid_work_secs_ += tx.secs();
+  bytes_forwarded_ += p.size();
+  ++packets_forwarded_;
+  if (downstream_ != nullptr) {
+    Duration delay = wait + prop_delay_;
+    if (impair_rng_ != nullptr && impair_.reorder > Duration::zero()) {
+      delay += impair_.reorder * impair_rng_->uniform();
+    }
+    sim_.schedule_in(delay, [h = downstream_, pkt = p] { h->handle(pkt); });
+  }
+}
+
+DataSize Link::bytes_forwarded() const {
+  if (!fluid_mode_) return bytes_forwarded_;
+  // Settle-free read: integrate the fluid since the last settle point
+  // without mutating (the accessor is const and monitors poll it often).
+  const double dt = std::max(0.0, (sim_.now() - fluid_last_).secs());
+  const double fluid =
+      fluid_bytes_ + std::min(fluid_rate_bps_, capacity_.bits_per_sec()) * dt / 8.0;
+  return bytes_forwarded_ + DataSize::bytes(static_cast<std::int64_t>(fluid));
 }
 
 void Link::begin_service() {
@@ -101,6 +172,15 @@ std::uint64_t Link::dups_for_flow(std::uint32_t flow) const {
 }
 
 Duration Link::backlog_delay() const {
+  if (fluid_mode_) {
+    // The virtual workload *is* the backlog delay; project it to now
+    // without mutating.
+    const double dt = std::max(0.0, (sim_.now() - fluid_last_).secs());
+    const double w = std::max(
+        0.0,
+        fluid_work_secs_ + dt * (fluid_rate_bps_ / capacity_.bits_per_sec() - 1.0));
+    return Duration::seconds(w);
+  }
   // Residual service of the in-flight packet is not tracked exactly; the
   // upper bound (full serialization) is fine for tests and diagnostics.
   DataSize backlog = queued_bytes_;

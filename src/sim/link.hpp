@@ -62,6 +62,22 @@ class Link final : public PacketHandler {
   bool impaired() const { return impair_rng_ != nullptr; }
   const LinkImpairments& impairments() const { return impair_; }
 
+  /// Switch the link to hybrid fluid/packet service (engine v2, see
+  /// docs/ENGINE.md). Cross traffic becomes a fluid rate `add_fluid_rate`
+  /// feeds in; packets stay individually visible but are served against a
+  /// FIFO virtual-workload variable instead of a simulated queue: one
+  /// scheduled event per packet (delivery) rather than two, and fluid
+  /// cross traffic costs no packet events at all. Must be called before
+  /// any packet arrives; there is no way back to packet service.
+  void enable_fluid_mode();
+  bool fluid_mode() const { return fluid_mode_; }
+
+  /// Add (negative delta: remove) fluid cross-traffic rate. The workload
+  /// and the fluid byte account are settled to now first, so piecewise-
+  /// constant rate profiles integrate exactly.
+  void add_fluid_rate(Rate delta);
+  Rate fluid_rate() const { return Rate::bps(fluid_rate_bps_); }
+
   const std::string& name() const { return name_; }
   Rate capacity() const { return capacity_; }
   Duration prop_delay() const { return prop_delay_; }
@@ -73,8 +89,10 @@ class Link final : public PacketHandler {
   bool busy() const { return busy_; }
 
   /// Cumulative bytes fully serialized onto the wire (utilization counter —
-  /// the quantity an MRTG-style monitor reads, Eq. (2)).
-  DataSize bytes_forwarded() const { return bytes_forwarded_; }
+  /// the quantity an MRTG-style monitor reads, Eq. (2)). In fluid mode this
+  /// includes the fluid cross traffic, integrated up to the current virtual
+  /// time, so UtilizationMonitor reads the same truth under both engines.
+  DataSize bytes_forwarded() const;
   std::uint64_t packets_forwarded() const { return packets_forwarded_; }
   std::uint64_t drops() const { return drops_; }
 
@@ -101,6 +119,8 @@ class Link final : public PacketHandler {
 
  private:
   void accept(const Packet& p);
+  void accept_fluid(const Packet& p);
+  void settle_fluid();
   void begin_service();
   void finish_service();
 
@@ -117,6 +137,20 @@ class Link final : public PacketHandler {
   Simulator::TimerHandle service_timer_;
   bool busy_{false};
   DataSize queued_bytes_{};
+
+  // Fluid-mode state (engine v2). fluid_work_secs_ is the FIFO virtual
+  // workload W: the time a packet arriving now waits before its own
+  // serialization starts. Between settle points W drains at (1 - lambda/C)
+  // while positive (lambda = fluid rate, C = capacity); a packet arrival
+  // adds its own transmission time. This reproduces the fluid FIFO delay
+  // recursion of the paper's Appendix (fluid::FluidPath::owd_delta_per_packet)
+  // exactly for constant lambda. fluid_bytes_ integrates min(lambda, C)
+  // up to fluid_last_ for the utilization counter.
+  bool fluid_mode_{false};
+  double fluid_rate_bps_{0.0};
+  double fluid_work_secs_{0.0};
+  double fluid_bytes_{0.0};
+  TimePoint fluid_last_{};
 
   PacketHandler* downstream_{nullptr};
   DataSize bytes_forwarded_{};

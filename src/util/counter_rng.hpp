@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace pathload {
+
+/// Counter-based pseudo-random source for the engine-v2 determinism
+/// contract (docs/ENGINE.md).
+///
+/// Philox2x64-10: each 128-bit block (counter, stream) is encrypted under a
+/// 64-bit key with ten multiply-xor rounds, yielding two 64-bit outputs.
+/// Unlike the mt19937-64 behind util::Rng there is no evolving hidden
+/// state — the n-th draw of stream s under key k is a pure function of
+/// (k, s, n) — which buys three things the v2 engine needs:
+///
+///  * seekable, splittable streams: every (hop, source) pair gets its own
+///    stream id, so draws are order-independent and adding a source never
+///    perturbs another source's sequence (v1 had to thread fork() calls in
+///    a frozen order to get this);
+///  * tiny state (24 bytes vs mt19937_64's 2.5 kB), so per-source
+///    generators are cheap to hold by value;
+///  * ~3x cheaper draws than the mt19937_64 + std::pow inverse-CDF pair on
+///    the cross-traffic path (see BENCH_engine.json).
+///
+/// The variate transforms use exp2/log2 instead of exp/log/std::pow: one
+/// log2 feeds both the exponential and Pareto inverse CDFs, and exp2 is the
+/// cheapest of the exponential family on every libm. The drawn sequence is
+/// therefore NOT bit-compatible with util::Rng — that break is exactly what
+/// the v2 contract versions.
+class CounterRng {
+ public:
+  /// `key` seeds the whole scenario; `stream` selects an independent
+  /// substream (per hop, per source). Distinct (key, stream) pairs give
+  /// statistically independent sequences.
+  explicit CounterRng(std::uint64_t key, std::uint64_t stream = 0)
+      : key_{key}, stream_{stream} {}
+
+  /// A sibling generator on substream `id` of the same key.
+  CounterRng stream(std::uint64_t id) const { return CounterRng{key_, id}; }
+
+  /// Jump to the n-th block of this stream (each block yields two draws).
+  void seek(std::uint64_t block) {
+    counter_ = block;
+    buffered_ = false;
+  }
+
+  /// Next raw 64-bit word.
+  std::uint64_t next() {
+    if (buffered_) {
+      buffered_ = false;
+      return buffer_;
+    }
+    std::uint64_t x0 = counter_++;
+    std::uint64_t x1 = stream_;
+    std::uint64_t k = key_;
+    for (int round = 0; round < 10; ++round) {
+      const unsigned __int128 prod =
+          static_cast<unsigned __int128>(kMultiplier) * x0;
+      const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 64);
+      const std::uint64_t lo = static_cast<std::uint64_t>(prod);
+      x0 = hi ^ k ^ x1;
+      x1 = lo;
+      k += kWeyl;
+    }
+    buffer_ = x1;
+    buffered_ = true;
+    return x0;
+  }
+
+  /// Uniform in [0, 1). Same power-of-two scaling as util::Rng::uniform.
+  double uniform() {
+    const double u = static_cast<double>(next()) * 0x1p-64;
+    return u < 1.0 ? u : std::nextafter(1.0, 0.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Multiply-shift range reduction; the modulo
+  /// bias is < n / 2^64, irrelevant for the small n used here.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  /// Exponential with the given mean: -mean * ln(1-u), computed as
+  /// log2(1-u) * (-mean * ln 2) so the same log2 kernel serves Pareto too.
+  double exponential(double mean) {
+    return std::log2(1.0 - uniform()) * (-kLn2 * mean);
+  }
+
+  /// Pareto with shape `alpha` and the given mean (alpha > 1), scale
+  /// x_m = mean * (alpha - 1) / alpha: x_m * (1-u)^(-1/alpha) in exp2/log2
+  /// form.
+  double pareto(double alpha, double mean) {
+    const double x_m = mean * (alpha - 1.0) / alpha;
+    return pareto_from_uniform(uniform(), x_m, 1.0 / alpha);
+  }
+
+  /// The exp2/log2 inverse-CDF behind `pareto`, exposed so hot paths that
+  /// hoist (x_m, 1/alpha) share one definition (mirrors
+  /// Rng::pareto_from_uniform, which uses std::pow).
+  static double pareto_from_uniform(double u01, double x_m, double inv_alpha) {
+    return x_m * std::exp2(-inv_alpha * std::log2(1.0 - u01));
+  }
+
+ private:
+  static constexpr std::uint64_t kMultiplier = 0xD2B74407B1CE6E93ULL;
+  static constexpr std::uint64_t kWeyl = 0x9E3779B97F4A7C15ULL;
+  static constexpr double kLn2 = 0.6931471805599453;
+
+  std::uint64_t key_;
+  std::uint64_t stream_;
+  std::uint64_t counter_{0};
+  std::uint64_t buffer_{0};
+  bool buffered_{false};
+};
+
+}  // namespace pathload

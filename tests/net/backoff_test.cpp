@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "net/live_channel.hpp"
+#include "util/rng.hpp"
+
+namespace pathload::net {
+namespace {
+
+// A stub Rng state whose next uniform() is pinned by seeding: Rng{seed} is
+// deterministic, so we probe the jitter envelope with many draws instead.
+
+TEST(HandshakeBackoff, DoublesUntilTheCap) {
+  LiveChannelConfig cfg;
+  cfg.backoff_base = Duration::milliseconds(100);
+  cfg.backoff_cap = Duration::seconds(2);
+  // Pre-jitter delays: 100ms, 200ms, 400ms, 800ms, 1.6s, 2s, 2s, ...
+  const double expected[] = {0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0, 2.0};
+  Rng rng{1};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double d = expected[attempt];
+    const Duration got = handshake_backoff(cfg, attempt, rng);
+    EXPECT_GE(got.secs(), d * 0.5 - 1e-9) << "attempt " << attempt;
+    EXPECT_LE(got.secs(), d + 1e-9) << "attempt " << attempt;
+  }
+}
+
+TEST(HandshakeBackoff, JitterCoversHalfToFull) {
+  // Over many draws the jittered delay must span (d/2, d), not collapse to
+  // a point: min near d/2, max near d.
+  LiveChannelConfig cfg;
+  cfg.backoff_base = Duration::seconds(1);
+  cfg.backoff_cap = Duration::seconds(1);
+  Rng rng{7};
+  double lo = 1e9;
+  double hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double s = handshake_backoff(cfg, 0, rng).secs();
+    ASSERT_GE(s, 0.5 - 1e-9);
+    ASSERT_LE(s, 1.0 + 1e-9);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LT(lo, 0.51);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(HandshakeBackoff, HugeAttemptCountsSaturateAtTheCap) {
+  // The old pow(2, attempt) overflowed to +inf for large attempts and was
+  // UB-adjacent through the double->Duration conversion; the shift form
+  // must clamp. Probe the exact boundary and far past it.
+  LiveChannelConfig cfg;
+  cfg.backoff_base = Duration::milliseconds(100);
+  cfg.backoff_cap = Duration::seconds(2);
+  Rng rng{3};
+  for (const int attempt : {31, 32, 62, 63, 64, 1000, 1 << 30, INT32_MAX}) {
+    const Duration got = handshake_backoff(cfg, attempt, rng);
+    EXPECT_GE(got.secs(), 1.0 - 1e-9) << "attempt " << attempt;
+    EXPECT_LE(got.secs(), 2.0 + 1e-9) << "attempt " << attempt;
+  }
+}
+
+TEST(HandshakeBackoff, NegativeAttemptClampsToBase) {
+  LiveChannelConfig cfg;
+  cfg.backoff_base = Duration::milliseconds(100);
+  cfg.backoff_cap = Duration::seconds(2);
+  Rng rng{5};
+  const Duration got = handshake_backoff(cfg, -4, rng);
+  EXPECT_GE(got.secs(), 0.05 - 1e-9);
+  EXPECT_LE(got.secs(), 0.1 + 1e-9);
+}
+
+TEST(HandshakeBackoff, DeterministicForAFixedSeed) {
+  LiveChannelConfig cfg;
+  Rng a{42};
+  Rng b{42};
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    EXPECT_EQ(handshake_backoff(cfg, attempt, a).nanos(),
+              handshake_backoff(cfg, attempt, b).nanos());
+  }
+}
+
+}  // namespace
+}  // namespace pathload::net

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/counter_rng.hpp"
+
+namespace pathload {
+namespace {
+
+TEST(CounterRng, DeterministicGivenKeyAndStream) {
+  CounterRng a{42, 7};
+  CounterRng b{42, 7};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(CounterRng, StreamsAreIndependent) {
+  CounterRng a{42, 0};
+  CounterRng b{42, 1};
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next() != b.next()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(CounterRng, KeysDiverge) {
+  CounterRng a{1, 0};
+  CounterRng b{2, 0};
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next() != b.next()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(CounterRng, SeekReplaysTheStream) {
+  CounterRng rng{99, 3};
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 20; ++i) first.push_back(rng.next());
+  rng.seek(0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rng.next(), first[static_cast<std::size_t>(i)]) << "draw " << i;
+  }
+  // Seeking to block k lands exactly on draw 2k (two outputs per block).
+  rng.seek(5);
+  EXPECT_EQ(rng.next(), first[10]);
+  EXPECT_EQ(rng.next(), first[11]);
+}
+
+TEST(CounterRng, StreamFactoryMatchesConstructor) {
+  CounterRng base{42, 0};
+  CounterRng direct{42, 17};
+  CounterRng derived = base.stream(17);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(direct.next(), derived.next());
+  }
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  CounterRng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(CounterRng, UniformIndexInBounds) {
+  CounterRng rng{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_index(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit over 1000 draws
+}
+
+TEST(CounterRng, ExponentialMeanMatches) {
+  CounterRng rng{11};
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(3.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(CounterRng, ParetoMeanAndLowerBound) {
+  CounterRng rng{13};
+  const double alpha = 1.9;
+  const double mean = 2.0;
+  const double x_m = mean * (alpha - 1.0) / alpha;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(alpha, mean);
+    ASSERT_GE(x, x_m);
+    sum += x;
+  }
+  // alpha = 1.9 has infinite variance; the sample mean converges slowly,
+  // so the tolerance is loose.
+  EXPECT_NEAR(sum / n, mean, 0.4);
+}
+
+TEST(CounterRng, ParetoFromUniformMatchesPowForm) {
+  // The exp2/log2 form must compute the same function as x_m * (1-u)^(-1/a)
+  // up to rounding (it need not be bit-identical to std::pow — that break
+  // is the point of the v2 contract — but it must agree to ~1 ulp scale).
+  const double x_m = 0.5;
+  const double inv_alpha = 1.0 / 1.9;
+  for (const double u : {0.0, 0.1, 0.5, 0.9, 0.999, 0.9999999}) {
+    const double via_exp2 = CounterRng::pareto_from_uniform(u, x_m, inv_alpha);
+    const double via_pow = x_m / std::pow(1.0 - u, inv_alpha);
+    EXPECT_NEAR(via_exp2, via_pow, via_pow * 1e-12) << "u=" << u;
+  }
+}
+
+}  // namespace
+}  // namespace pathload

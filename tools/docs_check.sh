@@ -19,7 +19,10 @@
 #      round-trip that keeps the docs' flow examples honest;
 #   8. (when a scenario_fuzz binary is given) every invariant
 #      `scenario_fuzz --list-invariants` reports is documented in
-#      docs/FUZZING.md.
+#      docs/FUZZING.md;
+#   9. both engine-contract versions (v1 and v2, the values the spec
+#      parser accepts for `engine =`) are documented in docs/ENGINE.md
+#      and in docs/SCENARIOS.md's key reference.
 #
 # Usage: docs_check.sh <repo_root> <scenario_runner_binary> [scenario_fuzz_binary]
 
@@ -71,7 +74,10 @@ for doc in "${docs[@]}"; do
   [ -f "$doc" ] || continue
   while IFS= read -r target; do
     name=${target#bench_}
-    case $name in smoke|smoke_*) continue ;; esac  # ctest names, not bench sources
+    case $name in
+      smoke|smoke_*) continue ;;  # ctest names, not bench sources
+      ab) continue ;;             # tools/bench_ab.sh, a script not a bench source
+    esac
     [ -f "$root/bench/$name.cpp" ] ||
       err "$(basename "$doc"): bench target '$target' has no bench/$name.cpp"
   done < <(grep -ohE '\bbench_[a-z0-9_]+' "$doc" | sort -u)
@@ -175,6 +181,20 @@ if [ -n "$fuzzer" ]; then
         err "fuzz invariant '$inv' is not documented in docs/FUZZING.md"
     done
   fi
+fi
+
+# --- 9. engine versions are documented ----------------------------------------
+enginedoc="$root/docs/ENGINE.md"
+if [ ! -f "$enginedoc" ]; then
+  err "docs/ENGINE.md is missing"
+else
+  # Mirrors the `engine =` values src/scenario/spec.cpp's parser accepts.
+  for v in v1 v2; do
+    grep -qE "engine ?= ?${v}\b" "$enginedoc" ||
+      err "engine value '$v' is not documented in docs/ENGINE.md"
+    grep -qE "engine ?= ?${v}\b|engine v1\|v2" "$root/docs/SCENARIOS.md" ||
+      err "engine value '$v' is not documented in docs/SCENARIOS.md"
+  done
 fi
 
 if [ "$fail" -ne 0 ]; then
