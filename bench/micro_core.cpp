@@ -13,7 +13,9 @@
 #include "core/stream.hpp"
 #include "core/trend.hpp"
 #include "fluid/fluid_model.hpp"
+#include "scenario/experiment.hpp"
 #include "scenario/registry.hpp"
+#include "scenario/sim_channel.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/sweep_runner.hpp"
 #include "sim/fluid_traffic.hpp"
@@ -172,6 +174,66 @@ void BM_SimSecondsPerSec(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 3);
 }
 BENCHMARK(BM_SimSecondsPerSec)->Arg(0)->Arg(1);
+
+void BM_ProbeFleetSecond(benchmark::State& state) {
+  // A full v2 pathload session on paper-path (probe fleets over fluid
+  // links) with burst batching off (arg 0) vs on (arg 1): the A/B for the
+  // closed-form burst pass + Simulator::schedule_batch. Before measuring,
+  // pin the contract the speedup rides on: batched and unbatched must be
+  // byte-identical on the seed-77 anchor (bench_smoke_engine_v2 runs this
+  // in the default CI tier).
+  scenario::ScenarioSpec spec = scenario::Registry::builtin().at("paper-path");
+  spec.engine = scenario::EngineVersion::kV2;
+  core::PathloadConfig tool;
+  static const bool identical = [&] {
+    scenario::SimProbeChannel::set_burst_batching(false);
+    const auto off = scenario::run_scenario_once(spec, tool, 77);
+    scenario::SimProbeChannel::set_burst_batching(true);
+    const auto on = scenario::run_scenario_once(spec, tool, 77);
+    return off.range.low.bits_per_sec() == on.range.low.bits_per_sec() &&
+           off.range.high.bits_per_sec() == on.range.high.bits_per_sec() &&
+           off.elapsed.nanos() == on.elapsed.nanos() &&
+           off.fleets == on.fleets;
+  }();
+  if (!identical) {
+    state.SkipWithError(
+        "batched v2 probe path is not byte-identical to unbatched on "
+        "paper-path seed 77");
+    for (auto _ : state) {
+    }
+    return;
+  }
+  scenario::SimProbeChannel::set_burst_batching(state.range(0) != 0);
+  for (auto _ : state) {
+    const auto res = scenario::run_scenario_once(spec, tool, 77);
+    benchmark::DoNotOptimize(res.fleets);
+  }
+  scenario::SimProbeChannel::set_burst_batching(true);
+}
+BENCHMARK(BM_ProbeFleetSecond)->Arg(0)->Arg(1);
+
+void BM_TcpScenarioSecond(benchmark::State& state) {
+  // One simulated second (plus the 2 s warmup run by start()) of the
+  // tcp-bg-greedy scenario under engine v2, with the TCP flow on the
+  // packet backend (arg 0, `mode=packet`) vs the native fluid AIMD
+  // backend (arg 1). This is the Amdahl wall PR 9 knocks down: with
+  // cross traffic already fluid, the greedy flow's per-packet events are
+  // the remaining cost.
+  scenario::ScenarioSpec spec =
+      scenario::Registry::builtin().at("tcp-bg-greedy");
+  spec.engine = scenario::EngineVersion::kV2;
+  if (state.range(0) == 0) {
+    for (auto& f : spec.flows) f.mode = scenario::FlowSpec::Mode::kPacket;
+  }
+  for (auto _ : state) {
+    scenario::ScenarioInstance inst{spec};
+    inst.start();
+    inst.simulator().run_for(Duration::seconds(1));
+    benchmark::DoNotOptimize(inst.flow_bytes_acked());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_TcpScenarioSecond)->Arg(0)->Arg(1);
 
 std::vector<double> synthetic_owds(int k) {
   Rng rng{7};

@@ -153,6 +153,30 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const FuzzOptions& opt) {
   // to the pre-v2 generator (no draw is consumed).
   if (opt.allow_engine_v2 && chance(rng, 0.5)) {
     spec.engine = EngineVersion::kV2;
+
+    // v2-only extension of the flow grammar, drawn strictly after every
+    // pre-existing draw (and only once v2 itself is drawn) so flag-off
+    // corpora — and the v1 half of flag-on corpora — consume the exact
+    // historical draw sequence. Exercises the fluid TCP backend and its
+    // `mode=packet` escape hatch against every invariant.
+    if (opt.allow_flows && chance(rng, 0.35)) {
+      FlowSpec flow;
+      flow.first_hop = rng.uniform_index(static_cast<std::uint64_t>(hops));
+      flow.last_hop =
+          flow.first_hop +
+          rng.uniform_index(static_cast<std::uint64_t>(hops) - flow.first_hop);
+      if (chance(rng, 0.6)) flow.rwnd = pick(rng, kRwnds);
+      flow.count = chance(rng, 0.3) ? 2 : 1;
+      flow.start_s = pick(rng, kFlowStarts);
+      if (chance(rng, 0.25)) {
+        flow.on_s = 2.0;
+        flow.off_s = 1.0;
+      }
+      // Occasionally pin the packet backend, so fuzz coverage keeps both
+      // responsive-flow implementations honest under v2.
+      if (chance(rng, 0.3)) flow.mode = FlowSpec::Mode::kPacket;
+      spec.flows.push_back(flow);
+    }
   }
 
   spec.validate();

@@ -1,11 +1,28 @@
 #include "scenario/sim_channel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "tcp/bulk.hpp"
 
 namespace pathload::scenario {
+
+namespace {
+// Process-wide so A/B benches and identity tests can flip every channel at
+// once; relaxed because it is only written between streams.
+std::atomic<bool> g_burst_batching{true};
+}  // namespace
+
+void SimProbeChannel::set_burst_batching(bool on) {
+  g_burst_batching.store(on, std::memory_order_relaxed);
+}
+
+bool SimProbeChannel::burst_batching() {
+  return g_burst_batching.load(std::memory_order_relaxed);
+}
 
 SimProbeChannel::SimProbeChannel(sim::Simulator& sim, sim::Path& path)
     : sim_{sim},
@@ -48,6 +65,13 @@ bool SimProbeChannel::path_impaired() const {
   return false;
 }
 
+bool SimProbeChannel::path_all_fluid() const {
+  for (std::size_t i = 0; i < path_.hop_count(); ++i) {
+    if (!path_.link(i).fluid_mode()) return false;
+  }
+  return path_.hop_count() > 0;
+}
+
 void SimProbeChannel::Receiver::handle(const sim::Packet& p) {
   if (p.stream_id != channel->current_stream_) return;  // stale straggler
   core::ProbeRecord rec;
@@ -55,6 +79,74 @@ void SimProbeChannel::Receiver::handle(const sim::Packet& p) {
   rec.sent = p.sender_ts;
   rec.received = channel->sim_.now() + channel->receiver_offset_;
   channel->records_.push_back(rec);
+}
+
+void SimProbeChannel::run_stream_batched(const core::StreamSpec& spec) {
+  // The batched probe-burst fast path (docs/ENGINE.md): every link is in
+  // fluid mode, so the whole burst's transit is a closed-form pass over the
+  // piecewise-constant workload of each hop — Link::fluid_transit performs
+  // the same state updates in the same floating-point order as the
+  // event-driven chain, so the delivery times (and therefore Eq. 22's OWD
+  // slope and packet-on-packet FIFO spacing) come out byte-identical. Only
+  // the final accounting points are scheduled: one bulk insert of K events
+  // instead of K send timers plus K per-hop delivery closures.
+  std::vector<sim::Simulator::BatchEvent> batch;
+  batch.reserve(send_times_.size());
+  for (std::size_t i = 0; i < send_times_.size(); ++i) {
+    sim::Packet p;
+    p.id = sim_.next_packet_id();
+    p.flow = flow_;
+    p.kind = sim::PacketKind::kProbe;
+    p.size_bytes = spec.packet_size;
+    p.transit = true;
+    p.stream_id = spec.stream_id;
+    p.seq = static_cast<std::uint32_t>(i);
+    p.sender_ts = send_times_[i] + sender_offset_;
+    p.entered = send_times_[i];
+    TimePoint t = send_times_[i];
+    bool dropped = false;
+    for (std::size_t h = 0; h < path_.hop_count(); ++h) {
+      const std::optional<TimePoint> delivery = path_.link(h).fluid_transit(p, t);
+      if (!delivery.has_value()) {
+        dropped = true;
+        break;
+      }
+      t = *delivery;
+    }
+    if (dropped) {
+      // The drop is already on the link counters; the placeholder event
+      // makes the completion loop end at the same instant as the
+      // event-driven path, where the drop is accounted during the arrival
+      // event at the dropping hop (`t` still holds that arrival time).
+      batch.push_back({t, sim::Simulator::Callback{[this] { --batch_pending_; }}});
+    } else {
+      core::ProbeRecord rec;
+      rec.seq = p.seq;
+      rec.sent = p.sender_ts;
+      rec.received = t + receiver_offset_;
+      batch.push_back({t, sim::Simulator::Callback{[this, rec] {
+                         records_.push_back(rec);
+                         --batch_pending_;
+                       }}});
+    }
+  }
+  // FIFO keeps survivor deliveries in send order, but a drop's accounting
+  // point (arrival at the dropping hop) can precede an earlier packet's
+  // egress delivery; restore the time order schedule_batch requires. Stable,
+  // so equal-timestamp entries keep packet order.
+  const auto by_time = [](const sim::Simulator::BatchEvent& a,
+                          const sim::Simulator::BatchEvent& b) { return a.at < b.at; };
+  if (!std::is_sorted(batch.begin(), batch.end(), by_time)) {
+    std::stable_sort(batch.begin(), batch.end(), by_time);
+  }
+  batch_pending_ = batch.size();
+  sim_.schedule_batch(std::move(batch));
+  // Run up to (and including) the stream's last accounting point. Foreign
+  // events before it are processed exactly as the event-driven completion
+  // loop would have processed them.
+  while (batch_pending_ > 0) {
+    if (!sim_.run_next()) break;  // unreachable: pending events are queued
+  }
 }
 
 void SimProbeChannel::send_next() {
@@ -77,6 +169,14 @@ void SimProbeChannel::send_next() {
 }
 
 core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
+  // Validate before any state is touched: packet_count feeds a vector
+  // resize and a uint32 FIFO-ticket reservation, so a negative or absurd
+  // count must fail loudly instead of wrapping.
+  if (spec.packet_count < 1 || spec.packet_count > 1'000'000) {
+    throw std::invalid_argument{
+        "StreamSpec.packet_count must be in [1, 1000000], got " +
+        std::to_string(spec.packet_count)};
+  }
   if (!spec.periodic() &&
       spec.gaps.size() + 1 != static_cast<std::size_t>(spec.packet_count)) {
     throw std::invalid_argument{
@@ -110,24 +210,30 @@ core::StreamOutcome SimProbeChannel::run_stream(const core::StreamSpec& spec) {
     }
     send_times_[static_cast<std::size_t>(i)] = start + nominal_offset + accumulated_gap;
   }
-  spec_ = &spec;
-  send_idx_ = 0;
-  ticket_base_ = sim_.reserve_fifo_tickets(static_cast<std::uint32_t>(spec.packet_count));
-  if (!send_times_.empty()) send_timer_.schedule_at(send_times_[0], ticket_base_);
+  if (burst_batching() && !impaired && path_all_fluid()) {
+    run_stream_batched(spec);
+  } else {
+    spec_ = &spec;
+    send_idx_ = 0;
+    ticket_base_ =
+        sim_.reserve_fifo_tickets(static_cast<std::uint32_t>(spec.packet_count));
+    if (!send_times_.empty()) send_timer_.schedule_at(send_times_[0], ticket_base_);
 
-  // Run until every probe copy is accounted for: received or dropped. On an
-  // impaired path the accounting includes link-made duplicates — every
-  // copy created (original K plus dups so far) ends as either a record or a
-  // per-flow drop, so the loop still terminates exactly. Cross-traffic
-  // sources always have future events pending, so the guard against an
-  // empty queue is purely defensive.
-  const auto target = static_cast<std::uint64_t>(spec.packet_count);
-  while (static_cast<std::uint64_t>(records_.size()) + (probe_drops() - drops_before) <
-         target + (impaired ? probe_dups() - dups_before : 0)) {
-    if (!sim_.run_next()) break;
+    // Run until every probe copy is accounted for: received or dropped. On
+    // an impaired path the accounting includes link-made duplicates — every
+    // copy created (original K plus dups so far) ends as either a record or
+    // a per-flow drop, so the loop still terminates exactly. Cross-traffic
+    // sources always have future events pending, so the guard against an
+    // empty queue is purely defensive.
+    const auto target = static_cast<std::uint64_t>(spec.packet_count);
+    while (static_cast<std::uint64_t>(records_.size()) +
+               (probe_drops() - drops_before) <
+           target + (impaired ? probe_dups() - dups_before : 0)) {
+      if (!sim_.run_next()) break;
+    }
+    send_timer_.cancel();  // defensive: only armed if the loop exited early
+    spec_ = nullptr;
   }
-  send_timer_.cancel();  // defensive: only armed if the loop exited early
-  spec_ = nullptr;
 
   core::StreamOutcome outcome;
   outcome.sent_count = spec.packet_count;

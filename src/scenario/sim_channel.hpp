@@ -46,6 +46,16 @@ class SimProbeChannel final : public core::ProbeChannel, public core::BulkChanne
 
   std::uint32_t flow() const { return flow_; }
 
+  /// Process-wide toggle for the batched probe-burst fast path (engine v2,
+  /// docs/ENGINE.md). On a fully fluid, unimpaired path run_stream computes
+  /// the whole burst's transit closed-form and bulk-inserts one delivery
+  /// event per packet (Simulator::schedule_batch) instead of simulating
+  /// 2K scheduled events. Default on; switching it off forces the
+  /// event-driven per-packet path (A/B benches and the batched-vs-unbatched
+  /// identity tests). Flip it only between streams.
+  static void set_burst_batching(bool on);
+  static bool burst_batching();
+
  private:
   class Receiver final : public sim::PacketHandler {
    public:
@@ -56,6 +66,8 @@ class SimProbeChannel final : public core::ProbeChannel, public core::BulkChanne
   std::uint64_t probe_drops() const;
   std::uint64_t probe_dups() const;
   bool path_impaired() const;
+  bool path_all_fluid() const;
+  void run_stream_batched(const core::StreamSpec& spec);
   void send_next();
 
   sim::Simulator& sim_;
@@ -78,6 +90,11 @@ class SimProbeChannel final : public core::ProbeChannel, public core::BulkChanne
   std::uint64_t ticket_base_{0};
   sim::Simulator::TimerHandle send_timer_;
   std::vector<core::ProbeRecord> records_;
+  // Batched mode: deliveries (and drop accounting points) still pending in
+  // the event queue for the stream in flight; the completion loop runs
+  // until it hits zero, which lands the clock on the same instant as the
+  // event-driven path.
+  std::uint64_t batch_pending_{0};
 };
 
 }  // namespace pathload::scenario

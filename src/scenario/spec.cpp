@@ -315,10 +315,20 @@ FlowSpec parse_flow_line(int no, const std::string& body) {
       flow.mss_bytes = parse_int(kv);
     } else if (key == "reverse_ms") {
       flow.reverse_ms = parse_num(kv);
+    } else if (key == "mode") {
+      if (value == "auto") {
+        flow.mode = FlowSpec::Mode::kAuto;
+      } else if (value == "packet") {
+        flow.mode = FlowSpec::Mode::kPacket;
+      } else {
+        fail_flow_line(no, "unknown mode '" + value +
+                               "' (expected auto or packet; auto picks the "
+                               "engine's native flow backend)");
+      }
     } else {
       fail_flow_line(no, "unknown key '" + key +
                              "' (expected hops, rwnd, count, start_s, stop_s, "
-                             "on_s, off_s, mss, reverse_ms)");
+                             "on_s, off_s, mss, reverse_ms, mode)");
     }
   }
   return flow;
@@ -390,6 +400,7 @@ std::string flow_to_text(const FlowSpec& f, std::size_t hop_count) {
   if (f.off_s.has_value()) out += " off_s=" + fmt(*f.off_s);
   if (f.mss_bytes != 1460) out += " mss=" + std::to_string(f.mss_bytes);
   if (f.reverse_ms != 50.0) out += " reverse_ms=" + fmt(f.reverse_ms);
+  if (f.mode == FlowSpec::Mode::kPacket) out += " mode=packet";
   out += "\n";
   return out;
 }
@@ -973,6 +984,21 @@ tcp::SegmentFlowConfig flow_config(const FlowSpec& f) {
   return cfg;
 }
 
+/// The same FlowSpec as the fluid backend's config (field-for-field twin
+/// of flow_config, so either backend sees the identical shape).
+sim::FluidTcpConfig fluid_flow_config(const FlowSpec& f) {
+  sim::FluidTcpConfig cfg;
+  cfg.segment = sim::Segment{f.first_hop, f.last_hop};
+  cfg.mss_bytes = f.mss_bytes;
+  if (f.rwnd.has_value()) cfg.advertised_window = *f.rwnd;
+  cfg.reverse_delay = Duration::milliseconds(f.reverse_ms);
+  cfg.start = Duration::seconds(f.start_s);
+  if (f.stop_s.has_value()) cfg.stop = Duration::seconds(*f.stop_s);
+  if (f.on_s.has_value()) cfg.on_period = Duration::seconds(*f.on_s);
+  if (f.off_s.has_value()) cfg.off_period = Duration::seconds(*f.off_s);
+  return cfg;
+}
+
 }  // namespace
 
 ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
@@ -981,10 +1007,20 @@ ScenarioInstance::ScenarioInstance(ScenarioSpec spec) : spec_{std::move(spec)} {
   // backend carries the path. A spec without flows builds no flow state at
   // all, so pre-flow scenarios stay bit-identical.
   auto build_flows = [this] {
+    const bool fluid_engine = spec_.engine == EngineVersion::kV2;
     for (const FlowSpec& f : spec_.flows) {
       for (int c = 0; c < f.count; ++c) {
-        flows_.push_back(std::make_unique<tcp::SegmentTcpFlow>(
-            simulator(), path(), flow_config(f)));
+        // Under v2 a `flow tcp` entry is natively a fluid rate source
+        // (the links run in fluid mode, so a packet-mode flow there pays
+        // per-segment events against fluid queues); `mode=packet` opts
+        // back into the packet-accurate Reno connection.
+        if (fluid_engine && f.mode != FlowSpec::Mode::kPacket) {
+          flows_.push_back(std::make_unique<sim::FluidTcpSource>(
+              simulator(), path(), fluid_flow_config(f)));
+        } else {
+          flows_.push_back(std::make_unique<tcp::SegmentTcpFlow>(
+              simulator(), path(), flow_config(f)));
+        }
       }
     }
   };

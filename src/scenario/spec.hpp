@@ -36,9 +36,7 @@
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
 
-namespace pathload::tcp {
-class SegmentTcpFlow;
-}
+#include "sim/flow.hpp"
 
 namespace pathload::scenario {
 
@@ -151,7 +149,8 @@ struct HopDecl {
 ///
 /// Tokens after the kind are key=value pairs; see docs/SCENARIOS.md for the
 /// key table. Unlike the open-loop per-hop traffic models, these flows
-/// react to queueing and loss (tcp::SegmentTcpFlow), so a scenario's
+/// react to queueing and loss (tcp::SegmentTcpFlow under v1,
+/// sim::FluidTcpSource under v2 — see `mode`), so a scenario's
 /// effective avail-bw is emergent — `avail_bw()` keeps reporting the
 /// open-loop configured value (what the flows compete *for*).
 struct FlowSpec {
@@ -174,6 +173,14 @@ struct FlowSpec {
 
   int mss_bytes{1460};
   double reverse_ms{50.0};  ///< uncongested reverse-path (ACK) delay
+
+  /// Backend selection under engine v2 (ignored — always packet — under
+  /// v1). kAuto picks the engine's native backend: the rate-based
+  /// sim::FluidTcpSource for v2, tcp::SegmentTcpFlow for v1. kPacket
+  /// (`mode=packet`) opts a v2 flow back into the packet-accurate backend,
+  /// e.g. when per-segment loss/retransmission behaviour is the point.
+  enum class Mode { kAuto, kPacket };
+  Mode mode{Mode::kAuto};
 
   bool cycles() const { return on_s.has_value() && off_s.has_value(); }
 };
@@ -302,8 +309,10 @@ class ScenarioInstance {
   Rate configured_avail_bw() const { return spec_.avail_bw(); }
 
   /// The live responsive cross flows, one per expanded `flow` entry
-  /// (count=N entries expand to N), in declaration order.
-  const std::vector<std::unique_ptr<tcp::SegmentTcpFlow>>& flows() const {
+  /// (count=N entries expand to N), in declaration order. Held behind the
+  /// sim::ResponsiveFlow seam: packet-accurate tcp::SegmentTcpFlow under
+  /// v1 (and `mode=packet`), rate-based sim::FluidTcpSource under v2.
+  const std::vector<std::unique_ptr<sim::ResponsiveFlow>>& flows() const {
     return flows_;
   }
   /// Payload acknowledged by every flow so far, restarts included.
@@ -329,7 +338,7 @@ class ScenarioInstance {
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::Path> path_;
   std::vector<std::unique_ptr<sim::TrafficGen>> traffic_;
-  std::vector<std::unique_ptr<tcp::SegmentTcpFlow>> flows_;
+  std::vector<std::unique_ptr<sim::ResponsiveFlow>> flows_;
   std::size_t tight_index_{0};
 };
 

@@ -1,0 +1,46 @@
+// The responsive-flow seam between the sim layer and its workloads.
+//
+// A ResponsiveFlow is any elastic cross workload whose rate reacts to what
+// the path does: the packet-accurate tcp::SegmentTcpFlow (a real Reno
+// connection per ON period) and the engine-v2 fluid-rate FluidTcpSource
+// (AIMD rate updates per RTT epoch, sim/fluid_traffic.hpp) both implement
+// it. ScenarioInstance holds flows behind this interface so a `flow tcp`
+// spec entry can select either backend without the scenario layer caring
+// which — and without src/sim depending on src/tcp.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace pathload::sim {
+
+/// One responsive cross flow bound to a path segment, behind whichever
+/// engine implements it. All implementations are deterministic (no RNG):
+/// flow-bearing runs stay bit-reproducible.
+class ResponsiveFlow {
+ public:
+  virtual ~ResponsiveFlow() = default;
+
+  /// Schedule the flow's first connection `start` from now. Call once,
+  /// before running the simulation past the start time.
+  virtual void launch() = 0;
+
+  /// True while a connection (or fluid rate segment) is up.
+  virtual bool active() const = 0;
+
+  /// Payload acknowledged across every connection so far, restarts
+  /// included. For fluid flows this is the integrated applied rate — the
+  /// fluid analogue of cumulative ACKed bytes.
+  virtual DataSize bytes_acked() const = 0;
+
+  /// Connections begun so far (1 for non-cycling flows that have started).
+  virtual std::uint64_t connections_started() const = 0;
+
+  /// Cumulative RTO timeouts across connections (0 for fluid flows, whose
+  /// congestion response is rate halving, never a retransmission timer).
+  virtual std::uint64_t timeouts() const = 0;
+};
+
+}  // namespace pathload::sim

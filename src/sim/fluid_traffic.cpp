@@ -1,5 +1,6 @@
 #include "sim/fluid_traffic.hpp"
 
+#include <algorithm>
 #include <optional>
 
 namespace pathload::sim {
@@ -133,6 +134,145 @@ void FluidRampSource::on_timer() {
     if (inside(params_.back_start, params_.back_end)) consider(e + step_.nanos());
   }
   if (next.has_value()) timer_.schedule_in(Duration::nanoseconds(*next - e));
+}
+
+FluidTcpSource::FluidTcpSource(Simulator& sim, Path& path, FluidTcpConfig cfg)
+    : sim_{sim},
+      path_{path},
+      cfg_{cfg},
+      cycle_timer_{sim.make_timer([this] { on_cycle_timer(); })},
+      epoch_timer_{sim.make_timer([this] { on_epoch(); })} {
+  // Fail on nonsense segments at construction, not at first epoch.
+  cfg_.segment = path_.normalized(cfg_.segment);
+}
+
+FluidTcpSource::~FluidTcpSource() {
+  // The flow dies before its Path and Simulator (ScenarioInstance member
+  // order); withdraw whatever rate is still applied so the links' fluid
+  // accounting stays balanced.
+  apply(Rate::zero());
+}
+
+void FluidTcpSource::launch() {
+  epoch_ = sim_.now();
+  phase_ = Phase::kWaitingOn;
+  cycle_timer_.schedule_at(epoch_ + cfg_.start);
+}
+
+std::optional<TimePoint> FluidTcpSource::stop_at() const {
+  if (!cfg_.stop.has_value()) return std::nullopt;
+  return epoch_ + *cfg_.stop;
+}
+
+// Same start/stop/cycle state machine as tcp::SegmentTcpFlow::on_timer, so
+// a `flow` spec entry behaves identically under either backend.
+void FluidTcpSource::on_cycle_timer() {
+  const std::optional<TimePoint> stop = stop_at();
+  if (phase_ == Phase::kWaitingOn) {
+    begin_on_period();
+    phase_ = Phase::kOn;
+    std::optional<TimePoint> end;
+    if (cfg_.cycles()) end = sim_.now() + *cfg_.on_period;
+    if (stop.has_value() && (!end.has_value() || *stop < *end)) end = stop;
+    if (end.has_value()) cycle_timer_.schedule_at(*end);
+    return;
+  }
+  if (phase_ == Phase::kOn) {
+    end_on_period();
+    const TimePoint next_on =
+        sim_.now() + (cfg_.cycles() ? *cfg_.off_period : Duration::zero());
+    if (!cfg_.cycles() || (stop.has_value() && next_on >= *stop)) {
+      phase_ = Phase::kIdle;  // done for good
+      return;
+    }
+    phase_ = Phase::kWaitingOn;
+    cycle_timer_.schedule_at(next_on);
+  }
+}
+
+void FluidTcpSource::begin_on_period() {
+  cwnd_ = cfg_.initial_cwnd;
+  ssthresh_ = cfg_.initial_ssthresh;
+  ++connections_;
+  // First epoch applies the initial-cwnd rate without an AIMD update, the
+  // fluid analogue of the first flight leaving before any ACK returns.
+  if (cfg_.advertised_window.has_value()) {
+    cwnd_ = std::min(cwnd_, *cfg_.advertised_window);
+  }
+  const Duration rtt = current_rtt();
+  apply(Rate::bps(cwnd_ * static_cast<double>(cfg_.mss_bytes) * 8.0 / rtt.secs()));
+  epoch_timer_.schedule_in(rtt);
+}
+
+void FluidTcpSource::end_on_period() {
+  apply(Rate::zero());
+  epoch_timer_.cancel();
+}
+
+void FluidTcpSource::on_epoch() {
+  if (phase_ != Phase::kOn) return;  // defensive: cancelled at OFF
+  if (congested()) {
+    // The drop-tail ceiling is the loss signal: multiplicative decrease.
+    // Level-triggered on purpose — while the standing queue stays pinned
+    // the window keeps halving, like Reno taking consecutive loss events,
+    // until the segment drains below the ceiling.
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = ssthresh_;
+  } else if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min(cwnd_ * 2.0, ssthresh_);  // slow start: double per RTT
+  } else {
+    cwnd_ += 1.0;  // congestion avoidance: one segment per RTT
+  }
+  if (cfg_.advertised_window.has_value()) {
+    cwnd_ = std::min(cwnd_, *cfg_.advertised_window);
+  }
+  const Duration rtt = current_rtt();
+  apply(Rate::bps(cwnd_ * static_cast<double>(cfg_.mss_bytes) * 8.0 / rtt.secs()));
+  // The next update rides the ACK clock: one *new* RTT out, so a standing
+  // queue slows adaptation exactly as it slows real ACKs.
+  epoch_timer_.schedule_in(rtt);
+}
+
+Duration FluidTcpSource::current_rtt() const {
+  Duration rtt = cfg_.reverse_delay;
+  for (std::size_t h = cfg_.segment.first; h <= cfg_.segment.last; ++h) {
+    rtt += path_.link(h).prop_delay() + path_.link(h).backlog_delay();
+  }
+  // Degenerate zero-delay paths would make the rate infinite and the epoch
+  // timer spin; clamp to a scheduler-tick-ish floor.
+  return std::max(rtt, Duration::milliseconds(1));
+}
+
+bool FluidTcpSource::congested() const {
+  // Loss-driven, like Reno: the signal is the fluid queue *reaching* the
+  // drop-tail clamp — the regime where the link is actually discarding
+  // work (fluid overflow, probe drop-tails) — not an early-warning
+  // threshold below it. Backing off any earlier would keep the buffer
+  // from ever filling, and competing probe streams would never see the
+  // losses the packet backend inflicts on them.
+  for (std::size_t h = cfg_.segment.first; h <= cfg_.segment.last; ++h) {
+    const Link& link = path_.link(h);
+    const double ceiling =
+        link.capacity().transmission_time(link.buffer_limit()).secs();
+    // backlog_delay() projects unclamped, so >= detects a pinned queue.
+    if (link.backlog_delay().secs() >= ceiling) return true;
+  }
+  return false;
+}
+
+void FluidTcpSource::apply(Rate target) {
+  if (target == applied_) return;
+  const TimePoint now = sim_.now();
+  offered_ += applied_.bytes_in(now - applied_since_);
+  applied_since_ = now;
+  for (std::size_t h = cfg_.segment.first; h <= cfg_.segment.last; ++h) {
+    path_.link(h).add_fluid_rate(target - applied_);
+  }
+  applied_ = target;
+}
+
+DataSize FluidTcpSource::bytes_acked() const {
+  return offered_ + applied_.bytes_in(sim_.now() - applied_since_);
 }
 
 }  // namespace pathload::sim

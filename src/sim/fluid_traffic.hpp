@@ -26,8 +26,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
+#include "sim/flow.hpp"
 #include "sim/link.hpp"
+#include "sim/path.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
 #include "util/counter_rng.hpp"
@@ -139,6 +142,97 @@ class FluidRampSource final : public TrafficGen {
   Rate applied_{Rate::zero()};
   TimePoint applied_since_{};
   DataSize offered_{};
+};
+
+/// Shape of one fluid responsive flow, mirroring tcp::SegmentFlowConfig
+/// field for field so ScenarioInstance can build either backend from the
+/// same `flow` spec entry.
+struct FluidTcpConfig {
+  Segment segment{};               ///< hop range; the default is the whole path
+  std::int32_t mss_bytes{1460};    ///< payload per cwnd segment
+  double initial_cwnd{2.0};
+  /// RFC 5681: the first slow start runs until the first loss, so the
+  /// default is effectively unbounded — the flow *finds* the drop-tail
+  /// ceiling instead of gliding below it. (The packet backend's frozen
+  /// reno default of 64 segments cannot fill paper-scale 500 ms buffers;
+  /// copying it here would make a greedy fluid flow invisible to
+  /// competing probe streams.)
+  double initial_ssthresh{1e9};
+  /// Receiver advertised window in segments; unset = greedy.
+  std::optional<double> advertised_window{};
+  Duration reverse_delay{Duration::milliseconds(50)};  ///< uncongested ACK path
+  Duration start{Duration::zero()};   ///< first rate segment begins here
+  std::optional<Duration> stop{};     ///< flow ends here (unset: never)
+  /// Restart variant: both set => cycle ON for `on_period` (cwnd reset to
+  /// initial each time — slow start begins again), idle for `off_period`.
+  std::optional<Duration> on_period{};
+  std::optional<Duration> off_period{};
+
+  bool cycles() const { return on_period.has_value() && off_period.has_value(); }
+};
+
+/// Rate-based responsive TCP for the fluid engine: the flow is a fluid
+/// rate cwnd * mss * 8 / RTT applied to every link of its segment, with
+/// AIMD cwnd updates once per RTT epoch instead of per-ACK (the classical
+/// fluid approximation of Reno; docs/ENGINE.md spells out the model).
+///
+/// Per epoch: RTT = segment propagation + reverse delay + current segment
+/// backlog (so a standing queue slows the ACK clock, as it does for real
+/// TCP); congestion = any segment link's fluid queue pinned at its
+/// drop-tail ceiling (the regime where the link is actually discarding
+/// work — the fluid analogue of loss), answered by ssthresh =
+/// max(cwnd/2, 2) and cwnd = ssthresh; otherwise cwnd doubles per epoch
+/// below ssthresh (slow start, unbounded on the first pass per RFC 5681)
+/// and grows by one segment above it (congestion avoidance). The next
+/// epoch fires one *new* RTT later, so the update cadence tracks queueing
+/// like an ACK clock. Fully deterministic — no RNG, no retransmission
+/// machinery: flow-bearing v2 runs stay bit-reproducible, and timeouts()
+/// is always zero.
+class FluidTcpSource final : public ResponsiveFlow {
+ public:
+  FluidTcpSource(Simulator& sim, Path& path, FluidTcpConfig cfg);
+  ~FluidTcpSource() override;
+
+  void launch() override;
+  bool active() const override { return phase_ == Phase::kOn; }
+  DataSize bytes_acked() const override;
+  std::uint64_t connections_started() const override { return connections_; }
+  std::uint64_t timeouts() const override { return 0; }
+
+  const FluidTcpConfig& config() const { return cfg_; }
+  /// Current congestion window in segments (diagnostics / tests).
+  double cwnd() const { return cwnd_; }
+  Rate applied_rate() const { return applied_; }
+
+  FluidTcpSource(const FluidTcpSource&) = delete;
+  FluidTcpSource& operator=(const FluidTcpSource&) = delete;
+
+ private:
+  enum class Phase { kIdle, kWaitingOn, kOn };
+
+  void on_cycle_timer();
+  void on_epoch();
+  void begin_on_period();
+  void end_on_period();
+  void apply(Rate target);
+  Duration current_rtt() const;
+  bool congested() const;
+  std::optional<TimePoint> stop_at() const;
+
+  Simulator& sim_;
+  Path& path_;
+  FluidTcpConfig cfg_;
+  TimePoint epoch_{};
+  Phase phase_{Phase::kIdle};
+  Simulator::TimerHandle cycle_timer_;
+  Simulator::TimerHandle epoch_timer_;
+
+  double cwnd_{2.0};
+  double ssthresh_{64.0};
+  Rate applied_{Rate::zero()};
+  TimePoint applied_since_{};
+  DataSize offered_{};
+  std::uint64_t connections_{0};
 };
 
 }  // namespace pathload::sim

@@ -77,8 +77,9 @@ void Link::add_fluid_rate(Rate delta) {
   fluid_rate_bps_ = std::max(0.0, fluid_rate_bps_ + delta.bits_per_sec());
 }
 
-void Link::settle_fluid() {
-  const TimePoint now = sim_.now();
+void Link::settle_fluid() { settle_fluid_at(sim_.now()); }
+
+void Link::settle_fluid_at(TimePoint now) {
   const double dt = (now - fluid_last_).secs();
   if (dt <= 0.0) return;
   const double cap = capacity_.bits_per_sec();
@@ -95,14 +96,14 @@ void Link::settle_fluid() {
   fluid_last_ = now;
 }
 
-void Link::accept_fluid(const Packet& p) {
-  settle_fluid();
+std::optional<TimePoint> Link::fluid_transit(const Packet& p, TimePoint arrival) {
+  settle_fluid_at(arrival);
   const Duration tx = capacity_.transmission_time(p.size());
   if (capacity_.bytes_in(Duration::seconds(fluid_work_secs_)) + p.size() >
       buffer_limit_) {
     ++drops_;
     if (p.flow != kCrossTrafficFlow) ++flow_drops_[p.flow];
-    return;
+    return std::nullopt;
   }
   // FIFO: the packet waits out the whole current workload, then serializes.
   // Its own transmission time joins the workload seen by later arrivals, so
@@ -112,8 +113,15 @@ void Link::accept_fluid(const Packet& p) {
   fluid_work_secs_ += tx.secs();
   bytes_forwarded_ += p.size();
   ++packets_forwarded_;
+  return arrival + (wait + prop_delay_);
+}
+
+void Link::accept_fluid(const Packet& p) {
+  const TimePoint now = sim_.now();
+  const std::optional<TimePoint> delivery = fluid_transit(p, now);
+  if (!delivery.has_value()) return;  // drop-tailed (already accounted)
   if (downstream_ != nullptr) {
-    Duration delay = wait + prop_delay_;
+    Duration delay = *delivery - now;
     if (impair_rng_ != nullptr && impair_.reorder > Duration::zero()) {
       delay += impair_.reorder * impair_rng_->uniform();
     }

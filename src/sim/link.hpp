@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -78,6 +79,20 @@ class Link final : public PacketHandler {
   void add_fluid_rate(Rate delta);
   Rate fluid_rate() const { return Rate::bps(fluid_rate_bps_); }
 
+  /// Closed-form fluid-mode transit (the batched probe-burst fast path,
+  /// docs/ENGINE.md): settle the workload to `arrival`, account the packet
+  /// exactly as accept_fluid would at that instant, and return its delivery
+  /// time at the downstream node (arrival + wait + prop_delay), or nullopt
+  /// if the packet is drop-tailed. Performs the same state updates in the
+  /// same floating-point order as the event-driven path, so feeding a burst
+  /// through in arrival order is byte-identical to simulating it — but
+  /// schedules nothing. Callers own delivery: nothing is handed downstream.
+  /// `arrival` may be in the future; later event-driven settles before that
+  /// point then no-op (the workload is already integrated past them), which
+  /// is the documented approximation when foreign rate changes land inside
+  /// a processed burst. Requires fluid mode and an unimpaired link.
+  std::optional<TimePoint> fluid_transit(const Packet& p, TimePoint arrival);
+
   const std::string& name() const { return name_; }
   Rate capacity() const { return capacity_; }
   Duration prop_delay() const { return prop_delay_; }
@@ -121,6 +136,7 @@ class Link final : public PacketHandler {
   void accept(const Packet& p);
   void accept_fluid(const Packet& p);
   void settle_fluid();
+  void settle_fluid_at(TimePoint now);
   void begin_service();
   void finish_service();
 

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 
+#include "sim/flow.hpp"
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/reno.hpp"
@@ -58,24 +59,24 @@ struct SegmentFlowConfig {
 /// each OFF), a single re-armable timer driving the start/stop/cycle state
 /// machine, and cumulative counters that survive restarts. Must be
 /// destroyed before its Simulator (it holds a TimerHandle).
-class SegmentTcpFlow {
+class SegmentTcpFlow final : public sim::ResponsiveFlow {
  public:
   SegmentTcpFlow(sim::Simulator& sim, sim::Path& path, SegmentFlowConfig cfg);
 
   /// Schedule the flow's first connection `cfg.start` from now. Call once,
   /// before running the simulation past the start time.
-  void launch();
+  void launch() override;
 
   /// True while a connection is up (ON period, after start, before stop).
-  bool active() const { return conn_ != nullptr; }
+  bool active() const override { return conn_ != nullptr; }
   const SegmentFlowConfig& config() const { return cfg_; }
 
   /// Payload acknowledged across every connection so far, restarts included.
-  DataSize bytes_acked() const;
+  DataSize bytes_acked() const override;
   /// Connections begun so far (1 for non-cycling flows that have started).
-  std::uint64_t connections_started() const { return connections_; }
+  std::uint64_t connections_started() const override { return connections_; }
   /// Cumulative RTO timeouts across connections.
-  std::uint64_t timeouts() const;
+  std::uint64_t timeouts() const override;
 
   /// The live connection, or nullptr while idle. Flow ids change across
   /// restarts (each connection draws a fresh id).

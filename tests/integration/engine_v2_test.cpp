@@ -19,6 +19,7 @@
 #include "scenario/experiment.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/shard.hpp"
+#include "scenario/sim_channel.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/sweep_runner.hpp"
 #include "sim/monitor.hpp"
@@ -44,6 +45,39 @@ TEST(EngineV2Determinism, GoldenAnchorPaperPathSeed77) {
   EXPECT_EQ(res.range.high.bits_per_sec(), 4111863.2394286562);
   EXPECT_EQ(res.fleets, 4);
   EXPECT_EQ(res.elapsed.nanos(), 24983809069);
+}
+
+TEST(EngineV2Determinism, BatchedMatchesUnbatchedByteIdentical) {
+  // The closed-form burst pass (SimProbeChannel::run_stream_batched +
+  // Simulator::schedule_batch) is a pure reordering of the same
+  // floating-point work: on a quiescent fluid path it must reproduce the
+  // event-driven v2 results bit for bit, not approximately.
+  core::PathloadConfig tool;
+  for (const std::uint64_t seed : {77ULL, 123ULL, 9001ULL}) {
+    SimProbeChannel::set_burst_batching(false);
+    const auto off = run_scenario_once(v2_preset("paper-path"), tool, seed);
+    SimProbeChannel::set_burst_batching(true);
+    const auto on = run_scenario_once(v2_preset("paper-path"), tool, seed);
+    EXPECT_EQ(off.range.low.bits_per_sec(), on.range.low.bits_per_sec())
+        << "seed " << seed;
+    EXPECT_EQ(off.range.high.bits_per_sec(), on.range.high.bits_per_sec())
+        << "seed " << seed;
+    EXPECT_EQ(off.elapsed.nanos(), on.elapsed.nanos()) << "seed " << seed;
+    EXPECT_EQ(off.fleets, on.fleets) << "seed " << seed;
+  }
+}
+
+TEST(EngineV2Determinism, FluidTcpRunToRunIdenticalPerSeed) {
+  // The fluid TCP backend is RNG-free, but its epoch timers interleave
+  // with batched probe bursts; the interleaving must still be a pure
+  // function of the seed.
+  core::PathloadConfig tool;
+  const auto a = run_scenario_once(v2_preset("tcp-vs-probe-duel"), tool, 42);
+  const auto b = run_scenario_once(v2_preset("tcp-vs-probe-duel"), tool, 42);
+  EXPECT_EQ(a.range.low.bits_per_sec(), b.range.low.bits_per_sec());
+  EXPECT_EQ(a.range.high.bits_per_sec(), b.range.high.bits_per_sec());
+  EXPECT_EQ(a.elapsed.nanos(), b.elapsed.nanos());
+  EXPECT_EQ(a.fleets, b.fleets);
 }
 
 TEST(EngineV2Determinism, RunToRunIdenticalPerSeed) {
@@ -73,6 +107,26 @@ TEST(EngineV2Determinism, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST(EngineV2Determinism, ThreadCountInvariantWithFluidTcpAndBatching) {
+  // The batched probe path plus a fluid TCP competitor, swept across
+  // thread counts: per-seed results must not depend on how the runs are
+  // sharded across workers (burst batching is on by default here).
+  core::PathloadConfig tool;
+  const ScenarioSpec spec = v2_preset("tcp-vs-probe-duel");
+  SweepRunner one{1};
+  SweepRunner four{4};
+  const RepeatedRuns a = sweep_scenario_repeated(spec, tool, 4, 700, one);
+  const RepeatedRuns b = sweep_scenario_repeated(spec, tool, 4, 700, four);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].range.low.bits_per_sec(),
+              b.results[i].range.low.bits_per_sec());
+    EXPECT_EQ(a.results[i].range.high.bits_per_sec(),
+              b.results[i].range.high.bits_per_sec());
+    EXPECT_EQ(a.results[i].elapsed.nanos(), b.results[i].elapsed.nanos());
+  }
+}
+
 TEST(EngineV2Determinism, ShardMergeIsByteIdentical) {
   // The sharded matrix contract must hold under engine v2: shard streams
   // merged back reproduce the in-process matrix byte-for-byte.
@@ -81,7 +135,11 @@ TEST(EngineV2Determinism, ShardMergeIsByteIdentical) {
       baselines::builtin_estimators(), "pathload", "max_fleets=3"));
   ScenarioSpec spec = v2_preset("paper-path");
   spec.warmup = Duration::milliseconds(300);
-  const std::vector<ScenarioSpec> scenarios{spec};
+  // A flow-bearing spec rides along so the batched probe path and the
+  // fluid TCP backend are both under the shard contract.
+  ScenarioSpec tcp = v2_preset("tcp-bg-greedy");
+  tcp.warmup = Duration::milliseconds(300);
+  const std::vector<ScenarioSpec> scenarios{spec, tcp};
   const std::vector<double> loads{0.3, 0.7};
   SweepRunner runner{2};
 
@@ -167,7 +225,17 @@ INSTANTIATE_TEST_SUITE_P(
                       EquivalenceCase{"paper-path-poisson", 0.8},
                       EquivalenceCase{"tight-not-narrow", 0.3},
                       EquivalenceCase{"tight-not-narrow", 0.5},
-                      EquivalenceCase{"tight-not-narrow", 0.8}),
+                      EquivalenceCase{"tight-not-narrow", 0.8},
+                      // Responsive presets: under v2 these run the fluid
+                      // TCP backend against v1's packet Reno, at their
+                      // native open-loop load. The "truth" here is the
+                      // open-loop avail-bw the flows compete for, so the
+                      // tolerance is the bound on how differently the two
+                      // TCP models bend the estimate, not an accuracy
+                      // claim.
+                      EquivalenceCase{"tcp-bg-greedy", 0.3},
+                      EquivalenceCase{"tcp-bg-rwnd-capped", 0.3},
+                      EquivalenceCase{"tcp-vs-probe-duel", 0.3}),
     [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
       std::string name = info.param.preset;
       std::replace(name.begin(), name.end(), '-', '_');

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/trend.hpp"
 #include "scenario/paper_path.hpp"
 #include "scenario/sim_channel.hpp"
@@ -141,6 +143,24 @@ TEST(SimProbeChannel, StalePacketsFromPreviousStreamIgnored) {
   const auto o2 = ch.run_stream(spec2);
   EXPECT_EQ(o1.records.size(), 100u);
   EXPECT_EQ(o2.records.size(), 100u);
+}
+
+TEST(SimProbeChannel, RejectsOutOfRangePacketCounts) {
+  // The FIFO ticket reservation casts packet_count to uint32; a negative
+  // or absurd count must fail loudly instead of wrapping the ticket block.
+  Testbed bed{quiet_path()};
+  bed.start();
+  SimProbeChannel ch{bed.simulator(), bed.path()};
+  auto spec = spec_at(Rate::mbps(2));
+  spec.packet_count = 0;
+  EXPECT_THROW(ch.run_stream(spec), std::invalid_argument);
+  spec.packet_count = -7;
+  EXPECT_THROW(ch.run_stream(spec), std::invalid_argument);
+  spec.packet_count = 1'000'001;
+  EXPECT_THROW(ch.run_stream(spec), std::invalid_argument);
+  // Boundary values stay usable.
+  spec.packet_count = 1;
+  EXPECT_NO_THROW(ch.run_stream(spec));
 }
 
 }  // namespace

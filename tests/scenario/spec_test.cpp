@@ -259,6 +259,30 @@ TEST(SpecParse, FlowLinesParseWithDefaults) {
   EXPECT_EQ(again.flows[1].count, 3);
 }
 
+TEST(SpecParse, FlowModeKeyParsesAndRoundTrips) {
+  const auto parse_mode = [](const std::string& flow_line) {
+    return ScenarioSpec::parse(
+        "name = x\nhops = 2\nhop.0.traffic.model = none\n"
+        "hop.1.traffic.model = none\n" + flow_line + "\n");
+  };
+  // Default: auto (the engine's native backend); omitted from to_text.
+  const ScenarioSpec def = parse_mode("flow tcp");
+  EXPECT_EQ(def.flows[0].mode, FlowSpec::Mode::kAuto);
+  EXPECT_EQ(def.to_text().find("mode="), std::string::npos);
+  const ScenarioSpec autod = parse_mode("flow tcp mode=auto");
+  EXPECT_EQ(autod.flows[0].mode, FlowSpec::Mode::kAuto);
+  // mode=packet pins the packet backend and survives the round-trip.
+  const ScenarioSpec pinned = parse_mode("flow tcp rwnd=8 mode=packet");
+  EXPECT_EQ(pinned.flows[0].mode, FlowSpec::Mode::kPacket);
+  EXPECT_NE(pinned.to_text().find("mode=packet"), std::string::npos);
+  const ScenarioSpec again = ScenarioSpec::parse(pinned.to_text());
+  EXPECT_EQ(again.flows[0].mode, FlowSpec::Mode::kPacket);
+  EXPECT_EQ(again.to_text(), pinned.to_text());
+  // Unknown values fail with the accepted set.
+  expect_spec_error([&] { parse_mode("flow tcp mode=fluid"); },
+                    "unknown mode 'fluid' (expected auto or packet");
+}
+
 TEST(SpecParse, FlowLinesWorkWithThePaperForm) {
   const ScenarioSpec spec = ScenarioSpec::parse(R"(
     name = paper-with-flow

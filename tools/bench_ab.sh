@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # bench_ab — interleaved A/B of the engine benchmarks (v1 vs v2).
 #
-# Runs bench/micro_core's engine pair — BM_CrossTrafficSecond[V2] and
-# BM_SimSecondsPerSec/{0,1} — with repetitions under random interleaving
-# (so drift in machine load lands on both arms alike), takes the per-arm
-# medians from the benchmark JSON, computes the v1/v2 speedups, and appends
-# one JSON row to BENCH_engine.json.
+# Runs bench/micro_core's engine pairs — BM_CrossTrafficSecond[V2],
+# BM_SimSecondsPerSec/{0,1}, BM_ProbeFleetSecond/{0,1} (batched probe
+# bursts off/on) and BM_TcpScenarioSecond/{0,1} (packet vs fluid TCP) —
+# with repetitions under random interleaving (so drift in machine load
+# lands on both arms alike), takes the per-arm medians from the benchmark
+# JSON, computes the A/B speedups, and appends one JSON row to
+# BENCH_engine.json.
 #
 # Usage: bench_ab.sh [micro_core_binary] [repetitions] [out_json]
 #   defaults: build/bench/micro_core, 7, BENCH_engine.json (repo root)
@@ -29,7 +31,7 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
 "$binary" \
-  "--benchmark_filter=BM_SimSecondsPerSec|BM_CrossTrafficSecond" \
+  "--benchmark_filter=BM_SimSecondsPerSec|BM_CrossTrafficSecond|BM_ProbeFleetSecond|BM_TcpScenarioSecond" \
   "--benchmark_repetitions=$reps" \
   --benchmark_enable_random_interleaving=true \
   --benchmark_report_aggregates_only=true \
@@ -50,8 +52,13 @@ v1_cross=$(median BM_CrossTrafficSecond)
 v2_cross=$(median BM_CrossTrafficSecondV2)
 v1_simsec=$(median "BM_SimSecondsPerSec/0")
 v2_simsec=$(median "BM_SimSecondsPerSec/1")
+fleet_unbatched=$(median "BM_ProbeFleetSecond/0")
+fleet_batched=$(median "BM_ProbeFleetSecond/1")
+tcp_packet=$(median "BM_TcpScenarioSecond/0")
+tcp_fluid=$(median "BM_TcpScenarioSecond/1")
 
-for val in "$v1_cross" "$v2_cross" "$v1_simsec" "$v2_simsec"; do
+for val in "$v1_cross" "$v2_cross" "$v1_simsec" "$v2_simsec" \
+           "$fleet_unbatched" "$fleet_batched" "$tcp_packet" "$tcp_fluid"; do
   if [ -z "$val" ]; then
     echo "bench_ab: missing a median in $workdir/ab.json (benchmark renamed?)" >&2
     exit 1
@@ -59,12 +66,18 @@ for val in "$v1_cross" "$v2_cross" "$v1_simsec" "$v2_simsec"; do
 done
 
 row=$(awk -v a="$v1_cross" -v b="$v2_cross" -v c="$v1_simsec" -v d="$v2_simsec" \
+      -v e="$fleet_unbatched" -v f="$fleet_batched" \
+      -v g="$tcp_packet" -v h="$tcp_fluid" \
       -v reps="$reps" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" 'BEGIN {
   printf "{\"date\": \"%s\", \"repetitions\": %d, ", date, reps
   printf "\"cross_traffic_v1_ns\": %.1f, \"cross_traffic_v2_ns\": %.1f, ", a, b
   printf "\"cross_traffic_speedup\": %.2f, ", a / b
   printf "\"sim_second_v1_ns\": %.1f, \"sim_second_v2_ns\": %.1f, ", c, d
-  printf "\"sim_second_speedup\": %.2f}", c / d
+  printf "\"sim_second_speedup\": %.2f, ", c / d
+  printf "\"probe_fleet_unbatched_ns\": %.1f, \"probe_fleet_batched_ns\": %.1f, ", e, f
+  printf "\"probe_fleet_speedup\": %.2f, ", e / f
+  printf "\"tcp_scenario_packet_ns\": %.1f, \"tcp_scenario_fluid_ns\": %.1f, ", g, h
+  printf "\"tcp_scenario_speedup\": %.2f}", g / h
 }')
 
 # BENCH_engine.json is a JSON-lines log: one self-contained row per run.
