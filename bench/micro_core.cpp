@@ -235,6 +235,27 @@ void BM_TcpScenarioSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpScenarioSecond)->Arg(0)->Arg(1);
 
+void BM_CcDuelSecond(benchmark::State& state) {
+  // One simulated second of the tcp-vs-probe-duel scenario under engine
+  // v2 with the competing flow on each congestion policy: reno (arg 0),
+  // cubic (arg 1), bbr (arg 2). The A/B rows in BENCH_engine.json track
+  // what the pluggable-CC seam and the model-based policies cost relative
+  // to the frozen reno epoch body.
+  static const char* kCc[] = {"reno", "cubic", "bbr"};
+  scenario::ScenarioSpec spec =
+      scenario::Registry::builtin().at("tcp-vs-probe-duel");
+  spec.engine = scenario::EngineVersion::kV2;
+  for (auto& f : spec.flows) f.cc = kCc[state.range(0)];
+  for (auto _ : state) {
+    scenario::ScenarioInstance inst{spec};
+    inst.start();
+    inst.simulator().run_for(Duration::seconds(1));
+    benchmark::DoNotOptimize(inst.flow_bytes_acked());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_CcDuelSecond)->Arg(0)->Arg(1)->Arg(2);
+
 std::vector<double> synthetic_owds(int k) {
   Rng rng{7};
   std::vector<double> owds(static_cast<std::size_t>(k));

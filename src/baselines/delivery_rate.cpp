@@ -1,0 +1,106 @@
+#include "baselines/delivery_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathload::baselines {
+
+namespace {
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+std::optional<std::pair<double, double>> reduce_delivery_rate(
+    const std::vector<core::DeliveryRateSample>& samples) {
+  std::vector<double> usable;
+  usable.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (!s.app_limited && s.rate_mbps > 0.0) usable.push_back(s.rate_mbps);
+  }
+  if (usable.empty()) return std::nullopt;
+  std::sort(usable.begin(), usable.end());
+  return std::make_pair(quantile(usable, 0.25), quantile(usable, 0.75));
+}
+
+std::string DeliveryRateEstimator::config_text() const {
+  std::string out;
+  out += core::kv_config_line("duration_s", cfg_.duration.secs());
+  out += core::kv_config_line("reverse_delay_ms", cfg_.reverse_delay.millis());
+  out += core::kv_config_line("bucket_s", cfg_.throughput_bucket.secs());
+  out += core::kv_config_line("min_samples", cfg_.min_samples);
+  return out;
+}
+
+core::EstimateReport DeliveryRateEstimator::run(core::ProbeChannel& channel,
+                                                Rng& /*rng*/) {
+  core::BulkChannel* bulk = channel.bulk();
+  if (bulk == nullptr) {
+    throw core::EstimatorError{
+        "estimator 'delivery-rate' needs a bulk-TCP-capable channel, and this "
+        "channel has none (it samples the delivery rate of a greedy TCP "
+        "connection, not probe streams; run it over a simulated channel, or "
+        "pick a probe-stream estimator for this channel)"};
+  }
+
+  core::BulkTransferSpec spec;
+  spec.duration = cfg_.duration;
+  spec.throughput_bucket = cfg_.throughput_bucket;
+  spec.reverse_delay = cfg_.reverse_delay;
+  // Like BTC, the measurement is one atomic transfer: a deadline shortens
+  // it up front (fewer samples, same estimator) rather than interrupting.
+  bool shortened = false;
+  if (run_deadline().has_value() && *run_deadline() < spec.duration) {
+    spec.duration = *run_deadline();
+    shortened = true;
+  }
+  const core::BulkTransferOutcome outcome = bulk->run_bulk_transfer(spec);
+
+  std::size_t usable = 0;
+  for (const auto& s : outcome.rate_samples) {
+    if (!s.app_limited && s.rate_mbps > 0.0) ++usable;
+  }
+  const auto band = reduce_delivery_rate(outcome.rate_samples);
+
+  core::EstimateReport report;
+  report.estimator = name();
+  report.quantity = core::EstimateReport::Quantity::kAvailBw;
+  report.valid = band.has_value() &&
+                 usable >= static_cast<std::size_t>(cfg_.min_samples);
+  if (report.valid) {
+    report.is_range = true;
+    report.low = Rate::mbps(band->first);
+    report.high = Rate::mbps(band->second);
+    if (shortened) {
+      report.outcome = core::EstimateReport::Outcome::kDegraded;
+      report.outcome_note = "bulk transfer shortened to " +
+                            std::to_string(spec.duration.secs()) +
+                            " s by the run deadline";
+    }
+  } else {
+    report.outcome = core::EstimateReport::Outcome::kFailed;
+    report.outcome_note =
+        "only " + std::to_string(usable) +
+        " usable (network-limited) delivery-rate samples; need " +
+        std::to_string(cfg_.min_samples);
+  }
+  // Intrusiveness: no probe packets — the transfer is the measurement,
+  // counted in bytes like BTC.
+  report.bytes_sent = outcome.bytes_acked;
+  report.elapsed = outcome.elapsed;
+  report.iterations.reserve(outcome.rate_samples.size());
+  for (const auto& s : outcome.rate_samples) {
+    report.iterations.push_back(
+        {0.0, s.rate_mbps, s.app_limited ? "app-limited" : "sample"});
+  }
+  return report;
+}
+
+}  // namespace pathload::baselines

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.hpp"
+
+namespace pathload::baselines {
+
+/// Passive avail-bw estimation from TCP delivery-rate samples.
+///
+/// Runs one bulk TCP connection (like BTC) but estimates from the
+/// connection's per-ACK delivery-rate series (tcp::RateSampler, the
+/// tcp_rate.c algorithm) instead of the average goodput: each sample is
+/// delivered / max(send_interval, ack_interval), i.e. min(send_rate,
+/// ack_rate), so ACK compression can inflate neither endpoint of the
+/// estimate. App-limited samples measure the application and are
+/// discarded. The reported [low, high] range is the inter-quartile
+/// [p25, p75] of the usable samples — the steady-state band the
+/// connection actually delivered at, trimmed of slow-start ramp and
+/// loss-recovery dips.
+///
+/// Zero probe packets are sent: like BTC this is "TCP as the measurement"
+/// (Section VII), but where BTC averages over the whole transfer, the
+/// sampler separates network-limited windows from app-limited ones and
+/// reports a distributional range — the passive counterpart the
+/// estimator-vs-BBR duel scenarios compare SLoPS against.
+struct DeliveryRateConfig {
+  Duration duration{Duration::seconds(30)};
+  Duration reverse_delay{Duration::milliseconds(100)};
+  Duration throughput_bucket{Duration::seconds(1)};
+  /// Minimum usable (non-app-limited) samples for a valid estimate.
+  int min_samples{8};
+};
+
+/// [p25, p75] (in Mb/s) of the non-app-limited samples, or nullopt when
+/// none survive the filter. Exposed for the property tests: adding
+/// app-limited samples to a series must never move either quantile up.
+std::optional<std::pair<double, double>> reduce_delivery_rate(
+    const std::vector<core::DeliveryRateSample>& samples);
+
+class DeliveryRateEstimator final : public core::Estimator {
+ public:
+  explicit DeliveryRateEstimator(DeliveryRateConfig cfg = DeliveryRateConfig())
+      : cfg_{cfg} {}
+
+  std::string_view name() const override { return "delivery-rate"; }
+  std::string config_text() const override;
+  bool needs_bulk_tcp() const override { return true; }
+  core::EstimateReport run(core::ProbeChannel& channel, Rng& rng) override;
+
+ private:
+  DeliveryRateConfig cfg_;
+};
+
+}  // namespace pathload::baselines

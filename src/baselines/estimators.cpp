@@ -2,6 +2,7 @@
 
 #include "baselines/btc.hpp"
 #include "baselines/chirp.hpp"
+#include "baselines/delivery_rate.hpp"
 #include "baselines/delphi.hpp"
 #include "baselines/dispersion.hpp"
 #include "baselines/igi.hpp"
@@ -141,6 +142,17 @@ std::unique_ptr<core::Estimator> make_btc(const core::KvOverrides& kv) {
   return std::make_unique<BtcMeasurement>(cfg);
 }
 
+std::unique_ptr<core::Estimator> make_delivery_rate(const core::KvOverrides& kv) {
+  DeliveryRateConfig cfg;
+  kv.require_known("delivery-rate",
+                   {"duration_s", "reverse_delay_ms", "bucket_s", "min_samples"});
+  cfg.duration = kv.seconds("duration_s", cfg.duration);
+  cfg.reverse_delay = kv.millis("reverse_delay_ms", cfg.reverse_delay);
+  cfg.throughput_bucket = kv.seconds("bucket_s", cfg.throughput_bucket);
+  cfg.min_samples = kv.integer("min_samples", cfg.min_samples);
+  return std::make_unique<DeliveryRateEstimator>(cfg);
+}
+
 core::EstimatorRegistry make_builtin() {
   core::EstimatorRegistry reg;
   reg.add({"pathload",
@@ -172,6 +184,9 @@ core::EstimatorRegistry make_builtin() {
   reg.add({"btc",
            "greedy TCP bulk transfer (RFC 3148); intrusive, >= A under elastic load",
            "tcp-throughput point", /*needs_bulk_tcp=*/true, make_btc});
+  reg.add({"delivery-rate",
+           "passive p25-p75 of TCP per-ACK delivery-rate samples (tcp_rate.c)",
+           "avail-bw range", /*needs_bulk_tcp=*/true, make_delivery_rate});
   return reg;
 }
 

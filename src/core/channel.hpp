@@ -32,6 +32,20 @@ struct BulkTransferSpec {
   Duration reverse_delay{Duration::milliseconds(100)};
 };
 
+/// One per-ACK delivery-rate sample exported by the transport's rate
+/// sampler (tcp::RateSampler), in plain units so core stays free of tcp
+/// types. rate = delivered / max(send_interval, ack_interval) — the
+/// min(send_rate, ack_rate) guard against ACK compression. App-limited
+/// samples measure the application, not the path, and must never raise a
+/// bandwidth estimate.
+struct DeliveryRateSample {
+  double rate_mbps{0.0};
+  double interval_s{0.0};          ///< the (longer) interval the rate spans
+  std::int64_t delivered_bytes{0};
+  bool app_limited{false};
+  double at_s{0.0};                ///< ACK time relative to transfer start
+};
+
 /// What one bulk transfer achieved, as seen by the transport.
 struct BulkTransferOutcome {
   DataSize bytes_acked{};          ///< cumulative payload acknowledged
@@ -40,6 +54,9 @@ struct BulkTransferOutcome {
   std::uint64_t fast_retransmits{0};
   std::uint64_t timeouts{0};
   std::vector<double> rtt_samples_secs;  ///< the connection's own RTT samples
+  /// Per-ACK delivery-rate series (the passive `delivery-rate` estimator's
+  /// raw input). Empty when the transport has no sampler.
+  std::vector<DeliveryRateSample> rate_samples;
 };
 
 /// Optional ProbeChannel capability: run one greedy TCP connection through

@@ -177,6 +177,16 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const FuzzOptions& opt) {
       if (chance(rng, 0.3)) flow.mode = FlowSpec::Mode::kPacket;
       spec.flows.push_back(flow);
     }
+
+    // cc= draws, appended after the historical v2 flow draw (same
+    // byte-identity discipline: corpora generated before the key existed
+    // consumed exactly the sequence above). A third of flow-bearing specs
+    // swap the last flow onto a non-default policy, covering every
+    // CongestionOps implementation under both backends.
+    if (opt.allow_flows && !spec.flows.empty() && chance(rng, 0.3)) {
+      constexpr const char* kCcs[] = {"reno-rfc", "cubic", "bbr"};
+      spec.flows.back().cc = kCcs[rng.uniform_index(3)];
+    }
   }
 
   spec.validate();

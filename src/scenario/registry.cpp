@@ -380,6 +380,29 @@ Registry make_builtin() {
     flow tcp hops=1-2 on_s=5 off_s=5
   )");
 
+  // The same duel with the competitor running the model-based policy: BBR
+  // paces to its delivery-rate model instead of filling the drop-tail
+  // buffer, so the probe sees less self-inflicted queueing from the flow —
+  // the estimator-vs-BBR matchup the delivery-rate sampler opens up.
+  reg.add_text(R"(
+    name = bbr-vs-probe-duel
+    description = the tcp-vs-probe-duel competitor switched to cc=bbr (model-based, delivery-rate driven)
+    hops = 3
+    hop.0.capacity_mbps = 30
+    hop.0.delay_ms = 17
+    hop.0.traffic.model = poisson
+    hop.0.traffic.utilization = 0.2
+    hop.1.capacity_mbps = 10
+    hop.1.delay_ms = 17
+    hop.1.traffic.model = pareto
+    hop.1.traffic.utilization = 0.3
+    hop.2.capacity_mbps = 30
+    hop.2.delay_ms = 16
+    hop.2.traffic.model = poisson
+    hop.2.traffic.utilization = 0.2
+    flow tcp hops=1-2 on_s=5 off_s=5 cc=bbr
+  )");
+
   // The Section VII/VIII experiment path (Figs. 15-18): a single 8.2 Mb/s
   // bottleneck with ~200 ms quiescent RTT and a 180 ms drop-tail buffer,
   // mirroring the paper's Univ-Ioannina -> Univ-Delaware path. Background

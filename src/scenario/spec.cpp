@@ -325,10 +325,18 @@ FlowSpec parse_flow_line(int no, const std::string& body) {
                                "' (expected auto or packet; auto picks the "
                                "engine's native flow backend)");
       }
+    } else if (key == "cc") {
+      if (value == "reno" || value == "reno-rfc" || value == "cubic" ||
+          value == "bbr") {
+        flow.cc = value;
+      } else {
+        fail_flow_line(no, "unknown cc '" + value +
+                               "' (expected reno, reno-rfc, cubic, or bbr)");
+      }
     } else {
       fail_flow_line(no, "unknown key '" + key +
                              "' (expected hops, rwnd, count, start_s, stop_s, "
-                             "on_s, off_s, mss, reverse_ms, mode)");
+                             "on_s, off_s, mss, reverse_ms, mode, cc)");
     }
   }
   return flow;
@@ -382,6 +390,10 @@ void validate_flow(std::size_t i, const FlowSpec& f, std::size_t hop_count) {
   if (f.reverse_ms < 0.0) {
     fail_flow(i, "reverse_ms", "must not be negative, got " + fmt(f.reverse_ms));
   }
+  if (f.cc != "reno" && f.cc != "reno-rfc" && f.cc != "cubic" && f.cc != "bbr") {
+    fail_flow(i, "cc", "unknown policy '" + f.cc +
+                           "' (expected reno, reno-rfc, cubic, or bbr)");
+  }
 }
 
 /// Render one flow entry as the directive line parse_flow_line accepts;
@@ -401,6 +413,7 @@ std::string flow_to_text(const FlowSpec& f, std::size_t hop_count) {
   if (f.mss_bytes != 1460) out += " mss=" + std::to_string(f.mss_bytes);
   if (f.reverse_ms != 50.0) out += " reverse_ms=" + fmt(f.reverse_ms);
   if (f.mode == FlowSpec::Mode::kPacket) out += " mode=packet";
+  if (f.cc != "reno") out += " cc=" + f.cc;
   out += "\n";
   return out;
 }
@@ -975,6 +988,7 @@ tcp::SegmentFlowConfig flow_config(const FlowSpec& f) {
   tcp::SegmentFlowConfig cfg;
   cfg.segment = sim::Segment{f.first_hop, f.last_hop};
   cfg.tcp.mss_bytes = f.mss_bytes;
+  cfg.tcp.cc = f.cc;
   if (f.rwnd.has_value()) cfg.tcp.advertised_window = *f.rwnd;
   cfg.reverse_delay = Duration::milliseconds(f.reverse_ms);
   cfg.start = Duration::seconds(f.start_s);
@@ -990,6 +1004,7 @@ sim::FluidTcpConfig fluid_flow_config(const FlowSpec& f) {
   sim::FluidTcpConfig cfg;
   cfg.segment = sim::Segment{f.first_hop, f.last_hop};
   cfg.mss_bytes = f.mss_bytes;
+  cfg.cc = f.cc;
   if (f.rwnd.has_value()) cfg.advertised_window = *f.rwnd;
   cfg.reverse_delay = Duration::milliseconds(f.reverse_ms);
   cfg.start = Duration::seconds(f.start_s);

@@ -182,6 +182,13 @@ struct FlowSpec {
   enum class Mode { kAuto, kPacket };
   Mode mode{Mode::kAuto};
 
+  /// Congestion-control policy (`cc=` key): "reno" (default; the
+  /// bit-frozen historical policy), "reno-rfc" (RFC 5681-conformant
+  /// ssthresh/slow-start), "cubic", or "bbr" (delivery-rate model-based).
+  /// Honored by both backends — tcp::TcpConfig::cc for packet flows,
+  /// sim::FluidTcpConfig::cc for fluid ones.
+  std::string cc{"reno"};
+
   bool cycles() const { return on_s.has_value() && off_s.has_value(); }
 };
 

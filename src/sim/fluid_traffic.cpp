@@ -1,6 +1,7 @@
 #include "sim/fluid_traffic.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 
 namespace pathload::sim {
@@ -193,6 +194,10 @@ void FluidTcpSource::on_cycle_timer() {
 void FluidTcpSource::begin_on_period() {
   cwnd_ = cfg_.initial_cwnd;
   ssthresh_ = cfg_.initial_ssthresh;
+  w_max_ = 0.0;
+  cubic_epoch_.reset();
+  bw_window_.clear();
+  min_rtt_.reset();
   ++connections_;
   // First epoch applies the initial-cwnd rate without an AIMD update, the
   // fluid analogue of the first flight leaving before any ACK returns.
@@ -211,6 +216,28 @@ void FluidTcpSource::end_on_period() {
 
 void FluidTcpSource::on_epoch() {
   if (phase_ != Phase::kOn) return;  // defensive: cancelled at OFF
+  if (cfg_.cc == "cubic") {
+    epoch_cubic();
+  } else if (cfg_.cc == "bbr") {
+    epoch_bbr(current_rtt());
+  } else {
+    // "reno" and "reno-rfc": in the fluid model cwnd IS FlightSize (there
+    // is no advertised-window gap or retransmission hole between them), so
+    // the RFC 5681 FlightSize fix changes nothing and both names share the
+    // historical epoch body — kept verbatim for the v2 golden anchors.
+    epoch_reno();
+  }
+  if (cfg_.advertised_window.has_value()) {
+    cwnd_ = std::min(cwnd_, *cfg_.advertised_window);
+  }
+  const Duration rtt = current_rtt();
+  apply(Rate::bps(cwnd_ * static_cast<double>(cfg_.mss_bytes) * 8.0 / rtt.secs()));
+  // The next update rides the ACK clock: one *new* RTT out, so a standing
+  // queue slows adaptation exactly as it slows real ACKs.
+  epoch_timer_.schedule_in(rtt);
+}
+
+void FluidTcpSource::epoch_reno() {
   if (congested()) {
     // The drop-tail ceiling is the loss signal: multiplicative decrease.
     // Level-triggered on purpose — while the standing queue stays pinned
@@ -223,14 +250,62 @@ void FluidTcpSource::on_epoch() {
   } else {
     cwnd_ += 1.0;  // congestion avoidance: one segment per RTT
   }
-  if (cfg_.advertised_window.has_value()) {
-    cwnd_ = std::min(cwnd_, *cfg_.advertised_window);
+}
+
+// Fluid CUBIC: beta = 0.7 decrease at the drop-tail ceiling, then the
+// C*(t-K)^3 + W_max profile sampled once per epoch. One epoch is one RTT,
+// so the per-ACK form (target - cwnd)/cwnd * acked collapses to chasing
+// the profile directly; the small floor keeps the window from stalling on
+// the plateau around W_max.
+void FluidTcpSource::epoch_cubic() {
+  constexpr double kC = 0.4;
+  constexpr double kBeta = 0.7;
+  if (congested()) {
+    w_max_ = std::max(cwnd_, 2.0);
+    ssthresh_ = std::max(cwnd_ * kBeta, 2.0);
+    cwnd_ = ssthresh_;
+    cubic_epoch_.reset();
+    return;
   }
-  const Duration rtt = current_rtt();
-  apply(Rate::bps(cwnd_ * static_cast<double>(cfg_.mss_bytes) * 8.0 / rtt.secs()));
-  // The next update rides the ACK clock: one *new* RTT out, so a standing
-  // queue slows adaptation exactly as it slows real ACKs.
-  epoch_timer_.schedule_in(rtt);
+  if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min(cwnd_ * 2.0, ssthresh_);  // slow start, as in Reno
+    return;
+  }
+  if (!cubic_epoch_.has_value()) {
+    cubic_epoch_ = sim_.now();
+    w_max_ = std::max(w_max_, cwnd_);
+  }
+  const double k = std::cbrt(w_max_ * (1.0 - kBeta) / kC);
+  const double t = (sim_.now() - *cubic_epoch_).secs();
+  const double d = t - k;
+  cwnd_ = std::max(w_max_ + kC * d * d * d, cwnd_ + 0.01);
+}
+
+// Fluid BBR: per epoch the window sustains cwnd * mss * 8 / RTT, with the
+// RTT inclusive of standing queue — exactly the delivery rate a RateSampler
+// would measure once the pipe is full. The model is the windowed max of
+// those samples (not taken while the drop-tail ceiling is discarding work)
+// and the running minimum RTT; cwnd pins to 2x the modeled BDP. Until the
+// model has a sample the window doubles per epoch (STARTUP).
+void FluidTcpSource::epoch_bbr(Duration rtt) {
+  constexpr double kGain = 2.0;
+  constexpr double kMinCwnd = 4.0;
+  const Duration window = Duration::seconds(10);
+  const double mss_bits = static_cast<double>(cfg_.mss_bytes) * 8.0;
+  if (!congested()) {
+    bw_window_.emplace_back(sim_.now(), cwnd_ * mss_bits / rtt.secs());
+  }
+  while (!bw_window_.empty() && sim_.now() - bw_window_.front().first > window) {
+    bw_window_.erase(bw_window_.begin());
+  }
+  if (!min_rtt_.has_value() || rtt < *min_rtt_) min_rtt_ = rtt;
+  double bw = 0.0;
+  for (const auto& s : bw_window_) bw = std::max(bw, s.second);
+  if (bw > 0.0 && min_rtt_.has_value()) {
+    cwnd_ = std::max(kGain * bw * min_rtt_->secs() / mss_bits, kMinCwnd);
+  } else {
+    cwnd_ *= 2.0;  // STARTUP: no model yet, fill the pipe fast
+  }
 }
 
 Duration FluidTcpSource::current_rtt() const {

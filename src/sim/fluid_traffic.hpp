@@ -27,6 +27,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/flow.hpp"
 #include "sim/link.hpp"
@@ -167,6 +170,11 @@ struct FluidTcpConfig {
   /// initial each time — slow start begins again), idle for `off_period`.
   std::optional<Duration> on_period{};
   std::optional<Duration> off_period{};
+  /// Congestion-control policy, mirroring tcp::TcpConfig::cc. "reno" and
+  /// "reno-rfc" share one epoch body (fluid cwnd *is* FlightSize, so the
+  /// RFC 5681 FlightSize-vs-cwnd distinction vanishes); "cubic" and "bbr"
+  /// get fluid analogues of their packet policies (see on_epoch).
+  std::string cc{"reno"};
 
   bool cycles() const { return on_period.has_value() && off_period.has_value(); }
 };
@@ -212,6 +220,9 @@ class FluidTcpSource final : public ResponsiveFlow {
 
   void on_cycle_timer();
   void on_epoch();
+  void epoch_reno();
+  void epoch_cubic();
+  void epoch_bbr(Duration rtt);
   void begin_on_period();
   void end_on_period();
   void apply(Rate target);
@@ -229,6 +240,13 @@ class FluidTcpSource final : public ResponsiveFlow {
 
   double cwnd_{2.0};
   double ssthresh_{64.0};
+  // cubic state: last loss ceiling and the epoch the profile grows from.
+  double w_max_{0.0};
+  std::optional<TimePoint> cubic_epoch_{};
+  // bbr state: windowed max of per-epoch delivery-rate samples (bps) and
+  // the running minimum RTT the model pins cwnd to.
+  std::vector<std::pair<TimePoint, double>> bw_window_;
+  std::optional<Duration> min_rtt_{};
   Rate applied_{Rate::zero()};
   TimePoint applied_since_{};
   DataSize offered_{};

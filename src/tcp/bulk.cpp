@@ -17,6 +17,7 @@ core::BulkTransferOutcome run_bulk_transfer(sim::Simulator& sim, sim::Path& path
 
   const DataSize acked_before = conn.sender().bytes_acked();
   const TimePoint start = sim.now();
+  conn.sender().rate_sampler().set_recording(true);
   conn.sender().start();
   sim.run_for(spec.duration);
   conn.sender().stop();
@@ -30,6 +31,15 @@ core::BulkTransferOutcome run_bulk_transfer(sim::Simulator& sim, sim::Path& path
   outcome.fast_retransmits = conn.sender().fast_retransmits();
   outcome.timeouts = conn.sender().timeouts();
   outcome.rtt_samples_secs = conn.sender().rtt_samples_secs();
+  for (const auto& s : conn.sender().rate_sampler().samples()) {
+    core::DeliveryRateSample out;
+    out.rate_mbps = s.delivery_rate.mbits_per_sec();
+    out.interval_s = s.interval.secs();
+    out.delivered_bytes = s.delivered.byte_count();
+    out.app_limited = s.app_limited;
+    out.at_s = (s.at - start).secs();
+    outcome.rate_samples.push_back(out);
+  }
 
   // Restore the receiver as the direct egress handler before the monitor
   // goes out of scope (the connection is destroyed right after anyway).

@@ -1,0 +1,278 @@
+#include "tcp/cong.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "tcp/rate_sampler.hpp"
+#include "tcp/reno.hpp"
+
+namespace pathload::tcp {
+
+namespace {
+
+// --- reno (legacy, bit-frozen) ---------------------------------------------
+// Every expression below is lifted verbatim from the pre-seam TcpSender and
+// must stay byte-for-byte: the v1 golden anchors (and v2 mode=packet
+// anchors) were captured from these exact floating-point sequences.
+
+class RenoOps : public CongestionOps {
+ public:
+  explicit RenoOps(const TcpConfig& cfg)
+      : cwnd_{cfg.initial_cwnd}, ssthresh_{cfg.initial_ssthresh} {}
+
+  std::string_view name() const override { return "reno"; }
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+
+  void on_ack(double newly_acked, const Context&) override {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += newly_acked;  // slow start: exponential growth per RTT
+    } else {
+      cwnd_ += newly_acked / cwnd_;  // congestion avoidance: +1 MSS per RTT
+    }
+  }
+  void on_recovery_exit(const Context&) override {
+    // Full recovery: deflate to ssthresh (Reno).
+    cwnd_ = ssthresh_;
+  }
+  void on_partial_ack(double newly_acked, const Context&) override {
+    cwnd_ = std::max(ssthresh_, cwnd_ - newly_acked + 1.0);
+  }
+  void on_dup_ack_inflate(const Context&) override {
+    cwnd_ += 1.0;  // window inflation per extra dup ACK
+  }
+  void on_enter_recovery(int dupack_threshold, const Context&) override {
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = ssthresh_ + dupack_threshold;
+  }
+  void on_rto(const Context&) override {
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = 1.0;
+  }
+
+ protected:
+  double cwnd_;
+  double ssthresh_;
+};
+
+// --- reno-rfc ---------------------------------------------------------------
+// The two RFC 5681 conformance fixes, kept out of the bit-frozen default:
+//  §3.1/§3.2 — ssthresh = max(FlightSize/2, 2). The legacy policy halves
+//    cwnd, which an rwnd-capped flow grows without bound (the advertised
+//    window caps sending, not growth), so its post-loss ssthresh can be
+//    arbitrarily inflated relative to what was actually in flight.
+//  §3.1 — a stretch/cumulative ACK in slow start must not carry cwnd past
+//    ssthresh in one jump; the increment is clamped at the boundary and
+//    the remainder grows linearly (congestion avoidance from the boundary).
+
+class RenoRfcOps : public RenoOps {
+ public:
+  explicit RenoRfcOps(const TcpConfig& cfg) : RenoOps{cfg} {}
+
+  std::string_view name() const override { return "reno-rfc"; }
+
+  void on_ack(double newly_acked, const Context&) override {
+    if (cwnd_ < ssthresh_) {
+      const double below = std::min(newly_acked, ssthresh_ - cwnd_);
+      cwnd_ += below;
+      const double rest = newly_acked - below;
+      if (rest > 0.0) cwnd_ += rest / cwnd_;
+    } else {
+      cwnd_ += newly_acked / cwnd_;
+    }
+  }
+  void on_enter_recovery(int dupack_threshold, const Context& ctx) override {
+    ssthresh_ = std::max(ctx.flight_size / 2.0, 2.0);
+    cwnd_ = ssthresh_ + dupack_threshold;
+  }
+  void on_rto(const Context& ctx) override {
+    ssthresh_ = std::max(ctx.flight_size / 2.0, 2.0);
+    cwnd_ = 1.0;
+  }
+};
+
+// --- cubic ------------------------------------------------------------------
+// RFC 8312 window growth: after a loss at W_max, cwnd follows
+// C*(t - K)^3 + W_max with K = cbrt(W_max * beta' / C) — concave up to the
+// old ceiling, convex (probing) past it. Slow start and the recovery
+// mechanics are the RFC-conformant Reno ones; FlightSize-based ssthresh
+// with beta = 0.7 (so the decrease is gentler than Reno's half).
+
+constexpr double kCubicC = 0.4;
+constexpr double kCubicBeta = 0.7;
+
+class CubicOps : public CongestionOps {
+ public:
+  explicit CubicOps(const TcpConfig& cfg)
+      : cwnd_{cfg.initial_cwnd}, ssthresh_{cfg.initial_ssthresh} {}
+
+  std::string_view name() const override { return "cubic"; }
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+
+  void on_ack(double newly_acked, const Context& ctx) override {
+    if (cwnd_ < ssthresh_) {
+      const double below = std::min(newly_acked, ssthresh_ - cwnd_);
+      cwnd_ += below;
+      newly_acked -= below;
+      if (newly_acked <= 0.0) return;
+    }
+    if (!epoch_.has_value()) {
+      epoch_ = ctx.now;
+      w_max_ = std::max(w_max_, cwnd_);
+      k_ = std::cbrt(w_max_ * (1.0 - kCubicBeta) / kCubicC);
+    }
+    const double t = (ctx.now - *epoch_).secs() + ctx.srtt.secs();
+    const double d = t - k_;
+    const double target = w_max_ + kCubicC * d * d * d;
+    // Per-ACK form of the RFC's (W_cubic(t+RTT) - cwnd)/cwnd growth; when
+    // the profile sits below cwnd (plateau around W_max) grow minimally so
+    // the window never stalls outright.
+    const double grow = std::max((target - cwnd_) / cwnd_, 0.01 / cwnd_);
+    cwnd_ += grow * newly_acked;
+  }
+  void on_recovery_exit(const Context&) override { cwnd_ = ssthresh_; }
+  void on_partial_ack(double newly_acked, const Context&) override {
+    cwnd_ = std::max(ssthresh_, cwnd_ - newly_acked + 1.0);
+  }
+  void on_dup_ack_inflate(const Context&) override { cwnd_ += 1.0; }
+  void on_enter_recovery(int dupack_threshold, const Context& ctx) override {
+    w_max_ = std::max(ctx.flight_size, 2.0);
+    ssthresh_ = std::max(ctx.flight_size * kCubicBeta, 2.0);
+    cwnd_ = ssthresh_ + dupack_threshold;
+    epoch_.reset();
+  }
+  void on_rto(const Context& ctx) override {
+    w_max_ = std::max(ctx.flight_size, 2.0);
+    ssthresh_ = std::max(ctx.flight_size / 2.0, 2.0);
+    cwnd_ = 1.0;
+    epoch_.reset();
+  }
+
+ private:
+  double cwnd_;
+  double ssthresh_;
+  double w_max_{0.0};
+  double k_{0.0};
+  std::optional<TimePoint> epoch_{};
+};
+
+// --- bbr --------------------------------------------------------------------
+// Model-based control driven by the RateSampler: estimate the bottleneck
+// bandwidth as a windowed maximum of delivery-rate samples (app-limited
+// samples are discarded — they measure the application and must never
+// raise the path model) and the propagation delay as a running minimum of
+// the RTT estimate, then pin cwnd to 2x the modeled BDP. Loss does not
+// shrink the model: recovery runs the standard mechanics (so holes are
+// retransmitted promptly), and on exit the window snaps back to the model
+// instead of a halved ssthresh. Before the model has both a bandwidth and
+// an RTT, the policy grows like slow start (BBR's STARTUP).
+
+constexpr double kBbrCwndGain = 2.0;
+constexpr double kBbrMinCwnd = 4.0;
+constexpr Duration kBbrBwWindow = Duration::seconds(10);
+
+class BbrOps : public CongestionOps {
+ public:
+  explicit BbrOps(const TcpConfig& cfg)
+      : mss_bytes_{static_cast<double>(cfg.mss_bytes)},
+        cwnd_{cfg.initial_cwnd},
+        ssthresh_{cfg.initial_ssthresh} {}
+
+  std::string_view name() const override { return "bbr"; }
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+
+  void on_ack(double newly_acked, const Context& ctx) override {
+    update_model(ctx);
+    if (const double target = model_cwnd(); target > 0.0) {
+      cwnd_ = target;
+    } else {
+      cwnd_ += newly_acked;  // STARTUP: no model yet, fill the pipe fast
+    }
+  }
+  void on_recovery_exit(const Context& ctx) override {
+    update_model(ctx);
+    const double target = model_cwnd();
+    cwnd_ = target > 0.0 ? target : ssthresh_;
+  }
+  void on_partial_ack(double newly_acked, const Context& ctx) override {
+    update_model(ctx);
+    cwnd_ = std::max(ssthresh_, cwnd_ - newly_acked + 1.0);
+  }
+  void on_dup_ack_inflate(const Context&) override { cwnd_ += 1.0; }
+  void on_enter_recovery(int dupack_threshold, const Context& ctx) override {
+    // ssthresh keeps the recovery bookkeeping honest (partial-ACK floor),
+    // but the model, not the loss, decides the post-recovery window.
+    ssthresh_ = std::max(ctx.flight_size / 2.0, 2.0);
+    cwnd_ = std::max(model_cwnd(), ssthresh_ + dupack_threshold);
+  }
+  void on_rto(const Context& ctx) override {
+    ssthresh_ = std::max(ctx.flight_size / 2.0, 2.0);
+    cwnd_ = 1.0;  // conservative restart; the model re-inflates on new ACKs
+  }
+
+  /// Modeled bottleneck bandwidth (zero until a usable sample arrived).
+  Rate bandwidth_estimate() const {
+    double best = 0.0;
+    for (const auto& s : bw_window_) best = std::max(best, s.bps);
+    return Rate::bps(best);
+  }
+
+ private:
+  struct BwSample {
+    TimePoint at;
+    double bps;
+  };
+
+  void update_model(const Context& ctx) {
+    if (ctx.sample != nullptr && !ctx.sample->app_limited) {
+      bw_window_.push_back(
+          BwSample{ctx.now, ctx.sample->delivery_rate.bits_per_sec()});
+    }
+    while (!bw_window_.empty() && ctx.now - bw_window_.front().at > kBbrBwWindow) {
+      bw_window_.erase(bw_window_.begin());
+    }
+    if (ctx.srtt > Duration::zero()) {
+      if (!min_rtt_.has_value() || ctx.srtt < *min_rtt_) min_rtt_ = ctx.srtt;
+    }
+  }
+
+  /// kBbrCwndGain x BDP in segments, or 0 while the model is incomplete.
+  double model_cwnd() const {
+    const double bw = bandwidth_estimate().bits_per_sec();
+    if (bw <= 0.0 || !min_rtt_.has_value()) return 0.0;
+    const double bdp = bw * min_rtt_->secs() / (8.0 * mss_bytes_);
+    return std::max(kBbrCwndGain * bdp, kBbrMinCwnd);
+  }
+
+  double mss_bytes_;
+  double cwnd_;
+  double ssthresh_;
+  std::vector<BwSample> bw_window_;
+  std::optional<Duration> min_rtt_{};
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionOps> make_congestion_ops(std::string_view name,
+                                                   const TcpConfig& cfg) {
+  if (name == "reno") return std::make_unique<RenoOps>(cfg);
+  if (name == "reno-rfc") return std::make_unique<RenoRfcOps>(cfg);
+  if (name == "cubic") return std::make_unique<CubicOps>(cfg);
+  if (name == "bbr") return std::make_unique<BbrOps>(cfg);
+  throw std::invalid_argument{"unknown congestion control '" +
+                              std::string{name} +
+                              "' (expected reno, reno-rfc, cubic, or bbr)"};
+}
+
+const std::vector<std::string_view>& congestion_ops_names() {
+  static const std::vector<std::string_view> names = {"reno", "reno-rfc",
+                                                      "cubic", "bbr"};
+  return names;
+}
+
+}  // namespace pathload::tcp

@@ -1,0 +1,94 @@
+// Pluggable congestion control for TcpSender (the tcp_cong.c seam).
+//
+// TcpSender owns the mechanism — sequence/ACK bookkeeping, fast-recovery
+// entry/exit detection, retransmission, RTO — and delegates every *policy*
+// decision (how cwnd and ssthresh move) to a CongestionOps object. Four
+// policies ship:
+//
+//  * reno     — the historical policy, extracted verbatim from the
+//               pre-seam TcpSender: identical floating-point expressions
+//               in identical order, so `cc=reno` reproduces pre-refactor
+//               traces bit-exactly (the golden-anchor contract).
+//  * reno-rfc — Reno with the two RFC 5681 conformance fixes the
+//               historical policy lacks: ssthresh halves *FlightSize*
+//               (§3.1: "ssthresh = max(FlightSize/2, 2*SMSS)" — halving
+//               cwnd instead overshoots whenever cwnd outgrew the
+//               advertised window), and a slow-start stretch ACK stops
+//               growing exponentially at the ssthresh boundary instead of
+//               jumping past it (the remainder grows linearly, as if the
+//               sender had crossed into congestion avoidance mid-ACK).
+//  * cubic    — CUBIC window growth (RFC 8312 shape): beta = 0.7
+//               multiplicative decrease and the C*(t-K)^3 + W_max concave/
+//               convex profile in congestion avoidance.
+//  * bbr      — a BBR-style model-based policy: it maintains a windowed
+//               maximum of the RateSampler's delivery-rate samples
+//               (app-limited samples never raise it) and a running minimum
+//               RTT, and pins cwnd to 2x the estimated
+//               bandwidth-delay product instead of reacting to loss
+//               multiplicatively.
+//
+// The sampler/ops handshake: TcpSender passes the latest RateSample (if
+// the ACK produced one) in Context::sample. Only bbr reads it today.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pathload::tcp {
+
+struct RateSample;
+struct TcpConfig;
+
+/// The cwnd/ssthresh policy of one TCP connection. Implementations own
+/// both variables; the sender reads them through cwnd()/ssthresh() and
+/// reports events through the on_* hooks. All window arithmetic is in
+/// MSS-sized segments, matching TcpSender.
+class CongestionOps {
+ public:
+  /// Event context the mechanism layer can supply to any hook.
+  struct Context {
+    /// Segments in flight when the event fired (next_seq - highest_acked,
+    /// before the event's own bookkeeping) — RFC 5681's FlightSize.
+    double flight_size{0.0};
+    Duration srtt{Duration::zero()};  ///< smoothed RTT; zero before a sample
+    TimePoint now{};
+    /// Delivery-rate sample this ACK produced, or nullptr.
+    const RateSample* sample{nullptr};
+  };
+
+  virtual ~CongestionOps() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual double cwnd() const = 0;
+  virtual double ssthresh() const = 0;
+
+  /// A new cumulative ACK outside recovery covered `newly_acked` segments.
+  virtual void on_ack(double newly_acked, const Context& ctx) = 0;
+  /// The ACK covered the recovery point: fast recovery is over.
+  virtual void on_recovery_exit(const Context& ctx) = 0;
+  /// NewReno partial ACK: still in recovery, `newly_acked` covered.
+  virtual void on_partial_ack(double newly_acked, const Context& ctx) = 0;
+  /// A duplicate ACK arrived while already in recovery.
+  virtual void on_dup_ack_inflate(const Context& ctx) = 0;
+  /// The dup-ACK threshold tripped: entering fast recovery.
+  virtual void on_enter_recovery(int dupack_threshold, const Context& ctx) = 0;
+  /// Retransmission timeout fired.
+  virtual void on_rto(const Context& ctx) = 0;
+};
+
+/// Build the policy `name` ("reno", "reno-rfc", "cubic", "bbr") for a
+/// connection with cfg's initial window parameters. Throws
+/// std::invalid_argument on an unknown name.
+std::unique_ptr<CongestionOps> make_congestion_ops(std::string_view name,
+                                                   const TcpConfig& cfg);
+
+/// The policy names make_congestion_ops accepts, in catalogue order.
+const std::vector<std::string_view>& congestion_ops_names();
+
+}  // namespace pathload::tcp

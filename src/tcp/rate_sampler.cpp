@@ -1,0 +1,62 @@
+#include "tcp/rate_sampler.hpp"
+
+#include <algorithm>
+
+namespace pathload::tcp {
+
+void RateSampler::on_sent(std::uint64_t seq, TimePoint now, bool app_limited) {
+  if (inflight_.empty()) {
+    // Nothing in flight: start the send-rate window here, and start the
+    // delivery clock on the very first transmission (tcp_rate_skb_sent:
+    // "start delivery rate samples from the time we received the most
+    // recent ACK" — or, before any ACK, from the first send).
+    first_tx_ = now;
+    if (!started_) {
+      delivered_time_ = now;
+      started_ = true;
+    }
+  }
+  inflight_.push_back(
+      TxRecord{seq, now, first_tx_, delivered_, delivered_time_, app_limited});
+}
+
+std::optional<RateSample> RateSampler::on_ack(std::uint64_t cum_ack,
+                                              TimePoint now) {
+  // Pop every record the cumulative ACK covers; the *most recently sent*
+  // of them anchors the sample (append order is send order, so it is the
+  // last one popped). Using the latest send keeps the windows fresh: its
+  // snapshot started when the previous delivery event happened.
+  std::optional<TxRecord> best;
+  while (!inflight_.empty() && inflight_.front().seq < cum_ack) {
+    best = inflight_.front();
+    inflight_.pop_front();
+  }
+  if (cum_ack > delivered_) {
+    delivered_ = cum_ack;
+    delivered_time_ = now;
+  }
+  if (!best.has_value()) return std::nullopt;
+
+  // Restart the send-rate window at the anchor's transmission: the next
+  // sample measures from this delivery event forward.
+  first_tx_ = best->sent_at;
+
+  const std::uint64_t newly = delivered_ - best->delivered;
+  if (newly == 0) return std::nullopt;
+  const Duration send_interval = best->sent_at - best->first_tx;
+  const Duration ack_interval = now - best->delivered_at;
+  const Duration interval = std::max(send_interval, ack_interval);
+  if (interval <= Duration::zero()) return std::nullopt;
+
+  RateSample sample;
+  sample.delivered =
+      DataSize::bytes(static_cast<std::int64_t>(newly) * mss_bytes_);
+  sample.interval = interval;
+  sample.delivery_rate = rate_of(sample.delivered, interval);
+  sample.app_limited = best->app_limited;
+  sample.at = now;
+  if (recording_) samples_.push_back(sample);
+  return sample;
+}
+
+}  // namespace pathload::tcp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tcp/cong.hpp"
+
 namespace pathload::tcp {
 
 // --- TcpReceiver -----------------------------------------------------------
@@ -48,9 +50,14 @@ TcpSender::TcpSender(sim::Simulator& sim, sim::Path& path, TcpConfig cfg,
       entry_{&path.segment_entry(segment_)},
       exit_hop_{path.exit_hop_value(segment_)},
       flow_{sim.next_flow_id()},
-      cwnd_{cfg.initial_cwnd},
-      ssthresh_{cfg.initial_ssthresh},
+      ops_{make_congestion_ops(cfg.cc, cfg)},
+      sampler_{cfg.mss_bytes},
       rto_{cfg.initial_rto} {}
+
+TcpSender::~TcpSender() = default;
+
+double TcpSender::cwnd_segments() const { return ops_->cwnd(); }
+double TcpSender::ssthresh_segments() const { return ops_->ssthresh(); }
 
 void TcpSender::start() {
   if (running_) return;
@@ -60,7 +67,7 @@ void TcpSender::start() {
 }
 
 double TcpSender::effective_window() const {
-  double w = cwnd_;
+  double w = ops_->cwnd();
   if (cfg_.advertised_window.has_value()) w = std::min(w, *cfg_.advertised_window);
   return std::max(w, 1.0);
 }
@@ -85,6 +92,9 @@ void TcpSender::transmit(std::uint64_t seq) {
   p.entered = sim_.now();
   entry_->handle(p);
   ++segments_sent_;
+  // A stopped sender still retransmitting its tail has no data waiting:
+  // those windows are application-limited, not network-limited.
+  sampler_.on_sent(seq, sim_.now(), !running_);
   // Karn's rule: time one un-retransmitted segment at a time. A segment is
   // "clean" here when it is the first transmission of a new sequence.
   if (!timed_seq_.has_value() && seq == next_seq_) {
@@ -106,6 +116,9 @@ void TcpSender::handle(const sim::Packet& ack) {
 
 void TcpSender::on_new_ack(std::uint64_t cum_ack) {
   const auto newly_acked = static_cast<double>(cum_ack - highest_acked_);
+  // FlightSize (RFC 5681) at ACK arrival, before any bookkeeping: what the
+  // conformant policies halve on loss and this ACK's context carries.
+  const auto flight = static_cast<double>(next_seq_ - highest_acked_);
   // RTT sample (Karn: only if the timed segment was covered and never
   // retransmitted — retransmission clears timed_seq_).
   if (timed_seq_.has_value() && cum_ack > *timed_seq_) {
@@ -114,31 +127,35 @@ void TcpSender::on_new_ack(std::uint64_t cum_ack) {
   }
   highest_acked_ = cum_ack;
   dup_acks_ = 0;
+  const std::optional<RateSample> sample = sampler_.on_ack(cum_ack, sim_.now());
+  const CongestionOps::Context ctx{flight, srtt_, sim_.now(),
+                                   sample.has_value() ? &*sample : nullptr};
 
   if (in_recovery_) {
     if (cum_ack >= recover_point_) {
-      // Full recovery: deflate to ssthresh (Reno).
+      // Full recovery: the policy deflates (Reno: cwnd = ssthresh).
       in_recovery_ = false;
-      cwnd_ = ssthresh_;
+      ops_->on_recovery_exit(ctx);
     } else {
       // Partial ACK (NewReno): the next hole is also lost; retransmit it
       // immediately and stay in recovery.
       transmit(highest_acked_);
-      cwnd_ = std::max(ssthresh_, cwnd_ - newly_acked + 1.0);
+      ops_->on_partial_ack(newly_acked, ctx);
       arm_rto();
       return;
     }
-  } else if (cwnd_ < ssthresh_) {
-    cwnd_ += newly_acked;  // slow start: exponential growth per RTT
   } else {
-    cwnd_ += newly_acked / cwnd_;  // congestion avoidance: +1 MSS per RTT
+    ops_->on_ack(newly_acked, ctx);
   }
   arm_rto();
 }
 
 void TcpSender::on_dup_ack() {
   if (in_recovery_) {
-    cwnd_ += 1.0;  // window inflation per extra dup ACK
+    const CongestionOps::Context ctx{
+        static_cast<double>(next_seq_ - highest_acked_), srtt_, sim_.now(),
+        nullptr};
+    ops_->on_dup_ack_inflate(ctx);
     return;
   }
   if (++dup_acks_ == cfg_.dupack_threshold) {
@@ -147,13 +164,19 @@ void TcpSender::on_dup_ack() {
 }
 
 void TcpSender::enter_fast_recovery() {
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  const CongestionOps::Context ctx{
+      static_cast<double>(next_seq_ - highest_acked_), srtt_, sim_.now(),
+      nullptr};
+  // The policy sets ssthresh and the inflated recovery window together.
+  // (The historical sender set ssthresh before the fast retransmit and
+  // cwnd after; neither value is read in between, so the combined hook is
+  // trace-identical.)
+  ops_->on_enter_recovery(cfg_.dupack_threshold, ctx);
   recover_point_ = next_seq_;
   in_recovery_ = true;
   ++fast_retransmits_;
   timed_seq_.reset();            // Karn: retransmitted segment is not timed
   transmit(highest_acked_);      // fast retransmit of the missing segment
-  cwnd_ = ssthresh_ + cfg_.dupack_threshold;
   arm_rto();
 }
 
@@ -166,8 +189,10 @@ void TcpSender::on_rto(std::uint64_t generation) {
     return;
   }
   ++timeouts_;
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  cwnd_ = 1.0;
+  const CongestionOps::Context ctx{
+      static_cast<double>(next_seq_ - highest_acked_), srtt_, sim_.now(),
+      nullptr};
+  ops_->on_rto(ctx);
   dup_acks_ = 0;
   in_recovery_ = false;
   timed_seq_.reset();

@@ -4,16 +4,20 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
+#include "tcp/rate_sampler.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
 namespace pathload::tcp {
 
-/// TCP Reno parameters. Sequence numbers are counted in MSS-sized segments
+class CongestionOps;
+
+/// TCP parameters. Sequence numbers are counted in MSS-sized segments
 /// (the simulator never fragments), so cwnd is in segments too.
 struct TcpConfig {
   std::int32_t mss_bytes{1460};     ///< payload per segment
@@ -28,6 +32,10 @@ struct TcpConfig {
   Duration min_rto{Duration::milliseconds(200)};
   Duration max_rto{Duration::seconds(60)};
   Duration initial_rto{Duration::seconds(1)};
+  /// Congestion-control policy (see tcp/cong.hpp): "reno" (the bit-frozen
+  /// historical policy), "reno-rfc" (RFC 5681-conformant ssthresh and
+  /// slow-start boundary), "cubic", or "bbr".
+  std::string cc{"reno"};
 };
 
 /// Receiving endpoint: cumulative ACKs with out-of-order buffering. ACKs
@@ -65,10 +73,14 @@ class TcpReceiver final : public sim::PacketHandler {
   std::int32_t mss_bytes_{1460};
 };
 
-/// Sending endpoint implementing Reno congestion control: slow start,
-/// congestion avoidance, fast retransmit / fast recovery (with NewReno-style
-/// partial-ACK retransmission so multi-drop windows recover without RTO),
-/// Jacobson/Karels RTO with Karn's rule and exponential backoff.
+/// Sending endpoint implementing the TCP loss-recovery *mechanism*: fast
+/// retransmit / fast recovery (with NewReno-style partial-ACK
+/// retransmission so multi-drop windows recover without RTO),
+/// Jacobson/Karels RTO with Karn's rule and exponential backoff. The
+/// cwnd/ssthresh *policy* is pluggable (tcp/cong.hpp, selected by
+/// TcpConfig::cc; the default "reno" reproduces the historical monolithic
+/// sender bit-exactly), and every transmission/ACK feeds a RateSampler
+/// whose delivery-rate samples drive the model-based policies.
 ///
 /// The sender attaches to a path *segment* [first, last]: data enters just
 /// before link `first` and leaves the path right after link `last`. The
@@ -78,6 +90,7 @@ class TcpSender final : public sim::PacketHandler {
  public:
   TcpSender(sim::Simulator& sim, sim::Path& path, TcpConfig cfg,
             sim::Segment segment = {});
+  ~TcpSender();
 
   /// Begin the (greedy) transfer: the application always has data.
   void start();
@@ -88,8 +101,14 @@ class TcpSender final : public sim::PacketHandler {
   const sim::Segment& segment() const { return segment_; }
 
   // --- observability ---------------------------------------------------
-  double cwnd_segments() const { return cwnd_; }
-  double ssthresh_segments() const { return ssthresh_; }
+  double cwnd_segments() const;
+  double ssthresh_segments() const;
+  /// The connection's per-ACK delivery-rate sampler (recording off by
+  /// default; bulk transfers switch it on to export the sample series).
+  RateSampler& rate_sampler() { return sampler_; }
+  const RateSampler& rate_sampler() const { return sampler_; }
+  /// The active congestion-control policy (TcpConfig::cc).
+  const CongestionOps& congestion_ops() const { return *ops_; }
   std::uint64_t segments_acked() const { return highest_acked_; }
   DataSize bytes_acked() const;
   std::uint64_t fast_retransmits() const { return fast_retransmits_; }
@@ -131,11 +150,11 @@ class TcpSender final : public sim::PacketHandler {
   bool running_{false};
   TimePoint started_{};
 
-  // Reno state (segments).
+  // Transport state (segments). cwnd/ssthresh live in the policy object.
   std::uint64_t next_seq_{0};       ///< next *new* segment to send
   std::uint64_t highest_acked_{0};  ///< cumulative ACK
-  double cwnd_;
-  double ssthresh_;
+  std::unique_ptr<CongestionOps> ops_;
+  RateSampler sampler_;
   int dup_acks_{0};
   bool in_recovery_{false};
   std::uint64_t recover_point_{0};

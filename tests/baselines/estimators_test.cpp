@@ -15,9 +15,10 @@ using core::EstimatorError;
 const core::EstimatorRegistry& reg() { return builtin_estimators(); }
 
 TEST(EstimatorRegistry, BuiltinHasTheDocumentedEstimators) {
-  EXPECT_EQ(reg().size(), 9u);
+  EXPECT_EQ(reg().size(), 10u);
   for (const char* name : {"pathload", "cprobe", "pktpair", "topp", "delphi",
-                           "spruce", "igi", "pathchirp", "btc"}) {
+                           "spruce", "igi", "pathchirp", "btc",
+                           "delivery-rate"}) {
     const auto* entry = reg().find(name);
     ASSERT_NE(entry, nullptr) << name;
     EXPECT_FALSE(entry->summary.empty()) << name;
@@ -28,9 +29,10 @@ TEST(EstimatorRegistry, BuiltinHasTheDocumentedEstimators) {
   }
 }
 
-TEST(EstimatorRegistry, OnlyBtcNeedsBulkTcp) {
+TEST(EstimatorRegistry, OnlyTheBulkTransferToolsNeedBulkTcp) {
   for (const auto& entry : reg().entries()) {
-    EXPECT_EQ(entry.needs_bulk_tcp, entry.name == "btc") << entry.name;
+    const bool expects = entry.name == "btc" || entry.name == "delivery-rate";
+    EXPECT_EQ(entry.needs_bulk_tcp, expects) << entry.name;
   }
 }
 

@@ -54,7 +54,7 @@ TEST(KvOverrides, NonPositiveDeadlineIsRejectedByEveryEstimator) {
   // deadline_s is the universal key (applied by apply_common_overrides for
   // every factory): zero and negative values must fail identically for the
   // whole catalogue, and a positive one must configure cleanly.
-  ASSERT_EQ(reg().size(), 9u);
+  ASSERT_EQ(reg().size(), 10u);
   for (const auto& entry : reg().entries()) {
     EXPECT_THROW((void)reg().make(entry.name, "deadline_s = 0"), EstimatorError)
         << entry.name;

@@ -1,0 +1,138 @@
+// The passive delivery-rate estimator through the scenario harness: on
+// tcp-bg-greedy (the elastic-competition scenario) it must produce a
+// valid, finite estimate with zero probe packets, consistent with the
+// pre-probe utilization-monitor bracket; on an open-loop scenario the
+// estimate must land inside the monitor bracket outright; and its matrix
+// cells must be thread-count invariant like every other estimator's.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/estimators.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sim_channel.hpp"
+#include "scenario/sweep_runner.hpp"
+#include "sim/monitor.hpp"
+
+namespace pathload::scenario {
+namespace {
+
+const core::EstimatorRegistry& reg() { return baselines::builtin_estimators(); }
+
+ScenarioSpec quick(const char* preset) {
+  ScenarioSpec spec = Registry::builtin().at(preset);
+  spec.warmup = Duration::milliseconds(500);
+  return spec;
+}
+
+/// Pre-probe ground truth: [min, max] of the tight link's avail-bw as the
+/// utilization monitor saw it over `secs` unperturbed seconds.
+std::pair<Rate, Rate> monitor_bracket(ScenarioInstance& inst, double secs) {
+  sim::UtilizationMonitor monitor{inst.simulator(), inst.tight_link(),
+                                  Duration::seconds(1)};
+  monitor.start();
+  inst.simulator().run_for(Duration::seconds(secs));
+  monitor.stop();
+  Rate lo = monitor.readings().front().avail_bw;
+  Rate hi = lo;
+  for (const auto& w : monitor.readings()) {
+    lo = std::min(lo, w.avail_bw);
+    hi = std::max(hi, w.avail_bw);
+  }
+  return {lo, hi};
+}
+
+TEST(DeliveryRateMatrix, ZeroProbePacketsAndAFairShareOnGreedyBackground) {
+  // tcp-bg-greedy: a greedy TCP flow saturates the tight link, so the
+  // pre-probe bracket reads near zero — but the measurement connection is
+  // itself elastic and earns a fair share (Section VII), so the estimate
+  // must sit between the saturated bracket's floor and the narrow
+  // capacity, never outside the physical envelope.
+  ScenarioSpec spec = quick("tcp-bg-greedy");
+  spec.seed = 424;
+  ScenarioInstance inst{std::move(spec)};
+  inst.start();
+  const auto [lo, hi] = monitor_bracket(inst, 10.0);
+
+  SimProbeChannel channel{inst.simulator(), inst.path()};
+  const auto est = reg().make("delivery-rate", "duration_s = 15");
+  Rng rng{424};
+  const auto r = est->run(channel, rng);
+  ASSERT_TRUE(r.valid) << r.outcome_note;
+  EXPECT_TRUE(r.is_range);
+
+  // Zero probe packets: the transfer is the measurement, counted in bytes.
+  EXPECT_EQ(r.packets_sent, 0);
+  EXPECT_GT(r.bytes_sent.byte_count(), 0);
+
+  const double center = r.center().mbits_per_sec();
+  EXPECT_TRUE(std::isfinite(center));
+  const double slack = 1.0;  // pathload's resolution, as in the gap-model test
+  EXPECT_GE(center, lo.mbits_per_sec() - slack)
+      << "bracket [" << lo.mbits_per_sec() << ", " << hi.mbits_per_sec() << "]";
+  // The narrow link on tcp-bg-greedy is 10 Mb/s: a fair share can exceed
+  // the saturated bracket but never the wire.
+  EXPECT_LE(r.high.mbits_per_sec(), 10.0 + slack);
+  EXPECT_LE(r.low.mbits_per_sec(), r.high.mbits_per_sec());
+}
+
+TEST(DeliveryRateMatrix, CenterLandsInTheMonitorBracketOnOpenLoopTraffic) {
+  // On paper-path at 25% load the background is open-loop (it does not
+  // yield), so the greedy measurement connection converges on the leftover
+  // capacity — the same quantity the monitor brackets. Same contract as
+  // the gap-model satellite test: center inside the pre-probe bracket
+  // widened by pathload's 1 Mb/s resolution.
+  ScenarioSpec spec = quick("paper-path").with_load(0.25);
+  spec.seed = 424;
+  ScenarioInstance inst{std::move(spec)};
+  inst.start();
+  const auto [lo, hi] = monitor_bracket(inst, 10.0);
+
+  SimProbeChannel channel{inst.simulator(), inst.path()};
+  const auto est = reg().make("delivery-rate", "duration_s = 15");
+  Rng rng{424};
+  const auto r = est->run(channel, rng);
+  ASSERT_TRUE(r.valid) << r.outcome_note;
+
+  const Rate slack = Rate::mbps(1.0);
+  const Rate center = r.center();
+  EXPECT_GE(center, lo - slack) << "bracket [" << lo.mbits_per_sec() << ", "
+                                << hi.mbits_per_sec() << "]";
+  EXPECT_LE(center, hi + slack) << "bracket [" << lo.mbits_per_sec() << ", "
+                                << hi.mbits_per_sec() << "]";
+}
+
+TEST(DeliveryRateMatrix, CellsAreThreadCountInvariant) {
+  const std::vector<ScenarioSpec> scenarios = {quick("paper-path"),
+                                               quick("tcp-bg-greedy")};
+  const std::vector<MatrixEstimator> est = {MatrixEstimator::from_registry(
+      reg(), "delivery-rate", "duration_s = 8")};
+  auto run_with = [&](int threads) {
+    SweepRunner runner{threads};
+    return run_matrix(est, scenarios, {0.3, 0.6}, /*runs=*/1,
+                      /*seed0=*/5005, runner);
+  };
+  const auto a = run_with(1);
+  const auto b = run_with(4);
+  ASSERT_EQ(a.size(), 4u);  // 1 estimator x 2 scenarios x 2 loads
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].reports.size(), b[c].reports.size()) << c;
+    for (std::size_t r = 0; r < a[c].reports.size(); ++r) {
+      EXPECT_EQ(a[c].reports[r].low.bits_per_sec(),
+                b[c].reports[r].low.bits_per_sec()) << c;
+      EXPECT_EQ(a[c].reports[r].high.bits_per_sec(),
+                b[c].reports[r].high.bits_per_sec()) << c;
+      EXPECT_EQ(a[c].reports[r].bytes_sent.byte_count(),
+                b[c].reports[r].bytes_sent.byte_count()) << c;
+      // No cell sends probe packets: the estimator is purely passive.
+      EXPECT_EQ(a[c].reports[r].packets_sent, 0) << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pathload::scenario

@@ -283,6 +283,33 @@ TEST(SpecParse, FlowModeKeyParsesAndRoundTrips) {
                     "unknown mode 'fluid' (expected auto or packet");
 }
 
+TEST(SpecParse, FlowCcKeyParsesAndRoundTrips) {
+  const auto parse_cc = [](const std::string& flow_line) {
+    return ScenarioSpec::parse(
+        "name = x\nhops = 2\nhop.0.traffic.model = none\n"
+        "hop.1.traffic.model = none\n" + flow_line + "\n");
+  };
+  // Default: reno (the bit-frozen legacy policy); omitted from to_text.
+  const ScenarioSpec def = parse_cc("flow tcp");
+  EXPECT_EQ(def.flows[0].cc, "reno");
+  EXPECT_EQ(def.to_text().find("cc="), std::string::npos);
+  const ScenarioSpec expl = parse_cc("flow tcp cc=reno");
+  EXPECT_EQ(expl.flows[0].cc, "reno");
+  EXPECT_EQ(expl.to_text().find("cc="), std::string::npos);
+  // Every non-default policy parses and survives the round-trip.
+  for (const std::string name : {"reno-rfc", "cubic", "bbr"}) {
+    const ScenarioSpec pinned = parse_cc("flow tcp rwnd=8 cc=" + name);
+    EXPECT_EQ(pinned.flows[0].cc, name);
+    EXPECT_NE(pinned.to_text().find("cc=" + name), std::string::npos) << name;
+    const ScenarioSpec again = ScenarioSpec::parse(pinned.to_text());
+    EXPECT_EQ(again.flows[0].cc, name);
+    EXPECT_EQ(again.to_text(), pinned.to_text());
+  }
+  // Unknown values fail with the accepted set.
+  expect_spec_error([&] { parse_cc("flow tcp cc=vegas"); },
+                    "unknown cc 'vegas' (expected reno, reno-rfc, cubic, or bbr");
+}
+
 TEST(SpecParse, FlowLinesWorkWithThePaperForm) {
   const ScenarioSpec spec = ScenarioSpec::parse(R"(
     name = paper-with-flow

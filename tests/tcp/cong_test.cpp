@@ -1,0 +1,271 @@
+// Tests for the pluggable congestion-control policies (tcp/cong.hpp):
+// the factory contract, the bit-frozen legacy reno expressions, the two
+// RFC 5681 conformance fixes in reno-rfc, CUBIC's decrease/growth shape,
+// and the BBR-style model's sampler handshake.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "tcp/cong.hpp"
+#include "tcp/rate_sampler.hpp"
+#include "tcp/reno.hpp"
+
+namespace pathload::tcp {
+namespace {
+
+TimePoint at(double secs) { return TimePoint{} + Duration::seconds(secs); }
+
+CongestionOps::Context ctx_with_flight(double flight) {
+  CongestionOps::Context ctx;
+  ctx.flight_size = flight;
+  return ctx;
+}
+
+TEST(CongestionOpsFactory, BuildsEveryCataloguedPolicy) {
+  const TcpConfig cfg;
+  for (const auto name : congestion_ops_names()) {
+    const auto ops = make_congestion_ops(name, cfg);
+    ASSERT_NE(ops, nullptr);
+    EXPECT_EQ(ops->name(), name);
+    EXPECT_DOUBLE_EQ(ops->cwnd(), cfg.initial_cwnd);
+    EXPECT_DOUBLE_EQ(ops->ssthresh(), cfg.initial_ssthresh);
+  }
+  EXPECT_EQ(congestion_ops_names().size(), 4u);
+}
+
+TEST(CongestionOpsFactory, UnknownNameThrowsWithTheAcceptedSet) {
+  try {
+    (void)make_congestion_ops("vegas", TcpConfig{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'vegas'"), std::string::npos);
+    EXPECT_NE(msg.find("reno, reno-rfc, cubic, or bbr"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------
+// Legacy reno: the exact pre-seam expressions (the golden anchors were
+// captured from these — pin each one).
+
+TEST(RenoOps, LegacyExpressionsArePinned) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  cfg.initial_ssthresh = 8.0;
+  const auto ops = make_congestion_ops("reno", cfg);
+  const auto ctx = ctx_with_flight(0.0);
+
+  ops->on_ack(3.0, ctx);  // slow start: cwnd += newly
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 5.0);
+  ops->on_ack(4.0, ctx);  // stretch ACK overshoots ssthresh (the legacy bug)
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 9.0);
+  ops->on_ack(2.0, ctx);  // congestion avoidance: cwnd += newly / cwnd
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 9.0 + 2.0 / 9.0);
+}
+
+TEST(RenoOps, LegacyRecoveryHalvesCwndNotFlight) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 20.0;
+  const auto ops = make_congestion_ops("reno", cfg);
+  // Flight is much smaller than cwnd (rwnd-capped flow): legacy still
+  // halves cwnd.
+  ops->on_enter_recovery(3, ctx_with_flight(6.0));
+  EXPECT_DOUBLE_EQ(ops->ssthresh(), 10.0);
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 13.0);  // ssthresh + dupack_threshold
+  ops->on_dup_ack_inflate(ctx_with_flight(6.0));
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 14.0);
+  ops->on_partial_ack(4.0, ctx_with_flight(6.0));
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 11.0);  // max(ssthresh, cwnd - newly + 1)
+  ops->on_recovery_exit(ctx_with_flight(6.0));
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 10.0);
+  ops->on_rto(ctx_with_flight(6.0));
+  EXPECT_DOUBLE_EQ(ops->ssthresh(), 5.0);  // again cwnd/2, not flight/2
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 1.0);
+}
+
+// ------------------------------------------------------------------
+// reno-rfc: the two RFC 5681 conformance fixes.
+
+TEST(RenoRfcOps, SsthreshHalvesFlightSizeNotCwnd) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 20.0;
+  const auto ops = make_congestion_ops("reno-rfc", cfg);
+  ops->on_enter_recovery(3, ctx_with_flight(6.0));
+  EXPECT_DOUBLE_EQ(ops->ssthresh(), 3.0);  // max(FlightSize/2, 2)
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 6.0);
+  ops->on_rto(ctx_with_flight(3.0));
+  EXPECT_DOUBLE_EQ(ops->ssthresh(), 2.0);  // the RFC's floor of 2
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 1.0);
+}
+
+TEST(RenoRfcOps, SlowStartStretchAckStopsAtTheBoundary) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  cfg.initial_ssthresh = 4.0;
+  const auto ops = make_congestion_ops("reno-rfc", cfg);
+  // 8 segments in one stretch ACK: 2 close the gap to ssthresh, the
+  // remaining 6 grow linearly from the boundary (6/4 = 1.5).
+  ops->on_ack(8.0, ctx_with_flight(8.0));
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 5.5);
+  // Compare: legacy reno jumps straight to 10.
+  const auto legacy = make_congestion_ops("reno", cfg);
+  legacy->on_ack(8.0, ctx_with_flight(8.0));
+  EXPECT_DOUBLE_EQ(legacy->cwnd(), 10.0);
+}
+
+TEST(RenoRfcOps, BelowBoundaryAcksStillSlowStart) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  cfg.initial_ssthresh = 64.0;
+  const auto ops = make_congestion_ops("reno-rfc", cfg);
+  ops->on_ack(2.0, ctx_with_flight(2.0));
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 4.0);  // pure exponential while far below
+}
+
+// ------------------------------------------------------------------
+// cubic: decrease factor and the C*(t-K)^3 + W_max profile.
+
+TEST(CubicOps, DecreaseUsesBetaAndFlightSize) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 30.0;
+  const auto ops = make_congestion_ops("cubic", cfg);
+  ops->on_enter_recovery(3, ctx_with_flight(20.0));
+  EXPECT_DOUBLE_EQ(ops->ssthresh(), 14.0);  // 20 * 0.7
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 17.0);
+  ops->on_recovery_exit(ctx_with_flight(14.0));
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 14.0);
+}
+
+TEST(CubicOps, GrowthIsConcaveThenProbesPastWMax) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 30.0;
+  cfg.initial_ssthresh = 4.0;  // start in congestion avoidance
+  const auto ops = make_congestion_ops("cubic", cfg);
+  ops->on_enter_recovery(3, ctx_with_flight(20.0));  // W_max = 20
+  ops->on_recovery_exit(ctx_with_flight(14.0));
+
+  // Feed one ACK per 10 ms of virtual time; the window must grow
+  // monotonically and eventually pass the old ceiling.
+  CongestionOps::Context ctx;
+  ctx.srtt = Duration::milliseconds(40);
+  double prev = ops->cwnd();
+  double early_growth = 0.0;
+  bool passed_wmax = false;
+  for (int i = 0; i < 2000; ++i) {
+    ctx.now = at(0.01 * i);
+    ops->on_ack(1.0, ctx);
+    EXPECT_GE(ops->cwnd(), prev);
+    if (i == 100) early_growth = ops->cwnd() - 14.0;
+    if (ops->cwnd() > 20.0) passed_wmax = true;
+    prev = ops->cwnd();
+  }
+  EXPECT_TRUE(passed_wmax);
+  // Concave approach: most of the climb to W_max happens early.
+  EXPECT_GT(early_growth, 0.0);
+}
+
+// ------------------------------------------------------------------
+// bbr: the sampler handshake and the app-limited guard.
+
+RateSample sample(double mbps, bool app_limited) {
+  RateSample s;
+  s.delivery_rate = Rate::mbps(mbps);
+  s.interval = Duration::milliseconds(10);
+  s.delivered = DataSize::bytes(14600);
+  s.app_limited = app_limited;
+  return s;
+}
+
+TEST(BbrOps, StartupGrowsLikeSlowStartUntilTheModelExists) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  const auto ops = make_congestion_ops("bbr", cfg);
+  CongestionOps::Context ctx;  // no sample, no srtt: model incomplete
+  ops->on_ack(2.0, ctx);
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 4.0);
+  ops->on_ack(4.0, ctx);
+  EXPECT_DOUBLE_EQ(ops->cwnd(), 8.0);
+}
+
+TEST(BbrOps, CwndTracksTwiceTheModeledBdp) {
+  TcpConfig cfg;
+  cfg.mss_bytes = 1460;
+  const auto ops = make_congestion_ops("bbr", cfg);
+  CongestionOps::Context ctx;
+  ctx.srtt = Duration::milliseconds(100);
+  ctx.now = at(1.0);
+  const RateSample s = sample(11.68, false);  // 11.68 Mb/s, 100 ms
+  ctx.sample = &s;
+  ops->on_ack(1.0, ctx);
+  // BDP = 11.68e6 * 0.1 / (8 * 1460) = 100 segments; cwnd = 2x.
+  EXPECT_NEAR(ops->cwnd(), 200.0, 1e-6);
+}
+
+TEST(BbrOps, AppLimitedSamplesNeverRaiseTheModel) {
+  TcpConfig cfg;
+  cfg.mss_bytes = 1460;
+  const auto ops = make_congestion_ops("bbr", cfg);
+  CongestionOps::Context ctx;
+  ctx.srtt = Duration::milliseconds(100);
+  ctx.now = at(1.0);
+  const RateSample honest = sample(11.68, false);
+  ctx.sample = &honest;
+  ops->on_ack(1.0, ctx);
+  const double before = ops->cwnd();
+
+  // A 10x app-limited burst must not move the bandwidth model.
+  const RateSample burst = sample(116.8, true);
+  ctx.now = at(1.1);
+  ctx.sample = &burst;
+  ops->on_ack(1.0, ctx);
+  EXPECT_DOUBLE_EQ(ops->cwnd(), before);
+}
+
+TEST(BbrOps, LossDoesNotShrinkTheModelWindow) {
+  TcpConfig cfg;
+  cfg.mss_bytes = 1460;
+  const auto ops = make_congestion_ops("bbr", cfg);
+  CongestionOps::Context ctx;
+  ctx.srtt = Duration::milliseconds(100);
+  ctx.now = at(1.0);
+  const RateSample s = sample(11.68, false);
+  ctx.sample = &s;
+  ops->on_ack(1.0, ctx);
+  ASSERT_NEAR(ops->cwnd(), 200.0, 1e-6);
+
+  // Fast recovery: cwnd stays at the model, not at flight/2 + 3.
+  ctx.sample = nullptr;
+  ctx.flight_size = 200.0;
+  ops->on_enter_recovery(3, ctx);
+  EXPECT_NEAR(ops->cwnd(), 200.0, 1e-6);
+  ctx.now = at(1.2);
+  ops->on_recovery_exit(ctx);
+  EXPECT_NEAR(ops->cwnd(), 200.0, 1e-6);
+}
+
+// ------------------------------------------------------------------
+// The sender honors TcpConfig::cc end to end.
+
+TEST(TcpSenderCc, SenderExposesTheSelectedPolicy) {
+  sim::Simulator sim;
+  sim::Path path{sim,
+                 std::vector<sim::HopSpec>{
+                     {Rate::mbps(10), Duration::milliseconds(10),
+                      Rate::mbps(10).bytes_in(Duration::milliseconds(250))}}};
+  for (const auto name : congestion_ops_names()) {
+    TcpConfig cfg;
+    cfg.cc = std::string{name};
+    TcpConnection conn{sim, path, cfg, Duration::milliseconds(10)};
+    EXPECT_EQ(conn.sender().congestion_ops().name(), name);
+    EXPECT_DOUBLE_EQ(conn.sender().cwnd_segments(), cfg.initial_cwnd);
+  }
+  TcpConfig bad;
+  bad.cc = "newreno-plus";
+  EXPECT_THROW((TcpConnection{sim, path, bad, Duration::milliseconds(10)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pathload::tcp

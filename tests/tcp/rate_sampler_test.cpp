@@ -1,0 +1,217 @@
+// Property tests for the tcp_rate.c delivery-rate sampler: the
+// min(send_rate, ack_rate) ACK-compression guard, app-limited marking,
+// physical-bound and whole-transfer-agreement properties over a
+// simulated bulk transfer, and the estimator-side reduction's
+// app-limited monotonicity contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/delivery_rate.hpp"
+#include "core/channel.hpp"
+#include "tcp/bulk.hpp"
+#include "tcp/rate_sampler.hpp"
+#include "tcp/reno.hpp"
+
+namespace pathload::tcp {
+namespace {
+
+constexpr std::int32_t kMss = 1500;
+
+TimePoint at(double secs) { return TimePoint{} + Duration::seconds(secs); }
+
+TEST(RateSampler, StraightPipeRateMatchesTheWire) {
+  // 10 segments sent 1 ms apart, each ACKed 1 ms after its send: both
+  // clocks agree on 1500 B / 1 ms = 12 Mb/s.
+  RateSampler s{kMss};
+  s.set_recording(true);
+  for (int i = 0; i < 10; ++i) s.on_sent(i, at(0.001 * i), false);
+  std::optional<RateSample> last;
+  for (int i = 0; i < 10; ++i) {
+    const auto sample = s.on_ack(i + 1, at(0.001 * i + 0.001));
+    if (sample) last = sample;
+  }
+  ASSERT_TRUE(last.has_value());
+  EXPECT_NEAR(last->delivery_rate.mbits_per_sec(), 12.0, 1e-9);
+  EXPECT_FALSE(last->app_limited);
+  EXPECT_EQ(s.delivered_segments(), 10u);
+}
+
+TEST(RateSampler, AckCompressionCannotInflateTheRate) {
+  // 10 segments sent 1 ms apart (send rate 12 Mb/s), then the ACKs all
+  // arrive within 10 us of each other — the ack clock alone would read
+  // hundreds of Mb/s. The max(send, ack) interval must keep every
+  // sample at or below the send rate.
+  RateSampler s{kMss};
+  s.set_recording(true);
+  for (int i = 0; i < 10; ++i) s.on_sent(i, at(0.001 * i), false);
+  for (int i = 0; i < 10; ++i) {
+    (void)s.on_ack(i + 1, at(0.02 + 1e-5 * i));
+  }
+  ASSERT_FALSE(s.samples().empty());
+  for (const auto& sample : s.samples()) {
+    EXPECT_LE(sample.delivery_rate.mbits_per_sec(), 12.0 + 1e-9);
+  }
+}
+
+TEST(RateSampler, AppLimitedTransmissionsMarkTheirSamples) {
+  RateSampler s{kMss};
+  s.set_recording(true);
+  s.on_sent(0, at(0.0), /*app_limited=*/true);
+  s.on_sent(1, at(0.001), /*app_limited=*/false);
+  const auto a = s.on_ack(1, at(0.010));
+  const auto b = s.on_ack(2, at(0.011));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(a->app_limited);
+  EXPECT_FALSE(b->app_limited);
+}
+
+TEST(RateSampler, NoSampleWithoutNewDelivery) {
+  RateSampler s{kMss};
+  s.on_sent(0, at(0.0), false);
+  const auto first = s.on_ack(1, at(0.010));
+  EXPECT_TRUE(first.has_value());
+  // A duplicate cumulative ACK covers nothing new.
+  EXPECT_FALSE(s.on_ack(1, at(0.011)).has_value());
+  // An ACK for never-sent data has no transmit record to anchor on.
+  EXPECT_FALSE(s.on_ack(5, at(0.012)).has_value());
+}
+
+TEST(RateSampler, RetransmissionSnapshotSupersedesTheOriginal) {
+  // Segment 0 is sent at t=0 (app-limited) and retransmitted at t=1.0
+  // (network-limited). The ACK anchors on the most recently sent covered
+  // record — the retransmit's snapshot, not the original's — and the
+  // interval spans the whole stall: a segment that took a second to
+  // deliver must not report a fast rate.
+  RateSampler s{kMss};
+  s.set_recording(true);
+  s.on_sent(0, at(0.0), /*app_limited=*/true);
+  s.on_sent(0, at(1.0), /*app_limited=*/false);
+  const auto sample = s.on_ack(1, at(1.010));
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_FALSE(sample->app_limited);  // the later snapshot won
+  EXPECT_GE(sample->interval.secs(), 1.0);  // the stall is in the sample
+}
+
+// ------------------------------------------------------------------
+// Properties over a real simulated transfer.
+
+struct BulkRun {
+  core::BulkTransferOutcome outcome;
+  explicit BulkRun(Rate bottleneck, Duration duration, TcpConfig tcp = TcpConfig{}) {
+    sim::Simulator sim;
+    sim::Path path{sim,
+                   std::vector<sim::HopSpec>{
+                       {bottleneck, Duration::milliseconds(40),
+                        bottleneck.bytes_in(Duration::milliseconds(250))}}};
+    core::BulkTransferSpec spec;
+    spec.duration = duration;
+    spec.reverse_delay = Duration::milliseconds(40);
+    spec.throughput_bucket = Duration::seconds(1);
+    outcome = run_bulk_transfer(sim, path, spec, tcp);
+  }
+};
+
+TEST(RateSamplerSim, NoSampleExceedsTheBottleneckCapacity) {
+  // Every delivered byte crossed the 8 Mb/s bottleneck, so no
+  // network-limited delivery-rate sample may materially exceed it
+  // (small slack for single-packet interval granularity).
+  const BulkRun run{Rate::mbps(8), Duration::seconds(20)};
+  ASSERT_FALSE(run.outcome.rate_samples.empty());
+  int network_limited = 0;
+  for (const auto& s : run.outcome.rate_samples) {
+    if (s.app_limited) continue;
+    ++network_limited;
+    EXPECT_LE(s.rate_mbps, 8.0 * 1.10) << "at t=" << s.at_s;
+    EXPECT_GT(s.rate_mbps, 0.0);
+    EXPECT_GT(s.interval_s, 0.0);
+    EXPECT_GT(s.delivered_bytes, 0);
+  }
+  EXPECT_GT(network_limited, 8);
+}
+
+TEST(RateSamplerSim, SteadyStateSamplesConvergeOnTheBottleneck) {
+  // On a lossless-but-saturated path the inter-quartile band of usable
+  // samples should sit near the capacity, not near zero.
+  const BulkRun run{Rate::mbps(8), Duration::seconds(20)};
+  const auto band = baselines::reduce_delivery_rate(run.outcome.rate_samples);
+  ASSERT_TRUE(band.has_value());
+  EXPECT_GE(band->first, 8.0 * 0.5);
+  EXPECT_LE(band->second, 8.0 * 1.10);
+  EXPECT_LE(band->first, band->second);
+}
+
+TEST(RateSamplerSim, SteadyBandAgreesWithTheTransferGoodput) {
+  // Whole-transfer consistency: a sample's window covers the anchor
+  // segment's whole flight (windows overlap — they do not partition the
+  // byte stream), so the agreement contract is distributional: the
+  // steady-state band must reach the transfer's average goodput (which
+  // the slow-start ramp and recovery dips drag down), and no sample's
+  // window can cover more than the transfer delivered.
+  const BulkRun run{Rate::mbps(20), Duration::seconds(10)};
+  const double goodput = run.outcome.bytes_acked.byte_count() * 8.0 /
+                         run.outcome.elapsed.secs() / 1e6;
+  ASSERT_GT(goodput, 0.0);
+  const auto band = baselines::reduce_delivery_rate(run.outcome.rate_samples);
+  ASSERT_TRUE(band.has_value());
+  EXPECT_GE(band->second, goodput * 0.9);
+  EXPECT_LE(band->first, 20.0 * 1.10);
+  for (const auto& s : run.outcome.rate_samples) {
+    EXPECT_LE(s.delivered_bytes, run.outcome.bytes_acked.byte_count());
+  }
+}
+
+// ------------------------------------------------------------------
+// The estimator-side reduction contract.
+
+core::DeliveryRateSample mk(double mbps, bool app_limited) {
+  core::DeliveryRateSample s;
+  s.rate_mbps = mbps;
+  s.interval_s = 0.01;
+  s.delivered_bytes = 3000;
+  s.app_limited = app_limited;
+  return s;
+}
+
+TEST(DeliveryRateReduce, AppLimitedSamplesNeverRaiseTheEstimate) {
+  std::vector<core::DeliveryRateSample> base;
+  for (double r : {4.0, 5.0, 5.5, 6.0, 6.5, 7.0, 7.5, 8.0}) {
+    base.push_back(mk(r, false));
+  }
+  const auto before = baselines::reduce_delivery_rate(base);
+  ASSERT_TRUE(before.has_value());
+
+  // Pile on app-limited samples far above every network-limited one:
+  // neither quantile may move.
+  auto spiked = base;
+  for (int i = 0; i < 50; ++i) spiked.push_back(mk(1000.0, true));
+  const auto after = baselines::reduce_delivery_rate(spiked);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_DOUBLE_EQ(after->first, before->first);
+  EXPECT_DOUBLE_EQ(after->second, before->second);
+}
+
+TEST(DeliveryRateReduce, NeedsAtLeastOneUsableSample) {
+  std::vector<core::DeliveryRateSample> only_app;
+  for (int i = 0; i < 10; ++i) only_app.push_back(mk(10.0, true));
+  EXPECT_FALSE(baselines::reduce_delivery_rate(only_app).has_value());
+  EXPECT_FALSE(baselines::reduce_delivery_rate({}).has_value());
+}
+
+TEST(DeliveryRateReduce, QuartilesBracketTheMedianOfUsableSamples) {
+  std::vector<core::DeliveryRateSample> s;
+  for (double r : {2.0, 4.0, 6.0, 8.0, 10.0}) s.push_back(mk(r, false));
+  const auto band = baselines::reduce_delivery_rate(s);
+  ASSERT_TRUE(band.has_value());
+  EXPECT_LE(band->first, 6.0);
+  EXPECT_GE(band->second, 6.0);
+  EXPECT_GE(band->first, 2.0);
+  EXPECT_LE(band->second, 10.0);
+}
+
+}  // namespace
+}  // namespace pathload::tcp

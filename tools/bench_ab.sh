@@ -3,7 +3,8 @@
 #
 # Runs bench/micro_core's engine pairs — BM_CrossTrafficSecond[V2],
 # BM_SimSecondsPerSec/{0,1}, BM_ProbeFleetSecond/{0,1} (batched probe
-# bursts off/on) and BM_TcpScenarioSecond/{0,1} (packet vs fluid TCP) —
+# bursts off/on), BM_TcpScenarioSecond/{0,1} (packet vs fluid TCP) and
+# BM_CcDuelSecond/{0,1,2} (the reno|cubic|bbr policy duel) —
 # with repetitions under random interleaving (so drift in machine load
 # lands on both arms alike), takes the per-arm medians from the benchmark
 # JSON, computes the A/B speedups, and appends one JSON row to
@@ -31,7 +32,7 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
 "$binary" \
-  "--benchmark_filter=BM_SimSecondsPerSec|BM_CrossTrafficSecond|BM_ProbeFleetSecond|BM_TcpScenarioSecond" \
+  "--benchmark_filter=BM_SimSecondsPerSec|BM_CrossTrafficSecond|BM_ProbeFleetSecond|BM_TcpScenarioSecond|BM_CcDuelSecond" \
   "--benchmark_repetitions=$reps" \
   --benchmark_enable_random_interleaving=true \
   --benchmark_report_aggregates_only=true \
@@ -56,9 +57,13 @@ fleet_unbatched=$(median "BM_ProbeFleetSecond/0")
 fleet_batched=$(median "BM_ProbeFleetSecond/1")
 tcp_packet=$(median "BM_TcpScenarioSecond/0")
 tcp_fluid=$(median "BM_TcpScenarioSecond/1")
+cc_reno=$(median "BM_CcDuelSecond/0")
+cc_cubic=$(median "BM_CcDuelSecond/1")
+cc_bbr=$(median "BM_CcDuelSecond/2")
 
 for val in "$v1_cross" "$v2_cross" "$v1_simsec" "$v2_simsec" \
-           "$fleet_unbatched" "$fleet_batched" "$tcp_packet" "$tcp_fluid"; do
+           "$fleet_unbatched" "$fleet_batched" "$tcp_packet" "$tcp_fluid" \
+           "$cc_reno" "$cc_cubic" "$cc_bbr"; do
   if [ -z "$val" ]; then
     echo "bench_ab: missing a median in $workdir/ab.json (benchmark renamed?)" >&2
     exit 1
@@ -68,6 +73,7 @@ done
 row=$(awk -v a="$v1_cross" -v b="$v2_cross" -v c="$v1_simsec" -v d="$v2_simsec" \
       -v e="$fleet_unbatched" -v f="$fleet_batched" \
       -v g="$tcp_packet" -v h="$tcp_fluid" \
+      -v i="$cc_reno" -v j="$cc_cubic" -v k="$cc_bbr" \
       -v reps="$reps" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" 'BEGIN {
   printf "{\"date\": \"%s\", \"repetitions\": %d, ", date, reps
   printf "\"cross_traffic_v1_ns\": %.1f, \"cross_traffic_v2_ns\": %.1f, ", a, b
@@ -77,7 +83,9 @@ row=$(awk -v a="$v1_cross" -v b="$v2_cross" -v c="$v1_simsec" -v d="$v2_simsec" 
   printf "\"probe_fleet_unbatched_ns\": %.1f, \"probe_fleet_batched_ns\": %.1f, ", e, f
   printf "\"probe_fleet_speedup\": %.2f, ", e / f
   printf "\"tcp_scenario_packet_ns\": %.1f, \"tcp_scenario_fluid_ns\": %.1f, ", g, h
-  printf "\"tcp_scenario_speedup\": %.2f}", g / h
+  printf "\"tcp_scenario_speedup\": %.2f, ", g / h
+  printf "\"cc_duel_reno_ns\": %.1f, \"cc_duel_cubic_ns\": %.1f, ", i, j
+  printf "\"cc_duel_bbr_ns\": %.1f, \"cc_duel_bbr_ratio\": %.2f}", k, k / i
 }')
 
 # BENCH_engine.json is a JSON-lines log: one self-contained row per run.

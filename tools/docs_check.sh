@@ -143,7 +143,7 @@ fi
 # --- 7. flow spec keys and preset round-trips ---------------------------------
 # The authoritative flow-directive key list (mirrors parse_flow_line in
 # src/scenario/spec.cpp); each must be documented in docs/SCENARIOS.md.
-flow_keys="hops rwnd count start_s stop_s on_s off_s mss reverse_ms mode"
+flow_keys="hops rwnd count start_s stop_s on_s off_s mss reverse_ms mode cc"
 for k in $flow_keys; do
   grep -qE "(^|[^a-z0-9_])${k}=" "$root/docs/SCENARIOS.md" ||
     err "flow key '$k' is not documented in docs/SCENARIOS.md (flow table)"
